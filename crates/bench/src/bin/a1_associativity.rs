@@ -1,0 +1,45 @@
+//! A1 (ablation) — direct-mapped vs set-associative caches. §4 restricts
+//! the study to direct-mapped caches because that is what fast machines
+//! ship; this ablation measures how much associativity would change the
+//! picture for these workloads.
+
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{CacheConfig, SetAssocCache};
+use cachegc_gc::NoCollector;
+use cachegc_trace::Fanout;
+use cachegc_workloads::Workload;
+
+fn main() {
+    let scale = scale_arg(2);
+    header(&format!("A1: associativity ablation (64b blocks), scale {scale}"));
+    let sizes = [32 << 10, 64 << 10, 256 << 10u32];
+    let ways = [1u32, 2, 4];
+
+    println!("{:10} {:>8} {:>6} {:>14} {:>10}", "program", "cache", "ways", "fetches", "miss ratio");
+    for w in [Workload::Compile, Workload::Nbody] {
+        eprintln!("running {} ...", w.name());
+        let mut caches = Vec::new();
+        for &size in &sizes {
+            for &a in &ways {
+                caches.push(SetAssocCache::new(
+                    CacheConfig::direct_mapped(size, 64).with_assoc(a),
+                ));
+            }
+        }
+        let out = w.scaled(scale).run(NoCollector::new(), Fanout::new(caches)).unwrap();
+        for c in out.sink.sinks() {
+            println!(
+                "{:10} {:>8} {:>6} {:>14} {:>10.4}",
+                w.name(),
+                human_bytes(c.config().size),
+                c.config().assoc,
+                c.stats().fetches(),
+                c.stats().miss_ratio()
+            );
+        }
+    }
+    println!();
+    println!("expectation: associativity helps modestly (conflict misses among busy blocks),");
+    println!("but linear allocation leaves little for LRU to exploit — supporting the");
+    println!("paper's focus on direct-mapped caches.");
+}

@@ -1,0 +1,44 @@
+//! A2 (ablation) — collection frequency: Cheney semispace size vs `O_gc`.
+//! §6 argues the collector should run *infrequently*; this sweep makes the
+//! trade explicit by shrinking the semispaces.
+
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
+use cachegc_workloads::Workload;
+
+fn main() {
+    let scale = scale_arg(4);
+    let mut cfg = ExperimentConfig::paper();
+    cfg.block_sizes = vec![64];
+    cfg.cache_sizes = vec![64 << 10, 1 << 20];
+    header(&format!("A2: Cheney semispace-size sweep, compile workload, scale {scale}"));
+
+    println!(
+        "{:>10} {:>6} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "semispace", "GCs", "copied (b)", "64k slow", "64k fast", "1m slow", "1m fast"
+    );
+    for semi in [512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20] {
+        let spec = CollectorSpec::Cheney { semispace_bytes: semi };
+        eprintln!("running with {} semispaces ...", human_bytes(semi));
+        let cmp = match GcComparison::run(Workload::Compile.scaled(scale), &cfg, spec) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{:>10}  failed: {e}", human_bytes(semi));
+                continue;
+            }
+        };
+        println!(
+            "{:>10} {:>6} {:>14} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+            human_bytes(semi),
+            cmp.collected.gc.collections,
+            cmp.collected.gc.bytes_copied,
+            100.0 * cmp.gc_overhead(64 << 10, 64, &SLOW),
+            100.0 * cmp.gc_overhead(64 << 10, 64, &FAST),
+            100.0 * cmp.gc_overhead(1 << 20, 64, &SLOW),
+            100.0 * cmp.gc_overhead(1 << 20, 64, &FAST),
+        );
+    }
+    println!();
+    println!("expectation: larger semispaces => fewer collections => lower O_gc,");
+    println!("approaching the no-collection control; §6's 'collect rarely' advice.");
+}

@@ -1,0 +1,59 @@
+//! E11 — the §7 cache-activity graphs: cache blocks in ascending
+//! reference-count order, each with its local miss ratio, plus the
+//! cumulative miss / reference / miss-ratio curves. Four panels as in the
+//! paper: compile at 64 KB, prove at 64 KB (the thrash-prone program),
+//! rewrite at 64 KB (misses spread wide), and compile at 128 KB (the
+//! larger cache tightens everything).
+
+use cachegc_analysis::activity;
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{Cache, CacheConfig};
+use cachegc_gc::NoCollector;
+use cachegc_workloads::Workload;
+
+fn panel(w: Workload, scale: u32, cache_bytes: u32) {
+    let cfg = CacheConfig::direct_mapped(cache_bytes, 64);
+    eprintln!("running {} at {} ...", w.name(), human_bytes(cache_bytes));
+    let out = w.scaled(scale).run(NoCollector::new(), Cache::new(cfg)).unwrap();
+    let act = activity(out.sink.stats());
+    println!(
+        "\n{} @ {} / 64b: global miss ratio (excl. alloc) {:.4}, max cum jump {:.4}",
+        w.name(),
+        human_bytes(cache_bytes),
+        act.global_miss_ratio,
+        act.max_cum_jump()
+    );
+    println!(
+        "  most-referenced decile: {} worst-case (local ratio > 0.25), {} best-case (< 0.01)",
+        act.worst_case_blocks(0.25),
+        act.best_case_blocks(0.01)
+    );
+    // Sample the cumulative curves at deciles of the block ordering.
+    println!("  {:>6} {:>12} {:>10} {:>10} {:>10}", "pct", "refs", "cum refs", "cum miss", "cum ratio");
+    let n = act.entries.len();
+    for decile in [50, 80, 90, 95, 99, 100] {
+        let i = (n * decile / 100).saturating_sub(1);
+        let e = &act.entries[i];
+        println!(
+            "  {:>5}% {:>12} {:>9.1}% {:>9.1}% {:>10.4}",
+            decile,
+            e.refs,
+            100.0 * e.cum_ref_fraction,
+            100.0 * e.cum_miss_fraction,
+            e.cum_miss_ratio
+        );
+    }
+}
+
+fn main() {
+    let scale = scale_arg(2);
+    header(&format!("E11: cache-activity decomposition (§7 figures), scale {scale}"));
+    panel(Workload::Compile, scale, 64 << 10);
+    panel(Workload::Prove, scale, 64 << 10);
+    panel(Workload::Rewrite, scale, 64 << 10);
+    panel(Workload::Compile, scale, 128 << 10);
+    println!();
+    println!("paper shape: most refs and misses concentrate in the most-referenced blocks;");
+    println!("best-case blocks pull the final cumulative miss ratio down (orbit: 0.027->0.017);");
+    println!("thrashing appears as a jump in the cumulative curve; 128k beats 64k everywhere.");
+}

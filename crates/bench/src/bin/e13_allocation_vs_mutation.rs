@@ -1,0 +1,110 @@
+//! E13 — the §8 conjecture: *allocation can be faster than mutation*.
+//!
+//! The paper closes by conjecturing that a mostly-functional program that
+//! "rides the allocation wave" — loading from just-allocated data in front
+//! of the crest and storing fresh results just behind it — can out-perform
+//! an imperative program whose objects are updated in place, because the
+//! functional program's references are concentrated where the cache is
+//! already warm, while the imperative program's locality is a matter of
+//! chance.
+//!
+//! We measure the same computation on the *same data structure*: a
+//! 4,096-pair list transformed over many generations — functional:
+//! rebuild the list each generation (pure allocation, the old generation
+//! becomes garbage); imperative: `set-car!` every pair of one long-lived
+//! list in place. Both walk 48 KB of pairs per generation; the functional
+//! version also allocates 48 KB per generation, which write-validate
+//! makes free at the cache level.
+
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{run_control, ExperimentConfig, FAST, SLOW};
+use cachegc_vm::Machine;
+use cachegc_gc::NoCollector;
+use cachegc_trace::RefCounter;
+
+fn functional(gens: u32) -> String {
+    format!(
+        "
+(define (build n)
+  (let loop ((i 0) (acc '()))
+    (if (= i n) acc (loop (+ i 1) (cons i acc)))))
+(define (evolve l)
+  (if (null? l) '() (cons (+ (car l) 1) (evolve (cdr l)))))
+(let loop ((g 0) (l (build 4096)) (sum 0))
+  (if (= g {gens})
+      sum
+      (loop (+ g 1) (evolve l) (+ sum (car l)))))
+"
+    )
+}
+
+fn imperative(gens: u32) -> String {
+    format!(
+        "
+(define (build n)
+  (let loop ((i 0) (acc '()))
+    (if (= i n) acc (loop (+ i 1) (cons i acc)))))
+(define l (build 4096))
+(define (evolve! l)
+  (if (null? l) 'done
+      (begin (set-car! l (+ (car l) 1)) (evolve! (cdr l)))))
+(let loop ((g 0) (sum 0))
+  (if (= g {gens})
+      sum
+      (begin (evolve! l) (loop (+ g 1) (+ sum (car l))))))
+"
+    )
+}
+
+fn measure(name: &str, src: &str, cfg: &ExperimentConfig) {
+    // Instruction/ref volume first.
+    let mut m = Machine::new(NoCollector::new(), RefCounter::new());
+    m.run_program(src).expect("runs");
+    let refs = m.sink().total();
+    let i_prog = m.counters().program();
+
+    // Then the cache grid via the standard control machinery, by wrapping
+    // the source as a one-off "workload".
+    let mut caches = cachegc_trace::Fanout::new(
+        cfg.configs().into_iter().map(cachegc_core::Cache::new).collect::<Vec<_>>(),
+    );
+    let mut m = Machine::new(NoCollector::new(), &mut caches);
+    m.run_program(src).expect("runs");
+    drop(m);
+
+    println!("\n{name}: {refs} refs, {i_prog} instructions");
+    print!("{:>6}", "cpu");
+    for &size in &cfg.cache_sizes {
+        print!("{:>9}", human_bytes(size));
+    }
+    println!();
+    for cpu in [&SLOW, &FAST] {
+        print!("{:>6}", cpu.name);
+        for (cache, _) in caches.sinks().iter().zip(&cfg.cache_sizes) {
+            let p = cachegc_core::miss_penalty_cycles(&cfg.memory, cpu, cache.config().block);
+            let o = (cache.stats().fetches() * p) as f64 / i_prog as f64;
+            print!("{:>8.2}%", 100.0 * o);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let scale = scale_arg(4);
+    let gens = 150 * scale;
+    let mut cfg = ExperimentConfig::paper();
+    cfg.block_sizes = vec![64];
+    cfg.cache_sizes = vec![32 << 10, 64 << 10, 256 << 10, 1 << 20];
+    header(&format!("E13: allocation vs mutation (§8 conjecture 3), scale {scale}"));
+
+    measure("functional (rides the allocation wave)", &functional(gens), &cfg);
+    measure("imperative (set-car! on one long-lived list)", &imperative(gens), &cfg);
+
+    println!();
+    println!("reading: the functional version's working set is twice the imperative");
+    println!("version's (old + new generation vs one list), so mutation wins while the");
+    println!("list fits in cache and the two tie once neither does extra work — i.e.,");
+    println!("the conjecture holds only where the imperative program's locality is poor;");
+    println!("against a compact, reused imperative structure, allocation is not faster.");
+    let _ = run_control; // (see e3 for the standard workloads)
+}

@@ -1,0 +1,36 @@
+//! E1 — the §3 test-program table: lines, bytes allocated, instructions
+//! executed, and data references for each program, run without collection.
+
+use cachegc_bench::{commas, header, scale_arg};
+use cachegc_gc::NoCollector;
+use cachegc_trace::RefCounter;
+use cachegc_workloads::Workload;
+
+fn main() {
+    let scale = scale_arg(4);
+    header(&format!("E1: test programs (§3 table), scale {scale}"));
+    println!(
+        "{:10} {:>7} {:>12} {:>16} {:>16} {:>8}",
+        "program", "lines", "alloc (b)", "insns", "refs", "refs/ins"
+    );
+    for w in Workload::ALL {
+        let out = w
+            .scaled(scale)
+            .run(NoCollector::new(), RefCounter::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let insns = out.stats.instructions.program();
+        let refs = out.sink.total();
+        println!(
+            "{:10} {:>7} {:>12} {:>16} {:>16} {:>8.3}",
+            format!("{} ({})", w.name(), w.paper_analog()),
+            w.lines(),
+            commas(out.stats.allocated_bytes),
+            commas(insns),
+            commas(refs),
+            refs as f64 / insns as f64,
+        );
+    }
+    println!();
+    println!("paper: orbit 15k lines/263mb, imps 42k/1.8gb, lp 2.5k/216mb,");
+    println!("       nbody .6k/747mb, gambit 15k/527mb; refs/insns ≈ 0.26-0.29");
+}

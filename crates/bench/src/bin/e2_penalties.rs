@@ -1,0 +1,32 @@
+//! E2 — the §5 miss-penalty table: cycles to service a miss for each block
+//! size on the slow (30 ns) and fast (2 ns) processors, with the
+//! Przybylski memory model.
+
+use cachegc_bench::header;
+use cachegc_core::{miss_penalty_cycles, writeback_cycles, MainMemory, FAST, SLOW};
+
+fn main() {
+    header("E2: miss penalties (§5 table)");
+    let mem = MainMemory::przybylski();
+    print!("{:22}", "Block size (bytes)");
+    for b in [16u32, 32, 64, 128, 256] {
+        print!("{b:>8}");
+    }
+    println!();
+    for cpu in [&SLOW, &FAST] {
+        print!("{:22}", format!("{} penalty (cycles)", cpu.name));
+        for b in [16u32, 32, 64, 128, 256] {
+            print!("{:>8}", miss_penalty_cycles(&mem, cpu, b));
+        }
+        println!();
+    }
+    for cpu in [&SLOW, &FAST] {
+        print!("{:22}", format!("{} writeback", cpu.name));
+        for b in [16u32, 32, 64, 128, 256] {
+            print!("{:>8}", writeback_cycles(&mem, cpu, b));
+        }
+        println!();
+    }
+    println!();
+    println!("paper (derived from its memory model): slow 8/9/11/15/23, fast 120/135/165/225/345");
+}

@@ -1,0 +1,52 @@
+//! E3 — the §5 control-experiment figure: average cache overhead across
+//! the five programs, with no garbage collection, for every cache size
+//! (32 KB – 4 MB) and block size (16 – 256 B), on both processors.
+//!
+//! Expected shape (paper): larger caches and smaller blocks always win;
+//! slow processor < 5 % even at 32 KB/16 B; fast processor needs ~1 MB
+//! for a similar overhead.
+
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{run_control, ExperimentConfig, FAST, SLOW};
+use cachegc_workloads::Workload;
+
+fn main() {
+    let scale = scale_arg(4);
+    let cfg = ExperimentConfig::paper();
+    header(&format!("E3: average cache overhead, no GC (§5 figure), scale {scale}"));
+
+    let reports: Vec<_> = Workload::ALL
+        .iter()
+        .map(|w| {
+            eprintln!("running {} ...", w.name());
+            run_control(w.scaled(scale), &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name()))
+        })
+        .collect();
+
+    for cpu in [&SLOW, &FAST] {
+        println!("\n{} processor ({} ns cycle): O_cache averaged over programs", cpu.name, cpu.cycle_ns);
+        print!("{:>8}", "block");
+        for &size in &cfg.cache_sizes {
+            print!("{:>9}", human_bytes(size));
+        }
+        println!();
+        for &block in &cfg.block_sizes {
+            print!("{:>7}b", block);
+            for &size in &cfg.cache_sizes {
+                let avg: f64 = reports
+                    .iter()
+                    .map(|r| {
+                        let cell = r.cell(size, block).expect("simulated");
+                        r.cache_overhead(cell, cpu)
+                    })
+                    .sum::<f64>()
+                    / reports.len() as f64;
+                print!("{:>8.2}%", 100.0 * avg);
+            }
+            println!();
+        }
+    }
+    println!();
+    println!("paper shape: monotone improvement with cache size; smaller blocks better;");
+    println!("slow/32k/16b < 5%; fast needs ~1m for < 5%.");
+}

@@ -1,0 +1,51 @@
+//! E7 — the §6 argument against *aggressive* collection: a generational
+//! collector whose nursery is sized to the cache collects far more often
+//! and copies far more not-yet-dead data; the extra copying cost swamps
+//! whatever cache-overhead improvement it can buy.
+//!
+//! Sweeps the nursery from cache-sized (aggressive, à la Wilson et al.)
+//! up to infrequent, and reports collections, bytes promoted, and O_gc.
+
+use cachegc_bench::{header, human_bytes, scale_arg};
+use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
+use cachegc_workloads::Workload;
+
+fn main() {
+    let scale = scale_arg(4);
+    let cache_size = 64 << 10;
+    let mut cfg = ExperimentConfig::paper();
+    cfg.block_sizes = vec![64];
+    cfg.cache_sizes = vec![cache_size];
+    header(&format!(
+        "E7: aggressive vs infrequent generational collection (§6), {} cache, scale {scale}",
+        human_bytes(cache_size)
+    ));
+
+    println!(
+        "{:>9} {:>7} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "nursery", "minors", "promoted (b)", "copied (b)", "O_gc slow", "O_gc fast", "O_cache+O_gc fast"
+    );
+    for nursery in [64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let spec = CollectorSpec::Generational { nursery_bytes: nursery, old_bytes: 24 << 20 };
+        eprintln!("running compile with nursery {} ...", human_bytes(nursery));
+        let cmp = GcComparison::run(Workload::Compile.scaled(scale), &cfg, spec)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let o_slow = cmp.gc_overhead(cache_size, 64, &SLOW);
+        let o_fast = cmp.gc_overhead(cache_size, 64, &FAST);
+        let total_fast = cmp.control_overhead(cache_size, 64, &FAST) + o_fast;
+        println!(
+            "{:>9} {:>7} {:>14} {:>14} {:>9.2}% {:>9.2}% {:>9.2}%",
+            human_bytes(nursery),
+            cmp.collected.gc.minor_collections,
+            cmp.collected.gc.bytes_promoted,
+            cmp.collected.gc.bytes_copied,
+            100.0 * o_slow,
+            100.0 * o_fast,
+            100.0 * total_fast,
+        );
+    }
+    println!();
+    println!("paper shape: a cache-sized (aggressive) nursery collects more often, leaves");
+    println!("less time for objects to die, promotes more, and costs more than it saves;");
+    println!("overheads should fall as the nursery grows.");
+}

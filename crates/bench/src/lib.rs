@@ -1,0 +1,75 @@
+//! Shared helpers for the experiment regenerators.
+//!
+//! Each table and figure in the paper's evaluation has a binary in
+//! `src/bin/` that reruns the measurement and prints the same rows or
+//! series the paper reports (see EXPERIMENTS.md for the index). All
+//! binaries accept a workload scale through the `CACHEGC_SCALE`
+//! environment variable or a `--scale N` argument; the default is a
+//! minutes-long run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Workload scale from `--scale N` or `CACHEGC_SCALE` (default `default`).
+pub fn scale_arg(default: u32) -> u32 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    std::env::var("CACHEGC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Format a fraction as a signed percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", 100.0 * x)
+}
+
+/// Format a byte count as `32k` / `4m`.
+pub fn human_bytes(b: u32) -> String {
+    if b >= 1 << 20 {
+        format!("{}m", b >> 20)
+    } else {
+        format!("{}k", b >> 10)
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Print a header plus an underline.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.0534), "+5.34%");
+        assert_eq!(pct(-0.001), "-0.10%");
+        assert_eq!(human_bytes(32 << 10), "32k");
+        assert_eq!(human_bytes(4 << 20), "4m");
+        assert_eq!(commas(1234567), "1,234,567");
+        assert_eq!(commas(42), "42");
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's overhead formulas (§5, §6).
+
+/// `O_cache = M_prog · P / I_prog` (§5): time spent waiting for the
+/// program's misses, as a fraction of the idealized running time in which
+/// every instruction completes in one cycle and no misses occur.
+///
+/// `m_prog` counts *fetching* misses — the ones that stall the processor.
+/// Under write-validate, write misses install a tag without fetching and
+/// cost nothing here; that is the policy's entire benefit.
+///
+/// ```
+/// use cachegc_core::cache_overhead;
+/// assert_eq!(cache_overhead(1_000, 8, 1_000_000), 0.008);
+/// ```
+pub fn cache_overhead(m_prog: u64, penalty_cycles: u64, i_prog: u64) -> f64 {
+    assert!(i_prog > 0, "idealized running time is zero");
+    (m_prog * penalty_cycles) as f64 / i_prog as f64
+}
+
+/// `O_gc = ((M_gc + ΔM_prog) · P + I_gc + ΔI_prog) / I_prog` (§6).
+///
+/// `ΔM_prog` is the *change* in the program's own miss count relative to
+/// the same run without collection; it can be negative when the collector
+/// improves the program's locality by moving objects (nbody in the paper),
+/// which can make the whole overhead negative.
+///
+/// ```
+/// use cachegc_core::gc_overhead;
+/// // A collector that removes more program misses than it costs.
+/// let o = gc_overhead(100, -10_000, 10, 5_000, 0, 10_000_000);
+/// assert!(o < 0.0);
+/// ```
+pub fn gc_overhead(
+    m_gc: u64,
+    delta_m_prog: i64,
+    penalty_cycles: u64,
+    i_gc: u64,
+    delta_i_prog: u64,
+    i_prog: u64,
+) -> f64 {
+    assert!(i_prog > 0, "idealized running time is zero");
+    let miss_cycles = (m_gc as i64 + delta_m_prog) * penalty_cycles as i64;
+    (miss_cycles + i_gc as i64 + delta_i_prog as i64) as f64 / i_prog as f64
+}
+
+/// Write overhead of a write-back cache: time spent writing dirty blocks
+/// back to memory, as a fraction of the idealized running time. The paper
+/// reports preliminary measurements of "almost always less than one
+/// percent" (slow) and "less than three percent" (fast, ≥ 1 MB caches).
+pub fn write_back_overhead(writebacks: u64, writeback_cycles: u64, i_prog: u64) -> f64 {
+    assert!(i_prog > 0, "idealized running time is zero");
+    (writebacks * writeback_cycles) as f64 / i_prog as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_overhead_is_linear_in_misses_and_penalty() {
+        assert_eq!(cache_overhead(0, 8, 100), 0.0);
+        assert_eq!(cache_overhead(50, 8, 100) * 2.0, cache_overhead(100, 8, 100));
+        assert_eq!(cache_overhead(50, 16, 100), cache_overhead(100, 8, 100));
+    }
+
+    #[test]
+    fn gc_overhead_signs() {
+        // Pure cost: positive.
+        assert!(gc_overhead(1000, 0, 10, 5000, 100, 1_000_000) > 0.0);
+        // Collector removes enough program misses to pay for itself.
+        assert!(gc_overhead(10, -1_000_000, 10, 100, 0, 1_000_000) < 0.0);
+        // Zero-cost collector: zero overhead.
+        assert_eq!(gc_overhead(0, 0, 10, 0, 0, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn run_time_composition() {
+        // Running time = (O_cache + O_gc + 1) * I_prog.
+        let i_prog = 2_000_000u64;
+        let oc = cache_overhead(10_000, 11, i_prog);
+        let og = gc_overhead(2_000, 500, 11, 40_000, 1_000, i_prog);
+        let cycles = (oc + og + 1.0) * i_prog as f64;
+        assert!(cycles > i_prog as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "idealized")]
+    fn zero_instructions_rejected() {
+        cache_overhead(1, 1, 0);
+    }
+}

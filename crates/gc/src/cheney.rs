@@ -1,0 +1,307 @@
+//! The Cheney semispace compacting collector (§6).
+
+use cachegc_heap::{Heap, HeapConfig};
+use cachegc_trace::{Counters, InstrClass, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE};
+
+use crate::copier::{costs, Evac, ToSpace};
+use crate::roots::Roots;
+use crate::stats::GcStats;
+use crate::Collector;
+
+/// A classic two-semispace copying collector: on each collection, the live
+/// graph is copied from the current semispace into the other, compacting it
+/// at the bottom, and the spaces flip.
+///
+/// The paper runs it with 16 MB semispaces, making it an *infrequent*
+/// collector (§6); [`CheneyCollector::semispace_bytes`] controls frequency.
+#[derive(Debug)]
+pub struct CheneyCollector {
+    semispace_bytes: u32,
+    in_first: bool,
+    stats: GcStats,
+}
+
+impl CheneyCollector {
+    /// Create a collector with semispaces of `bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero, unaligned, or larger than a dynamic
+    /// address region.
+    pub fn new(bytes: u32) -> Self {
+        // Reuse HeapConfig's validation.
+        let _ = HeapConfig::semispaces(bytes);
+        CheneyCollector { semispace_bytes: bytes, in_first: true, stats: GcStats::new() }
+    }
+
+    /// Semispace size in bytes.
+    pub fn semispace_bytes(&self) -> u32 {
+        self.semispace_bytes
+    }
+}
+
+impl Collector for CheneyCollector {
+    fn install(&mut self, heap: &mut Heap) {
+        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, DYNAMIC_BASE + self.semispace_bytes);
+        self.in_first = true;
+    }
+
+    fn collect<S: TraceSink>(
+        &mut self,
+        heap: &mut Heap,
+        roots: &mut Roots<'_>,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
+        let (from_base, from_top, _) = heap.alloc_region();
+        let to_base = if self.in_first { DYNAMIC_SECOND_BASE } else { DYNAMIC_BASE };
+        let mut evac = Evac {
+            heap,
+            sink,
+            counters,
+            from: (from_base, from_top),
+            to: ToSpace { base: to_base, free: to_base, limit: to_base + self.semispace_bytes },
+        };
+        for r in roots.registers.iter_mut() {
+            *r = evac.forward(*r);
+        }
+        for &(s, e) in &roots.flat_ranges {
+            evac.scan_flat(s, e);
+        }
+        for &(s, e) in &roots.object_ranges {
+            evac.scan_objects(s, e);
+        }
+        evac.drain(to_base);
+
+        let live = evac.to.free - to_base;
+        let limit = evac.to.limit;
+        let free = evac.to.free;
+        heap.set_alloc_region(to_base, free, limit);
+        heap.memory_mut().clear_space_at(from_base);
+        heap.bump_gc_epoch();
+        self.in_first = !self.in_first;
+        self.stats.collections += 1;
+        self.stats.major_collections += 1;
+        self.stats.bytes_copied += live as u64;
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn name(&self) -> String {
+        let k = self.semispace_bytes >> 10;
+        if k >= 1024 {
+            format!("cheney/{}m", k >> 10)
+        } else {
+            format!("cheney/{k}k")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_heap::{ObjKind, Value};
+    use cachegc_trace::{Context, NullSink, RefCounter};
+
+    const M: Context = Context::Mutator;
+
+    /// Build a list of `n` fixnums, return its head.
+    fn make_list(heap: &mut Heap, n: i32) -> Value {
+        let mut sink = NullSink;
+        let mut head = Value::nil();
+        for i in (0..n).rev() {
+            head = heap.alloc(ObjKind::Pair, &[Value::fixnum(i), head], M, &mut sink).unwrap();
+        }
+        head
+    }
+
+    fn read_list(heap: &Heap, mut v: Value) -> Vec<i32> {
+        let mut sink = NullSink;
+        let mut out = Vec::new();
+        while v.is_ptr() {
+            out.push(heap.load(v.addr() + 4, M, &mut sink).as_fixnum());
+            v = heap.load(v.addr() + 8, M, &mut sink);
+        }
+        out
+    }
+
+    #[test]
+    fn collection_preserves_live_data_and_reclaims_garbage() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 20));
+        let mut gc = CheneyCollector::new(1 << 20);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        // Live list of 100 elements, plus lots of garbage.
+        let live = make_list(&mut heap, 100);
+        for _ in 0..1000 {
+            make_list(&mut heap, 10);
+        }
+        let used_before = heap.dynamic_used();
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        let mut counters = Counters::new();
+        gc.collect(&mut heap, &mut roots, &mut counters, &mut sink);
+        let live = regs[0];
+        assert_eq!(read_list(&heap, live), (0..100).collect::<Vec<_>>());
+        // 100 pairs * 12 bytes survive.
+        assert_eq!(heap.dynamic_used(), 100 * 12);
+        assert!(heap.dynamic_used() < used_before);
+        assert_eq!(gc.stats().collections, 1);
+        assert_eq!(gc.stats().bytes_copied, 1200);
+        assert!(counters.collector() > 0);
+        assert_eq!(heap.gc_epoch(), 1);
+    }
+
+    #[test]
+    fn shared_structure_is_copied_once() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        let shared = heap.alloc(ObjKind::Pair, &[Value::fixnum(7), Value::nil()], M, &mut sink).unwrap();
+        let a = heap.alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink).unwrap();
+        let b = heap.alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink).unwrap();
+        let mut regs = [a, b];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        let car_a = heap.load(regs[0].addr() + 4, M, &mut sink);
+        let car_b = heap.load(regs[1].addr() + 4, M, &mut sink);
+        assert_eq!(car_a, car_b, "sharing preserved");
+        assert_eq!(heap.dynamic_used(), 3 * 12, "copied exactly once");
+    }
+
+    #[test]
+    fn cycles_are_handled() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        let a = heap.alloc(ObjKind::Pair, &[Value::fixnum(1), Value::nil()], M, &mut sink).unwrap();
+        let b = heap.alloc(ObjKind::Pair, &[Value::fixnum(2), a], M, &mut sink).unwrap();
+        heap.store(a.addr() + 8, b, M, &mut sink); // a.cdr = b: cycle
+        let mut regs = [a];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        let a2 = regs[0];
+        let b2 = heap.load(a2.addr() + 8, M, &mut sink);
+        let a3 = heap.load(b2.addr() + 8, M, &mut sink);
+        assert_eq!(a3, a2, "cycle closes");
+        assert_eq!(heap.dynamic_used(), 2 * 12);
+    }
+
+    #[test]
+    fn raw_payloads_survive_uninterpreted() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        // A flonum whose bit pattern looks like a pointer must not be chased.
+        let tricky = f64::from_bits((DYNAMIC_BASE as u64) << 32 | (DYNAMIC_BASE | 1) as u64);
+        let f = heap.alloc_flonum(tricky, M, &mut sink).unwrap();
+        let s = heap.alloc_string("pointer-like \u{1} bytes", M, &mut sink).unwrap();
+        let mut regs = [f, s];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.load_flonum(regs[0], M, &mut sink), tricky);
+        assert_eq!(heap.load_string(regs[1], M, &mut sink), "pointer-like \u{1} bytes");
+    }
+
+    #[test]
+    fn flat_root_ranges_are_updated() {
+        use cachegc_trace::STACK_BASE;
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        let p = heap.alloc(ObjKind::Cell, &[Value::fixnum(42)], M, &mut sink).unwrap();
+        heap.store(STACK_BASE, p, M, &mut sink);
+        heap.store(STACK_BASE + 4, Value::fixnum(5), M, &mut sink);
+        let mut regs = [];
+        let mut roots = Roots::registers_only(&mut regs);
+        roots.flat_ranges.push((STACK_BASE, STACK_BASE + 8));
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        let p2 = heap.load(STACK_BASE, M, &mut sink);
+        assert_ne!(p2, p, "moved");
+        assert_eq!(heap.load(p2.addr() + 4, M, &mut sink), Value::fixnum(42));
+        assert_eq!(heap.load(STACK_BASE + 4, M, &mut sink), Value::fixnum(5));
+    }
+
+    #[test]
+    fn static_object_ranges_are_scanned_and_updated() {
+        use cachegc_heap::AllocMode;
+        use cachegc_trace::STATIC_BASE;
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        // A static vector (exists at program start) pointing at a dynamic
+        // object, plus a static string whose raw bytes must not be chased.
+        heap.set_mode(AllocMode::Static);
+        let svec = heap.alloc_vector(3, Value::nil(), M, &mut sink).unwrap();
+        let sstr = heap.alloc_string("raw bytes", M, &mut sink).unwrap();
+        heap.set_mode(AllocMode::Dynamic);
+        let dyn_obj = heap.alloc(ObjKind::Pair, &[Value::fixnum(5), Value::nil()], M, &mut sink).unwrap();
+        heap.store(svec.addr() + 4, dyn_obj, M, &mut sink);
+        heap.store(svec.addr() + 8, sstr, M, &mut sink);
+        let mut regs = [];
+        let mut roots = Roots::registers_only(&mut regs);
+        roots.object_ranges.push((STATIC_BASE, heap.static_top()));
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        let moved = heap.load(svec.addr() + 4, M, &mut sink);
+        assert_ne!(moved, dyn_obj, "dynamic object moved");
+        assert_eq!(heap.load(moved.addr() + 4, M, &mut sink), Value::fixnum(5));
+        assert_eq!(heap.load(svec.addr() + 8, M, &mut sink), sstr, "static pointer untouched");
+        assert_eq!(heap.load_string(sstr, M, &mut sink), "raw bytes");
+        assert_eq!(heap.dynamic_used(), 12, "only the live pair survives");
+    }
+
+    #[test]
+    fn empty_roots_empties_the_heap() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        make_list(&mut heap, 100);
+        let mut regs = [];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.dynamic_used(), 0);
+        assert_eq!(gc.stats().bytes_copied, 0);
+    }
+
+    #[test]
+    fn collector_traffic_is_attributed_to_collector() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = RefCounter::new();
+        let live = make_list(&mut heap, 50);
+        let mutator_refs = sink.by_context(Context::Mutator);
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(sink.by_context(Context::Mutator), mutator_refs, "GC adds no mutator refs");
+        assert!(sink.by_context(Context::Collector) >= 50 * 3 * 2, "copy reads+writes");
+    }
+
+    #[test]
+    fn successive_collections_flip_spaces() {
+        let mut heap = Heap::new(HeapConfig::semispaces(1 << 16));
+        let mut gc = CheneyCollector::new(1 << 16);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 10);
+        let mut regs = [live];
+        for i in 1..=4u64 {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+            assert_eq!(gc.stats().collections, i);
+            assert_eq!(read_list(&heap, regs[0]), (0..10).collect::<Vec<_>>());
+        }
+        // Live size is stable: no leaks across flips.
+        assert_eq!(heap.dynamic_used(), 10 * 12);
+    }
+}

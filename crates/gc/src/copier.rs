@@ -1,0 +1,154 @@
+//! The shared Cheney copy/scan engine used by both compacting collectors.
+
+use cachegc_heap::{Header, Heap, Value};
+use cachegc_trace::{Context, Counters, InstrClass, TraceSink};
+
+/// Instruction-cost model for collector work, in abstract machine
+/// instructions. The values approximate a tight MIPS copy/scan loop; they
+/// determine `I_gc` and therefore the instruction component of `O_gc`.
+pub mod costs {
+    /// Fixed cost per collection (root-set setup, space bookkeeping).
+    pub const PER_COLLECTION: u64 = 2000;
+    /// Per object copied (header decode, forwarding-pointer install).
+    pub const PER_OBJECT_COPIED: u64 = 4;
+    /// Per word copied from from-space to to-space.
+    pub const PER_WORD_COPIED: u64 = 3;
+    /// Per word examined by the scan loop.
+    pub const PER_WORD_SCANNED: u64 = 2;
+    /// Write-barrier instructions per noted mutator store (generational).
+    pub const BARRIER: u64 = 2;
+}
+
+const CTX: Context = Context::Collector;
+
+/// A to-space bump region the copier promotes objects into.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ToSpace {
+    pub base: u32,
+    pub free: u32,
+    pub limit: u32,
+}
+
+/// One evacuation pass: copies every reachable object whose address falls
+/// in `from` into `to`, leaving forwarding pointers behind.
+pub(crate) struct Evac<'a, S> {
+    pub heap: &'a mut Heap,
+    pub sink: &'a mut S,
+    pub counters: &'a mut Counters,
+    /// Objects in `[from.0, from.1)` are evacuated.
+    pub from: (u32, u32),
+    pub to: ToSpace,
+}
+
+impl<S: TraceSink> Evac<'_, S> {
+    #[inline]
+    fn in_from(&self, addr: u32) -> bool {
+        (self.from.0..self.from.1).contains(&addr)
+    }
+
+    /// Forward a value: if it points into from-space, copy its target and
+    /// return the new pointer; otherwise return it unchanged.
+    pub fn forward(&mut self, v: Value) -> Value {
+        if v.is_ptr() && self.in_from(v.addr()) {
+            Value::ptr(self.copy_object(v.addr()))
+        } else {
+            v
+        }
+    }
+
+    /// Copy the object at `addr` (or chase its forwarding pointer),
+    /// returning its to-space address.
+    fn copy_object(&mut self, addr: u32) -> u32 {
+        let first = self.heap.load_raw(addr, CTX, self.sink);
+        let as_value = Value::from_bits(first);
+        if as_value.is_ptr() {
+            // Already copied: the header slot holds the forwarding pointer.
+            return as_value.addr();
+        }
+        let header = Header::from_bits(first);
+        let size = header.size_words();
+        let dst = self.to.free;
+        assert!(
+            dst + 4 * size <= self.to.limit,
+            "to-space overflow copying {size}-word object (to-space {:#x}..{:#x})",
+            self.to.base,
+            self.to.limit
+        );
+        self.heap.init_store(dst, first, CTX, self.sink);
+        for i in 1..size {
+            let w = self.heap.load_raw(addr + 4 * i, CTX, self.sink);
+            self.heap.init_store(dst + 4 * i, w, CTX, self.sink);
+        }
+        self.heap.store_raw(addr, Value::ptr(dst).bits(), CTX, self.sink);
+        self.to.free = dst + 4 * size;
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_OBJECT_COPIED + costs::PER_WORD_COPIED * size as u64);
+        dst
+    }
+
+    /// Scan a flat range in which every word is a tagged value (the stack),
+    /// forwarding pointers in place.
+    pub fn scan_flat(&mut self, start: u32, end: u32) {
+        let mut p = start;
+        while p < end {
+            let v = Value::from_bits(self.heap.load_raw(p, CTX, self.sink));
+            self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+            if v.is_ptr() && self.in_from(v.addr()) {
+                let nv = self.forward(v);
+                self.heap.store_raw(p, nv.bits(), CTX, self.sink);
+            }
+            p += 4;
+        }
+    }
+
+    /// Scan a range containing a contiguous sequence of heap objects,
+    /// walking headers so raw payloads are skipped.
+    pub fn scan_objects(&mut self, start: u32, end: u32) {
+        let mut p = start;
+        while p < end {
+            p = self.scan_one_object(p);
+        }
+    }
+
+    /// Scan the single object at `p`, returning the address just past it.
+    fn scan_one_object(&mut self, p: u32) -> u32 {
+        let header = Header::from_bits(self.heap.load_raw(p, CTX, self.sink));
+        self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        let len = header.len();
+        let scanned = if header.kind().is_raw() {
+            header.kind().scanned_prefix().min(len)
+        } else {
+            len
+        };
+        for i in 0..scanned {
+            let slot = p + 4 * (1 + i);
+            let v = Value::from_bits(self.heap.load_raw(slot, CTX, self.sink));
+            self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+            if v.is_ptr() && self.in_from(v.addr()) {
+                let nv = self.forward(v);
+                self.heap.store_raw(slot, nv.bits(), CTX, self.sink);
+            }
+        }
+        p + 4 * header.size_words()
+    }
+
+    /// Cheney's scan loop: scan to-space objects from `scan_start` until the
+    /// scan pointer catches the free pointer.
+    pub fn drain(&mut self, scan_start: u32) {
+        let mut scan = scan_start;
+        while scan < self.to.free {
+            scan = self.scan_one_object(scan);
+        }
+    }
+
+    /// Scan one remembered slot: if it holds a from-space pointer, forward
+    /// it in place.
+    pub fn scan_slot(&mut self, slot: u32) {
+        let v = Value::from_bits(self.heap.load_raw(slot, CTX, self.sink));
+        self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        if v.is_ptr() && self.in_from(v.addr()) {
+            let nv = self.forward(v);
+            self.heap.store_raw(slot, nv.bits(), CTX, self.sink);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Root sets.
+
+use cachegc_heap::Value;
+
+/// The mutator's roots, described to a collector.
+///
+/// Roots live in two places: in *simulated memory* (the procedure-call
+/// stack and the static area), which the collector scans with traced
+/// accesses, and in the VM's machine registers, which it scans for free
+/// (registers are not memory).
+#[derive(Debug)]
+pub struct Roots<'a> {
+    /// Address ranges `[start, end)` in which every word is a tagged
+    /// [`Value`] (the value stack).
+    pub flat_ranges: Vec<(u32, u32)>,
+    /// Address ranges `[start, end)` containing a contiguous sequence of
+    /// heap objects (the static area): walked header by header so raw
+    /// payloads are skipped.
+    pub object_ranges: Vec<(u32, u32)>,
+    /// VM registers holding values; updated in place.
+    pub registers: &'a mut [Value],
+}
+
+impl<'a> Roots<'a> {
+    /// A root set with only registers.
+    pub fn registers_only(registers: &'a mut [Value]) -> Self {
+        Roots { flat_ranges: Vec::new(), object_ranges: Vec::new(), registers }
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection statistics.
+
+/// Cumulative statistics for one collector over a program run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Total collections (for a generational collector, minor + major).
+    pub collections: u64,
+    /// Minor (nursery) collections.
+    pub minor_collections: u64,
+    /// Major (full or old-generation) collections.
+    pub major_collections: u64,
+    /// Bytes of live data copied by the collector.
+    pub bytes_copied: u64,
+    /// Bytes promoted from the nursery to the old generation.
+    pub bytes_promoted: u64,
+    /// Write-barrier hooks taken (generational only).
+    pub barrier_stores: u64,
+    /// Entries added to the remembered set.
+    pub remembered: u64,
+}
+
+impl GcStats {
+    /// Zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

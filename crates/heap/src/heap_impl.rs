@@ -1,0 +1,540 @@
+//! The heap: traced memory access and linear allocation.
+
+use std::error::Error;
+use std::fmt;
+
+use cachegc_trace::{Access, Context, Region, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE};
+
+use crate::object::{Header, ObjKind};
+use crate::space::Memory;
+use crate::value::Value;
+
+/// Heap sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Size in bytes of the dynamic allocation region. With a semispace
+    /// collector this is the size of one semispace; without collection it
+    /// is effectively unbounded.
+    pub semispace_bytes: u32,
+}
+
+impl HeapConfig {
+    /// No-collection configuration: the dynamic area spans its entire
+    /// 1 GB address range, as in the paper's control experiment (§5).
+    pub fn unbounded() -> Self {
+        HeapConfig { semispace_bytes: DYNAMIC_SECOND_BASE - DYNAMIC_BASE }
+    }
+
+    /// Semispaces of `bytes` each (the paper's §6 uses 16 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero, unaligned, or larger than a dynamic region.
+    pub fn semispaces(bytes: u32) -> Self {
+        assert!(bytes > 0 && bytes % 4 == 0, "bad semispace size");
+        assert!(bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE, "semispace too large");
+        HeapConfig { semispace_bytes: bytes }
+    }
+}
+
+/// Where new objects go: the static area (program load time) or the dynamic
+/// area (program run time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Load-time allocation into the static area. Static blocks "exist when
+    /// a program starts running" (§7).
+    Static,
+    /// Run-time linear allocation into the dynamic area.
+    Dynamic,
+}
+
+/// The dynamic area is exhausted; the caller should collect garbage (or
+/// give up, if collection is disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapFull {
+    /// Words that could not be allocated.
+    pub requested_words: u32,
+}
+
+impl fmt::Display for HeapFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dynamic area full (requested {} words)", self.requested_words)
+    }
+}
+
+impl Error for HeapFull {}
+
+/// The simulated Scheme heap.
+///
+/// All program-visible loads and stores go through [`Heap::load`] /
+/// [`Heap::store`] and emit one [`Access`] each. Type dispatch on pointers
+/// ([`Heap::header`]) is untraced, modeling the T system's practice of
+/// encoding type information in pointer tags rather than re-reading headers.
+#[derive(Debug)]
+pub struct Heap {
+    mem: Memory,
+    mode: AllocMode,
+    dyn_base: u32,
+    dyn_top: u32,
+    dyn_limit: u32,
+    static_top: u32,
+    gc_epoch: u64,
+    total_allocated: u64,
+    config: HeapConfig,
+}
+
+impl Heap {
+    /// Create an empty heap with allocation in [`AllocMode::Dynamic`].
+    pub fn new(config: HeapConfig) -> Self {
+        Heap {
+            mem: Memory::new(),
+            mode: AllocMode::Dynamic,
+            dyn_base: DYNAMIC_BASE,
+            dyn_top: DYNAMIC_BASE,
+            dyn_limit: DYNAMIC_BASE + config.semispace_bytes,
+            static_top: STATIC_BASE,
+            gc_epoch: 0,
+            total_allocated: 0,
+            config,
+        }
+    }
+
+    /// The heap's configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Current allocation mode.
+    pub fn mode(&self) -> AllocMode {
+        self.mode
+    }
+
+    /// Switch allocation mode (the VM uses static mode while loading).
+    pub fn set_mode(&mut self, mode: AllocMode) {
+        self.mode = mode;
+    }
+
+    /// Direct access to the backing memory (untraced; used by collectors'
+    /// bookkeeping and by tests).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable untraced access to the backing memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // Traced access
+    // ------------------------------------------------------------------
+
+    /// Load the value at `addr`, emitting a read event.
+    #[inline]
+    pub fn load<S: TraceSink>(&self, addr: u32, ctx: Context, sink: &mut S) -> Value {
+        sink.access(Access::read(addr, ctx));
+        Value::from_bits(self.mem.load(addr))
+    }
+
+    /// Load the raw word at `addr`, emitting a read event.
+    #[inline]
+    pub fn load_raw<S: TraceSink>(&self, addr: u32, ctx: Context, sink: &mut S) -> u32 {
+        sink.access(Access::read(addr, ctx));
+        self.mem.load(addr)
+    }
+
+    /// Store `val` at `addr`, emitting a write event.
+    #[inline]
+    pub fn store<S: TraceSink>(&mut self, addr: u32, val: Value, ctx: Context, sink: &mut S) {
+        sink.access(Access::write(addr, ctx));
+        self.mem.store(addr, val.bits());
+    }
+
+    /// Store the raw word at `addr`, emitting a write event.
+    #[inline]
+    pub fn store_raw<S: TraceSink>(&mut self, addr: u32, word: u32, ctx: Context, sink: &mut S) {
+        sink.access(Access::write(addr, ctx));
+        self.mem.store(addr, word);
+    }
+
+    /// Store to a freshly allocated word, emitting an initializing write.
+    /// Initializing writes to dynamic addresses are what cause the paper's
+    /// *allocation misses*.
+    #[inline]
+    pub fn init_store<S: TraceSink>(&mut self, addr: u32, word: u32, ctx: Context, sink: &mut S) {
+        let ev = if Region::is_dynamic(addr) {
+            Access::alloc_write(addr, ctx)
+        } else {
+            Access::write(addr, ctx)
+        };
+        sink.access(ev);
+        self.mem.store(addr, word);
+    }
+
+    /// Untraced read, for simulator-internal inspection.
+    #[inline]
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.mem.load(addr)
+    }
+
+    /// The header of the object `ptr` points at (untraced: models pointer
+    /// type tags, see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is not a pointer or does not point at a header.
+    #[inline]
+    pub fn header(&self, ptr: Value) -> Header {
+        Header::from_bits(self.mem.load(ptr.addr()))
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    fn bump(&mut self, words: u32) -> Result<u32, HeapFull> {
+        let bytes = words * 4;
+        match self.mode {
+            AllocMode::Static => {
+                let addr = self.static_top;
+                assert!(addr + bytes <= STACK_BASE, "static area exhausted");
+                self.static_top += bytes;
+                Ok(addr)
+            }
+            AllocMode::Dynamic => {
+                let addr = self.dyn_top;
+                if addr.checked_add(bytes).is_none_or(|end| end > self.dyn_limit) {
+                    return Err(HeapFull { requested_words: words });
+                }
+                self.dyn_top += bytes;
+                self.total_allocated += bytes as u64;
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Allocate an object with the given tagged payload, initializing every
+    /// word (header first, then payload in ascending address order, as §7
+    /// describes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFull`] when the dynamic area cannot satisfy the
+    /// request; the caller should collect and retry.
+    pub fn alloc<S: TraceSink>(
+        &mut self,
+        kind: ObjKind,
+        payload: &[Value],
+        ctx: Context,
+        sink: &mut S,
+    ) -> Result<Value, HeapFull> {
+        let addr = self.bump(1 + payload.len() as u32)?;
+        self.init_store(addr, Header::new(kind, payload.len() as u32).bits(), ctx, sink);
+        for (i, v) in payload.iter().enumerate() {
+            self.init_store(addr + 4 + 4 * i as u32, v.bits(), ctx, sink);
+        }
+        Ok(Value::ptr(addr))
+    }
+
+    /// Allocate an object whose payload is `lead` tagged values followed by
+    /// `raw` untagged words (strings, flonums).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFull`] when the dynamic area is exhausted.
+    pub fn alloc_raw<S: TraceSink>(
+        &mut self,
+        kind: ObjKind,
+        lead: &[Value],
+        raw: &[u32],
+        ctx: Context,
+        sink: &mut S,
+    ) -> Result<Value, HeapFull> {
+        let len = (lead.len() + raw.len()) as u32;
+        let addr = self.bump(1 + len)?;
+        self.init_store(addr, Header::new(kind, len).bits(), ctx, sink);
+        let mut p = addr + 4;
+        for v in lead {
+            self.init_store(p, v.bits(), ctx, sink);
+            p += 4;
+        }
+        for w in raw {
+            self.init_store(p, *w, ctx, sink);
+            p += 4;
+        }
+        Ok(Value::ptr(addr))
+    }
+
+    /// Allocate a vector of `len` copies of `fill`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFull`] when the dynamic area is exhausted.
+    pub fn alloc_vector<S: TraceSink>(
+        &mut self,
+        len: u32,
+        fill: Value,
+        ctx: Context,
+        sink: &mut S,
+    ) -> Result<Value, HeapFull> {
+        let addr = self.bump(1 + len)?;
+        self.init_store(addr, Header::new(ObjKind::Vector, len).bits(), ctx, sink);
+        for i in 0..len {
+            self.init_store(addr + 4 + 4 * i, fill.bits(), ctx, sink);
+        }
+        Ok(Value::ptr(addr))
+    }
+
+    /// Allocate a boxed double.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFull`] when the dynamic area is exhausted.
+    pub fn alloc_flonum<S: TraceSink>(
+        &mut self,
+        x: f64,
+        ctx: Context,
+        sink: &mut S,
+    ) -> Result<Value, HeapFull> {
+        let bits = x.to_bits();
+        self.alloc_raw(ObjKind::Flonum, &[], &[bits as u32, (bits >> 32) as u32], ctx, sink)
+    }
+
+    /// Read a flonum's value (two traced loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is not a flonum.
+    pub fn load_flonum<S: TraceSink>(&self, ptr: Value, ctx: Context, sink: &mut S) -> f64 {
+        debug_assert_eq!(self.header(ptr).kind(), ObjKind::Flonum);
+        let lo = self.load_raw(ptr.addr() + 4, ctx, sink) as u64;
+        let hi = self.load_raw(ptr.addr() + 8, ctx, sink) as u64;
+        f64::from_bits(hi << 32 | lo)
+    }
+
+    /// Allocate a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFull`] when the dynamic area is exhausted.
+    pub fn alloc_string<S: TraceSink>(
+        &mut self,
+        s: &str,
+        ctx: Context,
+        sink: &mut S,
+    ) -> Result<Value, HeapFull> {
+        let bytes = s.as_bytes();
+        let mut raw = Vec::with_capacity(bytes.len().div_ceil(4));
+        for chunk in bytes.chunks(4) {
+            let mut w = 0u32;
+            for (i, b) in chunk.iter().enumerate() {
+                w |= (*b as u32) << (8 * i);
+            }
+            raw.push(w);
+        }
+        self.alloc_raw(ObjKind::String, &[Value::fixnum(bytes.len() as i32)], &raw, ctx, sink)
+    }
+
+    /// Read a string's contents (traced loads, one per word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is not a string or holds invalid UTF-8.
+    pub fn load_string<S: TraceSink>(&self, ptr: Value, ctx: Context, sink: &mut S) -> String {
+        debug_assert_eq!(self.header(ptr).kind(), ObjKind::String);
+        let len = self.load(ptr.addr() + 4, ctx, sink).as_fixnum() as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(4) {
+            let w = self.load_raw(ptr.addr() + 8 + 4 * i as u32, ctx, sink);
+            for b in 0..4 {
+                if bytes.len() < len {
+                    bytes.push((w >> (8 * b)) as u8);
+                }
+            }
+        }
+        String::from_utf8(bytes).expect("corrupt string")
+    }
+
+    // ------------------------------------------------------------------
+    // Collector interface
+    // ------------------------------------------------------------------
+
+    /// The current dynamic allocation region as `(base, top, limit)`.
+    pub fn alloc_region(&self) -> (u32, u32, u32) {
+        (self.dyn_base, self.dyn_top, self.dyn_limit)
+    }
+
+    /// Redirect dynamic allocation to `[base, limit)` with the bump pointer
+    /// at `top`. Collectors call this to flip semispaces or install a
+    /// nursery.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base <= top <= limit`.
+    pub fn set_alloc_region(&mut self, base: u32, top: u32, limit: u32) {
+        assert!(base <= top && top <= limit, "bad alloc region");
+        self.dyn_base = base;
+        self.dyn_top = top;
+        self.dyn_limit = limit;
+    }
+
+    /// Total dynamic bytes allocated over the program's lifetime (the
+    /// "Alloc" column of the paper's §3 table).
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// Bytes still free in the dynamic region.
+    pub fn dynamic_free(&self) -> u32 {
+        self.dyn_limit - self.dyn_top
+    }
+
+    /// Bytes in use in the dynamic region.
+    pub fn dynamic_used(&self) -> u32 {
+        self.dyn_top - self.dyn_base
+    }
+
+    /// One past the last static byte allocated.
+    pub fn static_top(&self) -> u32 {
+        self.static_top
+    }
+
+    /// How many collections have completed. Address-hashed tables compare
+    /// their stamp against this to know when to rehash (§6: "hash-table
+    /// keys are computed from object addresses").
+    pub fn gc_epoch(&self) -> u64 {
+        self.gc_epoch
+    }
+
+    /// Record that a collection completed.
+    pub fn bump_gc_epoch(&mut self) {
+        self.gc_epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_trace::{AccessKind, RefCounter};
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::unbounded())
+    }
+
+    #[test]
+    fn alloc_writes_header_and_payload_in_order() {
+        let mut h = heap();
+        let mut events = Vec::new();
+        struct Rec<'a>(&'a mut Vec<Access>);
+        impl TraceSink for Rec<'_> {
+            fn access(&mut self, a: Access) {
+                self.0.push(a);
+            }
+        }
+        let p = h
+            .alloc(ObjKind::Pair, &[Value::fixnum(1), Value::fixnum(2)], Context::Mutator, &mut Rec(&mut events))
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.kind == AccessKind::Write && e.alloc_init));
+        assert_eq!(events[0].addr, p.addr());
+        assert_eq!(events[1].addr, p.addr() + 4);
+        assert_eq!(events[2].addr, p.addr() + 8);
+        assert_eq!(h.header(p).kind(), ObjKind::Pair);
+        assert_eq!(h.header(p).len(), 2);
+    }
+
+    #[test]
+    fn allocation_is_linear_and_contiguous() {
+        let mut h = heap();
+        let mut sink = cachegc_trace::NullSink;
+        let a = h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap();
+        let b = h.alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink).unwrap();
+        assert_eq!(b.addr(), a.addr() + 12, "objects are adjacent");
+        assert_eq!(h.total_allocated(), 12 + 8);
+    }
+
+    #[test]
+    fn static_mode_allocates_in_static_area() {
+        let mut h = heap();
+        let mut sink = cachegc_trace::NullSink;
+        h.set_mode(AllocMode::Static);
+        let s = h.alloc_string("hello", Context::Mutator, &mut sink).unwrap();
+        assert_eq!(Region::of(s.addr()), Region::Static);
+        assert_eq!(h.total_allocated(), 0, "static allocation is not dynamic allocation");
+        h.set_mode(AllocMode::Dynamic);
+        let p = h.alloc(ObjKind::Cell, &[s], Context::Mutator, &mut sink).unwrap();
+        assert_eq!(Region::of(p.addr()), Region::Dynamic);
+    }
+
+    #[test]
+    fn heap_full_when_semispace_exhausted() {
+        let mut h = Heap::new(HeapConfig::semispaces(64));
+        let mut sink = cachegc_trace::NullSink;
+        // 64 bytes = 16 words; a pair is 3 words, so 5 pairs fit.
+        for _ in 0..5 {
+            h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap();
+        }
+        let err = h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap_err();
+        assert_eq!(err.requested_words, 3);
+        assert_eq!(h.dynamic_free(), 4);
+    }
+
+    #[test]
+    fn flonum_roundtrip() {
+        let mut h = heap();
+        let mut sink = cachegc_trace::NullSink;
+        for x in [0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE] {
+            let p = h.alloc_flonum(x, Context::Mutator, &mut sink).unwrap();
+            assert_eq!(h.load_flonum(p, Context::Mutator, &mut sink), x);
+        }
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut h = heap();
+        let mut sink = cachegc_trace::NullSink;
+        for s in ["", "a", "hello", "exactly8", "longer than eight bytes", "λambda"] {
+            let p = h.alloc_string(s, Context::Mutator, &mut sink).unwrap();
+            assert_eq!(h.load_string(p, Context::Mutator, &mut sink), s);
+        }
+    }
+
+    #[test]
+    fn vector_fill_and_update() {
+        let mut h = heap();
+        let mut sink = RefCounter::new();
+        let v = h.alloc_vector(10, Value::fixnum(0), Context::Mutator, &mut sink).unwrap();
+        assert_eq!(sink.alloc_writes(), 11);
+        h.store(v.addr() + 4 * 3, Value::fixnum(9), Context::Mutator, &mut sink);
+        assert_eq!(h.load(v.addr() + 4 * 3, Context::Mutator, &mut sink), Value::fixnum(9));
+        assert_eq!(h.load(v.addr() + 4 * 4, Context::Mutator, &mut sink), Value::fixnum(0));
+    }
+
+    #[test]
+    fn stack_stores_are_not_alloc_inits() {
+        let mut h = heap();
+        let mut sink = RefCounter::new();
+        h.init_store(STACK_BASE, Value::fixnum(1).bits(), Context::Mutator, &mut sink);
+        assert_eq!(sink.alloc_writes(), 0);
+        assert_eq!(sink.writes(Context::Mutator), 1);
+    }
+
+    #[test]
+    fn set_alloc_region_redirects_allocation() {
+        let mut h = heap();
+        let mut sink = cachegc_trace::NullSink;
+        h.set_alloc_region(DYNAMIC_SECOND_BASE, DYNAMIC_SECOND_BASE, DYNAMIC_SECOND_BASE + 1024);
+        let p = h.alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink).unwrap();
+        assert_eq!(p.addr(), DYNAMIC_SECOND_BASE);
+        assert_eq!(h.dynamic_used(), 8);
+    }
+
+    #[test]
+    fn gc_epoch_counts() {
+        let mut h = heap();
+        assert_eq!(h.gc_epoch(), 0);
+        h.bump_gc_epoch();
+        h.bump_gc_epoch();
+        assert_eq!(h.gc_epoch(), 2);
+    }
+}

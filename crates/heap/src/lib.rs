@@ -1,0 +1,45 @@
+//! The simulated Scheme system's memory: tagged values, object layouts,
+//! memory spaces, and the linear (bump-pointer) allocator.
+//!
+//! The paper's programs run in the Yale T system, whose runtime represents
+//! Scheme data as tagged 32-bit words and allocates objects linearly in a
+//! contiguous dynamic area (§7: "the allocation pointer ... starts at the
+//! base of the dynamic area and grows upward"). This crate reproduces that
+//! organization:
+//!
+//! * [`Value`] — a tagged 32-bit word: fixnum, heap pointer, or immediate.
+//! * [`Header`]/[`ObjKind`] — every heap object starts with a header word
+//!   recording its kind and payload length, so collectors can scan the heap
+//!   uniformly.
+//! * [`Space`]/[`Memory`] — the static, stack, and dynamic areas of the
+//!   fixed address-space layout in [`cachegc_trace`].
+//! * [`Heap`] — linear allocation plus *traced* loads and stores: every
+//!   access the simulated program makes is emitted into a
+//!   [`cachegc_trace::TraceSink`].
+//!
+//! # Example
+//!
+//! ```
+//! use cachegc_heap::{Heap, HeapConfig, ObjKind, Value};
+//! use cachegc_trace::{Context, NullSink};
+//!
+//! let mut heap = Heap::new(HeapConfig::unbounded());
+//! let mut sink = NullSink;
+//! let pair = heap
+//!     .alloc(ObjKind::Pair, &[Value::fixnum(1), Value::nil()], Context::Mutator, &mut sink)
+//!     .unwrap();
+//! assert_eq!(heap.load(pair.addr() + 4, Context::Mutator, &mut sink), Value::fixnum(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap_impl;
+mod object;
+mod space;
+mod value;
+
+pub use heap_impl::{AllocMode, Heap, HeapConfig, HeapFull};
+pub use object::{Header, ObjKind};
+pub use space::{Memory, Space, DYNAMIC_SECOND_LIMIT, DYNAMIC_THIRD_BASE, DYNAMIC_THIRD_LIMIT};
+pub use value::Value;

@@ -1,0 +1,212 @@
+//! Heap object headers.
+//!
+//! Every heap object is a header word followed by its payload. The header
+//! records the object's kind and payload length (in words), which is all a
+//! copying collector needs to scan the heap uniformly. Kinds with *raw*
+//! payloads (flonum bits, string bytes) are skipped by the pointer scan.
+
+#[cfg(test)]
+use crate::value::Value;
+
+const TAG_HEADER: u32 = 0b11;
+
+/// The kinds of heap objects the simulated Scheme system allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ObjKind {
+    /// `(car . cdr)` — payload of two values.
+    Pair = 0,
+    /// A value vector.
+    Vector = 1,
+    /// A closure: code index (fixnum) followed by captured values.
+    Closure = 2,
+    /// A string: byte length (fixnum) followed by packed bytes (raw).
+    String = 3,
+    /// An interned symbol: name (string pointer) and hash (fixnum).
+    Symbol = 4,
+    /// A boxed IEEE double: two raw words.
+    Flonum = 5,
+    /// A mutable box for assignment-converted variables: one value.
+    Cell = 6,
+    /// An eq-hash table: buckets vector, entry count, GC epoch stamp.
+    Table = 7,
+}
+
+impl ObjKind {
+    /// All kinds, for exhaustive tests.
+    pub const ALL: [ObjKind; 8] = [
+        ObjKind::Pair,
+        ObjKind::Vector,
+        ObjKind::Closure,
+        ObjKind::String,
+        ObjKind::Symbol,
+        ObjKind::Flonum,
+        ObjKind::Cell,
+        ObjKind::Table,
+    ];
+
+    fn from_bits(bits: u32) -> ObjKind {
+        match bits {
+            0 => ObjKind::Pair,
+            1 => ObjKind::Vector,
+            2 => ObjKind::Closure,
+            3 => ObjKind::String,
+            4 => ObjKind::Symbol,
+            5 => ObjKind::Flonum,
+            6 => ObjKind::Cell,
+            7 => ObjKind::Table,
+            k => panic!("corrupt header kind {k}"),
+        }
+    }
+
+    /// True if the payload contains raw (non-value) words the collector
+    /// must not interpret as pointers.
+    pub fn is_raw(self) -> bool {
+        matches!(self, ObjKind::String | ObjKind::Flonum)
+    }
+
+    /// How many leading payload words of a raw object are tagged values.
+    /// (A string's first payload word is its byte-length fixnum.)
+    pub fn scanned_prefix(self) -> u32 {
+        match self {
+            ObjKind::String => 1,
+            ObjKind::Flonum => 0,
+            _ => u32::MAX, // fully scanned
+        }
+    }
+}
+
+/// An object header word: kind, payload length, and the header tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Header(u32);
+
+impl Header {
+    /// Maximum payload length in words (24-bit field).
+    pub const MAX_LEN: u32 = (1 << 24) - 1;
+
+    /// Construct a header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`Header::MAX_LEN`].
+    #[inline]
+    pub fn new(kind: ObjKind, len: u32) -> Header {
+        assert!(len <= Self::MAX_LEN, "object too large: {len} words");
+        Header(len << 8 | (kind as u32) << 2 | TAG_HEADER)
+    }
+
+    /// The raw header word as stored in memory.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Decode a header word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a header word (e.g. it is a forwarding
+    /// pointer left by a copying collector).
+    #[inline]
+    pub fn from_bits(bits: u32) -> Header {
+        assert_eq!(bits & 0b11, TAG_HEADER, "not a header word: {bits:#x}");
+        Header(bits)
+    }
+
+    /// True if a raw word is a header (vs. a forwarding pointer).
+    #[inline]
+    pub fn is_header_bits(bits: u32) -> bool {
+        bits & 0b11 == TAG_HEADER
+    }
+
+    /// The object's kind.
+    #[inline]
+    pub fn kind(self) -> ObjKind {
+        ObjKind::from_bits((self.0 >> 2) & 0x3f)
+    }
+
+    /// Payload length in words (excluding the header itself).
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0 >> 8
+    }
+
+    /// True for zero-length payloads.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total object size in words, header included.
+    #[inline]
+    pub fn size_words(self) -> u32 {
+        1 + self.len()
+    }
+
+    /// Total object size in bytes, header included.
+    #[inline]
+    pub fn size_bytes(self) -> u32 {
+        4 * self.size_words()
+    }
+}
+
+/// Headers are never first-class values, but a forwarding pointer may sit
+/// where a header was; this helper distinguishes the two during collection.
+#[cfg(test)]
+pub(crate) fn forwarding_target(bits: u32) -> Option<Value> {
+    let v = Value::from_bits(bits);
+    if v.is_ptr() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_all_kinds() {
+        for kind in ObjKind::ALL {
+            for len in [0u32, 1, 2, 100, Header::MAX_LEN] {
+                let h = Header::new(kind, len);
+                let h2 = Header::from_bits(h.bits());
+                assert_eq!(h2.kind(), kind);
+                assert_eq!(h2.len(), len);
+                assert_eq!(h2.size_words(), len + 1);
+                assert_eq!(h2.size_bytes(), 4 * (len + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn headers_are_not_values() {
+        let h = Header::new(ObjKind::Pair, 2);
+        let v = Value::from_bits(h.bits());
+        assert!(!v.is_fixnum() && !v.is_ptr());
+        assert!(Header::is_header_bits(h.bits()));
+        assert!(!Header::is_header_bits(Value::fixnum(3).bits()));
+    }
+
+    #[test]
+    fn raw_kinds() {
+        assert!(ObjKind::String.is_raw());
+        assert!(ObjKind::Flonum.is_raw());
+        assert!(!ObjKind::Pair.is_raw());
+        assert_eq!(ObjKind::String.scanned_prefix(), 1);
+        assert_eq!(ObjKind::Flonum.scanned_prefix(), 0);
+    }
+
+    #[test]
+    fn forwarding_detection() {
+        assert_eq!(forwarding_target(Value::ptr(0x1000_0000).bits()), Some(Value::ptr(0x1000_0000)));
+        assert_eq!(forwarding_target(Header::new(ObjKind::Cell, 1).bits()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a header")]
+    fn decoding_a_value_panics() {
+        Header::from_bits(Value::fixnum(1).bits());
+    }
+}

@@ -1,0 +1,239 @@
+//! Word-addressable memory spaces.
+//!
+//! The simulated machine's memory is sparse: a handful of disjoint address
+//! ranges (static area, stack area, dynamic semispaces) each backed by a
+//! growable word vector. Loads of never-written words panic — in a system
+//! where every allocated word is initialized before use (§7 of the paper),
+//! such a load is a simulator bug.
+
+use cachegc_trace::{DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE};
+
+/// Upper bound of the second dynamic region.
+pub const DYNAMIC_SECOND_LIMIT: u32 = 0x9000_0000;
+/// Base of the third dynamic region (used by generational collectors as the
+/// old generation's to-space).
+pub const DYNAMIC_THIRD_BASE: u32 = 0x9019_9980;
+/// Upper bound of the third dynamic region.
+pub const DYNAMIC_THIRD_LIMIT: u32 = 0xd000_0000;
+
+/// One contiguous address range backed by a growable word vector.
+#[derive(Debug, Clone)]
+pub struct Space {
+    name: &'static str,
+    base: u32,
+    limit: u32,
+    words: Vec<u32>,
+}
+
+impl Space {
+    /// Create an empty space covering `[base, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base < limit` and both are word aligned.
+    pub fn new(name: &'static str, base: u32, limit: u32) -> Self {
+        assert!(base < limit && base % 4 == 0 && limit % 4 == 0);
+        Space { name, base, limit, words: Vec::new() }
+    }
+
+    /// The space's name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Lowest address in the space.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One past the highest legal address.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// True if `addr` falls in this space's range.
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.base..self.limit).contains(&addr)
+    }
+
+    /// Load the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the space or was never stored to.
+    #[inline]
+    pub fn load(&self, addr: u32) -> u32 {
+        let idx = self.index(addr);
+        match self.words.get(idx) {
+            Some(&w) => w,
+            None => panic!("load of uninitialized word {addr:#x} in {}", self.name),
+        }
+    }
+
+    /// Store `word` at `addr`, growing the backing vector as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the space.
+    #[inline]
+    pub fn store(&mut self, addr: u32, word: u32) {
+        let idx = self.index(addr);
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0);
+        }
+        self.words[idx] = word;
+    }
+
+    /// Forget all contents (semispace reuse after a flip).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Bytes currently backed by storage.
+    pub fn backed_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    #[inline]
+    fn index(&self, addr: u32) -> usize {
+        debug_assert_eq!(addr % 4, 0, "unaligned access {addr:#x}");
+        assert!(
+            self.contains(addr),
+            "address {addr:#x} outside space {} [{:#x},{:#x})",
+            self.name,
+            self.base,
+            self.limit
+        );
+        ((addr - self.base) / 4) as usize
+    }
+}
+
+/// The simulated machine's full (sparse) memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    spaces: [Space; 5],
+}
+
+impl Memory {
+    /// Create the standard five-space layout: static, stack, and three
+    /// dynamic regions.
+    pub fn new() -> Self {
+        Memory {
+            spaces: [
+                Space::new("static", STATIC_BASE, STACK_BASE),
+                Space::new("stack", STACK_BASE, DYNAMIC_BASE),
+                Space::new("dynamic-a", DYNAMIC_BASE, DYNAMIC_SECOND_BASE),
+                Space::new("dynamic-b", DYNAMIC_SECOND_BASE, DYNAMIC_SECOND_LIMIT),
+                Space::new("dynamic-c", DYNAMIC_THIRD_BASE, DYNAMIC_THIRD_LIMIT),
+            ],
+        }
+    }
+
+    #[inline]
+    fn space_of(&self, addr: u32) -> &Space {
+        // Ordered by expected access frequency: dynamic, stack, static.
+        for s in &self.spaces {
+            if s.contains(addr) {
+                return s;
+            }
+        }
+        panic!("address {addr:#x} outside every space");
+    }
+
+    #[inline]
+    fn space_of_mut(&mut self, addr: u32) -> &mut Space {
+        for s in &mut self.spaces {
+            if s.contains(addr) {
+                return s;
+            }
+        }
+        panic!("address {addr:#x} outside every space");
+    }
+
+    /// Load the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped or uninitialized.
+    #[inline]
+    pub fn load(&self, addr: u32) -> u32 {
+        self.space_of(addr).load(addr)
+    }
+
+    /// Store `word` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped.
+    #[inline]
+    pub fn store(&mut self, addr: u32, word: u32) {
+        self.space_of_mut(addr).store(addr, word);
+    }
+
+    /// Clear a dynamic space that contains `addr` (after a semispace flip).
+    pub fn clear_space_at(&mut self, addr: u32) {
+        self.space_of_mut(addr).clear();
+    }
+
+    /// Sum of bytes currently backed across all spaces.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.spaces.iter().map(|s| s.backed_bytes() as u64).sum()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load() {
+        let mut m = Memory::new();
+        m.store(STATIC_BASE, 42);
+        m.store(DYNAMIC_BASE + 400, 7);
+        assert_eq!(m.load(STATIC_BASE), 42);
+        assert_eq!(m.load(DYNAMIC_BASE + 400), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized")]
+    fn uninitialized_load_panics() {
+        Memory::new().load(DYNAMIC_BASE + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside every space")]
+    fn unmapped_address_panics() {
+        Memory::new().load(0x10);
+    }
+
+    #[test]
+    fn clearing_a_space_forgets_contents() {
+        let mut m = Memory::new();
+        m.store(DYNAMIC_BASE, 1);
+        m.clear_space_at(DYNAMIC_BASE);
+        assert_eq!(m.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn spaces_are_independent() {
+        let mut m = Memory::new();
+        m.store(DYNAMIC_BASE, 1);
+        m.store(DYNAMIC_SECOND_BASE, 2);
+        assert_eq!(m.load(DYNAMIC_BASE), 1);
+        assert_eq!(m.load(DYNAMIC_SECOND_BASE), 2);
+    }
+
+    #[test]
+    fn footprint_tracks_high_water() {
+        let mut m = Memory::new();
+        m.store(STACK_BASE + 36, 5); // word index 9 -> 10 words backed
+        assert_eq!(m.footprint_bytes(), 40);
+    }
+}

@@ -1,0 +1,283 @@
+//! Tagged 32-bit Scheme values.
+//!
+//! Tag assignment (low two bits):
+//!
+//! | bits | meaning |
+//! |------|---------|
+//! | `00` | fixnum: signed 30-bit integer in the high 30 bits |
+//! | `01` | heap pointer: word-aligned byte address with bit 0 set |
+//! | `10` | immediate: nil, booleans, characters, and friends |
+//! | `11` | object header / reserved (never a first-class value) |
+
+use std::fmt;
+
+const TAG_MASK: u32 = 0b11;
+const TAG_FIXNUM: u32 = 0b00;
+const TAG_PTR: u32 = 0b01;
+
+// Immediate sub-tags occupy bits 2..4; the payload sits above bit 4.
+const IMM_SPECIAL: u32 = 0b00_10;
+const IMM_CHAR: u32 = 0b01_10;
+
+const SPECIAL_NIL: u32 = 0;
+const SPECIAL_FALSE: u32 = 1;
+const SPECIAL_TRUE: u32 = 2;
+const SPECIAL_UNSPECIFIED: u32 = 3;
+const SPECIAL_EOF: u32 = 4;
+const SPECIAL_UNDEFINED: u32 = 5;
+
+/// Range of representable fixnums: signed 30 bits.
+pub const FIXNUM_MIN: i32 = -(1 << 29);
+/// Largest representable fixnum.
+pub const FIXNUM_MAX: i32 = (1 << 29) - 1;
+
+/// A tagged 32-bit Scheme value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(u32);
+
+impl Value {
+    /// The raw tagged word.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct a value from its raw bits.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Value {
+        Value(bits)
+    }
+
+    /// The empty list.
+    #[inline]
+    pub fn nil() -> Value {
+        Value(SPECIAL_NIL << 4 | IMM_SPECIAL)
+    }
+
+    /// A boolean.
+    #[inline]
+    pub fn bool(b: bool) -> Value {
+        Value((if b { SPECIAL_TRUE } else { SPECIAL_FALSE }) << 4 | IMM_SPECIAL)
+    }
+
+    /// The unspecified value (result of `set!` and friends).
+    #[inline]
+    pub fn unspecified() -> Value {
+        Value(SPECIAL_UNSPECIFIED << 4 | IMM_SPECIAL)
+    }
+
+    /// The end-of-file object.
+    #[inline]
+    pub fn eof() -> Value {
+        Value(SPECIAL_EOF << 4 | IMM_SPECIAL)
+    }
+
+    /// The "unbound" marker used in global-variable slots.
+    #[inline]
+    pub fn undefined() -> Value {
+        Value(SPECIAL_UNDEFINED << 4 | IMM_SPECIAL)
+    }
+
+    /// A character.
+    #[inline]
+    pub fn char(c: char) -> Value {
+        Value((c as u32) << 4 | IMM_CHAR)
+    }
+
+    /// A fixnum.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n` is outside the 30-bit signed range;
+    /// release builds wrap.
+    #[inline]
+    pub fn fixnum(n: i32) -> Value {
+        debug_assert!((FIXNUM_MIN..=FIXNUM_MAX).contains(&n), "fixnum overflow: {n}");
+        Value((n as u32) << 2)
+    }
+
+    /// A pointer to a heap object's header word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word aligned.
+    #[inline]
+    pub fn ptr(addr: u32) -> Value {
+        assert_eq!(addr & TAG_MASK, 0, "unaligned pointer {addr:#x}");
+        Value(addr | TAG_PTR)
+    }
+
+    /// True for fixnums.
+    #[inline]
+    pub fn is_fixnum(self) -> bool {
+        self.0 & TAG_MASK == TAG_FIXNUM
+    }
+
+    /// True for heap pointers.
+    #[inline]
+    pub fn is_ptr(self) -> bool {
+        self.0 & TAG_MASK == TAG_PTR
+    }
+
+    /// True for the empty list.
+    #[inline]
+    pub fn is_nil(self) -> bool {
+        self.0 == Value::nil().0
+    }
+
+    /// True for `#t` or `#f`.
+    #[inline]
+    pub fn is_bool(self) -> bool {
+        self == Value::bool(true) || self == Value::bool(false)
+    }
+
+    /// True for characters.
+    #[inline]
+    pub fn is_char(self) -> bool {
+        self.0 & 0b1111 == IMM_CHAR
+    }
+
+    /// True for the unspecified value.
+    #[inline]
+    pub fn is_unspecified(self) -> bool {
+        self.0 == Value::unspecified().0
+    }
+
+    /// True for the unbound marker.
+    #[inline]
+    pub fn is_undefined(self) -> bool {
+        self.0 == Value::undefined().0
+    }
+
+    /// Scheme truth: everything but `#f` is true.
+    #[inline]
+    pub fn is_truthy(self) -> bool {
+        self.0 != Value::bool(false).0
+    }
+
+    /// The fixnum's integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a fixnum.
+    #[inline]
+    pub fn as_fixnum(self) -> i32 {
+        assert!(self.is_fixnum(), "not a fixnum: {self:?}");
+        (self.0 as i32) >> 2
+    }
+
+    /// The pointer's byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a pointer.
+    #[inline]
+    pub fn addr(self) -> u32 {
+        assert!(self.is_ptr(), "not a pointer: {self:?}");
+        self.0 & !TAG_MASK
+    }
+
+    /// The character, if this value is one.
+    #[inline]
+    pub fn as_char(self) -> Option<char> {
+        if self.is_char() {
+            char::from_u32(self.0 >> 4)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::unspecified()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fixnum() {
+            write!(f, "Fixnum({})", self.as_fixnum())
+        } else if self.is_ptr() {
+            write!(f, "Ptr({:#x})", self.addr())
+        } else if self.is_nil() {
+            write!(f, "Nil")
+        } else if *self == Value::bool(true) {
+            write!(f, "True")
+        } else if *self == Value::bool(false) {
+            write!(f, "False")
+        } else if let Some(c) = self.as_char() {
+            write!(f, "Char({c:?})")
+        } else if self.is_unspecified() {
+            write!(f, "Unspecified")
+        } else if self.is_undefined() {
+            write!(f, "Undefined")
+        } else {
+            write!(f, "Value({:#x})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixnum_roundtrip_extremes() {
+        for n in [0, 1, -1, 12345, -12345, FIXNUM_MIN, FIXNUM_MAX] {
+            let v = Value::fixnum(n);
+            assert!(v.is_fixnum());
+            assert!(!v.is_ptr());
+            assert_eq!(v.as_fixnum(), n, "roundtrip {n}");
+        }
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let v = Value::ptr(0x1000_0040);
+        assert!(v.is_ptr() && !v.is_fixnum());
+        assert_eq!(v.addr(), 0x1000_0040);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn rejects_unaligned_pointer() {
+        Value::ptr(0x1000_0002);
+    }
+
+    #[test]
+    fn immediates_are_distinct() {
+        let all = [
+            Value::nil(),
+            Value::bool(true),
+            Value::bool(false),
+            Value::unspecified(),
+            Value::eof(),
+            Value::undefined(),
+            Value::char('a'),
+            Value::char('b'),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+            }
+            assert!(!a.is_fixnum() && !a.is_ptr());
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::bool(false).is_truthy());
+        assert!(Value::bool(true).is_truthy());
+        assert!(Value::nil().is_truthy(), "empty list is true in Scheme");
+        assert!(Value::fixnum(0).is_truthy());
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for c in ['a', 'λ', '\n', '\0'] {
+            assert_eq!(Value::char(c).as_char(), Some(c));
+        }
+        assert_eq!(Value::fixnum(7).as_char(), None);
+    }
+}

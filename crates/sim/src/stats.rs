@@ -1,0 +1,234 @@
+//! Cache statistics.
+
+use cachegc_trace::Context;
+
+/// Per-cache-block counters, used by the §7 cache-activity analyses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// References that indexed this cache block.
+    pub refs: u64,
+    /// Misses of any kind in this cache block (tag installs and partial
+    /// fills, including no-fetch write-validate installs).
+    pub misses: u64,
+    /// Misses caused by initializing stores to fresh dynamic memory blocks —
+    /// the paper's *allocation misses*.
+    pub alloc_misses: u64,
+}
+
+impl BlockStats {
+    /// Local miss ratio of this cache block (all misses / refs), the
+    /// quantity plotted per-block in the paper's cache-activity graphs.
+    pub fn local_miss_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.refs as f64
+        }
+    }
+
+    /// Misses excluding allocation misses, as accumulated by the paper's
+    /// cumulative miss curves.
+    pub fn non_alloc_misses(&self) -> u64 {
+        self.misses - self.alloc_misses
+    }
+}
+
+/// Aggregate and per-block statistics for one simulated cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    mutator_reads: u64,
+    mutator_writes: u64,
+    collector_reads: u64,
+    collector_writes: u64,
+
+    read_miss_fetches: u64,
+    partial_fill_fetches: u64,
+    write_miss_fetches: u64,
+    write_validate_installs: u64,
+    alloc_misses: u64,
+
+    mutator_fetches: u64,
+    collector_fetches: u64,
+
+    writebacks: u64,
+    write_through_words: u64,
+
+    blocks: Vec<BlockStats>,
+}
+
+impl CacheStats {
+    pub(crate) fn new(num_blocks: u32) -> Self {
+        CacheStats { blocks: vec![BlockStats::default(); num_blocks as usize], ..Default::default() }
+    }
+
+    #[inline]
+    pub(crate) fn count_ref(&mut self, ctx: Context, is_read: bool, block: usize) {
+        match (ctx, is_read) {
+            (Context::Mutator, true) => self.mutator_reads += 1,
+            (Context::Mutator, false) => self.mutator_writes += 1,
+            (Context::Collector, true) => self.collector_reads += 1,
+            (Context::Collector, false) => self.collector_writes += 1,
+        }
+        self.blocks[block].refs += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_fetch(&mut self, ctx: Context) {
+        match ctx {
+            Context::Mutator => self.mutator_fetches += 1,
+            Context::Collector => self.collector_fetches += 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_block_miss(&mut self, block: usize, alloc: bool) {
+        self.blocks[block].misses += 1;
+        if alloc {
+            self.blocks[block].alloc_misses += 1;
+            self.alloc_misses += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_read_miss_fetch(&mut self) {
+        self.read_miss_fetches += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_partial_fill(&mut self) {
+        self.partial_fill_fetches += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_write_miss_fetch(&mut self) {
+        self.write_miss_fetches += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_write_validate_install(&mut self) {
+        self.write_validate_installs += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
+    #[inline]
+    pub(crate) fn count_write_through(&mut self) {
+        self.write_through_words += 1;
+    }
+
+    /// Total references seen.
+    pub fn refs(&self) -> u64 {
+        self.mutator_reads + self.mutator_writes + self.collector_reads + self.collector_writes
+    }
+
+    /// References made by `ctx`.
+    pub fn refs_by(&self, ctx: Context) -> u64 {
+        match ctx {
+            Context::Mutator => self.mutator_reads + self.mutator_writes,
+            Context::Collector => self.collector_reads + self.collector_writes,
+        }
+    }
+
+    /// Block fetches from main memory — the misses that stall the processor
+    /// and thus the `M` of the paper's overhead formulas.
+    pub fn fetches(&self) -> u64 {
+        self.mutator_fetches + self.collector_fetches
+    }
+
+    /// Fetches attributed to `ctx` (`M_prog` vs `M_gc`).
+    pub fn fetches_by(&self, ctx: Context) -> u64 {
+        match ctx {
+            Context::Mutator => self.mutator_fetches,
+            Context::Collector => self.collector_fetches,
+        }
+    }
+
+    /// Fetches caused by read misses on absent blocks.
+    pub fn read_miss_fetches(&self) -> u64 {
+        self.read_miss_fetches
+    }
+
+    /// Fetches caused by reads of not-yet-validated words in a present
+    /// block (write-validate sub-block fills).
+    pub fn partial_fill_fetches(&self) -> u64 {
+        self.partial_fill_fetches
+    }
+
+    /// Fetches caused by write misses (fetch-on-write policy only).
+    pub fn write_miss_fetches(&self) -> u64 {
+        self.write_miss_fetches
+    }
+
+    /// Write misses that installed a tag without fetching (write-validate).
+    pub fn write_validate_installs(&self) -> u64 {
+        self.write_validate_installs
+    }
+
+    /// Allocation misses (§7): tag-installing misses caused by initializing
+    /// stores to fresh dynamic memory blocks.
+    pub fn alloc_misses(&self) -> u64 {
+        self.alloc_misses
+    }
+
+    /// Total misses of all kinds, fetching or not.
+    pub fn misses(&self) -> u64 {
+        self.read_miss_fetches + self.partial_fill_fetches + self.write_miss_fetches
+            + self.write_validate_installs
+    }
+
+    /// Classic miss ratio (all misses over all references).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.refs() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.refs() as f64
+        }
+    }
+
+    /// Dirty-block evictions (write-back caches).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Words written through to memory (write-through caches).
+    pub fn write_through_words(&self) -> u64 {
+        self.write_through_words
+    }
+
+    /// Per-cache-block statistics.
+    pub fn blocks(&self) -> &[BlockStats] {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_stats_ratios() {
+        let b = BlockStats { refs: 100, misses: 10, alloc_misses: 4 };
+        assert!((b.local_miss_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(b.non_alloc_misses(), 6);
+        assert_eq!(BlockStats::default().local_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_accounting() {
+        let mut s = CacheStats::new(4);
+        s.count_ref(Context::Mutator, true, 0);
+        s.count_ref(Context::Collector, false, 1);
+        s.count_fetch(Context::Mutator);
+        s.count_read_miss_fetch();
+        s.count_block_miss(0, true);
+        assert_eq!(s.refs(), 2);
+        assert_eq!(s.refs_by(Context::Mutator), 1);
+        assert_eq!(s.fetches(), 1);
+        assert_eq!(s.fetches_by(Context::Collector), 0);
+        assert_eq!(s.alloc_misses(), 1);
+        assert_eq!(s.blocks()[0].misses, 1);
+    }
+}

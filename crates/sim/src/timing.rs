@@ -1,0 +1,117 @@
+//! The paper's timing model (§5).
+//!
+//! Main memory follows Przybylski's system: a 30 ns address setup, a 180 ns
+//! access time, and a 30 ns transfer time per 16 bytes. Fetching an
+//! `n`-byte block therefore takes `210 + 30·(n/16)` ns. Two hypothetical
+//! processors are considered: *slow* (30 ns cycle, a 33 MHz machine of the
+//! paper's day) and *fast* (2 ns cycle, 500 MHz). Hits take one cycle and
+//! never stall the processor.
+
+/// Main-memory timing parameters, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MainMemory {
+    /// Address setup time.
+    pub setup_ns: f64,
+    /// Access time for the first datum.
+    pub access_ns: f64,
+    /// Transfer time per 16 bytes moved.
+    pub transfer_ns_per_16b: f64,
+}
+
+impl MainMemory {
+    /// The Przybylski memory system used throughout the paper.
+    pub const fn przybylski() -> Self {
+        MainMemory { setup_ns: 30.0, access_ns: 180.0, transfer_ns_per_16b: 30.0 }
+    }
+
+    /// Time to fetch an `bytes`-byte block from memory.
+    pub fn fetch_ns(&self, bytes: u32) -> f64 {
+        self.setup_ns + self.access_ns + self.transfer_ns_per_16b * (bytes as f64 / 16.0).ceil()
+    }
+
+    /// Time to write an `bytes`-byte block back to memory (setup plus
+    /// transfer; no access latency is charged for a write).
+    ///
+    /// The paper does not analyze write costs in detail (§4), reporting only
+    /// that preliminary measurements show them to be low; this model is the
+    /// natural completion of the Przybylski parameters.
+    pub fn writeback_ns(&self, bytes: u32) -> f64 {
+        self.setup_ns + self.transfer_ns_per_16b * (bytes as f64 / 16.0).ceil()
+    }
+}
+
+impl Default for MainMemory {
+    fn default() -> Self {
+        Self::przybylski()
+    }
+}
+
+/// A hypothetical processor, defined by its cycle time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Processor {
+    /// Short name used in reports ("slow" / "fast").
+    pub name: &'static str,
+    /// Cycle time in nanoseconds.
+    pub cycle_ns: f64,
+}
+
+/// The slow processor: 30 ns cycle (33 MHz), a workstation of 1994.
+pub const SLOW: Processor = Processor { name: "slow", cycle_ns: 30.0 };
+
+/// The fast processor: 2 ns cycle (500 MHz), the near future of 1994.
+pub const FAST: Processor = Processor { name: "fast", cycle_ns: 2.0 };
+
+/// Miss penalty in processor cycles for fetching a block of `block_bytes`.
+///
+/// ```
+/// use cachegc_sim::{miss_penalty_cycles, MainMemory, FAST, SLOW};
+/// let mem = MainMemory::przybylski();
+/// assert_eq!(miss_penalty_cycles(&mem, &SLOW, 16), 8);   // 240 ns / 30 ns
+/// assert_eq!(miss_penalty_cycles(&mem, &FAST, 16), 120); // 240 ns / 2 ns
+/// ```
+pub fn miss_penalty_cycles(mem: &MainMemory, cpu: &Processor, block_bytes: u32) -> u64 {
+    (mem.fetch_ns(block_bytes) / cpu.cycle_ns).ceil() as u64
+}
+
+/// Write-back penalty in processor cycles for a `block_bytes` block.
+pub fn writeback_cycles(mem: &MainMemory, cpu: &Processor, block_bytes: u32) -> u64 {
+    (mem.writeback_ns(block_bytes) / cpu.cycle_ns).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5 penalty table, reconstructed from the stated memory model.
+    #[test]
+    fn penalty_table_matches_paper_model() {
+        let mem = MainMemory::przybylski();
+        let cases = [
+            (16u32, 8u64, 120u64),
+            (32, 9, 135),
+            (64, 11, 165),
+            (128, 15, 225),
+            (256, 23, 345),
+        ];
+        for (block, slow, fast) in cases {
+            assert_eq!(miss_penalty_cycles(&mem, &SLOW, block), slow, "slow, {block}b");
+            assert_eq!(miss_penalty_cycles(&mem, &FAST, block), fast, "fast, {block}b");
+        }
+    }
+
+    #[test]
+    fn fetch_time_is_affine_in_transfer_units() {
+        let mem = MainMemory::przybylski();
+        assert_eq!(mem.fetch_ns(16), 240.0);
+        assert_eq!(mem.fetch_ns(32), 270.0);
+        assert_eq!(mem.fetch_ns(256), 210.0 + 30.0 * 16.0);
+    }
+
+    #[test]
+    fn writeback_cheaper_than_fetch() {
+        let mem = MainMemory::przybylski();
+        for block in [16, 32, 64, 128, 256] {
+            assert!(mem.writeback_ns(block) < mem.fetch_ns(block));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Instruction accounting for the simulated machine.
+//!
+//! The overhead formulas of §5–§6 need instruction counts: `I_prog` (the
+//! program's instructions), `I_gc` (the collector's), and `ΔI_prog` (extra
+//! program instructions induced by collection, e.g. hash-table rehashing in
+//! a system that hashes on object addresses). The VM charges a calibrated
+//! number of abstract machine instructions per bytecode operation.
+
+use crate::event::Context;
+
+/// Broad classes of charged instructions, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Ordinary program execution.
+    Program,
+    /// Garbage collector execution.
+    Collector,
+    /// Program work induced by collection (e.g. hash-table rehashing).
+    GcInduced,
+}
+
+/// Instruction counters for one simulated run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    program: u64,
+    collector: u64,
+    gc_induced: u64,
+}
+
+impl Counters {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` instructions to `class`.
+    #[inline]
+    pub fn charge(&mut self, class: InstrClass, n: u64) {
+        match class {
+            InstrClass::Program => self.program += n,
+            InstrClass::Collector => self.collector += n,
+            InstrClass::GcInduced => self.gc_induced += n,
+        }
+    }
+
+    /// Charge `n` instructions to whichever class matches a trace context.
+    /// Mutator work is charged to [`InstrClass::Program`].
+    #[inline]
+    pub fn charge_ctx(&mut self, ctx: Context, n: u64) {
+        match ctx {
+            Context::Mutator => self.program += n,
+            Context::Collector => self.collector += n,
+        }
+    }
+
+    /// `I_prog`: instructions executed by the program (excluding GC-induced
+    /// work, which the paper reports separately as `ΔI_prog`).
+    pub fn program(&self) -> u64 {
+        self.program
+    }
+
+    /// `I_gc`: instructions executed by the collector.
+    pub fn collector(&self) -> u64 {
+        self.collector
+    }
+
+    /// `ΔI_prog`: program instructions induced by collection.
+    pub fn gc_induced(&self) -> u64 {
+        self.gc_induced
+    }
+
+    /// All instructions, every class.
+    pub fn total(&self) -> u64 {
+        self.program + self.collector + self.gc_induced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_class() {
+        let mut c = Counters::new();
+        c.charge(InstrClass::Program, 10);
+        c.charge(InstrClass::Collector, 5);
+        c.charge(InstrClass::GcInduced, 2);
+        c.charge_ctx(Context::Mutator, 3);
+        c.charge_ctx(Context::Collector, 4);
+        assert_eq!(c.program(), 13);
+        assert_eq!(c.collector(), 9);
+        assert_eq!(c.gc_induced(), 2);
+        assert_eq!(c.total(), 24);
+    }
+}

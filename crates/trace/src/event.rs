@@ -1,0 +1,90 @@
+//! Trace event types.
+
+/// Whether an access loads from or stores to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+/// Who performed an access: the running program or the garbage collector.
+///
+/// The paper's §6 overhead decomposition attributes misses either to the
+/// program (`M_prog`) or to the collector (`M_gc`); attribution is carried on
+/// every event so a single simulation pass can produce both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Context {
+    /// The simulated program itself.
+    Mutator,
+    /// The garbage collector.
+    Collector,
+}
+
+/// A single data reference: one word load or store at a byte address.
+///
+/// `alloc_init` marks stores that initialize freshly allocated dynamic
+/// words. When such a store is the first touch of a new memory block, the
+/// resulting miss is an *allocation miss* in the paper's sense (§7), which
+/// the cache simulator and analyses classify separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Byte address of the referenced word (word aligned).
+    pub addr: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Mutator or collector.
+    pub ctx: Context,
+    /// True for stores that initialize newly allocated dynamic words.
+    pub alloc_init: bool,
+}
+
+impl Access {
+    /// A plain load at `addr`.
+    #[inline]
+    pub fn read(addr: u32, ctx: Context) -> Self {
+        Access { addr, kind: AccessKind::Read, ctx, alloc_init: false }
+    }
+
+    /// A plain store at `addr`.
+    #[inline]
+    pub fn write(addr: u32, ctx: Context) -> Self {
+        Access { addr, kind: AccessKind::Write, ctx, alloc_init: false }
+    }
+
+    /// An initializing store to a freshly allocated dynamic word.
+    #[inline]
+    pub fn alloc_write(addr: u32, ctx: Context) -> Self {
+        Access { addr, kind: AccessKind::Write, ctx, alloc_init: true }
+    }
+
+    /// True if this access is a load.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.kind == AccessKind::Read
+    }
+
+    /// True if this access is a store.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let r = Access::read(0x40, Context::Mutator);
+        assert!(r.is_read() && !r.is_write());
+        assert!(!r.alloc_init);
+        let w = Access::write(0x44, Context::Collector);
+        assert!(w.is_write());
+        assert_eq!(w.ctx, Context::Collector);
+        let a = Access::alloc_write(0x48, Context::Mutator);
+        assert!(a.alloc_init && a.is_write());
+    }
+}

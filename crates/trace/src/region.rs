@@ -1,0 +1,102 @@
+//! The simulated address-space layout.
+//!
+//! The paper's analysis (§7) distinguishes three block populations: *static*
+//! blocks (the program, runtime structures, and the procedure-call stack
+//! live in fixed areas that exist when the run starts), and *dynamic* blocks
+//! (linearly allocated by the program). We use one fixed layout for the
+//! whole system so that every component — allocator, collectors, VM,
+//! analyses — agrees on what an address means.
+//!
+//! All addresses are 32-bit byte addresses, word aligned; caches are
+//! virtually indexed (§4), so these virtual addresses index caches directly.
+
+/// Bytes per machine word (the simulated machine is a 32-bit MIPS-class CPU).
+pub const WORD_BYTES: u32 = 4;
+
+/// Base of the static area: program constants, symbols, globals, runtime
+/// structures, and everything allocated during program load.
+pub const STATIC_BASE: u32 = 0x0010_0000;
+
+/// Base of the procedure-call stack area (grows upward).
+///
+/// Area bases are offset by distinct thirds of a cache size so that the
+/// three hottest regions (static globals, stack, and the allocation wave's
+/// origin) do not share a cache index in any power-of-two cache up to
+/// 4 MB. A base at a 4 MB multiple would systematically collide all three
+/// — a layout accident, not a program property; the paper's static blocks
+/// are "arranged in an essentially random fashion".
+pub const STACK_BASE: u32 = 0x0815_5540;
+
+/// Base of the dynamic (heap) area — the first semispace when a copying
+/// collector is in use, or the single unbounded linear area without GC.
+/// Offset by two thirds; see [`STACK_BASE`].
+pub const DYNAMIC_BASE: u32 = 0x102A_AA80;
+
+/// Base of the second semispace / old generation (offset by one fifth —
+/// each region gets a *distinct* fraction so no two region bases share a
+/// cache index at any power-of-two cache size; in particular the flip
+/// target must not alias the stack, or every collection would park the
+/// compacted hot data on the stack's cache blocks).
+pub const DYNAMIC_SECOND_BASE: u32 = 0x500C_CCC0;
+
+/// Classification of an address into the paper's block populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Static data: exists when the program starts (includes the stack area
+    /// for lifetime purposes, but stack addresses classify as [`Region::Stack`]).
+    Static,
+    /// The procedure-call stack.
+    Stack,
+    /// Linearly allocated dynamic data.
+    Dynamic,
+}
+
+impl Region {
+    /// Classify a byte address.
+    ///
+    /// ```
+    /// use cachegc_trace::{Region, DYNAMIC_BASE, STACK_BASE, STATIC_BASE};
+    /// assert_eq!(Region::of(STATIC_BASE), Region::Static);
+    /// assert_eq!(Region::of(STACK_BASE + 64), Region::Stack);
+    /// assert_eq!(Region::of(DYNAMIC_BASE), Region::Dynamic);
+    /// ```
+    #[inline]
+    pub fn of(addr: u32) -> Region {
+        if addr >= DYNAMIC_BASE {
+            Region::Dynamic
+        } else if addr >= STACK_BASE {
+            Region::Stack
+        } else {
+            Region::Static
+        }
+    }
+
+    /// True for dynamic (heap) addresses.
+    #[inline]
+    pub fn is_dynamic(addr: u32) -> bool {
+        addr >= DYNAMIC_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_ordered_and_disjoint() {
+        assert!(STATIC_BASE < STACK_BASE);
+        assert!(STACK_BASE < DYNAMIC_BASE);
+        assert!(DYNAMIC_BASE < DYNAMIC_SECOND_BASE);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(Region::of(STACK_BASE - WORD_BYTES), Region::Static);
+        assert_eq!(Region::of(STACK_BASE), Region::Stack);
+        assert_eq!(Region::of(DYNAMIC_BASE - WORD_BYTES), Region::Stack);
+        assert_eq!(Region::of(DYNAMIC_BASE), Region::Dynamic);
+        assert_eq!(Region::of(DYNAMIC_SECOND_BASE), Region::Dynamic);
+        assert!(Region::is_dynamic(DYNAMIC_SECOND_BASE + 1024));
+        assert!(!Region::is_dynamic(STATIC_BASE));
+    }
+}

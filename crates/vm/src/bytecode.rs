@@ -1,0 +1,301 @@
+//! The bytecode instruction set and its instruction-cost model.
+//!
+//! Each operation charges a fixed number of abstract machine instructions,
+//! calibrated so that the ratio of data references to instructions matches
+//! the paper's §3 table (roughly 0.27–0.3 references per instruction for
+//! orbit-compiled MIPS code).
+
+use std::fmt;
+
+/// One bytecode instruction. The machine is accumulator-based: most
+/// operations read or write `acc`, with an explicit operand stack in
+/// simulated memory for calls and primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `acc = constants[i]`.
+    Const(u32),
+    /// `acc = frame slot i` (an argument).
+    LocalGet(u32),
+    /// `frame slot i = acc` (used when boxing assigned parameters).
+    LocalSet(u32),
+    /// `acc = contents of the cell in frame slot i`.
+    CellGet(u32),
+    /// Store `acc` into the cell in frame slot i.
+    CellSet(u32),
+    /// `acc = current closure's capture i`.
+    ClosureGet(u32),
+    /// `acc = contents of the cell captured at i`.
+    ClosureCellGet(u32),
+    /// Store `acc` into the cell captured at i.
+    ClosureCellSet(u32),
+    /// `acc = global slot i`.
+    GlobalGet(u32),
+    /// `global slot i = acc`.
+    GlobalSet(u32),
+    /// Push `acc` onto the operand stack.
+    Push,
+    /// Box `acc` into a fresh cell; `acc = the cell`.
+    MakeCell,
+    /// Pop `nfree` captured values and build a closure over code object
+    /// `code`; `acc = the closure`.
+    MakeClosure {
+        /// Index of the closure's code object.
+        code: u32,
+        /// Number of captured values to pop.
+        nfree: u32,
+    },
+    /// Call the closure under `nargs` pushed arguments.
+    Call(u32),
+    /// Tail-call: reuse the current frame.
+    TailCall(u32),
+    /// Return `acc` to the caller.
+    Return,
+    /// Unconditional branch to code offset.
+    Jump(u32),
+    /// Branch to code offset if `acc` is false.
+    JumpIfFalse(u32),
+    /// Apply a primitive to `n` pushed arguments; result in `acc`.
+    Prim(PrimOp, u32),
+    /// Stop execution; `acc` is the program's value.
+    Halt,
+}
+
+impl Insn {
+    /// Abstract machine instructions this operation charges.
+    pub fn weight(self) -> u64 {
+        match self {
+            Insn::Const(_) => 3,
+            Insn::LocalGet(_) | Insn::LocalSet(_) | Insn::Push => 4,
+            Insn::CellGet(_) | Insn::CellSet(_) => 7,
+            Insn::ClosureGet(_) => 7,
+            Insn::ClosureCellGet(_) | Insn::ClosureCellSet(_) => 9,
+            Insn::GlobalGet(_) | Insn::GlobalSet(_) => 7,
+            Insn::MakeCell => 12,
+            Insn::MakeClosure { nfree, .. } => 14 + 4 * nfree as u64,
+            Insn::Call(_) => 22,
+            Insn::TailCall(n) => 18 + 2 * n as u64,
+            Insn::Return => 18,
+            Insn::Jump(_) => 2,
+            Insn::JumpIfFalse(_) => 4,
+            Insn::Prim(op, _) => op.weight(),
+            Insn::Halt => 2,
+        }
+    }
+}
+
+/// The primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PrimOp {
+    Cons,
+    Car,
+    Cdr,
+    SetCar,
+    SetCdr,
+    PairP,
+    NullP,
+    EqP,
+    EqvP,
+    EqualP,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Quotient,
+    Remainder,
+    Modulo,
+    NumEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ZeroP,
+    Not,
+    Abs,
+    Min,
+    Max,
+    Sqrt,
+    ExactToInexact,
+    InexactToExact,
+    Floor,
+    NumberP,
+    IntegerP,
+    SymbolP,
+    StringP,
+    VectorP,
+    ProcedureP,
+    BooleanP,
+    List,
+    MakeVector,
+    VectorRef,
+    VectorSet,
+    VectorLength,
+    MakeTable,
+    TableRef,
+    TableSet,
+    TableCount,
+    SymbolToString,
+    StringLength,
+    Display,
+    Newline,
+    Error,
+    GcEpoch,
+}
+
+impl PrimOp {
+    /// Abstract machine instructions this primitive charges (not counting
+    /// argument pushes, which are separate instructions).
+    pub fn weight(self) -> u64 {
+        use PrimOp::*;
+        match self {
+            Car | Cdr | PairP | NullP | EqP | Not | ZeroP | BooleanP => 5,
+            SymbolP | NumberP | IntegerP | StringP | VectorP | ProcedureP => 5,
+            SetCar | SetCdr => 7,
+            Cons => 14,
+            EqvP => 7,
+            EqualP => 16,
+            Add | Sub | Mul | NumEq | Lt | Le | Gt | Ge => 6,
+            Div | Quotient | Remainder | Modulo => 24,
+            Abs | Min | Max => 7,
+            Sqrt | ExactToInexact | Floor => 22,
+            InexactToExact => 9,
+            List => 9,
+            MakeVector => 16,
+            VectorRef | VectorSet | VectorLength => 9,
+            MakeTable => 40,
+            TableRef | TableSet => 26,
+            TableCount => 7,
+            SymbolToString | StringLength => 7,
+            Display | Newline => 40,
+            Error => 20,
+            GcEpoch => 5,
+        }
+    }
+
+    /// The Scheme-level name bound to this primitive.
+    pub fn name(self) -> &'static str {
+        use PrimOp::*;
+        match self {
+            Cons => "cons",
+            Car => "car",
+            Cdr => "cdr",
+            SetCar => "set-car!",
+            SetCdr => "set-cdr!",
+            PairP => "pair?",
+            NullP => "null?",
+            EqP => "eq?",
+            EqvP => "eqv?",
+            EqualP => "equal?",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Quotient => "quotient",
+            Remainder => "remainder",
+            Modulo => "modulo",
+            NumEq => "=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            ZeroP => "zero?",
+            Not => "not",
+            Abs => "abs",
+            Min => "min",
+            Max => "max",
+            Sqrt => "sqrt",
+            ExactToInexact => "exact->inexact",
+            InexactToExact => "inexact->exact",
+            Floor => "floor",
+            NumberP => "number?",
+            IntegerP => "integer?",
+            SymbolP => "symbol?",
+            StringP => "string?",
+            VectorP => "vector?",
+            ProcedureP => "procedure?",
+            BooleanP => "boolean?",
+            List => "list",
+            MakeVector => "make-vector",
+            VectorRef => "vector-ref",
+            VectorSet => "vector-set!",
+            VectorLength => "vector-length",
+            MakeTable => "make-table",
+            TableRef => "table-ref",
+            TableSet => "table-set!",
+            TableCount => "table-count",
+            SymbolToString => "symbol->string",
+            StringLength => "string-length",
+            Display => "display",
+            Newline => "newline",
+            Error => "error",
+            GcEpoch => "gc-epoch",
+        }
+    }
+
+    /// Every primitive, for building the global environment.
+    pub fn all() -> &'static [PrimOp] {
+        use PrimOp::*;
+        &[
+            Cons, Car, Cdr, SetCar, SetCdr, PairP, NullP, EqP, EqvP, EqualP, Add, Sub, Mul, Div,
+            Quotient, Remainder, Modulo, NumEq, Lt, Le, Gt, Ge, ZeroP, Not, Abs, Min, Max, Sqrt,
+            ExactToInexact, InexactToExact, Floor, NumberP, IntegerP, SymbolP, StringP, VectorP, ProcedureP,
+            BooleanP, List, MakeVector, VectorRef, VectorSet, VectorLength, MakeTable, TableRef,
+            TableSet, TableCount, SymbolToString, StringLength, Display, Newline, Error, GcEpoch,
+        ]
+    }
+
+    /// Fixed arity when used as a first-class procedure value. Variadic
+    /// fast-path uses (`list`, n-ary `+`) are handled by the compiler.
+    pub fn arity(self) -> u32 {
+        use PrimOp::*;
+        match self {
+            Newline | MakeTable | GcEpoch => 0,
+            Car | Cdr | PairP | NullP | ZeroP | Not | Abs | Sqrt | ExactToInexact
+            | InexactToExact | Floor
+            | NumberP | IntegerP | SymbolP | StringP | VectorP | ProcedureP | BooleanP
+            | VectorLength | TableCount | SymbolToString | StringLength | Display | List => 1,
+            Cons | SetCar | SetCdr | EqP | EqvP | EqualP | Add | Sub | Mul | Div | Quotient
+            | Remainder | Modulo | NumEq | Lt | Le | Gt | Ge | Min | Max | MakeVector
+            | VectorRef | Error => 2,
+            VectorSet | TableRef | TableSet => 3,
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compiled procedure body.
+#[derive(Debug, Clone)]
+pub struct CodeObject {
+    /// Diagnostic name ("fact", "lambda@12", "main").
+    pub name: String,
+    /// Number of arguments (which are the only frame locals; binding forms
+    /// compile to lambda applications).
+    pub arity: u32,
+    /// The instructions.
+    pub code: Vec<Insn>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_prims_have_unique_names() {
+        let mut names = std::collections::HashSet::new();
+        for op in PrimOp::all() {
+            assert!(names.insert(op.name()), "duplicate name {}", op.name());
+            assert!(op.weight() > 0);
+        }
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        assert!(Insn::Call(2).weight() > Insn::Const(0).weight());
+        assert!(Insn::MakeClosure { code: 0, nfree: 5 }.weight() > Insn::MakeClosure { code: 0, nfree: 0 }.weight());
+    }
+}

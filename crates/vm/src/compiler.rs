@@ -1,0 +1,703 @@
+//! The bytecode compiler.
+//!
+//! Orbit-style compilation choices, scaled down:
+//!
+//! * **Flat closures**: a lambda's free variables are copied into the
+//!   closure object when it is created; nested references capture
+//!   transitively through the enclosing lambdas.
+//! * **Assignment conversion**: parameters that are `set!` anywhere in
+//!   their scope are boxed into heap cells at procedure entry, so closures
+//!   can share mutable bindings.
+//! * **Binding forms are lambda applications** (after expansion), so the
+//!   only frame locals are procedure arguments.
+//! * **Tail calls reuse frames**, so Scheme loops run in constant stack.
+//! * **Primitive fast path**: calls to unshadowed primitive names compile
+//!   to direct `Prim` instructions; the same names are also bound to
+//!   closure values for higher-order use.
+
+use std::collections::HashMap;
+
+use crate::bytecode::{CodeObject, Insn, PrimOp};
+use crate::error::VmError;
+use crate::expand::{expand_one, is_derived};
+use crate::sexp::Sexp;
+
+/// Constant-pool index of the unspecified value (reserved at creation).
+pub(crate) const UNSPEC_CONST: u32 = 0;
+/// The placeholder stored in the constant pool for the unspecified value.
+pub(crate) const UNSPEC_MARKER: &str = "\u{1}unspecified";
+
+#[derive(Debug, Clone)]
+struct Capture {
+    name: String,
+    boxed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Frame {
+    params: Vec<String>,
+    boxed: Vec<bool>,
+    captures: Vec<Capture>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Local { slot: u32, boxed: bool },
+    Capture { idx: u32, boxed: bool },
+    Global(u32),
+}
+
+/// The compiler. One instance serves a whole [`Machine`](crate::Machine)
+/// lifetime: code objects, constants, and global slots accumulate across
+/// compilations (prelude, then program).
+#[derive(Debug)]
+pub struct Compiler {
+    pub(crate) codes: Vec<CodeObject>,
+    pub(crate) consts: Vec<Sexp>,
+    const_index: HashMap<String, u32>,
+    globals: HashMap<String, u32>,
+    pub(crate) global_names: Vec<String>,
+    frames: Vec<Frame>,
+    gensym: u32,
+    prims: HashMap<&'static str, PrimOp>,
+    lambda_count: u32,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compiler {
+    /// Create an empty compiler.
+    pub fn new() -> Self {
+        let mut c = Compiler {
+            codes: Vec::new(),
+            consts: Vec::new(),
+            const_index: HashMap::new(),
+            globals: HashMap::new(),
+            global_names: Vec::new(),
+            frames: Vec::new(),
+            gensym: 0,
+            prims: PrimOp::all().iter().map(|op| (op.name(), *op)).collect(),
+            lambda_count: 0,
+        };
+        let idx = c.const_idx(&Sexp::Sym(UNSPEC_MARKER.to_string()));
+        debug_assert_eq!(idx, UNSPEC_CONST);
+        c
+    }
+
+    /// Compiled code objects.
+    pub fn codes(&self) -> &[CodeObject] {
+        &self.codes
+    }
+
+    /// Number of global slots assigned so far.
+    pub fn global_count(&self) -> u32 {
+        self.global_names.len() as u32
+    }
+
+    /// The global slot bound to `name`, creating it if new.
+    pub fn global_slot(&mut self, name: &str) -> u32 {
+        if let Some(&slot) = self.globals.get(name) {
+            return slot;
+        }
+        let slot = self.global_names.len() as u32;
+        self.globals.insert(name.to_string(), slot);
+        self.global_names.push(name.to_string());
+        slot
+    }
+
+    /// The name bound to a global slot.
+    pub fn global_name(&self, slot: u32) -> &str {
+        &self.global_names[slot as usize]
+    }
+
+    /// Compile a sequence of top-level forms into a "main" code object,
+    /// returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Compile`] on malformed programs.
+    pub fn compile_program(&mut self, forms: &[Sexp]) -> Result<u32, VmError> {
+        let forms: Vec<Sexp> = forms
+            .iter()
+            .map(|f| self.expand_all(f))
+            .collect::<Result<_, _>>()?;
+        self.frames.push(Frame::default());
+        let mut code = Vec::new();
+        let result: Result<(), VmError> = forms.iter().try_for_each(|f| self.toplevel(f, &mut code));
+        let frame = self.frames.pop().expect("frame stack imbalance");
+        result?;
+        debug_assert!(frame.captures.is_empty(), "top level cannot capture");
+        code.push(Insn::Halt);
+        let idx = self.codes.len() as u32;
+        self.codes.push(CodeObject { name: format!("main#{idx}"), arity: 0, code });
+        Ok(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Expansion
+    // ------------------------------------------------------------------
+
+    fn expand_all(&mut self, form: &Sexp) -> Result<Sexp, VmError> {
+        let items = match form {
+            Sexp::List(items) if !items.is_empty() => items,
+            _ => return Ok(form.clone()),
+        };
+        if let Some(head) = items[0].as_sym() {
+            match head {
+                "quote" => return Ok(form.clone()),
+                h if is_derived(h) => {
+                    let once = expand_one(items, &mut self.gensym)?;
+                    return self.expand_all(&once);
+                }
+                "define" => {
+                    // (define (f a ...) body ...) => (define f (lambda (a ...) body ...))
+                    if items.len() >= 2 {
+                        if let Sexp::List(sig) = &items[1] {
+                            if sig.is_empty() {
+                                return Err(VmError::Compile("define: empty signature".into()));
+                            }
+                            let mut lambda = vec![Sexp::sym("lambda"), Sexp::List(sig[1..].to_vec())];
+                            lambda.extend_from_slice(&items[2..]);
+                            let rewritten = Sexp::List(vec![
+                                Sexp::sym("define"),
+                                sig[0].clone(),
+                                Sexp::List(lambda),
+                            ]);
+                            return self.expand_all(&rewritten);
+                        }
+                    }
+                }
+                "lambda" => {
+                    if items.len() < 3 {
+                        return Err(VmError::Compile(format!("lambda: bad form {form}")));
+                    }
+                    let mut out = vec![items[0].clone(), items[1].clone()];
+                    for body in &items[2..] {
+                        out.push(self.expand_all(body)?);
+                    }
+                    return Ok(Sexp::List(out));
+                }
+                "set!" => {
+                    if items.len() != 3 {
+                        return Err(VmError::Compile(format!("set!: bad form {form}")));
+                    }
+                    return Ok(Sexp::List(vec![
+                        items[0].clone(),
+                        items[1].clone(),
+                        self.expand_all(&items[2])?,
+                    ]));
+                }
+                _ => {}
+            }
+        }
+        let expanded: Vec<Sexp> = items
+            .iter()
+            .map(|i| self.expand_all(i))
+            .collect::<Result<_, _>>()?;
+        Ok(Sexp::List(expanded))
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn toplevel(&mut self, form: &Sexp, code: &mut Vec<Insn>) -> Result<(), VmError> {
+        if let Some(items) = form.as_list() {
+            match items.first().and_then(Sexp::as_sym) {
+                Some("define") => {
+                    let name = items
+                        .get(1)
+                        .and_then(Sexp::as_sym)
+                        .ok_or_else(|| VmError::Compile(format!("define: bad form {form}")))?
+                        .to_string();
+                    if items.len() != 3 {
+                        return Err(VmError::Compile(format!("define: bad form {form}")));
+                    }
+                    let slot = self.global_slot(&name);
+                    self.expr_named(&items[2], code, false, Some(&name))?;
+                    code.push(Insn::GlobalSet(slot));
+                    return Ok(());
+                }
+                Some("begin") => {
+                    return items[1..].iter().try_for_each(|f| self.toplevel(f, code));
+                }
+                _ => {}
+            }
+        }
+        self.expr(form, code, false)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (post-expansion core forms only)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, form: &Sexp, code: &mut Vec<Insn>, tail: bool) -> Result<(), VmError> {
+        self.expr_named(form, code, tail, None)
+    }
+
+    fn expr_named(
+        &mut self,
+        form: &Sexp,
+        code: &mut Vec<Insn>,
+        tail: bool,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        match form {
+            Sexp::Int(_) | Sexp::Float(_) | Sexp::Str(_) | Sexp::Char(_) | Sexp::Bool(_) => {
+                let idx = self.const_idx(form);
+                code.push(Insn::Const(idx));
+                Ok(())
+            }
+            Sexp::Sym(s) => self.variable(s, code),
+            Sexp::List(items) if items.is_empty() => {
+                Err(VmError::Compile("empty application ()".into()))
+            }
+            Sexp::List(items) => self.combination(items, code, tail, name),
+        }
+    }
+
+    fn variable(&mut self, name: &str, code: &mut Vec<Insn>) -> Result<(), VmError> {
+        let insn = match self.resolve(name) {
+            Loc::Local { slot, boxed: false } => Insn::LocalGet(slot),
+            Loc::Local { slot, boxed: true } => Insn::CellGet(slot),
+            Loc::Capture { idx, boxed: false } => Insn::ClosureGet(idx),
+            Loc::Capture { idx, boxed: true } => Insn::ClosureCellGet(idx),
+            Loc::Global(slot) => Insn::GlobalGet(slot),
+        };
+        code.push(insn);
+        Ok(())
+    }
+
+    fn combination(
+        &mut self,
+        items: &[Sexp],
+        code: &mut Vec<Insn>,
+        tail: bool,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        match items[0].as_sym() {
+            Some("quote") => {
+                if items.len() != 2 {
+                    return Err(VmError::Compile("quote: bad form".into()));
+                }
+                let idx = self.const_idx(&items[1]);
+                code.push(Insn::Const(idx));
+                Ok(())
+            }
+            Some("if") => self.if_form(items, code, tail),
+            Some("set!") => self.set_form(items, code),
+            Some("lambda") => self.lambda_form(items, code, name),
+            Some("begin") => self.body(&items[1..], code, tail),
+            Some("define") => Err(VmError::Compile("define is only allowed at top level".into())),
+            _ => self.call(items, code, tail),
+        }
+    }
+
+    fn if_form(&mut self, items: &[Sexp], code: &mut Vec<Insn>, tail: bool) -> Result<(), VmError> {
+        if items.len() != 3 && items.len() != 4 {
+            return Err(VmError::Compile("if: needs 2 or 3 operands".into()));
+        }
+        self.expr(&items[1], code, false)?;
+        let jf = code.len();
+        code.push(Insn::JumpIfFalse(0));
+        self.expr(&items[2], code, tail)?;
+        let jend = code.len();
+        code.push(Insn::Jump(0));
+        code[jf] = Insn::JumpIfFalse(code.len() as u32);
+        match items.get(3) {
+            Some(alt) => self.expr(alt, code, tail)?,
+            None => code.push(Insn::Const(UNSPEC_CONST)),
+        }
+        code[jend] = Insn::Jump(code.len() as u32);
+        Ok(())
+    }
+
+    fn set_form(&mut self, items: &[Sexp], code: &mut Vec<Insn>) -> Result<(), VmError> {
+        let name = items
+            .get(1)
+            .and_then(Sexp::as_sym)
+            .ok_or_else(|| VmError::Compile("set!: bad target".into()))?
+            .to_string();
+        self.expr(&items[2], code, false)?;
+        let insn = match self.resolve(&name) {
+            Loc::Local { slot, boxed: true } => Insn::CellSet(slot),
+            Loc::Capture { idx, boxed: true } => Insn::ClosureCellSet(idx),
+            Loc::Global(slot) => Insn::GlobalSet(slot),
+            // An assigned local is always boxed by the enclosing lambda, but
+            // the top-level frame has no entry boxing; treat as plain store.
+            Loc::Local { slot, boxed: false } => Insn::LocalSet(slot),
+            Loc::Capture { .. } => {
+                return Err(VmError::Compile(format!("set!: {name} captured without a box")));
+            }
+        };
+        code.push(insn);
+        code.push(Insn::Const(UNSPEC_CONST));
+        Ok(())
+    }
+
+    fn lambda_form(
+        &mut self,
+        items: &[Sexp],
+        code: &mut Vec<Insn>,
+        name: Option<&str>,
+    ) -> Result<(), VmError> {
+        let params: Vec<String> = match &items[1] {
+            Sexp::List(ps) => ps
+                .iter()
+                .map(|p| p.as_sym().map(str::to_string))
+                .collect::<Option<_>>()
+                .ok_or_else(|| VmError::Compile("lambda: bad parameter list".into()))?,
+            _ => return Err(VmError::Compile("lambda: variadic parameters unsupported".into())),
+        };
+        let body = &items[2..];
+        let boxed: Vec<bool> = params
+            .iter()
+            .map(|p| body.iter().any(|f| is_assigned(p, f)))
+            .collect();
+
+        self.frames.push(Frame { params: params.clone(), boxed: boxed.clone(), captures: Vec::new() });
+        let mut inner = Vec::new();
+        for (i, b) in boxed.iter().enumerate() {
+            if *b {
+                inner.push(Insn::LocalGet(i as u32));
+                inner.push(Insn::MakeCell);
+                inner.push(Insn::LocalSet(i as u32));
+            }
+        }
+        let result = self.body(body, &mut inner, true);
+        let frame = self.frames.pop().expect("frame stack imbalance");
+        result?;
+        inner.push(Insn::Return);
+
+        let code_idx = self.codes.len() as u32;
+        let code_name = match name {
+            Some(n) => n.to_string(),
+            None => {
+                self.lambda_count += 1;
+                format!("lambda@{}", self.lambda_count)
+            }
+        };
+        self.codes.push(CodeObject { name: code_name, arity: params.len() as u32, code: inner });
+
+        // In the parent: push each captured binding (raw slot contents, so
+        // boxed variables share their cell), then build the closure.
+        for cap in &frame.captures {
+            let insn = match self.resolve(&cap.name) {
+                Loc::Local { slot, .. } => Insn::LocalGet(slot),
+                Loc::Capture { idx, .. } => Insn::ClosureGet(idx),
+                Loc::Global(_) => {
+                    return Err(VmError::Compile(format!("capture of global {}", cap.name)));
+                }
+            };
+            code.push(insn);
+            code.push(Insn::Push);
+        }
+        code.push(Insn::MakeClosure { code: code_idx, nfree: frame.captures.len() as u32 });
+        Ok(())
+    }
+
+    fn body(&mut self, forms: &[Sexp], code: &mut Vec<Insn>, tail: bool) -> Result<(), VmError> {
+        match forms {
+            [] => {
+                code.push(Insn::Const(UNSPEC_CONST));
+                Ok(())
+            }
+            [butlast @ .., last] => {
+                for f in butlast {
+                    self.expr(f, code, false)?;
+                }
+                self.expr(last, code, tail)
+            }
+        }
+    }
+
+    fn call(&mut self, items: &[Sexp], code: &mut Vec<Insn>, tail: bool) -> Result<(), VmError> {
+        let nargs = items.len() - 1;
+        // Primitive fast path: an unshadowed primitive name in operator
+        // position compiles to a Prim instruction.
+        if let Some(head) = items[0].as_sym() {
+            if let Some(&op) = self.prims.get(head) {
+                if matches!(self.resolve(head), Loc::Global(_)) {
+                    return self.prim_call(op, &items[1..], code);
+                }
+            }
+        }
+        self.expr(&items[0], code, false)?;
+        code.push(Insn::Push);
+        for arg in &items[1..] {
+            self.expr(arg, code, false)?;
+            code.push(Insn::Push);
+        }
+        code.push(if tail { Insn::TailCall(nargs as u32) } else { Insn::Call(nargs as u32) });
+        Ok(())
+    }
+
+    fn prim_call(&mut self, op: PrimOp, args: &[Sexp], code: &mut Vec<Insn>) -> Result<(), VmError> {
+        use PrimOp::*;
+        let n = args.len();
+        match op {
+            // Variadic arithmetic folds left over binary operations.
+            Add | Mul | Min | Max | Sub | Div => {
+                let identity: Option<i64> = match op {
+                    Add => Some(0),
+                    Mul => Some(1),
+                    _ => None,
+                };
+                match (n, identity) {
+                    (0, Some(id)) => {
+                        let idx = self.const_idx(&Sexp::Int(id));
+                        code.push(Insn::Const(idx));
+                        return Ok(());
+                    }
+                    (0, None) => {
+                        return Err(VmError::Compile(format!("{op}: needs arguments")));
+                    }
+                    (1, _) if matches!(op, Sub | Div) => {
+                        // (- x) = (0 - x); (/ x) = (1 / x).
+                        let id = if op == Sub { 0 } else { 1 };
+                        let idx = self.const_idx(&Sexp::Int(id));
+                        code.push(Insn::Const(idx));
+                        code.push(Insn::Push);
+                        self.expr(&args[0], code, false)?;
+                        code.push(Insn::Push);
+                        code.push(Insn::Prim(op, 2));
+                        return Ok(());
+                    }
+                    (1, _) => return self.expr(&args[0], code, false),
+                    _ => {}
+                }
+                self.expr(&args[0], code, false)?;
+                code.push(Insn::Push);
+                for arg in &args[1..] {
+                    self.expr(arg, code, false)?;
+                    code.push(Insn::Push);
+                    code.push(Insn::Prim(op, 2));
+                    code.push(Insn::Push);
+                }
+                code.pop(); // final Push is not needed; result stays in acc
+                // The final Prim left its result in acc; remove the stray
+                // sequencing artifact: the loop pushes Prim then Push, so the
+                // last pop above removed the trailing Push.
+                Ok(())
+            }
+            List => {
+                for arg in args {
+                    self.expr(arg, code, false)?;
+                    code.push(Insn::Push);
+                }
+                code.push(Insn::Prim(List, n as u32));
+                Ok(())
+            }
+            Display | Error => {
+                if n == 0 || n > 2 {
+                    return Err(VmError::Compile(format!("{op}: needs 1 or 2 arguments")));
+                }
+                for arg in args {
+                    self.expr(arg, code, false)?;
+                    code.push(Insn::Push);
+                }
+                code.push(Insn::Prim(op, n as u32));
+                Ok(())
+            }
+            _ => {
+                if n as u32 != op.arity() {
+                    return Err(VmError::Compile(format!(
+                        "{op}: needs {} arguments, got {n}",
+                        op.arity()
+                    )));
+                }
+                for arg in args {
+                    self.expr(arg, code, false)?;
+                    code.push(Insn::Push);
+                }
+                code.push(Insn::Prim(op, n as u32));
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variable resolution
+    // ------------------------------------------------------------------
+
+    fn resolve(&mut self, name: &str) -> Loc {
+        let top = self.frames.len() - 1;
+        match self.resolve_at(top, name) {
+            Some(loc) => loc,
+            None => Loc::Global(self.global_slot(name)),
+        }
+    }
+
+    fn resolve_at(&mut self, idx: usize, name: &str) -> Option<Loc> {
+        let f = &self.frames[idx];
+        if let Some(i) = f.params.iter().position(|p| p == name) {
+            return Some(Loc::Local { slot: i as u32, boxed: f.boxed[i] });
+        }
+        if let Some(j) = f.captures.iter().position(|c| c.name == name) {
+            return Some(Loc::Capture { idx: j as u32, boxed: f.captures[j].boxed });
+        }
+        if idx == 0 {
+            return None;
+        }
+        let parent = self.resolve_at(idx - 1, name)?;
+        let boxed = match parent {
+            Loc::Local { boxed, .. } | Loc::Capture { boxed, .. } => boxed,
+            Loc::Global(_) => unreachable!("resolve_at never returns Global"),
+        };
+        let f = &mut self.frames[idx];
+        f.captures.push(Capture { name: name.to_string(), boxed });
+        Some(Loc::Capture { idx: (f.captures.len() - 1) as u32, boxed })
+    }
+
+    fn const_idx(&mut self, datum: &Sexp) -> u32 {
+        let key = datum.to_string();
+        if let Some(&i) = self.const_index.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(datum.clone());
+        self.const_index.insert(key, i);
+        i
+    }
+}
+
+/// Is `name` the target of a `set!` anywhere in `form`, outside nested
+/// scopes that rebind it?
+fn is_assigned(name: &str, form: &Sexp) -> bool {
+    let items = match form.as_list() {
+        Some(items) if !items.is_empty() => items,
+        _ => return false,
+    };
+    match items[0].as_sym() {
+        Some("quote") => false,
+        Some("set!") => {
+            items.get(1).and_then(Sexp::as_sym) == Some(name)
+                || items.get(2).is_some_and(|e| is_assigned(name, e))
+        }
+        Some("lambda") => {
+            let shadowed = items
+                .get(1)
+                .and_then(Sexp::as_list)
+                .is_some_and(|ps| ps.iter().any(|p| p.as_sym() == Some(name)));
+            !shadowed && items[2..].iter().any(|f| is_assigned(name, f))
+        }
+        _ => items.iter().any(|f| is_assigned(name, f)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read;
+
+    fn compile(src: &str) -> (Compiler, u32) {
+        let forms = read(src).unwrap();
+        let mut c = Compiler::new();
+        let main = c.compile_program(&forms).unwrap();
+        (c, main)
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let (c, _) = compile("(+ 1 1 1)");
+        let ones = c.consts.iter().filter(|s| **s == Sexp::Int(1)).count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn prim_fast_path_used_for_unshadowed_names() {
+        let (c, main) = compile("(car '(1))");
+        let code = &c.codes[main as usize].code;
+        assert!(code.iter().any(|i| matches!(i, Insn::Prim(PrimOp::Car, 1))), "{code:?}");
+        assert!(!code.iter().any(|i| matches!(i, Insn::Call(_))));
+    }
+
+    #[test]
+    fn shadowed_prim_name_uses_general_call() {
+        let (c, _) = compile("((lambda (car) (car 1)) (lambda (x) x))");
+        let user = c.codes.iter().find(|co| co.arity == 1 && co.name.starts_with("lambda")).unwrap();
+        assert!(
+            user.code.iter().any(|i| matches!(i, Insn::TailCall(1))),
+            "shadowed car is a real call: {:?}",
+            user.code
+        );
+    }
+
+    #[test]
+    fn tail_position_uses_tail_call() {
+        let (c, _) = compile("(define (loop x) (loop x))");
+        let f = c.codes.iter().find(|co| co.name == "loop").unwrap();
+        assert!(f.code.iter().any(|i| matches!(i, Insn::TailCall(1))));
+        assert!(!f.code.iter().any(|i| matches!(i, Insn::Call(_))));
+    }
+
+    #[test]
+    fn non_tail_call_is_plain_call() {
+        let (c, _) = compile("(define (f x) (+ (f x) 1))");
+        let f = c.codes.iter().find(|co| co.name == "f").unwrap();
+        assert!(f.code.iter().any(|i| matches!(i, Insn::Call(1))));
+    }
+
+    #[test]
+    fn free_variables_are_captured() {
+        let (c, _) = compile("(define (adder n) (lambda (x) (+ x n)))");
+        let inner = c.codes.iter().find(|co| co.name.starts_with("lambda")).unwrap();
+        assert!(inner.code.iter().any(|i| matches!(i, Insn::ClosureGet(0))), "{:?}", inner.code);
+        let outer = c.codes.iter().find(|co| co.name == "adder").unwrap();
+        assert!(outer
+            .code
+            .iter()
+            .any(|i| matches!(i, Insn::MakeClosure { nfree: 1, .. })));
+    }
+
+    #[test]
+    fn assigned_params_are_boxed() {
+        let (c, _) = compile("(define (f x) (set! x 1) x)");
+        let f = c.codes.iter().find(|co| co.name == "f").unwrap();
+        assert!(f.code.iter().any(|i| matches!(i, Insn::MakeCell)));
+        assert!(f.code.iter().any(|i| matches!(i, Insn::CellSet(0))));
+        assert!(f.code.iter().any(|i| matches!(i, Insn::CellGet(0))));
+    }
+
+    #[test]
+    fn unassigned_params_are_not_boxed() {
+        let (c, _) = compile("(define (f x) x)");
+        let f = c.codes.iter().find(|co| co.name == "f").unwrap();
+        assert!(!f.code.iter().any(|i| matches!(i, Insn::MakeCell)));
+    }
+
+    #[test]
+    fn variadic_add_folds() {
+        let (c, main) = compile("(+ 1 2 3 4)");
+        let adds = c.codes[main as usize]
+            .code
+            .iter()
+            .filter(|i| matches!(i, Insn::Prim(PrimOp::Add, 2)))
+            .count();
+        assert_eq!(adds, 3);
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let forms = read("(car 1 2)").unwrap();
+        assert!(Compiler::new().compile_program(&forms).is_err());
+        let forms = read("(define x)").unwrap();
+        assert!(Compiler::new().compile_program(&forms).is_err());
+        let forms = read("((lambda (x) (define y 1) y) 2)").unwrap();
+        assert!(Compiler::new().compile_program(&forms).is_err());
+    }
+
+    #[test]
+    fn assigned_analysis_respects_shadowing() {
+        let f = read("(lambda (x) (set! x 1))").unwrap().remove(0);
+        assert!(!is_assigned("x", &f), "inner binding shadows");
+        let g = read("(lambda (y) (set! x 1))").unwrap().remove(0);
+        assert!(is_assigned("x", &g));
+        let q = read("(quote (set! x 1))").unwrap().remove(0);
+        assert!(!is_assigned("x", &q));
+    }
+}

@@ -1,0 +1,46 @@
+//! VM error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong while reading, compiling, or running a
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Malformed source text.
+    Read(String),
+    /// A form the compiler rejects (bad special form, arity error in a
+    /// binding form, ...).
+    Compile(String),
+    /// A runtime type or arity error, or a call to the `error` primitive.
+    Runtime(String),
+    /// The collector could not reclaim enough memory to continue.
+    OutOfMemory(String),
+    /// The simulated procedure-call stack exceeded its address region.
+    StackOverflow,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Read(m) => write!(f, "read error: {m}"),
+            VmError::Compile(m) => write!(f, "compile error: {m}"),
+            VmError::Runtime(m) => write!(f, "runtime error: {m}"),
+            VmError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_prefixed() {
+        assert_eq!(VmError::Read("x".into()).to_string(), "read error: x");
+        assert_eq!(VmError::StackOverflow.to_string(), "stack overflow");
+    }
+}

@@ -1,0 +1,291 @@
+//! Expansion of derived forms into the core language.
+//!
+//! The core forms are `quote`, `if`, `set!`, `lambda`, `begin`, `define`,
+//! and application. Everything else (`let`, `let*`, `letrec`, named `let`,
+//! `cond`, `and`, `or`, `when`, `unless`) is rewritten here. Binding forms
+//! become lambda applications, so the compiler's only variables are
+//! procedure parameters.
+
+use crate::error::VmError;
+use crate::sexp::Sexp;
+
+fn err(msg: impl Into<String>) -> VmError {
+    VmError::Compile(msg.into())
+}
+
+fn list(items: Vec<Sexp>) -> Sexp {
+    Sexp::List(items)
+}
+
+fn sym(s: &str) -> Sexp {
+    Sexp::sym(s)
+}
+
+/// Generate a symbol no reader-produced program can contain.
+fn gensym(counter: &mut u32) -> Sexp {
+    let s = format!("\u{1}g{counter}");
+    *counter += 1;
+    Sexp::Sym(s)
+}
+
+/// True if `head` names a derived form this module expands.
+pub(crate) fn is_derived(head: &str) -> bool {
+    matches!(head, "let" | "let*" | "letrec" | "cond" | "and" | "or" | "when" | "unless")
+}
+
+/// Expand one level of a derived form. The caller re-examines the result.
+///
+/// # Errors
+///
+/// Returns [`VmError::Compile`] on malformed derived forms.
+pub(crate) fn expand_one(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
+    let head = items[0].as_sym().expect("expand_one called on non-symbol head");
+    match head {
+        "let" => expand_let(items, counter),
+        "let*" => expand_let_star(items),
+        "letrec" => expand_letrec(items),
+        "cond" => expand_cond(items, counter),
+        "and" => expand_and(items),
+        "or" => expand_or(items, counter),
+        "when" => {
+            if items.len() < 3 {
+                return Err(err("when: needs a test and a body"));
+            }
+            let mut body = vec![sym("begin")];
+            body.extend_from_slice(&items[2..]);
+            Ok(list(vec![sym("if"), items[1].clone(), list(body)]))
+        }
+        "unless" => {
+            if items.len() < 3 {
+                return Err(err("unless: needs a test and a body"));
+            }
+            let mut body = vec![sym("begin")];
+            body.extend_from_slice(&items[2..]);
+            Ok(list(vec![
+                sym("if"),
+                list(vec![sym("not"), items[1].clone()]),
+                list(body),
+            ]))
+        }
+        other => Err(err(format!("not a derived form: {other}"))),
+    }
+}
+
+fn parse_bindings(form: &Sexp, what: &str) -> Result<(Vec<Sexp>, Vec<Sexp>), VmError> {
+    let bindings = form.as_list().ok_or_else(|| err(format!("{what}: bad binding list")))?;
+    let mut names = Vec::new();
+    let mut inits = Vec::new();
+    for b in bindings {
+        match b.as_list() {
+            Some([name @ Sexp::Sym(_), init]) => {
+                names.push(name.clone());
+                inits.push(init.clone());
+            }
+            _ => return Err(err(format!("{what}: bad binding {b}"))),
+        }
+    }
+    Ok((names, inits))
+}
+
+fn expand_let(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
+    // Named let: (let loop ((x a) ...) body ...)
+    if items.len() >= 3 && items[1].as_sym().is_some() {
+        let name = items[1].clone();
+        let (names, inits) = parse_bindings(&items[2], "named let")?;
+        let mut lambda = vec![sym("lambda"), list(names)];
+        lambda.extend_from_slice(&items[3..]);
+        if items.len() < 4 {
+            return Err(err("named let: empty body"));
+        }
+        let binding = list(vec![name.clone(), list(lambda)]);
+        let mut call = vec![list(vec![sym("letrec"), list(vec![binding]), name])];
+        call.extend(inits);
+        return Ok(list(call));
+    }
+    if items.len() < 3 {
+        return Err(err("let: needs bindings and a body"));
+    }
+    let (names, inits) = parse_bindings(&items[1], "let")?;
+    let mut lambda = vec![sym("lambda"), list(names)];
+    lambda.extend_from_slice(&items[2..]);
+    let mut call = vec![list(lambda)];
+    call.extend(inits);
+    let _ = counter;
+    Ok(list(call))
+}
+
+fn expand_let_star(items: &[Sexp]) -> Result<Sexp, VmError> {
+    if items.len() < 3 {
+        return Err(err("let*: needs bindings and a body"));
+    }
+    let bindings = items[1].as_list().ok_or_else(|| err("let*: bad binding list"))?;
+    if bindings.len() <= 1 {
+        let mut out = vec![sym("let"), items[1].clone()];
+        out.extend_from_slice(&items[2..]);
+        return Ok(list(out));
+    }
+    let first = bindings[0].clone();
+    let mut inner = vec![sym("let*"), list(bindings[1..].to_vec())];
+    inner.extend_from_slice(&items[2..]);
+    Ok(list(vec![sym("let"), list(vec![first]), list(inner)]))
+}
+
+fn expand_letrec(items: &[Sexp]) -> Result<Sexp, VmError> {
+    if items.len() < 3 {
+        return Err(err("letrec: needs bindings and a body"));
+    }
+    let (names, inits) = parse_bindings(&items[1], "letrec")?;
+    let mut body = vec![sym("lambda"), list(names.clone())];
+    for (name, init) in names.iter().zip(&inits) {
+        body.push(list(vec![sym("set!"), name.clone(), init.clone()]));
+    }
+    body.extend_from_slice(&items[2..]);
+    let mut call = vec![list(body)];
+    call.extend(names.iter().map(|_| Sexp::Bool(false)));
+    Ok(list(call))
+}
+
+fn expand_cond(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
+    let clauses = &items[1..];
+    if clauses.is_empty() {
+        return Err(err("cond: no clauses"));
+    }
+    let clause = clauses[0].as_list().ok_or_else(|| err("cond: bad clause"))?;
+    if clause.is_empty() {
+        return Err(err("cond: empty clause"));
+    }
+    let rest = if clauses.len() > 1 {
+        let mut r = vec![sym("cond")];
+        r.extend_from_slice(&clauses[1..]);
+        Some(list(r))
+    } else {
+        None
+    };
+    if clause[0].as_sym() == Some("else") {
+        if rest.is_some() {
+            return Err(err("cond: else clause must be last"));
+        }
+        let mut body = vec![sym("begin")];
+        body.extend_from_slice(&clause[1..]);
+        return Ok(list(body));
+    }
+    if clause.len() == 1 {
+        // (cond (c) rest...) -> (or c (cond rest...))
+        let mut or_form = vec![sym("or"), clause[0].clone()];
+        if let Some(r) = rest {
+            or_form.push(r);
+        }
+        return expand_or(&or_form.clone(), counter);
+    }
+    let mut body = vec![sym("begin")];
+    body.extend_from_slice(&clause[1..]);
+    let mut form = vec![sym("if"), clause[0].clone(), list(body)];
+    if let Some(r) = rest {
+        form.push(r);
+    }
+    Ok(list(form))
+}
+
+fn expand_and(items: &[Sexp]) -> Result<Sexp, VmError> {
+    match &items[1..] {
+        [] => Ok(Sexp::Bool(true)),
+        [e] => Ok(e.clone()),
+        [e, rest @ ..] => {
+            let mut inner = vec![sym("and")];
+            inner.extend_from_slice(rest);
+            Ok(list(vec![sym("if"), e.clone(), list(inner), Sexp::Bool(false)]))
+        }
+    }
+}
+
+fn expand_or(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
+    match &items[1..] {
+        [] => Ok(Sexp::Bool(false)),
+        [e] => Ok(e.clone()),
+        [e, rest @ ..] => {
+            let tmp = gensym(counter);
+            let mut inner = vec![sym("or")];
+            inner.extend_from_slice(rest);
+            let binding = list(vec![tmp.clone(), e.clone()]);
+            Ok(list(vec![
+                sym("let"),
+                list(vec![binding]),
+                list(vec![sym("if"), tmp.clone(), tmp, list(inner)]),
+            ]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read;
+
+    fn exp(src: &str) -> String {
+        let form = read(src).unwrap().remove(0);
+        let items = form.as_list().unwrap().to_vec();
+        let mut counter = 0;
+        expand_one(&items, &mut counter).unwrap().to_string()
+    }
+
+    #[test]
+    fn let_becomes_application() {
+        assert_eq!(exp("(let ((x 1) (y 2)) (+ x y))"), "((lambda (x y) (+ x y)) 1 2)");
+    }
+
+    #[test]
+    fn named_let_becomes_letrec() {
+        assert_eq!(
+            exp("(let loop ((i 0)) (loop (+ i 1)))"),
+            "((letrec ((loop (lambda (i) (loop (+ i 1))))) loop) 0)"
+        );
+    }
+
+    #[test]
+    fn letrec_assignment_converts() {
+        assert_eq!(
+            exp("(letrec ((f (lambda (x) (f x)))) (f 1))"),
+            "((lambda (f) (set! f (lambda (x) (f x))) (f 1)) #f)"
+        );
+    }
+
+    #[test]
+    fn let_star_nests() {
+        assert_eq!(
+            exp("(let* ((a 1) (b a)) b)"),
+            "(let ((a 1)) (let* ((b a)) b))"
+        );
+    }
+
+    #[test]
+    fn cond_chains_ifs() {
+        assert_eq!(exp("(cond (a 1) (else 2))"), "(if a (begin 1) (cond (else 2)))");
+        assert_eq!(exp("(cond (else 2 3))"), "(begin 2 3)");
+    }
+
+    #[test]
+    fn and_or() {
+        assert_eq!(exp("(and a b)"), "(if a (and b) #f)");
+        assert_eq!(exp("(and)"), "#t");
+        assert_eq!(exp("(or)"), "#f");
+        let o = exp("(or a b)");
+        assert!(o.starts_with("(let ((\u{1}g0 a))"), "{o}");
+    }
+
+    #[test]
+    fn when_unless() {
+        assert_eq!(exp("(when c 1 2)"), "(if c (begin 1 2))");
+        assert_eq!(exp("(unless c 1)"), "(if (not c) (begin 1))");
+    }
+
+    #[test]
+    fn malformed_forms_error() {
+        let bad = ["(let (x) 1)", "(let)", "(cond)", "(letrec ((1 2)) 3)", "(when c)"];
+        for src in bad {
+            let form = read(src).unwrap().remove(0);
+            let items = form.as_list().unwrap().to_vec();
+            let mut c = 0;
+            assert!(expand_one(&items, &mut c).is_err(), "{src}");
+        }
+    }
+}

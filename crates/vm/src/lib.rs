@@ -1,0 +1,54 @@
+//! A small Scheme system: the paper's T-system analog.
+//!
+//! The paper's five test programs run in Yale T, "one of the best Scheme
+//! compilers currently available", on a MIPS R3000, under an
+//! instruction-level emulator that produces data-reference traces. This
+//! crate plays all three roles at once:
+//!
+//! * [`read`] — an s-expression reader.
+//! * [`Compiler`] — a bytecode compiler with flat (orbit-style) closures:
+//!   free variables are copied into the closure at creation; assigned
+//!   variables are boxed into cells (assignment conversion); binding forms
+//!   expand into lambda applications; calls in tail position reuse frames.
+//! * [`Machine`] — the virtual machine. Every load and store the simulated
+//!   program performs — stack pushes and pops, global accesses, heap reads
+//!   and writes, allocation initializations — is emitted into a
+//!   [`TraceSink`](cachegc_trace::TraceSink), and every operation charges a
+//!   calibrated number of abstract machine instructions, so the overhead
+//!   formulas of §5–§6 have their `I_prog`, `I_gc`, and `ΔI_prog`.
+//!
+//! Following T, hash tables hash on object *addresses*; after a collection
+//! moves objects, each table is rehashed on its next use, and that induced
+//! work is charged separately (the paper's `ΔI_prog`, §6).
+//!
+//! # Example
+//!
+//! ```
+//! use cachegc_gc::NoCollector;
+//! use cachegc_trace::NullSink;
+//! use cachegc_vm::Machine;
+//!
+//! let mut m = Machine::new(NoCollector::new(), NullSink);
+//! let v = m.run_program("(define (square x) (* x x)) (square 12)").unwrap();
+//! assert_eq!(v.as_fixnum(), 144);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytecode;
+mod compiler;
+mod error;
+mod expand;
+mod machine;
+mod prims;
+mod printer;
+mod reader;
+mod sexp;
+
+pub use bytecode::{CodeObject, Insn, PrimOp};
+pub use compiler::Compiler;
+pub use error::VmError;
+pub use machine::{Machine, RunStats};
+pub use reader::read;
+pub use sexp::Sexp;

@@ -1,0 +1,648 @@
+//! The virtual machine.
+
+use std::collections::HashMap;
+
+use cachegc_gc::{Collector, GcStats, Roots};
+use cachegc_heap::{AllocMode, Heap, HeapConfig, ObjKind, Value};
+use cachegc_trace::{Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, STACK_BASE, STATIC_BASE};
+
+use crate::bytecode::{CodeObject, Insn, PrimOp};
+use crate::compiler::{Compiler, UNSPEC_MARKER};
+use crate::error::VmError;
+use crate::printer;
+use crate::reader::read;
+use crate::sexp::Sexp;
+
+const M: Context = Context::Mutator;
+/// Global-vector capacity in slots.
+const GLOBAL_CAPACITY: u32 = 4096;
+/// Leave headroom below the dynamic area for overflow detection.
+const STACK_LIMIT: u32 = DYNAMIC_BASE - 1024;
+/// Saved-fp sentinel marking the bottommost frame.
+const HALT_SENTINEL: i32 = -1;
+
+/// Statistics from a program run, the inputs to the paper's overhead
+/// formulas alongside the cache simulation's miss counts.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Instruction counts: `I_prog`, `I_gc`, `ΔI_prog`.
+    pub instructions: Counters,
+    /// Total dynamic bytes allocated (the §3 table's "Alloc" column).
+    pub allocated_bytes: u64,
+    /// Collector statistics.
+    pub gc: GcStats,
+}
+
+/// The Scheme virtual machine, generic over a garbage [`Collector`] and a
+/// [`TraceSink`] that receives every data reference the simulated program
+/// makes.
+pub struct Machine<C, S> {
+    pub(crate) heap: Heap,
+    pub(crate) gc: C,
+    pub(crate) sink: S,
+    pub(crate) counters: Counters,
+    pub(crate) compiler: Compiler,
+    consts: Vec<Value>,
+    symbols: HashMap<String, Value>,
+    globals: Value,
+    pub(crate) output: String,
+    // Machine registers (registers are not memory, so access is untraced).
+    pub(crate) acc: Value,
+    clos: Value,
+    pub(crate) sp: u32,
+    fp: u32,
+    code: usize,
+    pc: usize,
+    installed: bool,
+}
+
+impl<C: Collector, S: TraceSink> Machine<C, S> {
+    /// Boot a machine: allocate the runtime's static structures (the global
+    /// vector — the paper's "small vector internal to the T runtime" — and
+    /// primitive closures) and load the Scheme prelude into the static area.
+    pub fn new(gc: C, sink: S) -> Self {
+        let mut m = Machine {
+            heap: Heap::new(HeapConfig::unbounded()),
+            gc,
+            sink,
+            counters: Counters::new(),
+            compiler: Compiler::new(),
+            consts: Vec::new(),
+            symbols: HashMap::new(),
+            globals: Value::unspecified(),
+            output: String::new(),
+            acc: Value::unspecified(),
+            clos: Value::unspecified(),
+            sp: STACK_BASE,
+            fp: STACK_BASE,
+            code: 0,
+            pc: 0,
+            installed: false,
+        };
+        m.heap.set_mode(AllocMode::Static);
+        m.globals = m
+            .heap
+            .alloc_vector(GLOBAL_CAPACITY, Value::undefined(), M, &mut m.sink)
+            .expect("static area cannot be full at boot");
+        m.bind_prims();
+        let prelude = read(PRELUDE).expect("prelude reads");
+        let main = m.compiler.compile_program(&prelude).expect("prelude compiles");
+        m.realize_consts();
+        m.exec(main as usize).expect("prelude runs");
+        m
+    }
+
+    fn bind_prims(&mut self) {
+        for &op in PrimOp::all() {
+            let arity = op.arity();
+            let mut code = Vec::new();
+            for i in 0..arity {
+                code.push(Insn::LocalGet(i));
+                code.push(Insn::Push);
+            }
+            code.push(Insn::Prim(op, arity));
+            code.push(Insn::Return);
+            let idx = self.compiler.codes.len() as u32;
+            self.compiler.codes.push(CodeObject {
+                name: format!("%{}", op.name()),
+                arity,
+                code,
+            });
+            let closure = self
+                .heap
+                .alloc(ObjKind::Closure, &[Value::fixnum(idx as i32)], M, &mut self.sink)
+                .expect("static closure");
+            let slot = self.compiler.global_slot(op.name());
+            let addr = self.globals.addr() + 4 + 4 * slot;
+            self.heap.store(addr, closure, M, &mut self.sink);
+        }
+    }
+
+    /// Compile and run a program. Constants and symbols are allocated in
+    /// the static area at load time; execution allocates dynamically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]: read, compile, or runtime failure.
+    pub fn run_program(&mut self, src: &str) -> Result<Value, VmError> {
+        let forms = read(src)?;
+        let prev = self.heap.mode();
+        self.heap.set_mode(AllocMode::Static);
+        let main = self.compiler.compile_program(&forms)?;
+        self.realize_consts();
+        self.heap.set_mode(prev);
+        assert!(
+            self.compiler.global_count() <= GLOBAL_CAPACITY,
+            "too many globals; raise GLOBAL_CAPACITY"
+        );
+        if !self.installed {
+            self.gc.install(&mut self.heap);
+            self.heap.set_mode(AllocMode::Dynamic);
+            self.installed = true;
+        }
+        self.exec(main as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Everything the program printed with `display`/`newline`.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Instruction counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The collector.
+    pub fn collector(&self) -> &C {
+        &self.gc
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink (e.g. to read statistics mid-run).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the machine, returning its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Consume the machine, returning the collector and the sink.
+    pub fn into_parts(self) -> (C, S) {
+        (self.gc, self.sink)
+    }
+
+    /// Run statistics: instruction counts, allocation volume, GC activity.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            instructions: self.counters,
+            allocated_bytes: self.heap.total_allocated(),
+            gc: *self.gc.stats(),
+        }
+    }
+
+    /// Render a value as `display` would (for tests and examples).
+    pub fn display_value(&self, v: Value) -> String {
+        printer::to_display_string(&self.heap, v)
+    }
+
+    // ------------------------------------------------------------------
+    // Constants and symbols
+    // ------------------------------------------------------------------
+
+    fn realize_consts(&mut self) {
+        debug_assert_eq!(self.heap.mode(), AllocMode::Static);
+        while self.consts.len() < self.compiler.consts.len() {
+            let sexp = self.compiler.consts[self.consts.len()].clone();
+            let v = self.build_const(&sexp);
+            self.consts.push(v);
+        }
+    }
+
+    fn build_const(&mut self, s: &Sexp) -> Value {
+        match s {
+            Sexp::Int(n) => {
+                if let Ok(n32) = i32::try_from(*n) {
+                    if (-(1 << 29)..1 << 29).contains(&n32) {
+                        return Value::fixnum(n32);
+                    }
+                }
+                self.heap.alloc_flonum(*n as f64, M, &mut self.sink).expect("static")
+            }
+            Sexp::Float(x) => self.heap.alloc_flonum(*x, M, &mut self.sink).expect("static"),
+            Sexp::Str(st) => self.heap.alloc_string(st, M, &mut self.sink).expect("static"),
+            Sexp::Char(c) => Value::char(*c),
+            Sexp::Bool(b) => Value::bool(*b),
+            Sexp::Sym(name) if name == UNSPEC_MARKER => Value::unspecified(),
+            Sexp::Sym(name) => self.intern(&name.clone()),
+            Sexp::List(items) => {
+                let mut tail = Value::nil();
+                for item in items.iter().rev() {
+                    let head = self.build_const(item);
+                    tail = self
+                        .heap
+                        .alloc(ObjKind::Pair, &[head, tail], M, &mut self.sink)
+                        .expect("static");
+                }
+                tail
+            }
+        }
+    }
+
+    /// Intern a symbol in the static area.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.symbols.get(name) {
+            return v;
+        }
+        let prev = self.heap.mode();
+        self.heap.set_mode(AllocMode::Static);
+        let str_v = self.heap.alloc_string(name, M, &mut self.sink).expect("static");
+        let hash = name.bytes().fold(2166136261u32, |h, b| (h ^ b as u32).wrapping_mul(16777619));
+        let sym = self
+            .heap
+            .alloc(
+                ObjKind::Symbol,
+                &[str_v, Value::fixnum((hash & 0x0fff_ffff) as i32)],
+                M,
+                &mut self.sink,
+            )
+            .expect("static");
+        self.heap.set_mode(prev);
+        self.symbols.insert(name.to_string(), sym);
+        sym
+    }
+
+    // ------------------------------------------------------------------
+    // Traced memory helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn load(&mut self, addr: u32) -> Value {
+        self.heap.load(addr, M, &mut self.sink)
+    }
+
+    /// Store without a write barrier (stack slots).
+    #[inline]
+    fn store_plain(&mut self, addr: u32, v: Value) {
+        self.heap.store(addr, v, M, &mut self.sink);
+    }
+
+    /// Store into a heap object: traced write plus the generational write
+    /// barrier. Barrier instructions are program work induced by the
+    /// collection strategy, so they are charged to `ΔI_prog`.
+    #[inline]
+    pub(crate) fn heap_store(&mut self, addr: u32, v: Value) {
+        self.heap.store(addr, v, M, &mut self.sink);
+        self.gc.note_store(addr, v);
+        let cost = self.gc.barrier_cost();
+        if cost > 0 {
+            self.counters.charge(InstrClass::GcInduced, cost);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: Value) -> Result<(), VmError> {
+        if self.sp >= STACK_LIMIT {
+            return Err(VmError::StackOverflow);
+        }
+        self.heap.store(self.sp, v, M, &mut self.sink);
+        self.sp += 4;
+        Ok(())
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Value {
+        debug_assert!(self.sp > STACK_BASE);
+        self.sp -= 4;
+        self.heap.load(self.sp, M, &mut self.sink)
+    }
+
+    /// Untraced stack peek, for pre-computing allocation sizes.
+    #[inline]
+    pub(crate) fn peek_arg(&self, nargs: u32, which: u32) -> Value {
+        Value::from_bits(self.heap.peek(self.sp - 4 * (nargs - which)))
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and collection
+    // ------------------------------------------------------------------
+
+    /// Make sure at least `bytes` are allocatable, collecting if needed.
+    /// All live values must be reachable from the roots (stack, static
+    /// area, `acc`, `clos`) when this is called.
+    pub(crate) fn ensure_free(&mut self, bytes: u32) -> Result<(), VmError> {
+        if self.heap.mode() == AllocMode::Static {
+            return Ok(());
+        }
+        if self.heap.dynamic_free() >= bytes {
+            return Ok(());
+        }
+        self.collect_garbage();
+        if self.heap.dynamic_free() < bytes {
+            return Err(VmError::OutOfMemory(format!(
+                "need {bytes} bytes, {} free after collection",
+                self.heap.dynamic_free()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run a garbage collection now, with the VM's full root set.
+    pub fn collect_garbage(&mut self) {
+        let mut regs = [self.acc, self.clos];
+        let mut roots = Roots {
+            flat_ranges: vec![(STACK_BASE, self.sp)],
+            object_ranges: vec![(STATIC_BASE, self.heap.static_top())],
+            registers: &mut regs,
+        };
+        self.gc.collect(&mut self.heap, &mut roots, &mut self.counters, &mut self.sink);
+        self.acc = regs[0];
+        self.clos = regs[1];
+    }
+
+    /// Allocate, assuming [`Machine::ensure_free`] was called.
+    pub(crate) fn alloc(&mut self, kind: ObjKind, payload: &[Value]) -> Result<Value, VmError> {
+        self.heap
+            .alloc(kind, payload, M, &mut self.sink)
+            .map_err(|e| VmError::OutOfMemory(e.to_string()))
+    }
+
+    pub(crate) fn alloc_flonum(&mut self, x: f64) -> Result<Value, VmError> {
+        self.heap
+            .alloc_flonum(x, M, &mut self.sink)
+            .map_err(|e| VmError::OutOfMemory(e.to_string()))
+    }
+
+    pub(crate) fn alloc_vector_vm(&mut self, len: u32, fill: Value) -> Result<Value, VmError> {
+        self.heap
+            .alloc_vector(len, fill, M, &mut self.sink)
+            .map_err(|e| VmError::OutOfMemory(e.to_string()))
+    }
+
+    pub(crate) fn runtime_error(&self, msg: impl Into<String>) -> VmError {
+        VmError::Runtime(msg.into())
+    }
+
+    pub(crate) fn charge(&mut self, class: InstrClass, n: u64) {
+        self.counters.charge(class, n);
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn exec(&mut self, main: usize) -> Result<Value, VmError> {
+        self.sp = STACK_BASE;
+        self.push(Value::unspecified())?; // operator slot of the root frame
+        self.fp = self.sp;
+        self.push(Value::fixnum(HALT_SENTINEL))?; // saved fp
+        self.push(Value::fixnum(HALT_SENTINEL))?; // saved code
+        self.push(Value::fixnum(0))?; // saved pc
+        self.push(Value::unspecified())?; // saved closure
+        self.code = main;
+        self.pc = 0;
+        self.clos = Value::unspecified();
+
+        loop {
+            let insn = self.compiler.codes[self.code].code[self.pc];
+            self.pc += 1;
+            self.counters.charge(InstrClass::Program, insn.weight());
+            match insn {
+                Insn::Const(i) => self.acc = self.consts[i as usize],
+                Insn::LocalGet(i) => self.acc = self.load(self.fp + 4 * i),
+                Insn::LocalSet(i) => {
+                    let (addr, v) = (self.fp + 4 * i, self.acc);
+                    self.store_plain(addr, v);
+                }
+                Insn::CellGet(i) => {
+                    let cell = self.load(self.fp + 4 * i);
+                    self.acc = self.load(cell.addr() + 4);
+                }
+                Insn::CellSet(i) => {
+                    let cell = self.load(self.fp + 4 * i);
+                    let v = self.acc;
+                    self.heap_store(cell.addr() + 4, v);
+                }
+                Insn::ClosureGet(i) => {
+                    let addr = self.clos.addr() + 8 + 4 * i;
+                    self.acc = self.load(addr);
+                }
+                Insn::ClosureCellGet(i) => {
+                    let addr = self.clos.addr() + 8 + 4 * i;
+                    let cell = self.load(addr);
+                    self.acc = self.load(cell.addr() + 4);
+                }
+                Insn::ClosureCellSet(i) => {
+                    let addr = self.clos.addr() + 8 + 4 * i;
+                    let cell = self.load(addr);
+                    let v = self.acc;
+                    self.heap_store(cell.addr() + 4, v);
+                }
+                Insn::GlobalGet(i) => {
+                    let v = self.load(self.globals.addr() + 4 + 4 * i);
+                    if v.is_undefined() {
+                        return Err(self.runtime_error(format!(
+                            "unbound global: {}",
+                            self.compiler.global_name(i)
+                        )));
+                    }
+                    self.acc = v;
+                }
+                Insn::GlobalSet(i) => {
+                    let addr = self.globals.addr() + 4 + 4 * i;
+                    let v = self.acc;
+                    self.heap_store(addr, v);
+                }
+                Insn::Push => {
+                    let v = self.acc;
+                    self.push(v)?;
+                }
+                Insn::MakeCell => {
+                    self.ensure_free(8)?;
+                    let v = self.acc;
+                    self.acc = self.alloc(ObjKind::Cell, &[v])?;
+                }
+                Insn::MakeClosure { code, nfree } => {
+                    self.ensure_free(8 + 4 * nfree)?;
+                    let mut payload = Vec::with_capacity(1 + nfree as usize);
+                    payload.push(Value::fixnum(code as i32));
+                    let base = self.sp - 4 * nfree;
+                    for k in 0..nfree {
+                        let v = self.load(base + 4 * k);
+                        payload.push(v);
+                    }
+                    self.sp = base;
+                    self.acc = self.alloc(ObjKind::Closure, &payload)?;
+                }
+                Insn::Call(n) => self.do_call(n)?,
+                Insn::TailCall(n) => self.do_tail_call(n)?,
+                Insn::Return => {
+                    if self.do_return()? {
+                        return Ok(self.acc);
+                    }
+                }
+                Insn::Jump(t) => self.pc = t as usize,
+                Insn::JumpIfFalse(t) => {
+                    if !self.acc.is_truthy() {
+                        self.pc = t as usize;
+                    }
+                }
+                Insn::Prim(op, n) => self.apply_prim(op, n)?,
+                Insn::Halt => return Ok(self.acc),
+            }
+        }
+    }
+
+    fn check_closure(&mut self, callee: Value, n: u32) -> Result<usize, VmError> {
+        if !callee.is_ptr() || self.heap.header(callee).kind() != ObjKind::Closure {
+            return Err(self.runtime_error(format!(
+                "call of non-procedure: {}",
+                printer::to_display_string(&self.heap, callee)
+            )));
+        }
+        let code_idx = self.load(callee.addr() + 4).as_fixnum() as usize;
+        let arity = self.compiler.codes[code_idx].arity;
+        if arity != n {
+            return Err(self.runtime_error(format!(
+                "{} expects {arity} arguments, got {n}",
+                self.compiler.codes[code_idx].name
+            )));
+        }
+        Ok(code_idx)
+    }
+
+    fn do_call(&mut self, n: u32) -> Result<(), VmError> {
+        let callee = self.load(self.sp - 4 * (n + 1));
+        let code_idx = self.check_closure(callee, n)?;
+        let new_fp = self.sp - 4 * n;
+        self.push(Value::fixnum(self.fp as i32))?;
+        self.push(Value::fixnum(self.code as i32))?;
+        self.push(Value::fixnum(self.pc as i32))?;
+        self.push(self.clos)?;
+        self.fp = new_fp;
+        self.clos = callee;
+        self.code = code_idx;
+        self.pc = 0;
+        Ok(())
+    }
+
+    fn do_tail_call(&mut self, n: u32) -> Result<(), VmError> {
+        let cur_arity = self.compiler.codes[self.code].arity;
+        let ctrl = self.fp + 4 * cur_arity;
+        let s_fp = self.load(ctrl);
+        let s_code = self.load(ctrl + 4);
+        let s_pc = self.load(ctrl + 8);
+        let s_clos = self.load(ctrl + 12);
+        // Slide the new operator and arguments down over the current frame.
+        let src = self.sp - 4 * (n + 1);
+        let mut callee = Value::unspecified();
+        for k in 0..=n {
+            let v = self.load(src + 4 * k);
+            if k == 0 {
+                callee = v;
+            }
+            self.store_plain(self.fp - 4 + 4 * k, v);
+        }
+        let code_idx = self.check_closure(callee, n)?;
+        let ctrl2 = self.fp + 4 * n;
+        self.store_plain(ctrl2, s_fp);
+        self.store_plain(ctrl2 + 4, s_code);
+        self.store_plain(ctrl2 + 8, s_pc);
+        self.store_plain(ctrl2 + 12, s_clos);
+        self.sp = ctrl2 + 16;
+        self.clos = callee;
+        self.code = code_idx;
+        self.pc = 0;
+        Ok(())
+    }
+
+    /// Returns true when the bottom frame returns (program finished).
+    fn do_return(&mut self) -> Result<bool, VmError> {
+        let arity = self.compiler.codes[self.code].arity;
+        let base = self.fp + 4 * arity;
+        let s_fp = self.load(base);
+        if s_fp.as_fixnum() == HALT_SENTINEL {
+            return Ok(true);
+        }
+        let s_code = self.load(base + 4);
+        let s_pc = self.load(base + 8);
+        let s_clos = self.load(base + 12);
+        self.sp = self.fp - 4;
+        self.fp = s_fp.as_fixnum() as u32;
+        self.code = s_code.as_fixnum() as usize;
+        self.pc = s_pc.as_fixnum() as usize;
+        self.clos = s_clos;
+        Ok(false)
+    }
+}
+
+/// The Scheme prelude, loaded into the static area at boot — the analog of
+/// the T system's library: its closures are static blocks (§7).
+const PRELUDE: &str = r#"
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cddr p)))
+(define (cdddr p) (cdr (cddr p)))
+(define (cadddr p) (car (cdddr p)))
+(define (length l)
+  (let loop ((l l) (n 0))
+    (if (null? l) n (loop (cdr l) (+ n 1)))))
+(define (append a b)
+  (if (null? a) b (cons (car a) (append (cdr a) b))))
+(define (reverse l)
+  (let loop ((l l) (acc '()))
+    (if (null? l) acc (loop (cdr l) (cons (car l) acc)))))
+(define (map f l)
+  (if (null? l) '() (cons (f (car l)) (map f (cdr l)))))
+(define (map2 f a b)
+  (if (null? a) '() (cons (f (car a) (car b)) (map2 f (cdr a) (cdr b)))))
+(define (for-each f l)
+  (if (null? l) #f (begin (f (car l)) (for-each f (cdr l)))))
+(define (assq k l)
+  (cond ((null? l) #f)
+        ((eq? (caar l) k) (car l))
+        (else (assq k (cdr l)))))
+(define (assoc k l)
+  (cond ((null? l) #f)
+        ((equal? (caar l) k) (car l))
+        (else (assoc k (cdr l)))))
+(define (memq x l)
+  (cond ((null? l) #f)
+        ((eq? (car l) x) l)
+        (else (memq x (cdr l)))))
+(define (member x l)
+  (cond ((null? l) #f)
+        ((equal? (car l) x) l)
+        (else (member x (cdr l)))))
+(define (list-tail l k)
+  (if (zero? k) l (list-tail (cdr l) (- k 1))))
+(define (list-ref l k) (car (list-tail l k)))
+(define (filter p l)
+  (cond ((null? l) '())
+        ((p (car l)) (cons (car l) (filter p (cdr l))))
+        (else (filter p (cdr l)))))
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+(define (fold-right f init l)
+  (if (null? l) init (f (car l) (fold-right f init (cdr l)))))
+(define (vector-fill! v x)
+  (let loop ((i 0))
+    (if (< i (vector-length v))
+        (begin (vector-set! v i x) (loop (+ i 1)))
+        v)))
+(define (list->vector l)
+  (let ((v (make-vector (length l) 0)))
+    (let loop ((l l) (i 0))
+      (if (null? l) v
+          (begin (vector-set! v i (car l)) (loop (cdr l) (+ i 1)))))))
+(define (vector->list v)
+  (let loop ((i (- (vector-length v) 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons (vector-ref v i) acc)))))
+(define (even? n) (zero? (remainder n 2)))
+(define (odd? n) (not (even? n)))
+(define (negative? n) (< n 0))
+(define (positive? n) (> n 0))
+(define (expt b e)
+  (let loop ((e e) (acc 1))
+    (if (zero? e) acc (loop (- e 1) (* acc b)))))
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+"#;

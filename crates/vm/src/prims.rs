@@ -1,0 +1,622 @@
+//! Primitive operations.
+//!
+//! Argument convention: arguments are pushed left to right, so pops return
+//! them right to left. Primitives that allocate call
+//! [`Machine::ensure_free`] *before* popping, so a collection triggered by
+//! the reservation still sees every live value rooted on the simulated
+//! stack.
+
+use cachegc_gc::Collector;
+use cachegc_heap::{Header, ObjKind, Value};
+use cachegc_trace::{Context, InstrClass, TraceSink};
+
+use crate::bytecode::PrimOp;
+use crate::error::VmError;
+use crate::machine::Machine;
+use crate::printer;
+
+const M: Context = Context::Mutator;
+
+/// Numbers are fixnums or flonums.
+#[derive(Debug, Clone, Copy)]
+enum Num {
+    Fix(i64),
+    Flo(f64),
+}
+
+impl Num {
+    fn as_f64(self) -> f64 {
+        match self {
+            Num::Fix(n) => n as f64,
+            Num::Flo(x) => x,
+        }
+    }
+}
+
+fn eq_hash(v: Value) -> u32 {
+    (v.bits().wrapping_mul(2654435761)) >> 4
+}
+
+fn fits_fixnum(n: i64) -> bool {
+    (-(1i64 << 29)..1i64 << 29).contains(&n)
+}
+
+impl<C: Collector, S: TraceSink> Machine<C, S> {
+    fn kind_of(&self, v: Value) -> Option<ObjKind> {
+        if v.is_ptr() {
+            Some(self.heap.header(v).kind())
+        } else {
+            None
+        }
+    }
+
+    fn expect_kind(&self, v: Value, kind: ObjKind, who: &str) -> Result<(), VmError> {
+        if self.kind_of(v) == Some(kind) {
+            Ok(())
+        } else {
+            Err(self.runtime_error(format!(
+                "{who}: expected {kind:?}, got {}",
+                printer::to_display_string(&self.heap, v)
+            )))
+        }
+    }
+
+    /// Traced read of an object's header word (e.g. a vector bounds check).
+    fn traced_header(&mut self, v: Value) -> Header {
+        Header::from_bits(self.heap.load_raw(v.addr(), M, &mut self.sink))
+    }
+
+    fn to_num(&mut self, v: Value, who: &str) -> Result<Num, VmError> {
+        if v.is_fixnum() {
+            return Ok(Num::Fix(v.as_fixnum() as i64));
+        }
+        if self.kind_of(v) == Some(ObjKind::Flonum) {
+            let x = self.heap.load_flonum(v, M, &mut self.sink);
+            return Ok(Num::Flo(x));
+        }
+        Err(self.runtime_error(format!(
+            "{who}: not a number: {}",
+            printer::to_display_string(&self.heap, v)
+        )))
+    }
+
+    /// Represent a numeric result, boxing to a flonum when needed.
+    /// Callers must have reserved 12 bytes.
+    fn num_value(&mut self, n: Num) -> Result<Value, VmError> {
+        match n {
+            Num::Fix(i) if fits_fixnum(i) => Ok(Value::fixnum(i as i32)),
+            Num::Fix(i) => self.alloc_flonum(i as f64),
+            Num::Flo(x) => self.alloc_flonum(x),
+        }
+    }
+
+    fn pop2(&mut self) -> (Value, Value) {
+        let b = self.pop();
+        let a = self.pop();
+        (a, b)
+    }
+
+    fn arith(&mut self, op: PrimOp) -> Result<(), VmError> {
+        self.ensure_free(12)?;
+        let (a, b) = self.pop2();
+        let name = op.name();
+        let x = self.to_num(a, name)?;
+        let y = self.to_num(b, name)?;
+        let r = match (op, x, y) {
+            (PrimOp::Add, Num::Fix(p), Num::Fix(q)) => Num::Fix(p + q),
+            (PrimOp::Sub, Num::Fix(p), Num::Fix(q)) => Num::Fix(p - q),
+            (PrimOp::Mul, Num::Fix(p), Num::Fix(q)) => Num::Fix(p * q),
+            (PrimOp::Add, p, q) => Num::Flo(p.as_f64() + q.as_f64()),
+            (PrimOp::Sub, p, q) => Num::Flo(p.as_f64() - q.as_f64()),
+            (PrimOp::Mul, p, q) => Num::Flo(p.as_f64() * q.as_f64()),
+            (PrimOp::Div, Num::Fix(p), Num::Fix(q)) => {
+                if q == 0 {
+                    return Err(self.runtime_error("/: division by zero"));
+                }
+                if p % q == 0 {
+                    Num::Fix(p / q)
+                } else {
+                    Num::Flo(p as f64 / q as f64)
+                }
+            }
+            (PrimOp::Div, p, q) => Num::Flo(p.as_f64() / q.as_f64()),
+            _ => unreachable!("arith called with {op}"),
+        };
+        self.acc = self.num_value(r)?;
+        Ok(())
+    }
+
+    fn int_div(&mut self, op: PrimOp) -> Result<(), VmError> {
+        let (a, b) = self.pop2();
+        let name = op.name();
+        if !a.is_fixnum() || !b.is_fixnum() {
+            return Err(self.runtime_error(format!("{name}: needs fixnums")));
+        }
+        let (p, q) = (a.as_fixnum(), b.as_fixnum());
+        if q == 0 {
+            return Err(self.runtime_error(format!("{name}: division by zero")));
+        }
+        let r = match op {
+            PrimOp::Quotient => p / q,
+            PrimOp::Remainder => p % q,
+            PrimOp::Modulo => ((p % q) + q) % q,
+            _ => unreachable!(),
+        };
+        self.acc = Value::fixnum(r);
+        Ok(())
+    }
+
+    fn compare(&mut self, op: PrimOp) -> Result<(), VmError> {
+        let (a, b) = self.pop2();
+        let name = op.name();
+        let x = self.to_num(a, name)?;
+        let y = self.to_num(b, name)?;
+        let r = match (x, y) {
+            (Num::Fix(p), Num::Fix(q)) => match op {
+                PrimOp::NumEq => p == q,
+                PrimOp::Lt => p < q,
+                PrimOp::Le => p <= q,
+                PrimOp::Gt => p > q,
+                PrimOp::Ge => p >= q,
+                _ => unreachable!(),
+            },
+            (p, q) => {
+                let (p, q) = (p.as_f64(), q.as_f64());
+                match op {
+                    PrimOp::NumEq => p == q,
+                    PrimOp::Lt => p < q,
+                    PrimOp::Le => p <= q,
+                    PrimOp::Gt => p > q,
+                    PrimOp::Ge => p >= q,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        self.acc = Value::bool(r);
+        Ok(())
+    }
+
+    fn pair_field(&mut self, offset: u32, who: &str) -> Result<(), VmError> {
+        let p = self.pop();
+        self.expect_kind(p, ObjKind::Pair, who)?;
+        self.acc = self.load(p.addr() + offset);
+        Ok(())
+    }
+
+    fn pair_set(&mut self, offset: u32, who: &str) -> Result<(), VmError> {
+        let (p, v) = self.pop2();
+        self.expect_kind(p, ObjKind::Pair, who)?;
+        self.heap_store(p.addr() + offset, v);
+        self.acc = Value::unspecified();
+        Ok(())
+    }
+
+    fn equal_rec(&mut self, a: Value, b: Value, fuel: &mut u32) -> Result<bool, VmError> {
+        if *fuel == 0 {
+            return Err(self.runtime_error("equal?: structure too deep"));
+        }
+        *fuel -= 1;
+        self.charge(InstrClass::Program, 4);
+        if a == b {
+            return Ok(true);
+        }
+        match (self.kind_of(a), self.kind_of(b)) {
+            (Some(ObjKind::Flonum), Some(ObjKind::Flonum)) => {
+                let x = self.heap.load_flonum(a, M, &mut self.sink);
+                let y = self.heap.load_flonum(b, M, &mut self.sink);
+                Ok(x == y)
+            }
+            (Some(ObjKind::String), Some(ObjKind::String)) => {
+                let x = self.heap.load_string(a, M, &mut self.sink);
+                let y = self.heap.load_string(b, M, &mut self.sink);
+                self.charge(InstrClass::Program, x.len() as u64);
+                Ok(x == y)
+            }
+            (Some(ObjKind::Pair), Some(ObjKind::Pair)) => {
+                let ca = self.load(a.addr() + 4);
+                let cb = self.load(b.addr() + 4);
+                if !self.equal_rec(ca, cb, fuel)? {
+                    return Ok(false);
+                }
+                let da = self.load(a.addr() + 8);
+                let db = self.load(b.addr() + 8);
+                self.equal_rec(da, db, fuel)
+            }
+            (Some(ObjKind::Vector), Some(ObjKind::Vector)) => {
+                let la = self.traced_header(a).len();
+                let lb = self.traced_header(b).len();
+                if la != lb {
+                    return Ok(false);
+                }
+                for i in 0..la {
+                    let ea = self.load(a.addr() + 4 + 4 * i);
+                    let eb = self.load(b.addr() + 4 + 4 * i);
+                    if !self.equal_rec(ea, eb, fuel)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Apply primitive `op` to `n` pushed arguments; the result is left in
+    /// the accumulator.
+    pub(crate) fn apply_prim(&mut self, op: PrimOp, n: u32) -> Result<(), VmError> {
+        use PrimOp::*;
+        match op {
+            Cons => {
+                self.ensure_free(12)?;
+                let (a, d) = self.pop2();
+                self.acc = self.alloc(ObjKind::Pair, &[a, d])?;
+            }
+            Car => self.pair_field(4, "car")?,
+            Cdr => self.pair_field(8, "cdr")?,
+            SetCar => self.pair_set(4, "set-car!")?,
+            SetCdr => self.pair_set(8, "set-cdr!")?,
+            PairP => {
+                let v = self.pop();
+                self.acc = Value::bool(self.kind_of(v) == Some(ObjKind::Pair));
+            }
+            NullP => {
+                let v = self.pop();
+                self.acc = Value::bool(v.is_nil());
+            }
+            EqP => {
+                let (a, b) = self.pop2();
+                self.acc = Value::bool(a == b);
+            }
+            EqvP => {
+                let (a, b) = self.pop2();
+                let eqv = a == b
+                    || (self.kind_of(a) == Some(ObjKind::Flonum)
+                        && self.kind_of(b) == Some(ObjKind::Flonum)
+                        && {
+                            let x = self.heap.load_flonum(a, M, &mut self.sink);
+                            let y = self.heap.load_flonum(b, M, &mut self.sink);
+                            x == y
+                        });
+                self.acc = Value::bool(eqv);
+            }
+            EqualP => {
+                let (a, b) = self.pop2();
+                let mut fuel = 1_000_000;
+                let r = self.equal_rec(a, b, &mut fuel)?;
+                self.acc = Value::bool(r);
+            }
+            Add | Sub | Mul | Div => self.arith(op)?,
+            Quotient | Remainder | Modulo => self.int_div(op)?,
+            NumEq | Lt | Le | Gt | Ge => self.compare(op)?,
+            ZeroP => {
+                let v = self.pop();
+                let x = self.to_num(v, "zero?")?;
+                self.acc = Value::bool(x.as_f64() == 0.0);
+            }
+            Not => {
+                let v = self.pop();
+                self.acc = Value::bool(!v.is_truthy());
+            }
+            Abs => {
+                self.ensure_free(12)?;
+                let v = self.pop();
+                let x = self.to_num(v, "abs")?;
+                let r = match x {
+                    Num::Fix(i) => Num::Fix(i.abs()),
+                    Num::Flo(f) => Num::Flo(f.abs()),
+                };
+                self.acc = self.num_value(r)?;
+            }
+            Min | Max => {
+                let (a, b) = self.pop2();
+                let x = self.to_num(a, op.name())?.as_f64();
+                let y = self.to_num(b, op.name())?.as_f64();
+                let take_a = if op == Min { x <= y } else { x >= y };
+                self.acc = if take_a { a } else { b };
+            }
+            Sqrt => {
+                self.ensure_free(12)?;
+                let v = self.pop();
+                let x = self.to_num(v, "sqrt")?.as_f64();
+                self.acc = self.alloc_flonum(x.sqrt())?;
+            }
+            ExactToInexact => {
+                self.ensure_free(12)?;
+                let v = self.pop();
+                let x = self.to_num(v, "exact->inexact")?.as_f64();
+                self.acc = self.alloc_flonum(x)?;
+            }
+            InexactToExact => {
+                let v = self.pop();
+                match self.to_num(v, "inexact->exact")? {
+                    Num::Fix(_) => self.acc = v,
+                    Num::Flo(x) => {
+                        let t = x.trunc();
+                        if !((-(1i64 << 29) as f64)..(1i64 << 29) as f64).contains(&t) {
+                            return Err(self.runtime_error("inexact->exact: out of fixnum range"));
+                        }
+                        self.acc = Value::fixnum(t as i32);
+                    }
+                }
+            }
+            Floor => {
+                self.ensure_free(12)?;
+                let v = self.pop();
+                match self.to_num(v, "floor")? {
+                    Num::Fix(_) => self.acc = v,
+                    Num::Flo(x) => self.acc = self.alloc_flonum(x.floor())?,
+                }
+            }
+            NumberP => {
+                let v = self.pop();
+                self.acc = Value::bool(v.is_fixnum() || self.kind_of(v) == Some(ObjKind::Flonum));
+            }
+            IntegerP => {
+                let v = self.pop();
+                let r = v.is_fixnum()
+                    || (self.kind_of(v) == Some(ObjKind::Flonum) && {
+                        let x = self.heap.load_flonum(v, M, &mut self.sink);
+                        x.fract() == 0.0
+                    });
+                self.acc = Value::bool(r);
+            }
+            SymbolP => {
+                let v = self.pop();
+                self.acc = Value::bool(self.kind_of(v) == Some(ObjKind::Symbol));
+            }
+            StringP => {
+                let v = self.pop();
+                self.acc = Value::bool(self.kind_of(v) == Some(ObjKind::String));
+            }
+            VectorP => {
+                let v = self.pop();
+                self.acc = Value::bool(self.kind_of(v) == Some(ObjKind::Vector));
+            }
+            ProcedureP => {
+                let v = self.pop();
+                self.acc = Value::bool(self.kind_of(v) == Some(ObjKind::Closure));
+            }
+            BooleanP => {
+                let v = self.pop();
+                self.acc = Value::bool(v.is_bool());
+            }
+            List => {
+                self.ensure_free(12 * n)?;
+                let mut tail = Value::nil();
+                for _ in 0..n {
+                    let v = self.pop();
+                    tail = self.alloc(ObjKind::Pair, &[v, tail])?;
+                }
+                self.acc = tail;
+            }
+            MakeVector => {
+                let len_v = self.peek_arg(2, 0);
+                if !len_v.is_fixnum() || len_v.as_fixnum() < 0 {
+                    return Err(self.runtime_error("make-vector: bad length"));
+                }
+                let len = len_v.as_fixnum() as u32;
+                self.ensure_free(4 + 4 * len)?;
+                let (_, fill) = self.pop2();
+                self.acc = self.alloc_vector_vm(len, fill)?;
+            }
+            VectorRef => {
+                let (v, i) = self.pop2();
+                self.expect_kind(v, ObjKind::Vector, "vector-ref")?;
+                let len = self.traced_header(v).len();
+                let idx = self.vector_index(i, len, "vector-ref")?;
+                self.acc = self.load(v.addr() + 4 + 4 * idx);
+            }
+            VectorSet => {
+                let val = self.pop();
+                let (v, i) = self.pop2();
+                self.expect_kind(v, ObjKind::Vector, "vector-set!")?;
+                let len = self.traced_header(v).len();
+                let idx = self.vector_index(i, len, "vector-set!")?;
+                self.heap_store(v.addr() + 4 + 4 * idx, val);
+                self.acc = Value::unspecified();
+            }
+            VectorLength => {
+                let v = self.pop();
+                self.expect_kind(v, ObjKind::Vector, "vector-length")?;
+                let len = self.traced_header(v).len();
+                self.acc = Value::fixnum(len as i32);
+            }
+            MakeTable => self.make_table()?,
+            TableRef => self.table_ref()?,
+            TableSet => self.table_set()?,
+            TableCount => {
+                let t = self.pop();
+                self.expect_kind(t, ObjKind::Table, "table-count")?;
+                self.acc = self.load(t.addr() + 8);
+            }
+            SymbolToString => {
+                let v = self.pop();
+                self.expect_kind(v, ObjKind::Symbol, "symbol->string")?;
+                self.acc = self.load(v.addr() + 4);
+            }
+            StringLength => {
+                let v = self.pop();
+                self.expect_kind(v, ObjKind::String, "string-length")?;
+                self.acc = self.load(v.addr() + 4);
+            }
+            Display => {
+                let mut parts = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    parts.push(self.pop());
+                }
+                parts.reverse();
+                for v in parts {
+                    let s = printer::to_display_string(&self.heap, v);
+                    self.charge(InstrClass::Program, s.len() as u64);
+                    if self.output.len() < 4 << 20 {
+                        self.output.push_str(&s);
+                    }
+                }
+                self.acc = Value::unspecified();
+            }
+            Newline => {
+                if self.output.len() < 4 << 20 {
+                    self.output.push('\n');
+                }
+                self.acc = Value::unspecified();
+            }
+            Error => {
+                let mut parts = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    parts.push(self.pop());
+                }
+                parts.reverse();
+                let msg: Vec<String> = parts
+                    .iter()
+                    .map(|v| printer::to_display_string(&self.heap, *v))
+                    .collect();
+                return Err(self.runtime_error(msg.join(" ")));
+            }
+            GcEpoch => {
+                self.acc = Value::fixnum((self.heap.gc_epoch() & 0x0fff_ffff) as i32);
+            }
+        }
+        Ok(())
+    }
+
+    fn vector_index(&self, i: Value, len: u32, who: &str) -> Result<u32, VmError> {
+        if !i.is_fixnum() || i.as_fixnum() < 0 || i.as_fixnum() as u32 >= len {
+            return Err(self.runtime_error(format!(
+                "{who}: index {} out of range [0, {len})",
+                printer::to_display_string(&self.heap, i)
+            )));
+        }
+        Ok(i.as_fixnum() as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Hash tables (address-hashed, rehash after GC, as in T)
+    // ------------------------------------------------------------------
+
+    fn epoch_fixnum(&self) -> Value {
+        Value::fixnum((self.heap.gc_epoch() & 0x0fff_ffff) as i32)
+    }
+
+    fn make_table(&mut self) -> Result<(), VmError> {
+        const INITIAL_BUCKETS: u32 = 16;
+        self.ensure_free(4 + 4 * INITIAL_BUCKETS + 16)?;
+        let buckets = self.alloc_vector_vm(INITIAL_BUCKETS, Value::nil())?;
+        let epoch = self.epoch_fixnum();
+        self.acc = self.alloc(ObjKind::Table, &[buckets, Value::fixnum(0), epoch])?;
+        Ok(())
+    }
+
+    /// If the table argument at stack position `which` (of `nargs`) has a
+    /// stale GC epoch, rehash it: object addresses changed, so every
+    /// address-derived hash is invalid. The induced work is the paper's
+    /// `ΔI_prog` (§6).
+    fn maybe_rehash(&mut self, nargs: u32, which: u32, who: &str) -> Result<(), VmError> {
+        let slot = self.sp - 4 * (nargs - which);
+        let table = Value::from_bits(self.heap.peek(slot));
+        self.expect_kind(table, ObjKind::Table, who)?;
+        let stored = self.load(table.addr() + 12);
+        if stored == self.epoch_fixnum() {
+            return Ok(());
+        }
+        self.rehash_table_slot(slot, InstrClass::GcInduced)
+    }
+
+    /// Rehash the table whose pointer lives in stack slot `slot` (kept
+    /// there so a collection triggered by the reservation re-roots it).
+    /// Work is charged to `charge_to`: `GcInduced` when a collection moved
+    /// the keys, `Program` for ordinary load-factor growth.
+    fn rehash_table_slot(&mut self, slot: u32, charge_to: InstrClass) -> Result<(), VmError> {
+        let table = Value::from_bits(self.heap.peek(slot));
+        let count = self.load(table.addr() + 8).as_fixnum() as u32;
+        let buckets = self.load(table.addr() + 4);
+        let nb = self.traced_header(buckets).len();
+        let new_nb = if count > 2 * nb { (2 * nb).max(16) } else { nb };
+        self.ensure_free(4 + 4 * new_nb + 12 * count + 64)?;
+        // The reservation may have collected; reload through the stack.
+        let table = Value::from_bits(self.heap.peek(slot));
+        let buckets = self.load(table.addr() + 4);
+        let nb = self.traced_header(buckets).len();
+        // Gather entry pairs (reused in place; only chain links and the
+        // buckets vector are reallocated). No collection can happen below.
+        let mut entries = Vec::with_capacity(count as usize);
+        for i in 0..nb {
+            let mut chain = self.load(buckets.addr() + 4 + 4 * i);
+            while chain.is_ptr() {
+                entries.push(self.load(chain.addr() + 4));
+                chain = self.load(chain.addr() + 8);
+            }
+        }
+        let newb = self.alloc_vector_vm(new_nb, Value::nil())?;
+        for entry in entries {
+            let key = self.load(entry.addr() + 4);
+            let idx = eq_hash(key) % new_nb;
+            let head = self.load(newb.addr() + 4 + 4 * idx);
+            let link = self.alloc(ObjKind::Pair, &[entry, head])?;
+            self.heap_store(newb.addr() + 4 + 4 * idx, link);
+        }
+        self.heap_store(table.addr() + 4, newb);
+        let epoch = self.epoch_fixnum();
+        self.heap_store(table.addr() + 12, epoch);
+        self.charge(charge_to, 40 + 25 * count as u64);
+        Ok(())
+    }
+
+    fn table_ref(&mut self) -> Result<(), VmError> {
+        self.maybe_rehash(3, 0, "table-ref")?;
+        let default = self.pop();
+        let (table, key) = self.pop2();
+        let buckets = self.load(table.addr() + 4);
+        let nb = self.traced_header(buckets).len();
+        let idx = eq_hash(key) % nb;
+        let mut chain = self.load(buckets.addr() + 4 + 4 * idx);
+        while chain.is_ptr() {
+            self.charge(InstrClass::Program, 4);
+            let entry = self.load(chain.addr() + 4);
+            let k = self.load(entry.addr() + 4);
+            if k == key {
+                self.acc = self.load(entry.addr() + 8);
+                return Ok(());
+            }
+            chain = self.load(chain.addr() + 8);
+        }
+        self.acc = default;
+        Ok(())
+    }
+
+    fn table_set(&mut self) -> Result<(), VmError> {
+        self.maybe_rehash(3, 0, "table-set!")?;
+        self.ensure_free(24)?;
+        let val = self.pop();
+        let (table, key) = self.pop2();
+        let buckets = self.load(table.addr() + 4);
+        let nb = self.traced_header(buckets).len();
+        let idx = eq_hash(key) % nb;
+        let mut chain = self.load(buckets.addr() + 4 + 4 * idx);
+        while chain.is_ptr() {
+            self.charge(InstrClass::Program, 4);
+            let entry = self.load(chain.addr() + 4);
+            let k = self.load(entry.addr() + 4);
+            if k == key {
+                self.heap_store(entry.addr() + 8, val);
+                self.acc = Value::unspecified();
+                return Ok(());
+            }
+            chain = self.load(chain.addr() + 8);
+        }
+        let entry = self.alloc(ObjKind::Pair, &[key, val])?;
+        let head = self.load(buckets.addr() + 4 + 4 * idx);
+        let link = self.alloc(ObjKind::Pair, &[entry, head])?;
+        self.heap_store(buckets.addr() + 4 + 4 * idx, link);
+        let count = self.load(table.addr() + 8).as_fixnum();
+        self.heap_store(table.addr() + 8, Value::fixnum(count + 1));
+        // Grow once the load factor passes 3: keep the table pointer rooted
+        // on the stack across the resizing rehash.
+        if (count + 1) as u32 > 3 * nb {
+            self.push(table)?;
+            self.rehash_table_slot(self.sp - 4, InstrClass::Program)?;
+            let _ = self.pop();
+        }
+        self.acc = Value::unspecified();
+        Ok(())
+    }
+}

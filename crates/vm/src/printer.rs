@@ -1,0 +1,128 @@
+//! Rendering simulated heap values as text.
+//!
+//! Printing is an I/O concern, so it walks the heap *untraced* (the
+//! paper's programs are non-interactive and their output is negligible
+//! next to their computation); the `display` primitive charges
+//! instructions separately.
+
+use cachegc_heap::{Header, Heap, ObjKind, Value};
+
+const MAX_NODES: usize = 100_000;
+
+/// Render `v` into `out`, reading object contents directly from the heap.
+pub(crate) fn print_value(heap: &Heap, v: Value, out: &mut String) {
+    let mut budget = MAX_NODES;
+    print_rec(heap, v, out, &mut budget);
+}
+
+/// Render `v` to a fresh string.
+pub(crate) fn to_display_string(heap: &Heap, v: Value) -> String {
+    let mut s = String::new();
+    print_value(heap, v, &mut s);
+    s
+}
+
+fn peek_string(heap: &Heap, ptr: Value) -> String {
+    let len = Value::from_bits(heap.peek(ptr.addr() + 4)).as_fixnum() as usize;
+    let mut bytes = Vec::with_capacity(len);
+    for i in 0..len.div_ceil(4) {
+        let w = heap.peek(ptr.addr() + 8 + 4 * i as u32);
+        for b in 0..4 {
+            if bytes.len() < len {
+                bytes.push((w >> (8 * b)) as u8);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn print_rec(heap: &Heap, v: Value, out: &mut String, budget: &mut usize) {
+    if *budget == 0 {
+        out.push_str("...");
+        return;
+    }
+    *budget -= 1;
+    if v.is_fixnum() {
+        out.push_str(&v.as_fixnum().to_string());
+    } else if v.is_nil() {
+        out.push_str("()");
+    } else if v == Value::bool(true) {
+        out.push_str("#t");
+    } else if v == Value::bool(false) {
+        out.push_str("#f");
+    } else if v.is_unspecified() {
+        out.push_str("#<unspecified>");
+    } else if v.is_undefined() {
+        out.push_str("#<undefined>");
+    } else if let Some(c) = v.as_char() {
+        out.push(c);
+    } else if v.is_ptr() {
+        let header = Header::from_bits(heap.peek(v.addr()));
+        match header.kind() {
+            ObjKind::Pair => {
+                out.push('(');
+                let mut cur = v;
+                loop {
+                    if *budget == 0 {
+                        out.push_str("...");
+                        break;
+                    }
+                    *budget -= 1;
+                    let car = Value::from_bits(heap.peek(cur.addr() + 4));
+                    print_rec(heap, car, out, budget);
+                    let cdr = Value::from_bits(heap.peek(cur.addr() + 8));
+                    if cdr.is_nil() {
+                        break;
+                    }
+                    if cdr.is_ptr()
+                        && Header::from_bits(heap.peek(cdr.addr())).kind() == ObjKind::Pair
+                    {
+                        out.push(' ');
+                        cur = cdr;
+                    } else {
+                        out.push_str(" . ");
+                        print_rec(heap, cdr, out, budget);
+                        break;
+                    }
+                }
+                out.push(')');
+            }
+            ObjKind::Vector => {
+                out.push_str("#(");
+                for i in 0..header.len() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let e = Value::from_bits(heap.peek(v.addr() + 4 + 4 * i));
+                    print_rec(heap, e, out, budget);
+                }
+                out.push(')');
+            }
+            ObjKind::String => out.push_str(&peek_string(heap, v)),
+            ObjKind::Symbol => {
+                let name = Value::from_bits(heap.peek(v.addr() + 4));
+                out.push_str(&peek_string(heap, name));
+            }
+            ObjKind::Flonum => {
+                let lo = heap.peek(v.addr() + 4) as u64;
+                let hi = heap.peek(v.addr() + 8) as u64;
+                let x = f64::from_bits(hi << 32 | lo);
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            }
+            ObjKind::Closure => out.push_str("#<procedure>"),
+            ObjKind::Cell => {
+                out.push_str("#<cell ");
+                let inner = Value::from_bits(heap.peek(v.addr() + 4));
+                print_rec(heap, inner, out, budget);
+                out.push('>');
+            }
+            ObjKind::Table => out.push_str("#<table>"),
+        }
+    } else {
+        out.push_str(&format!("#<value {:#x}>", v.bits()));
+    }
+}

@@ -1,0 +1,251 @@
+//! The s-expression reader.
+
+use crate::error::VmError;
+use crate::sexp::Sexp;
+
+/// Parse a whole source text into its top-level forms.
+///
+/// Supports symbols, integers, floats, strings, characters (`#\a`,
+/// `#\space`, `#\newline`), booleans (`#t`, `#f`), proper lists, quotation
+/// (`'x` reads as `(quote x)`), and `;` line comments.
+///
+/// # Errors
+///
+/// Returns [`VmError::Read`] on malformed input (unbalanced parentheses,
+/// bad literals, stray closing parens).
+///
+/// ```
+/// use cachegc_vm::read;
+/// let forms = read("(+ 1 2) 'a").unwrap();
+/// assert_eq!(forms.len(), 2);
+/// assert_eq!(forms[1].to_string(), "(quote a)");
+/// ```
+pub fn read(src: &str) -> Result<Vec<Sexp>, VmError> {
+    let mut r = Reader { chars: src.chars().collect(), pos: 0 };
+    let mut forms = Vec::new();
+    loop {
+        r.skip_ws();
+        if r.at_end() {
+            return Ok(forms);
+        }
+        forms.push(r.form()?);
+    }
+}
+
+struct Reader {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Reader {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == ';' {
+                while let Some(c) = self.next() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else if c.is_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VmError {
+        VmError::Read(format!("{} (at char {})", msg.into(), self.pos))
+    }
+
+    fn form(&mut self) -> Result<Sexp, VmError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some('(') => self.list(),
+            Some(')') => Err(self.err("unexpected ')'")),
+            Some('\'') => {
+                self.next();
+                let quoted = self.form()?;
+                Ok(Sexp::List(vec![Sexp::sym("quote"), quoted]))
+            }
+            Some('"') => self.string(),
+            Some('#') => self.hash(),
+            Some(_) => self.atom(),
+        }
+    }
+
+    fn list(&mut self) -> Result<Sexp, VmError> {
+        self.next(); // consume '('
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated list")),
+                Some(')') => {
+                    self.next();
+                    return Ok(Sexp::List(items));
+                }
+                Some(_) => items.push(self.form()?),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Sexp, VmError> {
+        self.next(); // consume '"'
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(Sexp::Str(s)),
+                Some('\\') => match self.next() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    other => return Err(self.err(format!("bad string escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn hash(&mut self) -> Result<Sexp, VmError> {
+        self.next(); // consume '#'
+        match self.next() {
+            Some('t') => Ok(Sexp::Bool(true)),
+            Some('f') => Ok(Sexp::Bool(false)),
+            Some('\\') => {
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' {
+                        break;
+                    }
+                    name.push(c);
+                    self.pos += 1;
+                }
+                match name.as_str() {
+                    "space" => Ok(Sexp::Char(' ')),
+                    "newline" => Ok(Sexp::Char('\n')),
+                    "tab" => Ok(Sexp::Char('\t')),
+                    s if s.chars().count() == 1 => Ok(Sexp::Char(s.chars().next().unwrap())),
+                    s => Err(self.err(format!("bad character literal #\\{s}"))),
+                }
+            }
+            other => Err(self.err(format!("bad # syntax {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Sexp, VmError> {
+        let mut tok = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() || c == '(' || c == ')' || c == ';' || c == '"' || c == '\'' {
+                break;
+            }
+            tok.push(c);
+            self.pos += 1;
+        }
+        debug_assert!(!tok.is_empty());
+        // Numbers: optional sign, then digits; a '.' makes it a float.
+        let numeric_start = tok.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || (tok.len() > 1
+                && (tok.starts_with('-') || tok.starts_with('+'))
+                && tok.chars().nth(1).is_some_and(|c| c.is_ascii_digit() || c == '.'));
+        if numeric_start {
+            if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                if let Ok(x) = tok.parse::<f64>() {
+                    return Ok(Sexp::Float(x));
+                }
+            } else if let Ok(n) = tok.parse::<i64>() {
+                return Ok(Sexp::Int(n));
+            }
+            // Token looked numeric but isn't (e.g. "1+"): it's a symbol.
+        }
+        Ok(Sexp::Sym(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Sexp {
+        let forms = read(src).unwrap();
+        assert_eq!(forms.len(), 1, "{src}");
+        forms.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(one("foo"), Sexp::sym("foo"));
+        assert_eq!(one("42"), Sexp::Int(42));
+        assert_eq!(one("-17"), Sexp::Int(-17));
+        assert_eq!(one("+5"), Sexp::Int(5));
+        assert_eq!(one("3.25"), Sexp::Float(3.25));
+        assert_eq!(one("-1e3"), Sexp::Float(-1000.0));
+        assert_eq!(one("#t"), Sexp::Bool(true));
+        assert_eq!(one("#f"), Sexp::Bool(false));
+        assert_eq!(one("#\\a"), Sexp::Char('a'));
+        assert_eq!(one("#\\space"), Sexp::Char(' '));
+        assert_eq!(one("\"hi\\n\""), Sexp::Str("hi\n".into()));
+        assert_eq!(one("-"), Sexp::sym("-"));
+        assert_eq!(one("1+"), Sexp::sym("1+"), "T-style name is a symbol");
+    }
+
+    #[test]
+    fn lists_and_nesting() {
+        assert_eq!(one("()"), Sexp::List(vec![]));
+        assert_eq!(
+            one("(a (b 1) 2)"),
+            Sexp::List(vec![
+                Sexp::sym("a"),
+                Sexp::List(vec![Sexp::sym("b"), Sexp::Int(1)]),
+                Sexp::Int(2)
+            ])
+        );
+    }
+
+    #[test]
+    fn quote_sugar() {
+        assert_eq!(one("'x"), Sexp::List(vec![Sexp::sym("quote"), Sexp::sym("x")]));
+        assert_eq!(one("''x").to_string(), "(quote (quote x))");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let forms = read("; leading\n(a) ; trailing\n(b)").unwrap();
+        assert_eq!(forms.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let src = "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))";
+        let form = one(src);
+        assert_eq!(one(&form.to_string()), form);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(read("(a").is_err());
+        assert!(read(")").is_err());
+        assert!(read("\"abc").is_err());
+        assert!(read("#\\toolong").is_err());
+        assert!(read("#q").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! S-expressions, the reader's output and the compiler's input.
+
+use std::fmt;
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// A symbol.
+    Sym(String),
+    /// An exact integer.
+    Int(i64),
+    /// An inexact real.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A character literal.
+    Char(char),
+    /// A boolean literal.
+    Bool(bool),
+    /// A proper list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Shorthand for a symbol.
+    pub fn sym(s: &str) -> Sexp {
+        Sexp::Sym(s.to_string())
+    }
+
+    /// The symbol's name, if this is a symbol.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Sexp::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list's elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if this is the empty list.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Sexp::List(items) if items.is_empty())
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Sym(s) => write!(f, "{s}"),
+            Sexp::Int(n) => write!(f, "{n}"),
+            Sexp::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Sexp::Str(s) => write!(f, "{s:?}"),
+            Sexp::Char(c) => match c {
+                ' ' => write!(f, "#\\space"),
+                '\n' => write!(f, "#\\newline"),
+                c => write!(f, "#\\{c}"),
+            },
+            Sexp::Bool(true) => write!(f, "#t"),
+            Sexp::Bool(false) => write!(f, "#f"),
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = Sexp::List(vec![
+            Sexp::sym("define"),
+            Sexp::sym("x"),
+            Sexp::Int(-3),
+            Sexp::Float(2.0),
+            Sexp::Bool(true),
+            Sexp::Char(' '),
+            Sexp::Str("hi".into()),
+            Sexp::List(vec![]),
+        ]);
+        assert_eq!(e.to_string(), "(define x -3 2.0 #t #\\space \"hi\" ())");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Sexp::sym("a").as_sym(), Some("a"));
+        assert_eq!(Sexp::Int(1).as_sym(), None);
+        assert!(Sexp::List(vec![]).is_nil());
+        assert!(!Sexp::List(vec![Sexp::Int(1)]).is_nil());
+    }
+}

@@ -1,0 +1,441 @@
+//! End-to-end tests of the Scheme system: reader → compiler → machine,
+//! with and without garbage collection.
+
+use cachegc_gc::{CheneyCollector, Collector, GenerationalCollector, NoCollector};
+use cachegc_trace::{Context, NullSink, RefCounter};
+use cachegc_vm::{Machine, VmError};
+
+fn eval(src: &str) -> String {
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    match m.run_program(src) {
+        Ok(v) => m.display_value(v),
+        Err(e) => panic!("{src}: {e}"),
+    }
+}
+
+fn eval_gc(src: &str, semispace: u32) -> String {
+    let mut m = Machine::new(CheneyCollector::new(semispace), NullSink);
+    match m.run_program(src) {
+        Ok(v) => m.display_value(v),
+        Err(e) => panic!("{src}: {e}"),
+    }
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(eval("(+ 1 2)"), "3");
+    assert_eq!(eval("(- 10 4 3)"), "3");
+    assert_eq!(eval("(* 2 3 4)"), "24");
+    assert_eq!(eval("(/ 12 4)"), "3");
+    assert_eq!(eval("(/ 1 2)"), "0.5");
+    assert_eq!(eval("(- 5)"), "-5");
+    assert_eq!(eval("(quotient 17 5)"), "3");
+    assert_eq!(eval("(remainder 17 5)"), "2");
+    assert_eq!(eval("(modulo -7 3)"), "2");
+    assert_eq!(eval("(min 3 1)"), "1");
+    assert_eq!(eval("(max 3 1)"), "3");
+    assert_eq!(eval("(abs -4)"), "4");
+}
+
+#[test]
+fn flonum_arithmetic() {
+    assert_eq!(eval("(+ 1.5 2.5)"), "4.0");
+    assert_eq!(eval("(* 2.0 3)"), "6.0");
+    assert_eq!(eval("(sqrt 16)"), "4.0");
+    assert_eq!(eval("(exact->inexact 3)"), "3.0");
+    assert_eq!(eval("(floor 3.7)"), "3.0");
+    assert_eq!(eval("(< 1.5 2)"), "#t");
+    assert_eq!(eval("(= 2.0 2)"), "#t");
+    assert_eq!(eval("(integer? 2.0)"), "#t");
+    assert_eq!(eval("(integer? 2.5)"), "#f");
+}
+
+#[test]
+fn fixnum_overflow_promotes() {
+    // 2^29 exceeds the 30-bit fixnum range; result becomes a flonum.
+    assert_eq!(eval("(* 536870912 2)"), "1073741824.0");
+}
+
+#[test]
+fn comparisons_and_predicates() {
+    assert_eq!(eval("(< 1 2)"), "#t");
+    assert_eq!(eval("(>= 2 2)"), "#t");
+    assert_eq!(eval("(zero? 0)"), "#t");
+    assert_eq!(eval("(pair? '(1))"), "#t");
+    assert_eq!(eval("(pair? '())"), "#f");
+    assert_eq!(eval("(null? '())"), "#t");
+    assert_eq!(eval("(symbol? 'a)"), "#t");
+    assert_eq!(eval("(number? 3.5)"), "#t");
+    assert_eq!(eval("(string? \"s\")"), "#t");
+    assert_eq!(eval("(vector? (make-vector 2 0))"), "#t");
+    assert_eq!(eval("(procedure? car)"), "#t");
+    assert_eq!(eval("(boolean? #f)"), "#t");
+    assert_eq!(eval("(not #f)"), "#t");
+    assert_eq!(eval("(even? 4)"), "#t");
+    assert_eq!(eval("(odd? 4)"), "#f");
+}
+
+#[test]
+fn equality() {
+    assert_eq!(eval("(eq? 'a 'a)"), "#t", "symbols are interned");
+    assert_eq!(eval("(eq? (list 1) (list 1))"), "#f");
+    assert_eq!(eval("(eq? '(1) '(1))"), "#t", "literals are shared static constants");
+    assert_eq!(eval("(eqv? 1.5 1.5)"), "#t");
+    assert_eq!(eval("(equal? '(1 (2 3)) '(1 (2 3)))"), "#t");
+    assert_eq!(eval("(equal? '(1 2) '(1 3))"), "#f");
+    assert_eq!(eval("(equal? \"ab\" \"ab\")"), "#t");
+}
+
+#[test]
+fn lists_and_prelude() {
+    assert_eq!(eval("(car '(1 2 3))"), "1");
+    assert_eq!(eval("(cdr '(1 2 3))"), "(2 3)");
+    assert_eq!(eval("(cons 1 2)"), "(1 . 2)");
+    assert_eq!(eval("(list 1 2 3)"), "(1 2 3)");
+    assert_eq!(eval("(length '(a b c))"), "3");
+    assert_eq!(eval("(append '(1 2) '(3))"), "(1 2 3)");
+    assert_eq!(eval("(reverse '(1 2 3))"), "(3 2 1)");
+    assert_eq!(eval("(map (lambda (x) (* x x)) '(1 2 3))"), "(1 4 9)");
+    assert_eq!(eval("(filter even? '(1 2 3 4))"), "(2 4)");
+    assert_eq!(eval("(assq 'b '((a 1) (b 2)))"), "(b 2)");
+    assert_eq!(eval("(memq 'c '(a b c d))"), "(c d)");
+    assert_eq!(eval("(fold-left + 0 '(1 2 3 4))"), "10");
+    assert_eq!(eval("(fold-right cons '() '(1 2))"), "(1 2)");
+    assert_eq!(eval("(list-ref '(a b c) 1)"), "b");
+    assert_eq!(eval("(iota 4)"), "(0 1 2 3)");
+    assert_eq!(eval("(expt 2 10)"), "1024");
+}
+
+#[test]
+fn vectors() {
+    assert_eq!(eval("(vector-length (make-vector 5 0))"), "5");
+    assert_eq!(
+        eval("(let ((v (make-vector 3 0))) (vector-set! v 1 'x) (vector-ref v 1))"),
+        "x"
+    );
+    assert_eq!(eval("(list->vector '(1 2))"), "#(1 2)");
+    assert_eq!(eval("(vector->list (list->vector '(1 2 3)))"), "(1 2 3)");
+    assert_eq!(eval("(let ((v (make-vector 2 9))) (vector-fill! v 7) (vector-ref v 0))"), "7");
+}
+
+#[test]
+fn mutation_and_closures() {
+    assert_eq!(
+        eval("(define (counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+              (define c (counter))
+              (c) (c) (c)"),
+        "3"
+    );
+    assert_eq!(
+        eval("(define (adder n) (lambda (x) (+ x n))) ((adder 10) 32)"),
+        "42"
+    );
+    // Two closures over the same mutable binding share state.
+    assert_eq!(
+        eval("(define pair-of
+                (let ((n 0))
+                  (cons (lambda () (set! n (+ n 1)) n)
+                        (lambda () n))))
+              ((car pair-of)) ((car pair-of)) ((cdr pair-of))"),
+        "2"
+    );
+}
+
+#[test]
+fn recursion_and_tail_calls() {
+    assert_eq!(eval("(define (fact n) (if (< n 2) 1 (* n (fact (- n 1))))) (fact 10)"), "3628800");
+    assert_eq!(
+        eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 15)"),
+        "610"
+    );
+    // A million iterations: only possible with frame-reusing tail calls.
+    assert_eq!(
+        eval("(let loop ((i 0) (acc 0)) (if (= i 1000000) acc (loop (+ i 1) (+ acc 1))))"),
+        "1000000"
+    );
+    // Mutual recursion through globals, tail position.
+    assert_eq!(
+        eval("(define (ev? n) (if (zero? n) #t (od? (- n 1))))
+              (define (od? n) (if (zero? n) #f (ev? (- n 1))))
+              (ev? 100001)"),
+        "#f"
+    );
+}
+
+#[test]
+fn binding_forms() {
+    assert_eq!(eval("(let ((x 1) (y 2)) (+ x y))"), "3");
+    assert_eq!(eval("(let* ((x 1) (y (+ x 1))) y)"), "2");
+    assert_eq!(
+        eval("(letrec ((even (lambda (n) (if (zero? n) #t (odd (- n 1)))))
+                       (odd (lambda (n) (if (zero? n) #f (even (- n 1))))))
+                (even 10))"),
+        "#t"
+    );
+    assert_eq!(eval("(cond (#f 1) ((= 1 1) 2) (else 3))"), "2");
+    assert_eq!(eval("(cond (#f 1) (else 3))"), "3");
+    assert_eq!(eval("(and 1 2 3)"), "3");
+    assert_eq!(eval("(and 1 #f 3)"), "#f");
+    assert_eq!(eval("(or #f 2)"), "2");
+    assert_eq!(eval("(or #f #f)"), "#f");
+    assert_eq!(eval("(when (= 1 1) 'yes)"), "yes");
+    assert_eq!(eval("(unless (= 1 2) 'no)"), "no");
+}
+
+#[test]
+fn higher_order_prims_as_values() {
+    assert_eq!(eval("(map car '((1 2) (3 4)))"), "(1 3)");
+    assert_eq!(eval("((lambda (f) (f 2 3)) +)"), "5");
+    assert_eq!(eval("(fold-left * 1 '(1 2 3 4 5))"), "120");
+}
+
+#[test]
+fn display_output() {
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    m.run_program("(display \"x=\") (display 42) (newline) (display '(1 2))").unwrap();
+    assert_eq!(m.output(), "x=42\n(1 2)");
+}
+
+#[test]
+fn runtime_errors() {
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("(car 5)"), Err(VmError::Runtime(_))));
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("(vector-ref (make-vector 2 0) 5)"), Err(VmError::Runtime(_))));
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("(undefined-fn 1)"), Err(VmError::Runtime(_))));
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("(error \"boom\" 42)"), Err(VmError::Runtime(_))));
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("(/ 1 0)"), Err(VmError::Runtime(_))));
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    assert!(matches!(m.run_program("((lambda (x) x) 1 2)"), Err(VmError::Runtime(_))));
+}
+
+#[test]
+fn hash_tables() {
+    assert_eq!(
+        eval("(define t (make-table))
+              (table-set! t 'a 1)
+              (table-set! t 'b 2)
+              (table-set! t 'a 10)
+              (list (table-ref t 'a #f) (table-ref t 'b #f) (table-ref t 'c 'none) (table-count t))"),
+        "(10 2 none 2)"
+    );
+    // Enough inserts to force growth.
+    assert_eq!(
+        eval("(define t (make-table))
+              (let loop ((i 0))
+                (if (< i 200)
+                    (begin (table-set! t i (* i i)) (loop (+ i 1)))
+                    'done))
+              (list (table-ref t 150 #f) (table-ref t 0 #f))"),
+        "(22500 0)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Runs under garbage collection
+// ---------------------------------------------------------------------
+
+/// Allocates ~7.2 MB of short-lived pairs while keeping a modest live list.
+const CHURN: &str = "
+(define (churn rounds)
+  (let loop ((r 0) (keep '()))
+    (if (= r rounds)
+        (length keep)
+        (loop (+ r 1)
+              (if (= (remainder r 100) 0)
+                  (cons r keep)
+                  (begin (iota 50) keep))))))
+(churn 12000)";
+
+#[test]
+fn cheney_collected_run_matches_uncollected() {
+    let expect = eval(CHURN);
+    let got = eval_gc(CHURN, 1 << 20); // 1 MB semispaces force many collections
+    assert_eq!(got, expect);
+    let mut m = Machine::new(CheneyCollector::new(1 << 20), NullSink);
+    m.run_program(CHURN).unwrap();
+    assert!(m.collector().stats().collections >= 5, "collections actually happened");
+    assert!(m.counters().collector() > 0, "I_gc charged");
+}
+
+#[test]
+fn generational_collected_run_matches_uncollected() {
+    let expect = eval(CHURN);
+    let mut m = Machine::new(GenerationalCollector::new(256 << 10, 8 << 20), NullSink);
+    let v = m.run_program(CHURN).unwrap();
+    assert_eq!(m.display_value(v), expect);
+    let st = m.collector().stats();
+    assert!(st.minor_collections >= 10);
+    assert!(st.barrier_stores > 0, "write barrier exercised");
+}
+
+#[test]
+fn deep_structure_survives_collections() {
+    let src = "
+    (define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+    (define keep (build 2000))
+    (define (waste n) (if (zero? n) 'ok (begin (make-vector 100 0) (waste (- n 1)))))
+    (waste 5000)
+    (fold-left + 0 keep)";
+    let expect = eval(src);
+    assert_eq!(eval_gc(src, 1 << 20), expect);
+    let mut m = Machine::new(GenerationalCollector::new(128 << 10, 8 << 20), NullSink);
+    let v = m.run_program(src).unwrap();
+    assert_eq!(m.display_value(v), expect);
+}
+
+#[test]
+fn table_rehashes_after_collection() {
+    let src = "
+    (define t (make-table))
+    (define k1 (cons 1 2))
+    (define k2 (cons 3 4))
+    (table-set! t k1 'one)
+    (table-set! t k2 'two)
+    (define (waste n) (if (zero? n) 'ok (begin (iota 40) (waste (- n 1)))))
+    (waste 20000)
+    (list (table-ref t k1 #f) (table-ref t k2 #f) (gc-epoch))";
+    // Pointer keys hash by address; after collections move them, lookups
+    // must still succeed (via rehash on next use).
+    let mut m = Machine::new(CheneyCollector::new(1 << 20), NullSink);
+    let v = m.run_program(src).unwrap();
+    let shown = m.display_value(v);
+    assert!(shown.starts_with("(one two "), "{shown}");
+    assert!(m.collector().stats().collections > 0);
+    assert!(m.counters().gc_induced() > 0, "rehash work charged to ΔI_prog");
+}
+
+#[test]
+fn reference_trace_is_produced() {
+    let mut m = Machine::new(NoCollector::new(), RefCounter::new());
+    m.run_program("(define (f n) (if (zero? n) '() (cons n (f (- n 1))))) (length (f 100))")
+        .unwrap();
+    let sink = m.sink();
+    assert!(sink.by_context(Context::Mutator) > 1000);
+    assert!(sink.alloc_writes() >= 300, "100 pairs = 300 initializing writes");
+    assert_eq!(sink.by_context(Context::Collector), 0);
+}
+
+#[test]
+fn collector_trace_attribution() {
+    let mut m = Machine::new(CheneyCollector::new(1 << 20), RefCounter::new());
+    m.run_program(CHURN).unwrap();
+    let sink = m.sink();
+    assert!(sink.by_context(Context::Collector) > 0, "GC refs attributed to collector");
+    assert!(sink.by_context(Context::Mutator) > sink.by_context(Context::Collector));
+}
+
+#[test]
+fn instruction_to_reference_ratio_is_plausible() {
+    // The paper's programs make ~0.26-0.3 data references per instruction.
+    let mut m = Machine::new(NoCollector::new(), RefCounter::new());
+    m.run_program(
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 18)",
+    )
+    .unwrap();
+    let refs = m.sink().total() as f64;
+    let insns = m.counters().program() as f64;
+    let ratio = refs / insns;
+    assert!((0.15..0.6).contains(&ratio), "refs/insns = {ratio}");
+}
+
+#[test]
+fn stack_overflow_is_detected() {
+    let mut m = Machine::new(NoCollector::new(), NullSink);
+    let r = m.run_program("(define (f n) (+ 1 (f n))) (f 0)");
+    assert!(matches!(r, Err(VmError::StackOverflow)), "{r:?}");
+}
+
+#[test]
+fn out_of_memory_reported_with_tiny_cheney_heap() {
+    let mut m = Machine::new(CheneyCollector::new(4096), NullSink);
+    let r = m.run_program("(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (build 10000)");
+    assert!(matches!(r, Err(VmError::OutOfMemory(_))), "{r:?}");
+}
+
+#[test]
+fn printer_forms() {
+    assert_eq!(eval("(cons 1 (cons 2 3))"), "(1 2 . 3)");
+    assert_eq!(eval("(list->vector (list 1 (list 2) #\\a))"), "#(1 (2) a)");
+    assert_eq!(eval("'()"), "()");
+    assert_eq!(eval("(cons '() '())"), "(())");
+    assert_eq!(eval("\"str\""), "str");
+    assert_eq!(eval("#\\z"), "z");
+    assert_eq!(eval("(if #f #f)"), "#<unspecified>");
+}
+
+#[test]
+fn closures_created_during_gc_pressure() {
+    // Closure creation reserves memory with captures still on the stack;
+    // a collection at that moment must keep them rooted.
+    let src = "
+    (define (make-adders n)
+      (if (zero? n) '()
+          (cons (lambda (x) (+ x n)) (make-adders (- n 1)))))
+    (define (sum-apply fs v)
+      (if (null? fs) 0 (+ ((car fs) v) (sum-apply (cdr fs) v))))
+    (let loop ((r 0) (acc 0))
+      (if (= r 400)
+          acc
+          (loop (+ r 1) (+ acc (sum-apply (make-adders 20) 1)))))";
+    let expect = eval(src);
+    assert_eq!(eval_gc(src, 1 << 14), expect, "tiny semispaces force GC mid-build");
+}
+
+#[test]
+fn deep_nesting_of_binding_forms() {
+    assert_eq!(
+        eval("(let ((a 1))
+                (let ((b (+ a 1)))
+                  (letrec ((f (lambda (n) (if (zero? n) b (g (- n 1)))))
+                           (g (lambda (n) (f n))))
+                    (let* ((c (f 10)) (d (+ c a)))
+                      (list a b c d)))))"),
+        "(1 2 2 3)"
+    );
+}
+
+#[test]
+fn global_redefinition_takes_effect() {
+    assert_eq!(eval("(define x 1) (define (get) x) (define x 2) (get)"), "2");
+    assert_eq!(eval("(define (f) 1) (define (f) 2) (f)"), "2");
+}
+
+#[test]
+fn numeric_edge_cases() {
+    assert_eq!(eval("(min 1.5 2)"), "1.5");
+    assert_eq!(eval("(max 1.5 2)"), "2");
+    assert_eq!(eval("(abs -2.5)"), "2.5");
+    assert_eq!(eval("(quotient -17 5)"), "-3");
+    assert_eq!(eval("(remainder -17 5)"), "-2");
+    assert_eq!(eval("(modulo -17 5)"), "3");
+    assert_eq!(eval("(floor -1.5)"), "-2.0");
+    assert_eq!(eval("(inexact->exact 3.9)"), "3");
+    assert_eq!(eval("(/ 1.0 0.0)"), "inf");
+}
+
+#[test]
+fn symbols_and_strings() {
+    assert_eq!(eval("(symbol->string 'hello)"), "hello");
+    assert_eq!(eval("(string-length \"hello\")"), "5");
+    assert_eq!(eval("(eq? (symbol->string 'a) (symbol->string 'a))"), "#t", "interned");
+}
+
+#[test]
+fn table_with_fixnum_and_symbol_keys_survives_gc() {
+    let src = "
+    (define t (make-table))
+    (let fill ((i 0))
+      (if (< i 50) (begin (table-set! t i (* i 2)) (fill (+ i 1))) 'done))
+    (table-set! t 'sym 'val)
+    (define (waste n) (if (zero? n) 'ok (begin (iota 30) (waste (- n 1)))))
+    (waste 30000)
+    (list (table-ref t 25 #f) (table-ref t 'sym #f) (table-count t))";
+    let mut m = Machine::new(CheneyCollector::new(1 << 20), NullSink);
+    let v = m.run_program(src).unwrap();
+    assert_eq!(m.display_value(v), "(50 val 51)");
+    assert!(m.collector().stats().collections > 0);
+}

@@ -1,0 +1,26 @@
+//! Print the §3 table's raw numbers for each workload at scale 1:
+//! references, instructions, allocation, and the refs/instruction ratio
+//! the instruction-cost model is calibrated against.
+
+use cachegc_gc::NoCollector;
+use cachegc_trace::RefCounter;
+use cachegc_workloads::Workload;
+
+fn main() {
+    for w in Workload::ALL {
+        let t = std::time::Instant::now();
+        let out = w.scaled(1).run(NoCollector::new(), RefCounter::new()).unwrap();
+        let refs = out.sink.total();
+        let insns = out.stats.instructions.program();
+        println!(
+            "{:8} refs={:>12} insns={:>12} alloc={:>12} ratio={:.3} result={} [{:?}]",
+            w.name(),
+            refs,
+            insns,
+            out.stats.allocated_bytes,
+            refs as f64 / insns as f64,
+            &out.result[..out.result.len().min(40)],
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,704 @@
+//! Generators for the five test programs' Scheme source.
+//!
+//! Deterministic: corpus generation uses a fixed-seed LCG, so every run of
+//! a given (workload, scale) executes the same instruction stream.
+
+/// A small deterministic generator for corpus construction.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+    }
+
+    fn next(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------
+// compile (orbit analog)
+// ---------------------------------------------------------------------
+
+/// Random expression in the toy source language the mini-compiler accepts:
+/// numbers, variables, binary primitive calls, `if`, nested `lambda`.
+fn gen_expr(rng: &mut Lcg, depth: u32, vars: &mut Vec<String>) -> String {
+    if depth == 0 || rng.below(6) == 0 {
+        return if !vars.is_empty() && rng.below(3) > 0 {
+            vars[rng.below(vars.len() as u32) as usize].clone()
+        } else {
+            format!("{}", rng.below(100))
+        };
+    }
+    match rng.below(8) {
+        0 | 1 | 2 => {
+            let op = ["f", "g", "h"][rng.below(3) as usize];
+            format!(
+                "({op} {} {})",
+                gen_expr(rng, depth - 1, vars),
+                gen_expr(rng, depth - 1, vars)
+            )
+        }
+        3 | 4 => format!(
+            "(if {} {} {})",
+            gen_expr(rng, depth - 1, vars),
+            gen_expr(rng, depth - 1, vars),
+            gen_expr(rng, depth - 1, vars)
+        ),
+        5 => {
+            let p = format!("t{}", vars.len());
+            vars.push(p.clone());
+            let body = gen_expr(rng, depth - 1, vars);
+            vars.pop();
+            format!("(lambda ({p}) {body})")
+        }
+        _ => format!(
+            "({} {})",
+            gen_expr(rng, depth - 1, vars),
+            gen_expr(rng, depth - 1, vars)
+        ),
+    }
+}
+
+fn gen_corpus(n: u32, depth: u32, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let mut out = String::new();
+    for i in 0..n {
+        let mut vars = vec!["a".to_string(), "b".to_string()];
+        let body = gen_expr(&mut rng, depth, &mut vars);
+        out.push_str(&format!("(lambda (a b) {body})\n    "));
+        let _ = i;
+    }
+    out
+}
+
+/// The orbit analog: a three-pass expression compiler (alpha-rename →
+/// linear code emission → peephole statistics) run over a generated corpus.
+pub(crate) fn compile_source(scale: u32) -> String {
+    let corpus = gen_corpus(40, 5, 0xC0FFEE);
+    let rounds = 25 * scale;
+    format!(
+        r#"
+;; compile: a mini expression compiler (the orbit analog).
+(define corpus '({corpus}))
+(define gsc 0)
+(define (gensym) (set! gsc (+ gsc 1)) gsc)
+(define (mkvar n) (list 'v n))
+(define (var? e) (if (pair? e) (eq? (car e) 'v) #f))
+
+;; Pass 1: alpha-renaming. Bound symbols become numbered variables; free
+;; symbols become global references.
+(define (rename e env)
+  (cond ((number? e) e)
+        ((symbol? e)
+         (let ((r (assq e env)))
+           (if r (cdr r) (list 'global e))))
+        ((pair? e)
+         (cond ((eq? (car e) 'lambda)
+                (let ((fresh (map (lambda (p) (cons p (mkvar (gensym)))) (cadr e))))
+                  (list 'lambda (map cdr fresh)
+                        (rename (caddr e) (append fresh env)))))
+               ((eq? (car e) 'if)
+                (list 'if (rename (cadr e) env)
+                      (rename (caddr e) env)
+                      (rename (cadddr e) env)))
+               (else (map (lambda (x) (rename x env)) e))))
+        (else e)))
+
+;; Pass 2: emission of linear three-address code, accumulated in reverse.
+;; Returns (instrs . result-temp).
+(define (emit e acc)
+  (cond ((number? e)
+         (let ((t (gensym)))
+           (cons (cons (list 'const t e) acc) t)))
+        ((var? e) (cons acc (cadr e)))
+        ((pair? e)
+         (cond ((eq? (car e) 'global)
+                (let ((t (gensym)))
+                  (cons (cons (list 'gref t (cadr e)) acc) t)))
+               ((eq? (car e) 'lambda)
+                (let ((body (emit (caddr e) '())))
+                  (let ((t (gensym)))
+                    (cons (cons (list 'close t (length (car body))) acc) t))))
+               ((eq? (car e) 'if)
+                (let ((c (emit (cadr e) acc)))
+                  (let ((a (emit (caddr e) (car c))))
+                    (let ((b (emit (cadddr e) (car a))))
+                      (let ((t (gensym)))
+                        (cons (cons (list 'phi t (cdr c) (cdr a) (cdr b)) (car b)) t))))))
+               (else
+                (let loop ((args e) (acc acc) (temps '()))
+                  (if (null? args)
+                      (let ((t (gensym)))
+                        (cons (cons (cons 'call (cons t (reverse temps))) acc) t))
+                      (let ((r (emit (car args) acc)))
+                        (loop (cdr args) (car r) (cons (cdr r) temps))))))))
+        (else (cons acc 0))))
+
+;; Pass 3: peephole statistics in an address-hashed opcode table.
+(define opcounts (make-table))
+(define (peephole instrs)
+  (let loop ((l instrs) (fusable 0))
+    (if (null? l) fusable
+        (let ((op (car (car l))))
+          (table-set! opcounts op (+ 1 (table-ref opcounts op 0)))
+          (loop (cdr l)
+                (if (pair? (cdr l))
+                    (if (eq? op (car (car (cdr l)))) (+ fusable 1) fusable)
+                    fusable))))))
+
+(define (compile-one e)
+  ;; Corpus items are (lambda (a b) body): compile the body so the whole
+  ;; instruction stream reaches the peephole pass.
+  (let ((renamed (rename e '())))
+    (let ((r (emit (caddr renamed) '())))
+      (peephole (car r))
+      (car r))))
+
+;; Each round's emitted code survives into the next round (a real compiler
+;; holds a compilation unit's code while assembling it), giving a
+;; population of medium-lived, few-cycle blocks.
+(define prev-codes '())
+(let loop ((round 0) (total 0))
+  (if (= round {rounds})
+      (list total (table-ref opcounts 'call 0) (table-ref opcounts 'const 0))
+      (let ((codes (map compile-one corpus)))
+        (let ((t (fold-left (lambda (a c) (+ a (length c))) 0 codes)))
+          (set! prev-codes codes)
+          (loop (+ round 1) (+ total t))))))
+"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// prove (imps analog)
+// ---------------------------------------------------------------------
+
+/// The imps analog: a propositional resolution prover refuting pigeonhole
+/// instances, with a hashed clause index for subsumption by equality.
+pub(crate) fn prove_source(scale: u32) -> String {
+    let limit = 80 * scale;
+    format!(
+        r#"
+;; prove: resolution refutation of the pigeonhole principle (imps analog).
+(define pigeons 6)
+(define holes 5)
+(define step-limit {limit})
+(define (pvar i j) (+ (* i holes) j 1))
+
+;; Clauses are strictly sorted lists of nonzero integer literals.
+(define (insert-lit l c)
+  (cond ((null? c) (list l))
+        ((= l (car c)) c)
+        ((< l (car c)) (cons l c))
+        (else (cons (car c) (insert-lit l (cdr c))))))
+
+(define (clause-union a b skip1 skip2)
+  (let loop ((a a) (acc '()))
+    (if (null? a)
+        (let loop2 ((b b) (acc acc))
+          (if (null? b) acc
+              (loop2 (cdr b)
+                     (if (= (car b) skip2) acc (insert-lit (car b) acc)))))
+        (loop (cdr a)
+              (if (= (car a) skip1) acc (insert-lit (car a) acc))))))
+
+(define (tautology? c)
+  (let loop ((l c))
+    (cond ((null? l) #f)
+          ((memq (- 0 (car l)) c) #t)
+          (else (loop (cdr l))))))
+
+(define (initial-clauses)
+  (let loop-p ((i 0) (cs '()))
+    (if (= i pigeons)
+        (let loop-h ((j 0) (cs cs))
+          (if (= j holes) cs
+              (let loop-i1 ((i1 0) (cs cs))
+                (if (= i1 pigeons) (loop-h (+ j 1) cs)
+                    (let loop-i2 ((i2 (+ i1 1)) (cs cs))
+                      (if (= i2 pigeons) (loop-i1 (+ i1 1) cs)
+                          (loop-i2 (+ i2 1)
+                                   (cons (insert-lit (- 0 (pvar i1 j))
+                                                     (list (- 0 (pvar i2 j))))
+                                         cs))))))))
+        (loop-p (+ i 1)
+                (cons (let lp ((j 0) (c '()))
+                        (if (= j holes) c
+                            (lp (+ j 1) (insert-lit (pvar i j) c))))
+                      cs)))))
+
+;; Duplicate detection through a hashed clause index.
+(define seen (make-table))
+(define (clause-hash c)
+  (fold-left (lambda (h l) (remainder (+ (* h 31) (abs l) 7) 999983)) 7 c))
+(define (seen? c)
+  (let ((h (clause-hash c)))
+    (let ((bucket (table-ref seen h '())))
+      (if (member c bucket) #t
+          (begin (table-set! seen h (cons c bucket)) #f)))))
+
+(define (resolve-all c1 c2)
+  (let loop ((ls c1) (acc '()))
+    (if (null? ls) acc
+        (loop (cdr ls)
+              (if (memq (- 0 (car ls)) c2)
+                  (cons (clause-union c1 c2 (car ls) (- 0 (car ls))) acc)
+                  acc)))))
+
+(define (prove)
+  (let loop ((sos (initial-clauses)) (usable '()) (generated 0) (steps 0))
+    (cond ((null? sos) (list 'saturated generated steps))
+          ((= steps step-limit) (list 'limit generated steps))
+          ((null? (car sos)) (list 'proved generated steps))
+          (else
+           (let ((given (car sos)))
+             (let scan ((us usable) (new '()))
+               (if (null? us)
+                   (loop (append (cdr sos) (reverse new))
+                         (cons given usable)
+                         (+ generated (length new))
+                         (+ steps 1))
+                   (let inner ((rs (resolve-all given (car us))) (new new))
+                     (if (null? rs)
+                         (scan (cdr us) new)
+                         (inner (cdr rs)
+                                (cond ((tautology? (car rs)) new
+                                      )
+                                      ((seen? (car rs)) new)
+                                      (else (cons (car rs) new)))))))))))))
+(prove)
+"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// lambda (lp analog)
+// ---------------------------------------------------------------------
+
+/// The lp analog: a normal-order λ-calculus reduction engine. Two phases:
+/// Church-numeral arithmetic normalization (many fast β-steps on
+/// short-lived terms), then reduction of a *growing* non-normalizing term
+/// with every reduct retained — the monotonically growing live structure
+/// that makes the Cheney collector recopy more data at every collection
+/// (the §6 pathology).
+pub(crate) fn lambda_source(scale: u32) -> String {
+    // Church arithmetic supplies lp's high volume of short-lived terms.
+    // Growth and churn interleave in epochs, so the retained structure is
+    // live while collections happen — Cheney must recopy it every time,
+    // and it keeps growing until the end of the run (lp's §6 pathology).
+    // At scale 4 it reaches ~1.2 MB, two thirds of E5's 2 MB semispace.
+    let epochs = 6 * scale;
+    let growth_per_epoch = 12;
+    let church_per_epoch = 20;
+    format!(
+        r#"
+;; lambda: normal-order beta-reduction with de Bruijn indices (lp analog).
+(define (tvar n) (list 'var n))
+(define (tlam b) (list 'lam b))
+(define (tapp f a) (list 'app f a))
+(define (tag t) (car t))
+
+(define (shift t d c)
+  (cond ((eq? (tag t) 'var)
+         (if (< (cadr t) c) t (tvar (+ (cadr t) d))))
+        ((eq? (tag t) 'lam) (tlam (shift (cadr t) d (+ c 1))))
+        (else (tapp (shift (cadr t) d c) (shift (caddr t) d c)))))
+
+;; t[n := s], renumbering free variables above n.
+(define (subst t s n)
+  (cond ((eq? (tag t) 'var)
+         (cond ((= (cadr t) n) (shift s n 0))
+               ((> (cadr t) n) (tvar (- (cadr t) 1)))
+               (else t)))
+        ((eq? (tag t) 'lam) (tlam (subst (cadr t) s (+ n 1))))
+        (else (tapp (subst (cadr t) s n) (subst (caddr t) s n)))))
+
+;; One leftmost-outermost step; returns (reduced? . term).
+(define (step t)
+  (cond ((eq? (tag t) 'app)
+         (let ((f (cadr t)) (a (caddr t)))
+           (if (eq? (tag f) 'lam)
+               (cons #t (subst (cadr f) a 0))
+               (let ((rf (step f)))
+                 (if (car rf)
+                     (cons #t (tapp (cdr rf) a))
+                     (let ((ra (step a)))
+                       (cons (car ra) (tapp f (cdr ra)))))))))
+        ((eq? (tag t) 'lam)
+         (let ((rb (step (cadr t))))
+           (cons (car rb) (tlam (cdr rb)))))
+        (else (cons #f t))))
+
+(define (tsize t)
+  (cond ((eq? (tag t) 'var) 1)
+        ((eq? (tag t) 'lam) (+ 1 (tsize (cadr t))))
+        (else (+ 1 (tsize (cadr t)) (tsize (caddr t))))))
+
+(define (normalize t fuel)
+  (let loop ((t t) (n 0))
+    (if (= n fuel) t
+        (let ((r (step t)))
+          (if (car r) (loop (cdr r) (+ n 1)) t)))))
+
+;; Simple type checker for the Church fragment (the lp engine typechecks
+;; its input term before reducing). Types: 'o or (arrow a b).
+(define (type-eq? a b)
+  (cond ((eq? a b) #t)
+        ((if (pair? a) (pair? b) #f)
+         (if (type-eq? (cadr a) (cadr b))
+             (type-eq? (caddr a) (caddr b)) #f))
+        (else #f)))
+(define (typecheck t env)
+  (cond ((eq? (tag t) 'var) (list-ref env (cadr t)))
+        ((eq? (tag t) 'lam) #f) ;; unannotated lambdas: shape-check applications only
+        (else
+         (let ((tf (typecheck (cadr t) env))
+               (ta (typecheck (caddr t) env)))
+           (if (pair? tf)
+               (if (type-eq? (cadr tf) ta) (caddr tf) 'o)
+               'o)))))
+
+;; Church numerals and multiplication.
+(define (church n)
+  (tlam (tlam (let loop ((k n) (acc (tvar 0)))
+                (if (zero? k) acc (loop (- k 1) (tapp (tvar 1) acc)))))))
+(define cmul (tlam (tlam (tlam (tapp (tvar 2) (tapp (tvar 1) (tvar 0)))))))
+
+(define (run-church rounds)
+  (let loop ((i 0) (acc 0))
+    (if (= i rounds) acc
+        (loop (+ i 1)
+              (+ acc (tsize (normalize (tapp (tapp cmul (church 6)) (church 7))
+                                       100000)))))))
+
+
+;; The growing term: (lam. 0 0 0) applied to itself gains one application
+;; per step. Every reduct is retained, so the live structure grows
+;; monotonically until the end of the run — exactly lp's behavior.
+(define w3 (tlam (tapp (tapp (tvar 0) (tvar 0)) (tvar 0))))
+(define omega3 (tapp w3 w3))
+(define cur omega3)
+(define history '())
+
+(define (grow steps)
+  (let loop ((i 0))
+    (if (= i steps) (tsize cur)
+        (let ((r (step cur)))
+          (set! cur (cdr r))
+          (set! history (cons cur history))
+          (loop (+ i 1))))))
+
+(list (typecheck omega3 '())
+      (let loop ((e 0) (acc 0))
+        (if (= e {epochs}) acc
+            (begin
+              (grow {growth_per_epoch})
+              (loop (+ e 1) (+ acc (run-church {church_per_epoch}))))))
+      (tsize cur)
+      (length history))
+"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// nbody
+// ---------------------------------------------------------------------
+
+/// Zhao-style linear-time N-body: far field through cell centroids, near
+/// field exact within each cell; 256 point masses starting at rest in a
+/// unit cube, as in the paper. Flonum-heavy, so every arithmetic result is
+/// a fresh two-word heap object (as in T, which boxed floats).
+pub(crate) fn nbody_source(scale: u32) -> String {
+    let steps = 2 * scale;
+    format!(
+        r#"
+;; nbody: O(N) cell-decomposition 3-D N-body (Zhao's algorithm, scaled).
+(define nb 256)
+(define nsteps {steps})
+(define cells-per-axis 4)
+(define ncells 64)
+(define dt 0.001)
+(define eps 0.000001)
+
+(define px (make-vector nb 0.0)) (define py (make-vector nb 0.0)) (define pz (make-vector nb 0.0))
+(define vx (make-vector nb 0.0)) (define vy (make-vector nb 0.0)) (define vz (make-vector nb 0.0))
+(define ax (make-vector nb 0.0)) (define ay (make-vector nb 0.0)) (define az (make-vector nb 0.0))
+
+(define cmass (make-vector ncells 0.0))
+(define ccx (make-vector ncells 0.0)) (define ccy (make-vector ncells 0.0)) (define ccz (make-vector ncells 0.0))
+(define members (make-vector ncells '()))
+
+(define seed 48271)
+(define (rnd)
+  (set! seed (remainder (+ (* seed 331) 12345) 1000003))
+  (/ (exact->inexact seed) 1000003.0))
+
+(define (init)
+  (let loop ((i 0))
+    (if (< i nb)
+        (begin
+          (vector-set! px i (rnd)) (vector-set! py i (rnd)) (vector-set! pz i (rnd))
+          (loop (+ i 1)))
+        'done)))
+
+(define (axis-cell x)
+  (min (- cells-per-axis 1) (max 0 (inexact->exact (floor (* x 4.0))))))
+(define (cell-of i)
+  (+ (* (axis-cell (vector-ref px i)) 16)
+     (+ (* (axis-cell (vector-ref py i)) 4)
+        (axis-cell (vector-ref pz i)))))
+
+(define (clear-cells)
+  (let loop ((c 0))
+    (if (< c ncells)
+        (begin
+          (vector-set! cmass c 0.0) (vector-set! ccx c 0.0)
+          (vector-set! ccy c 0.0) (vector-set! ccz c 0.0)
+          (vector-set! members c '())
+          (loop (+ c 1)))
+        'done)))
+
+(define (assign-cells)
+  (let loop ((i 0))
+    (if (< i nb)
+        (let ((c (cell-of i)))
+          (vector-set! cmass c (+ (vector-ref cmass c) 1.0))
+          (vector-set! ccx c (+ (vector-ref ccx c) (vector-ref px i)))
+          (vector-set! ccy c (+ (vector-ref ccy c) (vector-ref py i)))
+          (vector-set! ccz c (+ (vector-ref ccz c) (vector-ref pz i)))
+          (vector-set! members c (cons i (vector-ref members c)))
+          (loop (+ i 1)))
+        'done)))
+
+(define (normalize-centroids)
+  (let loop ((c 0))
+    (if (< c ncells)
+        (begin
+          (if (> (vector-ref cmass c) 0.0)
+              (begin
+                (vector-set! ccx c (/ (vector-ref ccx c) (vector-ref cmass c)))
+                (vector-set! ccy c (/ (vector-ref ccy c) (vector-ref cmass c)))
+                (vector-set! ccz c (/ (vector-ref ccz c) (vector-ref cmass c))))
+              'empty)
+          (loop (+ c 1)))
+        'done)))
+
+(define (accum-pair i dx dy dz m)
+  (let ((r2 (+ (+ (* dx dx) (* dy dy)) (+ (* dz dz) eps))))
+    (let ((inv (/ m (* r2 (sqrt r2)))))
+      (vector-set! ax i (+ (vector-ref ax i) (* dx inv)))
+      (vector-set! ay i (+ (vector-ref ay i) (* dy inv)))
+      (vector-set! az i (+ (vector-ref az i) (* dz inv))))))
+
+(define (far-field i own)
+  (let loop ((c 0))
+    (if (< c ncells)
+        (begin
+          (if (if (= c own) #f (> (vector-ref cmass c) 0.0))
+              (accum-pair i
+                          (- (vector-ref ccx c) (vector-ref px i))
+                          (- (vector-ref ccy c) (vector-ref py i))
+                          (- (vector-ref ccz c) (vector-ref pz i))
+                          (vector-ref cmass c))
+              'skip)
+          (loop (+ c 1)))
+        'done)))
+
+(define (near-field i own)
+  (let loop ((js (vector-ref members own)))
+    (if (null? js)
+        'done
+        (begin
+          (if (= (car js) i) 'self
+              (accum-pair i
+                          (- (vector-ref px (car js)) (vector-ref px i))
+                          (- (vector-ref py (car js)) (vector-ref py i))
+                          (- (vector-ref pz (car js)) (vector-ref pz i))
+                          1.0))
+          (loop (cdr js))))))
+
+(define (accelerations)
+  (let loop ((i 0))
+    (if (< i nb)
+        (let ((own (cell-of i)))
+          (vector-set! ax i 0.0) (vector-set! ay i 0.0) (vector-set! az i 0.0)
+          (far-field i own)
+          (near-field i own)
+          (loop (+ i 1)))
+        'done)))
+
+(define (integrate)
+  (let loop ((i 0))
+    (if (< i nb)
+        (begin
+          (vector-set! vx i (+ (vector-ref vx i) (* (vector-ref ax i) dt)))
+          (vector-set! vy i (+ (vector-ref vy i) (* (vector-ref ay i) dt)))
+          (vector-set! vz i (+ (vector-ref vz i) (* (vector-ref az i) dt)))
+          (vector-set! px i (+ (vector-ref px i) (* (vector-ref vx i) dt)))
+          (vector-set! py i (+ (vector-ref py i) (* (vector-ref vy i) dt)))
+          (vector-set! pz i (+ (vector-ref pz i) (* (vector-ref vz i) dt)))
+          (loop (+ i 1)))
+        'done)))
+
+(define (energy-proxy)
+  (let loop ((i 0) (acc 0.0))
+    (if (= i nb) acc
+        (loop (+ i 1)
+              (+ acc (+ (abs (vector-ref vx i))
+                        (+ (abs (vector-ref vy i)) (abs (vector-ref vz i)))))))))
+
+(init)
+(let loop ((s 0))
+  (if (< s nsteps)
+      (begin
+        (clear-cells)
+        (assign-cells)
+        (normalize-centroids)
+        (accelerations)
+        (integrate)
+        (loop (+ s 1)))
+      'done))
+(> (energy-proxy) 0.0)
+"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// rewrite (gambit analog)
+// ---------------------------------------------------------------------
+
+fn gen_poly(rng: &mut Lcg, depth: u32) -> String {
+    if depth == 0 || rng.below(5) == 0 {
+        return match rng.below(4) {
+            0 => "x".to_string(),
+            1 => "y".to_string(),
+            2 => "0".to_string(),
+            _ => format!("{}", rng.below(9)),
+        };
+    }
+    let op = ["+", "*", "-"][rng.below(3) as usize];
+    format!("({op} {} {})", gen_poly(rng, depth - 1), gen_poly(rng, depth - 1))
+}
+
+/// The gambit analog: a pattern-matching source-to-source optimizer. It
+/// repeatedly differentiates and simplifies a corpus of polynomial
+/// expressions, memoizing simplified subtrees in an address-hashed table
+/// and retaining every optimized tree — long-lived dynamic blocks, the
+/// behavior §7 observes in gambit.
+pub(crate) fn rewrite_source(scale: u32) -> String {
+    let mut rng = Lcg::new(0xBEEF);
+    let mut corpus = String::new();
+    for _ in 0..24 {
+        corpus.push_str(&gen_poly(&mut rng, 5));
+        corpus.push_str("\n    ");
+    }
+    let rounds = 20 * scale;
+    let derivs = 4;
+    format!(
+        r#"
+;; rewrite: algebraic simplifier + symbolic differentiation (gambit analog).
+(define corpus '({corpus}))
+(define rounds {rounds})
+(define deriv-depth {derivs})
+
+(define (binary op a b) (list op a b))
+
+;; One bottom-up rewrite of an already-simplified node.
+(define (simplify-node e)
+  (let ((op (car e)) (a (cadr e)) (b (caddr e)))
+    (cond ((if (number? a) (number? b) #f)
+           (cond ((eq? op '+) (+ a b))
+                 ((eq? op '-) (- a b))
+                 (else (* a b))))
+          ((eq? op '+)
+           (cond ((equal? a 0) b)
+                 ((equal? b 0) a)
+                 ((equal? a b) (binary '* 2 a))
+                 (else e)))
+          ((eq? op '-)
+           (cond ((equal? b 0) a)
+                 ((equal? a b) 0)
+                 (else e)))
+          (else ; '*
+           (cond ((equal? a 0) 0)
+                 ((equal? b 0) 0)
+                 ((equal? a 1) b)
+                 ((equal? b 1) a)
+                 (else e))))))
+
+;; Memoized bottom-up simplification; the memo table is keyed by subtree
+;; identity (addresses), so it rehashes after every collection. A fresh
+;; table serves each optimization round (one "compilation unit").
+(define memo (make-table))
+(define (simp e)
+  (if (pair? e)
+      (let ((m (table-ref memo e #f)))
+        (if m m
+            (let ((r (simplify-node
+                      (binary (car e) (simp (cadr e)) (simp (caddr e))))))
+              (table-set! memo e r)
+              r)))
+      e))
+
+(define (deriv e x)
+  (cond ((number? e) 0)
+        ((symbol? e) (if (eq? e x) 1 0))
+        ((eq? (car e) '+) (binary '+ (deriv (cadr e) x) (deriv (caddr e) x)))
+        ((eq? (car e) '-) (binary '- (deriv (cadr e) x) (deriv (caddr e) x)))
+        (else ; product rule
+         (binary '+
+                 (binary '* (deriv (cadr e) x) (caddr e))
+                 (binary '* (cadr e) (deriv (caddr e) x))))))
+
+(define (tree-size e)
+  (if (pair? e)
+      (+ 1 (+ (tree-size (cadr e)) (tree-size (caddr e))))
+      1))
+
+;; Optimize the whole corpus `rounds` times, keeping every result chain
+;; alive (long-lived term graphs).
+(define results '())
+(define (optimize e)
+  (let loop ((d 0) (e e) (chain '()))
+    (if (= d deriv-depth)
+        (begin (set! results (cons chain results)) e)
+        (let ((next (simp (deriv e 'x))))
+          (loop (+ d 1) next (cons next chain))))))
+
+(let loop ((r 0) (checksum 0))
+  (if (= r rounds)
+      (list checksum (length results))
+      (begin
+        (set! memo (make-table))
+        (loop (+ r 1)
+              (fold-left (lambda (acc e) (+ acc (tree-size (optimize e))))
+                         checksum corpus)))))
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        assert_eq!(gen_corpus(5, 4, 42), gen_corpus(5, 4, 42));
+        assert_ne!(gen_corpus(5, 4, 42), gen_corpus(5, 4, 43));
+    }
+
+    #[test]
+    fn sources_are_parameterized_by_scale() {
+        assert_ne!(compile_source(1), compile_source(2));
+        assert_ne!(prove_source(1), prove_source(3));
+        assert_ne!(lambda_source(1), lambda_source(2));
+        assert_ne!(nbody_source(1), nbody_source(2));
+        assert_ne!(rewrite_source(1), rewrite_source(2));
+    }
+}

@@ -1,0 +1,140 @@
+//! Native synthetic reference-stream generators.
+//!
+//! These produce the idealized memory behaviors the paper's §7 analysis
+//! describes, without running the VM — handy for fast unit tests of the
+//! cache simulator and analyses, and for microbenchmarks that isolate one
+//! behavior:
+//!
+//! * [`one_cycle_sweep`] — pure linear allocation of short-lived objects:
+//!   the "allocation wave". Every dynamic block is a one-cycle block.
+//! * [`busy_blocks`] — a handful of hot static blocks (the stack and
+//!   runtime vector of §7) over a background of linear allocation.
+//! * [`thrash_pair`] — two busy blocks that collide in a given cache and
+//!   are referenced in alternation: the §7 worst case.
+//! * [`monotone_growth`] — a live structure that grows without bound and
+//!   is rescanned periodically (the lp behavior).
+
+use cachegc_trace::{Access, Context, TraceSink, DYNAMIC_BASE, STACK_BASE, STATIC_BASE};
+
+const M: Context = Context::Mutator;
+
+/// Linear allocation of `objects` three-word objects; each is initialized,
+/// read `reads_per_object` times shortly after allocation, and never
+/// touched again.
+pub fn one_cycle_sweep<S: TraceSink>(sink: &mut S, objects: u32, reads_per_object: u32) {
+    let mut addr = DYNAMIC_BASE;
+    let mut recent = [DYNAMIC_BASE; 8];
+    for i in 0..objects {
+        for w in 0..3 {
+            sink.access(Access::alloc_write(addr + 4 * w, M));
+        }
+        recent[(i % 8) as usize] = addr;
+        // Read a recently allocated object (still in the wave's wake).
+        for r in 0..reads_per_object {
+            let target = recent[((i + r) % 8) as usize];
+            sink.access(Access::read(target + 4, M));
+            sink.access(Access::read(target + 8, M));
+        }
+        addr += 12;
+    }
+}
+
+/// Linear allocation with a set of busy static blocks interleaved: every
+/// allocation is surrounded by reads of `busy` hot words (stack slots and
+/// a runtime vector), which together take most of the references — the §7
+/// "busy block" population.
+pub fn busy_blocks<S: TraceSink>(sink: &mut S, objects: u32, busy: u32, refs_per_busy: u32) {
+    let mut addr = DYNAMIC_BASE;
+    for i in 0..objects {
+        for w in 0..3 {
+            sink.access(Access::alloc_write(addr + 4 * w, M));
+        }
+        sink.access(Access::read(addr + 4, M));
+        for b in 0..refs_per_busy {
+            let which = (i + b) % busy;
+            // Half the busy blocks model the stack, half the static area.
+            let base = if which % 2 == 0 { STACK_BASE } else { STATIC_BASE };
+            sink.access(Access::read(base + 64 * (which / 2), M));
+            sink.access(Access::write(base + 64 * (which / 2), M));
+        }
+        addr += 12;
+    }
+}
+
+/// Two busy memory blocks that map to the same cache block of a
+/// direct-mapped cache of `cache_bytes`, referenced in near-perfect
+/// alternation for `rounds` rounds: the thrashing worst case of §7.
+pub fn thrash_pair<S: TraceSink>(sink: &mut S, cache_bytes: u32, rounds: u32) {
+    let a = STATIC_BASE;
+    let b = STACK_BASE + (a % cache_bytes).wrapping_sub(STACK_BASE % cache_bytes) % cache_bytes;
+    debug_assert_eq!(a % cache_bytes, b % cache_bytes, "same cache index");
+    for _ in 0..rounds {
+        sink.access(Access::read(a, M));
+        sink.access(Access::read(b, M));
+    }
+}
+
+/// Linear allocation where every `survival`-th object stays live: the live
+/// set grows monotonically and is rescanned after each batch, modeling
+/// lp's ever-growing structure.
+pub fn monotone_growth<S: TraceSink>(sink: &mut S, batches: u32, batch: u32, survival: u32) {
+    let mut addr = DYNAMIC_BASE;
+    let mut live = Vec::new();
+    for _ in 0..batches {
+        for i in 0..batch {
+            for w in 0..3 {
+                sink.access(Access::alloc_write(addr + 4 * w, M));
+            }
+            if i % survival == 0 {
+                live.push(addr);
+            }
+            addr += 12;
+        }
+        // Rescan the whole live structure (e.g. computing its size).
+        for &obj in &live {
+            sink.access(Access::read(obj + 4, M));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_trace::RefCounter;
+
+    #[test]
+    fn generators_emit_expected_volumes() {
+        let mut c = RefCounter::new();
+        one_cycle_sweep(&mut c, 100, 2);
+        assert_eq!(c.alloc_writes(), 300);
+        assert_eq!(c.total(), 300 + 100 * 2 * 2);
+
+        let mut c = RefCounter::new();
+        thrash_pair(&mut c, 1 << 15, 50);
+        assert_eq!(c.total(), 100);
+
+        let mut c = RefCounter::new();
+        busy_blocks(&mut c, 10, 4, 3);
+        assert_eq!(c.total(), 10 * (3 + 1 + 3 * 2));
+
+        let mut c = RefCounter::new();
+        monotone_growth(&mut c, 3, 10, 5);
+        // 30 objects * 3 writes + rescans of 2, 4, 6 live objects.
+        assert_eq!(c.total(), 90 + 2 + 4 + 6);
+    }
+
+    #[test]
+    fn thrash_pair_addresses_conflict() {
+        struct Check(Vec<u32>);
+        impl TraceSink for Check {
+            fn access(&mut self, a: Access) {
+                self.0.push(a.addr);
+            }
+        }
+        let mut c = Check(Vec::new());
+        let cache = 1 << 16;
+        thrash_pair(&mut c, cache, 1);
+        assert_eq!(c.0[0] % cache, c.0[1] % cache);
+        assert_ne!(c.0[0], c.0[1]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Compare garbage collectors on one workload: no collection (the §5
+//! control), an infrequent Cheney semispace collector (§6), an infrequent
+//! generational collector, and an *aggressive* cache-sized-nursery
+//! generational collector (the strategy the paper argues against).
+//!
+//! ```sh
+//! cargo run --release --example gc_comparison
+//! ```
+
+use cachegc::core::{CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
+use cachegc::workloads::Workload;
+
+fn main() {
+    let scale = 2;
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cache_sizes = vec![64 << 10, 1 << 20];
+    let workload = Workload::Compile.scaled(scale);
+
+    println!("workload: {} (the {} analog), scale {scale}", workload.workload.name(), workload.workload.paper_analog());
+    println!(
+        "{:18} {:>6} {:>12} {:>11} {:>11} {:>11} {:>11}",
+        "collector", "GCs", "copied (b)", "64k slow", "64k fast", "1m slow", "1m fast"
+    );
+
+    let specs = [
+        CollectorSpec::Cheney { semispace_bytes: 2 << 20 },
+        CollectorSpec::Generational { nursery_bytes: 2 << 20, old_bytes: 16 << 20 },
+        CollectorSpec::Generational { nursery_bytes: 64 << 10, old_bytes: 16 << 20 },
+    ];
+    for spec in specs {
+        let cmp = GcComparison::run(workload, &cfg, spec).expect("runs");
+        println!(
+            "{:18} {:>6} {:>12} {:>10.2}% {:>10.2}% {:>10.2}% {:>10.2}%",
+            spec.name(),
+            cmp.collected.gc.collections,
+            cmp.collected.gc.bytes_copied,
+            100.0 * cmp.gc_overhead(64 << 10, 64, &SLOW),
+            100.0 * cmp.gc_overhead(64 << 10, 64, &FAST),
+            100.0 * cmp.gc_overhead(1 << 20, 64, &SLOW),
+            100.0 * cmp.gc_overhead(1 << 20, 64, &FAST),
+        );
+    }
+    println!();
+    println!("(gen/64k+16m is the 'aggressive' collector: nursery sized to the cache.");
+    println!(" The paper's claim: it collects too often and copies too much to pay off.)");
+}

@@ -1,0 +1,104 @@
+//! Run a user-supplied Scheme file on the simulated machine and report
+//! what the paper's apparatus sees: references, instructions, allocation,
+//! GC activity, and cache overheads.
+//!
+//! ```sh
+//! echo '(define (f n) (if (zero? n) 0 (+ n (f (- n 1))))) (display (f 1000))' > /tmp/p.scm
+//! cargo run --release --example run_scheme -- /tmp/p.scm
+//! cargo run --release --example run_scheme -- /tmp/p.scm --gc cheney:2m
+//! cargo run --release --example run_scheme -- /tmp/p.scm --gc gen:1m+16m
+//! ```
+
+use std::process::ExitCode;
+
+use cachegc::core::{miss_penalty_cycles, Cache, CacheConfig, MainMemory, FAST, SLOW};
+use cachegc::gc::{CheneyCollector, Collector, GenerationalCollector, NoCollector};
+use cachegc::trace::Fanout;
+use cachegc::vm::Machine;
+
+fn parse_bytes(s: &str) -> Option<u32> {
+    let (num, mult) = match s.as_bytes().last()? {
+        b'k' => (&s[..s.len() - 1], 1u32 << 10),
+        b'm' => (&s[..s.len() - 1], 1 << 20),
+        _ => (s, 1),
+    };
+    num.parse::<u32>().ok()?.checked_mul(mult)
+}
+
+fn caches() -> Fanout<Cache> {
+    Fanout::new(
+        [32 << 10, 64 << 10, 256 << 10, 1 << 20]
+            .into_iter()
+            .map(|size| Cache::new(CacheConfig::direct_mapped(size, 64)))
+            .collect(),
+    )
+}
+
+fn report<C: Collector>(mut machine: Machine<C, Fanout<Cache>>, src: &str) -> ExitCode {
+    let result = match machine.run_program(src) {
+        Ok(v) => machine.display_value(v),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !machine.output().is_empty() {
+        println!("--- program output ---");
+        println!("{}", machine.output());
+        println!("----------------------");
+    }
+    println!("result:       {result}");
+    let stats = machine.stats();
+    println!("instructions: {} (I_gc {}, ΔI_prog {})",
+        stats.instructions.program(), stats.instructions.collector(), stats.instructions.gc_induced());
+    println!("allocated:    {} bytes", stats.allocated_bytes);
+    println!("collections:  {} ({} minor, {} major), {} bytes copied",
+        stats.gc.collections, stats.gc.minor_collections, stats.gc.major_collections, stats.gc.bytes_copied);
+    println!("\ncache overheads (64-byte blocks, write-validate):");
+    let mem = MainMemory::przybylski();
+    for cache in machine.sink().sinks() {
+        let s = cache.stats();
+        print!("  {:>8}: {:>10} refs, {:>8} fetches", cache.config().to_string(), s.refs(), s.fetches());
+        for cpu in [&SLOW, &FAST] {
+            let p = miss_penalty_cycles(&mem, cpu, 64);
+            print!("  {}={:.2}%", cpu.name, 100.0 * (s.fetches() * p) as f64 / stats.instructions.program() as f64);
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: run_scheme <file.scm> [--gc none|cheney:<size>|gen:<nursery>+<old>]");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gc_spec = args
+        .iter()
+        .position(|a| a == "--gc")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("none");
+
+    if gc_spec == "none" {
+        report(Machine::new(NoCollector::new(), caches()), &src)
+    } else if let Some(size) = gc_spec.strip_prefix("cheney:").and_then(parse_bytes) {
+        report(Machine::new(CheneyCollector::new(size), caches()), &src)
+    } else if let Some((n, o)) = gc_spec.strip_prefix("gen:").and_then(|rest| {
+        let (n, o) = rest.split_once('+')?;
+        Some((parse_bytes(n)?, parse_bytes(o)?))
+    }) {
+        report(Machine::new(GenerationalCollector::new(n, o), caches()), &src)
+    } else {
+        eprintln!("bad --gc spec {gc_spec:?}: use none, cheney:<size>, or gen:<nursery>+<old>");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration tests: full pipeline runs (workload → VM →
+//! trace → caches → analyses) checking the paper's qualitative claims at
+//! smoke scale.
+
+use cachegc::analysis::{activity, BlockTracker, SweepPlot};
+use cachegc::core::{
+    run_collected, run_control, CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW,
+};
+use cachegc::gc::NoCollector;
+use cachegc::sim::CacheConfig;
+use cachegc::trace::Context;
+use cachegc::workloads::Workload;
+
+fn quick() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cache_sizes = vec![32 << 10, 128 << 10, 1 << 20];
+    cfg
+}
+
+#[test]
+fn control_overheads_improve_with_cache_size_for_every_workload() {
+    let cfg = quick();
+    for w in Workload::ALL {
+        let r = run_control(w.scaled(1), &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let mut prev = f64::INFINITY;
+        for &size in &cfg.cache_sizes {
+            let cell = r.cell(size, 64).unwrap();
+            let o = r.cache_overhead(cell, &FAST);
+            assert!(o >= 0.0 && o <= prev + 1e-9, "{}: {size} -> {o}", w.name());
+            prev = o;
+        }
+        // The fast processor always suffers more than the slow one.
+        let cell = r.cell(32 << 10, 64).unwrap();
+        assert!(r.cache_overhead(cell, &FAST) > r.cache_overhead(cell, &SLOW));
+    }
+}
+
+#[test]
+fn slow_processor_overhead_is_small_in_a_large_cache() {
+    // The §5 headline: with write-validate, overheads under 5% are
+    // attainable; the slow processor gets there easily.
+    let cfg = quick();
+    for w in Workload::ALL {
+        let r = run_control(w.scaled(1), &cfg).unwrap();
+        let cell = r.cell(1 << 20, 64).unwrap();
+        let o = r.cache_overhead(cell, &SLOW);
+        assert!(o < 0.05, "{}: slow/1m/64b = {:.3}", w.name(), o);
+    }
+}
+
+#[test]
+fn one_cycle_blocks_dominate_every_workload() {
+    // §7: "at least half, and often more than eighty percent, of all
+    // dynamic blocks are one-cycle blocks" in a 64 KB cache.
+    for w in Workload::ALL {
+        let tracker = BlockTracker::new(64 << 10, 64);
+        let out = w.scaled(1).run(NoCollector::new(), tracker).unwrap();
+        let report = out.sink.finish();
+        assert!(
+            report.one_cycle_fraction() >= 0.5,
+            "{}: one-cycle fraction {:.2}",
+            w.name(),
+            report.one_cycle_fraction()
+        );
+        // Busy blocks are few yet take most references.
+        assert!(report.busy.len() < 1000, "{}", w.name());
+        assert!(report.busy_refs_fraction() > 0.5, "{}", w.name());
+    }
+}
+
+#[test]
+fn collected_results_equal_uncollected_results() {
+    let cfg = ExperimentConfig::quick();
+    for w in [Workload::Compile, Workload::Lambda] {
+        let base = w.scaled(1).run(NoCollector::new(), cachegc::trace::NullSink).unwrap();
+        let spec = CollectorSpec::Cheney { semispace_bytes: 2 << 20 };
+        let coll = run_collected(w.scaled(1), &cfg, spec).unwrap();
+        // Same program, (almost) the same instruction count — hash-chain
+        // lengths can shift slightly after a rehash — and the same answer.
+        let (a, b) = (base.stats.instructions.program() as f64, coll.i_prog as f64);
+        assert!((a - b).abs() / a < 1e-3, "{}: I_prog {a} vs {b}", w.name());
+        let rerun = w
+            .scaled(1)
+            .run(
+                cachegc::gc::CheneyCollector::new(2 << 20),
+                cachegc::trace::NullSink,
+            )
+            .unwrap();
+        assert_eq!(base.result, rerun.result, "{}", w.name());
+    }
+}
+
+#[test]
+fn gc_attribution_is_consistent() {
+    let cfg = ExperimentConfig::quick();
+    let spec = CollectorSpec::Cheney { semispace_bytes: 1 << 20 };
+    let cmp = GcComparison::run(Workload::Compile.scaled(1), &cfg, spec).unwrap();
+    assert!(cmp.collected.gc.collections > 0);
+    for cell in &cmp.collected.cells {
+        assert_eq!(cell.m_prog, cell.stats.fetches_by(Context::Mutator));
+        assert_eq!(cell.m_gc, cell.stats.fetches_by(Context::Collector));
+        assert!(cell.m_gc > 0, "collector touched memory");
+    }
+    let o = cmp.gc_overhead(32 << 10, 64, &FAST);
+    assert!(o.is_finite() && o.abs() < 10.0, "O_gc = {o}");
+}
+
+#[test]
+fn generational_beats_cheney_on_growing_live_data() {
+    // The §6 lp story at smoke scale.
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cache_sizes = vec![64 << 10];
+    let w = Workload::Lambda.scaled(1);
+    let cheney = GcComparison::run(w, &cfg, CollectorSpec::Cheney { semispace_bytes: 1 << 20 }).unwrap();
+    let gen = GcComparison::run(
+        w,
+        &cfg,
+        CollectorSpec::Generational { nursery_bytes: 1 << 20, old_bytes: 16 << 20 },
+    )
+    .unwrap();
+    assert!(
+        gen.collected.gc.bytes_copied < cheney.collected.gc.bytes_copied,
+        "generational copies less: {} vs {}",
+        gen.collected.gc.bytes_copied,
+        cheney.collected.gc.bytes_copied
+    );
+    assert!(gen.gc_overhead(64 << 10, 64, &FAST) < cheney.gc_overhead(64 << 10, 64, &FAST));
+}
+
+#[test]
+fn aggressive_nursery_promotes_more_than_infrequent() {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cache_sizes = vec![64 << 10];
+    let w = Workload::Compile.scaled(1);
+    let small = run_collected(w, &cfg, CollectorSpec::Generational { nursery_bytes: 64 << 10, old_bytes: 16 << 20 }).unwrap();
+    let large = run_collected(w, &cfg, CollectorSpec::Generational { nursery_bytes: 2 << 20, old_bytes: 16 << 20 }).unwrap();
+    assert!(small.gc.minor_collections > 4 * large.gc.minor_collections.max(1));
+    assert!(small.gc.bytes_promoted > large.gc.bytes_promoted);
+}
+
+#[test]
+fn sweep_plot_shows_the_allocation_wave() {
+    let plot = SweepPlot::new(CacheConfig::direct_mapped(64 << 10, 64), 1024);
+    let out = Workload::Compile.scaled(1).run(NoCollector::new(), plot).unwrap();
+    let plot = out.sink;
+    assert!(plot.width() > 100, "plot has time extent");
+    // The wave is sparse: misses concentrate on the advancing front, not
+    // the whole cache.
+    let f = plot.fraction_of_cells_with_dots();
+    assert!(f > 0.001 && f < 0.5, "dot density {f}");
+}
+
+#[test]
+fn cache_activity_best_cases_prevail() {
+    // §7: the most-referenced cache blocks end up mostly well-behaved and
+    // pull the global miss ratio down below the mid-curve level.
+    let cache = cachegc::sim::Cache::new(CacheConfig::direct_mapped(64 << 10, 64));
+    let out = Workload::Compile.scaled(1).run(NoCollector::new(), cache).unwrap();
+    let act = activity(out.sink.stats());
+    assert!(act.global_miss_ratio < 0.05, "global ratio {}", act.global_miss_ratio);
+    assert!(act.best_case_blocks(0.01) > act.worst_case_blocks(0.25));
+}
+
+#[test]
+fn instruction_counts_are_in_the_papers_regime() {
+    // §3: roughly 0.26-0.29 data references per instruction.
+    for w in Workload::ALL {
+        let out = w.scaled(1).run(NoCollector::new(), cachegc::trace::RefCounter::new()).unwrap();
+        let ratio = out.sink.total() as f64 / out.stats.instructions.program() as f64;
+        assert!((0.2..0.45).contains(&ratio), "{}: refs/insns = {ratio:.3}", w.name());
+    }
+}
