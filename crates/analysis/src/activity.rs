@@ -93,14 +93,30 @@ pub fn activity(stats: &CacheStats) -> Activity {
             misses: b.misses,
             non_alloc_misses: b.non_alloc_misses(),
             local_miss_ratio: b.local_miss_ratio(),
-            cum_miss_fraction: if total_nam == 0 { 0.0 } else { cum_misses as f64 / total_nam as f64 },
-            cum_ref_fraction: if total_refs == 0 { 0.0 } else { cum_refs as f64 / total_refs as f64 },
-            cum_miss_ratio: if cum_refs == 0 { 0.0 } else { cum_misses as f64 / cum_refs as f64 },
+            cum_miss_fraction: if total_nam == 0 {
+                0.0
+            } else {
+                cum_misses as f64 / total_nam as f64
+            },
+            cum_ref_fraction: if total_refs == 0 {
+                0.0
+            } else {
+                cum_refs as f64 / total_refs as f64
+            },
+            cum_miss_ratio: if cum_refs == 0 {
+                0.0
+            } else {
+                cum_misses as f64 / cum_refs as f64
+            },
         });
     }
     Activity {
         entries,
-        global_miss_ratio: if total_refs == 0 { 0.0 } else { total_nam as f64 / total_refs as f64 },
+        global_miss_ratio: if total_refs == 0 {
+            0.0
+        } else {
+            total_nam as f64 / total_refs as f64
+        },
     }
 }
 
@@ -165,7 +181,10 @@ mod tests {
         }
         let qa = activity(quiet.stats());
         let ta = activity(thrash.stats());
-        assert!(ta.max_cum_jump() > qa.max_cum_jump() + 0.1, "thrash jump visible");
+        assert!(
+            ta.max_cum_jump() > qa.max_cum_jump() + 0.1,
+            "thrash jump visible"
+        );
         assert!(ta.worst_case_blocks(0.5) >= 1);
     }
 
@@ -176,7 +195,10 @@ mod tests {
             c.access(Access::alloc_write(DYNAMIC_BASE + i * 64, M));
         }
         let a = activity(c.stats());
-        assert_eq!(a.global_miss_ratio, 0.0, "pure allocation: no non-alloc misses");
+        assert_eq!(
+            a.global_miss_ratio, 0.0,
+            "pure allocation: no non-alloc misses"
+        );
         assert!(a.entries.iter().all(|e| e.misses == 1));
     }
 }

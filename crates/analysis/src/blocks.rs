@@ -178,7 +178,7 @@ impl BlockReport {
         }
         report.dynamic_lifetimes.sort_unstable();
         report.dynamic_refs.sort_unstable();
-        report.busy.sort_by(|a, b| b.refs.cmp(&a.refs));
+        report.busy.sort_by_key(|b| std::cmp::Reverse(b.refs));
         report
     }
 
@@ -207,7 +207,11 @@ impl BlockReport {
         if self.multi_cycle_activity.is_empty() {
             return 1.0;
         }
-        let c = self.multi_cycle_activity.iter().filter(|&&a| a <= n).count();
+        let c = self
+            .multi_cycle_activity
+            .iter()
+            .filter(|&&a| a <= n)
+            .count();
         c as f64 / self.multi_cycle_activity.len() as f64
     }
 
@@ -286,7 +290,10 @@ mod tests {
         t.access(Access::write(STACK_BASE, M));
         t.access(Access::alloc_write(DYNAMIC_BASE, M));
         let r = t.finish();
-        assert_eq!((r.static_blocks, r.stack_blocks, r.dynamic_blocks), (1, 1, 1));
+        assert_eq!(
+            (r.static_blocks, r.stack_blocks, r.dynamic_blocks),
+            (1, 1, 1)
+        );
     }
 
     #[test]

@@ -1,14 +1,15 @@
-//! Criterion benchmarks of the collectors: bytes copied per second and
-//! collection latency for live graphs of different shapes.
+//! Benchmarks of the collectors: bytes copied per second and collection
+//! latency for live graphs of different shapes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use cachegc_bench::harness::bench_with_setup;
 use cachegc_gc::{CheneyCollector, Collector, GenerationalCollector, Roots};
 use cachegc_heap::{Heap, HeapConfig, ObjKind, Value};
 use cachegc_trace::{Context, Counters, NullSink};
 
 const LIST_LEN: u32 = 10_000;
+const LIST_BYTES: u64 = LIST_LEN as u64 * 12;
 
 fn heap_with_list(semispace: u32) -> (Heap, Value) {
     let mut heap = Heap::new(HeapConfig::semispaces(semispace));
@@ -16,92 +17,100 @@ fn heap_with_list(semispace: u32) -> (Heap, Value) {
     let mut head = Value::nil();
     for i in 0..LIST_LEN {
         head = heap
-            .alloc(ObjKind::Pair, &[Value::fixnum(i as i32), head], Context::Mutator, &mut sink)
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(i as i32), head],
+                Context::Mutator,
+                &mut sink,
+            )
             .expect("fits");
     }
     (heap, head)
 }
 
-fn bench_cheney_copy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cheney");
-    g.throughput(Throughput::Bytes(LIST_LEN as u64 * 12));
-    g.bench_function("copy_10k_pair_list", |b| {
-        b.iter_batched(
-            || {
-                let (mut heap, head) = heap_with_list(4 << 20);
-                let mut gc = CheneyCollector::new(4 << 20);
-                gc.install(&mut heap);
-                // Reinstall loses the bump pointer; restore it past the list.
-                heap.set_alloc_region(
-                    cachegc_trace::DYNAMIC_BASE,
-                    cachegc_trace::DYNAMIC_BASE + LIST_LEN * 12,
-                    cachegc_trace::DYNAMIC_BASE + (4 << 20),
-                );
-                (heap, gc, head)
-            },
-            |(mut heap, mut gc, head)| {
-                let mut regs = [head];
-                let mut roots = Roots::registers_only(&mut regs);
-                gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
-                black_box(regs[0])
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench_cheney_copy() {
+    bench_with_setup(
+        "cheney/copy_10k_pair_list",
+        Some(LIST_BYTES),
+        || {
+            let (mut heap, head) = heap_with_list(4 << 20);
+            let mut gc = CheneyCollector::new(4 << 20);
+            gc.install(&mut heap);
+            // Reinstall loses the bump pointer; restore it past the list.
+            heap.set_alloc_region(
+                cachegc_trace::DYNAMIC_BASE,
+                cachegc_trace::DYNAMIC_BASE + LIST_LEN * 12,
+                cachegc_trace::DYNAMIC_BASE + (4 << 20),
+            );
+            (heap, gc, head)
+        },
+        |(mut heap, mut gc, head)| {
+            let mut regs = [head];
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
+            black_box(regs[0]);
+        },
+    );
 }
 
-fn bench_generational_minor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generational");
-    g.throughput(Throughput::Bytes(LIST_LEN as u64 * 12));
-    g.bench_function("minor_with_10k_survivors", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = Heap::new(HeapConfig::unbounded());
-                let mut gc = GenerationalCollector::new(1 << 20, 16 << 20);
-                gc.install(&mut heap);
-                let mut sink = NullSink;
-                let mut head = Value::nil();
-                for i in 0..LIST_LEN {
-                    head = heap
-                        .alloc(ObjKind::Pair, &[Value::fixnum(i as i32), head], Context::Mutator, &mut sink)
-                        .expect("fits in nursery");
-                }
-                (heap, gc, head)
-            },
-            |(mut heap, mut gc, head)| {
-                let mut regs = [head];
-                let mut roots = Roots::registers_only(&mut regs);
-                gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
-                black_box(regs[0])
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("minor_all_dead", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = Heap::new(HeapConfig::unbounded());
-                let mut gc = GenerationalCollector::new(1 << 20, 16 << 20);
-                gc.install(&mut heap);
-                let mut sink = NullSink;
-                for i in 0..LIST_LEN {
-                    heap.alloc(ObjKind::Pair, &[Value::fixnum(i as i32), Value::nil()], Context::Mutator, &mut sink)
-                        .expect("fits");
-                }
-                (heap, gc)
-            },
-            |(mut heap, mut gc)| {
-                let mut regs = [];
-                let mut roots = Roots::registers_only(&mut regs);
-                gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
-                black_box(gc.old_used())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench_generational_minor() {
+    bench_with_setup(
+        "generational/minor_with_10k_survivors",
+        Some(LIST_BYTES),
+        || {
+            let mut heap = Heap::new(HeapConfig::unbounded());
+            let mut gc = GenerationalCollector::new(1 << 20, 16 << 20);
+            gc.install(&mut heap);
+            let mut sink = NullSink;
+            let mut head = Value::nil();
+            for i in 0..LIST_LEN {
+                head = heap
+                    .alloc(
+                        ObjKind::Pair,
+                        &[Value::fixnum(i as i32), head],
+                        Context::Mutator,
+                        &mut sink,
+                    )
+                    .expect("fits in nursery");
+            }
+            (heap, gc, head)
+        },
+        |(mut heap, mut gc, head)| {
+            let mut regs = [head];
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
+            black_box(regs[0]);
+        },
+    );
+    bench_with_setup(
+        "generational/minor_all_dead",
+        Some(LIST_BYTES),
+        || {
+            let mut heap = Heap::new(HeapConfig::unbounded());
+            let mut gc = GenerationalCollector::new(1 << 20, 16 << 20);
+            gc.install(&mut heap);
+            let mut sink = NullSink;
+            for i in 0..LIST_LEN {
+                heap.alloc(
+                    ObjKind::Pair,
+                    &[Value::fixnum(i as i32), Value::nil()],
+                    Context::Mutator,
+                    &mut sink,
+                )
+                .expect("fits");
+            }
+            (heap, gc)
+        },
+        |(mut heap, mut gc)| {
+            let mut regs = [];
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
+            black_box(gc.old_used());
+        },
+    );
 }
 
-criterion_group!(benches, bench_cheney_copy, bench_generational_minor);
-criterion_main!(benches);
+fn main() {
+    bench_cheney_copy();
+    bench_generational_minor();
+}

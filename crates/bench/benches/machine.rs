@@ -1,10 +1,10 @@
-//! Criterion benchmarks of the Scheme machine: simulated references per
-//! second with and without cache simulation attached — the cost of the
-//! measurement apparatus itself.
+//! Benchmarks of the Scheme machine: simulated references per second with
+//! and without cache simulation attached — the cost of the measurement
+//! apparatus itself.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use cachegc_bench::harness::bench;
 use cachegc_gc::NoCollector;
 use cachegc_sim::{Cache, CacheConfig};
 use cachegc_trace::{NullSink, RefCounter};
@@ -19,38 +19,29 @@ fn fib_refs() -> u64 {
     m.sink().total()
 }
 
-fn bench_machine(c: &mut Criterion) {
+fn bench_machine() {
     let refs = fib_refs();
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(refs));
-    g.bench_function("fib17_null_sink", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(NoCollector::new(), NullSink);
-            black_box(m.run_program(FIB).unwrap())
-        })
+    bench("machine/fib17_null_sink", Some(refs), || {
+        let mut m = Machine::new(NoCollector::new(), NullSink);
+        black_box(m.run_program(FIB).unwrap());
     });
-    g.bench_function("fib17_one_cache", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(
-                NoCollector::new(),
-                Cache::new(CacheConfig::direct_mapped(64 << 10, 64)),
-            );
-            black_box(m.run_program(FIB).unwrap())
-        })
+    bench("machine/fib17_one_cache", Some(refs), || {
+        let mut m = Machine::new(
+            NoCollector::new(),
+            Cache::new(CacheConfig::direct_mapped(64 << 10, 64)),
+        );
+        black_box(m.run_program(FIB).unwrap());
     });
-    g.finish();
 }
 
-fn bench_boot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("boot");
-    g.bench_function("machine_new_with_prelude", |b| {
-        b.iter(|| {
-            let m = Machine::new(NoCollector::new(), NullSink);
-            black_box(m.counters().program())
-        })
+fn bench_boot() {
+    bench("boot/machine_new_with_prelude", None, || {
+        let m = Machine::new(NoCollector::new(), NullSink);
+        black_box(m.counters().program());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_machine, bench_boot);
-criterion_main!(benches);
+fn main() {
+    bench_machine();
+    bench_boot();
+}

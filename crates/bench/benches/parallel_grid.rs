@@ -1,0 +1,85 @@
+//! The tentpole benchmark: sequential `Fanout` vs `ParallelFanout` on the
+//! paper's full 40-cell cache grid (8 sizes × 5 block sizes), both over a
+//! raw synthetic reference stream (isolates the sink) and over a real VM
+//! trace pass (`run_control` end to end).
+//!
+//! The acceptance bar for the parallel experiment engine is a ≥ 2× wall
+//! clock speedup at `jobs >= 4`; this prints the measured speedups.
+
+use std::hint::black_box;
+
+use cachegc_bench::harness::bench_with_setup;
+use cachegc_core::{run_control, run_control_jobs, Cache, ExperimentConfig};
+use cachegc_trace::{Fanout, ParallelFanout};
+use cachegc_workloads::{synthetic, Workload};
+
+const STREAM_OBJECTS: u32 = 50_000;
+const STREAM_EVENTS: u64 = STREAM_OBJECTS as u64 * 7;
+
+fn grid() -> Vec<Cache> {
+    ExperimentConfig::paper()
+        .configs()
+        .into_iter()
+        .map(Cache::new)
+        .collect()
+}
+
+fn bench_synthetic() {
+    let cells = grid().len() as u64;
+    let seq = bench_with_setup(
+        "paper_grid/synthetic/sequential",
+        Some(STREAM_EVENTS * cells),
+        || Fanout::new(grid()),
+        |mut fan| {
+            synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
+            black_box(fan.sinks().len());
+        },
+    );
+    for jobs in [2usize, 4, 8] {
+        let par = bench_with_setup(
+            &format!("paper_grid/synthetic/jobs={jobs}"),
+            Some(STREAM_EVENTS * cells),
+            move || ParallelFanout::new(grid(), jobs),
+            |mut fan| {
+                synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
+                black_box(fan.into_sinks().len());
+            },
+        );
+        println!(
+            "  -> speedup vs sequential: {:.2}x",
+            seq.median.as_secs_f64() / par.median.as_secs_f64()
+        );
+    }
+}
+
+fn bench_vm_pass() {
+    let cfg = ExperimentConfig::paper();
+    let w = Workload::Rewrite.scaled(1);
+    let seq = bench_with_setup(
+        "paper_grid/run_control/sequential",
+        None,
+        || (),
+        |()| {
+            black_box(run_control(w, &cfg).unwrap().refs);
+        },
+    );
+    for jobs in [4usize, 8] {
+        let par = bench_with_setup(
+            &format!("paper_grid/run_control/jobs={jobs}"),
+            None,
+            || (),
+            |()| {
+                black_box(run_control_jobs(w, &cfg, jobs).unwrap().refs);
+            },
+        );
+        println!(
+            "  -> speedup vs sequential: {:.2}x",
+            seq.median.as_secs_f64() / par.median.as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    bench_synthetic();
+    bench_vm_pass();
+}

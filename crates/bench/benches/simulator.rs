@@ -1,117 +1,108 @@
-//! Criterion benchmarks of the cache simulator itself: accesses per second
-//! for the paper's cache geometries over characteristic reference streams.
+//! Benchmarks of the cache simulator itself: accesses per second for the
+//! paper's cache geometries over characteristic reference streams.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use cachegc_bench::harness::bench_with_setup;
 use cachegc_sim::{Cache, CacheConfig, SetAssocCache, WriteMissPolicy};
 use cachegc_workloads::synthetic;
 
 const STREAM_OBJECTS: u32 = 20_000;
+/// 20k objects * (3 writes + 4 reads) references.
+const STREAM_EVENTS: u64 = STREAM_OBJECTS as u64 * 7;
 
-fn bench_direct_mapped(c: &mut Criterion) {
-    let mut g = c.benchmark_group("direct_mapped_sweep");
-    // 20k objects * (3 writes + 4 reads) references.
-    g.throughput(Throughput::Elements(STREAM_OBJECTS as u64 * 7));
+fn bench_direct_mapped() {
     for (size, block) in [(32 << 10, 16u32), (64 << 10, 64), (4 << 20, 256)] {
-        g.bench_function(format!("{}", CacheConfig::direct_mapped(size, block)), |b| {
-            b.iter_batched(
-                || Cache::new(CacheConfig::direct_mapped(size, block)),
-                |mut cache| {
-                    synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
-                    black_box(cache.stats().fetches())
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
-}
-
-fn bench_write_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("write_policy");
-    g.throughput(Throughput::Elements(STREAM_OBJECTS as u64 * 7));
-    for policy in [WriteMissPolicy::WriteValidate, WriteMissPolicy::FetchOnWrite] {
-        g.bench_function(format!("{policy:?}"), |b| {
-            b.iter_batched(
-                || Cache::new(CacheConfig::direct_mapped(64 << 10, 64).with_write_miss(policy)),
-                |mut cache| {
-                    synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
-                    black_box(cache.stats().fetches())
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
-}
-
-fn bench_associative(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_associative");
-    g.throughput(Throughput::Elements(STREAM_OBJECTS as u64 * 7));
-    for ways in [1u32, 2, 4] {
-        g.bench_function(format!("{ways}-way"), |b| {
-            b.iter_batched(
-                || SetAssocCache::new(CacheConfig::direct_mapped(64 << 10, 64).with_assoc(ways)),
-                |mut cache| {
-                    synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
-                    black_box(cache.stats().fetches())
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
-}
-
-fn bench_thrash(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thrash_worst_case");
-    g.throughput(Throughput::Elements(100_000 * 2));
-    g.bench_function("alternating_conflict", |b| {
-        b.iter_batched(
-            || Cache::new(CacheConfig::direct_mapped(64 << 10, 64)),
+        let cfg = CacheConfig::direct_mapped(size, block);
+        bench_with_setup(
+            &format!("direct_mapped_sweep/{cfg}"),
+            Some(STREAM_EVENTS),
+            move || Cache::new(cfg),
             |mut cache| {
-                synthetic::thrash_pair(&mut cache, 64 << 10, 100_000);
-                black_box(cache.stats().fetches())
+                synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
+                black_box(cache.stats().fetches());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+        );
+    }
 }
 
-fn bench_fanout_grid(c: &mut Criterion) {
+fn bench_write_policies() {
+    for policy in [
+        WriteMissPolicy::WriteValidate,
+        WriteMissPolicy::FetchOnWrite,
+    ] {
+        bench_with_setup(
+            &format!("write_policy/{policy:?}"),
+            Some(STREAM_EVENTS),
+            move || Cache::new(CacheConfig::direct_mapped(64 << 10, 64).with_write_miss(policy)),
+            |mut cache| {
+                synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
+                black_box(cache.stats().fetches());
+            },
+        );
+    }
+}
+
+fn bench_associative() {
+    for ways in [1u32, 2, 4] {
+        bench_with_setup(
+            &format!("set_associative/{ways}-way"),
+            Some(STREAM_EVENTS),
+            move || SetAssocCache::new(CacheConfig::direct_mapped(64 << 10, 64).with_assoc(ways)),
+            |mut cache| {
+                synthetic::one_cycle_sweep(&mut cache, STREAM_OBJECTS, 2);
+                black_box(cache.stats().fetches());
+            },
+        );
+    }
+}
+
+fn bench_thrash() {
+    bench_with_setup(
+        "thrash_worst_case/alternating_conflict",
+        Some(100_000 * 2),
+        || Cache::new(CacheConfig::direct_mapped(64 << 10, 64)),
+        |mut cache| {
+            synthetic::thrash_pair(&mut cache, 64 << 10, 100_000);
+            black_box(cache.stats().fetches());
+        },
+    );
+}
+
+fn bench_fanout_grid() {
     use cachegc_trace::Fanout;
-    let mut g = c.benchmark_group("full_grid_fanout");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(STREAM_OBJECTS as u64 * 7));
-    g.bench_function("40_caches_one_pass", |b| {
-        b.iter_batched(
-            || {
-                let mut caches = Vec::new();
-                for size in [32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20] {
-                    for block in [16, 32, 64, 128, 256] {
-                        caches.push(Cache::new(CacheConfig::direct_mapped(size, block)));
-                    }
+    bench_with_setup(
+        "full_grid_fanout/40_caches_one_pass",
+        Some(STREAM_EVENTS),
+        || {
+            let mut caches = Vec::new();
+            for size in [
+                32 << 10,
+                64 << 10,
+                128 << 10,
+                256 << 10,
+                512 << 10,
+                1 << 20,
+                2 << 20,
+                4 << 20,
+            ] {
+                for block in [16, 32, 64, 128, 256] {
+                    caches.push(Cache::new(CacheConfig::direct_mapped(size, block)));
                 }
-                Fanout::new(caches)
-            },
-            |mut fan| {
-                synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
-                black_box(fan.sinks().len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+            }
+            Fanout::new(caches)
+        },
+        |mut fan| {
+            synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
+            black_box(fan.sinks().len());
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_direct_mapped,
-    bench_write_policies,
-    bench_associative,
-    bench_thrash,
-    bench_fanout_grid
-);
-criterion_main!(benches);
+fn main() {
+    bench_direct_mapped();
+    bench_write_policies();
+    bench_associative();
+    bench_thrash();
+    bench_fanout_grid();
+}

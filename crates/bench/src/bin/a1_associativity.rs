@@ -11,11 +11,16 @@ use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(2);
-    header(&format!("A1: associativity ablation (64b blocks), scale {scale}"));
+    header(&format!(
+        "A1: associativity ablation (64b blocks), scale {scale}"
+    ));
     let sizes = [32 << 10, 64 << 10, 256 << 10u32];
     let ways = [1u32, 2, 4];
 
-    println!("{:10} {:>8} {:>6} {:>14} {:>10}", "program", "cache", "ways", "fetches", "miss ratio");
+    println!(
+        "{:10} {:>8} {:>6} {:>14} {:>10}",
+        "program", "cache", "ways", "fetches", "miss ratio"
+    );
     for w in [Workload::Compile, Workload::Nbody] {
         eprintln!("running {} ...", w.name());
         let mut caches = Vec::new();
@@ -26,7 +31,10 @@ fn main() {
                 ));
             }
         }
-        let out = w.scaled(scale).run(NoCollector::new(), Fanout::new(caches)).unwrap();
+        let out = w
+            .scaled(scale)
+            .run(NoCollector::new(), Fanout::new(caches))
+            .unwrap();
         for c in out.sink.sinks() {
             println!(
                 "{:10} {:>8} {:>6} {:>14} {:>10.4}",

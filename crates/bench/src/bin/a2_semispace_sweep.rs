@@ -11,14 +11,18 @@ fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![64 << 10, 1 << 20];
-    header(&format!("A2: Cheney semispace-size sweep, compile workload, scale {scale}"));
+    header(&format!(
+        "A2: Cheney semispace-size sweep, compile workload, scale {scale}"
+    ));
 
     println!(
         "{:>10} {:>6} {:>14} {:>12} {:>12} {:>12} {:>12}",
         "semispace", "GCs", "copied (b)", "64k slow", "64k fast", "1m slow", "1m fast"
     );
     for semi in [512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20] {
-        let spec = CollectorSpec::Cheney { semispace_bytes: semi };
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: semi,
+        };
         eprintln!("running with {} semispaces ...", human_bytes(semi));
         let cmp = match GcComparison::run(Workload::Compile.scaled(scale), &cfg, spec) {
             Ok(c) => c,

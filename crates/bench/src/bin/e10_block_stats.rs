@@ -13,7 +13,9 @@ use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(2);
-    header(&format!("E10: block behavior census, 64k cache / 64b blocks (§7), scale {scale}"));
+    header(&format!(
+        "E10: block behavior census, 64k cache / 64b blocks (§7), scale {scale}"
+    ));
     println!(
         "{:10} {:>10} {:>12} {:>12} {:>11} {:>11} {:>12}",
         "program", "med refs", "mc<=4cyc", "busy blocks", "busy stack", "busy stat", "busy refs"

@@ -14,7 +14,10 @@ use cachegc_workloads::Workload;
 fn panel(w: Workload, scale: u32, cache_bytes: u32) {
     let cfg = CacheConfig::direct_mapped(cache_bytes, 64);
     eprintln!("running {} at {} ...", w.name(), human_bytes(cache_bytes));
-    let out = w.scaled(scale).run(NoCollector::new(), Cache::new(cfg)).unwrap();
+    let out = w
+        .scaled(scale)
+        .run(NoCollector::new(), Cache::new(cfg))
+        .unwrap();
     let act = activity(out.sink.stats());
     println!(
         "\n{} @ {} / 64b: global miss ratio (excl. alloc) {:.4}, max cum jump {:.4}",
@@ -29,7 +32,10 @@ fn panel(w: Workload, scale: u32, cache_bytes: u32) {
         act.best_case_blocks(0.01)
     );
     // Sample the cumulative curves at deciles of the block ordering.
-    println!("  {:>6} {:>12} {:>10} {:>10} {:>10}", "pct", "refs", "cum refs", "cum miss", "cum ratio");
+    println!(
+        "  {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "pct", "refs", "cum refs", "cum miss", "cum ratio"
+    );
     let n = act.entries.len();
     for decile in [50, 80, 90, 95, 99, 100] {
         let i = (n * decile / 100).saturating_sub(1);
@@ -47,7 +53,9 @@ fn panel(w: Workload, scale: u32, cache_bytes: u32) {
 
 fn main() {
     let scale = scale_arg(2);
-    header(&format!("E11: cache-activity decomposition (§7 figures), scale {scale}"));
+    header(&format!(
+        "E11: cache-activity decomposition (§7 figures), scale {scale}"
+    ));
     panel(Workload::Compile, scale, 64 << 10);
     panel(Workload::Prove, scale, 64 << 10);
     panel(Workload::Rewrite, scale, 64 << 10);

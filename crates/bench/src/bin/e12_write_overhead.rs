@@ -4,14 +4,18 @@
 //! always < 1 %, fast processor < 3 % for caches of 1 MB or more.
 
 use cachegc_bench::{header, human_bytes, scale_arg};
-use cachegc_core::{run_control, write_back_overhead, writeback_cycles, ExperimentConfig, FAST, SLOW};
+use cachegc_core::{
+    run_control, write_back_overhead, writeback_cycles, ExperimentConfig, FAST, SLOW,
+};
 use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(4);
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
-    header(&format!("E12: write-back write overheads (§5), 64b blocks, scale {scale}"));
+    header(&format!(
+        "E12: write-back write overheads (§5), 64b blocks, scale {scale}"
+    ));
 
     print!("{:10} {:>6}", "program", "cpu");
     for &size in &cfg.cache_sizes {

@@ -18,9 +18,9 @@
 
 use cachegc_bench::{header, human_bytes, scale_arg};
 use cachegc_core::{run_control, ExperimentConfig, FAST, SLOW};
-use cachegc_vm::Machine;
 use cachegc_gc::NoCollector;
 use cachegc_trace::RefCounter;
+use cachegc_vm::Machine;
 
 fn functional(gens: u32) -> String {
     format!(
@@ -66,7 +66,10 @@ fn measure(name: &str, src: &str, cfg: &ExperimentConfig) {
     // Then the cache grid via the standard control machinery, by wrapping
     // the source as a one-off "workload".
     let mut caches = cachegc_trace::Fanout::new(
-        cfg.configs().into_iter().map(cachegc_core::Cache::new).collect::<Vec<_>>(),
+        cfg.configs()
+            .into_iter()
+            .map(cachegc_core::Cache::new)
+            .collect::<Vec<_>>(),
     );
     let mut m = Machine::new(NoCollector::new(), &mut caches);
     m.run_program(src).expect("runs");
@@ -95,10 +98,20 @@ fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![32 << 10, 64 << 10, 256 << 10, 1 << 20];
-    header(&format!("E13: allocation vs mutation (§8 conjecture 3), scale {scale}"));
+    header(&format!(
+        "E13: allocation vs mutation (§8 conjecture 3), scale {scale}"
+    ));
 
-    measure("functional (rides the allocation wave)", &functional(gens), &cfg);
-    measure("imperative (set-car! on one long-lived list)", &imperative(gens), &cfg);
+    measure(
+        "functional (rides the allocation wave)",
+        &functional(gens),
+        &cfg,
+    );
+    measure(
+        "imperative (set-car! on one long-lived list)",
+        &imperative(gens),
+        &cfg,
+    );
 
     println!();
     println!("reading: the functional version's working set is twice the imperative");

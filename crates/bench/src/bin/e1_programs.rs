@@ -1,23 +1,40 @@
 //! E1 — the §3 test-program table: lines, bytes allocated, instructions
 //! executed, and data references for each program, run without collection.
+//!
+//! The five programs are independent trace passes, so `--jobs N` runs up
+//! to N of them concurrently (`--jobs 1` is the sequential oracle).
 
-use cachegc_bench::{commas, header, scale_arg};
+use std::time::Instant;
+
+use cachegc_bench::{commas, header, jobs_arg, scale_arg, GridReport, GridRun};
+use cachegc_core::par_map;
 use cachegc_gc::NoCollector;
 use cachegc_trace::RefCounter;
 use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(4);
-    header(&format!("E1: test programs (§3 table), scale {scale}"));
-    println!(
-        "{:10} {:>7} {:>12} {:>16} {:>16} {:>8}",
-        "program", "lines", "alloc (b)", "insns", "refs", "refs/ins"
-    );
-    for w in Workload::ALL {
+    let jobs = jobs_arg();
+    header(&format!(
+        "E1: test programs (§3 table), scale {scale}, jobs {jobs}"
+    ));
+    let t0 = Instant::now();
+    let outs = par_map(&Workload::ALL, jobs, |w| {
+        let t = Instant::now();
         let out = w
             .scaled(scale)
             .run(NoCollector::new(), RefCounter::new())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        (out, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+
+    println!(
+        "{:10} {:>7} {:>12} {:>16} {:>16} {:>8}",
+        "program", "lines", "alloc (b)", "insns", "refs", "refs/ins"
+    );
+    let mut runs = Vec::new();
+    for (w, (out, wall)) in Workload::ALL.iter().zip(&outs) {
         let insns = out.stats.instructions.program();
         let refs = out.sink.total();
         println!(
@@ -29,8 +46,23 @@ fn main() {
             commas(refs),
             refs as f64 / insns as f64,
         );
+        runs.push(GridRun {
+            workload: w.name().into(),
+            scale,
+            events: refs,
+            cells: 1,
+            wall: *wall,
+        });
     }
     println!();
     println!("paper: orbit 15k lines/263mb, imps 42k/1.8gb, lp 2.5k/216mb,");
     println!("       nbody .6k/747mb, gambit 15k/527mb; refs/insns ≈ 0.26-0.29");
+
+    GridReport {
+        binary: "e1_programs".into(),
+        jobs,
+        runs,
+        total_wall,
+    }
+    .write();
 }

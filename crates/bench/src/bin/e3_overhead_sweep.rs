@@ -5,26 +5,45 @@
 //! Expected shape (paper): larger caches and smaller blocks always win;
 //! slow processor < 5 % even at 32 KB/16 B; fast processor needs ~1 MB
 //! for a similar overhead.
+//!
+//! `--jobs N` splits the work two ways: the five programs run
+//! concurrently, and within each pass the 40-cell cache grid is sharded
+//! across worker threads (`ParallelFanout`). `--jobs 1` is the sequential
+//! oracle; per-cell statistics are bit-identical either way.
 
-use cachegc_bench::{header, human_bytes, scale_arg};
-use cachegc_core::{run_control, ExperimentConfig, FAST, SLOW};
+use std::time::Instant;
+
+use cachegc_bench::{header, human_bytes, jobs_arg, scale_arg, GridReport, GridRun};
+use cachegc_core::{par_map, run_control_jobs, ExperimentConfig, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(4);
+    let jobs = jobs_arg();
     let cfg = ExperimentConfig::paper();
-    header(&format!("E3: average cache overhead, no GC (§5 figure), scale {scale}"));
+    header(&format!(
+        "E3: average cache overhead, no GC (§5 figure), scale {scale}, jobs {jobs}"
+    ));
 
-    let reports: Vec<_> = Workload::ALL
-        .iter()
-        .map(|w| {
-            eprintln!("running {} ...", w.name());
-            run_control(w.scaled(scale), &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name()))
-        })
-        .collect();
+    // Outer parallelism over programs, inner over grid cells.
+    let outer = jobs.min(Workload::ALL.len());
+    let inner = (jobs / outer).max(1);
+    let t0 = Instant::now();
+    let timed: Vec<_> = par_map(&Workload::ALL, outer, |w| {
+        eprintln!("running {} ...", w.name());
+        let t = Instant::now();
+        let r = run_control_jobs(w.scaled(scale), &cfg, inner)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        (r, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+    let reports: Vec<_> = timed.iter().map(|(r, _)| r).collect();
 
     for cpu in [&SLOW, &FAST] {
-        println!("\n{} processor ({} ns cycle): O_cache averaged over programs", cpu.name, cpu.cycle_ns);
+        println!(
+            "\n{} processor ({} ns cycle): O_cache averaged over programs",
+            cpu.name, cpu.cycle_ns
+        );
         print!("{:>8}", "block");
         for &size in &cfg.cache_sizes {
             print!("{:>9}", human_bytes(size));
@@ -49,4 +68,23 @@ fn main() {
     println!();
     println!("paper shape: monotone improvement with cache size; smaller blocks better;");
     println!("slow/32k/16b < 5%; fast needs ~1m for < 5%.");
+
+    let runs = Workload::ALL
+        .iter()
+        .zip(&timed)
+        .map(|(w, (r, wall))| GridRun {
+            workload: w.name().into(),
+            scale,
+            events: r.refs,
+            cells: r.cells.len(),
+            wall: *wall,
+        })
+        .collect();
+    GridReport {
+        binary: "e3_overhead_sweep".into(),
+        jobs,
+        runs,
+        total_wall,
+    }
+    .write();
 }

@@ -12,11 +12,15 @@ use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(4);
-    header(&format!("E4: fetch-on-write vs write-validate (§5), scale {scale}"));
+    header(&format!(
+        "E4: fetch-on-write vs write-validate (§5), scale {scale}"
+    ));
     let sizes = vec![32 << 10, 256 << 10, 1 << 20];
     let mut cfg_wv = ExperimentConfig::paper();
     cfg_wv.cache_sizes = sizes.clone();
-    let cfg_fow = cfg_wv.clone().with_write_miss(WriteMissPolicy::FetchOnWrite);
+    let cfg_fow = cfg_wv
+        .clone()
+        .with_write_miss(WriteMissPolicy::FetchOnWrite);
 
     let runs: Vec<_> = Workload::ALL
         .iter()
@@ -29,7 +33,10 @@ fn main() {
         .collect();
 
     for cpu in [&SLOW, &FAST] {
-        println!("\n{} processor: average O_cache increase from fetch-on-write", cpu.name);
+        println!(
+            "\n{} processor: average O_cache increase from fetch-on-write",
+            cpu.name
+        );
         print!("{:>8}", "block");
         for &size in &sizes {
             print!("{:>9}", human_bytes(size));

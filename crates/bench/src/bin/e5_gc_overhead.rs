@@ -12,13 +12,20 @@
 //! allocate hundreds of MB; we default to 2 MB semispaces against tens of
 //! MB of allocation, preserving the collections-per-byte-allocated regime.
 //! Override with `CACHEGC_SEMISPACE` (bytes).
+//!
+//! `--jobs N` runs workloads concurrently and, inside each comparison,
+//! the control and collected passes on separate threads with the 8-cell
+//! grid sharded across workers. `--jobs 1` is the sequential oracle.
 
-use cachegc_bench::{header, human_bytes, scale_arg};
-use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
+use std::time::Instant;
+
+use cachegc_bench::{header, human_bytes, jobs_arg, scale_arg, GridReport, GridRun};
+use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(4);
+    let jobs = jobs_arg();
     let semispace: u32 = std::env::var("CACHEGC_SEMISPACE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -26,17 +33,33 @@ fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     header(&format!(
-        "E5: O_gc with Cheney {} semispaces, 64b blocks (§6 figure), scale {scale}",
+        "E5: O_gc with Cheney {} semispaces, 64b blocks (§6 figure), scale {scale}, jobs {jobs}",
         human_bytes(semispace)
     ));
 
-    let spec = CollectorSpec::Cheney { semispace_bytes: semispace };
-    for w in Workload::ALL {
+    let spec = CollectorSpec::Cheney {
+        semispace_bytes: semispace,
+    };
+    let outer = jobs.min(Workload::ALL.len());
+    let inner = (jobs / outer).max(1);
+    let t0 = Instant::now();
+    let results = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} (control + collected) ...", w.name());
-        let cmp = match GcComparison::run(w.scaled(scale), &cfg, spec) {
+        let t = Instant::now();
+        let r = GcComparison::run_jobs(w.scaled(scale), &cfg, spec, inner);
+        (r, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+
+    let mut runs = Vec::new();
+    for (w, (result, wall)) in Workload::ALL.iter().zip(&results) {
+        let cmp = match result {
             Ok(c) => c,
             Err(e) => {
-                println!("{:10} failed: {e} (semispace too small for its live data)", w.name());
+                println!(
+                    "{:10} failed: {e} (semispace too small for its live data)",
+                    w.name()
+                );
                 continue;
             }
         };
@@ -62,8 +85,23 @@ fn main() {
             }
             println!();
         }
+        runs.push(GridRun {
+            workload: w.name().into(),
+            scale,
+            events: cmp.control.refs,
+            cells: cmp.control.cells.len() + cmp.collected.cells.len(),
+            wall: *wall,
+        });
     }
     println!();
     println!("paper shape: orbit/nbody/gambit ≤4% slow, ≤7.7% fast; nbody negative at 64-128k;");
     println!("imps volatile (thrashing); lp uniformly ≥40%.");
+
+    GridReport {
+        binary: "e5_gc_overhead".into(),
+        jobs,
+        runs,
+        total_wall,
+    }
+    .write();
 }

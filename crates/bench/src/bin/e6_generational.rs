@@ -11,12 +11,19 @@ fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![64 << 10, 256 << 10, 1 << 20];
-    header(&format!("E6: lambda (lp) under Cheney vs generational (§6), scale {scale}"));
+    header(&format!(
+        "E6: lambda (lp) under Cheney vs generational (§6), scale {scale}"
+    ));
 
     let w = Workload::Lambda.scaled(scale);
     let specs = [
-        CollectorSpec::Cheney { semispace_bytes: 2 << 20 },
-        CollectorSpec::Generational { nursery_bytes: 1 << 20, old_bytes: 24 << 20 },
+        CollectorSpec::Cheney {
+            semispace_bytes: 2 << 20,
+        },
+        CollectorSpec::Generational {
+            nursery_bytes: 1 << 20,
+            old_bytes: 24 << 20,
+        },
     ];
     for spec in specs {
         eprintln!("running lambda under {} ...", spec.name());
@@ -32,7 +39,11 @@ fn main() {
         for cpu in [&SLOW, &FAST] {
             print!("  {:>5}:", cpu.name);
             for &size in &cfg.cache_sizes {
-                print!("  {}={:.2}%", human_bytes(size), 100.0 * cmp.gc_overhead(size, 64, cpu));
+                print!(
+                    "  {}={:.2}%",
+                    human_bytes(size),
+                    100.0 * cmp.gc_overhead(size, 64, cpu)
+                );
             }
             println!();
         }

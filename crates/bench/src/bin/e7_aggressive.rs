@@ -23,10 +23,19 @@ fn main() {
 
     println!(
         "{:>9} {:>7} {:>14} {:>14} {:>10} {:>10} {:>10}",
-        "nursery", "minors", "promoted (b)", "copied (b)", "O_gc slow", "O_gc fast", "O_cache+O_gc fast"
+        "nursery",
+        "minors",
+        "promoted (b)",
+        "copied (b)",
+        "O_gc slow",
+        "O_gc fast",
+        "O_cache+O_gc fast"
     );
     for nursery in [64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20] {
-        let spec = CollectorSpec::Generational { nursery_bytes: nursery, old_bytes: 24 << 20 };
+        let spec = CollectorSpec::Generational {
+            nursery_bytes: nursery,
+            old_bytes: 24 << 20,
+        };
         eprintln!("running compile with nursery {} ...", human_bytes(nursery));
         let cmp = GcComparison::run(Workload::Compile.scaled(scale), &cfg, spec)
             .unwrap_or_else(|e| panic!("{e}"));

@@ -6,19 +6,24 @@
 //! The plot is written to `e8_sweep.txt` (full resolution) and a
 //! downsampled excerpt is printed.
 
+use cachegc_analysis::SweepPlot;
 use cachegc_bench::{header, scale_arg};
 use cachegc_core::CacheConfig;
-use cachegc_analysis::SweepPlot;
 use cachegc_gc::NoCollector;
 use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(1);
-    header(&format!("E8: cache-miss sweep plot, compile, 64k/64b (§7), scale {scale}"));
+    header(&format!(
+        "E8: cache-miss sweep plot, compile, 64k/64b (§7), scale {scale}"
+    ));
     let cfg = CacheConfig::direct_mapped(64 << 10, 64);
     let plot = SweepPlot::new(cfg, 1024);
     eprintln!("running compile ...");
-    let out = Workload::Compile.scaled(scale).run(NoCollector::new(), plot).unwrap();
+    let out = Workload::Compile
+        .scaled(scale)
+        .run(NoCollector::new(), plot)
+        .unwrap();
     let plot = out.sink;
 
     let full = plot.render_ascii(4000);

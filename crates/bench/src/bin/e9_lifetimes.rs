@@ -9,7 +9,9 @@ use cachegc_workloads::Workload;
 
 fn main() {
     let scale = scale_arg(2);
-    header(&format!("E9: dynamic-block lifetime CDF, 64b blocks (§7 figure), scale {scale}"));
+    header(&format!(
+        "E9: dynamic-block lifetime CDF, 64b blocks (§7 figure), scale {scale}"
+    ));
     let points: Vec<u64> = (10..=30).map(|p| 1u64 << p).collect();
 
     print!("{:10} {:>10}", "program", "dyn blocks");

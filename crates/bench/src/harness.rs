@@ -1,0 +1,121 @@
+//! A small wall-clock benchmark harness.
+//!
+//! The workspace pins no external registry crates (hermetic builds), so
+//! this stands in for criterion: per-benchmark warm-up, repeated sampling,
+//! and a median-of-samples report with optional throughput. Medians are
+//! robust to the occasional descheduled sample; these are coarse
+//! regenerator benchmarks, not microsecond-level statistics.
+
+use std::time::{Duration, Instant};
+
+/// Sampling stops after this much measured time per benchmark...
+const TARGET_TOTAL: Duration = Duration::from_millis(400);
+/// ...or after this many samples, whichever comes first.
+const MAX_SAMPLES: usize = 40;
+/// Always take at least this many samples.
+const MIN_SAMPLES: usize = 5;
+
+/// One benchmark's results.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark label.
+    pub name: String,
+    /// Samples taken (after one warm-up run).
+    pub samples: usize,
+    /// Median sample time.
+    pub median: Duration,
+    /// Fastest sample time.
+    pub min: Duration,
+    /// Events per sample, for throughput reporting.
+    pub events_per_iter: Option<u64>,
+}
+
+impl Summary {
+    /// Events per second at the median sample time, if a throughput was
+    /// declared.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let e = self.events_per_iter?;
+        Some(e as f64 / self.median.as_secs_f64())
+    }
+
+    fn print(&self) {
+        let rate = match self.events_per_sec() {
+            Some(r) if r >= 1e6 => format!("  {:8.1} Mevents/s", r / 1e6),
+            Some(r) => format!("  {:8.1} kevents/s", r / 1e3),
+            None => String::new(),
+        };
+        println!(
+            "{:40} median {:>10.3?}  min {:>10.3?}  ({} samples){}",
+            self.name, self.median, self.min, self.samples, rate
+        );
+    }
+}
+
+/// Run `routine` repeatedly and report its median wall time. The routine
+/// owns its own setup; use [`bench_with_setup`] when setup must be
+/// excluded from the measurement.
+pub fn bench(name: &str, events_per_iter: Option<u64>, mut routine: impl FnMut()) -> Summary {
+    bench_with_setup(name, events_per_iter, || (), move |()| routine())
+}
+
+/// As [`bench`], but `setup` runs before every sample outside the timed
+/// region (criterion's `iter_batched`).
+pub fn bench_with_setup<T>(
+    name: &str,
+    events_per_iter: Option<u64>,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T),
+) -> Summary {
+    routine(setup()); // warm-up, untimed
+    let mut samples = Vec::with_capacity(MAX_SAMPLES);
+    let mut total = Duration::ZERO;
+    while samples.len() < MIN_SAMPLES || (total < TARGET_TOTAL && samples.len() < MAX_SAMPLES) {
+        let input = setup();
+        let start = Instant::now();
+        routine(input);
+        let dt = start.elapsed();
+        total += dt;
+        samples.push(dt);
+    }
+    samples.sort_unstable();
+    let summary = Summary {
+        name: name.to_string(),
+        samples: samples.len(),
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        events_per_iter,
+    };
+    summary.print();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let mut runs = 0u64;
+        let s = bench("spin", Some(1000), || {
+            runs += 1;
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(s.samples >= MIN_SAMPLES);
+        assert!(runs as usize >= s.samples, "one warmup plus samples");
+        assert!(s.min <= s.median);
+        assert!(s.events_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn setup_is_not_timed() {
+        // A slow setup with an instant routine: median must reflect the
+        // routine, not the setup.
+        let s = bench_with_setup(
+            "setup_heavy",
+            None,
+            || std::hint::black_box((0..2_000_000u64).sum::<u64>()),
+            |_| {},
+        );
+        assert!(s.median < Duration::from_millis(5));
+    }
+}

@@ -10,20 +10,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+mod report;
+
+pub use report::{GridReport, GridRun};
+
 /// Workload scale from `--scale N` or `CACHEGC_SCALE` (default `default`).
 pub fn scale_arg(default: u32) -> u32 {
+    arg_or_env("--scale", "CACHEGC_SCALE").unwrap_or(default)
+}
+
+/// Worker threads from `--jobs N` or `CACHEGC_JOBS`; defaults to this
+/// machine's available parallelism. `--jobs 1` is the sequential oracle:
+/// it takes exactly the single-threaded code paths.
+pub fn jobs_arg() -> usize {
+    arg_or_env("--jobs", "CACHEGC_JOBS")
+        .unwrap_or_else(cachegc_core::default_jobs)
+        .max(1)
+}
+
+fn arg_or_env<T: std::str::FromStr>(flag: &str, env: &str) -> Option<T> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--scale" {
+        if a == flag {
             if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                return v;
+                return Some(v);
             }
         }
     }
-    std::env::var("CACHEGC_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(env).ok().and_then(|v| v.parse().ok())
 }
 
 /// Format a fraction as a signed percentage with two decimals.
@@ -45,7 +60,7 @@ pub fn commas(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -1,0 +1,142 @@
+//! `BENCH_grid.json`: a machine-readable performance trajectory record.
+//!
+//! Every sweep binary appends one record describing its grid run —
+//! workload, grid shape, `--jobs`, wall time, and simulated-event
+//! throughput — so successive PRs can track how fast the paper-scale
+//! experiment engine is without re-parsing human-readable tables. The
+//! JSON is written by hand (no serde in the hermetic build).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One workload's pass through the cache grid.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    /// Workload short name (`compile`, `prove`, ...).
+    pub workload: String,
+    /// Workload scale knob.
+    pub scale: u32,
+    /// Trace events (data references) in the pass.
+    pub events: u64,
+    /// Cache-grid cells the pass drove.
+    pub cells: usize,
+    /// Wall-clock time for the pass.
+    pub wall: Duration,
+}
+
+impl GridRun {
+    /// Cell-events per second: every event is simulated once per cell, so
+    /// this is the engine's aggregate simulation throughput.
+    pub fn cell_events_per_sec(&self) -> f64 {
+        (self.events as f64 * self.cells as f64) / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A sweep binary's whole run.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Which binary produced this (e.g. `e3_overhead_sweep`).
+    pub binary: String,
+    /// `--jobs` in effect.
+    pub jobs: usize,
+    /// Per-workload passes.
+    pub runs: Vec<GridRun>,
+    /// Wall-clock time for the whole binary's measurement section.
+    pub total_wall: Duration,
+}
+
+impl GridReport {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"cachegc-bench-grid-v1\",");
+        let _ = writeln!(s, "  \"binary\": {},", json_str(&self.binary));
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(
+            s,
+            "  \"total_wall_secs\": {:.6},",
+            self.total_wall.as_secs_f64()
+        );
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": {}, \"scale\": {}, \"events\": {}, \"cells\": {}, \
+                 \"wall_secs\": {:.6}, \"cell_events_per_sec\": {:.1}}}",
+                json_str(&r.workload),
+                r.scale,
+                r.events,
+                r.cells,
+                r.wall.as_secs_f64(),
+                r.cell_events_per_sec(),
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the report to `CACHEGC_BENCH_JSON` (default `BENCH_grid.json`
+    /// in the current directory). Failures are reported, not fatal: the
+    /// record is a side channel, never worth killing a long sweep over.
+    pub fn write(&self) {
+        let path = std::env::var("CACHEGC_BENCH_JSON").unwrap_or_else(|_| "BENCH_grid.json".into());
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = GridReport {
+            binary: "e3_overhead_sweep".into(),
+            jobs: 8,
+            runs: vec![GridRun {
+                workload: "compile".into(),
+                scale: 4,
+                events: 1_000_000,
+                cells: 40,
+                wall: Duration::from_millis(500),
+            }],
+            total_wall: Duration::from_millis(512),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"cachegc-bench-grid-v1\""));
+        assert!(json.contains("\"binary\": \"e3_overhead_sweep\""));
+        assert!(json.contains("\"jobs\": 8"));
+        assert!(json.contains("\"workload\": \"compile\""));
+        assert!(json.contains("\"cells\": 40"));
+        // 1M events × 40 cells / 0.5 s = 80M cell-events/s.
+        assert!(json.contains("\"cell_events_per_sec\": 80000000.0"));
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("n\nl"), "\"n\\u000al\"");
+    }
+}

@@ -1,6 +1,6 @@
 //! Experiment runners: one trace pass drives a whole grid of caches.
 
-use cachegc_gc::{CheneyCollector, Collector, GcStats, GenerationalCollector, NoCollector};
+use cachegc_gc::{CheneyCollector, GcStats, GenerationalCollector, NoCollector};
 use cachegc_sim::{
     miss_penalty_cycles, Cache, CacheConfig, CacheStats, MainMemory, Processor, WriteMissPolicy,
 };
@@ -28,7 +28,16 @@ impl ExperimentConfig {
     /// write-validate.
     pub fn paper() -> Self {
         ExperimentConfig {
-            cache_sizes: vec![32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20],
+            cache_sizes: vec![
+                32 << 10,
+                64 << 10,
+                128 << 10,
+                256 << 10,
+                512 << 10,
+                1 << 20,
+                2 << 20,
+                4 << 20,
+            ],
             block_sizes: vec![16, 32, 64, 128, 256],
             write_miss: WriteMissPolicy::WriteValidate,
             memory: MainMemory::przybylski(),
@@ -97,7 +106,9 @@ pub struct ControlReport {
 impl ControlReport {
     /// The cell for a given geometry, if it was simulated.
     pub fn cell(&self, size: u32, block: u32) -> Option<&CacheCell> {
-        self.cells.iter().find(|c| c.config.size == size && c.config.block == block)
+        self.cells
+            .iter()
+            .find(|c| c.config.size == size && c.config.block == block)
     }
 
     /// `O_cache` for one cell on one processor.
@@ -112,26 +123,48 @@ impl ControlReport {
 /// # Errors
 ///
 /// Propagates any [`VmError`] from the program.
-pub fn run_control(instance: WorkloadInstance, cfg: &ExperimentConfig) -> Result<ControlReport, VmError> {
+pub fn run_control(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+) -> Result<ControlReport, VmError> {
     let out = instance.run(NoCollector::new(), cfg.caches())?;
-    let cells: Vec<CacheCell> = out
-        .sink
-        .into_sinks()
+    Ok(control_report(
+        instance,
+        cfg,
+        out.stats,
+        out.sink.into_sinks(),
+    ))
+}
+
+/// Assemble a [`ControlReport`] from a finished control pass; shared by the
+/// sequential and parallel drivers.
+pub(crate) fn control_report(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    stats: cachegc_vm::RunStats,
+    caches: Vec<Cache>,
+) -> ControlReport {
+    let cells: Vec<CacheCell> = caches
         .into_iter()
-        .map(|c| CacheCell { config: *c.config(), stats: c.into_stats() })
+        .map(|c| CacheCell {
+            config: *c.config(),
+            stats: c.into_stats(),
+        })
         .collect();
-    Ok(ControlReport {
+    ControlReport {
         instance,
         refs: cells_refs(&cells),
-        i_prog: out.stats.instructions.program(),
-        allocated: out.stats.allocated_bytes,
+        i_prog: stats.instructions.program(),
+        allocated: stats.allocated_bytes,
         memory: cfg.memory,
         cells,
-    })
+    }
 }
 
 fn cells_refs(cells: &[CacheCell]) -> u64 {
-    cells.first().map_or(0, |c| c.stats.refs_by(Context::Mutator))
+    cells
+        .first()
+        .map_or(0, |c| c.stats.refs_by(Context::Mutator))
 }
 
 /// Which collector to run (a closed set so reports stay object-simple).
@@ -158,7 +191,10 @@ impl CollectorSpec {
             CollectorSpec::Cheney { semispace_bytes } => {
                 format!("cheney/{}", human(*semispace_bytes))
             }
-            CollectorSpec::Generational { nursery_bytes, old_bytes } => {
+            CollectorSpec::Generational {
+                nursery_bytes,
+                old_bytes,
+            } => {
                 format!("gen/{}+{}", human(*nursery_bytes), human(*old_bytes))
             }
         }
@@ -209,7 +245,9 @@ pub struct CollectedRun {
 impl CollectedRun {
     /// The cell for a given geometry, if simulated.
     pub fn cell(&self, size: u32, block: u32) -> Option<&CollectedCell> {
-        self.cells.iter().find(|c| c.config.size == size && c.config.block == block)
+        self.cells
+            .iter()
+            .find(|c| c.config.size == size && c.config.block == block)
     }
 }
 
@@ -224,28 +262,34 @@ pub fn run_collected(
     cfg: &ExperimentConfig,
     spec: CollectorSpec,
 ) -> Result<CollectedRun, VmError> {
-    match spec {
+    let out = match spec {
         CollectorSpec::Cheney { semispace_bytes } => {
-            finish_collected(instance, cfg, spec, instance.run(CheneyCollector::new(semispace_bytes), cfg.caches())?)
+            let out = instance.run(CheneyCollector::new(semispace_bytes), cfg.caches())?;
+            (out.stats, out.sink.into_sinks())
         }
-        CollectorSpec::Generational { nursery_bytes, old_bytes } => finish_collected(
-            instance,
-            cfg,
-            spec,
-            instance.run(GenerationalCollector::new(nursery_bytes, old_bytes), cfg.caches())?,
-        ),
-    }
+        CollectorSpec::Generational {
+            nursery_bytes,
+            old_bytes,
+        } => {
+            let out = instance.run(
+                GenerationalCollector::new(nursery_bytes, old_bytes),
+                cfg.caches(),
+            )?;
+            (out.stats, out.sink.into_sinks())
+        }
+    };
+    Ok(collected_run(instance, spec, out.0, out.1))
 }
 
-fn finish_collected<C: Collector>(
+/// Assemble a [`CollectedRun`] from a finished collected pass; shared by
+/// the sequential and parallel drivers.
+pub(crate) fn collected_run(
     instance: WorkloadInstance,
-    _cfg: &ExperimentConfig,
     spec: CollectorSpec,
-    out: cachegc_workloads::RunOutcome<C, Fanout<Cache>>,
-) -> Result<CollectedRun, VmError> {
-    let cells = out
-        .sink
-        .into_sinks()
+    stats: cachegc_vm::RunStats,
+    caches: Vec<Cache>,
+) -> CollectedRun {
+    let cells = caches
         .into_iter()
         .map(|c| {
             let config = *c.config();
@@ -258,15 +302,15 @@ fn finish_collected<C: Collector>(
             }
         })
         .collect();
-    Ok(CollectedRun {
+    CollectedRun {
         instance,
         spec,
-        i_prog: out.stats.instructions.program(),
-        i_gc: out.stats.instructions.collector(),
-        delta_i_prog: out.stats.instructions.gc_induced(),
-        gc: out.stats.gc,
+        i_prog: stats.instructions.program(),
+        i_gc: stats.instructions.collector(),
+        delta_i_prog: stats.instructions.gc_induced(),
+        gc: stats.gc,
         cells,
-    })
+    }
 }
 
 /// A paired control/collected run of the same workload, from which `O_gc`
@@ -302,8 +346,14 @@ impl GcComparison {
     ///
     /// Panics if the geometry was not simulated.
     pub fn gc_overhead(&self, size: u32, block: u32, cpu: &Processor) -> f64 {
-        let base = self.control.cell(size, block).expect("geometry not simulated");
-        let coll = self.collected.cell(size, block).expect("geometry not simulated");
+        let base = self
+            .control
+            .cell(size, block)
+            .expect("geometry not simulated");
+        let coll = self
+            .collected
+            .cell(size, block)
+            .expect("geometry not simulated");
         let p = miss_penalty_cycles(&self.control.memory, cpu, block);
         let delta_m = coll.m_prog as i64 - base.stats.fetches_by(Context::Mutator) as i64;
         gc_overhead(
@@ -319,7 +369,10 @@ impl GcComparison {
     /// `O_cache` of the control run for the same geometry/processor, for
     /// side-by-side reporting.
     pub fn control_overhead(&self, size: u32, block: u32, cpu: &Processor) -> f64 {
-        let cell = self.control.cell(size, block).expect("geometry not simulated");
+        let cell = self
+            .control
+            .cell(size, block)
+            .expect("geometry not simulated");
         self.control.cache_overhead(cell, cpu)
     }
 }
@@ -350,9 +403,14 @@ mod tests {
     #[test]
     fn collected_run_attributes_gc() {
         let cfg = ExperimentConfig::quick();
-        let spec = CollectorSpec::Cheney { semispace_bytes: 512 << 10 };
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
         let cmp = GcComparison::run(Workload::Compile.scaled(1), &cfg, spec).unwrap();
-        assert!(cmp.collected.gc.collections > 0, "heap small enough to force GC");
+        assert!(
+            cmp.collected.gc.collections > 0,
+            "heap small enough to force GC"
+        );
         assert!(cmp.collected.i_gc > 0);
         let cell = cmp.collected.cell(32 << 10, 64).unwrap();
         assert!(cell.m_gc > 0, "collector misses attributed");
@@ -363,7 +421,10 @@ mod tests {
     #[test]
     fn generational_spec_runs() {
         let cfg = ExperimentConfig::quick();
-        let spec = CollectorSpec::Generational { nursery_bytes: 128 << 10, old_bytes: 8 << 20 };
+        let spec = CollectorSpec::Generational {
+            nursery_bytes: 128 << 10,
+            old_bytes: 8 << 20,
+        };
         let run = run_collected(Workload::Rewrite.scaled(1), &cfg, spec).unwrap();
         assert!(run.gc.minor_collections > 0);
         assert_eq!(run.spec.name(), "gen/128k+8m");

@@ -33,12 +33,14 @@
 
 mod experiment;
 mod overhead;
+mod parallel;
 
 pub use experiment::{
     run_collected, run_control, CacheCell, CollectedCell, CollectedRun, CollectorSpec,
     ControlReport, ExperimentConfig, GcComparison,
 };
 pub use overhead::{cache_overhead, gc_overhead, write_back_overhead};
+pub use parallel::{default_jobs, par_map, run_collected_jobs, run_control_jobs};
 
 // Re-export what downstream experiment code needs, so benches and examples
 // can depend on this crate alone.

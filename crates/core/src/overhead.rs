@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn cache_overhead_is_linear_in_misses_and_penalty() {
         assert_eq!(cache_overhead(0, 8, 100), 0.0);
-        assert_eq!(cache_overhead(50, 8, 100) * 2.0, cache_overhead(100, 8, 100));
+        assert_eq!(
+            cache_overhead(50, 8, 100) * 2.0,
+            cache_overhead(100, 8, 100)
+        );
         assert_eq!(cache_overhead(50, 16, 100), cache_overhead(100, 8, 100));
     }
 

@@ -1,0 +1,258 @@
+//! Parallel experiment drivers.
+//!
+//! Three independent levels of parallelism, all built on std threads:
+//!
+//! 1. **Grid sharding** — [`run_control_jobs`] / [`run_collected_jobs`]
+//!    replace the sequential [`cachegc_trace::Fanout`] with a
+//!    [`ParallelFanout`] that spreads the cache grid's cells across worker
+//!    threads. One trace pass still drives every cell; per-cell results
+//!    are bit-identical to the sequential path (see the determinism notes
+//!    on [`ParallelFanout`] and the property tests in the workspace root).
+//! 2. **Pass parallelism** — [`GcComparison::run_jobs`] runs the control
+//!    and collected trace passes concurrently; they share nothing but the
+//!    (immutable) workload source and configuration.
+//! 3. **Workload parallelism** — [`par_map`] runs a per-workload loop
+//!    (the experiment binaries' outer loop) on a bounded thread pool.
+//!
+//! `jobs <= 1` always takes the sequential code path, which the binaries
+//! expose as the `--jobs 1` oracle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cachegc_gc::{CheneyCollector, GenerationalCollector, NoCollector};
+use cachegc_sim::Cache;
+use cachegc_trace::ParallelFanout;
+use cachegc_vm::VmError;
+use cachegc_workloads::WorkloadInstance;
+
+use crate::experiment::{
+    collected_run, control_report, run_collected, run_control, CollectedRun, CollectorSpec,
+    ControlReport, ExperimentConfig, GcComparison,
+};
+
+/// Degree of parallelism this machine supports (a sensible `--jobs`
+/// default). Falls back to 1 if the platform cannot say.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parallel_grid(cfg: &ExperimentConfig, jobs: usize) -> ParallelFanout<Cache> {
+    ParallelFanout::new(cfg.configs().into_iter().map(Cache::new).collect(), jobs)
+}
+
+/// [`run_control`] with the cache grid sharded across `jobs` worker
+/// threads. `jobs <= 1` is exactly the sequential [`run_control`].
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_control_jobs(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    jobs: usize,
+) -> Result<ControlReport, VmError> {
+    if jobs <= 1 {
+        return run_control(instance, cfg);
+    }
+    let out = instance.run(NoCollector::new(), parallel_grid(cfg, jobs))?;
+    Ok(control_report(
+        instance,
+        cfg,
+        out.stats,
+        out.sink.into_sinks(),
+    ))
+}
+
+/// [`run_collected`] with the cache grid sharded across `jobs` worker
+/// threads. `jobs <= 1` is exactly the sequential [`run_collected`].
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_collected_jobs(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    spec: CollectorSpec,
+    jobs: usize,
+) -> Result<CollectedRun, VmError> {
+    if jobs <= 1 {
+        return run_collected(instance, cfg, spec);
+    }
+    let (stats, caches) = match spec {
+        CollectorSpec::Cheney { semispace_bytes } => {
+            let out = instance.run(
+                CheneyCollector::new(semispace_bytes),
+                parallel_grid(cfg, jobs),
+            )?;
+            (out.stats, out.sink.into_sinks())
+        }
+        CollectorSpec::Generational {
+            nursery_bytes,
+            old_bytes,
+        } => {
+            let out = instance.run(
+                GenerationalCollector::new(nursery_bytes, old_bytes),
+                parallel_grid(cfg, jobs),
+            )?;
+            (out.stats, out.sink.into_sinks())
+        }
+    };
+    Ok(collected_run(instance, spec, stats, caches))
+}
+
+impl GcComparison {
+    /// [`GcComparison::run`] with the control and collected passes on
+    /// separate threads, each pass sharding its grid across `jobs / 2`
+    /// workers. `jobs <= 1` is exactly the sequential [`GcComparison::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from either run.
+    pub fn run_jobs(
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+        spec: CollectorSpec,
+        jobs: usize,
+    ) -> Result<GcComparison, VmError> {
+        if jobs <= 1 {
+            return GcComparison::run(instance, cfg, spec);
+        }
+        let shard_jobs = (jobs / 2).max(1);
+        let (control, collected) = std::thread::scope(|s| {
+            let control = s.spawn(|| run_control_jobs(instance, cfg, shard_jobs));
+            let collected = s.spawn(|| run_collected_jobs(instance, cfg, spec, shard_jobs));
+            (
+                control.join().expect("control pass panicked"),
+                collected.join().expect("collected pass panicked"),
+            )
+        });
+        Ok(GcComparison {
+            control: control?,
+            collected: collected?,
+        })
+    }
+}
+
+/// Apply `f` to every item on a pool of at most `threads` threads,
+/// preserving input order in the results. `threads <= 1` runs inline.
+///
+/// This is the driver for the experiment binaries' per-workload loops:
+/// each of the paper's five programs is an independent trace pass.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker stored result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_workloads::Workload;
+
+    fn grids_equal(a: &[crate::CacheCell], b: &[crate::CacheCell]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.config, y.config, "same grid order");
+            assert_eq!(x.stats, y.stats, "{}: stats bit-identical", x.config);
+        }
+    }
+
+    #[test]
+    fn parallel_control_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let seq = run_control(w, &cfg).unwrap();
+        let par = run_control_jobs(w, &cfg, 4).unwrap();
+        assert_eq!(seq.refs, par.refs);
+        assert_eq!(seq.i_prog, par.i_prog);
+        assert_eq!(seq.allocated, par.allocated);
+        grids_equal(&seq.cells, &par.cells);
+    }
+
+    #[test]
+    fn parallel_collected_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Compile.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let seq = run_collected(w, &cfg, spec).unwrap();
+        let par = run_collected_jobs(w, &cfg, spec, 4).unwrap();
+        assert_eq!(seq.i_prog, par.i_prog);
+        assert_eq!(seq.i_gc, par.i_gc);
+        assert_eq!(seq.gc.collections, par.gc.collections);
+        for (x, y) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(x.config, y.config);
+            assert_eq!((x.m_prog, x.m_gc), (y.m_prog, y.m_gc));
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn comparison_run_jobs_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Generational {
+            nursery_bytes: 128 << 10,
+            old_bytes: 8 << 20,
+        };
+        let seq = GcComparison::run(w, &cfg, spec).unwrap();
+        let par = GcComparison::run_jobs(w, &cfg, spec, 4).unwrap();
+        grids_equal(&seq.control.cells, &par.control.cells);
+        assert_eq!(
+            seq.collected.gc.minor_collections,
+            par.collected.gc.minor_collections
+        );
+        for (size, block) in [(32 << 10, 64), (256 << 10, 64)] {
+            assert_eq!(
+                seq.gc_overhead(size, block, &crate::FAST).to_bits(),
+                par.gc_overhead(size, block, &crate::FAST).to_bits(),
+                "overhead identical to the last bit"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = par_map(&items, 5, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Inline path.
+        assert_eq!(par_map(&items, 1, |&x| x + 1)[36], 37);
+        // More threads than items.
+        assert_eq!(par_map(&[1u64, 2], 16, |&x| x).len(), 2);
+        let empty: [u64; 0] = [];
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+    }
+}

@@ -31,7 +31,11 @@ impl CheneyCollector {
     pub fn new(bytes: u32) -> Self {
         // Reuse HeapConfig's validation.
         let _ = HeapConfig::semispaces(bytes);
-        CheneyCollector { semispace_bytes: bytes, in_first: true, stats: GcStats::new() }
+        CheneyCollector {
+            semispace_bytes: bytes,
+            in_first: true,
+            stats: GcStats::new(),
+        }
     }
 
     /// Semispace size in bytes.
@@ -42,7 +46,11 @@ impl CheneyCollector {
 
 impl Collector for CheneyCollector {
     fn install(&mut self, heap: &mut Heap) {
-        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, DYNAMIC_BASE + self.semispace_bytes);
+        heap.set_alloc_region(
+            DYNAMIC_BASE,
+            DYNAMIC_BASE,
+            DYNAMIC_BASE + self.semispace_bytes,
+        );
         self.in_first = true;
     }
 
@@ -55,13 +63,21 @@ impl Collector for CheneyCollector {
     ) {
         counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
         let (from_base, from_top, _) = heap.alloc_region();
-        let to_base = if self.in_first { DYNAMIC_SECOND_BASE } else { DYNAMIC_BASE };
+        let to_base = if self.in_first {
+            DYNAMIC_SECOND_BASE
+        } else {
+            DYNAMIC_BASE
+        };
         let mut evac = Evac {
             heap,
             sink,
             counters,
             from: (from_base, from_top),
-            to: ToSpace { base: to_base, free: to_base, limit: to_base + self.semispace_bytes },
+            to: ToSpace {
+                base: to_base,
+                free: to_base,
+                limit: to_base + self.semispace_bytes,
+            },
         };
         for r in roots.registers.iter_mut() {
             *r = evac.forward(*r);
@@ -113,7 +129,9 @@ mod tests {
         let mut sink = NullSink;
         let mut head = Value::nil();
         for i in (0..n).rev() {
-            head = heap.alloc(ObjKind::Pair, &[Value::fixnum(i), head], M, &mut sink).unwrap();
+            head = heap
+                .alloc(ObjKind::Pair, &[Value::fixnum(i), head], M, &mut sink)
+                .unwrap();
         }
         head
     }
@@ -161,9 +179,20 @@ mod tests {
         let mut gc = CheneyCollector::new(1 << 16);
         gc.install(&mut heap);
         let mut sink = NullSink;
-        let shared = heap.alloc(ObjKind::Pair, &[Value::fixnum(7), Value::nil()], M, &mut sink).unwrap();
-        let a = heap.alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink).unwrap();
-        let b = heap.alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink).unwrap();
+        let shared = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(7), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let a = heap
+            .alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink)
+            .unwrap();
+        let b = heap
+            .alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink)
+            .unwrap();
         let mut regs = [a, b];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
@@ -179,8 +208,17 @@ mod tests {
         let mut gc = CheneyCollector::new(1 << 16);
         gc.install(&mut heap);
         let mut sink = NullSink;
-        let a = heap.alloc(ObjKind::Pair, &[Value::fixnum(1), Value::nil()], M, &mut sink).unwrap();
-        let b = heap.alloc(ObjKind::Pair, &[Value::fixnum(2), a], M, &mut sink).unwrap();
+        let a = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(1), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let b = heap
+            .alloc(ObjKind::Pair, &[Value::fixnum(2), a], M, &mut sink)
+            .unwrap();
         heap.store(a.addr() + 8, b, M, &mut sink); // a.cdr = b: cycle
         let mut regs = [a];
         let mut roots = Roots::registers_only(&mut regs);
@@ -201,12 +239,17 @@ mod tests {
         // A flonum whose bit pattern looks like a pointer must not be chased.
         let tricky = f64::from_bits((DYNAMIC_BASE as u64) << 32 | (DYNAMIC_BASE | 1) as u64);
         let f = heap.alloc_flonum(tricky, M, &mut sink).unwrap();
-        let s = heap.alloc_string("pointer-like \u{1} bytes", M, &mut sink).unwrap();
+        let s = heap
+            .alloc_string("pointer-like \u{1} bytes", M, &mut sink)
+            .unwrap();
         let mut regs = [f, s];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
         assert_eq!(heap.load_flonum(regs[0], M, &mut sink), tricky);
-        assert_eq!(heap.load_string(regs[1], M, &mut sink), "pointer-like \u{1} bytes");
+        assert_eq!(
+            heap.load_string(regs[1], M, &mut sink),
+            "pointer-like \u{1} bytes"
+        );
     }
 
     #[test]
@@ -216,7 +259,9 @@ mod tests {
         let mut gc = CheneyCollector::new(1 << 16);
         gc.install(&mut heap);
         let mut sink = NullSink;
-        let p = heap.alloc(ObjKind::Cell, &[Value::fixnum(42)], M, &mut sink).unwrap();
+        let p = heap
+            .alloc(ObjKind::Cell, &[Value::fixnum(42)], M, &mut sink)
+            .unwrap();
         heap.store(STACK_BASE, p, M, &mut sink);
         heap.store(STACK_BASE + 4, Value::fixnum(5), M, &mut sink);
         let mut regs = [];
@@ -243,7 +288,14 @@ mod tests {
         let svec = heap.alloc_vector(3, Value::nil(), M, &mut sink).unwrap();
         let sstr = heap.alloc_string("raw bytes", M, &mut sink).unwrap();
         heap.set_mode(AllocMode::Dynamic);
-        let dyn_obj = heap.alloc(ObjKind::Pair, &[Value::fixnum(5), Value::nil()], M, &mut sink).unwrap();
+        let dyn_obj = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(5), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
         heap.store(svec.addr() + 4, dyn_obj, M, &mut sink);
         heap.store(svec.addr() + 8, sstr, M, &mut sink);
         let mut regs = [];
@@ -253,7 +305,11 @@ mod tests {
         let moved = heap.load(svec.addr() + 4, M, &mut sink);
         assert_ne!(moved, dyn_obj, "dynamic object moved");
         assert_eq!(heap.load(moved.addr() + 4, M, &mut sink), Value::fixnum(5));
-        assert_eq!(heap.load(svec.addr() + 8, M, &mut sink), sstr, "static pointer untouched");
+        assert_eq!(
+            heap.load(svec.addr() + 8, M, &mut sink),
+            sstr,
+            "static pointer untouched"
+        );
         assert_eq!(heap.load_string(sstr, M, &mut sink), "raw bytes");
         assert_eq!(heap.dynamic_used(), 12, "only the live pair survives");
     }
@@ -283,8 +339,15 @@ mod tests {
         let mut regs = [live];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
-        assert_eq!(sink.by_context(Context::Mutator), mutator_refs, "GC adds no mutator refs");
-        assert!(sink.by_context(Context::Collector) >= 50 * 3 * 2, "copy reads+writes");
+        assert_eq!(
+            sink.by_context(Context::Mutator),
+            mutator_refs,
+            "GC adds no mutator refs"
+        );
+        assert!(
+            sink.by_context(Context::Collector) >= 50 * 3 * 2,
+            "copy reads+writes"
+        );
     }
 
     #[test]

@@ -79,10 +79,13 @@ impl<S: TraceSink> Evac<'_, S> {
             let w = self.heap.load_raw(addr + 4 * i, CTX, self.sink);
             self.heap.init_store(dst + 4 * i, w, CTX, self.sink);
         }
-        self.heap.store_raw(addr, Value::ptr(dst).bits(), CTX, self.sink);
+        self.heap
+            .store_raw(addr, Value::ptr(dst).bits(), CTX, self.sink);
         self.to.free = dst + 4 * size;
-        self.counters
-            .charge(InstrClass::Collector, costs::PER_OBJECT_COPIED + costs::PER_WORD_COPIED * size as u64);
+        self.counters.charge(
+            InstrClass::Collector,
+            costs::PER_OBJECT_COPIED + costs::PER_WORD_COPIED * size as u64,
+        );
         dst
     }
 
@@ -92,7 +95,8 @@ impl<S: TraceSink> Evac<'_, S> {
         let mut p = start;
         while p < end {
             let v = Value::from_bits(self.heap.load_raw(p, CTX, self.sink));
-            self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+            self.counters
+                .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
             if v.is_ptr() && self.in_from(v.addr()) {
                 let nv = self.forward(v);
                 self.heap.store_raw(p, nv.bits(), CTX, self.sink);
@@ -113,7 +117,8 @@ impl<S: TraceSink> Evac<'_, S> {
     /// Scan the single object at `p`, returning the address just past it.
     fn scan_one_object(&mut self, p: u32) -> u32 {
         let header = Header::from_bits(self.heap.load_raw(p, CTX, self.sink));
-        self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
         let len = header.len();
         let scanned = if header.kind().is_raw() {
             header.kind().scanned_prefix().min(len)
@@ -123,7 +128,8 @@ impl<S: TraceSink> Evac<'_, S> {
         for i in 0..scanned {
             let slot = p + 4 * (1 + i);
             let v = Value::from_bits(self.heap.load_raw(slot, CTX, self.sink));
-            self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+            self.counters
+                .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
             if v.is_ptr() && self.in_from(v.addr()) {
                 let nv = self.forward(v);
                 self.heap.store_raw(slot, nv.bits(), CTX, self.sink);
@@ -145,7 +151,8 @@ impl<S: TraceSink> Evac<'_, S> {
     /// it in place.
     pub fn scan_slot(&mut self, slot: u32) {
         let v = Value::from_bits(self.heap.load_raw(slot, CTX, self.sink));
-        self.counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
         if v.is_ptr() && self.in_from(v.addr()) {
             let nv = self.forward(v);
             self.heap.store_raw(slot, nv.bits(), CTX, self.sink);

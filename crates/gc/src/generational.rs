@@ -45,8 +45,14 @@ impl GenerationalCollector {
     /// Panics if either size is zero or unaligned, or exceeds its address
     /// region (1 GB each).
     pub fn new(nursery_bytes: u32, old_bytes: u32) -> Self {
-        assert!(nursery_bytes > 0 && nursery_bytes % 4 == 0, "bad nursery size");
-        assert!(old_bytes > 0 && old_bytes % 4 == 0, "bad old-generation size");
+        assert!(
+            nursery_bytes > 0 && nursery_bytes.is_multiple_of(4),
+            "bad nursery size"
+        );
+        assert!(
+            old_bytes > 0 && old_bytes.is_multiple_of(4),
+            "bad old-generation size"
+        );
         assert!(nursery_bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE);
         assert!(old_bytes <= DYNAMIC_THIRD_BASE - DYNAMIC_SECOND_BASE);
         GenerationalCollector {
@@ -108,7 +114,11 @@ impl GenerationalCollector {
             sink,
             counters,
             from: (nursery_base, nursery_top),
-            to: ToSpace { base: old_base, free: self.old_top, limit: old_base + self.old_bytes },
+            to: ToSpace {
+                base: old_base,
+                free: self.old_top,
+                limit: old_base + self.old_bytes,
+            },
         };
         for r in roots.registers.iter_mut() {
             *r = evac.forward(*r);
@@ -116,7 +126,12 @@ impl GenerationalCollector {
         for &(s, e) in &roots.flat_ranges {
             evac.scan_flat(s, e);
         }
-        let slots: Vec<u32> = self.remembered.drain().collect();
+        // Drain in ascending slot order: HashSet iteration order is
+        // randomized per process, and evacuation order decides the copied
+        // layout, so an unsorted scan makes identical runs produce
+        // different traces (and non-reproducible ΔM_prog / ΔI_prog).
+        let mut slots: Vec<u32> = self.remembered.drain().collect();
+        slots.sort_unstable();
         for slot in slots {
             evac.scan_slot(slot);
         }
@@ -124,7 +139,11 @@ impl GenerationalCollector {
 
         let promoted = evac.to.free - scan_start;
         self.old_top = evac.to.free;
-        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, DYNAMIC_BASE + self.nursery_bytes);
+        heap.set_alloc_region(
+            DYNAMIC_BASE,
+            DYNAMIC_BASE,
+            DYNAMIC_BASE + self.nursery_bytes,
+        );
         heap.memory_mut().clear_space_at(DYNAMIC_BASE);
         self.stats.collections += 1;
         self.stats.minor_collections += 1;
@@ -141,13 +160,21 @@ impl GenerationalCollector {
     ) {
         counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
         let from_base = self.old_base();
-        let to_base = if self.old_in_first { DYNAMIC_THIRD_BASE } else { DYNAMIC_SECOND_BASE };
+        let to_base = if self.old_in_first {
+            DYNAMIC_THIRD_BASE
+        } else {
+            DYNAMIC_SECOND_BASE
+        };
         let mut evac = Evac {
             heap,
             sink,
             counters,
             from: (from_base, self.old_top),
-            to: ToSpace { base: to_base, free: to_base, limit: to_base + self.old_bytes },
+            to: ToSpace {
+                base: to_base,
+                free: to_base,
+                limit: to_base + self.old_bytes,
+            },
         };
         for r in roots.registers.iter_mut() {
             *r = evac.forward(*r);
@@ -172,7 +199,11 @@ impl GenerationalCollector {
 
 impl Collector for GenerationalCollector {
     fn install(&mut self, heap: &mut Heap) {
-        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, DYNAMIC_BASE + self.nursery_bytes);
+        heap.set_alloc_region(
+            DYNAMIC_BASE,
+            DYNAMIC_BASE,
+            DYNAMIC_BASE + self.nursery_bytes,
+        );
         self.old_in_first = true;
         self.old_top = DYNAMIC_SECOND_BASE;
     }
@@ -202,10 +233,12 @@ impl Collector for GenerationalCollector {
     #[inline]
     fn note_store(&mut self, addr: u32, val: Value) {
         self.stats.barrier_stores += 1;
-        if val.is_ptr() && self.in_nursery(val.addr()) && !self.in_nursery(addr) {
-            if self.remembered.insert(addr) {
-                self.stats.remembered += 1;
-            }
+        if val.is_ptr()
+            && self.in_nursery(val.addr())
+            && !self.in_nursery(addr)
+            && self.remembered.insert(addr)
+        {
+            self.stats.remembered += 1;
         }
     }
 
@@ -225,7 +258,11 @@ impl Collector for GenerationalCollector {
                 format!("{}k", b >> 10)
             }
         }
-        format!("gen/{}+{}", human(self.nursery_bytes), human(self.old_bytes))
+        format!(
+            "gen/{}+{}",
+            human(self.nursery_bytes),
+            human(self.old_bytes)
+        )
     }
 }
 
@@ -248,15 +285,34 @@ mod tests {
     fn minor_promotes_survivors() {
         let (mut heap, mut gc) = setup(1 << 12, 1 << 16);
         let mut sink = NullSink;
-        let live = heap.alloc(ObjKind::Pair, &[Value::fixnum(1), Value::nil()], M, &mut sink).unwrap();
+        let live = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(1), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
         for _ in 0..5 {
-            heap.alloc(ObjKind::Pair, &[Value::fixnum(0), Value::nil()], M, &mut sink).unwrap();
+            heap.alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(0), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
         }
         let mut regs = [live];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
-        assert!(!gc.in_nursery(regs[0].addr()), "survivor promoted to old gen");
-        assert_eq!(heap.load(regs[0].addr() + 4, M, &mut sink), Value::fixnum(1));
+        assert!(
+            !gc.in_nursery(regs[0].addr()),
+            "survivor promoted to old gen"
+        );
+        assert_eq!(
+            heap.load(regs[0].addr() + 4, M, &mut sink),
+            Value::fixnum(1)
+        );
         assert_eq!(gc.old_used(), 12, "only the survivor was promoted");
         assert_eq!(heap.dynamic_used(), 0, "nursery empty after minor GC");
         assert_eq!(gc.stats().minor_collections, 1);
@@ -267,14 +323,23 @@ mod tests {
         let (mut heap, mut gc) = setup(1 << 12, 1 << 16);
         let mut sink = NullSink;
         // Promote a cell to the old generation.
-        let cell = heap.alloc(ObjKind::Cell, &[Value::nil()], M, &mut sink).unwrap();
+        let cell = heap
+            .alloc(ObjKind::Cell, &[Value::nil()], M, &mut sink)
+            .unwrap();
         let mut regs = [cell];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
         let old_cell = regs[0];
         assert!(!gc.in_nursery(old_cell.addr()));
         // Store a young pointer into the old cell; barrier must catch it.
-        let young = heap.alloc(ObjKind::Pair, &[Value::fixnum(9), Value::nil()], M, &mut sink).unwrap();
+        let young = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(9), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
         heap.store(old_cell.addr() + 4, young, M, &mut sink);
         gc.note_store(old_cell.addr() + 4, young);
         assert_eq!(gc.stats().remembered, 1);
@@ -291,7 +356,13 @@ mod tests {
     fn unremembered_young_garbage_dies() {
         let (mut heap, mut gc) = setup(1 << 12, 1 << 16);
         let mut sink = NullSink;
-        heap.alloc(ObjKind::Pair, &[Value::fixnum(0), Value::nil()], M, &mut sink).unwrap();
+        heap.alloc(
+            ObjKind::Pair,
+            &[Value::fixnum(0), Value::nil()],
+            M,
+            &mut sink,
+        )
+        .unwrap();
         let mut regs = [];
         let mut roots = Roots::registers_only(&mut regs);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
@@ -310,7 +381,9 @@ mod tests {
         for _round in 0..20 {
             keep = Value::nil();
             for i in (0..100).rev() {
-                keep = heap.alloc(ObjKind::Pair, &[Value::fixnum(i), keep], M, &mut sink).unwrap();
+                keep = heap
+                    .alloc(ObjKind::Pair, &[Value::fixnum(i), keep], M, &mut sink)
+                    .unwrap();
             }
             let mut regs = [keep];
             let mut roots = Roots::registers_only(&mut regs);

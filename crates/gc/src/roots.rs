@@ -24,6 +24,10 @@ pub struct Roots<'a> {
 impl<'a> Roots<'a> {
     /// A root set with only registers.
     pub fn registers_only(registers: &'a mut [Value]) -> Self {
-        Roots { flat_ranges: Vec::new(), object_ranges: Vec::new(), registers }
+        Roots {
+            flat_ranges: Vec::new(),
+            object_ranges: Vec::new(),
+            registers,
+        }
     }
 }

@@ -3,7 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use cachegc_trace::{Access, Context, Region, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE};
+use cachegc_trace::{
+    Access, Context, Region, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE,
+};
 
 use crate::object::{Header, ObjKind};
 use crate::space::Memory;
@@ -22,7 +24,9 @@ impl HeapConfig {
     /// No-collection configuration: the dynamic area spans its entire
     /// 1 GB address range, as in the paper's control experiment (§5).
     pub fn unbounded() -> Self {
-        HeapConfig { semispace_bytes: DYNAMIC_SECOND_BASE - DYNAMIC_BASE }
+        HeapConfig {
+            semispace_bytes: DYNAMIC_SECOND_BASE - DYNAMIC_BASE,
+        }
     }
 
     /// Semispaces of `bytes` each (the paper's §6 uses 16 MB).
@@ -31,9 +35,14 @@ impl HeapConfig {
     ///
     /// Panics if `bytes` is zero, unaligned, or larger than a dynamic region.
     pub fn semispaces(bytes: u32) -> Self {
-        assert!(bytes > 0 && bytes % 4 == 0, "bad semispace size");
-        assert!(bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE, "semispace too large");
-        HeapConfig { semispace_bytes: bytes }
+        assert!(bytes > 0 && bytes.is_multiple_of(4), "bad semispace size");
+        assert!(
+            bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE,
+            "semispace too large"
+        );
+        HeapConfig {
+            semispace_bytes: bytes,
+        }
     }
 }
 
@@ -58,7 +67,11 @@ pub struct HeapFull {
 
 impl fmt::Display for HeapFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dynamic area full (requested {} words)", self.requested_words)
+        write!(
+            f,
+            "dynamic area full (requested {} words)",
+            self.requested_words
+        )
     }
 }
 
@@ -203,8 +216,13 @@ impl Heap {
             }
             AllocMode::Dynamic => {
                 let addr = self.dyn_top;
-                if addr.checked_add(bytes).is_none_or(|end| end > self.dyn_limit) {
-                    return Err(HeapFull { requested_words: words });
+                if addr
+                    .checked_add(bytes)
+                    .is_none_or(|end| end > self.dyn_limit)
+                {
+                    return Err(HeapFull {
+                        requested_words: words,
+                    });
                 }
                 self.dyn_top += bytes;
                 self.total_allocated += bytes as u64;
@@ -229,7 +247,12 @@ impl Heap {
         sink: &mut S,
     ) -> Result<Value, HeapFull> {
         let addr = self.bump(1 + payload.len() as u32)?;
-        self.init_store(addr, Header::new(kind, payload.len() as u32).bits(), ctx, sink);
+        self.init_store(
+            addr,
+            Header::new(kind, payload.len() as u32).bits(),
+            ctx,
+            sink,
+        );
         for (i, v) in payload.iter().enumerate() {
             self.init_store(addr + 4 + 4 * i as u32, v.bits(), ctx, sink);
         }
@@ -297,7 +320,13 @@ impl Heap {
         sink: &mut S,
     ) -> Result<Value, HeapFull> {
         let bits = x.to_bits();
-        self.alloc_raw(ObjKind::Flonum, &[], &[bits as u32, (bits >> 32) as u32], ctx, sink)
+        self.alloc_raw(
+            ObjKind::Flonum,
+            &[],
+            &[bits as u32, (bits >> 32) as u32],
+            ctx,
+            sink,
+        )
     }
 
     /// Read a flonum's value (two traced loads).
@@ -332,7 +361,13 @@ impl Heap {
             }
             raw.push(w);
         }
-        self.alloc_raw(ObjKind::String, &[Value::fixnum(bytes.len() as i32)], &raw, ctx, sink)
+        self.alloc_raw(
+            ObjKind::String,
+            &[Value::fixnum(bytes.len() as i32)],
+            &raw,
+            ctx,
+            sink,
+        )
     }
 
     /// Read a string's contents (traced loads, one per word).
@@ -432,10 +467,17 @@ mod tests {
             }
         }
         let p = h
-            .alloc(ObjKind::Pair, &[Value::fixnum(1), Value::fixnum(2)], Context::Mutator, &mut Rec(&mut events))
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(1), Value::fixnum(2)],
+                Context::Mutator,
+                &mut Rec(&mut events),
+            )
             .unwrap();
         assert_eq!(events.len(), 3);
-        assert!(events.iter().all(|e| e.kind == AccessKind::Write && e.alloc_init));
+        assert!(events
+            .iter()
+            .all(|e| e.kind == AccessKind::Write && e.alloc_init));
         assert_eq!(events[0].addr, p.addr());
         assert_eq!(events[1].addr, p.addr() + 4);
         assert_eq!(events[2].addr, p.addr() + 8);
@@ -447,8 +489,17 @@ mod tests {
     fn allocation_is_linear_and_contiguous() {
         let mut h = heap();
         let mut sink = cachegc_trace::NullSink;
-        let a = h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap();
-        let b = h.alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink).unwrap();
+        let a = h
+            .alloc(
+                ObjKind::Pair,
+                &[Value::nil(), Value::nil()],
+                Context::Mutator,
+                &mut sink,
+            )
+            .unwrap();
+        let b = h
+            .alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink)
+            .unwrap();
         assert_eq!(b.addr(), a.addr() + 12, "objects are adjacent");
         assert_eq!(h.total_allocated(), 12 + 8);
     }
@@ -458,11 +509,19 @@ mod tests {
         let mut h = heap();
         let mut sink = cachegc_trace::NullSink;
         h.set_mode(AllocMode::Static);
-        let s = h.alloc_string("hello", Context::Mutator, &mut sink).unwrap();
+        let s = h
+            .alloc_string("hello", Context::Mutator, &mut sink)
+            .unwrap();
         assert_eq!(Region::of(s.addr()), Region::Static);
-        assert_eq!(h.total_allocated(), 0, "static allocation is not dynamic allocation");
+        assert_eq!(
+            h.total_allocated(),
+            0,
+            "static allocation is not dynamic allocation"
+        );
         h.set_mode(AllocMode::Dynamic);
-        let p = h.alloc(ObjKind::Cell, &[s], Context::Mutator, &mut sink).unwrap();
+        let p = h
+            .alloc(ObjKind::Cell, &[s], Context::Mutator, &mut sink)
+            .unwrap();
         assert_eq!(Region::of(p.addr()), Region::Dynamic);
     }
 
@@ -472,9 +531,22 @@ mod tests {
         let mut sink = cachegc_trace::NullSink;
         // 64 bytes = 16 words; a pair is 3 words, so 5 pairs fit.
         for _ in 0..5 {
-            h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap();
+            h.alloc(
+                ObjKind::Pair,
+                &[Value::nil(), Value::nil()],
+                Context::Mutator,
+                &mut sink,
+            )
+            .unwrap();
         }
-        let err = h.alloc(ObjKind::Pair, &[Value::nil(), Value::nil()], Context::Mutator, &mut sink).unwrap_err();
+        let err = h
+            .alloc(
+                ObjKind::Pair,
+                &[Value::nil(), Value::nil()],
+                Context::Mutator,
+                &mut sink,
+            )
+            .unwrap_err();
         assert_eq!(err.requested_words, 3);
         assert_eq!(h.dynamic_free(), 4);
     }
@@ -493,7 +565,14 @@ mod tests {
     fn string_roundtrip() {
         let mut h = heap();
         let mut sink = cachegc_trace::NullSink;
-        for s in ["", "a", "hello", "exactly8", "longer than eight bytes", "λambda"] {
+        for s in [
+            "",
+            "a",
+            "hello",
+            "exactly8",
+            "longer than eight bytes",
+            "λambda",
+        ] {
             let p = h.alloc_string(s, Context::Mutator, &mut sink).unwrap();
             assert_eq!(h.load_string(p, Context::Mutator, &mut sink), s);
         }
@@ -503,18 +582,36 @@ mod tests {
     fn vector_fill_and_update() {
         let mut h = heap();
         let mut sink = RefCounter::new();
-        let v = h.alloc_vector(10, Value::fixnum(0), Context::Mutator, &mut sink).unwrap();
+        let v = h
+            .alloc_vector(10, Value::fixnum(0), Context::Mutator, &mut sink)
+            .unwrap();
         assert_eq!(sink.alloc_writes(), 11);
-        h.store(v.addr() + 4 * 3, Value::fixnum(9), Context::Mutator, &mut sink);
-        assert_eq!(h.load(v.addr() + 4 * 3, Context::Mutator, &mut sink), Value::fixnum(9));
-        assert_eq!(h.load(v.addr() + 4 * 4, Context::Mutator, &mut sink), Value::fixnum(0));
+        h.store(
+            v.addr() + 4 * 3,
+            Value::fixnum(9),
+            Context::Mutator,
+            &mut sink,
+        );
+        assert_eq!(
+            h.load(v.addr() + 4 * 3, Context::Mutator, &mut sink),
+            Value::fixnum(9)
+        );
+        assert_eq!(
+            h.load(v.addr() + 4 * 4, Context::Mutator, &mut sink),
+            Value::fixnum(0)
+        );
     }
 
     #[test]
     fn stack_stores_are_not_alloc_inits() {
         let mut h = heap();
         let mut sink = RefCounter::new();
-        h.init_store(STACK_BASE, Value::fixnum(1).bits(), Context::Mutator, &mut sink);
+        h.init_store(
+            STACK_BASE,
+            Value::fixnum(1).bits(),
+            Context::Mutator,
+            &mut sink,
+        );
         assert_eq!(sink.alloc_writes(), 0);
         assert_eq!(sink.writes(Context::Mutator), 1);
     }
@@ -523,8 +620,14 @@ mod tests {
     fn set_alloc_region_redirects_allocation() {
         let mut h = heap();
         let mut sink = cachegc_trace::NullSink;
-        h.set_alloc_region(DYNAMIC_SECOND_BASE, DYNAMIC_SECOND_BASE, DYNAMIC_SECOND_BASE + 1024);
-        let p = h.alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink).unwrap();
+        h.set_alloc_region(
+            DYNAMIC_SECOND_BASE,
+            DYNAMIC_SECOND_BASE,
+            DYNAMIC_SECOND_BASE + 1024,
+        );
+        let p = h
+            .alloc(ObjKind::Cell, &[Value::nil()], Context::Mutator, &mut sink)
+            .unwrap();
         assert_eq!(p.addr(), DYNAMIC_SECOND_BASE);
         assert_eq!(h.dynamic_used(), 8);
     }

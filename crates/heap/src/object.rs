@@ -200,8 +200,14 @@ mod tests {
 
     #[test]
     fn forwarding_detection() {
-        assert_eq!(forwarding_target(Value::ptr(0x1000_0000).bits()), Some(Value::ptr(0x1000_0000)));
-        assert_eq!(forwarding_target(Header::new(ObjKind::Cell, 1).bits()), None);
+        assert_eq!(
+            forwarding_target(Value::ptr(0x1000_0000).bits()),
+            Some(Value::ptr(0x1000_0000))
+        );
+        assert_eq!(
+            forwarding_target(Header::new(ObjKind::Cell, 1).bits()),
+            None
+        );
     }
 
     #[test]

@@ -32,8 +32,13 @@ impl Space {
     ///
     /// Panics unless `base < limit` and both are word aligned.
     pub fn new(name: &'static str, base: u32, limit: u32) -> Self {
-        assert!(base < limit && base % 4 == 0 && limit % 4 == 0);
-        Space { name, base, limit, words: Vec::new() }
+        assert!(base < limit && base.is_multiple_of(4) && limit.is_multiple_of(4));
+        Space {
+            name,
+            base,
+            limit,
+            words: Vec::new(),
+        }
     }
 
     /// The space's name, for diagnostics.

@@ -92,7 +92,10 @@ impl Value {
     /// release builds wrap.
     #[inline]
     pub fn fixnum(n: i32) -> Value {
-        debug_assert!((FIXNUM_MIN..=FIXNUM_MAX).contains(&n), "fixnum overflow: {n}");
+        debug_assert!(
+            (FIXNUM_MIN..=FIXNUM_MAX).contains(&n),
+            "fixnum overflow: {n}"
+        );
         Value((n as u32) << 2)
     }
 

@@ -35,12 +35,25 @@ impl SetAssocCache {
     pub fn new(cfg: CacheConfig) -> Self {
         let nsets = cfg.num_sets() as usize;
         let wpb = cfg.words_per_block();
-        let full_mask = if wpb >= 64 { u64::MAX } else { (1u64 << wpb) - 1 };
+        let full_mask = if wpb >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << wpb) - 1
+        };
         SetAssocCache {
             cfg,
             offset_bits: cfg.block.trailing_zeros(),
             set_mask: cfg.num_sets() - 1,
-            sets: vec![vec![Way { tag: EMPTY, ..Default::default() }; cfg.assoc as usize]; nsets],
+            sets: vec![
+                vec![
+                    Way {
+                        tag: EMPTY,
+                        ..Default::default()
+                    };
+                    cfg.assoc as usize
+                ];
+                nsets
+            ],
             full_mask,
             clock: 0,
             stats: CacheStats::new(cfg.num_sets()),
@@ -161,7 +174,11 @@ mod tests {
             }
         }
         assert_eq!(dm.stats().fetches(), 200);
-        assert_eq!(sa.stats().fetches(), 2, "both blocks co-resident in a 2-way set");
+        assert_eq!(
+            sa.stats().fetches(),
+            2,
+            "both blocks co-resident in a 2-way set"
+        );
     }
 
     #[test]
@@ -192,7 +209,11 @@ mod tests {
         for i in 0..5000u32 {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             let addr = 0x1000_0000 + (x % (1 << 16)) * 4;
-            let acc = if i % 3 == 0 { Access::write(addr, M) } else { Access::read(addr, M) };
+            let acc = if i % 3 == 0 {
+                Access::write(addr, M)
+            } else {
+                Access::read(addr, M)
+            };
             dm.access(acc);
             sa.access(acc);
         }

@@ -51,7 +51,11 @@ impl Cache {
         assert_eq!(cfg.assoc, 1, "Cache is direct-mapped; use SetAssocCache");
         let n = cfg.num_blocks() as usize;
         let wpb = cfg.words_per_block();
-        let full_mask = if wpb >= 64 { u64::MAX } else { (1u64 << wpb) - 1 };
+        let full_mask = if wpb >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << wpb) - 1
+        };
         Cache {
             cfg,
             offset_bits: cfg.block.trailing_zeros(),
@@ -113,14 +117,24 @@ impl Cache {
         if a.is_read() {
             if self.tags[b] == tag {
                 if self.valid[b] & bit != 0 {
-                    return Outcome { cache_block: b as u32, hit: true, fetched: false, alloc_miss: false };
+                    return Outcome {
+                        cache_block: b as u32,
+                        hit: true,
+                        fetched: false,
+                        alloc_miss: false,
+                    };
                 }
                 // Present tag, invalid word: sub-block fill of the rest.
                 self.valid[b] = self.full_mask;
                 self.stats.count_partial_fill();
                 self.stats.count_fetch(a.ctx);
                 self.stats.count_block_miss(b, false);
-                Outcome { cache_block: b as u32, hit: false, fetched: true, alloc_miss: false }
+                Outcome {
+                    cache_block: b as u32,
+                    hit: false,
+                    fetched: true,
+                    alloc_miss: false,
+                }
             } else {
                 self.evict(b);
                 self.tags[b] = tag;
@@ -128,7 +142,12 @@ impl Cache {
                 self.stats.count_read_miss_fetch();
                 self.stats.count_fetch(a.ctx);
                 self.stats.count_block_miss(b, false);
-                Outcome { cache_block: b as u32, hit: false, fetched: true, alloc_miss: false }
+                Outcome {
+                    cache_block: b as u32,
+                    hit: false,
+                    fetched: true,
+                    alloc_miss: false,
+                }
             }
         } else {
             // Write.
@@ -140,7 +159,12 @@ impl Cache {
                 if self.cfg.write_hit == WriteHitPolicy::WriteBack {
                     self.dirty[b] |= bit;
                 }
-                return Outcome { cache_block: b as u32, hit: true, fetched: false, alloc_miss: false };
+                return Outcome {
+                    cache_block: b as u32,
+                    hit: true,
+                    fetched: false,
+                    alloc_miss: false,
+                };
             }
             self.evict(b);
             self.tags[b] = tag;
@@ -161,7 +185,12 @@ impl Cache {
             if self.cfg.write_hit == WriteHitPolicy::WriteBack {
                 self.dirty[b] = bit;
             }
-            Outcome { cache_block: b as u32, hit: false, fetched, alloc_miss: a.alloc_init }
+            Outcome {
+                cache_block: b as u32,
+                hit: false,
+                fetched,
+                alloc_miss: a.alloc_init,
+            }
         }
     }
 
@@ -251,7 +280,8 @@ mod tests {
 
     #[test]
     fn fetch_on_write_fetches() {
-        let cfg = CacheConfig::direct_mapped(1 << 15, 64).with_write_miss(WriteMissPolicy::FetchOnWrite);
+        let cfg =
+            CacheConfig::direct_mapped(1 << 15, 64).with_write_miss(WriteMissPolicy::FetchOnWrite);
         let mut c = Cache::new(cfg);
         let o = c.access_classified(Access::alloc_write(0x1000_0000, M));
         assert!(!o.hit && o.fetched);
@@ -274,7 +304,8 @@ mod tests {
 
     #[test]
     fn write_through_counts_words() {
-        let cfg = CacheConfig::direct_mapped(1 << 15, 16).with_write_hit(WriteHitPolicy::WriteThrough);
+        let cfg =
+            CacheConfig::direct_mapped(1 << 15, 16).with_write_hit(WriteHitPolicy::WriteThrough);
         let mut c = Cache::new(cfg);
         c.access_classified(Access::write(0x1000_0000, M));
         c.access_classified(Access::write(0x1000_0000, M));

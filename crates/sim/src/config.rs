@@ -80,14 +80,23 @@ impl CacheConfig {
     ///
     /// Panics if `assoc` does not divide the number of blocks.
     pub fn with_assoc(mut self, assoc: u32) -> Self {
-        assert!(assoc >= 1 && self.num_blocks() % assoc == 0, "bad associativity {assoc}");
+        assert!(
+            assoc >= 1 && self.num_blocks().is_multiple_of(assoc),
+            "bad associativity {assoc}"
+        );
         self.assoc = assoc;
         self
     }
 
     fn validate(&self) {
-        assert!(self.size.is_power_of_two(), "cache size must be a power of two");
-        assert!(self.block.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.size.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.block.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!((8..=1024).contains(&self.block), "block size out of range");
         assert!(self.block <= self.size, "block larger than cache");
     }
@@ -133,7 +142,10 @@ mod tests {
         assert_eq!(c.num_sets(), 1024);
         assert_eq!(c.words_per_block(), 16);
         assert_eq!(c.to_string(), "64k/64b/1-way");
-        assert_eq!(CacheConfig::direct_mapped(4 << 20, 256).to_string(), "4m/256b/1-way");
+        assert_eq!(
+            CacheConfig::direct_mapped(4 << 20, 256).to_string(),
+            "4m/256b/1-way"
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub struct CacheStats {
 
 impl CacheStats {
     pub(crate) fn new(num_blocks: u32) -> Self {
-        CacheStats { blocks: vec![BlockStats::default(); num_blocks as usize], ..Default::default() }
+        CacheStats {
+            blocks: vec![BlockStats::default(); num_blocks as usize],
+            ..Default::default()
+        }
     }
 
     #[inline]
@@ -175,7 +178,9 @@ impl CacheStats {
 
     /// Total misses of all kinds, fetching or not.
     pub fn misses(&self) -> u64 {
-        self.read_miss_fetches + self.partial_fill_fetches + self.write_miss_fetches
+        self.read_miss_fetches
+            + self.partial_fill_fetches
+            + self.write_miss_fetches
             + self.write_validate_installs
     }
 
@@ -210,7 +215,11 @@ mod tests {
 
     #[test]
     fn block_stats_ratios() {
-        let b = BlockStats { refs: 100, misses: 10, alloc_misses: 4 };
+        let b = BlockStats {
+            refs: 100,
+            misses: 10,
+            alloc_misses: 4,
+        };
         assert!((b.local_miss_ratio() - 0.1).abs() < 1e-12);
         assert_eq!(b.non_alloc_misses(), 6);
         assert_eq!(BlockStats::default().local_miss_ratio(), 0.0);

@@ -21,7 +21,11 @@ pub struct MainMemory {
 impl MainMemory {
     /// The Przybylski memory system used throughout the paper.
     pub const fn przybylski() -> Self {
-        MainMemory { setup_ns: 30.0, access_ns: 180.0, transfer_ns_per_16b: 30.0 }
+        MainMemory {
+            setup_ns: 30.0,
+            access_ns: 180.0,
+            transfer_ns_per_16b: 30.0,
+        }
     }
 
     /// Time to fetch an `bytes`-byte block from memory.
@@ -56,10 +60,16 @@ pub struct Processor {
 }
 
 /// The slow processor: 30 ns cycle (33 MHz), a workstation of 1994.
-pub const SLOW: Processor = Processor { name: "slow", cycle_ns: 30.0 };
+pub const SLOW: Processor = Processor {
+    name: "slow",
+    cycle_ns: 30.0,
+};
 
 /// The fast processor: 2 ns cycle (500 MHz), the near future of 1994.
-pub const FAST: Processor = Processor { name: "fast", cycle_ns: 2.0 };
+pub const FAST: Processor = Processor {
+    name: "fast",
+    cycle_ns: 2.0,
+};
 
 /// Miss penalty in processor cycles for fetching a block of `block_bytes`.
 ///
@@ -94,8 +104,16 @@ mod tests {
             (256, 23, 345),
         ];
         for (block, slow, fast) in cases {
-            assert_eq!(miss_penalty_cycles(&mem, &SLOW, block), slow, "slow, {block}b");
-            assert_eq!(miss_penalty_cycles(&mem, &FAST, block), fast, "fast, {block}b");
+            assert_eq!(
+                miss_penalty_cycles(&mem, &SLOW, block),
+                slow,
+                "slow, {block}b"
+            );
+            assert_eq!(
+                miss_penalty_cycles(&mem, &FAST, block),
+                fast,
+                "fast, {block}b"
+            );
         }
     }
 

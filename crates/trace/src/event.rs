@@ -44,19 +44,34 @@ impl Access {
     /// A plain load at `addr`.
     #[inline]
     pub fn read(addr: u32, ctx: Context) -> Self {
-        Access { addr, kind: AccessKind::Read, ctx, alloc_init: false }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+            ctx,
+            alloc_init: false,
+        }
     }
 
     /// A plain store at `addr`.
     #[inline]
     pub fn write(addr: u32, ctx: Context) -> Self {
-        Access { addr, kind: AccessKind::Write, ctx, alloc_init: false }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+            ctx,
+            alloc_init: false,
+        }
     }
 
     /// An initializing store to a freshly allocated dynamic word.
     #[inline]
     pub fn alloc_write(addr: u32, ctx: Context) -> Self {
-        Access { addr, kind: AccessKind::Write, ctx, alloc_init: true }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+            ctx,
+            alloc_init: true,
+        }
     }
 
     /// True if this access is a load.

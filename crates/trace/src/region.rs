@@ -84,9 +84,11 @@ mod tests {
 
     #[test]
     fn layout_is_ordered_and_disjoint() {
-        assert!(STATIC_BASE < STACK_BASE);
-        assert!(STACK_BASE < DYNAMIC_BASE);
-        assert!(DYNAMIC_BASE < DYNAMIC_SECOND_BASE);
+        const {
+            assert!(STATIC_BASE < STACK_BASE);
+            assert!(STACK_BASE < DYNAMIC_BASE);
+            assert!(DYNAMIC_BASE < DYNAMIC_SECOND_BASE);
+        }
     }
 
     #[test]

@@ -181,7 +181,12 @@ mod tests {
     #[test]
     fn fanout_broadcasts() {
         let mut f = Fanout::new(vec![RefCounter::new(), RefCounter::new()]);
-        f.access(Access { addr: 0, kind: AccessKind::Read, ctx: Context::Mutator, alloc_init: false });
+        f.access(Access {
+            addr: 0,
+            kind: AccessKind::Read,
+            ctx: Context::Mutator,
+            alloc_init: false,
+        });
         for s in f.sinks() {
             assert_eq!(s.total(), 1);
         }

@@ -236,11 +236,59 @@ impl PrimOp {
     pub fn all() -> &'static [PrimOp] {
         use PrimOp::*;
         &[
-            Cons, Car, Cdr, SetCar, SetCdr, PairP, NullP, EqP, EqvP, EqualP, Add, Sub, Mul, Div,
-            Quotient, Remainder, Modulo, NumEq, Lt, Le, Gt, Ge, ZeroP, Not, Abs, Min, Max, Sqrt,
-            ExactToInexact, InexactToExact, Floor, NumberP, IntegerP, SymbolP, StringP, VectorP, ProcedureP,
-            BooleanP, List, MakeVector, VectorRef, VectorSet, VectorLength, MakeTable, TableRef,
-            TableSet, TableCount, SymbolToString, StringLength, Display, Newline, Error, GcEpoch,
+            Cons,
+            Car,
+            Cdr,
+            SetCar,
+            SetCdr,
+            PairP,
+            NullP,
+            EqP,
+            EqvP,
+            EqualP,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Quotient,
+            Remainder,
+            Modulo,
+            NumEq,
+            Lt,
+            Le,
+            Gt,
+            Ge,
+            ZeroP,
+            Not,
+            Abs,
+            Min,
+            Max,
+            Sqrt,
+            ExactToInexact,
+            InexactToExact,
+            Floor,
+            NumberP,
+            IntegerP,
+            SymbolP,
+            StringP,
+            VectorP,
+            ProcedureP,
+            BooleanP,
+            List,
+            MakeVector,
+            VectorRef,
+            VectorSet,
+            VectorLength,
+            MakeTable,
+            TableRef,
+            TableSet,
+            TableCount,
+            SymbolToString,
+            StringLength,
+            Display,
+            Newline,
+            Error,
+            GcEpoch,
         ]
     }
 
@@ -251,9 +299,9 @@ impl PrimOp {
         match self {
             Newline | MakeTable | GcEpoch => 0,
             Car | Cdr | PairP | NullP | ZeroP | Not | Abs | Sqrt | ExactToInexact
-            | InexactToExact | Floor
-            | NumberP | IntegerP | SymbolP | StringP | VectorP | ProcedureP | BooleanP
-            | VectorLength | TableCount | SymbolToString | StringLength | Display | List => 1,
+            | InexactToExact | Floor | NumberP | IntegerP | SymbolP | StringP | VectorP
+            | ProcedureP | BooleanP | VectorLength | TableCount | SymbolToString | StringLength
+            | Display | List => 1,
             Cons | SetCar | SetCdr | EqP | EqvP | EqualP | Add | Sub | Mul | Div | Quotient
             | Remainder | Modulo | NumEq | Lt | Le | Gt | Ge | Min | Max | MakeVector
             | VectorRef | Error => 2,
@@ -296,6 +344,9 @@ mod tests {
     #[test]
     fn weights_are_positive() {
         assert!(Insn::Call(2).weight() > Insn::Const(0).weight());
-        assert!(Insn::MakeClosure { code: 0, nfree: 5 }.weight() > Insn::MakeClosure { code: 0, nfree: 0 }.weight());
+        assert!(
+            Insn::MakeClosure { code: 0, nfree: 5 }.weight()
+                > Insn::MakeClosure { code: 0, nfree: 0 }.weight()
+        );
     }
 }

@@ -127,13 +127,18 @@ impl Compiler {
             .collect::<Result<_, _>>()?;
         self.frames.push(Frame::default());
         let mut code = Vec::new();
-        let result: Result<(), VmError> = forms.iter().try_for_each(|f| self.toplevel(f, &mut code));
+        let result: Result<(), VmError> =
+            forms.iter().try_for_each(|f| self.toplevel(f, &mut code));
         let frame = self.frames.pop().expect("frame stack imbalance");
         result?;
         debug_assert!(frame.captures.is_empty(), "top level cannot capture");
         code.push(Insn::Halt);
         let idx = self.codes.len() as u32;
-        self.codes.push(CodeObject { name: format!("main#{idx}"), arity: 0, code });
+        self.codes.push(CodeObject {
+            name: format!("main#{idx}"),
+            arity: 0,
+            code,
+        });
         Ok(idx)
     }
 
@@ -153,9 +158,9 @@ impl Compiler {
                     let once = expand_one(items, &mut self.gensym)?;
                     return self.expand_all(&once);
                 }
-                "define" => {
+                "define"
                     // (define (f a ...) body ...) => (define f (lambda (a ...) body ...))
-                    if items.len() >= 2 {
+                    if items.len() >= 2 => {
                         if let Sexp::List(sig) = &items[1] {
                             if sig.is_empty() {
                                 return Err(VmError::Compile("define: empty signature".into()));
@@ -170,7 +175,6 @@ impl Compiler {
                             return self.expand_all(&rewritten);
                         }
                     }
-                }
                 "lambda" => {
                     if items.len() < 3 {
                         return Err(VmError::Compile(format!("lambda: bad form {form}")));
@@ -292,7 +296,9 @@ impl Compiler {
             Some("set!") => self.set_form(items, code),
             Some("lambda") => self.lambda_form(items, code, name),
             Some("begin") => self.body(&items[1..], code, tail),
-            Some("define") => Err(VmError::Compile("define is only allowed at top level".into())),
+            Some("define") => Err(VmError::Compile(
+                "define is only allowed at top level".into(),
+            )),
             _ => self.call(items, code, tail),
         }
     }
@@ -331,7 +337,9 @@ impl Compiler {
             // the top-level frame has no entry boxing; treat as plain store.
             Loc::Local { slot, boxed: false } => Insn::LocalSet(slot),
             Loc::Capture { .. } => {
-                return Err(VmError::Compile(format!("set!: {name} captured without a box")));
+                return Err(VmError::Compile(format!(
+                    "set!: {name} captured without a box"
+                )));
             }
         };
         code.push(insn);
@@ -351,7 +359,11 @@ impl Compiler {
                 .map(|p| p.as_sym().map(str::to_string))
                 .collect::<Option<_>>()
                 .ok_or_else(|| VmError::Compile("lambda: bad parameter list".into()))?,
-            _ => return Err(VmError::Compile("lambda: variadic parameters unsupported".into())),
+            _ => {
+                return Err(VmError::Compile(
+                    "lambda: variadic parameters unsupported".into(),
+                ))
+            }
         };
         let body = &items[2..];
         let boxed: Vec<bool> = params
@@ -359,7 +371,11 @@ impl Compiler {
             .map(|p| body.iter().any(|f| is_assigned(p, f)))
             .collect();
 
-        self.frames.push(Frame { params: params.clone(), boxed: boxed.clone(), captures: Vec::new() });
+        self.frames.push(Frame {
+            params: params.clone(),
+            boxed: boxed.clone(),
+            captures: Vec::new(),
+        });
         let mut inner = Vec::new();
         for (i, b) in boxed.iter().enumerate() {
             if *b {
@@ -381,7 +397,11 @@ impl Compiler {
                 format!("lambda@{}", self.lambda_count)
             }
         };
-        self.codes.push(CodeObject { name: code_name, arity: params.len() as u32, code: inner });
+        self.codes.push(CodeObject {
+            name: code_name,
+            arity: params.len() as u32,
+            code: inner,
+        });
 
         // In the parent: push each captured binding (raw slot contents, so
         // boxed variables share their cell), then build the closure.
@@ -396,7 +416,10 @@ impl Compiler {
             code.push(insn);
             code.push(Insn::Push);
         }
-        code.push(Insn::MakeClosure { code: code_idx, nfree: frame.captures.len() as u32 });
+        code.push(Insn::MakeClosure {
+            code: code_idx,
+            nfree: frame.captures.len() as u32,
+        });
         Ok(())
     }
 
@@ -432,11 +455,20 @@ impl Compiler {
             self.expr(arg, code, false)?;
             code.push(Insn::Push);
         }
-        code.push(if tail { Insn::TailCall(nargs as u32) } else { Insn::Call(nargs as u32) });
+        code.push(if tail {
+            Insn::TailCall(nargs as u32)
+        } else {
+            Insn::Call(nargs as u32)
+        });
         Ok(())
     }
 
-    fn prim_call(&mut self, op: PrimOp, args: &[Sexp], code: &mut Vec<Insn>) -> Result<(), VmError> {
+    fn prim_call(
+        &mut self,
+        op: PrimOp,
+        args: &[Sexp],
+        code: &mut Vec<Insn>,
+    ) -> Result<(), VmError> {
         use PrimOp::*;
         let n = args.len();
         match op {
@@ -479,9 +511,9 @@ impl Compiler {
                     code.push(Insn::Push);
                 }
                 code.pop(); // final Push is not needed; result stays in acc
-                // The final Prim left its result in acc; remove the stray
-                // sequencing artifact: the loop pushes Prim then Push, so the
-                // last pop above removed the trailing Push.
+                            // The final Prim left its result in acc; remove the stray
+                            // sequencing artifact: the loop pushes Prim then Push, so the
+                            // last pop above removed the trailing Push.
                 Ok(())
             }
             List => {
@@ -535,10 +567,16 @@ impl Compiler {
     fn resolve_at(&mut self, idx: usize, name: &str) -> Option<Loc> {
         let f = &self.frames[idx];
         if let Some(i) = f.params.iter().position(|p| p == name) {
-            return Some(Loc::Local { slot: i as u32, boxed: f.boxed[i] });
+            return Some(Loc::Local {
+                slot: i as u32,
+                boxed: f.boxed[i],
+            });
         }
         if let Some(j) = f.captures.iter().position(|c| c.name == name) {
-            return Some(Loc::Capture { idx: j as u32, boxed: f.captures[j].boxed });
+            return Some(Loc::Capture {
+                idx: j as u32,
+                boxed: f.captures[j].boxed,
+            });
         }
         if idx == 0 {
             return None;
@@ -549,8 +587,14 @@ impl Compiler {
             Loc::Global(_) => unreachable!("resolve_at never returns Global"),
         };
         let f = &mut self.frames[idx];
-        f.captures.push(Capture { name: name.to_string(), boxed });
-        Some(Loc::Capture { idx: (f.captures.len() - 1) as u32, boxed })
+        f.captures.push(Capture {
+            name: name.to_string(),
+            boxed,
+        });
+        Some(Loc::Capture {
+            idx: (f.captures.len() - 1) as u32,
+            boxed,
+        })
     }
 
     fn const_idx(&mut self, datum: &Sexp) -> u32 {
@@ -612,14 +656,21 @@ mod tests {
     fn prim_fast_path_used_for_unshadowed_names() {
         let (c, main) = compile("(car '(1))");
         let code = &c.codes[main as usize].code;
-        assert!(code.iter().any(|i| matches!(i, Insn::Prim(PrimOp::Car, 1))), "{code:?}");
+        assert!(
+            code.iter().any(|i| matches!(i, Insn::Prim(PrimOp::Car, 1))),
+            "{code:?}"
+        );
         assert!(!code.iter().any(|i| matches!(i, Insn::Call(_))));
     }
 
     #[test]
     fn shadowed_prim_name_uses_general_call() {
         let (c, _) = compile("((lambda (car) (car 1)) (lambda (x) x))");
-        let user = c.codes.iter().find(|co| co.arity == 1 && co.name.starts_with("lambda")).unwrap();
+        let user = c
+            .codes
+            .iter()
+            .find(|co| co.arity == 1 && co.name.starts_with("lambda"))
+            .unwrap();
         assert!(
             user.code.iter().any(|i| matches!(i, Insn::TailCall(1))),
             "shadowed car is a real call: {:?}",
@@ -645,8 +696,16 @@ mod tests {
     #[test]
     fn free_variables_are_captured() {
         let (c, _) = compile("(define (adder n) (lambda (x) (+ x n)))");
-        let inner = c.codes.iter().find(|co| co.name.starts_with("lambda")).unwrap();
-        assert!(inner.code.iter().any(|i| matches!(i, Insn::ClosureGet(0))), "{:?}", inner.code);
+        let inner = c
+            .codes
+            .iter()
+            .find(|co| co.name.starts_with("lambda"))
+            .unwrap();
+        assert!(
+            inner.code.iter().any(|i| matches!(i, Insn::ClosureGet(0))),
+            "{:?}",
+            inner.code
+        );
         let outer = c.codes.iter().find(|co| co.name == "adder").unwrap();
         assert!(outer
             .code

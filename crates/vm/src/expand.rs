@@ -30,7 +30,10 @@ fn gensym(counter: &mut u32) -> Sexp {
 
 /// True if `head` names a derived form this module expands.
 pub(crate) fn is_derived(head: &str) -> bool {
-    matches!(head, "let" | "let*" | "letrec" | "cond" | "and" | "or" | "when" | "unless")
+    matches!(
+        head,
+        "let" | "let*" | "letrec" | "cond" | "and" | "or" | "when" | "unless"
+    )
 }
 
 /// Expand one level of a derived form. The caller re-examines the result.
@@ -39,7 +42,9 @@ pub(crate) fn is_derived(head: &str) -> bool {
 ///
 /// Returns [`VmError::Compile`] on malformed derived forms.
 pub(crate) fn expand_one(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
-    let head = items[0].as_sym().expect("expand_one called on non-symbol head");
+    let head = items[0]
+        .as_sym()
+        .expect("expand_one called on non-symbol head");
     match head {
         "let" => expand_let(items, counter),
         "let*" => expand_let_star(items),
@@ -72,7 +77,9 @@ pub(crate) fn expand_one(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmEr
 }
 
 fn parse_bindings(form: &Sexp, what: &str) -> Result<(Vec<Sexp>, Vec<Sexp>), VmError> {
-    let bindings = form.as_list().ok_or_else(|| err(format!("{what}: bad binding list")))?;
+    let bindings = form
+        .as_list()
+        .ok_or_else(|| err(format!("{what}: bad binding list")))?;
     let mut names = Vec::new();
     let mut inits = Vec::new();
     for b in bindings {
@@ -118,7 +125,9 @@ fn expand_let_star(items: &[Sexp]) -> Result<Sexp, VmError> {
     if items.len() < 3 {
         return Err(err("let*: needs bindings and a body"));
     }
-    let bindings = items[1].as_list().ok_or_else(|| err("let*: bad binding list"))?;
+    let bindings = items[1]
+        .as_list()
+        .ok_or_else(|| err("let*: bad binding list"))?;
     if bindings.len() <= 1 {
         let mut out = vec![sym("let"), items[1].clone()];
         out.extend_from_slice(&items[2..]);
@@ -150,7 +159,9 @@ fn expand_cond(items: &[Sexp], counter: &mut u32) -> Result<Sexp, VmError> {
     if clauses.is_empty() {
         return Err(err("cond: no clauses"));
     }
-    let clause = clauses[0].as_list().ok_or_else(|| err("cond: bad clause"))?;
+    let clause = clauses[0]
+        .as_list()
+        .ok_or_else(|| err("cond: bad clause"))?;
     if clause.is_empty() {
         return Err(err("cond: empty clause"));
     }
@@ -193,7 +204,12 @@ fn expand_and(items: &[Sexp]) -> Result<Sexp, VmError> {
         [e, rest @ ..] => {
             let mut inner = vec![sym("and")];
             inner.extend_from_slice(rest);
-            Ok(list(vec![sym("if"), e.clone(), list(inner), Sexp::Bool(false)]))
+            Ok(list(vec![
+                sym("if"),
+                e.clone(),
+                list(inner),
+                Sexp::Bool(false),
+            ]))
         }
     }
 }
@@ -230,7 +246,10 @@ mod tests {
 
     #[test]
     fn let_becomes_application() {
-        assert_eq!(exp("(let ((x 1) (y 2)) (+ x y))"), "((lambda (x y) (+ x y)) 1 2)");
+        assert_eq!(
+            exp("(let ((x 1) (y 2)) (+ x y))"),
+            "((lambda (x y) (+ x y)) 1 2)"
+        );
     }
 
     #[test]
@@ -259,7 +278,10 @@ mod tests {
 
     #[test]
     fn cond_chains_ifs() {
-        assert_eq!(exp("(cond (a 1) (else 2))"), "(if a (begin 1) (cond (else 2)))");
+        assert_eq!(
+            exp("(cond (a 1) (else 2))"),
+            "(if a (begin 1) (cond (else 2)))"
+        );
         assert_eq!(exp("(cond (else 2 3))"), "(begin 2 3)");
     }
 
@@ -280,7 +302,13 @@ mod tests {
 
     #[test]
     fn malformed_forms_error() {
-        let bad = ["(let (x) 1)", "(let)", "(cond)", "(letrec ((1 2)) 3)", "(when c)"];
+        let bad = [
+            "(let (x) 1)",
+            "(let)",
+            "(cond)",
+            "(letrec ((1 2)) 3)",
+            "(when c)",
+        ];
         for src in bad {
             let form = read(src).unwrap().remove(0);
             let items = form.as_list().unwrap().to_vec();

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 
 use cachegc_gc::{Collector, GcStats, Roots};
 use cachegc_heap::{AllocMode, Heap, HeapConfig, ObjKind, Value};
-use cachegc_trace::{Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, STACK_BASE, STATIC_BASE};
+use cachegc_trace::{
+    Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, STACK_BASE, STATIC_BASE,
+};
 
 use crate::bytecode::{CodeObject, Insn, PrimOp};
 use crate::compiler::{Compiler, UNSPEC_MARKER};
@@ -86,7 +88,10 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             .expect("static area cannot be full at boot");
         m.bind_prims();
         let prelude = read(PRELUDE).expect("prelude reads");
-        let main = m.compiler.compile_program(&prelude).expect("prelude compiles");
+        let main = m
+            .compiler
+            .compile_program(&prelude)
+            .expect("prelude compiles");
         m.realize_consts();
         m.exec(main as usize).expect("prelude runs");
         m
@@ -110,7 +115,12 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             });
             let closure = self
                 .heap
-                .alloc(ObjKind::Closure, &[Value::fixnum(idx as i32)], M, &mut self.sink)
+                .alloc(
+                    ObjKind::Closure,
+                    &[Value::fixnum(idx as i32)],
+                    M,
+                    &mut self.sink,
+                )
                 .expect("static closure");
             let slot = self.compiler.global_slot(op.name());
             let addr = self.globals.addr() + 4 + 4 * slot;
@@ -222,10 +232,18 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
                         return Value::fixnum(n32);
                     }
                 }
-                self.heap.alloc_flonum(*n as f64, M, &mut self.sink).expect("static")
+                self.heap
+                    .alloc_flonum(*n as f64, M, &mut self.sink)
+                    .expect("static")
             }
-            Sexp::Float(x) => self.heap.alloc_flonum(*x, M, &mut self.sink).expect("static"),
-            Sexp::Str(st) => self.heap.alloc_string(st, M, &mut self.sink).expect("static"),
+            Sexp::Float(x) => self
+                .heap
+                .alloc_flonum(*x, M, &mut self.sink)
+                .expect("static"),
+            Sexp::Str(st) => self
+                .heap
+                .alloc_string(st, M, &mut self.sink)
+                .expect("static"),
             Sexp::Char(c) => Value::char(*c),
             Sexp::Bool(b) => Value::bool(*b),
             Sexp::Sym(name) if name == UNSPEC_MARKER => Value::unspecified(),
@@ -251,8 +269,13 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
         }
         let prev = self.heap.mode();
         self.heap.set_mode(AllocMode::Static);
-        let str_v = self.heap.alloc_string(name, M, &mut self.sink).expect("static");
-        let hash = name.bytes().fold(2166136261u32, |h, b| (h ^ b as u32).wrapping_mul(16777619));
+        let str_v = self
+            .heap
+            .alloc_string(name, M, &mut self.sink)
+            .expect("static");
+        let hash = name
+            .bytes()
+            .fold(2166136261u32, |h, b| (h ^ b as u32).wrapping_mul(16777619));
         let sym = self
             .heap
             .alloc(
@@ -350,7 +373,12 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             object_ranges: vec![(STATIC_BASE, self.heap.static_top())],
             registers: &mut regs,
         };
-        self.gc.collect(&mut self.heap, &mut roots, &mut self.counters, &mut self.sink);
+        self.gc.collect(
+            &mut self.heap,
+            &mut roots,
+            &mut self.counters,
+            &mut self.sink,
+        );
         self.acc = regs[0];
         self.clos = regs[1];
     }

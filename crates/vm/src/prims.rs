@@ -66,7 +66,7 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
         Header::from_bits(self.heap.load_raw(v.addr(), M, &mut self.sink))
     }
 
-    fn to_num(&mut self, v: Value, who: &str) -> Result<Num, VmError> {
+    fn read_num(&mut self, v: Value, who: &str) -> Result<Num, VmError> {
         if v.is_fixnum() {
             return Ok(Num::Fix(v.as_fixnum() as i64));
         }
@@ -100,8 +100,8 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
         self.ensure_free(12)?;
         let (a, b) = self.pop2();
         let name = op.name();
-        let x = self.to_num(a, name)?;
-        let y = self.to_num(b, name)?;
+        let x = self.read_num(a, name)?;
+        let y = self.read_num(b, name)?;
         let r = match (op, x, y) {
             (PrimOp::Add, Num::Fix(p), Num::Fix(q)) => Num::Fix(p + q),
             (PrimOp::Sub, Num::Fix(p), Num::Fix(q)) => Num::Fix(p - q),
@@ -149,8 +149,8 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
     fn compare(&mut self, op: PrimOp) -> Result<(), VmError> {
         let (a, b) = self.pop2();
         let name = op.name();
-        let x = self.to_num(a, name)?;
-        let y = self.to_num(b, name)?;
+        let x = self.read_num(a, name)?;
+        let y = self.read_num(b, name)?;
         let r = match (x, y) {
             (Num::Fix(p), Num::Fix(q)) => match op {
                 PrimOp::NumEq => p == q,
@@ -290,7 +290,7 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             NumEq | Lt | Le | Gt | Ge => self.compare(op)?,
             ZeroP => {
                 let v = self.pop();
-                let x = self.to_num(v, "zero?")?;
+                let x = self.read_num(v, "zero?")?;
                 self.acc = Value::bool(x.as_f64() == 0.0);
             }
             Not => {
@@ -300,7 +300,7 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             Abs => {
                 self.ensure_free(12)?;
                 let v = self.pop();
-                let x = self.to_num(v, "abs")?;
+                let x = self.read_num(v, "abs")?;
                 let r = match x {
                     Num::Fix(i) => Num::Fix(i.abs()),
                     Num::Flo(f) => Num::Flo(f.abs()),
@@ -309,26 +309,26 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             }
             Min | Max => {
                 let (a, b) = self.pop2();
-                let x = self.to_num(a, op.name())?.as_f64();
-                let y = self.to_num(b, op.name())?.as_f64();
+                let x = self.read_num(a, op.name())?.as_f64();
+                let y = self.read_num(b, op.name())?.as_f64();
                 let take_a = if op == Min { x <= y } else { x >= y };
                 self.acc = if take_a { a } else { b };
             }
             Sqrt => {
                 self.ensure_free(12)?;
                 let v = self.pop();
-                let x = self.to_num(v, "sqrt")?.as_f64();
+                let x = self.read_num(v, "sqrt")?.as_f64();
                 self.acc = self.alloc_flonum(x.sqrt())?;
             }
             ExactToInexact => {
                 self.ensure_free(12)?;
                 let v = self.pop();
-                let x = self.to_num(v, "exact->inexact")?.as_f64();
+                let x = self.read_num(v, "exact->inexact")?.as_f64();
                 self.acc = self.alloc_flonum(x)?;
             }
             InexactToExact => {
                 let v = self.pop();
-                match self.to_num(v, "inexact->exact")? {
+                match self.read_num(v, "inexact->exact")? {
                     Num::Fix(_) => self.acc = v,
                     Num::Flo(x) => {
                         let t = x.trunc();
@@ -342,7 +342,7 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
             Floor => {
                 self.ensure_free(12)?;
                 let v = self.pop();
-                match self.to_num(v, "floor")? {
+                match self.read_num(v, "floor")? {
                     Num::Fix(_) => self.acc = v,
                     Num::Flo(x) => self.acc = self.alloc_flonum(x.floor())?,
                 }

@@ -21,7 +21,10 @@ use crate::sexp::Sexp;
 /// assert_eq!(forms[1].to_string(), "(quote a)");
 /// ```
 pub fn read(src: &str) -> Result<Vec<Sexp>, VmError> {
-    let mut r = Reader { chars: src.chars().collect(), pos: 0 };
+    let mut r = Reader {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
     let mut forms = Vec::new();
     loop {
         r.skip_ws();
@@ -166,7 +169,10 @@ impl Reader {
         let numeric_start = tok.chars().next().is_some_and(|c| c.is_ascii_digit())
             || (tok.len() > 1
                 && (tok.starts_with('-') || tok.starts_with('+'))
-                && tok.chars().nth(1).is_some_and(|c| c.is_ascii_digit() || c == '.'));
+                && tok
+                    .chars()
+                    .nth(1)
+                    .is_some_and(|c| c.is_ascii_digit() || c == '.'));
         if numeric_start {
             if tok.contains('.') || tok.contains('e') || tok.contains('E') {
                 if let Ok(x) = tok.parse::<f64>() {
@@ -223,7 +229,10 @@ mod tests {
 
     #[test]
     fn quote_sugar() {
-        assert_eq!(one("'x"), Sexp::List(vec![Sexp::sym("quote"), Sexp::sym("x")]));
+        assert_eq!(
+            one("'x"),
+            Sexp::List(vec![Sexp::sym("quote"), Sexp::sym("x")])
+        );
         assert_eq!(one("''x").to_string(), "(quote (quote x))");
     }
 

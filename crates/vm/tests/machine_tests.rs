@@ -79,7 +79,11 @@ fn comparisons_and_predicates() {
 fn equality() {
     assert_eq!(eval("(eq? 'a 'a)"), "#t", "symbols are interned");
     assert_eq!(eval("(eq? (list 1) (list 1))"), "#f");
-    assert_eq!(eval("(eq? '(1) '(1))"), "#t", "literals are shared static constants");
+    assert_eq!(
+        eval("(eq? '(1) '(1))"),
+        "#t",
+        "literals are shared static constants"
+    );
     assert_eq!(eval("(eqv? 1.5 1.5)"), "#t");
     assert_eq!(eval("(equal? '(1 (2 3)) '(1 (2 3)))"), "#t");
     assert_eq!(eval("(equal? '(1 2) '(1 3))"), "#f");
@@ -115,15 +119,20 @@ fn vectors() {
     );
     assert_eq!(eval("(list->vector '(1 2))"), "#(1 2)");
     assert_eq!(eval("(vector->list (list->vector '(1 2 3)))"), "(1 2 3)");
-    assert_eq!(eval("(let ((v (make-vector 2 9))) (vector-fill! v 7) (vector-ref v 0))"), "7");
+    assert_eq!(
+        eval("(let ((v (make-vector 2 9))) (vector-fill! v 7) (vector-ref v 0))"),
+        "7"
+    );
 }
 
 #[test]
 fn mutation_and_closures() {
     assert_eq!(
-        eval("(define (counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+        eval(
+            "(define (counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
               (define c (counter))
-              (c) (c) (c)"),
+              (c) (c) (c)"
+        ),
         "3"
     );
     assert_eq!(
@@ -132,18 +141,23 @@ fn mutation_and_closures() {
     );
     // Two closures over the same mutable binding share state.
     assert_eq!(
-        eval("(define pair-of
+        eval(
+            "(define pair-of
                 (let ((n 0))
                   (cons (lambda () (set! n (+ n 1)) n)
                         (lambda () n))))
-              ((car pair-of)) ((car pair-of)) ((cdr pair-of))"),
+              ((car pair-of)) ((car pair-of)) ((cdr pair-of))"
+        ),
         "2"
     );
 }
 
 #[test]
 fn recursion_and_tail_calls() {
-    assert_eq!(eval("(define (fact n) (if (< n 2) 1 (* n (fact (- n 1))))) (fact 10)"), "3628800");
+    assert_eq!(
+        eval("(define (fact n) (if (< n 2) 1 (* n (fact (- n 1))))) (fact 10)"),
+        "3628800"
+    );
     assert_eq!(
         eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 15)"),
         "610"
@@ -155,9 +169,11 @@ fn recursion_and_tail_calls() {
     );
     // Mutual recursion through globals, tail position.
     assert_eq!(
-        eval("(define (ev? n) (if (zero? n) #t (od? (- n 1))))
+        eval(
+            "(define (ev? n) (if (zero? n) #t (od? (- n 1))))
               (define (od? n) (if (zero? n) #f (ev? (- n 1))))
-              (ev? 100001)"),
+              (ev? 100001)"
+        ),
         "#f"
     );
 }
@@ -167,9 +183,11 @@ fn binding_forms() {
     assert_eq!(eval("(let ((x 1) (y 2)) (+ x y))"), "3");
     assert_eq!(eval("(let* ((x 1) (y (+ x 1))) y)"), "2");
     assert_eq!(
-        eval("(letrec ((even (lambda (n) (if (zero? n) #t (odd (- n 1)))))
+        eval(
+            "(letrec ((even (lambda (n) (if (zero? n) #t (odd (- n 1)))))
                        (odd (lambda (n) (if (zero? n) #f (even (- n 1))))))
-                (even 10))"),
+                (even 10))"
+        ),
         "#t"
     );
     assert_eq!(eval("(cond (#f 1) ((= 1 1) 2) (else 3))"), "2");
@@ -192,7 +210,8 @@ fn higher_order_prims_as_values() {
 #[test]
 fn display_output() {
     let mut m = Machine::new(NoCollector::new(), NullSink);
-    m.run_program("(display \"x=\") (display 42) (newline) (display '(1 2))").unwrap();
+    m.run_program("(display \"x=\") (display 42) (newline) (display '(1 2))")
+        .unwrap();
     assert_eq!(m.output(), "x=42\n(1 2)");
 }
 
@@ -201,15 +220,27 @@ fn runtime_errors() {
     let mut m = Machine::new(NoCollector::new(), NullSink);
     assert!(matches!(m.run_program("(car 5)"), Err(VmError::Runtime(_))));
     let mut m = Machine::new(NoCollector::new(), NullSink);
-    assert!(matches!(m.run_program("(vector-ref (make-vector 2 0) 5)"), Err(VmError::Runtime(_))));
+    assert!(matches!(
+        m.run_program("(vector-ref (make-vector 2 0) 5)"),
+        Err(VmError::Runtime(_))
+    ));
     let mut m = Machine::new(NoCollector::new(), NullSink);
-    assert!(matches!(m.run_program("(undefined-fn 1)"), Err(VmError::Runtime(_))));
+    assert!(matches!(
+        m.run_program("(undefined-fn 1)"),
+        Err(VmError::Runtime(_))
+    ));
     let mut m = Machine::new(NoCollector::new(), NullSink);
-    assert!(matches!(m.run_program("(error \"boom\" 42)"), Err(VmError::Runtime(_))));
+    assert!(matches!(
+        m.run_program("(error \"boom\" 42)"),
+        Err(VmError::Runtime(_))
+    ));
     let mut m = Machine::new(NoCollector::new(), NullSink);
     assert!(matches!(m.run_program("(/ 1 0)"), Err(VmError::Runtime(_))));
     let mut m = Machine::new(NoCollector::new(), NullSink);
-    assert!(matches!(m.run_program("((lambda (x) x) 1 2)"), Err(VmError::Runtime(_))));
+    assert!(matches!(
+        m.run_program("((lambda (x) x) 1 2)"),
+        Err(VmError::Runtime(_))
+    ));
 }
 
 #[test]
@@ -224,12 +255,14 @@ fn hash_tables() {
     );
     // Enough inserts to force growth.
     assert_eq!(
-        eval("(define t (make-table))
+        eval(
+            "(define t (make-table))
               (let loop ((i 0))
                 (if (< i 200)
                     (begin (table-set! t i (* i i)) (loop (+ i 1)))
                     'done))
-              (list (table-ref t 150 #f) (table-ref t 0 #f))"),
+              (list (table-ref t 150 #f) (table-ref t 0 #f))"
+        ),
         "(22500 0)"
     );
 }
@@ -257,7 +290,10 @@ fn cheney_collected_run_matches_uncollected() {
     assert_eq!(got, expect);
     let mut m = Machine::new(CheneyCollector::new(1 << 20), NullSink);
     m.run_program(CHURN).unwrap();
-    assert!(m.collector().stats().collections >= 5, "collections actually happened");
+    assert!(
+        m.collector().stats().collections >= 5,
+        "collections actually happened"
+    );
     assert!(m.counters().collector() > 0, "I_gc charged");
 }
 
@@ -305,7 +341,10 @@ fn table_rehashes_after_collection() {
     let shown = m.display_value(v);
     assert!(shown.starts_with("(one two "), "{shown}");
     assert!(m.collector().stats().collections > 0);
-    assert!(m.counters().gc_induced() > 0, "rehash work charged to ΔI_prog");
+    assert!(
+        m.counters().gc_induced() > 0,
+        "rehash work charged to ΔI_prog"
+    );
 }
 
 #[test]
@@ -315,7 +354,10 @@ fn reference_trace_is_produced() {
         .unwrap();
     let sink = m.sink();
     assert!(sink.by_context(Context::Mutator) > 1000);
-    assert!(sink.alloc_writes() >= 300, "100 pairs = 300 initializing writes");
+    assert!(
+        sink.alloc_writes() >= 300,
+        "100 pairs = 300 initializing writes"
+    );
     assert_eq!(sink.by_context(Context::Collector), 0);
 }
 
@@ -324,7 +366,10 @@ fn collector_trace_attribution() {
     let mut m = Machine::new(CheneyCollector::new(1 << 20), RefCounter::new());
     m.run_program(CHURN).unwrap();
     let sink = m.sink();
-    assert!(sink.by_context(Context::Collector) > 0, "GC refs attributed to collector");
+    assert!(
+        sink.by_context(Context::Collector) > 0,
+        "GC refs attributed to collector"
+    );
     assert!(sink.by_context(Context::Mutator) > sink.by_context(Context::Collector));
 }
 
@@ -332,10 +377,8 @@ fn collector_trace_attribution() {
 fn instruction_to_reference_ratio_is_plausible() {
     // The paper's programs make ~0.26-0.3 data references per instruction.
     let mut m = Machine::new(NoCollector::new(), RefCounter::new());
-    m.run_program(
-        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 18)",
-    )
-    .unwrap();
+    m.run_program("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 18)")
+        .unwrap();
     let refs = m.sink().total() as f64;
     let insns = m.counters().program() as f64;
     let ratio = refs / insns;
@@ -352,7 +395,9 @@ fn stack_overflow_is_detected() {
 #[test]
 fn out_of_memory_reported_with_tiny_cheney_heap() {
     let mut m = Machine::new(CheneyCollector::new(4096), NullSink);
-    let r = m.run_program("(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (build 10000)");
+    let r = m.run_program(
+        "(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (build 10000)",
+    );
     assert!(matches!(r, Err(VmError::OutOfMemory(_))), "{r:?}");
 }
 
@@ -382,25 +427,34 @@ fn closures_created_during_gc_pressure() {
           acc
           (loop (+ r 1) (+ acc (sum-apply (make-adders 20) 1)))))";
     let expect = eval(src);
-    assert_eq!(eval_gc(src, 1 << 14), expect, "tiny semispaces force GC mid-build");
+    assert_eq!(
+        eval_gc(src, 1 << 14),
+        expect,
+        "tiny semispaces force GC mid-build"
+    );
 }
 
 #[test]
 fn deep_nesting_of_binding_forms() {
     assert_eq!(
-        eval("(let ((a 1))
+        eval(
+            "(let ((a 1))
                 (let ((b (+ a 1)))
                   (letrec ((f (lambda (n) (if (zero? n) b (g (- n 1)))))
                            (g (lambda (n) (f n))))
                     (let* ((c (f 10)) (d (+ c a)))
-                      (list a b c d)))))"),
+                      (list a b c d)))))"
+        ),
         "(1 2 2 3)"
     );
 }
 
 #[test]
 fn global_redefinition_takes_effect() {
-    assert_eq!(eval("(define x 1) (define (get) x) (define x 2) (get)"), "2");
+    assert_eq!(
+        eval("(define x 1) (define (get) x) (define x 2) (get)"),
+        "2"
+    );
     assert_eq!(eval("(define (f) 1) (define (f) 2) (f)"), "2");
 }
 
@@ -421,7 +475,11 @@ fn numeric_edge_cases() {
 fn symbols_and_strings() {
     assert_eq!(eval("(symbol->string 'hello)"), "hello");
     assert_eq!(eval("(string-length \"hello\")"), "5");
-    assert_eq!(eval("(eq? (symbol->string 'a) (symbol->string 'a))"), "#t", "interned");
+    assert_eq!(
+        eval("(eq? (symbol->string 'a) (symbol->string 'a))"),
+        "#t",
+        "interned"
+    );
 }
 
 #[test]

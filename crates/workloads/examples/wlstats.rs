@@ -9,7 +9,10 @@ use cachegc_workloads::Workload;
 fn main() {
     for w in Workload::ALL {
         let t = std::time::Instant::now();
-        let out = w.scaled(1).run(NoCollector::new(), RefCounter::new()).unwrap();
+        let out = w
+            .scaled(1)
+            .run(NoCollector::new(), RefCounter::new())
+            .unwrap();
         let refs = out.sink.total();
         let insns = out.stats.instructions.program();
         println!(

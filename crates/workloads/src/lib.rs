@@ -94,13 +94,19 @@ impl Workload {
 
     /// Pair this workload with a scale.
     pub fn scaled(self, scale: u32) -> WorkloadInstance {
-        WorkloadInstance { workload: self, scale }
+        WorkloadInstance {
+            workload: self,
+            scale,
+        }
     }
 
     /// Source line count of the generated program at scale 1 (the "Lines"
     /// column of the §3 table).
     pub fn lines(self) -> usize {
-        self.source(1).lines().filter(|l| !l.trim().is_empty()).count()
+        self.source(1)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }
 
@@ -136,7 +142,13 @@ impl WorkloadInstance {
         let stats = machine.stats();
         let output = machine.output().to_string();
         let (collector, sink) = machine.into_parts();
-        Ok(RunOutcome { stats, result, output, collector, sink })
+        Ok(RunOutcome {
+            stats,
+            result,
+            output,
+            collector,
+            sink,
+        })
     }
 }
 
@@ -185,9 +197,18 @@ mod tests {
                 .scaled(1)
                 .run(NoCollector::new(), RefCounter::new())
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-            assert!(out.sink.total() > 100_000, "{}: {} refs", w.name(), out.sink.total());
+            assert!(
+                out.sink.total() > 100_000,
+                "{}: {} refs",
+                w.name(),
+                out.sink.total()
+            );
             assert!(out.stats.instructions.program() > out.sink.total());
-            assert!(out.stats.allocated_bytes > 100_000, "{} allocates", w.name());
+            assert!(
+                out.stats.allocated_bytes > 100_000,
+                "{} allocates",
+                w.name()
+            );
         }
     }
 }

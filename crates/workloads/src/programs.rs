@@ -8,11 +8,16 @@ struct Lcg(u64);
 
 impl Lcg {
     fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+        Lcg(seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
     }
 
     fn next(&mut self) -> u32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) as u32
     }
 
@@ -36,7 +41,7 @@ fn gen_expr(rng: &mut Lcg, depth: u32, vars: &mut Vec<String>) -> String {
         };
     }
     match rng.below(8) {
-        0 | 1 | 2 => {
+        0..=2 => {
             let op = ["f", "g", "h"][rng.below(3) as usize];
             format!(
                 "({op} {} {})",
@@ -583,7 +588,11 @@ fn gen_poly(rng: &mut Lcg, depth: u32) -> String {
         };
     }
     let op = ["+", "*", "-"][rng.below(3) as usize];
-    format!("({op} {} {})", gen_poly(rng, depth - 1), gen_poly(rng, depth - 1))
+    format!(
+        "({op} {} {})",
+        gen_poly(rng, depth - 1),
+        gen_poly(rng, depth - 1)
+    )
 }
 
 /// The gambit analog: a pattern-matching source-to-source optimizer. It

@@ -53,7 +53,11 @@ pub fn busy_blocks<S: TraceSink>(sink: &mut S, objects: u32, busy: u32, refs_per
         for b in 0..refs_per_busy {
             let which = (i + b) % busy;
             // Half the busy blocks model the stack, half the static area.
-            let base = if which % 2 == 0 { STACK_BASE } else { STATIC_BASE };
+            let base = if which.is_multiple_of(2) {
+                STACK_BASE
+            } else {
+                STATIC_BASE
+            };
             sink.access(Access::read(base + 64 * (which / 2), M));
             sink.access(Access::write(base + 64 * (which / 2), M));
         }

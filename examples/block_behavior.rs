@@ -14,39 +14,84 @@ use cachegc::workloads::Workload;
 
 fn main() {
     let workload = Workload::Compile.scaled(1);
-    println!("workload: {} (the {} analog)", workload.workload.name(), workload.workload.paper_analog());
+    println!(
+        "workload: {} (the {} analog)",
+        workload.workload.name(),
+        workload.workload.paper_analog()
+    );
 
     // One pass feeds both a block tracker and a 64 KB cache.
-    let sinks = (BlockTracker::new(64 << 10, 64), Cache::new(CacheConfig::direct_mapped(64 << 10, 64)));
+    let sinks = (
+        BlockTracker::new(64 << 10, 64),
+        Cache::new(CacheConfig::direct_mapped(64 << 10, 64)),
+    );
     let out = workload.run(NoCollector::new(), sinks).expect("runs");
     let (tracker, cache) = out.sink;
     let report = tracker.finish();
 
     println!("\nblock populations (64-byte blocks):");
-    println!("  dynamic {}  static {}  stack {}", report.dynamic_blocks, report.static_blocks, report.stack_blocks);
+    println!(
+        "  dynamic {}  static {}  stack {}",
+        report.dynamic_blocks, report.static_blocks, report.stack_blocks
+    );
     println!("\ndynamic-block lifetimes (cumulative):");
     for p in [12u32, 16, 20, 24] {
-        println!("  <= 2^{p:<2} references: {:>5.1}%", 100.0 * report.lifetime_cdf(1 << p));
+        println!(
+            "  <= 2^{p:<2} references: {:>5.1}%",
+            100.0 * report.lifetime_cdf(1 << p)
+        );
     }
-    println!("  one-cycle in a 64k cache: {:.1}%", 100.0 * report.one_cycle_fraction());
-    println!("  multi-cycle blocks active in <=4 cycles: {:.1}%", 100.0 * report.multi_cycle_active_le(4));
-    println!("  median references per dynamic block: {}", report.median_dynamic_refs());
+    println!(
+        "  one-cycle in a 64k cache: {:.1}%",
+        100.0 * report.one_cycle_fraction()
+    );
+    println!(
+        "  multi-cycle blocks active in <=4 cycles: {:.1}%",
+        100.0 * report.multi_cycle_active_le(4)
+    );
+    println!(
+        "  median references per dynamic block: {}",
+        report.median_dynamic_refs()
+    );
 
-    println!("\nbusy blocks (>= 1/1000 of references): {}", report.busy.len());
+    println!(
+        "\nbusy blocks (>= 1/1000 of references): {}",
+        report.busy.len()
+    );
     for b in report.busy.iter().take(8) {
         let region = match b.region {
             Region::Static => "static",
             Region::Stack => "stack",
             Region::Dynamic => "dynamic",
         };
-        println!("  {:#010x} [{region:7}] {:>9} refs ({:.2}% of all)", b.addr, b.refs, 100.0 * b.refs as f64 / report.total_refs as f64);
+        println!(
+            "  {:#010x} [{region:7}] {:>9} refs ({:.2}% of all)",
+            b.addr,
+            b.refs,
+            100.0 * b.refs as f64 / report.total_refs as f64
+        );
     }
-    println!("  busy blocks together: {:.1}% of all references", 100.0 * report.busy_refs_fraction());
+    println!(
+        "  busy blocks together: {:.1}% of all references",
+        100.0 * report.busy_refs_fraction()
+    );
 
     let act = activity(cache.stats());
     println!("\ncache activity @ 64k/64b:");
-    println!("  global miss ratio (excl. allocation misses): {:.4}", act.global_miss_ratio);
-    println!("  worst-case hot blocks (local ratio > 0.25): {}", act.worst_case_blocks(0.25));
-    println!("  best-case hot blocks (local ratio < 0.01):  {}", act.best_case_blocks(0.01));
-    println!("  largest cumulative-curve jump (thrash signature): {:.4}", act.max_cum_jump());
+    println!(
+        "  global miss ratio (excl. allocation misses): {:.4}",
+        act.global_miss_ratio
+    );
+    println!(
+        "  worst-case hot blocks (local ratio > 0.25): {}",
+        act.worst_case_blocks(0.25)
+    );
+    println!(
+        "  best-case hot blocks (local ratio < 0.01):  {}",
+        act.best_case_blocks(0.01)
+    );
+    println!(
+        "  largest cumulative-curve jump (thrash signature): {:.4}",
+        act.max_cum_jump()
+    );
 }

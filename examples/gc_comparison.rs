@@ -16,16 +16,28 @@ fn main() {
     cfg.cache_sizes = vec![64 << 10, 1 << 20];
     let workload = Workload::Compile.scaled(scale);
 
-    println!("workload: {} (the {} analog), scale {scale}", workload.workload.name(), workload.workload.paper_analog());
+    println!(
+        "workload: {} (the {} analog), scale {scale}",
+        workload.workload.name(),
+        workload.workload.paper_analog()
+    );
     println!(
         "{:18} {:>6} {:>12} {:>11} {:>11} {:>11} {:>11}",
         "collector", "GCs", "copied (b)", "64k slow", "64k fast", "1m slow", "1m fast"
     );
 
     let specs = [
-        CollectorSpec::Cheney { semispace_bytes: 2 << 20 },
-        CollectorSpec::Generational { nursery_bytes: 2 << 20, old_bytes: 16 << 20 },
-        CollectorSpec::Generational { nursery_bytes: 64 << 10, old_bytes: 16 << 20 },
+        CollectorSpec::Cheney {
+            semispace_bytes: 2 << 20,
+        },
+        CollectorSpec::Generational {
+            nursery_bytes: 2 << 20,
+            old_bytes: 16 << 20,
+        },
+        CollectorSpec::Generational {
+            nursery_bytes: 64 << 10,
+            old_bytes: 16 << 20,
+        },
     ];
     for spec in specs {
         let cmp = GcComparison::run(workload, &cfg, spec).expect("runs");

@@ -49,19 +49,37 @@ fn report<C: Collector>(mut machine: Machine<C, Fanout<Cache>>, src: &str) -> Ex
     }
     println!("result:       {result}");
     let stats = machine.stats();
-    println!("instructions: {} (I_gc {}, ΔI_prog {})",
-        stats.instructions.program(), stats.instructions.collector(), stats.instructions.gc_induced());
+    println!(
+        "instructions: {} (I_gc {}, ΔI_prog {})",
+        stats.instructions.program(),
+        stats.instructions.collector(),
+        stats.instructions.gc_induced()
+    );
     println!("allocated:    {} bytes", stats.allocated_bytes);
-    println!("collections:  {} ({} minor, {} major), {} bytes copied",
-        stats.gc.collections, stats.gc.minor_collections, stats.gc.major_collections, stats.gc.bytes_copied);
+    println!(
+        "collections:  {} ({} minor, {} major), {} bytes copied",
+        stats.gc.collections,
+        stats.gc.minor_collections,
+        stats.gc.major_collections,
+        stats.gc.bytes_copied
+    );
     println!("\ncache overheads (64-byte blocks, write-validate):");
     let mem = MainMemory::przybylski();
     for cache in machine.sink().sinks() {
         let s = cache.stats();
-        print!("  {:>8}: {:>10} refs, {:>8} fetches", cache.config().to_string(), s.refs(), s.fetches());
+        print!(
+            "  {:>8}: {:>10} refs, {:>8} fetches",
+            cache.config().to_string(),
+            s.refs(),
+            s.fetches()
+        );
         for cpu in [&SLOW, &FAST] {
             let p = miss_penalty_cycles(&mem, cpu, 64);
-            print!("  {}={:.2}%", cpu.name, 100.0 * (s.fetches() * p) as f64 / stats.instructions.program() as f64);
+            print!(
+                "  {}={:.2}%",
+                cpu.name,
+                100.0 * (s.fetches() * p) as f64 / stats.instructions.program() as f64
+            );
         }
         println!();
     }
@@ -96,7 +114,10 @@ fn main() -> ExitCode {
         let (n, o) = rest.split_once('+')?;
         Some((parse_bytes(n)?, parse_bytes(o)?))
     }) {
-        report(Machine::new(GenerationalCollector::new(n, o), caches()), &src)
+        report(
+            Machine::new(GenerationalCollector::new(n, o), caches()),
+            &src,
+        )
     } else {
         eprintln!("bad --gc spec {gc_spec:?}: use none, cheney:<size>, or gen:<nursery>+<old>");
         ExitCode::FAILURE

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+pub mod testkit;
+
 pub use cachegc_analysis as analysis;
 pub use cachegc_core as core;
 pub use cachegc_gc as gc;

@@ -1,0 +1,164 @@
+//! Minimal deterministic property-testing support.
+//!
+//! The workspace pins no external registry crates (builds must succeed in
+//! hermetic, offline environments), so this module provides the small slice
+//! of `proptest`/`rand` functionality the test suite actually needs: a fast
+//! seedable PRNG and a driver that runs a property over many generated
+//! cases, reporting the failing case's seed so it can be replayed.
+//!
+//! Everything is deterministic: the same property name always sees the same
+//! sequence of seeds, so failures reproduce without any environment setup.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A SplitMix64 PRNG: tiny, fast, and statistically solid for test-case
+/// generation (it is the seeding generator recommended by the xoshiro
+/// authors). Not for cryptography.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A boolean with probability 1/2.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % u64::from(hi - lo)) as u32
+    }
+
+    /// Uniform in `[lo, hi)` for usize ranges. Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)` for i32 ranges. Panics if the range is empty.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (i64::from(hi) - i64::from(lo)) as u64;
+        (i64::from(lo) + (self.next_u64() % span) as i64) as i32
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+/// Run `property` over `cases` generated cases.
+///
+/// Each case gets an `Rng` seeded from the property `name` and the case
+/// index, so runs are deterministic per property and independent across
+/// properties. On failure the case index and seed are reported; replay with
+/// [`replay`].
+///
+/// # Panics
+///
+/// Re-panics after reporting if any case fails.
+pub fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = seed_for(name, case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} (seed {seed:#x}); \
+                 replay with testkit::replay(\"{name}\", {case}, ..)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-run a single case of a property, by name and case index.
+pub fn replay(name: &str, case: u64, mut property: impl FnMut(&mut Rng)) {
+    let mut rng = Rng::new(seed_for(name, case));
+    property(&mut rng);
+}
+
+/// FNV-1a over the property name, mixed with the case index.
+fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.range_u32(10, 20);
+            assert!((10..20).contains(&v));
+            let w = rng.range_i32(-5, 5);
+            assert!((-5..5).contains(&w));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            // Extreme spans must not overflow the lo + offset arithmetic.
+            rng.range_i32(i32::MIN, i32::MAX);
+            rng.range_u32(0, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut n = 0;
+        check("counts", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_seeds() {
+        assert_ne!(seed_for("a", 0), seed_for("b", 0));
+        assert_ne!(seed_for("a", 0), seed_for("a", 1));
+    }
+}

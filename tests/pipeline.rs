@@ -72,8 +72,13 @@ fn one_cycle_blocks_dominate_every_workload() {
 fn collected_results_equal_uncollected_results() {
     let cfg = ExperimentConfig::quick();
     for w in [Workload::Compile, Workload::Lambda] {
-        let base = w.scaled(1).run(NoCollector::new(), cachegc::trace::NullSink).unwrap();
-        let spec = CollectorSpec::Cheney { semispace_bytes: 2 << 20 };
+        let base = w
+            .scaled(1)
+            .run(NoCollector::new(), cachegc::trace::NullSink)
+            .unwrap();
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 2 << 20,
+        };
         let coll = run_collected(w.scaled(1), &cfg, spec).unwrap();
         // Same program, (almost) the same instruction count — hash-chain
         // lengths can shift slightly after a rehash — and the same answer.
@@ -93,7 +98,9 @@ fn collected_results_equal_uncollected_results() {
 #[test]
 fn gc_attribution_is_consistent() {
     let cfg = ExperimentConfig::quick();
-    let spec = CollectorSpec::Cheney { semispace_bytes: 1 << 20 };
+    let spec = CollectorSpec::Cheney {
+        semispace_bytes: 1 << 20,
+    };
     let cmp = GcComparison::run(Workload::Compile.scaled(1), &cfg, spec).unwrap();
     assert!(cmp.collected.gc.collections > 0);
     for cell in &cmp.collected.cells {
@@ -111,11 +118,21 @@ fn generational_beats_cheney_on_growing_live_data() {
     let mut cfg = ExperimentConfig::quick();
     cfg.cache_sizes = vec![64 << 10];
     let w = Workload::Lambda.scaled(1);
-    let cheney = GcComparison::run(w, &cfg, CollectorSpec::Cheney { semispace_bytes: 1 << 20 }).unwrap();
+    let cheney = GcComparison::run(
+        w,
+        &cfg,
+        CollectorSpec::Cheney {
+            semispace_bytes: 1 << 20,
+        },
+    )
+    .unwrap();
     let gen = GcComparison::run(
         w,
         &cfg,
-        CollectorSpec::Generational { nursery_bytes: 1 << 20, old_bytes: 16 << 20 },
+        CollectorSpec::Generational {
+            nursery_bytes: 1 << 20,
+            old_bytes: 16 << 20,
+        },
     )
     .unwrap();
     assert!(
@@ -132,8 +149,24 @@ fn aggressive_nursery_promotes_more_than_infrequent() {
     let mut cfg = ExperimentConfig::quick();
     cfg.cache_sizes = vec![64 << 10];
     let w = Workload::Compile.scaled(1);
-    let small = run_collected(w, &cfg, CollectorSpec::Generational { nursery_bytes: 64 << 10, old_bytes: 16 << 20 }).unwrap();
-    let large = run_collected(w, &cfg, CollectorSpec::Generational { nursery_bytes: 2 << 20, old_bytes: 16 << 20 }).unwrap();
+    let small = run_collected(
+        w,
+        &cfg,
+        CollectorSpec::Generational {
+            nursery_bytes: 64 << 10,
+            old_bytes: 16 << 20,
+        },
+    )
+    .unwrap();
+    let large = run_collected(
+        w,
+        &cfg,
+        CollectorSpec::Generational {
+            nursery_bytes: 2 << 20,
+            old_bytes: 16 << 20,
+        },
+    )
+    .unwrap();
     assert!(small.gc.minor_collections > 4 * large.gc.minor_collections.max(1));
     assert!(small.gc.bytes_promoted > large.gc.bytes_promoted);
 }
@@ -141,7 +174,10 @@ fn aggressive_nursery_promotes_more_than_infrequent() {
 #[test]
 fn sweep_plot_shows_the_allocation_wave() {
     let plot = SweepPlot::new(CacheConfig::direct_mapped(64 << 10, 64), 1024);
-    let out = Workload::Compile.scaled(1).run(NoCollector::new(), plot).unwrap();
+    let out = Workload::Compile
+        .scaled(1)
+        .run(NoCollector::new(), plot)
+        .unwrap();
     let plot = out.sink;
     assert!(plot.width() > 100, "plot has time extent");
     // The wave is sparse: misses concentrate on the advancing front, not
@@ -155,9 +191,16 @@ fn cache_activity_best_cases_prevail() {
     // §7: the most-referenced cache blocks end up mostly well-behaved and
     // pull the global miss ratio down below the mid-curve level.
     let cache = cachegc::sim::Cache::new(CacheConfig::direct_mapped(64 << 10, 64));
-    let out = Workload::Compile.scaled(1).run(NoCollector::new(), cache).unwrap();
+    let out = Workload::Compile
+        .scaled(1)
+        .run(NoCollector::new(), cache)
+        .unwrap();
     let act = activity(out.sink.stats());
-    assert!(act.global_miss_ratio < 0.05, "global ratio {}", act.global_miss_ratio);
+    assert!(
+        act.global_miss_ratio < 0.05,
+        "global ratio {}",
+        act.global_miss_ratio
+    );
     assert!(act.best_case_blocks(0.01) > act.worst_case_blocks(0.25));
 }
 
@@ -165,8 +208,15 @@ fn cache_activity_best_cases_prevail() {
 fn instruction_counts_are_in_the_papers_regime() {
     // §3: roughly 0.26-0.29 data references per instruction.
     for w in Workload::ALL {
-        let out = w.scaled(1).run(NoCollector::new(), cachegc::trace::RefCounter::new()).unwrap();
+        let out = w
+            .scaled(1)
+            .run(NoCollector::new(), cachegc::trace::RefCounter::new())
+            .unwrap();
         let ratio = out.sink.total() as f64 / out.stats.instructions.program() as f64;
-        assert!((0.2..0.45).contains(&ratio), "{}: refs/insns = {ratio:.3}", w.name());
+        assert!(
+            (0.2..0.45).contains(&ratio),
+            "{}: refs/insns = {ratio:.3}",
+            w.name()
+        );
     }
 }

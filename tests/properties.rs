@@ -1,13 +1,20 @@
 //! Property-based tests of the core data structures and invariants.
+//!
+//! These use the in-repo [`cachegc::testkit`] driver (a deterministic,
+//! dependency-free replacement for `proptest`: the pinned registry crates
+//! cannot resolve in hermetic builds). Each property runs over many
+//! generated cases; failures report the case seed for replay.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use cachegc::gc::{CheneyCollector, Collector, GenerationalCollector, NoCollector, Roots};
 use cachegc::heap::{Header, Heap, HeapConfig, ObjKind, Value};
 use cachegc::sim::{Cache, CacheConfig, SetAssocCache};
-use cachegc::trace::{Access, AccessKind, Context, Counters, NullSink, TraceSink, DYNAMIC_BASE};
+use cachegc::testkit::{check, Rng};
+use cachegc::trace::{
+    Access, AccessKind, Context, Counters, Fanout, NullSink, ParallelFanout, TraceSink,
+    DYNAMIC_BASE,
+};
 use cachegc::vm::{read, Machine, Sexp};
 
 // ---------------------------------------------------------------------
@@ -27,7 +34,13 @@ struct RefModel {
 
 impl RefModel {
     fn new(size: u32, block: u32) -> Self {
-        RefModel { size, block, blocks: HashMap::new(), fetches: 0, misses: 0 }
+        RefModel {
+            size,
+            block,
+            blocks: HashMap::new(),
+            fetches: 0,
+            misses: 0,
+        }
     }
 
     fn access(&mut self, a: Access) {
@@ -42,7 +55,6 @@ impl RefModel {
                 Some((t, valid)) if *t == tag && valid[word] => {}
                 Some((t, valid)) if *t == tag => {
                     valid.iter_mut().for_each(|v| *v = true);
-                    let _ = valid;
                     self.fetches += 1;
                     self.misses += 1;
                 }
@@ -65,42 +77,42 @@ impl RefModel {
     }
 }
 
-fn access_strategy() -> impl Strategy<Value = Access> {
-    // Addresses in a window that wraps several cache sizes.
-    (0u32..1 << 18, any::<bool>()).prop_map(|(off, write)| {
-        let addr = DYNAMIC_BASE + off * 4;
-        if write {
-            Access::write(addr, Context::Mutator)
-        } else {
-            Access::read(addr, Context::Mutator)
-        }
-    })
+/// An address in a window that wraps several cache sizes, read or write.
+fn gen_access(rng: &mut Rng) -> Access {
+    let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 18) * 4;
+    if rng.bool() {
+        Access::write(addr, Context::Mutator)
+    } else {
+        Access::read(addr, Context::Mutator)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_accesses(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Access> {
+    let n = rng.range_usize(lo, hi);
+    (0..n).map(|_| gen_access(rng)).collect()
+}
 
-    #[test]
-    fn cache_matches_reference_model(
-        accesses in prop::collection::vec(access_strategy(), 1..2000),
-        size_log in 15u32..19,
-        block_log in 4u32..8,
-    ) {
-        let (size, block) = (1 << size_log, 1 << block_log);
+#[test]
+fn cache_matches_reference_model() {
+    check("cache_matches_reference_model", 64, |rng| {
+        let size = 1u32 << rng.range_u32(15, 19);
+        let block = 1u32 << rng.range_u32(4, 8);
+        let accesses = gen_accesses(rng, 1, 2000);
         let mut cache = Cache::new(CacheConfig::direct_mapped(size, block));
         let mut model = RefModel::new(size, block);
         for &a in &accesses {
             cache.access(a);
             model.access(a);
         }
-        prop_assert_eq!(cache.stats().fetches(), model.fetches);
-        prop_assert_eq!(cache.stats().misses(), model.misses);
-    }
+        assert_eq!(cache.stats().fetches(), model.fetches);
+        assert_eq!(cache.stats().misses(), model.misses);
+    });
+}
 
-    #[test]
-    fn one_way_set_assoc_equals_direct_mapped(
-        accesses in prop::collection::vec(access_strategy(), 1..1500),
-    ) {
+#[test]
+fn one_way_set_assoc_equals_direct_mapped() {
+    check("one_way_set_assoc_equals_direct_mapped", 48, |rng| {
+        let accesses = gen_accesses(rng, 1, 1500);
         let cfg = CacheConfig::direct_mapped(1 << 16, 64);
         let mut dm = Cache::new(cfg);
         let mut sa = SetAssocCache::new(cfg.with_assoc(1));
@@ -108,17 +120,18 @@ proptest! {
             dm.access(a);
             sa.access(a);
         }
-        prop_assert_eq!(dm.stats().fetches(), sa.stats().fetches());
-        prop_assert_eq!(dm.stats().misses(), sa.stats().misses());
-        prop_assert_eq!(dm.stats().writebacks(), sa.stats().writebacks());
-    }
+        assert_eq!(dm.stats().fetches(), sa.stats().fetches());
+        assert_eq!(dm.stats().misses(), sa.stats().misses());
+        assert_eq!(dm.stats().writebacks(), sa.stats().writebacks());
+    });
+}
 
-    #[test]
-    fn higher_associativity_never_increases_capacity_misses_for_sequential(
-        n in 1u32..512,
-    ) {
-        // Sequential sweeps are LRU-friendly: 2-way must not fetch more
-        // than 1-way on a repeated linear scan that fits in the cache.
+#[test]
+fn higher_associativity_never_increases_capacity_misses_for_sequential() {
+    // Sequential sweeps are LRU-friendly: 2-way must not fetch more
+    // than 1-way on a repeated linear scan that fits in the cache.
+    check("higher_assoc_sequential", 32, |rng| {
+        let n = rng.range_u32(1, 512);
         let cfg = CacheConfig::direct_mapped(1 << 16, 64);
         let mut one = SetAssocCache::new(cfg.with_assoc(1));
         let mut two = SetAssocCache::new(cfg.with_assoc(2));
@@ -129,7 +142,96 @@ proptest! {
                 two.access(a);
             }
         }
-        prop_assert!(two.stats().fetches() <= one.stats().fetches());
+        assert!(two.stats().fetches() <= one.stats().fetches());
+    });
+}
+
+// ---------------------------------------------------------------------
+// ParallelFanout is bit-identical to sequential Fanout
+// ---------------------------------------------------------------------
+
+/// The paper-style grid at test scale: several sizes × block sizes.
+fn small_grid() -> Vec<Cache> {
+    let mut caches = Vec::new();
+    for size in [1u32 << 15, 1 << 16, 1 << 18] {
+        for block in [16u32, 64, 256] {
+            caches.push(Cache::new(CacheConfig::direct_mapped(size, block)));
+        }
+    }
+    caches
+}
+
+fn assert_cells_identical(seq: Vec<Cache>, par: Vec<Cache>) {
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.into_iter().zip(par) {
+        assert_eq!(s.config(), p.config(), "grid order preserved");
+        let (s, p) = (s.into_stats(), p.into_stats());
+        assert_eq!(s.fetches(), p.fetches());
+        assert_eq!(s.misses(), p.misses());
+        assert_eq!(s.writebacks(), p.writebacks());
+        assert_eq!(s.blocks(), p.blocks(), "per-block counters identical");
+        assert_eq!(s, p, "full statistics bit-identical");
+    }
+}
+
+#[test]
+fn parallel_fanout_matches_sequential_fanout() {
+    check("parallel_fanout_equivalence", 48, |rng| {
+        // Mixed contexts and alloc-writes, random jobs and chunk size, so
+        // chunk boundaries land everywhere relative to the stream length.
+        let jobs = rng.range_usize(1, 9);
+        let chunk = rng.range_usize(1, 300);
+        let n = rng.range_usize(0, 4000);
+        let mut seq = Fanout::new(small_grid());
+        let mut par = ParallelFanout::with_chunk(small_grid(), jobs, chunk);
+        for _ in 0..n {
+            let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 16) * 4;
+            let ctx = if rng.bool() {
+                Context::Mutator
+            } else {
+                Context::Collector
+            };
+            let a = match rng.range_u32(0, 3) {
+                0 => Access::read(addr, ctx),
+                1 => Access::write(addr, ctx),
+                _ => Access::alloc_write(addr, ctx),
+            };
+            seq.access(a);
+            par.access(a);
+        }
+        assert_cells_identical(seq.into_sinks(), par.into_sinks());
+    });
+}
+
+#[test]
+fn parallel_fanout_chunk_boundary_edges() {
+    // Deterministic boundary cases: empty stream, shorter than one chunk,
+    // exactly one chunk, exact multiples, one over a multiple.
+    const CHUNK: usize = 64;
+    for n in [
+        0usize,
+        1,
+        CHUNK - 1,
+        CHUNK,
+        CHUNK + 1,
+        3 * CHUNK,
+        3 * CHUNK + 1,
+    ] {
+        for jobs in [1usize, 2, 5] {
+            let mut seq = Fanout::new(small_grid());
+            let mut par = ParallelFanout::with_chunk(small_grid(), jobs, CHUNK);
+            for i in 0..n as u32 {
+                // A stride pattern with conflicts and write-backs.
+                let a = if i % 4 == 0 {
+                    Access::write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
+                } else {
+                    Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
+                };
+                seq.access(a);
+                par.access(a);
+            }
+            assert_cells_identical(seq.into_sinks(), par.into_sinks());
+        }
     }
 }
 
@@ -137,61 +239,69 @@ proptest! {
 // Tagged values and headers
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn fixnum_roundtrip(n in -(1i32 << 29)..(1i32 << 29)) {
-        prop_assert_eq!(Value::fixnum(n).as_fixnum(), n);
-    }
+#[test]
+fn fixnum_roundtrip() {
+    check("fixnum_roundtrip", 256, |rng| {
+        let n = rng.range_i32(-(1 << 29), 1 << 29);
+        assert_eq!(Value::fixnum(n).as_fixnum(), n);
+    });
+}
 
-    #[test]
-    fn pointer_roundtrip(addr in (DYNAMIC_BASE / 4..0x4000_0000u32 / 4).prop_map(|w| w * 4)) {
+#[test]
+fn pointer_roundtrip() {
+    check("pointer_roundtrip", 256, |rng| {
+        let addr = rng.range_u32(DYNAMIC_BASE / 4, 0x4000_0000 / 4) * 4;
         let v = Value::ptr(addr);
-        prop_assert!(v.is_ptr() && !v.is_fixnum());
-        prop_assert_eq!(v.addr(), addr);
-    }
+        assert!(v.is_ptr() && !v.is_fixnum());
+        assert_eq!(v.addr(), addr);
+    });
+}
 
-    #[test]
-    fn header_roundtrip(len in 0u32..Header::MAX_LEN, kind_idx in 0usize..8) {
-        let kind = ObjKind::ALL[kind_idx];
+#[test]
+fn header_roundtrip() {
+    check("header_roundtrip", 256, |rng| {
+        let len = rng.range_u32(0, Header::MAX_LEN);
+        let kind = *rng.choose(&ObjKind::ALL);
         let h = Header::from_bits(Header::new(kind, len).bits());
-        prop_assert_eq!(h.kind(), kind);
-        prop_assert_eq!(h.len(), len);
+        assert_eq!(h.kind(), kind);
+        assert_eq!(h.len(), len);
         // Headers are never valid first-class values.
         let v = Value::from_bits(h.bits());
-        prop_assert!(!v.is_ptr() && !v.is_fixnum());
-    }
+        assert!(!v.is_ptr() && !v.is_fixnum());
+    });
 }
 
 // ---------------------------------------------------------------------
 // Collectors preserve the reachable graph
 // ---------------------------------------------------------------------
 
-/// Build a random object graph; object i may point at objects j < i.
+/// A random object graph; object i may point at objects j < i.
 #[derive(Debug, Clone)]
 struct GraphSpec {
     nodes: Vec<Vec<Option<usize>>>, // per node: payload slots (None = fixnum)
     roots: Vec<usize>,
 }
 
-fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
-    prop::collection::vec(prop::collection::vec(prop::option::of(any::<prop::sample::Index>()), 1..4), 1..60)
-        .prop_flat_map(|raw| {
-            let n = raw.len();
-            (Just(raw), prop::collection::vec(0..n, 1..4))
-        })
-        .prop_map(|(raw, roots)| {
-            let nodes = raw
-                .iter()
-                .enumerate()
-                .map(|(i, slots)| {
-                    slots
-                        .iter()
-                        .map(|s| s.as_ref().and_then(|idx| if i == 0 { None } else { Some(idx.index(i)) }))
-                        .collect()
+fn gen_graph(rng: &mut Rng) -> GraphSpec {
+    let n = rng.range_usize(1, 60);
+    let nodes = (0..n)
+        .map(|i| {
+            let slots = rng.range_usize(1, 4);
+            (0..slots)
+                .map(|_| {
+                    if i > 0 && rng.bool() {
+                        Some(rng.range_usize(0, i))
+                    } else {
+                        None
+                    }
                 })
-                .collect();
-            GraphSpec { nodes, roots }
+                .collect()
         })
+        .collect();
+    let roots = (0..rng.range_usize(1, 4))
+        .map(|_| rng.range_usize(0, n))
+        .collect();
+    GraphSpec { nodes, roots }
 }
 
 fn build_graph(heap: &mut Heap, spec: &GraphSpec) -> Vec<Value> {
@@ -205,7 +315,9 @@ fn build_graph(heap: &mut Heap, spec: &GraphSpec) -> Vec<Value> {
                 None => Value::fixnum(i as i32),
             })
             .collect();
-        let obj = heap.alloc(ObjKind::Vector, &payload, Context::Mutator, &mut sink).unwrap();
+        let obj = heap
+            .alloc(ObjKind::Vector, &payload, Context::Mutator, &mut sink)
+            .unwrap();
         objs.push(obj);
     }
     spec.roots.iter().map(|&r| objs[r]).collect()
@@ -229,7 +341,12 @@ fn fingerprint(heap: &Heap, roots: &[Value]) -> Vec<i64> {
         let h = Header::from_bits(heap.peek(addr));
         out.push(-1 - h.len() as i64);
         for i in 0..h.len() {
-            go(heap, Value::from_bits(heap.peek(addr + 4 + 4 * i)), seen, out);
+            go(
+                heap,
+                Value::from_bits(heap.peek(addr + 4 + 4 * i)),
+                seen,
+                out,
+            );
         }
     }
     let mut seen = HashMap::new();
@@ -240,11 +357,10 @@ fn fingerprint(heap: &Heap, roots: &[Value]) -> Vec<i64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cheney_preserves_reachable_graph(spec in graph_strategy()) {
+#[test]
+fn cheney_preserves_reachable_graph() {
+    check("cheney_preserves_reachable_graph", 64, |rng| {
+        let spec = gen_graph(rng);
         let mut heap = Heap::new(HeapConfig::semispaces(1 << 20));
         let mut gc = CheneyCollector::new(1 << 20);
         gc.install(&mut heap);
@@ -253,19 +369,22 @@ proptest! {
         let mut roots = Roots::registers_only(&mut roots_v);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
         let after = fingerprint(&heap, &roots_v);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
         // Compaction: everything live is packed at the bottom; a second
         // collection copies exactly the same number of bytes.
         let live = heap.dynamic_used();
         let copied_once = gc.stats().bytes_copied;
         let mut roots = Roots::registers_only(&mut roots_v);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
-        prop_assert_eq!(heap.dynamic_used(), live);
-        prop_assert_eq!(gc.stats().bytes_copied - copied_once, live as u64);
-    }
+        assert_eq!(heap.dynamic_used(), live);
+        assert_eq!(gc.stats().bytes_copied - copied_once, live as u64);
+    });
+}
 
-    #[test]
-    fn generational_preserves_reachable_graph(spec in graph_strategy()) {
+#[test]
+fn generational_preserves_reachable_graph() {
+    check("generational_preserves_reachable_graph", 64, |rng| {
+        let spec = gen_graph(rng);
         let mut heap = Heap::new(HeapConfig::unbounded());
         let mut gc = GenerationalCollector::new(1 << 16, 1 << 20);
         gc.install(&mut heap);
@@ -273,39 +392,76 @@ proptest! {
         let before = fingerprint(&heap, &roots_v);
         let mut roots = Roots::registers_only(&mut roots_v);
         gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut NullSink);
-        prop_assert_eq!(before, fingerprint(&heap, &roots_v));
-    }
+        assert_eq!(before, fingerprint(&heap, &roots_v));
+    });
+}
 
-    #[test]
-    fn allocation_is_contiguous(sizes in prop::collection::vec(0u32..20, 1..50)) {
+#[test]
+fn allocation_is_contiguous() {
+    check("allocation_is_contiguous", 64, |rng| {
+        let sizes: Vec<u32> = (0..rng.range_usize(1, 50))
+            .map(|_| rng.range_u32(0, 20))
+            .collect();
         let mut heap = Heap::new(HeapConfig::unbounded());
         let mut sink = NullSink;
         let mut expected = DYNAMIC_BASE;
         for len in sizes {
-            let v = heap.alloc_vector(len, Value::nil(), Context::Mutator, &mut sink).unwrap();
-            prop_assert_eq!(v.addr(), expected);
+            let v = heap
+                .alloc_vector(len, Value::nil(), Context::Mutator, &mut sink)
+                .unwrap();
+            assert_eq!(v.addr(), expected);
             expected += 4 * (len + 1);
         }
-        prop_assert_eq!(heap.dynamic_used(), expected - DYNAMIC_BASE);
-    }
+        assert_eq!(heap.dynamic_used(), expected - DYNAMIC_BASE);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Reader / printer and the VM against Rust arithmetic
 // ---------------------------------------------------------------------
 
-fn sexp_strategy() -> impl Strategy<Value = Sexp> {
-    let leaf = prop_oneof![
-        "[a-z][a-z0-9-]{0,8}".prop_map(Sexp::Sym),
-        any::<i32>().prop_map(|n| Sexp::Int(n as i64)),
-        (-1e9f64..1e9).prop_map(Sexp::Float),
-        "[a-zA-Z0-9 ]{0,10}".prop_map(Sexp::Str),
-        prop::char::range('a', 'z').prop_map(Sexp::Char),
-        any::<bool>().prop_map(Sexp::Bool),
-    ];
-    leaf.prop_recursive(4, 64, 6, |inner| {
-        prop::collection::vec(inner, 0..6).prop_map(Sexp::List)
-    })
+fn gen_symbol(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST) as char);
+    for _ in 0..rng.range_usize(0, 9) {
+        s.push(*rng.choose(REST) as char);
+    }
+    s
+}
+
+fn gen_string(rng: &mut Rng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    (0..rng.range_usize(0, 11))
+        .map(|_| *rng.choose(CHARS) as char)
+        .collect()
+}
+
+fn gen_sexp(rng: &mut Rng, depth: usize) -> Sexp {
+    if depth > 0 && rng.range_u32(0, 3) == 0 {
+        let n = rng.range_usize(0, 6);
+        return Sexp::List((0..n).map(|_| gen_sexp(rng, depth - 1)).collect());
+    }
+    match rng.range_u32(0, 6) {
+        0 => Sexp::Sym(gen_symbol(rng)),
+        1 => Sexp::Int(rng.range_i32(i32::MIN, i32::MAX) as i64),
+        2 => Sexp::Float(rng.range_f64(-1e9, 1e9)),
+        3 => Sexp::Str(gen_string(rng)),
+        4 => Sexp::Char((b'a' + rng.range_u32(0, 26) as u8) as char),
+        _ => Sexp::Bool(rng.bool()),
+    }
+}
+
+#[test]
+fn reader_printer_roundtrip() {
+    check("reader_printer_roundtrip", 64, |rng| {
+        let sexp = gen_sexp(rng, 4);
+        let printed = sexp.to_string();
+        let reread = read(&printed).unwrap();
+        assert_eq!(reread.len(), 1, "{printed}");
+        assert_eq!(&reread[0], &sexp, "{printed}");
+    });
 }
 
 #[derive(Debug, Clone)]
@@ -336,52 +492,52 @@ impl Arith {
     }
 }
 
-fn arith_strategy() -> impl Strategy<Value = Arith> {
-    let leaf = (-50i32..50).prop_map(Arith::Lit);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_arith(rng: &mut Rng, depth: usize) -> Arith {
+    if depth == 0 || rng.range_u32(0, 3) == 0 {
+        return Arith::Lit(rng.range_i32(-50, 50));
+    }
+    let a = Box::new(gen_arith(rng, depth - 1));
+    let b = Box::new(gen_arith(rng, depth - 1));
+    match rng.range_u32(0, 3) {
+        0 => Arith::Add(a, b),
+        1 => Arith::Sub(a, b),
+        _ => Arith::Mul(a, b),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reader_printer_roundtrip(sexp in sexp_strategy()) {
-        let printed = sexp.to_string();
-        let reread = read(&printed).unwrap();
-        prop_assert_eq!(reread.len(), 1, "{}", printed);
-        prop_assert_eq!(&reread[0], &sexp, "{}", printed);
-    }
-
-    #[test]
-    fn vm_arithmetic_matches_rust(expr in arith_strategy()) {
+#[test]
+fn vm_arithmetic_matches_rust() {
+    check("vm_arithmetic_matches_rust", 48, |rng| {
+        let expr = gen_arith(rng, 4);
         let expected = expr.eval();
-        prop_assume!(expected.abs() < (1 << 29)); // stay in fixnum range
+        if expected.abs() >= 1 << 29 {
+            return; // stay in fixnum range
+        }
         let mut m = Machine::new(NoCollector::new(), NullSink);
         let v = m.run_program(&expr.to_scheme()).unwrap();
-        prop_assert_eq!(v.as_fixnum() as i64, expected);
-    }
+        assert_eq!(v.as_fixnum() as i64, expected);
+    });
+}
 
-    #[test]
-    fn vm_results_are_gc_invariant(expr in arith_strategy()) {
-        // The same program under a tiny-nursery collector gives the same
-        // answer as without collection.
+#[test]
+fn vm_results_are_gc_invariant() {
+    // The same program under a tiny-nursery collector gives the same
+    // answer as without collection.
+    check("vm_results_are_gc_invariant", 16, |rng| {
+        let expr = gen_arith(rng, 4);
+        if expr.eval().abs() >= 1 << 29 {
+            return;
+        }
         let src = format!(
             "(define (waste n) (if (zero? n) 0 (begin (cons 1 2) (waste (- n 1)))))
              (waste 2000)
              {}",
             expr.to_scheme()
         );
-        prop_assume!(expr.eval().abs() < (1 << 29));
         let mut a = Machine::new(NoCollector::new(), NullSink);
         let va = a.run_program(&src).unwrap();
         let mut b = Machine::new(GenerationalCollector::new(1 << 13, 1 << 20), NullSink);
         let vb = b.run_program(&src).unwrap();
-        prop_assert_eq!(va.as_fixnum(), vb.as_fixnum());
-    }
+        assert_eq!(va.as_fixnum(), vb.as_fixnum());
+    });
 }
