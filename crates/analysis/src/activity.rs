@@ -29,7 +29,7 @@ pub struct ActivityEntry {
 /// The full activity graph: one entry per cache block, in ascending
 /// reference-count order (least-referenced block first, as in the paper's
 /// figures).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Activity {
     /// Entries in ascending reference order.
     pub entries: Vec<ActivityEntry>,

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use cachegc_trace::{Access, Region, TraceSink};
 
 /// Per-memory-block record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BlockInfo {
     first: u64,
     last: u64,
@@ -24,7 +24,7 @@ struct BlockInfo {
 /// the cache block it maps to. A dynamic block whose whole lifetime falls
 /// inside its initial cycle is a *one-cycle block* — it is allocated,
 /// lives, and dies entirely in the cache (§7).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockTracker {
     shift: u32,
     cache_blocks: u64,
@@ -116,7 +116,7 @@ pub struct BusyBlock {
 }
 
 /// The finished §7 behavioral report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockReport {
     /// Total references.
     pub total_refs: u64,

@@ -16,14 +16,21 @@
 //!   curves — the paper's cache-activity graphs.
 //! * [`SweepPlot`] — the time × cache-block miss dot plot showing the
 //!   allocation pointer sweeping the cache diagonally.
+//!
+//! [`ActivityTracker`] packages the activity decomposition as an online
+//! [`cachegc_trace::TraceSink`], and [`Instrument`] closes all of the
+//! above (plus the cache simulators) into one sink type so a heterogeneous
+//! instrument set can share a single — optionally parallel — trace pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod activity;
 mod blocks;
+mod instrument;
 mod sweep;
 
 pub use activity::{activity, Activity, ActivityEntry};
 pub use blocks::{BlockReport, BlockTracker, BusyBlock};
+pub use instrument::{ActivityTracker, Instrument};
 pub use sweep::SweepPlot;

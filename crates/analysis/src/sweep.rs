@@ -8,7 +8,7 @@ use cachegc_trace::{Access, TraceSink};
 /// `refs_per_column`-reference interval. Linear allocation shows up as
 /// broken diagonal lines — the allocation pointer sweeping the cache —
 /// and thrashing blocks as horizontal stripes.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepPlot {
     cache: Cache,
     refs_per_column: u64,

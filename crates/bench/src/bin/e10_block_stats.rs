@@ -4,41 +4,71 @@
 //! * most dynamic blocks referenced 32–63 times (64-byte blocks);
 //! * 59–155 busy static blocks (<0.02 % of active blocks) taking ~75 % of
 //!   all references, including the stack and the runtime's hot vector.
+//!
+//! `--jobs N` runs the five programs concurrently; each pass goes through
+//! the experiment engine (`run_sinks`).
 
 use cachegc_analysis::BlockTracker;
-use cachegc_bench::{header, scale_arg};
-use cachegc_gc::NoCollector;
+use cachegc_bench::{header, ExperimentArgs};
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{par_map, run_sinks};
 use cachegc_trace::Region;
 use cachegc_workloads::Workload;
 
 fn main() {
-    let scale = scale_arg(2);
-    header(&format!(
-        "E10: block behavior census, 64k cache / 64b blocks (§7), scale {scale}"
-    ));
-    println!(
-        "{:10} {:>10} {:>12} {:>12} {:>11} {:>11} {:>12}",
-        "program", "med refs", "mc<=4cyc", "busy blocks", "busy stack", "busy stat", "busy refs"
+    let args = ExperimentArgs::parse(
+        "e10_block_stats",
+        "the §7 block-behavior census (64k cache / 64b blocks)",
+        2,
     );
-    for w in Workload::ALL {
+    let scale = args.scale;
+    header(&format!(
+        "E10: block behavior census, 64k cache / 64b blocks (§7), scale {scale}, jobs {}",
+        args.jobs
+    ));
+    let outer = args.jobs.min(Workload::ALL.len());
+    let mut inner = args.engine();
+    inner.jobs = (args.jobs / outer).max(1);
+    let reports = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} ...", w.name());
-        let tracker = BlockTracker::new(64 << 10, 64);
-        let out = w.scaled(scale).run(NoCollector::new(), tracker).unwrap();
-        let r = out.sink.finish();
+        let (_, sinks) = run_sinks(
+            w.scaled(scale),
+            None,
+            vec![BlockTracker::new(64 << 10, 64)],
+            &inner,
+        )
+        .unwrap();
+        sinks.into_iter().next().expect("one tracker").finish()
+    });
+
+    let mut table = Table::new(
+        "census",
+        &[
+            "program",
+            "med_refs",
+            "mc_le4",
+            "busy",
+            "busy_stack",
+            "busy_static",
+            "busy_refs",
+        ],
+    );
+    for (w, r) in Workload::ALL.iter().zip(&reports) {
         let busy_stack = r.busy.iter().filter(|b| b.region == Region::Stack).count();
         let busy_static = r.busy.iter().filter(|b| b.region == Region::Static).count();
-        println!(
-            "{:10} {:>10} {:>11.1}% {:>12} {:>11} {:>11} {:>11.1}%",
-            w.name(),
-            r.median_dynamic_refs(),
-            100.0 * r.multi_cycle_active_le(4),
-            r.busy.len(),
-            busy_stack,
-            busy_static,
-            100.0 * r.busy_refs_fraction(),
-        );
+        table.row(vec![
+            w.name().into(),
+            r.median_dynamic_refs().into(),
+            Cell::Pct(r.multi_cycle_active_le(4)),
+            r.busy.len().into(),
+            busy_stack.into(),
+            busy_static.into(),
+            Cell::Pct(r.busy_refs_fraction()),
+        ]);
     }
+    print!("{}", table.render());
     println!();
     println!("paper shape: >=90% of multi-cycle blocks active in <=4 cycles; dynamic blocks");
     println!("mostly referenced 32-63 times; 59-155 busy (mostly static/stack) blocks take ~75% of refs.");
+    args.write_csv(&[&table]);
 }

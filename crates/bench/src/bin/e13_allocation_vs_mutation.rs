@@ -15,11 +15,15 @@
 //! list in place. Both walk 48 KB of pairs per generation; the functional
 //! version also allocates 48 KB per generation, which write-validate
 //! makes free at the cache level.
+//!
+//! The cache grid of each variant runs through the parallel engine
+//! (`--jobs`/`--schedule`).
 
-use cachegc_bench::{header, human_bytes, scale_arg};
-use cachegc_core::{run_control, ExperimentConfig, FAST, SLOW};
+use cachegc_bench::{header, human_bytes, ExperimentArgs};
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{miss_penalty_cycles, Cache, ExperimentConfig, FAST, SLOW};
 use cachegc_gc::NoCollector;
-use cachegc_trace::RefCounter;
+use cachegc_trace::{Context, EngineConfig, ParallelFanout};
 use cachegc_vm::Machine;
 
 fn functional(gens: u32) -> String {
@@ -56,62 +60,67 @@ fn imperative(gens: u32) -> String {
     )
 }
 
-fn measure(name: &str, src: &str, cfg: &ExperimentConfig) {
-    // Instruction/ref volume first.
-    let mut m = Machine::new(NoCollector::new(), RefCounter::new());
-    m.run_program(src).expect("runs");
-    let refs = m.sink().total();
-    let i_prog = m.counters().program();
-
-    // Then the cache grid via the standard control machinery, by wrapping
-    // the source as a one-off "workload".
-    let mut caches = cachegc_trace::Fanout::new(
+fn measure(
+    name: &str,
+    src: &str,
+    cfg: &ExperimentConfig,
+    engine: &EngineConfig,
+    table: &mut Table,
+) {
+    // One pass: the grid rides the engine; reference and instruction
+    // volumes come from the first cache's statistics and the machine.
+    let mut fan = ParallelFanout::with_engine(
         cfg.configs()
             .into_iter()
-            .map(cachegc_core::Cache::new)
+            .map(Cache::new)
             .collect::<Vec<_>>(),
+        engine,
     );
-    let mut m = Machine::new(NoCollector::new(), &mut caches);
-    m.run_program(src).expect("runs");
-    drop(m);
+    let i_prog;
+    {
+        let mut m = Machine::new(NoCollector::new(), &mut fan);
+        m.run_program(src).expect("runs");
+        i_prog = m.counters().program();
+    }
+    let caches = fan.into_sinks();
+    let refs = caches[0].stats().refs_by(Context::Mutator);
 
     println!("\n{name}: {refs} refs, {i_prog} instructions");
-    print!("{:>6}", "cpu");
-    for &size in &cfg.cache_sizes {
-        print!("{:>9}", human_bytes(size));
-    }
-    println!();
     for cpu in [&SLOW, &FAST] {
-        print!("{:>6}", cpu.name);
-        for (cache, _) in caches.sinks().iter().zip(&cfg.cache_sizes) {
-            let p = cachegc_core::miss_penalty_cycles(&cfg.memory, cpu, cache.config().block);
-            let o = (cache.stats().fetches() * p) as f64 / i_prog as f64;
-            print!("{:>8.2}%", 100.0 * o);
-        }
-        println!();
+        let mut row = vec![Cell::text(name), Cell::text(cpu.name)];
+        row.extend(caches.iter().map(|cache| {
+            let p = miss_penalty_cycles(&cfg.memory, cpu, cache.config().block);
+            Cell::Pct((cache.stats().fetches() * p) as f64 / i_prog as f64)
+        }));
+        table.row(row);
     }
 }
 
 fn main() {
-    let scale = scale_arg(4);
+    let args = ExperimentArgs::parse(
+        "e13_allocation_vs_mutation",
+        "allocation vs mutation (§8 conjecture 3)",
+        4,
+    );
+    let scale = args.scale;
     let gens = 150 * scale;
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![32 << 10, 64 << 10, 256 << 10, 1 << 20];
     header(&format!(
-        "E13: allocation vs mutation (§8 conjecture 3), scale {scale}"
+        "E13: allocation vs mutation (§8 conjecture 3), scale {scale}, jobs {}",
+        args.jobs
     ));
 
-    measure(
-        "functional (rides the allocation wave)",
-        &functional(gens),
-        &cfg,
-    );
-    measure(
-        "imperative (set-car! on one long-lived list)",
-        &imperative(gens),
-        &cfg,
-    );
+    let mut cols = vec!["variant".to_string(), "cpu".to_string()];
+    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = Table::new("overhead", &cols);
+    let engine = args.engine();
+    measure("functional", &functional(gens), &cfg, &engine, &mut table);
+    measure("imperative", &imperative(gens), &cfg, &engine, &mut table);
+    println!();
+    print!("{}", table.render());
 
     println!();
     println!("reading: the functional version's working set is twice the imperative");
@@ -119,5 +128,5 @@ fn main() {
     println!("list fits in cache and the two tie once neither does extra work — i.e.,");
     println!("the conjecture holds only where the imperative program's locality is poor;");
     println!("against a compact, reused imperative structure, allocation is not faster.");
-    let _ = run_control; // (see e3 for the standard workloads)
+    args.write_csv(&[&table]);
 }

@@ -6,15 +6,16 @@
 
 use std::time::Instant;
 
-use cachegc_bench::{commas, header, jobs_arg, scale_arg, GridReport, GridRun};
+use cachegc_bench::{header, ExperimentArgs, GridReport, GridRun};
 use cachegc_core::par_map;
+use cachegc_core::report::{Cell, Table};
 use cachegc_gc::NoCollector;
 use cachegc_trace::RefCounter;
 use cachegc_workloads::Workload;
 
 fn main() {
-    let scale = scale_arg(4);
-    let jobs = jobs_arg();
+    let args = ExperimentArgs::parse("e1_programs", "the §3 test-program table", 4);
+    let (scale, jobs) = (args.scale, args.jobs);
     header(&format!(
         "E1: test programs (§3 table), scale {scale}, jobs {jobs}"
     ));
@@ -29,23 +30,31 @@ fn main() {
     });
     let total_wall = t0.elapsed();
 
-    println!(
-        "{:10} {:>7} {:>12} {:>16} {:>16} {:>8}",
-        "program", "lines", "alloc (b)", "insns", "refs", "refs/ins"
+    let mut table = Table::new(
+        "programs",
+        &[
+            "program",
+            "analog",
+            "lines",
+            "alloc_bytes",
+            "insns",
+            "refs",
+            "refs_per_insn",
+        ],
     );
     let mut runs = Vec::new();
     for (w, (out, wall)) in Workload::ALL.iter().zip(&outs) {
         let insns = out.stats.instructions.program();
         let refs = out.sink.total();
-        println!(
-            "{:10} {:>7} {:>12} {:>16} {:>16} {:>8.3}",
-            format!("{} ({})", w.name(), w.paper_analog()),
-            w.lines(),
-            commas(out.stats.allocated_bytes),
-            commas(insns),
-            commas(refs),
-            refs as f64 / insns as f64,
-        );
+        table.row(vec![
+            w.name().into(),
+            w.paper_analog().into(),
+            w.lines().into(),
+            out.stats.allocated_bytes.into(),
+            insns.into(),
+            refs.into(),
+            Cell::Float(refs as f64 / insns as f64, 3),
+        ]);
         runs.push(GridRun {
             workload: w.name().into(),
             scale,
@@ -54,9 +63,11 @@ fn main() {
             wall: *wall,
         });
     }
+    print!("{}", table.render());
     println!();
     println!("paper: orbit 15k lines/263mb, imps 42k/1.8gb, lp 2.5k/216mb,");
     println!("       nbody .6k/747mb, gambit 15k/527mb; refs/insns ≈ 0.26-0.29");
+    args.write_csv(&[&table]);
 
     GridReport {
         binary: "e1_programs".into(),

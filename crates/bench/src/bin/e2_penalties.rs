@@ -1,32 +1,29 @@
 //! E2 — the §5 miss-penalty table: cycles to service a miss for each block
 //! size on the slow (30 ns) and fast (2 ns) processors, with the
-//! Przybylski memory model.
+//! Przybylski memory model. The table is static (no workload runs), so
+//! `--scale` and `--jobs` are accepted but have nothing to do.
 
-use cachegc_bench::header;
+use cachegc_bench::{header, ExperimentArgs};
+use cachegc_core::report::Table;
 use cachegc_core::{miss_penalty_cycles, writeback_cycles, MainMemory, FAST, SLOW};
 
 fn main() {
+    let args = ExperimentArgs::parse("e2_penalties", "the §5 miss-penalty table", 1);
     header("E2: miss penalties (§5 table)");
     let mem = MainMemory::przybylski();
-    print!("{:22}", "Block size (bytes)");
-    for b in [16u32, 32, 64, 128, 256] {
-        print!("{b:>8}");
-    }
-    println!();
+    let mut table = Table::new("penalties", &["cost", "b16", "b32", "b64", "b128", "b256"]);
     for cpu in [&SLOW, &FAST] {
-        print!("{:22}", format!("{} penalty (cycles)", cpu.name));
-        for b in [16u32, 32, 64, 128, 256] {
-            print!("{:>8}", miss_penalty_cycles(&mem, cpu, b));
-        }
-        println!();
+        let mut row = vec![format!("{} penalty (cycles)", cpu.name).into()];
+        row.extend([16u32, 32, 64, 128, 256].map(|b| miss_penalty_cycles(&mem, cpu, b).into()));
+        table.row(row);
     }
     for cpu in [&SLOW, &FAST] {
-        print!("{:22}", format!("{} writeback", cpu.name));
-        for b in [16u32, 32, 64, 128, 256] {
-            print!("{:>8}", writeback_cycles(&mem, cpu, b));
-        }
-        println!();
+        let mut row = vec![format!("{} writeback", cpu.name).into()];
+        row.extend([16u32, 32, 64, 128, 256].map(|b| writeback_cycles(&mem, cpu, b).into()));
+        table.row(row);
     }
+    print!("{}", table.render());
     println!();
     println!("paper (derived from its memory model): slow 8/9/11/15/23, fast 120/135/165/225/345");
+    args.write_csv(&[&table]);
 }

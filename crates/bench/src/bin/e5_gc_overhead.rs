@@ -19,13 +19,18 @@
 
 use std::time::Instant;
 
-use cachegc_bench::{header, human_bytes, jobs_arg, scale_arg, GridReport, GridRun};
+use cachegc_bench::{header, human_bytes, ExperimentArgs, GridReport, GridRun};
+use cachegc_core::report::{Cell, Table};
 use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 fn main() {
-    let scale = scale_arg(4);
-    let jobs = jobs_arg();
+    let args = ExperimentArgs::parse(
+        "e5_gc_overhead",
+        "O_gc of the Cheney collector vs cache size (§6 figure)",
+        4,
+    );
+    let (scale, jobs) = (args.scale, args.jobs);
     let semispace: u32 = std::env::var("CACHEGC_SEMISPACE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -41,15 +46,32 @@ fn main() {
         semispace_bytes: semispace,
     };
     let outer = jobs.min(Workload::ALL.len());
-    let inner = (jobs / outer).max(1);
+    let mut inner = args.engine();
+    inner.jobs = (jobs / outer).max(1);
     let t0 = Instant::now();
     let results = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} (control + collected) ...", w.name());
         let t = Instant::now();
-        let r = GcComparison::run_jobs(w.scaled(scale), &cfg, spec, inner);
+        let r = GcComparison::run_engine(w.scaled(scale), &cfg, spec, &inner);
         (r, t.elapsed())
     });
     let total_wall = t0.elapsed();
+
+    let mut gc_table = Table::new(
+        "collections",
+        &[
+            "program",
+            "analog",
+            "collections",
+            "bytes_copied",
+            "i_gc",
+            "delta_i_prog",
+        ],
+    );
+    let mut cols = vec!["program".to_string(), "cpu".to_string()];
+    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut ogc_table = Table::new("ogc", &cols);
 
     let mut runs = Vec::new();
     for (w, (result, wall)) in Workload::ALL.iter().zip(&results) {
@@ -63,27 +85,22 @@ fn main() {
                 continue;
             }
         };
-        println!(
-            "\n{} ({}): {} collections, {} bytes copied, I_gc={}, ΔI_prog={}",
-            w.name(),
-            w.paper_analog(),
-            cmp.collected.gc.collections,
-            cmp.collected.gc.bytes_copied,
-            cmp.collected.i_gc,
-            cmp.collected.delta_i_prog,
-        );
-        print!("{:>6}", "cpu");
-        for &size in &cfg.cache_sizes {
-            print!("{:>9}", human_bytes(size));
-        }
-        println!();
+        gc_table.row(vec![
+            w.name().into(),
+            w.paper_analog().into(),
+            cmp.collected.gc.collections.into(),
+            cmp.collected.gc.bytes_copied.into(),
+            cmp.collected.i_gc.into(),
+            cmp.collected.delta_i_prog.into(),
+        ]);
         for cpu in [&SLOW, &FAST] {
-            print!("{:>6}", cpu.name);
-            for &size in &cfg.cache_sizes {
-                let o = cmp.gc_overhead(size, 64, cpu);
-                print!("{:>8.2}%", 100.0 * o);
-            }
-            println!();
+            let mut row = vec![Cell::text(w.name()), Cell::text(cpu.name)];
+            row.extend(
+                cfg.cache_sizes
+                    .iter()
+                    .map(|&size| Cell::Pct(cmp.gc_overhead(size, 64, cpu))),
+            );
+            ogc_table.row(row);
         }
         runs.push(GridRun {
             workload: w.name().into(),
@@ -93,9 +110,13 @@ fn main() {
             wall: *wall,
         });
     }
+    print!("{}", gc_table.render());
+    println!();
+    print!("{}", ogc_table.render());
     println!();
     println!("paper shape: orbit/nbody/gambit ≤4% slow, ≤7.7% fast; nbody negative at 64-128k;");
     println!("imps volatile (thrashing); lp uniformly ≥40%.");
+    args.write_csv(&[&gc_table, &ogc_table]);
 
     GridReport {
         binary: "e5_gc_overhead".into(),

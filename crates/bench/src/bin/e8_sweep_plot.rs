@@ -4,36 +4,51 @@
 //! diagonal lines sweeping the cache.
 //!
 //! The plot is written to `e8_sweep.txt` (full resolution) and a
-//! downsampled excerpt is printed.
+//! downsampled excerpt is printed. The trace pass goes through the
+//! experiment engine (`run_sinks`), so `--jobs`/`--schedule` apply.
 
 use cachegc_analysis::SweepPlot;
-use cachegc_bench::{header, scale_arg};
-use cachegc_core::CacheConfig;
-use cachegc_gc::NoCollector;
+use cachegc_bench::{header, ExperimentArgs};
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{run_sinks, CacheConfig};
 use cachegc_workloads::Workload;
 
 fn main() {
-    let scale = scale_arg(1);
+    let args = ExperimentArgs::parse(
+        "e8_sweep_plot",
+        "the §7 cache-miss sweep plot (compile, 64k/64b)",
+        1,
+    );
+    let scale = args.scale;
     header(&format!(
         "E8: cache-miss sweep plot, compile, 64k/64b (§7), scale {scale}"
     ));
     let cfg = CacheConfig::direct_mapped(64 << 10, 64);
-    let plot = SweepPlot::new(cfg, 1024);
     eprintln!("running compile ...");
-    let out = Workload::Compile
-        .scaled(scale)
-        .run(NoCollector::new(), plot)
-        .unwrap();
-    let plot = out.sink;
+    let (_, sinks) = run_sinks(
+        Workload::Compile.scaled(scale),
+        None,
+        vec![SweepPlot::new(cfg, 1024)],
+        &args.engine(),
+    )
+    .unwrap();
+    let plot = sinks.into_iter().next().expect("one plot");
 
     let full = plot.render_ascii(4000);
     std::fs::write("e8_sweep.txt", &full).expect("write e8_sweep.txt");
-    println!(
-        "{} columns x {} cache blocks; {:.2}% of cells have misses; full plot in e8_sweep.txt",
-        plot.width(),
-        plot.height(),
-        100.0 * plot.fraction_of_cells_with_dots()
+    let mut table = Table::new(
+        "sweep",
+        &["workload", "columns", "cache_blocks", "dot_fraction"],
     );
+    table.row(vec![
+        "compile".into(),
+        plot.width().into(),
+        plot.height().into(),
+        Cell::Float(plot.fraction_of_cells_with_dots(), 4),
+    ]);
+    print!("{}", table.render());
+    println!("full plot in e8_sweep.txt");
+    args.write_csv(&[&table]);
 
     // Downsample to an ~100x32 excerpt for the terminal.
     let (w, h) = (plot.width(), plot.height());

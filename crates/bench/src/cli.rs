@@ -1,0 +1,263 @@
+//! The one command line every experiment binary speaks.
+//!
+//! [`ExperimentArgs::parse`] replaces the per-binary ad-hoc argument
+//! scans: every regenerator accepts the same four flags with the same
+//! spellings, the same environment fallbacks, and the same exit-code
+//! discipline (`--help` exits 0; a bad flag prints usage to stderr and
+//! exits 2). Binaries with no use for a knob still accept it, so a sweep
+//! over all binaries can pass one uniform argument vector.
+
+use std::path::{Path, PathBuf};
+
+use cachegc_core::report::{csv_table_path, Table};
+use cachegc_core::{EngineConfig, Schedule};
+
+/// Parsed common arguments of an experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentArgs {
+    /// Workload scale (`--scale N`, env `CACHEGC_SCALE`).
+    pub scale: u32,
+    /// Worker threads (`--jobs N`, env `CACHEGC_JOBS`); 1 is the
+    /// sequential oracle.
+    pub jobs: usize,
+    /// Engine schedule (`--schedule rr|ws`).
+    pub schedule: Schedule,
+    /// CSV output path (`--csv PATH`), if requested.
+    pub csv: Option<PathBuf>,
+}
+
+enum Parse {
+    Help,
+    Args(ExperimentArgs),
+}
+
+impl ExperimentArgs {
+    /// Parse the process arguments. `--help` prints usage and exits 0; an
+    /// unknown flag or malformed value prints usage to stderr and exits 2.
+    /// `binary` and `about` head the usage text; `default_scale` is this
+    /// binary's default workload scale.
+    pub fn parse(binary: &str, about: &str, default_scale: u32) -> ExperimentArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&argv, default_scale) {
+            Ok(Parse::Help) => {
+                print!("{}", usage(binary, about, default_scale));
+                std::process::exit(0);
+            }
+            Ok(Parse::Args(args)) => args,
+            Err(msg) => {
+                eprintln!("{binary}: {msg}");
+                eprint!("{}", usage(binary, about, default_scale));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn try_parse(argv: &[String], default_scale: u32) -> Result<Parse, String> {
+        let mut scale: Option<u32> = None;
+        let mut jobs: Option<usize> = None;
+        let mut schedule = Schedule::default();
+        let mut csv: Option<PathBuf> = None;
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--help" | "-h" => return Ok(Parse::Help),
+                "--scale" => scale = Some(value(flag, it.next())?),
+                "--jobs" => jobs = Some(value(flag, it.next())?),
+                "--schedule" => {
+                    let raw = it.next().ok_or("--schedule needs a value")?;
+                    schedule = Schedule::parse(raw)
+                        .ok_or_else(|| format!("unknown schedule '{raw}' (rr or ws)"))?;
+                }
+                "--csv" => {
+                    let raw = it.next().ok_or("--csv needs a path")?;
+                    csv = Some(PathBuf::from(raw));
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        let scale = match scale {
+            Some(s) => s,
+            None => env_or("CACHEGC_SCALE", default_scale)?,
+        };
+        let jobs = match jobs {
+            Some(j) => j,
+            None => env_or("CACHEGC_JOBS", cachegc_core::default_jobs())?,
+        };
+        Ok(Parse::Args(ExperimentArgs {
+            scale,
+            jobs: jobs.max(1),
+            schedule,
+            csv,
+        }))
+    }
+
+    /// The engine configuration these arguments describe.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig::jobs(self.jobs).with_schedule(self.schedule)
+    }
+
+    /// Write `tables` as CSV if `--csv` was passed (a single table lands at
+    /// the given path; several become `<stem>_<name>.csv` siblings).
+    /// Failures are reported, not fatal: persistence is a side channel,
+    /// never worth killing a long sweep over.
+    pub fn write_csv(&self, tables: &[&Table]) {
+        let Some(base) = &self.csv else { return };
+        for t in tables {
+            let path = csv_table_path(base, t, tables.len());
+            match t.write_csv(&path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn value<T: std::str::FromStr>(flag: &str, raw: Option<&String>) -> Result<T, String> {
+    let raw = raw.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: malformed value '{raw}'"))
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> Result<T, String> {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .map_err(|_| format!("{name}: malformed value '{v}'")),
+        Err(_) => Ok(default),
+    }
+}
+
+fn usage(binary: &str, about: &str, default_scale: u32) -> String {
+    format!(
+        "{binary} — {about}\n\
+         \n\
+         usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--csv PATH]\n\
+         \n\
+         \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
+         \x20 --jobs N       worker threads (default: available parallelism; env\n\
+         \x20                CACHEGC_JOBS; 1 is the sequential oracle)\n\
+         \x20 --schedule S   engine schedule: round-robin (rr) or work-stealing (ws)\n\
+         \x20 --csv PATH     also write results as CSV to PATH\n\
+         \x20 --help         show this help\n"
+    )
+}
+
+/// True if `path` exists and parses as non-degenerate CSV (used by the
+/// smoke tests; lives here so the check and the writer stay in one place).
+pub fn csv_looks_sane(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return false;
+    };
+    let cols = header.split(',').count();
+    cols >= 2 && lines.clone().count() >= 1 && lines.all(|l| l.split(',').count() == cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parsed(args: &[&str]) -> ExperimentArgs {
+        match ExperimentArgs::try_parse(&argv(args), 4).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parsed(&[
+            "--scale",
+            "2",
+            "--jobs",
+            "3",
+            "--schedule",
+            "ws",
+            "--csv",
+            "results/x.csv",
+        ]);
+        assert_eq!(a.scale, 2);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.schedule, Schedule::WorkStealing);
+        assert_eq!(a.csv.as_deref(), Some(Path::new("results/x.csv")));
+        assert_eq!(a.engine().jobs, 3);
+        assert!(!a.engine().is_sequential());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parsed(&[]);
+        assert_eq!(a.scale, 4);
+        assert!(a.jobs >= 1);
+        assert_eq!(a.schedule, Schedule::RoundRobin);
+        assert!(a.csv.is_none());
+    }
+
+    #[test]
+    fn jobs_clamped_to_at_least_one() {
+        assert_eq!(parsed(&["--jobs", "0"]).jobs, 1);
+        assert!(parsed(&["--jobs", "1"]).engine().is_sequential());
+    }
+
+    #[test]
+    fn help_is_recognized() {
+        assert!(matches!(
+            ExperimentArgs::try_parse(&argv(&["--help"]), 4),
+            Ok(Parse::Help)
+        ));
+        assert!(matches!(
+            ExperimentArgs::try_parse(&argv(&["-h"]), 4),
+            Ok(Parse::Help)
+        ));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            vec!["--frobnicate"],
+            vec!["--scale"],
+            vec!["--scale", "many"],
+            vec!["--jobs", "-2"],
+            vec!["--schedule", "fifo"],
+            vec!["--csv"],
+        ] {
+            assert!(
+                ExperimentArgs::try_parse(&argv(&bad), 4).is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = usage("e4_write_policy", "write-miss policy comparison", 4);
+        for flag in ["--scale", "--jobs", "--schedule", "--csv", "--help"] {
+            assert!(u.contains(flag), "{flag} missing from usage");
+        }
+        assert!(u.starts_with("e4_write_policy — "));
+    }
+
+    #[test]
+    fn csv_sanity_check() {
+        let dir = std::env::temp_dir().join("cachegc_cli_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let good = dir.join("good.csv");
+        std::fs::write(&good, "a,b\n1,2\n3,4\n").unwrap();
+        assert!(csv_looks_sane(&good));
+        let ragged = dir.join("ragged.csv");
+        std::fs::write(&ragged, "a,b\n1\n").unwrap();
+        assert!(!csv_looks_sane(&ragged));
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "a,b\n").unwrap();
+        assert!(!csv_looks_sane(&empty), "header-only CSV is degenerate");
+        assert!(!csv_looks_sane(&dir.join("absent.csv")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

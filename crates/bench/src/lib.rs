@@ -2,44 +2,21 @@
 //!
 //! Each table and figure in the paper's evaluation has a binary in
 //! `src/bin/` that reruns the measurement and prints the same rows or
-//! series the paper reports (see EXPERIMENTS.md for the index). All
-//! binaries accept a workload scale through the `CACHEGC_SCALE`
-//! environment variable or a `--scale N` argument; the default is a
-//! minutes-long run.
+//! series the paper reports (see EXPERIMENTS.md for the index). Every
+//! binary parses the same command line through
+//! [`cli::ExperimentArgs`] — `--scale`, `--jobs`, `--schedule`, `--csv` —
+//! builds its rows as [`cachegc_core::report::Table`]s, and persists them
+//! as CSV when `--csv` is passed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 mod report;
 
+pub use cli::ExperimentArgs;
 pub use report::{GridReport, GridRun};
-
-/// Workload scale from `--scale N` or `CACHEGC_SCALE` (default `default`).
-pub fn scale_arg(default: u32) -> u32 {
-    arg_or_env("--scale", "CACHEGC_SCALE").unwrap_or(default)
-}
-
-/// Worker threads from `--jobs N` or `CACHEGC_JOBS`; defaults to this
-/// machine's available parallelism. `--jobs 1` is the sequential oracle:
-/// it takes exactly the single-threaded code paths.
-pub fn jobs_arg() -> usize {
-    arg_or_env("--jobs", "CACHEGC_JOBS")
-        .unwrap_or_else(cachegc_core::default_jobs)
-        .max(1)
-}
-
-fn arg_or_env<T: std::str::FromStr>(flag: &str, env: &str) -> Option<T> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == flag {
-            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                return Some(v);
-            }
-        }
-    }
-    std::env::var(env).ok().and_then(|v| v.parse().ok())
-}
 
 /// Format a fraction as a signed percentage with two decimals.
 pub fn pct(x: f64) -> String {
@@ -48,24 +25,12 @@ pub fn pct(x: f64) -> String {
 
 /// Format a byte count as `32k` / `4m`.
 pub fn human_bytes(b: u32) -> String {
-    if b >= 1 << 20 {
-        format!("{}m", b >> 20)
-    } else {
-        format!("{}k", b >> 10)
-    }
+    cachegc_core::report::human_bytes(b.into())
 }
 
 /// Format a count with thousands separators.
 pub fn commas(n: u64) -> String {
-    let s = n.to_string();
-    let mut out = String::new();
-    for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i).is_multiple_of(3) {
-            out.push(',');
-        }
-        out.push(c);
-    }
-    out
+    cachegc_core::report::commas(n)
 }
 
 /// Print a header plus an underline.

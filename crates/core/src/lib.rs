@@ -34,17 +34,26 @@
 mod experiment;
 mod overhead;
 mod parallel;
+pub mod report;
 
 pub use experiment::{
     run_collected, run_control, CacheCell, CollectedCell, CollectedRun, CollectorSpec,
     ControlReport, ExperimentConfig, GcComparison,
 };
 pub use overhead::{cache_overhead, gc_overhead, write_back_overhead};
-pub use parallel::{default_jobs, par_map, run_collected_jobs, run_control_jobs};
+pub use parallel::{
+    default_jobs, par_map, run_collected_engine, run_collected_jobs, run_control_engine,
+    run_control_jobs, run_instruments, run_sinks,
+};
 
 // Re-export what downstream experiment code needs, so benches and examples
 // can depend on this crate alone.
+pub use cachegc_analysis::{
+    activity, Activity, ActivityTracker, BlockReport, BlockTracker, Instrument, SweepPlot,
+};
 pub use cachegc_sim::{
     miss_penalty_cycles, writeback_cycles, Cache, CacheConfig, CacheStats, MainMemory, Processor,
     SetAssocCache, WriteHitPolicy, WriteMissPolicy, FAST, SLOW,
 };
+pub use cachegc_trace::{EngineConfig, Schedule};
+pub use cachegc_vm::RunStats;

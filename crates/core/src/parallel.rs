@@ -2,28 +2,35 @@
 //!
 //! Three independent levels of parallelism, all built on std threads:
 //!
-//! 1. **Grid sharding** — [`run_control_jobs`] / [`run_collected_jobs`]
-//!    replace the sequential [`cachegc_trace::Fanout`] with a
-//!    [`ParallelFanout`] that spreads the cache grid's cells across worker
-//!    threads. One trace pass still drives every cell; per-cell results
-//!    are bit-identical to the sequential path (see the determinism notes
-//!    on [`ParallelFanout`] and the property tests in the workspace root).
-//! 2. **Pass parallelism** — [`GcComparison::run_jobs`] runs the control
+//! 1. **Grid sharding** — [`run_control_engine`] / [`run_collected_engine`]
+//!    (and their `_jobs` shorthands) replace the sequential
+//!    [`cachegc_trace::Fanout`] with a [`ParallelFanout`] that spreads the
+//!    cache grid's cells across worker threads, under either
+//!    [`Schedule`](cachegc_trace::Schedule). One trace pass still drives
+//!    every cell; per-cell results are bit-identical to the sequential path
+//!    (see the determinism notes on [`ParallelFanout`] and the property
+//!    tests in the workspace root).
+//! 2. **Pass parallelism** — [`GcComparison::run_engine`] runs the control
 //!    and collected trace passes concurrently; they share nothing but the
 //!    (immutable) workload source and configuration.
 //! 3. **Workload parallelism** — [`par_map`] runs a per-workload loop
 //!    (the experiment binaries' outer loop) on a bounded thread pool.
 //!
-//! `jobs <= 1` always takes the sequential code path, which the binaries
+//! Heterogeneous instrument sets — mixed cache simulators and §7 analyzers
+//! — go through the generic [`run_sinks`] (or [`run_instruments`] for the
+//! closed [`Instrument`] set); the grid drivers above are the homogeneous
+//! special case. An [`EngineConfig`] with `jobs <= 1` and the round-robin
+//! schedule always takes the sequential code path, which the binaries
 //! expose as the `--jobs 1` oracle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use cachegc_analysis::Instrument;
 use cachegc_gc::{CheneyCollector, GenerationalCollector, NoCollector};
 use cachegc_sim::Cache;
-use cachegc_trace::ParallelFanout;
-use cachegc_vm::VmError;
+use cachegc_trace::{EngineConfig, Fanout, ParallelFanout, TraceSink};
+use cachegc_vm::{RunStats, VmError};
 use cachegc_workloads::WorkloadInstance;
 
 use crate::experiment::{
@@ -37,12 +44,100 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-fn parallel_grid(cfg: &ExperimentConfig, jobs: usize) -> ParallelFanout<Cache> {
-    ParallelFanout::new(cfg.configs().into_iter().map(Cache::new).collect(), jobs)
+fn engine_grid(cfg: &ExperimentConfig, engine: &EngineConfig) -> ParallelFanout<Cache> {
+    ParallelFanout::with_engine(cfg.configs().into_iter().map(Cache::new).collect(), engine)
 }
 
-/// [`run_control`] with the cache grid sharded across `jobs` worker
-/// threads. `jobs <= 1` is exactly the sequential [`run_control`].
+/// Replay `instance` into `sink` under the given collector (`None` is the
+/// collection-disabled control configuration). The common trunk of every
+/// driver below.
+fn run_spec_sink<S: TraceSink>(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    sink: S,
+) -> Result<(RunStats, S), VmError> {
+    match spec {
+        None => {
+            let out = instance.run(NoCollector::new(), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Cheney { semispace_bytes }) => {
+            let out = instance.run(CheneyCollector::new(semispace_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Generational {
+            nursery_bytes,
+            old_bytes,
+        }) => {
+            let out = instance.run(GenerationalCollector::new(nursery_bytes, old_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+    }
+}
+
+/// Replay a workload into an arbitrary sink set — the general engine entry
+/// point. A sequential `engine` uses the in-thread [`Fanout`]; otherwise
+/// the sinks are spread across a [`ParallelFanout`] under the engine's
+/// schedule. Per-sink results are bit-identical either way.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_sinks<S>(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    sinks: Vec<S>,
+    engine: &EngineConfig,
+) -> Result<(RunStats, Vec<S>), VmError>
+where
+    S: TraceSink + Send + 'static,
+{
+    if engine.is_sequential() {
+        let (stats, fan) = run_spec_sink(instance, spec, Fanout::new(sinks))?;
+        Ok((stats, fan.into_sinks()))
+    } else {
+        let (stats, fan) =
+            run_spec_sink(instance, spec, ParallelFanout::with_engine(sinks, engine))?;
+        Ok((stats, fan.into_sinks()))
+    }
+}
+
+/// [`run_sinks`] for the closed heterogeneous [`Instrument`] set — mixed
+/// cache geometries, organizations, and §7 analyzers in one trace pass.
+/// Results come back in input order.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_instruments(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    instruments: Vec<Instrument>,
+    engine: &EngineConfig,
+) -> Result<(RunStats, Vec<Instrument>), VmError> {
+    run_sinks(instance, spec, instruments, engine)
+}
+
+/// [`run_control`] with the cache grid driven by `engine`. A sequential
+/// engine is exactly the sequential [`run_control`].
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_control_engine(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    engine: &EngineConfig,
+) -> Result<ControlReport, VmError> {
+    if engine.is_sequential() {
+        return run_control(instance, cfg);
+    }
+    let (stats, fan) = run_spec_sink(instance, None, engine_grid(cfg, engine))?;
+    Ok(control_report(instance, cfg, stats, fan.into_sinks()))
+}
+
+/// [`run_control_engine`] with a default (round-robin) engine of `jobs`
+/// workers. `jobs <= 1` is exactly the sequential [`run_control`].
 ///
 /// # Errors
 ///
@@ -52,20 +147,30 @@ pub fn run_control_jobs(
     cfg: &ExperimentConfig,
     jobs: usize,
 ) -> Result<ControlReport, VmError> {
-    if jobs <= 1 {
-        return run_control(instance, cfg);
-    }
-    let out = instance.run(NoCollector::new(), parallel_grid(cfg, jobs))?;
-    Ok(control_report(
-        instance,
-        cfg,
-        out.stats,
-        out.sink.into_sinks(),
-    ))
+    run_control_engine(instance, cfg, &EngineConfig::jobs(jobs))
 }
 
-/// [`run_collected`] with the cache grid sharded across `jobs` worker
-/// threads. `jobs <= 1` is exactly the sequential [`run_collected`].
+/// [`run_collected`] with the cache grid driven by `engine`. A sequential
+/// engine is exactly the sequential [`run_collected`].
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_collected_engine(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    spec: CollectorSpec,
+    engine: &EngineConfig,
+) -> Result<CollectedRun, VmError> {
+    if engine.is_sequential() {
+        return run_collected(instance, cfg, spec);
+    }
+    let (stats, fan) = run_spec_sink(instance, Some(spec), engine_grid(cfg, engine))?;
+    Ok(collected_run(instance, spec, stats, fan.into_sinks()))
+}
+
+/// [`run_collected_engine`] with a default (round-robin) engine of `jobs`
+/// workers. `jobs <= 1` is exactly the sequential [`run_collected`].
 ///
 /// # Errors
 ///
@@ -76,35 +181,46 @@ pub fn run_collected_jobs(
     spec: CollectorSpec,
     jobs: usize,
 ) -> Result<CollectedRun, VmError> {
-    if jobs <= 1 {
-        return run_collected(instance, cfg, spec);
-    }
-    let (stats, caches) = match spec {
-        CollectorSpec::Cheney { semispace_bytes } => {
-            let out = instance.run(
-                CheneyCollector::new(semispace_bytes),
-                parallel_grid(cfg, jobs),
-            )?;
-            (out.stats, out.sink.into_sinks())
-        }
-        CollectorSpec::Generational {
-            nursery_bytes,
-            old_bytes,
-        } => {
-            let out = instance.run(
-                GenerationalCollector::new(nursery_bytes, old_bytes),
-                parallel_grid(cfg, jobs),
-            )?;
-            (out.stats, out.sink.into_sinks())
-        }
-    };
-    Ok(collected_run(instance, spec, stats, caches))
+    run_collected_engine(instance, cfg, spec, &EngineConfig::jobs(jobs))
 }
 
 impl GcComparison {
     /// [`GcComparison::run`] with the control and collected passes on
-    /// separate threads, each pass sharding its grid across `jobs / 2`
-    /// workers. `jobs <= 1` is exactly the sequential [`GcComparison::run`].
+    /// separate threads, each pass sharding its grid under `engine` with
+    /// half the worker budget. A sequential engine is exactly the
+    /// sequential [`GcComparison::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from either run.
+    pub fn run_engine(
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+        spec: CollectorSpec,
+        engine: &EngineConfig,
+    ) -> Result<GcComparison, VmError> {
+        if engine.is_sequential() {
+            return GcComparison::run(instance, cfg, spec);
+        }
+        let mut shard = *engine;
+        shard.jobs = (engine.jobs / 2).max(1);
+        let (control, collected) = std::thread::scope(|s| {
+            let control = s.spawn(|| run_control_engine(instance, cfg, &shard));
+            let collected = s.spawn(|| run_collected_engine(instance, cfg, spec, &shard));
+            (
+                control.join().expect("control pass panicked"),
+                collected.join().expect("collected pass panicked"),
+            )
+        });
+        Ok(GcComparison {
+            control: control?,
+            collected: collected?,
+        })
+    }
+
+    /// [`GcComparison::run_engine`] with a default (round-robin) engine of
+    /// `jobs` workers. `jobs <= 1` is exactly the sequential
+    /// [`GcComparison::run`].
     ///
     /// # Errors
     ///
@@ -115,22 +231,7 @@ impl GcComparison {
         spec: CollectorSpec,
         jobs: usize,
     ) -> Result<GcComparison, VmError> {
-        if jobs <= 1 {
-            return GcComparison::run(instance, cfg, spec);
-        }
-        let shard_jobs = (jobs / 2).max(1);
-        let (control, collected) = std::thread::scope(|s| {
-            let control = s.spawn(|| run_control_jobs(instance, cfg, shard_jobs));
-            let collected = s.spawn(|| run_collected_jobs(instance, cfg, spec, shard_jobs));
-            (
-                control.join().expect("control pass panicked"),
-                collected.join().expect("collected pass panicked"),
-            )
-        });
-        Ok(GcComparison {
-            control: control?,
-            collected: collected?,
-        })
+        GcComparison::run_engine(instance, cfg, spec, &EngineConfig::jobs(jobs))
     }
 }
 
@@ -178,6 +279,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachegc_analysis::{ActivityTracker, BlockTracker, SweepPlot};
+    use cachegc_sim::{CacheConfig, SetAssocCache};
+    use cachegc_trace::Schedule;
     use cachegc_workloads::Workload;
 
     fn grids_equal(a: &[crate::CacheCell], b: &[crate::CacheCell]) {
@@ -197,6 +301,17 @@ mod tests {
         assert_eq!(seq.refs, par.refs);
         assert_eq!(seq.i_prog, par.i_prog);
         assert_eq!(seq.allocated, par.allocated);
+        grids_equal(&seq.cells, &par.cells);
+    }
+
+    #[test]
+    fn work_stealing_control_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let seq = run_control(w, &cfg).unwrap();
+        let engine = EngineConfig::jobs(3).with_schedule(Schedule::WorkStealing);
+        let par = run_control_engine(w, &cfg, &engine).unwrap();
+        assert_eq!(seq.refs, par.refs);
         grids_equal(&seq.cells, &par.cells);
     }
 
@@ -241,6 +356,51 @@ mod tests {
                 "overhead identical to the last bit"
             );
         }
+    }
+
+    fn mixed_instruments() -> Vec<Instrument> {
+        let cfg = CacheConfig::direct_mapped(32 << 10, 64);
+        vec![
+            Cache::new(cfg).into(),
+            SetAssocCache::new(cfg.with_assoc(2)).into(),
+            BlockTracker::new(32 << 10, 64).into(),
+            SweepPlot::new(cfg, 4096).into(),
+            ActivityTracker::new(cfg).into(),
+        ]
+    }
+
+    #[test]
+    fn instruments_identical_under_every_schedule() {
+        let w = Workload::Rewrite.scaled(1);
+        let seq = EngineConfig::default();
+        let (stats0, oracle) = run_instruments(w, None, mixed_instruments(), &seq).unwrap();
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let engine = EngineConfig::jobs(3).with_schedule(schedule);
+            let (stats, out) = run_instruments(w, None, mixed_instruments(), &engine).unwrap();
+            assert_eq!(stats0.instructions.program(), stats.instructions.program());
+            assert_eq!(
+                oracle,
+                out,
+                "{}: instrument set bit-identical",
+                schedule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_sinks_under_a_collector_attributes_contexts() {
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+        let sinks = vec![Cache::new(CacheConfig::direct_mapped(32 << 10, 64))];
+        let (stats, out) = run_sinks(w, Some(spec), sinks, &engine).unwrap();
+        assert!(stats.gc.collections > 0, "heap small enough to force GC");
+        assert!(
+            out[0].stats().refs_by(cachegc_trace::Context::Collector) > 0,
+            "collector references reach the sink"
+        );
     }
 
     #[test]

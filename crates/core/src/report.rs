@@ -1,0 +1,404 @@
+//! Named-column tables: the one way every experiment binary reports.
+//!
+//! Each sweep binary assembles its results into [`Table`]s — named columns
+//! plus typed rows — and renders them through one code path: an aligned
+//! text table for the terminal and, on request, CSV into `results/` so
+//! successive PRs can diff experiment outputs against the paper's expected
+//! shapes mechanically instead of re-parsing hand-rolled `print!` layouts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One typed table cell.
+///
+/// The human rendering and the CSV value differ deliberately: a byte count
+/// renders as `64k` but round-trips through CSV as `65536`; a percentage
+/// renders as `+5.34%` but round-trips as the raw fraction `0.0534`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free text (left-aligned).
+    Text(String),
+    /// A signed integer count.
+    Int(i64),
+    /// An unsigned count, rendered with thousands separators.
+    Count(u64),
+    /// A float with the given rendered precision.
+    Float(f64, usize),
+    /// A fraction rendered as a signed percentage with two decimals.
+    Pct(f64),
+    /// A byte count rendered as `32k` / `4m`.
+    Bytes(u64),
+    /// An empty cell.
+    Missing,
+}
+
+impl Cell {
+    /// Free-text cell.
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    /// Human rendering, used in the aligned terminal table.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(n) => n.to_string(),
+            Cell::Count(n) => commas(*n),
+            Cell::Float(v, prec) => format!("{v:.prec$}"),
+            Cell::Pct(v) => format!("{:+.2}%", 100.0 * v),
+            Cell::Bytes(b) => human_bytes(*b),
+            Cell::Missing => String::new(),
+        }
+    }
+
+    /// Machine rendering, used in CSV output.
+    pub fn csv(&self) -> String {
+        match self {
+            Cell::Text(s) => csv_quote(s),
+            Cell::Int(n) => n.to_string(),
+            Cell::Count(n) => n.to_string(),
+            Cell::Float(v, _) => fmt_f64(*v),
+            Cell::Pct(v) => fmt_f64(*v),
+            Cell::Bytes(b) => b.to_string(),
+            Cell::Missing => String::new(),
+        }
+    }
+
+    fn is_text(&self) -> bool {
+        matches!(self, Cell::Text(_))
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(n: u64) -> Cell {
+        Cell::Count(n)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(n: u32) -> Cell {
+        Cell::Count(n.into())
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(n: usize) -> Cell {
+        Cell::Count(n as u64)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(n: i64) -> Cell {
+        Cell::Int(n)
+    }
+}
+
+/// Enough precision for an f64 to round-trip, without trailing noise.
+fn fmt_f64(v: f64) -> String {
+    let short = format!("{v}");
+    if short.parse::<f64>() == Ok(v) {
+        short
+    } else {
+        format!("{v:.17}")
+    }
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a byte count as `512` / `32k` / `4m`.
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}m", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}k", b >> 10)
+    } else {
+        b.to_string()
+    }
+}
+
+/// A named table: column headers plus typed rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// A new, empty table. `name` identifies it in multi-table reports and
+    /// in derived CSV file names.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity does not match the column count.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table '{}': row arity {} != {} columns",
+            self.name,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as an aligned text table: text columns left-aligned, numeric
+    /// columns right-aligned, two spaces between columns.
+    pub fn render(&self) -> String {
+        let n = self.columns.len();
+        // A column is left-aligned if any of its cells is free text.
+        let left: Vec<bool> = (0..n)
+            .map(|c| self.rows.iter().any(|r| r[c].is_text()))
+            .collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        let widths: Vec<usize> = (0..n)
+            .map(|c| {
+                rendered
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(self.columns[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let mut line = |cells: &[String]| {
+            let mut s = String::new();
+            for c in 0..n {
+                if c > 0 {
+                    s.push_str("  ");
+                }
+                let w = widths[c];
+                if left[c] {
+                    let _ = write!(s, "{:<w$}", cells[c]);
+                } else {
+                    let _ = write!(s, "{:>w$}", cells[c]);
+                }
+            }
+            out.push_str(s.trim_end());
+            out.push('\n');
+        };
+        line(&self.columns.to_vec());
+        for r in &rendered {
+            line(r);
+        }
+        out
+    }
+
+    /// Serialize as CSV: one header row, then data rows with machine
+    /// values (raw bytes, raw fractions).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(Cell::csv).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV serialization to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating directories or writing the file.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Resolve the CSV path for table `i` of `n` in a report written to
+/// `base`: the base path itself for a single table, `stem_<name>.csv`
+/// siblings otherwise.
+pub fn csv_table_path(base: &Path, table: &Table, n_tables: usize) -> std::path::PathBuf {
+    if n_tables <= 1 {
+        return base.to_path_buf();
+    }
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "report".to_string());
+    base.with_file_name(format!("{stem}_{}.csv", table.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("overhead", &["program", "size", "refs", "o_cache"]);
+        t.row(vec![
+            "compile".into(),
+            Cell::Bytes(64 << 10),
+            Cell::Count(1_234_567),
+            Cell::Pct(0.0534),
+        ]);
+        t.row(vec![
+            "nbody".into(),
+            Cell::Bytes(4 << 20),
+            Cell::Count(42),
+            Cell::Pct(-0.001),
+        ]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("program"));
+        assert!(lines[1].contains("64k"));
+        assert!(lines[1].contains("1,234,567"));
+        assert!(lines[1].contains("+5.34%"));
+        assert!(lines[2].contains("-0.10%"));
+        // Numeric columns right-align: the counts' last digits line up.
+        let c1 = lines[1].find("1,234,567").unwrap() + "1,234,567".len();
+        let c2 = lines[2].find("42").unwrap() + 2;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn csv_uses_machine_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "program,size,refs,o_cache");
+        assert_eq!(lines[1], "compile,65536,1234567,0.0534");
+        assert_eq!(lines[2], "nbody,4194304,42,-0.001");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_text() {
+        assert_eq!(csv_quote("a,b"), "\"a,b\"");
+        assert_eq!(csv_quote("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+        assert_eq!(csv_quote("plain"), "plain");
+    }
+
+    #[test]
+    fn floats_roundtrip_through_csv() {
+        let mut t = Table::new("f", &["v"]);
+        let v = 0.1 + 0.2; // not exactly representable as written
+        t.row(vec![Cell::Float(v, 2)]);
+        let csv = t.to_csv();
+        let parsed: f64 = csv.lines().nth(1).unwrap().parse().unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn arity_mismatch_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut t = Table::new("t", &["a", "b"]);
+            t.row(vec![Cell::Int(1)]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn table_paths_for_multi_table_reports() {
+        let t = Table::new("misses", &["a"]);
+        let base = Path::new("results/e4.csv");
+        assert_eq!(csv_table_path(base, &t, 1), base);
+        assert_eq!(
+            csv_table_path(base, &t, 2),
+            Path::new("results/e4_misses.csv")
+        );
+    }
+
+    #[test]
+    fn human_bytes_covers_all_ranges() {
+        assert_eq!(human_bytes(512), "512");
+        assert_eq!(human_bytes(32 << 10), "32k");
+        assert_eq!(human_bytes(4 << 20), "4m");
+        assert_eq!(commas(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn write_csv_creates_parents() {
+        let dir = std::env::temp_dir().join("cachegc_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep").join("t.csv");
+        sample().write_csv(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.starts_with("program,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,7 +9,7 @@ use crate::stats::CacheStats;
 
 const EMPTY: u32 = u32::MAX;
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Way {
     tag: u32,
     valid: u64,
@@ -19,7 +19,7 @@ struct Way {
 
 /// An LRU set-associative cache with the same policies and statistics as
 /// [`crate::Cache`]. Per-"block" statistics are tracked per *set*.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
     offset_bits: u32,

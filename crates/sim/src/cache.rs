@@ -28,7 +28,7 @@ pub struct Outcome {
 /// Data contents are not modeled — only tags, valid bits, and dirty bits —
 /// because the simulated program's data lives in [`cachegc-heap`]'s memory;
 /// the cache tracks exactly what a trace-driven simulator needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     cfg: CacheConfig,
     offset_bits: u32,

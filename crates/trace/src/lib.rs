@@ -34,6 +34,6 @@ mod sink;
 
 pub use counters::{Counters, InstrClass};
 pub use event::{Access, AccessKind, Context};
-pub use parallel::{ParallelFanout, DEFAULT_CHUNK_EVENTS};
+pub use parallel::{EngineConfig, ParallelFanout, Schedule, DEFAULT_CHUNK_EVENTS};
 pub use region::{Region, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE, WORD_BYTES};
 pub use sink::{Fanout, NullSink, RefCounter, TraceSink};

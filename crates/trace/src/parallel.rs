@@ -3,30 +3,50 @@
 //! [`crate::Fanout`] drives every attached sink on the producing thread, so
 //! a 40-cell cache grid costs 40 sequential simulations per access.
 //! [`ParallelFanout`] keeps the same observable behavior — every sink sees
-//! the full access stream, in order — but partitions the sinks round-robin
-//! across worker threads. The producer buffers accesses into fixed-size
-//! chunks and broadcasts each full chunk to every worker over a bounded
-//! channel, so the hot VM loop does no allocation and no synchronization
-//! beyond one channel send per chunk per worker.
+//! the full access stream, in order — but distributes the sinks across
+//! worker threads. The producer buffers accesses into fixed-size chunks
+//! and broadcasts each full chunk to the workers over bounded channels, so
+//! the hot VM loop does no allocation and no synchronization beyond one
+//! channel send per chunk per worker.
+//!
+//! # Scheduling
+//!
+//! Two worker schedules, selected by [`EngineConfig::schedule`]:
+//!
+//! * [`Schedule::RoundRobin`] — sink `i` is owned by worker `i % jobs` for
+//!   the whole run. No coordination between workers; the right choice when
+//!   every sink costs about the same per event (a grid of equal caches).
+//! * [`Schedule::WorkStealing`] — sinks are *tasks* on a shared queue; any
+//!   idle worker claims the next task that has unconsumed chunks, replays
+//!   them, and returns the task. When per-sink cost is heterogeneous (a
+//!   4 MB cache costs more per event than a 32 KB one; a [`TraceSink`]
+//!   doing block-lifetime bookkeeping costs more than either), stealing
+//!   keeps every worker busy instead of leaving the statically unlucky
+//!   ones idle.
 //!
 //! # Determinism
 //!
-//! Each sink is owned by exactly one worker and receives chunks in the
-//! order the producer sent them, which is stream order. Sinks never
-//! interact (each cache simulates its own geometry independently), so every
-//! sink processes exactly the sequence of accesses it would have seen under
-//! sequential [`crate::Fanout`] — per-sink results are bit-identical. The
-//! property tests in the workspace root enforce this.
+//! Under either schedule each sink consumes chunks strictly in the order
+//! the producer published them, which is stream order: round-robin gives a
+//! sink a dedicated worker and an ordered channel; work-stealing hands a
+//! task to at most one worker at a time and the task records the next
+//! chunk it needs. Sinks never interact, so every sink processes exactly
+//! the sequence of accesses it would have seen under sequential
+//! [`crate::Fanout`] — per-sink results are bit-identical. The property
+//! tests in the workspace root enforce this for both schedules.
 //!
 //! # Steady-state allocation freedom
 //!
-//! Chunks travel as `Arc<Vec<Access>>`. The last worker to finish a chunk
-//! reclaims the buffer (`Arc::try_unwrap`) and sends it back to the
-//! producer on a recycle channel, so after warm-up the producer reuses a
-//! small pool of buffers instead of allocating one per chunk.
+//! Chunks travel as `Arc<Vec<Access>>`. Under round-robin the last worker
+//! to finish a chunk reclaims the buffer (`Arc::try_unwrap`) and sends it
+//! back to the producer on a recycle channel, so after warm-up the
+//! producer reuses a small pool of buffers instead of allocating one per
+//! chunk. Work-stealing shares chunks through a bounded window and drops
+//! them when every task has claimed them.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::event::Access;
@@ -43,37 +63,150 @@ pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
 /// Bounds memory and applies backpressure if a worker falls behind.
 const CHANNEL_DEPTH: usize = 8;
 
-/// A [`TraceSink`] that broadcasts the stream to sinks sharded across
+/// Chunks the work-stealing window holds before the producer blocks.
+const STEAL_WINDOW: usize = 16;
+
+/// How a [`ParallelFanout`] assigns sinks to worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Static sharding: sink `i` lives on worker `i % jobs` for the whole
+    /// run. Lowest overhead; best when per-sink cost is uniform.
+    #[default]
+    RoundRobin,
+    /// Dynamic load balancing: idle workers claim whichever sink has
+    /// unconsumed chunks. Best when per-sink cost is heterogeneous.
+    WorkStealing,
+}
+
+impl Schedule {
+    /// Short name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::RoundRobin => "round-robin",
+            Schedule::WorkStealing => "work-stealing",
+        }
+    }
+
+    /// Parse a CLI spelling (`round-robin`/`rr`, `work-stealing`/`steal`/`ws`).
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s {
+            "round-robin" | "rr" => Some(Schedule::RoundRobin),
+            "work-stealing" | "steal" | "ws" => Some(Schedule::WorkStealing),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the parallel experiment engine: worker count, chunk
+/// granularity, and scheduling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. `1` with [`Schedule::RoundRobin`] is the sequential
+    /// oracle configuration drivers may special-case.
+    pub jobs: usize,
+    /// Events buffered per broadcast chunk.
+    pub chunk_events: usize,
+    /// Worker scheduling strategy.
+    pub schedule: Schedule,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 1,
+            chunk_events: DEFAULT_CHUNK_EVENTS,
+            schedule: Schedule::RoundRobin,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Round-robin over `jobs` workers with the default chunk size.
+    pub fn jobs(jobs: usize) -> Self {
+        EngineConfig {
+            jobs,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Same configuration with a different chunk size.
+    pub fn with_chunk(mut self, chunk_events: usize) -> Self {
+        self.chunk_events = chunk_events;
+        self
+    }
+
+    /// Same configuration with a different schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// True if this configuration buys nothing over the sequential path,
+    /// so drivers should take their single-threaded oracle branch.
+    pub fn is_sequential(&self) -> bool {
+        self.jobs <= 1 && self.schedule == Schedule::RoundRobin
+    }
+}
+
+/// A [`TraceSink`] that broadcasts the stream to sinks distributed across
 /// worker threads. Drop-in replacement for [`crate::Fanout`] when the
-/// attached sinks are independent (a cache grid).
+/// attached sinks are independent (a cache grid, a set of analysis
+/// instruments).
 pub struct ParallelFanout<S> {
     buf: Vec<Access>,
     chunk_events: usize,
     total_sinks: usize,
-    txs: Vec<SyncSender<Arc<Vec<Access>>>>,
-    recycle_rx: Receiver<Vec<Access>>,
-    handles: Vec<JoinHandle<Vec<S>>>,
+    backend: Backend<S>,
+}
+
+enum Backend<S> {
+    RoundRobin {
+        txs: Vec<SyncSender<Arc<Vec<Access>>>>,
+        recycle_rx: Receiver<Vec<Access>>,
+        handles: Vec<JoinHandle<Vec<S>>>,
+    },
+    Stealing {
+        shared: Arc<StealShared<S>>,
+        handles: Vec<JoinHandle<()>>,
+    },
 }
 
 impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
-    /// Shard `sinks` across `jobs` worker threads with the default chunk
-    /// size. `jobs` is clamped to at least 1; workers beyond the number of
-    /// sinks idle harmlessly.
+    /// Shard `sinks` across `jobs` round-robin worker threads with the
+    /// default chunk size. `jobs` is clamped to at least 1; workers beyond
+    /// the number of sinks idle harmlessly.
     pub fn new(sinks: Vec<S>, jobs: usize) -> Self {
-        Self::with_chunk(sinks, jobs, DEFAULT_CHUNK_EVENTS)
+        Self::with_engine(sinks, &EngineConfig::jobs(jobs))
     }
 
     /// As [`ParallelFanout::new`] with an explicit chunk size (events per
     /// broadcast). Exposed for tests; the default is right for production.
+    pub fn with_chunk(sinks: Vec<S>, jobs: usize, chunk_events: usize) -> Self {
+        Self::with_engine(sinks, &EngineConfig::jobs(jobs).with_chunk(chunk_events))
+    }
+
+    /// Distribute `sinks` across workers according to `engine`.
     ///
     /// # Panics
     ///
-    /// Panics if `chunk_events` is zero.
-    pub fn with_chunk(sinks: Vec<S>, jobs: usize, chunk_events: usize) -> Self {
-        assert!(chunk_events > 0, "chunk size must be positive");
-        let jobs = jobs.max(1).min(sinks.len().max(1));
+    /// Panics if `engine.chunk_events` is zero.
+    pub fn with_engine(sinks: Vec<S>, engine: &EngineConfig) -> Self {
+        assert!(engine.chunk_events > 0, "chunk size must be positive");
+        let jobs = engine.jobs.max(1).min(sinks.len().max(1));
         let total_sinks = sinks.len();
+        let backend = match engine.schedule {
+            Schedule::RoundRobin => Self::round_robin_backend(sinks, jobs),
+            Schedule::WorkStealing => Self::stealing_backend(sinks, jobs),
+        };
+        ParallelFanout {
+            buf: Vec::with_capacity(engine.chunk_events),
+            chunk_events: engine.chunk_events,
+            total_sinks,
+            backend,
+        }
+    }
 
+    fn round_robin_backend(sinks: Vec<S>, jobs: usize) -> Backend<S> {
         // Round-robin assignment: sink i lives on worker i % jobs.
         let mut shards: Vec<Vec<S>> = (0..jobs).map(|_| Vec::new()).collect();
         for (i, sink) in sinks.into_iter().enumerate() {
@@ -105,15 +238,44 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
                 shard
             }));
         }
-
-        ParallelFanout {
-            buf: Vec::with_capacity(chunk_events),
-            chunk_events,
-            total_sinks,
+        Backend::RoundRobin {
             txs,
             recycle_rx,
             handles,
         }
+    }
+
+    fn stealing_backend(sinks: Vec<S>, jobs: usize) -> Backend<S> {
+        let n_tasks = sinks.len();
+        let shared = Arc::new(StealShared {
+            state: Mutex::new(StealState {
+                window: VecDeque::new(),
+                base: 0,
+                published: 0,
+                done: false,
+                poisoned: false,
+                ready: sinks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(index, sink)| StealTask {
+                        index,
+                        next: 0,
+                        sink,
+                    })
+                    .collect(),
+                finished: Vec::with_capacity(n_tasks),
+                n_tasks,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let handles = (0..jobs)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || steal_worker(&shared))
+            })
+            .collect();
+        Backend::Stealing { shared, handles }
     }
 
     /// Number of attached sinks.
@@ -128,7 +290,10 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
 
     /// Number of worker threads.
     pub fn jobs(&self) -> usize {
-        self.txs.len()
+        match &self.backend {
+            Backend::RoundRobin { txs, .. } => txs.len(),
+            Backend::Stealing { handles, .. } => handles.len(),
+        }
     }
 
     /// Broadcast any buffered events to the workers.
@@ -136,15 +301,24 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
         if self.buf.is_empty() {
             return;
         }
-        let next = self
-            .recycle_rx
-            .try_recv()
-            .unwrap_or_else(|_| Vec::with_capacity(self.chunk_events));
-        let chunk = Arc::new(std::mem::replace(&mut self.buf, next));
-        for tx in &self.txs {
-            // A worker can only be gone if it panicked; surface that at
-            // join time in `into_sinks` rather than here.
-            let _ = tx.send(Arc::clone(&chunk));
+        match &mut self.backend {
+            Backend::RoundRobin {
+                txs, recycle_rx, ..
+            } => {
+                let next = recycle_rx
+                    .try_recv()
+                    .unwrap_or_else(|_| Vec::with_capacity(self.chunk_events));
+                let chunk = Arc::new(std::mem::replace(&mut self.buf, next));
+                for tx in txs.iter() {
+                    // A worker can only be gone if it panicked; surface that
+                    // at join time in `into_sinks` rather than here.
+                    let _ = tx.send(Arc::clone(&chunk));
+                }
+            }
+            Backend::Stealing { shared, .. } => {
+                let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_events));
+                shared.publish(chunk);
+            }
         }
     }
 
@@ -156,20 +330,41 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
     /// Propagates a panic from any worker thread.
     pub fn into_sinks(mut self) -> Vec<S> {
         self.flush();
-        self.txs.clear(); // close the channels; workers drain and exit
-        let jobs = self.handles.len();
-        let mut shards: Vec<std::vec::IntoIter<S>> = self
-            .handles
-            .drain(..)
-            .map(|h| {
-                h.join()
-                    .expect("parallel fanout worker panicked")
-                    .into_iter()
-            })
-            .collect();
-        (0..self.total_sinks)
-            .map(|i| shards[i % jobs].next().expect("shard sizes consistent"))
-            .collect()
+        match &mut self.backend {
+            Backend::RoundRobin { txs, handles, .. } => {
+                txs.clear(); // close the channels; workers drain and exit
+                let jobs = handles.len();
+                let mut shards: Vec<std::vec::IntoIter<S>> = handles
+                    .drain(..)
+                    .map(|h| {
+                        h.join()
+                            .expect("parallel fanout worker panicked")
+                            .into_iter()
+                    })
+                    .collect();
+                (0..self.total_sinks)
+                    .map(|i| shards[i % jobs].next().expect("shard sizes consistent"))
+                    .collect()
+            }
+            Backend::Stealing { shared, handles } => {
+                {
+                    let mut st = shared.state.lock().expect("steal state poisoned");
+                    st.done = true;
+                    shared.work.notify_all();
+                }
+                for h in handles.drain(..) {
+                    h.join().expect("parallel fanout worker panicked");
+                }
+                let mut st = shared.state.lock().expect("steal state poisoned");
+                assert!(
+                    st.finished.len() == st.n_tasks,
+                    "all sinks accounted for at shutdown"
+                );
+                let mut tasks = std::mem::take(&mut st.finished);
+                tasks.sort_by_key(|t| t.index);
+                tasks.into_iter().map(|t| t.sink).collect()
+            }
+        }
     }
 }
 
@@ -180,6 +375,154 @@ impl<S: TraceSink + Send + 'static> TraceSink for ParallelFanout<S> {
         if self.buf.len() >= self.chunk_events {
             self.flush();
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing backend
+// ---------------------------------------------------------------------
+
+/// A sink plus the index of the next published chunk it must consume.
+/// Owned by at most one worker at a time, so consumption is in order.
+struct StealTask<S> {
+    index: usize,
+    next: usize,
+    sink: S,
+}
+
+struct StealState<S> {
+    /// Published chunks not yet claimed by every task, with the count of
+    /// tasks that have not claimed them. `window[i]` is global chunk
+    /// `base + i`; a task's unclaimed range `[task.next, published)` is
+    /// always inside the window, so memory stays bounded by the window
+    /// plus what in-flight workers hold.
+    window: VecDeque<(Arc<Vec<Access>>, usize)>,
+    base: usize,
+    published: usize,
+    done: bool,
+    /// A worker panicked mid-replay; everyone unwinds.
+    poisoned: bool,
+    /// Tasks not currently held by a worker.
+    ready: Vec<StealTask<S>>,
+    /// Tasks that consumed the whole stream after `done`.
+    finished: Vec<StealTask<S>>,
+    n_tasks: usize,
+}
+
+struct StealShared<S> {
+    state: Mutex<StealState<S>>,
+    /// Workers wait here for chunks, returned tasks, or shutdown.
+    work: Condvar,
+    /// The producer waits here for window space.
+    space: Condvar,
+}
+
+impl<S> StealShared<S> {
+    fn publish(&self, chunk: Vec<Access>) {
+        let mut st = self.state.lock().expect("steal state poisoned");
+        if st.n_tasks == 0 {
+            return;
+        }
+        while st.window.len() >= STEAL_WINDOW && !st.poisoned {
+            st = self.space.wait(st).expect("steal state poisoned");
+        }
+        if st.poisoned {
+            return; // shutdown path; the panic surfaces at join time
+        }
+        let claims = st.n_tasks;
+        st.window.push_back((Arc::new(chunk), claims));
+        st.published += 1;
+        self.work.notify_all();
+    }
+}
+
+/// Marks the shared state poisoned if the worker unwinds while replaying
+/// a chunk (the only region where the state lock is not held).
+struct PoisonOnPanic<'a, S> {
+    shared: &'a StealShared<S>,
+    armed: bool,
+}
+
+impl<S> Drop for PoisonOnPanic<'_, S> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.shared.state.lock() {
+                st.poisoned = true;
+            }
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+    }
+}
+
+fn steal_worker<S: TraceSink>(shared: &StealShared<S>) {
+    let mut st = shared.state.lock().expect("steal state poisoned");
+    loop {
+        if st.poisoned {
+            return;
+        }
+        // Claim a task with unconsumed chunks.
+        if let Some(pos) = st.ready.iter().position(|t| t.next < st.published) {
+            let mut task = st.ready.swap_remove(pos);
+            let to = st.published;
+            let base = st.base;
+            let chunks: Vec<Arc<Vec<Access>>> = (task.next..to)
+                .map(|i| {
+                    let slot = &mut st.window[i - base];
+                    slot.1 -= 1;
+                    Arc::clone(&slot.0)
+                })
+                .collect();
+            // Drop fully claimed chunks off the window front.
+            while st.window.front().is_some_and(|(_, claims)| *claims == 0) {
+                st.window.pop_front();
+                st.base += 1;
+            }
+            shared.space.notify_all();
+            drop(st);
+
+            let mut poison = PoisonOnPanic {
+                shared,
+                armed: true,
+            };
+            for chunk in &chunks {
+                for &access in chunk.iter() {
+                    task.sink.access(access);
+                }
+            }
+            poison.armed = false;
+            task.next = to;
+
+            st = shared.state.lock().expect("steal state poisoned");
+            if st.done && task.next == st.published {
+                st.finished.push(task);
+            } else {
+                st.ready.push(task);
+            }
+            // Idle workers may now have a task to claim or may be able to
+            // exit; either way the state changed.
+            shared.work.notify_all();
+            continue;
+        }
+        if st.done {
+            // Retire caught-up tasks, then exit once every task is retired
+            // (tasks held by other workers are retired by those workers).
+            let published = st.published;
+            let mut i = 0;
+            while i < st.ready.len() {
+                if st.ready[i].next == published {
+                    let t = st.ready.swap_remove(i);
+                    st.finished.push(t);
+                } else {
+                    i += 1;
+                }
+            }
+            if st.finished.len() == st.n_tasks {
+                shared.work.notify_all();
+                return;
+            }
+        }
+        st = shared.work.wait(st).expect("steal state poisoned");
     }
 }
 
@@ -200,19 +543,35 @@ mod tests {
         })
     }
 
+    fn engines() -> Vec<EngineConfig> {
+        let mut out = Vec::new();
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            for jobs in [1usize, 3] {
+                out.push(
+                    EngineConfig::jobs(jobs)
+                        .with_chunk(64)
+                        .with_schedule(schedule),
+                );
+            }
+        }
+        out
+    }
+
     #[test]
     fn matches_sequential_fanout_across_chunk_boundaries() {
         // Stream lengths around the chunk size: shorter, exact, longer.
-        for n in [0u32, 1, 7, 63, 64, 65, 128, 1000] {
-            let mut seq = Fanout::new(vec![RefCounter::new(); 5]);
-            let mut par = ParallelFanout::with_chunk(vec![RefCounter::new(); 5], 3, 64);
-            for a in stream(n) {
-                seq.access(a);
-                par.access(a);
+        for engine in engines() {
+            for n in [0u32, 1, 7, 63, 64, 65, 128, 1000] {
+                let mut seq = Fanout::new(vec![RefCounter::new(); 5]);
+                let mut par = ParallelFanout::with_engine(vec![RefCounter::new(); 5], &engine);
+                for a in stream(n) {
+                    seq.access(a);
+                    par.access(a);
+                }
+                let seq = seq.into_sinks();
+                let par = par.into_sinks();
+                assert_eq!(seq, par, "n = {n}, engine = {engine:?}");
             }
-            let seq = seq.into_sinks();
-            let par = par.into_sinks();
-            assert_eq!(seq, par, "n = {n}");
         }
     }
 
@@ -227,15 +586,18 @@ mod tests {
                 self.1 += 1;
             }
         }
-        let sinks: Vec<Tagged> = (0..10).map(|i| Tagged(i, 0)).collect();
-        let mut par = ParallelFanout::with_chunk(sinks, 4, 16);
-        for a in stream(100) {
-            par.access(a);
-        }
-        let out = par.into_sinks();
-        for (i, t) in out.iter().enumerate() {
-            assert_eq!(t.0, i, "sink order preserved");
-            assert_eq!(t.1, 100, "every sink saw every event");
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let sinks: Vec<Tagged> = (0..10).map(|i| Tagged(i, 0)).collect();
+            let engine = EngineConfig::jobs(4).with_chunk(16).with_schedule(schedule);
+            let mut par = ParallelFanout::with_engine(sinks, &engine);
+            for a in stream(100) {
+                par.access(a);
+            }
+            let out = par.into_sinks();
+            for (i, t) in out.iter().enumerate() {
+                assert_eq!(t.0, i, "sink order preserved under {schedule:?}");
+                assert_eq!(t.1, 100, "every sink saw every event");
+            }
         }
     }
 
@@ -247,16 +609,67 @@ mod tests {
             par.access(a);
         }
         assert_eq!(par.into_sinks()[0].total(), 10);
+
+        let engine = EngineConfig::jobs(16).with_schedule(Schedule::WorkStealing);
+        let mut par = ParallelFanout::with_engine(vec![RefCounter::new()], &engine);
+        assert_eq!(par.jobs(), 1);
+        for a in stream(10) {
+            par.access(a);
+        }
+        assert_eq!(par.into_sinks()[0].total(), 10);
     }
 
     #[test]
     fn empty_grid_and_empty_stream() {
-        let par: ParallelFanout<RefCounter> = ParallelFanout::new(vec![], 4);
-        assert!(par.is_empty());
-        assert_eq!(par.into_sinks().len(), 0);
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let engine = EngineConfig::jobs(4).with_schedule(schedule);
+            let par: ParallelFanout<RefCounter> = ParallelFanout::with_engine(vec![], &engine);
+            assert!(par.is_empty());
+            assert_eq!(par.into_sinks().len(), 0);
 
-        let par = ParallelFanout::new(vec![RefCounter::new(); 3], 2);
-        let out = par.into_sinks(); // no events at all
-        assert!(out.iter().all(|c| c.total() == 0));
+            let par = ParallelFanout::with_engine(vec![RefCounter::new(); 3], &engine);
+            let out = par.into_sinks(); // no events at all
+            assert!(out.iter().all(|c| c.total() == 0));
+        }
+    }
+
+    #[test]
+    fn stealing_applies_backpressure_without_losing_events() {
+        // Many more chunks than the window holds: the producer must block
+        // and resume without dropping or reordering anything.
+        let engine = EngineConfig::jobs(2)
+            .with_chunk(8)
+            .with_schedule(Schedule::WorkStealing);
+        let mut par = ParallelFanout::with_engine(vec![RefCounter::new(); 3], &engine);
+        let n = 8 * STEAL_WINDOW as u32 * 10;
+        for a in stream(n) {
+            par.access(a);
+        }
+        let out = par.into_sinks();
+        assert!(out.iter().all(|c| c.total() == u64::from(n)));
+    }
+
+    #[test]
+    fn schedule_parsing() {
+        assert_eq!(Schedule::parse("rr"), Some(Schedule::RoundRobin));
+        assert_eq!(Schedule::parse("round-robin"), Some(Schedule::RoundRobin));
+        assert_eq!(Schedule::parse("ws"), Some(Schedule::WorkStealing));
+        assert_eq!(Schedule::parse("steal"), Some(Schedule::WorkStealing));
+        assert_eq!(
+            Schedule::parse("work-stealing"),
+            Some(Schedule::WorkStealing)
+        );
+        assert_eq!(Schedule::parse("lifo"), None);
+        assert_eq!(Schedule::WorkStealing.name(), "work-stealing");
+    }
+
+    #[test]
+    fn engine_config_sequential_detection() {
+        assert!(EngineConfig::default().is_sequential());
+        assert!(EngineConfig::jobs(1).is_sequential());
+        assert!(!EngineConfig::jobs(2).is_sequential());
+        assert!(!EngineConfig::jobs(1)
+            .with_schedule(Schedule::WorkStealing)
+            .is_sequential());
     }
 }

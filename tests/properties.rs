@@ -7,13 +7,14 @@
 
 use std::collections::HashMap;
 
+use cachegc::analysis::{ActivityTracker, BlockTracker, Instrument, SweepPlot};
 use cachegc::gc::{CheneyCollector, Collector, GenerationalCollector, NoCollector, Roots};
 use cachegc::heap::{Header, Heap, HeapConfig, ObjKind, Value};
 use cachegc::sim::{Cache, CacheConfig, SetAssocCache};
 use cachegc::testkit::{check, Rng};
 use cachegc::trace::{
-    Access, AccessKind, Context, Counters, Fanout, NullSink, ParallelFanout, TraceSink,
-    DYNAMIC_BASE,
+    Access, AccessKind, Context, Counters, EngineConfig, Fanout, NullSink, ParallelFanout,
+    Schedule, TraceSink, DYNAMIC_BASE,
 };
 use cachegc::vm::{read, Machine, Sexp};
 
@@ -231,6 +232,103 @@ fn parallel_fanout_chunk_boundary_edges() {
                 par.access(a);
             }
             assert_cells_identical(seq.into_sinks(), par.into_sinks());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heterogeneous instrument sets under both schedules
+// ---------------------------------------------------------------------
+
+/// A mixed instrument set: cache simulators of different geometries and
+/// organizations next to the §7 behavioral analyzers, as one
+/// `Vec<Instrument>`. The per-event costs differ wildly, which is exactly
+/// the shape the work-stealing schedule exists for.
+fn mixed_instruments() -> Vec<Instrument> {
+    let cfg = CacheConfig::direct_mapped(1 << 15, 64);
+    vec![
+        Cache::new(cfg).into(),
+        Cache::new(CacheConfig::direct_mapped(1 << 16, 256)).into(),
+        SetAssocCache::new(cfg.with_assoc(2)).into(),
+        BlockTracker::new(1 << 15, 64).into(),
+        SweepPlot::new(cfg, 256).into(),
+        ActivityTracker::new(cfg).into(),
+    ]
+}
+
+#[test]
+fn mixed_instruments_identical_under_both_schedules() {
+    check("mixed_instruments_schedules", 24, |rng| {
+        // Random jobs/chunk and a random schedule: every instrument's
+        // final state must be bit-identical to the sequential oracle.
+        let jobs = rng.range_usize(1, 7);
+        let chunk = rng.range_usize(1, 200);
+        let n = rng.range_usize(0, 2500);
+        let schedule = if rng.bool() {
+            Schedule::WorkStealing
+        } else {
+            Schedule::RoundRobin
+        };
+        let engine = EngineConfig::jobs(jobs)
+            .with_chunk(chunk)
+            .with_schedule(schedule);
+        let mut seq = Fanout::new(mixed_instruments());
+        let mut par = ParallelFanout::with_engine(mixed_instruments(), &engine);
+        for _ in 0..n {
+            let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 14) * 4;
+            let ctx = if rng.bool() {
+                Context::Mutator
+            } else {
+                Context::Collector
+            };
+            let a = match rng.range_u32(0, 3) {
+                0 => Access::read(addr, ctx),
+                1 => Access::write(addr, ctx),
+                _ => Access::alloc_write(addr, ctx),
+            };
+            seq.access(a);
+            par.access(a);
+        }
+        assert_eq!(
+            seq.into_sinks(),
+            par.into_sinks(),
+            "mixed instruments bit-identical under {schedule:?}"
+        );
+    });
+}
+
+#[test]
+fn work_stealing_chunk_boundary_and_single_worker_edges() {
+    // Deterministic edge cases for the stealing backend: empty stream,
+    // streams around chunk multiples, a single worker (jobs = 1 with
+    // WorkStealing still routes through the stealing backend), and more
+    // workers than instruments.
+    const CHUNK: usize = 64;
+    for n in [
+        0usize,
+        1,
+        CHUNK - 1,
+        CHUNK,
+        CHUNK + 1,
+        3 * CHUNK,
+        3 * CHUNK + 1,
+    ] {
+        for jobs in [1usize, 2, 5, 16] {
+            let engine = EngineConfig::jobs(jobs)
+                .with_chunk(CHUNK)
+                .with_schedule(Schedule::WorkStealing);
+            let mut seq = Fanout::new(mixed_instruments());
+            let mut par = ParallelFanout::with_engine(mixed_instruments(), &engine);
+            for i in 0..n as u32 {
+                let a = if i % 4 == 0 {
+                    Access::alloc_write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
+                } else {
+                    Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
+                };
+                seq.access(a);
+                par.access(a);
+            }
+            assert_eq!(seq.into_sinks(), par.into_sinks(), "n={n} jobs={jobs}");
         }
     }
 }
