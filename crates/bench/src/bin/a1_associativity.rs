@@ -1,63 +1,9 @@
-//! A1 (ablation) — direct-mapped vs set-associative caches. §4 restricts
-//! the study to direct-mapped caches because that is what fast machines
-//! ship; this ablation measures how much associativity would change the
-//! picture for these workloads.
-//!
-//! The nine set-associative simulators ride one engine-driven pass per
-//! workload (`--jobs`/`--schedule`); the two workloads run concurrently.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::a1`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks, CacheConfig, SetAssocCache};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse("a1_associativity", "associativity ablation (64b blocks)", 2);
-    let scale = args.scale;
-    header(&format!(
-        "A1: associativity ablation (64b blocks), scale {scale}, jobs {}",
-        args.jobs
-    ));
-    let sizes = [32 << 10, 64 << 10, 256 << 10u32];
-    let ways = [1u32, 2, 4];
-
-    let workloads = [Workload::Compile, Workload::Nbody];
-    let outer = args.jobs.min(workloads.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let passes = par_map(&workloads, outer, |w| {
-        eprintln!("running {} ...", w.name());
-        let mut caches = Vec::new();
-        for &size in &sizes {
-            for &a in &ways {
-                caches.push(SetAssocCache::new(
-                    CacheConfig::direct_mapped(size, 64).with_assoc(a),
-                ));
-            }
-        }
-        let (_, out) = run_sinks(w.scaled(scale), None, caches, &inner).unwrap();
-        out
-    });
-
-    let mut table = Table::new(
-        "assoc",
-        &["program", "cache", "ways", "fetches", "miss_ratio"],
-    );
-    for (w, caches) in workloads.iter().zip(&passes) {
-        for c in caches {
-            table.row(vec![
-                w.name().into(),
-                Cell::Bytes(c.config().size.into()),
-                c.config().assoc.into(),
-                c.stats().fetches().into(),
-                Cell::Float(c.stats().miss_ratio(), 4),
-            ]);
-        }
-    }
-    print!("{}", table.render());
-    println!();
-    println!("expectation: associativity helps modestly (conflict misses among busy blocks),");
-    println!("but linear allocation leaves little for LRU to exploit — supporting the");
-    println!("paper's focus on direct-mapped caches.");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("a1_associativity").expect("registered experiment"));
 }

@@ -1,75 +1,9 @@
-//! A2 (ablation) — collection frequency: Cheney semispace size vs `O_gc`.
-//! §6 argues the collector should run *infrequently*; this sweep makes the
-//! trade explicit by shrinking the semispaces.
-//!
-//! `--jobs N` runs the semispace sizes concurrently (each is an
-//! independent control + collected pair on the engine).
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::a2`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "a2_semispace_sweep",
-        "Cheney semispace-size sweep (compile workload)",
-        4,
-    );
-    let scale = args.scale;
-    let mut cfg = ExperimentConfig::paper();
-    cfg.block_sizes = vec![64];
-    cfg.cache_sizes = vec![64 << 10, 1 << 20];
-    header(&format!(
-        "A2: Cheney semispace-size sweep, compile workload, scale {scale}, jobs {}",
-        args.jobs
-    ));
-
-    let semispaces: Vec<u32> = vec![512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20];
-    let outer = args.jobs.min(semispaces.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let results = par_map(&semispaces, outer, |&semi| {
-        let spec = CollectorSpec::Cheney {
-            semispace_bytes: semi,
-        };
-        eprintln!("running with {} semispaces ...", human_bytes(semi));
-        GcComparison::run_engine(Workload::Compile.scaled(scale), &cfg, spec, &inner)
-    });
-
-    let mut table = Table::new(
-        "semispace",
-        &[
-            "semispace",
-            "collections",
-            "copied_bytes",
-            "slow_64k",
-            "fast_64k",
-            "slow_1m",
-            "fast_1m",
-        ],
-    );
-    for (&semi, result) in semispaces.iter().zip(&results) {
-        let cmp = match result {
-            Ok(c) => c,
-            Err(e) => {
-                println!("{:>10}  failed: {e}", human_bytes(semi));
-                continue;
-            }
-        };
-        table.row(vec![
-            Cell::Bytes(semi.into()),
-            cmp.collected.gc.collections.into(),
-            cmp.collected.gc.bytes_copied.into(),
-            Cell::Pct(cmp.gc_overhead(64 << 10, 64, &SLOW)),
-            Cell::Pct(cmp.gc_overhead(64 << 10, 64, &FAST)),
-            Cell::Pct(cmp.gc_overhead(1 << 20, 64, &SLOW)),
-            Cell::Pct(cmp.gc_overhead(1 << 20, 64, &FAST)),
-        ]);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("expectation: larger semispaces => fewer collections => lower O_gc,");
-    println!("approaching the no-collection control; §6's 'collect rarely' advice.");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("a2_semispace_sweep").expect("registered experiment"));
 }

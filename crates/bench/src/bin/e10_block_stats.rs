@@ -1,74 +1,9 @@
-//! E10 — the §7 block-behavior census:
-//!
-//! * multi-cycle dynamic blocks: ≥90 % active in ≤4 allocation cycles;
-//! * most dynamic blocks referenced 32–63 times (64-byte blocks);
-//! * 59–155 busy static blocks (<0.02 % of active blocks) taking ~75 % of
-//!   all references, including the stack and the runtime's hot vector.
-//!
-//! `--jobs N` runs the five programs concurrently; each pass goes through
-//! the experiment engine (`run_sinks`).
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e10`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_analysis::BlockTracker;
-use cachegc_bench::{header, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks};
-use cachegc_trace::Region;
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e10_block_stats",
-        "the §7 block-behavior census (64k cache / 64b blocks)",
-        2,
-    );
-    let scale = args.scale;
-    header(&format!(
-        "E10: block behavior census, 64k cache / 64b blocks (§7), scale {scale}, jobs {}",
-        args.jobs
-    ));
-    let outer = args.jobs.min(Workload::ALL.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let reports = par_map(&Workload::ALL, outer, |w| {
-        eprintln!("running {} ...", w.name());
-        let (_, sinks) = run_sinks(
-            w.scaled(scale),
-            None,
-            vec![BlockTracker::new(64 << 10, 64)],
-            &inner,
-        )
-        .unwrap();
-        sinks.into_iter().next().expect("one tracker").finish()
-    });
-
-    let mut table = Table::new(
-        "census",
-        &[
-            "program",
-            "med_refs",
-            "mc_le4",
-            "busy",
-            "busy_stack",
-            "busy_static",
-            "busy_refs",
-        ],
-    );
-    for (w, r) in Workload::ALL.iter().zip(&reports) {
-        let busy_stack = r.busy.iter().filter(|b| b.region == Region::Stack).count();
-        let busy_static = r.busy.iter().filter(|b| b.region == Region::Static).count();
-        table.row(vec![
-            w.name().into(),
-            r.median_dynamic_refs().into(),
-            Cell::Pct(r.multi_cycle_active_le(4)),
-            r.busy.len().into(),
-            busy_stack.into(),
-            busy_static.into(),
-            Cell::Pct(r.busy_refs_fraction()),
-        ]);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper shape: >=90% of multi-cycle blocks active in <=4 cycles; dynamic blocks");
-    println!("mostly referenced 32-63 times; 59-155 busy (mostly static/stack) blocks take ~75% of refs.");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("e10_block_stats").expect("registered experiment"));
 }

@@ -1,129 +1,9 @@
-//! E11 — the §7 cache-activity graphs: cache blocks in ascending
-//! reference-count order, each with its local miss ratio, plus the
-//! cumulative miss / reference / miss-ratio curves. Four panels as in the
-//! paper: compile at 64 KB, prove at 64 KB (the thrash-prone program),
-//! rewrite at 64 KB (misses spread wide), and compile at 128 KB (the
-//! larger cache tightens everything).
-//!
-//! Both compile panels ride *one* trace pass as a heterogeneous
-//! [`Instrument`] set; `--jobs`/`--schedule` drive the engine and the
-//! three workloads run concurrently.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e11`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_analysis::{Activity, ActivityTracker, Instrument};
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_instruments, CacheConfig};
-use cachegc_workloads::Workload;
-
-/// One workload's panels: the cache sizes it is decomposed at.
-const GROUPS: [(Workload, &[u32]); 3] = [
-    (Workload::Compile, &[64 << 10, 128 << 10]),
-    (Workload::Prove, &[64 << 10]),
-    (Workload::Rewrite, &[64 << 10]),
-];
-
-fn panel(w: Workload, cache_bytes: u32, act: &Activity, summary: &mut Table, deciles: &mut Table) {
-    let name = format!("{}@{}", w.name(), human_bytes(cache_bytes));
-    println!(
-        "\n{} / 64b: global miss ratio (excl. alloc) {:.4}, max cum jump {:.4}",
-        name,
-        act.global_miss_ratio,
-        act.max_cum_jump()
-    );
-    println!(
-        "  most-referenced decile: {} worst-case (local ratio > 0.25), {} best-case (< 0.01)",
-        act.worst_case_blocks(0.25),
-        act.best_case_blocks(0.01)
-    );
-    summary.row(vec![
-        Cell::text(name.clone()),
-        Cell::Float(act.global_miss_ratio, 4),
-        Cell::Float(act.max_cum_jump(), 4),
-        act.worst_case_blocks(0.25).into(),
-        act.best_case_blocks(0.01).into(),
-    ]);
-    // Sample the cumulative curves at deciles of the block ordering.
-    println!(
-        "  {:>6} {:>12} {:>10} {:>10} {:>10}",
-        "pct", "refs", "cum refs", "cum miss", "cum ratio"
-    );
-    let n = act.entries.len();
-    for decile in [50, 80, 90, 95, 99, 100] {
-        let i = (n * decile / 100).saturating_sub(1);
-        let e = &act.entries[i];
-        println!(
-            "  {:>5}% {:>12} {:>9.1}% {:>9.1}% {:>10.4}",
-            decile,
-            e.refs,
-            100.0 * e.cum_ref_fraction,
-            100.0 * e.cum_miss_fraction,
-            e.cum_miss_ratio
-        );
-        deciles.row(vec![
-            Cell::text(name.clone()),
-            decile.into(),
-            e.refs.into(),
-            Cell::Pct(e.cum_ref_fraction),
-            Cell::Pct(e.cum_miss_fraction),
-            Cell::Float(e.cum_miss_ratio, 4),
-        ]);
-    }
-}
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e11_cache_activity",
-        "the §7 cache-activity decomposition (four panels)",
-        2,
-    );
-    let scale = args.scale;
-    header(&format!(
-        "E11: cache-activity decomposition (§7 figures), scale {scale}, jobs {}",
-        args.jobs
-    ));
-    let outer = args.jobs.min(GROUPS.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let activities: Vec<Vec<Activity>> = par_map(&GROUPS, outer, |&(w, sizes)| {
-        eprintln!(
-            "running {} ({} panels in one pass) ...",
-            w.name(),
-            sizes.len()
-        );
-        let instruments: Vec<Instrument> = sizes
-            .iter()
-            .map(|&s| ActivityTracker::new(CacheConfig::direct_mapped(s, 64)).into())
-            .collect();
-        let (_, out) = run_instruments(w.scaled(scale), None, instruments, &inner).unwrap();
-        out.into_iter()
-            .map(|i| i.into_activity().expect("activity instrument"))
-            .collect()
-    });
-
-    let mut summary = Table::new(
-        "activity",
-        &[
-            "panel",
-            "global_miss_ratio",
-            "max_cum_jump",
-            "worst_case",
-            "best_case",
-        ],
-    );
-    let mut deciles = Table::new(
-        "deciles",
-        &["panel", "pct", "refs", "cum_refs", "cum_miss", "cum_ratio"],
-    );
-    for (&(w, sizes), acts) in GROUPS.iter().zip(&activities) {
-        for (&size, act) in sizes.iter().zip(acts) {
-            panel(w, size, act, &mut summary, &mut deciles);
-        }
-    }
-    println!();
-    print!("{}", summary.render());
-    println!();
-    println!("paper shape: most refs and misses concentrate in the most-referenced blocks;");
-    println!("best-case blocks pull the final cumulative miss ratio down (orbit: 0.027->0.017);");
-    println!("thrashing appears as a jump in the cumulative curve; 128k beats 64k everywhere.");
-    args.write_csv(&[&summary, &deciles]);
+    experiments::run_main(experiments::find("e11_cache_activity").expect("registered experiment"));
 }

@@ -1,58 +1,9 @@
-//! E12 — the §5 write-overhead check: the cost of writing dirty blocks
-//! back to memory in a write-back cache, as a fraction of idealized run
-//! time. The paper's preliminary measurements: slow processor almost
-//! always < 1 %, fast processor < 3 % for caches of 1 MB or more.
-//!
-//! `--jobs N` runs the five programs concurrently and shards each grid
-//! across worker threads.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e12`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, run_control_engine, write_back_overhead, writeback_cycles, ExperimentConfig, FAST,
-    SLOW,
-};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e12_write_overhead",
-        "write-back write overheads (§5), 64b blocks",
-        4,
-    );
-    let scale = args.scale;
-    let mut cfg = ExperimentConfig::paper();
-    cfg.block_sizes = vec![64];
-    header(&format!(
-        "E12: write-back write overheads (§5), 64b blocks, scale {scale}, jobs {}",
-        args.jobs
-    ));
-
-    let outer = args.jobs.min(Workload::ALL.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let reports = par_map(&Workload::ALL, outer, |w| {
-        eprintln!("running {} ...", w.name());
-        run_control_engine(w.scaled(scale), &cfg, &inner).unwrap()
-    });
-
-    let mut cols = vec!["program".to_string(), "cpu".to_string()];
-    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
-    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut table = Table::new("writeback", &cols);
-    for (w, r) in Workload::ALL.iter().zip(&reports) {
-        for cpu in [&SLOW, &FAST] {
-            let wb = writeback_cycles(&r.memory, cpu, 64);
-            let mut row = vec![Cell::text(w.name()), Cell::text(cpu.name)];
-            row.extend(cfg.cache_sizes.iter().map(|&size| {
-                let cell = r.cell(size, 64).unwrap();
-                Cell::Pct(write_back_overhead(cell.stats.writebacks(), wb, r.i_prog))
-            }));
-            table.row(row);
-        }
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper shape: slow <1% almost always; fast <3% for caches >=1m.");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("e12_write_overhead").expect("registered experiment"));
 }

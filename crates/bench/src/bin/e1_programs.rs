@@ -1,79 +1,9 @@
-//! E1 — the §3 test-program table: lines, bytes allocated, instructions
-//! executed, and data references for each program, run without collection.
-//!
-//! The five programs are independent trace passes, so `--jobs N` runs up
-//! to N of them concurrently (`--jobs 1` is the sequential oracle).
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e1`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use std::time::Instant;
-
-use cachegc_bench::{header, ExperimentArgs, GridReport, GridRun};
-use cachegc_core::par_map;
-use cachegc_core::report::{Cell, Table};
-use cachegc_gc::NoCollector;
-use cachegc_trace::RefCounter;
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse("e1_programs", "the §3 test-program table", 4);
-    let (scale, jobs) = (args.scale, args.jobs);
-    header(&format!(
-        "E1: test programs (§3 table), scale {scale}, jobs {jobs}"
-    ));
-    let t0 = Instant::now();
-    let outs = par_map(&Workload::ALL, jobs, |w| {
-        let t = Instant::now();
-        let out = w
-            .scaled(scale)
-            .run(NoCollector::new(), RefCounter::new())
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-        (out, t.elapsed())
-    });
-    let total_wall = t0.elapsed();
-
-    let mut table = Table::new(
-        "programs",
-        &[
-            "program",
-            "analog",
-            "lines",
-            "alloc_bytes",
-            "insns",
-            "refs",
-            "refs_per_insn",
-        ],
-    );
-    let mut runs = Vec::new();
-    for (w, (out, wall)) in Workload::ALL.iter().zip(&outs) {
-        let insns = out.stats.instructions.program();
-        let refs = out.sink.total();
-        table.row(vec![
-            w.name().into(),
-            w.paper_analog().into(),
-            w.lines().into(),
-            out.stats.allocated_bytes.into(),
-            insns.into(),
-            refs.into(),
-            Cell::Float(refs as f64 / insns as f64, 3),
-        ]);
-        runs.push(GridRun {
-            workload: w.name().into(),
-            scale,
-            events: refs,
-            cells: 1,
-            wall: *wall,
-        });
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper: orbit 15k lines/263mb, imps 42k/1.8gb, lp 2.5k/216mb,");
-    println!("       nbody .6k/747mb, gambit 15k/527mb; refs/insns ≈ 0.26-0.29");
-    args.write_csv(&[&table]);
-
-    GridReport {
-        binary: "e1_programs".into(),
-        jobs,
-        runs,
-        total_wall,
-    }
-    .write();
+    experiments::run_main(experiments::find("e1_programs").expect("registered experiment"));
 }

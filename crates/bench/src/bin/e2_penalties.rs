@@ -1,29 +1,9 @@
-//! E2 — the §5 miss-penalty table: cycles to service a miss for each block
-//! size on the slow (30 ns) and fast (2 ns) processors, with the
-//! Przybylski memory model. The table is static (no workload runs), so
-//! `--scale` and `--jobs` are accepted but have nothing to do.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e2`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, ExperimentArgs};
-use cachegc_core::report::Table;
-use cachegc_core::{miss_penalty_cycles, writeback_cycles, MainMemory, FAST, SLOW};
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse("e2_penalties", "the §5 miss-penalty table", 1);
-    header("E2: miss penalties (§5 table)");
-    let mem = MainMemory::przybylski();
-    let mut table = Table::new("penalties", &["cost", "b16", "b32", "b64", "b128", "b256"]);
-    for cpu in [&SLOW, &FAST] {
-        let mut row = vec![format!("{} penalty (cycles)", cpu.name).into()];
-        row.extend([16u32, 32, 64, 128, 256].map(|b| miss_penalty_cycles(&mem, cpu, b).into()));
-        table.row(row);
-    }
-    for cpu in [&SLOW, &FAST] {
-        let mut row = vec![format!("{} writeback", cpu.name).into()];
-        row.extend([16u32, 32, 64, 128, 256].map(|b| writeback_cycles(&mem, cpu, b).into()));
-        table.row(row);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper (derived from its memory model): slow 8/9/11/15/23, fast 120/135/165/225/345");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("e2_penalties").expect("registered experiment"));
 }

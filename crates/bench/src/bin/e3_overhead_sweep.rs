@@ -1,108 +1,9 @@
-//! E3 — the §5 control-experiment figure: average cache overhead across
-//! the five programs, with no garbage collection, for every cache size
-//! (32 KB – 4 MB) and block size (16 – 256 B), on both processors.
-//!
-//! Expected shape (paper): larger caches and smaller blocks always win;
-//! slow processor < 5 % even at 32 KB/16 B; fast processor needs ~1 MB
-//! for a similar overhead.
-//!
-//! `--jobs N` splits the work two ways: the five programs run
-//! concurrently, and within each pass the 40-cell cache grid is sharded
-//! across worker threads (`ParallelFanout`, under `--schedule`). `--jobs
-//! 1` is the sequential oracle; per-cell statistics are bit-identical
-//! either way.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e3`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use std::time::Instant;
-
-use cachegc_bench::{header, human_bytes, ExperimentArgs, GridReport, GridRun};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_control_engine, ExperimentConfig, Processor, FAST, SLOW};
-use cachegc_workloads::Workload;
-
-fn cpu_table(cpu: &Processor, cfg: &ExperimentConfig, f: impl Fn(u32, u32) -> f64) -> Table {
-    let mut cols = vec!["block".to_string()];
-    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
-    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut table = Table::new(cpu.name, &cols);
-    for &block in &cfg.block_sizes {
-        let mut row = vec![Cell::text(format!("{block}b"))];
-        row.extend(
-            cfg.cache_sizes
-                .iter()
-                .map(|&size| Cell::Pct(f(size, block))),
-        );
-        table.row(row);
-    }
-    table
-}
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e3_overhead_sweep",
-        "average cache overhead without GC (§5 figure)",
-        4,
-    );
-    let (scale, jobs) = (args.scale, args.jobs);
-    let cfg = ExperimentConfig::paper();
-    header(&format!(
-        "E3: average cache overhead, no GC (§5 figure), scale {scale}, jobs {jobs}"
-    ));
-
-    // Outer parallelism over programs, inner over grid cells.
-    let outer = jobs.min(Workload::ALL.len());
-    let mut inner = args.engine();
-    inner.jobs = (jobs / outer).max(1);
-    let t0 = Instant::now();
-    let timed: Vec<_> = par_map(&Workload::ALL, outer, |w| {
-        eprintln!("running {} ...", w.name());
-        let t = Instant::now();
-        let r = run_control_engine(w.scaled(scale), &cfg, &inner)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-        (r, t.elapsed())
-    });
-    let total_wall = t0.elapsed();
-    let reports: Vec<_> = timed.iter().map(|(r, _)| r).collect();
-
-    let mut tables = Vec::new();
-    for cpu in [&SLOW, &FAST] {
-        println!(
-            "\n{} processor ({} ns cycle): O_cache averaged over programs",
-            cpu.name, cpu.cycle_ns
-        );
-        let table = cpu_table(cpu, &cfg, |size, block| {
-            reports
-                .iter()
-                .map(|r| {
-                    let cell = r.cell(size, block).expect("simulated");
-                    r.cache_overhead(cell, cpu)
-                })
-                .sum::<f64>()
-                / reports.len() as f64
-        });
-        print!("{}", table.render());
-        tables.push(table);
-    }
-    println!();
-    println!("paper shape: monotone improvement with cache size; smaller blocks better;");
-    println!("slow/32k/16b < 5%; fast needs ~1m for < 5%.");
-    args.write_csv(&tables.iter().collect::<Vec<_>>());
-
-    let runs = Workload::ALL
-        .iter()
-        .zip(&timed)
-        .map(|(w, (r, wall))| GridRun {
-            workload: w.name().into(),
-            scale,
-            events: r.refs,
-            cells: r.cells.len(),
-            wall: *wall,
-        })
-        .collect();
-    GridReport {
-        binary: "e3_overhead_sweep".into(),
-        jobs,
-        runs,
-        total_wall,
-    }
-    .write();
+    experiments::run_main(experiments::find("e3_overhead_sweep").expect("registered experiment"));
 }

@@ -1,78 +1,9 @@
-//! E4 — the §5 write-miss-policy comparison: how much fetch-on-write
-//! increases average cache overhead relative to write-validate.
-//!
-//! Expected shape (paper): the penalty of fetch-on-write varies inversely
-//! with block size and is nearly independent of cache size; on the slow
-//! processor it costs at most ~1 % extra, on the fast processor from ~4 %
-//! (256 B blocks) to ~20 % (16 B blocks).
-//!
-//! `--jobs N` runs the five programs concurrently and shards each
-//! program's two policy grids across worker threads.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e4`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_control_engine, ExperimentConfig, WriteMissPolicy, FAST, SLOW};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e4_write_policy",
-        "fetch-on-write vs write-validate (§5)",
-        4,
-    );
-    let scale = args.scale;
-    header(&format!(
-        "E4: fetch-on-write vs write-validate (§5), scale {scale}, jobs {}",
-        args.jobs
-    ));
-    let sizes = vec![32 << 10, 256 << 10, 1 << 20];
-    let mut cfg_wv = ExperimentConfig::paper();
-    cfg_wv.cache_sizes = sizes.clone();
-    let cfg_fow = cfg_wv
-        .clone()
-        .with_write_miss(WriteMissPolicy::FetchOnWrite);
-
-    let outer = args.jobs.min(Workload::ALL.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let runs = par_map(&Workload::ALL, outer, |w| {
-        eprintln!("running {} (both policies) ...", w.name());
-        let wv = run_control_engine(w.scaled(scale), &cfg_wv, &inner).unwrap();
-        let fow = run_control_engine(w.scaled(scale), &cfg_fow, &inner).unwrap();
-        (wv, fow)
-    });
-
-    let mut cols = vec!["block".to_string()];
-    cols.extend(sizes.iter().map(|&s| human_bytes(s)));
-    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut tables = Vec::new();
-    for cpu in [&SLOW, &FAST] {
-        println!(
-            "\n{} processor: average O_cache increase from fetch-on-write",
-            cpu.name
-        );
-        let mut table = Table::new(cpu.name, &cols);
-        for &block in &cfg_wv.block_sizes {
-            let mut row = vec![Cell::text(format!("{block}b"))];
-            row.extend(sizes.iter().map(|&size| {
-                let delta: f64 = runs
-                    .iter()
-                    .map(|(wv, fow)| {
-                        let a = wv.cache_overhead(wv.cell(size, block).unwrap(), cpu);
-                        let b = fow.cache_overhead(fow.cell(size, block).unwrap(), cpu);
-                        b - a
-                    })
-                    .sum::<f64>()
-                    / runs.len() as f64;
-                Cell::Pct(delta)
-            }));
-            table.row(row);
-        }
-        print!("{}", table.render());
-        tables.push(table);
-    }
-    println!();
-    println!("paper shape: increase depends inversely on block size, ~independent of cache size;");
-    println!("slow: ≲1%; fast: ~4% (256b) to ~20% (16b).");
-    args.write_csv(&tables.iter().collect::<Vec<_>>());
+    experiments::run_main(experiments::find("e4_write_policy").expect("registered experiment"));
 }

@@ -1,75 +1,9 @@
-//! E6 — the §6 argument: lp's pathological Cheney overhead disappears
-//! under a generational collector, which stops recopying the long-lived,
-//! monotonically growing structure at every collection.
-//!
-//! `--jobs N` runs each comparison's control and collected passes on
-//! separate threads with the grid sharded across workers.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e6`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e6_generational",
-        "lambda under Cheney vs generational collection (§6)",
-        4,
-    );
-    let scale = args.scale;
-    let mut cfg = ExperimentConfig::paper();
-    cfg.block_sizes = vec![64];
-    cfg.cache_sizes = vec![64 << 10, 256 << 10, 1 << 20];
-    header(&format!(
-        "E6: lambda (lp) under Cheney vs generational (§6), scale {scale}, jobs {}",
-        args.jobs
-    ));
-
-    let w = Workload::Lambda.scaled(scale);
-    let specs = [
-        CollectorSpec::Cheney {
-            semispace_bytes: 2 << 20,
-        },
-        CollectorSpec::Generational {
-            nursery_bytes: 1 << 20,
-            old_bytes: 24 << 20,
-        },
-    ];
-    let mut gc_table = Table::new(
-        "collections",
-        &["collector", "collections", "minor", "major", "bytes_copied"],
-    );
-    let mut cols = vec!["collector".to_string(), "cpu".to_string()];
-    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
-    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut ogc_table = Table::new("ogc", &cols);
-    let engine = args.engine();
-    for spec in specs {
-        eprintln!("running lambda under {} ...", spec.name());
-        let cmp =
-            GcComparison::run_engine(w, &cfg, spec, &engine).unwrap_or_else(|e| panic!("{e}"));
-        gc_table.row(vec![
-            spec.name().into(),
-            cmp.collected.gc.collections.into(),
-            cmp.collected.gc.minor_collections.into(),
-            cmp.collected.gc.major_collections.into(),
-            cmp.collected.gc.bytes_copied.into(),
-        ]);
-        for cpu in [&SLOW, &FAST] {
-            let mut row = vec![Cell::text(spec.name()), Cell::text(cpu.name)];
-            row.extend(
-                cfg.cache_sizes
-                    .iter()
-                    .map(|&size| Cell::Pct(cmp.gc_overhead(size, 64, cpu))),
-            );
-            ogc_table.row(row);
-        }
-    }
-    print!("{}", gc_table.render());
-    println!();
-    print!("{}", ogc_table.render());
-    println!();
-    println!("paper shape: Cheney ≥40% for lp; 'a simple generational collector would");
-    println!("avoid this problem' — the generational rows should be far lower.");
-    args.write_csv(&[&gc_table, &ogc_table]);
+    experiments::run_main(experiments::find("e6_generational").expect("registered experiment"));
 }

@@ -1,79 +1,9 @@
-//! E7 — the §6 argument against *aggressive* collection: a generational
-//! collector whose nursery is sized to the cache collects far more often
-//! and copies far more not-yet-dead data; the extra copying cost swamps
-//! whatever cache-overhead improvement it can buy.
-//!
-//! Sweeps the nursery from cache-sized (aggressive, à la Wilson et al.)
-//! up to infrequent, and reports collections, bytes promoted, and O_gc.
-//! `--jobs N` runs the nursery sizes concurrently (each is an independent
-//! control + collected pair).
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e7`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_bench::{header, human_bytes, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, FAST, SLOW};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e7_aggressive",
-        "aggressive vs infrequent generational collection (§6)",
-        4,
-    );
-    let scale = args.scale;
-    let cache_size = 64 << 10;
-    let mut cfg = ExperimentConfig::paper();
-    cfg.block_sizes = vec![64];
-    cfg.cache_sizes = vec![cache_size];
-    header(&format!(
-        "E7: aggressive vs infrequent generational collection (§6), {} cache, scale {scale}, jobs {}",
-        human_bytes(cache_size),
-        args.jobs
-    ));
-
-    let nurseries: Vec<u32> = vec![64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20];
-    let outer = args.jobs.min(nurseries.len());
-    let mut inner = args.engine();
-    inner.jobs = (args.jobs / outer).max(1);
-    let comparisons = par_map(&nurseries, outer, |&nursery| {
-        let spec = CollectorSpec::Generational {
-            nursery_bytes: nursery,
-            old_bytes: 24 << 20,
-        };
-        eprintln!("running compile with nursery {} ...", human_bytes(nursery));
-        GcComparison::run_engine(Workload::Compile.scaled(scale), &cfg, spec, &inner)
-            .unwrap_or_else(|e| panic!("{e}"))
-    });
-
-    let mut table = Table::new(
-        "aggressive",
-        &[
-            "nursery",
-            "minors",
-            "promoted_bytes",
-            "copied_bytes",
-            "ogc_slow",
-            "ogc_fast",
-            "total_fast",
-        ],
-    );
-    for (&nursery, cmp) in nurseries.iter().zip(&comparisons) {
-        let o_slow = cmp.gc_overhead(cache_size, 64, &SLOW);
-        let o_fast = cmp.gc_overhead(cache_size, 64, &FAST);
-        let total_fast = cmp.control_overhead(cache_size, 64, &FAST) + o_fast;
-        table.row(vec![
-            Cell::Bytes(nursery.into()),
-            cmp.collected.gc.minor_collections.into(),
-            cmp.collected.gc.bytes_promoted.into(),
-            cmp.collected.gc.bytes_copied.into(),
-            Cell::Pct(o_slow),
-            Cell::Pct(o_fast),
-            Cell::Pct(total_fast),
-        ]);
-    }
-    print!("{}", table.render());
-    println!();
-    println!("paper shape: a cache-sized (aggressive) nursery collects more often, leaves");
-    println!("less time for objects to die, promotes more, and costs more than it saves;");
-    println!("overheads should fall as the nursery grows.");
-    args.write_csv(&[&table]);
+    experiments::run_main(experiments::find("e7_aggressive").expect("registered experiment"));
 }

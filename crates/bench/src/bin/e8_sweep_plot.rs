@@ -1,73 +1,9 @@
-//! E8 — the §7 cache-miss sweep plot: misses over time, one row per cache
-//! block of a 64 KB cache with 64-byte blocks, for a run of the compile
-//! workload without collection. The allocation pointer appears as broken
-//! diagonal lines sweeping the cache.
-//!
-//! The plot is written to `e8_sweep.txt` (full resolution) and a
-//! downsampled excerpt is printed. The trace pass goes through the
-//! experiment engine (`run_sinks`), so `--jobs`/`--schedule` apply.
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e8`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
 
-use cachegc_analysis::SweepPlot;
-use cachegc_bench::{header, ExperimentArgs};
-use cachegc_core::report::{Cell, Table};
-use cachegc_core::{run_sinks, CacheConfig};
-use cachegc_workloads::Workload;
+use cachegc_bench::experiments;
 
 fn main() {
-    let args = ExperimentArgs::parse(
-        "e8_sweep_plot",
-        "the §7 cache-miss sweep plot (compile, 64k/64b)",
-        1,
-    );
-    let scale = args.scale;
-    header(&format!(
-        "E8: cache-miss sweep plot, compile, 64k/64b (§7), scale {scale}"
-    ));
-    let cfg = CacheConfig::direct_mapped(64 << 10, 64);
-    eprintln!("running compile ...");
-    let (_, sinks) = run_sinks(
-        Workload::Compile.scaled(scale),
-        None,
-        vec![SweepPlot::new(cfg, 1024)],
-        &args.engine(),
-    )
-    .unwrap();
-    let plot = sinks.into_iter().next().expect("one plot");
-
-    let full = plot.render_ascii(4000);
-    std::fs::write("e8_sweep.txt", &full).expect("write e8_sweep.txt");
-    let mut table = Table::new(
-        "sweep",
-        &["workload", "columns", "cache_blocks", "dot_fraction"],
-    );
-    table.row(vec![
-        "compile".into(),
-        plot.width().into(),
-        plot.height().into(),
-        Cell::Float(plot.fraction_of_cells_with_dots(), 4),
-    ]);
-    print!("{}", table.render());
-    println!("full plot in e8_sweep.txt");
-    args.write_csv(&[&table]);
-
-    // Downsample to an ~100x32 excerpt for the terminal.
-    let (w, h) = (plot.width(), plot.height());
-    let (cols, rows) = (100.min(w), 32.min(h));
-    println!("\ndownsampled excerpt ({cols}x{rows}); '*' = >=1 miss; block 0 at the bottom:");
-    for ry in (0..rows).rev() {
-        let mut line = String::new();
-        for rx in 0..cols {
-            let mut dot = false;
-            for y in (ry * h / rows)..((ry + 1) * h / rows) {
-                for x in (rx * w / cols)..((rx + 1) * w / cols) {
-                    dot |= plot.dot(x, y);
-                }
-            }
-            line.push(if dot { '*' } else { ' ' });
-        }
-        println!("{line}");
-    }
-    println!();
-    println!("paper shape: broken diagonal allocation-miss lines sweeping the cache;");
-    println!("slope follows the allocation rate; thrashing would appear as horizontal stripes.");
+    experiments::run_main(experiments::find("e8_sweep_plot").expect("registered experiment"));
 }

@@ -1,0 +1,153 @@
+//! Golden-results regression check: rerun every experiment sweep
+//! in-process at the pinned configuration and diff its tables against the
+//! CSV goldens in `results/expected/`, or regenerate them with `--bless`.
+//!
+//! Exit status: 0 all tables match (or were blessed), 1 drift, 2 usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cachegc_bench::experiments::{self, Experiment};
+use cachegc_bench::golden::{
+    bless_tables, check_tables, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
+};
+
+const USAGE: &str = "\
+golden_check: diff every experiment's tables against results/expected/
+
+usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
+
+  --bless       regenerate the goldens from the current code
+  --only NAME   check a single experiment (e.g. e4_write_policy)
+  --dir PATH    golden directory (default results/expected)
+  --rel-eps X   relative epsilon for float/pct cells (default 1e-9;
+                0 means exact)
+
+The sweeps always run at --scale 1 --jobs 2 --schedule ws: goldens are
+defined at that configuration, and the parallel engine is bit-identical
+to the sequential one, so results do not depend on the machine.";
+
+struct Opts {
+    bless: bool,
+    only: Option<String>,
+    dir: PathBuf,
+    tol: Tolerance,
+}
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        bless: false,
+        only: None,
+        dir: PathBuf::from(GOLDEN_DIR),
+        tol: Tolerance::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--bless" => opts.bless = true,
+            "--only" => opts.only = Some(value("--only")?),
+            "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--rel-eps" => {
+                let raw = value("--rel-eps")?;
+                let eps: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--rel-eps: not a number: {raw}"))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err(format!("--rel-eps: must be finite and >= 0, got {raw}"));
+                }
+                opts.tol = Tolerance { rel_eps: eps };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected(opts: &Opts) -> Result<Vec<&'static Experiment>, String> {
+    match &opts.only {
+        None => Ok(experiments::ALL.iter().collect()),
+        Some(name) => match experiments::find(name) {
+            Some(e) => Ok(vec![e]),
+            None => Err(format!(
+                "--only: unknown experiment '{name}' (known: {})",
+                experiments::ALL
+                    .iter()
+                    .map(|e| e.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("golden_check: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let exps = match selected(&opts) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("golden_check: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = golden_engine();
+    let mut drifted = 0usize;
+    let mut checked = 0usize;
+    for exp in exps {
+        eprintln!("== {} ==", exp.name);
+        let tables = run_sweep(exp, GOLDEN_SCALE, &engine);
+        checked += tables.len();
+        if opts.bless {
+            match bless_tables(&opts.dir, exp.name, &tables) {
+                Ok(written) => {
+                    for p in written {
+                        println!("blessed {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("golden_check: cannot write goldens for {}: {e}", exp.name);
+                    return ExitCode::from(2);
+                }
+            }
+            continue;
+        }
+        for (table, drifts) in check_tables(&opts.dir, exp.name, &tables, &opts.tol) {
+            drifted += 1;
+            println!("DRIFT in {} table '{table}':", exp.name);
+            for d in drifts {
+                println!("  {d}");
+            }
+        }
+    }
+
+    if opts.bless {
+        println!("blessed {checked} tables into {}", opts.dir.display());
+        ExitCode::SUCCESS
+    } else if drifted == 0 {
+        println!("ok: {checked} tables match {}", opts.dir.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{drifted} of {checked} tables drifted from {}; \
+             run `golden_check --bless` if the change is intended",
+            opts.dir.display()
+        );
+        ExitCode::from(1)
+    }
+}

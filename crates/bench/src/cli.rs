@@ -26,6 +26,7 @@ pub struct ExperimentArgs {
     pub csv: Option<PathBuf>,
 }
 
+#[derive(Debug)]
 enum Parse {
     Help,
     Args(ExperimentArgs),
@@ -53,6 +54,16 @@ impl ExperimentArgs {
     }
 
     fn try_parse(argv: &[String], default_scale: u32) -> Result<Parse, String> {
+        Self::try_parse_env(argv, default_scale, |name| std::env::var(name).ok())
+    }
+
+    /// The parse itself, with the environment injected so tests can drive
+    /// the `CACHEGC_*` fallbacks without process-global `set_var` races.
+    fn try_parse_env(
+        argv: &[String],
+        default_scale: u32,
+        env: impl Fn(&str) -> Option<String>,
+    ) -> Result<Parse, String> {
         let mut scale: Option<u32> = None;
         let mut jobs: Option<usize> = None;
         let mut schedule = Schedule::default();
@@ -77,15 +88,24 @@ impl ExperimentArgs {
         }
         let scale = match scale {
             Some(s) => s,
-            None => env_or("CACHEGC_SCALE", default_scale)?,
+            None => env_or(&env, "CACHEGC_SCALE", default_scale)?,
         };
-        let jobs = match jobs {
-            Some(j) => j,
-            None => env_or("CACHEGC_JOBS", cachegc_core::default_jobs())?,
+        // Zero jobs is malformed, not "as sequential as possible": `--jobs
+        // -2` already exits 2, and a silent clamp would hide the typo. The
+        // same discipline applies to the env fallback.
+        let (jobs, jobs_source) = match jobs {
+            Some(j) => (j, "--jobs"),
+            None => (
+                env_or(&env, "CACHEGC_JOBS", cachegc_core::default_jobs())?,
+                "CACHEGC_JOBS",
+            ),
         };
+        if jobs == 0 {
+            return Err(format!("{jobs_source}: jobs must be at least 1, got 0"));
+        }
         Ok(Parse::Args(ExperimentArgs {
             scale,
-            jobs: jobs.max(1),
+            jobs,
             schedule,
             csv,
         }))
@@ -118,12 +138,16 @@ fn value<T: std::str::FromStr>(flag: &str, raw: Option<&String>) -> Result<T, St
         .map_err(|_| format!("{flag}: malformed value '{raw}'"))
 }
 
-fn env_or<T: std::str::FromStr>(name: &str, default: T) -> Result<T, String> {
-    match std::env::var(name) {
-        Ok(v) => v
+fn env_or<T: std::str::FromStr>(
+    env: &impl Fn(&str) -> Option<String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match env(name) {
+        Some(v) => v
             .parse()
             .map_err(|_| format!("{name}: malformed value '{v}'")),
-        Err(_) => Ok(default),
+        None => Ok(default),
     }
 }
 
@@ -143,22 +167,22 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
 }
 
 /// True if `path` exists and parses as non-degenerate CSV (used by the
-/// smoke tests; lives here so the check and the writer stay in one place).
+/// smoke tests; lives next to the writer's CLI so the check and the writer
+/// stay in one place). Parsing goes through [`Table::read_csv`], the same
+/// quote-aware reader the golden harness uses — a naive `split(',')` would
+/// misjudge the writer's own output whenever a quoted `Text` cell carries
+/// an embedded comma.
 pub fn csv_looks_sane(path: &Path) -> bool {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return false;
-    };
-    let mut lines = text.lines();
-    let Some(header) = lines.next() else {
-        return false;
-    };
-    let cols = header.split(',').count();
-    cols >= 2 && lines.clone().count() >= 1 && lines.all(|l| l.split(',').count() == cols)
+    match Table::read_csv(path) {
+        Ok(t) => t.columns().len() >= 2 && !t.is_empty(),
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachegc_core::report::Cell;
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -201,9 +225,37 @@ mod tests {
     }
 
     #[test]
-    fn jobs_clamped_to_at_least_one() {
-        assert_eq!(parsed(&["--jobs", "0"]).jobs, 1);
+    fn jobs_zero_is_rejected_like_any_malformed_value() {
+        // `--jobs -2` exits 2 with usage; `--jobs 0` must not silently
+        // clamp to 1 while its sibling typo errors out.
+        let err = ExperimentArgs::try_parse(&argv(&["--jobs", "0"]), 4).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
         assert!(parsed(&["--jobs", "1"]).engine().is_sequential());
+    }
+
+    #[test]
+    fn env_fallbacks_apply_and_reject_zero_jobs() {
+        let env = |name: &str| match name {
+            "CACHEGC_SCALE" => Some("7".to_string()),
+            "CACHEGC_JOBS" => Some("3".to_string()),
+            _ => None,
+        };
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!((a.scale, a.jobs), (7, 3));
+        // Explicit flags win over the environment.
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--jobs", "2"]), 4, env).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.jobs, 2);
+        let zero = |name: &str| (name == "CACHEGC_JOBS").then(|| "0".to_string());
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, zero).unwrap_err();
+        assert!(err.contains("CACHEGC_JOBS"), "{err}");
+        let bad = |name: &str| (name == "CACHEGC_JOBS").then(|| "many".to_string());
+        assert!(ExperimentArgs::try_parse_env(&argv(&[]), 4, bad).is_err());
     }
 
     #[test]
@@ -258,6 +310,22 @@ mod tests {
         std::fs::write(&empty, "a,b\n").unwrap();
         assert!(!csv_looks_sane(&empty), "header-only CSV is degenerate");
         assert!(!csv_looks_sane(&dir.join("absent.csv")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_sanity_check_is_quote_aware() {
+        // The writer legitimately quotes a Text cell with an embedded
+        // comma; the checker must not misjudge that as a ragged row.
+        let dir = std::env::temp_dir().join("cachegc_cli_quote_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let mut t = Table::new("quoted", &["label", "n"]);
+        t.row(vec![Cell::text("slow, 30 ns"), Cell::Count(8)]);
+        let path = dir.join("quoted.csv");
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"slow, 30 ns\""), "writer quotes the comma");
+        assert!(csv_looks_sane(&path), "checker accepts the writer's output");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,86 @@
+//! E1 — the §3 test-program table: lines, bytes allocated, instructions
+//! executed, and data references for each program, run without collection.
+//!
+//! The five programs are independent trace passes, so `--jobs N` runs up
+//! to N of them concurrently (`--jobs 1` is the sequential oracle).
+
+use std::time::Instant;
+
+use cachegc_core::par_map;
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::EngineConfig;
+use cachegc_gc::NoCollector;
+use cachegc_trace::RefCounter;
+use cachegc_workloads::Workload;
+
+use super::{Experiment, Sweep};
+use crate::{GridReport, GridRun};
+
+pub static EXPERIMENT: Experiment = Experiment {
+    name: "e1_programs",
+    title: "E1: test programs (§3 table)",
+    about: "the §3 test-program table",
+    default_scale: 4,
+    sweep,
+};
+
+fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+    let t0 = Instant::now();
+    let outs = par_map(&Workload::ALL, engine.jobs, |w| {
+        let t = Instant::now();
+        let out = w
+            .scaled(scale)
+            .run(NoCollector::new(), RefCounter::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        (out, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+
+    let mut table = Table::new(
+        "programs",
+        &[
+            "program",
+            "analog",
+            "lines",
+            "alloc_bytes",
+            "insns",
+            "refs",
+            "refs_per_insn",
+        ],
+    );
+    let mut runs = Vec::new();
+    for (w, (out, wall)) in Workload::ALL.iter().zip(&outs) {
+        let insns = out.stats.instructions.program();
+        let refs = out.sink.total();
+        table.row(vec![
+            w.name().into(),
+            w.paper_analog().into(),
+            w.lines().into(),
+            out.stats.allocated_bytes.into(),
+            insns.into(),
+            refs.into(),
+            Cell::Float(refs as f64 / insns as f64, 3),
+        ]);
+        runs.push(GridRun {
+            workload: w.name().into(),
+            scale,
+            events: refs,
+            cells: 1,
+            wall: *wall,
+        });
+    }
+    Sweep {
+        tables: vec![table],
+        notes: vec![
+            "paper: orbit 15k lines/263mb, imps 42k/1.8gb, lp 2.5k/216mb,".into(),
+            "       nbody .6k/747mb, gambit 15k/527mb; refs/insns ≈ 0.26-0.29".into(),
+        ],
+        grid: Some(GridReport {
+            binary: "e1_programs".into(),
+            jobs: engine.jobs,
+            runs,
+            total_wall,
+        }),
+        ..Sweep::default()
+    }
+}

@@ -1,0 +1,40 @@
+//! E2 — the §5 miss-penalty table: cycles to service a miss for each block
+//! size on the slow (30 ns) and fast (2 ns) processors, with the
+//! Przybylski memory model. The table is static (no workload runs), so
+//! `--scale` and `--jobs` are accepted but have nothing to do.
+
+use cachegc_core::report::Table;
+use cachegc_core::{miss_penalty_cycles, writeback_cycles, EngineConfig, MainMemory, FAST, SLOW};
+
+use super::{Experiment, Sweep};
+
+pub static EXPERIMENT: Experiment = Experiment {
+    name: "e2_penalties",
+    title: "E2: miss penalties (§5 table)",
+    about: "the §5 miss-penalty table",
+    default_scale: 1,
+    sweep,
+};
+
+fn sweep(_scale: u32, _engine: &EngineConfig) -> Sweep {
+    let mem = MainMemory::przybylski();
+    let mut table = Table::new("penalties", &["cost", "b16", "b32", "b64", "b128", "b256"]);
+    for cpu in [&SLOW, &FAST] {
+        let mut row = vec![format!("{} penalty (cycles)", cpu.name).into()];
+        row.extend([16u32, 32, 64, 128, 256].map(|b| miss_penalty_cycles(&mem, cpu, b).into()));
+        table.row(row);
+    }
+    for cpu in [&SLOW, &FAST] {
+        let mut row = vec![format!("{} writeback", cpu.name).into()];
+        row.extend([16u32, 32, 64, 128, 256].map(|b| writeback_cycles(&mem, cpu, b).into()));
+        table.row(row);
+    }
+    Sweep {
+        tables: vec![table],
+        notes: vec![
+            "paper (derived from its memory model): slow 8/9/11/15/23, fast 120/135/165/225/345"
+                .into(),
+        ],
+        ..Sweep::default()
+    }
+}

@@ -1,0 +1,105 @@
+//! E3 — the §5 control-experiment figure: average cache overhead across
+//! the five programs, with no garbage collection, for every cache size
+//! (32 KB – 4 MB) and block size (16 – 256 B), on both processors.
+//!
+//! Expected shape (paper): larger caches and smaller blocks always win;
+//! slow processor < 5 % even at 32 KB/16 B; fast processor needs ~1 MB
+//! for a similar overhead.
+//!
+//! `--jobs N` splits the work two ways: the five programs run
+//! concurrently, and within each pass the 40-cell cache grid is sharded
+//! across worker threads (`ParallelFanout`, under `--schedule`). `--jobs
+//! 1` is the sequential oracle; per-cell statistics are bit-identical
+//! either way.
+
+use std::time::Instant;
+
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{
+    par_map, run_control_engine, EngineConfig, ExperimentConfig, Processor, FAST, SLOW,
+};
+use cachegc_workloads::Workload;
+
+use super::{split_jobs, Experiment, Sweep};
+use crate::{human_bytes, GridReport, GridRun};
+
+pub static EXPERIMENT: Experiment = Experiment {
+    name: "e3_overhead_sweep",
+    title: "E3: average cache overhead, no GC (§5 figure)",
+    about: "average cache overhead without GC (§5 figure)",
+    default_scale: 4,
+    sweep,
+};
+
+fn cpu_table(cpu: &Processor, cfg: &ExperimentConfig, f: impl Fn(u32, u32) -> f64) -> Table {
+    let mut cols = vec!["block".to_string()];
+    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = Table::new(cpu.name, &cols);
+    for &block in &cfg.block_sizes {
+        let mut row = vec![Cell::text(format!("{block}b"))];
+        row.extend(
+            cfg.cache_sizes
+                .iter()
+                .map(|&size| Cell::Pct(f(size, block))),
+        );
+        table.row(row);
+    }
+    table
+}
+
+fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+    let cfg = ExperimentConfig::paper();
+    // Outer parallelism over programs, inner over grid cells.
+    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let t0 = Instant::now();
+    let timed: Vec<_> = par_map(&Workload::ALL, outer, |w| {
+        eprintln!("running {} ...", w.name());
+        let t = Instant::now();
+        let r = run_control_engine(w.scaled(scale), &cfg, &inner)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        (r, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+    let reports: Vec<_> = timed.iter().map(|(r, _)| r).collect();
+
+    let mut tables = Vec::new();
+    for cpu in [&SLOW, &FAST] {
+        tables.push(cpu_table(cpu, &cfg, |size, block| {
+            reports
+                .iter()
+                .map(|r| {
+                    let cell = r.cell(size, block).expect("simulated");
+                    r.cache_overhead(cell, cpu)
+                })
+                .sum::<f64>()
+                / reports.len() as f64
+        }));
+    }
+
+    let runs = Workload::ALL
+        .iter()
+        .zip(&timed)
+        .map(|(w, (r, wall))| GridRun {
+            workload: w.name().into(),
+            scale,
+            events: r.refs,
+            cells: r.cells.len(),
+            wall: *wall,
+        })
+        .collect();
+    Sweep {
+        tables,
+        notes: vec![
+            "paper shape: monotone improvement with cache size; smaller blocks better;".into(),
+            "slow/32k/16b < 5%; fast needs ~1m for < 5%.".into(),
+        ],
+        grid: Some(GridReport {
+            binary: "e3_overhead_sweep".into(),
+            jobs: engine.jobs,
+            runs,
+            total_wall,
+        }),
+        ..Sweep::default()
+    }
+}

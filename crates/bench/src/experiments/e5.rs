@@ -1,0 +1,130 @@
+//! E5 — the §6 figure: garbage-collection overhead of the Cheney semispace
+//! collector versus cache size at 64-byte blocks, on both processors.
+//!
+//! Expected shape (paper, with 16 MB semispaces against multi-hundred-MB
+//! allocation): compile/nbody/rewrite stay low (< 4 % slow, < 8 % fast);
+//! nbody can go *negative* in mid-size caches when the collector happens
+//! to separate thrashing blocks; prove (imps) is volatile when it
+//! thrashes; lambda (lp) is ≥ 40 % because its live structure grows
+//! monotonically and Cheney recopies it at every collection.
+//!
+//! Scaling substitution: the paper's 16 MB semispaces serve programs that
+//! allocate hundreds of MB; we default to 2 MB semispaces against tens of
+//! MB of allocation, preserving the collections-per-byte-allocated regime.
+//! Override with `CACHEGC_SEMISPACE` (bytes).
+//!
+//! `--jobs N` runs workloads concurrently and, inside each comparison,
+//! the control and collected passes on separate threads with the 8-cell
+//! grid sharded across workers. `--jobs 1` is the sequential oracle.
+
+use std::time::Instant;
+
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{
+    par_map, CollectorSpec, EngineConfig, ExperimentConfig, GcComparison, FAST, SLOW,
+};
+use cachegc_workloads::Workload;
+
+use super::{split_jobs, Experiment, Sweep};
+use crate::{human_bytes, GridReport, GridRun};
+
+pub static EXPERIMENT: Experiment = Experiment {
+    name: "e5_gc_overhead",
+    title: "E5: O_gc with Cheney semispaces, 64b blocks (§6 figure)",
+    about: "O_gc of the Cheney collector vs cache size (§6 figure)",
+    default_scale: 4,
+    sweep,
+};
+
+fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+    let semispace: u32 = std::env::var("CACHEGC_SEMISPACE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2 << 20);
+    let mut cfg = ExperimentConfig::paper();
+    cfg.block_sizes = vec![64];
+    eprintln!("Cheney semispaces: {}", human_bytes(semispace));
+
+    let spec = CollectorSpec::Cheney {
+        semispace_bytes: semispace,
+    };
+    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let t0 = Instant::now();
+    let results = par_map(&Workload::ALL, outer, |w| {
+        eprintln!("running {} (control + collected) ...", w.name());
+        let t = Instant::now();
+        let r = GcComparison::run_engine(w.scaled(scale), &cfg, spec, &inner);
+        (r, t.elapsed())
+    });
+    let total_wall = t0.elapsed();
+
+    let mut gc_table = Table::new(
+        "collections",
+        &[
+            "program",
+            "analog",
+            "collections",
+            "bytes_copied",
+            "i_gc",
+            "delta_i_prog",
+        ],
+    );
+    let mut cols = vec!["program".to_string(), "cpu".to_string()];
+    cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut ogc_table = Table::new("ogc", &cols);
+
+    let mut notes = Vec::new();
+    let mut runs = Vec::new();
+    for (w, (result, wall)) in Workload::ALL.iter().zip(&results) {
+        let cmp = match result {
+            Ok(c) => c,
+            Err(e) => {
+                notes.push(format!(
+                    "{:10} failed: {e} (semispace too small for its live data)",
+                    w.name()
+                ));
+                continue;
+            }
+        };
+        gc_table.row(vec![
+            w.name().into(),
+            w.paper_analog().into(),
+            cmp.collected.gc.collections.into(),
+            cmp.collected.gc.bytes_copied.into(),
+            cmp.collected.i_gc.into(),
+            cmp.collected.delta_i_prog.into(),
+        ]);
+        for cpu in [&SLOW, &FAST] {
+            let mut row = vec![Cell::text(w.name()), Cell::text(cpu.name)];
+            row.extend(
+                cfg.cache_sizes
+                    .iter()
+                    .map(|&size| Cell::Pct(cmp.gc_overhead(size, 64, cpu))),
+            );
+            ogc_table.row(row);
+        }
+        runs.push(GridRun {
+            workload: w.name().into(),
+            scale,
+            events: cmp.control.refs,
+            cells: cmp.control.cells.len() + cmp.collected.cells.len(),
+            wall: *wall,
+        });
+    }
+    notes.push(
+        "paper shape: orbit/nbody/gambit ≤4% slow, ≤7.7% fast; nbody negative at 64-128k;".into(),
+    );
+    notes.push("imps volatile (thrashing); lp uniformly ≥40%.".into());
+    Sweep {
+        tables: vec![gc_table, ogc_table],
+        notes,
+        grid: Some(GridReport {
+            binary: "e5_gc_overhead".into(),
+            jobs: engine.jobs,
+            runs,
+            total_wall,
+        }),
+        ..Sweep::default()
+    }
+}

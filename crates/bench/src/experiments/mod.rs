@@ -1,0 +1,164 @@
+//! The experiment sweeps as callable library functions.
+//!
+//! Each of the paper's tables and figures used to live only inside a
+//! `src/bin/` `main`; the golden-results harness needs to *call* them and
+//! capture their [`Table`]s, so the sweep logic lives here and every
+//! binary is a thin shim over [`run_main`]. A sweep is a pure function of
+//! `(scale, engine)` — progress goes to stderr, everything user-visible
+//! comes back in the [`Sweep`]: the typed tables, the paper-shape notes
+//! printed after them, side-channel artifacts (e.g. E8's full-resolution
+//! plot), and the optional `BENCH_grid.json` performance record.
+//!
+//! [`ALL`] is the registry the `golden_check` binary iterates.
+
+use cachegc_core::report::Table;
+use cachegc_core::EngineConfig;
+
+use crate::{header, ExperimentArgs, GridReport};
+
+mod a1;
+mod a2;
+mod e1;
+mod e10;
+mod e11;
+mod e12;
+mod e13;
+mod e2;
+mod e3;
+mod e4;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+mod e9;
+
+/// Everything one experiment sweep produces.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    /// The experiment's result tables, in report order.
+    pub tables: Vec<Table>,
+    /// Paper-shape commentary printed after the tables.
+    pub notes: Vec<String>,
+    /// Side-channel files `(path, contents)` the CLI shim writes (the
+    /// golden harness ignores them).
+    pub artifacts: Vec<(String, String)>,
+    /// Performance-trajectory record for `BENCH_grid.json`, if this sweep
+    /// measures one.
+    pub grid: Option<GridReport>,
+}
+
+/// One registered experiment: identity, CLI text, and its sweep function.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Binary name, e.g. `e4_write_policy`; also keys golden file names.
+    pub name: &'static str,
+    /// Header line printed before the sweep runs.
+    pub title: &'static str,
+    /// One-line description for `--help`.
+    pub about: &'static str,
+    /// Default `--scale`.
+    pub default_scale: u32,
+    /// The sweep itself.
+    pub sweep: fn(u32, &EngineConfig) -> Sweep,
+}
+
+/// Every experiment binary, in the order EXPERIMENTS.md documents them.
+pub static ALL: [Experiment; 15] = [
+    e1::EXPERIMENT,
+    e2::EXPERIMENT,
+    e3::EXPERIMENT,
+    e4::EXPERIMENT,
+    e5::EXPERIMENT,
+    e6::EXPERIMENT,
+    e7::EXPERIMENT,
+    e8::EXPERIMENT,
+    e9::EXPERIMENT,
+    e10::EXPERIMENT,
+    e11::EXPERIMENT,
+    e12::EXPERIMENT,
+    e13::EXPERIMENT,
+    a1::EXPERIMENT,
+    a2::EXPERIMENT,
+];
+
+/// Look up a registered experiment by binary name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name == name)
+}
+
+/// The whole CLI shim: parse the uniform arguments, run the sweep, render
+/// the tables, print the notes, write artifacts and `--csv` output, and
+/// append the grid record. Every `src/bin/` main calls this and nothing
+/// else.
+pub fn run_main(exp: &Experiment) {
+    let args = ExperimentArgs::parse(exp.name, exp.about, exp.default_scale);
+    header(&format!(
+        "{}, scale {}, jobs {}",
+        exp.title, args.scale, args.jobs
+    ));
+    let sweep = (exp.sweep)(args.scale, &args.engine());
+    for t in &sweep.tables {
+        println!();
+        print!("{}", t.render());
+    }
+    if !sweep.notes.is_empty() {
+        println!();
+        for n in &sweep.notes {
+            println!("{n}");
+        }
+    }
+    for (path, contents) in &sweep.artifacts {
+        match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+    args.write_csv(&sweep.tables.iter().collect::<Vec<_>>());
+    if let Some(grid) = &sweep.grid {
+        grid.write();
+    }
+}
+
+/// Split a `--jobs` budget between `n` concurrent outer tasks and the
+/// engine passes inside each: outer parallelism over workloads or
+/// configurations, inner over grid cells.
+fn split_jobs(engine: &EngineConfig, n: usize) -> (usize, EngineConfig) {
+    let outer = engine.jobs.clamp(1, n.max(1));
+    let mut inner = *engine;
+    inner.jobs = (engine.jobs / outer).max(1);
+    (outer, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for e in &ALL {
+            assert!(std::ptr::eq(find(e.name).unwrap(), e));
+            assert_eq!(ALL.iter().filter(|o| o.name == e.name).count(), 1);
+        }
+        assert!(find("e99_nonsense").is_none());
+    }
+
+    #[test]
+    fn jobs_split_covers_edges() {
+        let engine = EngineConfig::jobs(8);
+        let (outer, inner) = split_jobs(&engine, 5);
+        assert_eq!((outer, inner.jobs), (5, 1));
+        let (outer, inner) = split_jobs(&EngineConfig::jobs(8), 2);
+        assert_eq!((outer, inner.jobs), (2, 4));
+        let (outer, inner) = split_jobs(&EngineConfig::jobs(1), 5);
+        assert_eq!((outer, inner.jobs), (1, 1));
+    }
+
+    #[test]
+    fn static_experiment_sweeps_run_quickly() {
+        // E2 is workload-free; exercise the library path end to end.
+        let sweep = (e2::EXPERIMENT.sweep)(1, &EngineConfig::jobs(1));
+        assert_eq!(sweep.tables.len(), 1);
+        assert_eq!(sweep.tables[0].name(), "penalties");
+        assert_eq!(sweep.tables[0].len(), 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! Golden-results regression harness.
+//!
+//! Every experiment's tables are checked into `results/expected/` as CSV
+//! (one file per table, named `<experiment>__<table>.csv`), regenerated at
+//! a fixed, cheap configuration: `--scale 1 --jobs 2 --schedule ws`. The
+//! `golden_check` binary reruns every sweep in-process through
+//! [`crate::experiments::ALL`] and diffs the live tables cell-by-cell
+//! against the goldens, so a regression in the §5 penalty tables or the
+//! §7 miss decompositions fails CI naming the exact table, row, and
+//! column that drifted instead of shipping silently.
+//!
+//! Comparison is typed: `Int`/`Count`/`Bytes`/`Text` cells must match
+//! exactly; `Float`/`Pct` cells compare under a relative epsilon
+//! ([`Tolerance`]), with non-finite values equal only to the empty cell
+//! they serialize as. The sweeps are deterministic (the parallel engine is
+//! property-tested bit-identical to its sequential oracle), so in practice
+//! even the float cells match byte for byte and `--bless` regenerates the
+//! goldens reproducibly.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::{EngineConfig, Schedule};
+
+use crate::experiments::Experiment;
+
+/// Directory the goldens live in, relative to the repository root.
+pub const GOLDEN_DIR: &str = "results/expected";
+
+/// The fixed configuration goldens are defined at.
+pub fn golden_engine() -> EngineConfig {
+    EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing)
+}
+
+/// The fixed `--scale` goldens are defined at.
+pub const GOLDEN_SCALE: u32 = 1;
+
+/// Relative-epsilon tolerance for `Float`/`Pct` cells. Everything else is
+/// always compared exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Two floats `a`, `b` match when `|a-b| <= rel_eps * max(|a|,|b|)`,
+    /// or exactly when `rel_eps` is zero.
+    pub rel_eps: f64,
+}
+
+impl Tolerance {
+    /// Exact comparison for every cell type.
+    pub const EXACT: Tolerance = Tolerance { rel_eps: 0.0 };
+}
+
+impl Default for Tolerance {
+    /// Absorbs last-digit formatting jitter, nothing more: the sweeps are
+    /// deterministic, so goldens normally match exactly.
+    fn default() -> Self {
+        Tolerance { rel_eps: 1e-9 }
+    }
+}
+
+/// True if `a` and `b` match under the relative epsilon.
+pub fn approx_eq(a: f64, b: f64, rel_eps: f64) -> bool {
+    a == b || (a - b).abs() <= rel_eps * a.abs().max(b.abs())
+}
+
+/// One way a live table deviates from its golden.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Drift {
+    /// The golden file is missing or unreadable.
+    MissingGolden {
+        /// Where the golden was expected.
+        path: PathBuf,
+        /// Why it could not be read.
+        reason: String,
+    },
+    /// The column headers changed.
+    Columns {
+        /// Golden columns.
+        expected: Vec<String>,
+        /// Live columns.
+        actual: Vec<String>,
+    },
+    /// The number of data rows changed.
+    RowCount {
+        /// Golden row count.
+        expected: usize,
+        /// Live row count.
+        actual: usize,
+    },
+    /// One cell's value drifted.
+    Cell {
+        /// Zero-based data-row index.
+        row: usize,
+        /// The first cell of that row, as a human row label.
+        row_label: String,
+        /// Column name.
+        column: String,
+        /// Golden value (CSV form).
+        expected: String,
+        /// Live value (CSV form).
+        actual: String,
+    },
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Drift::MissingGolden { path, reason } => {
+                write!(
+                    f,
+                    "no golden at {} ({reason}); run `golden_check --bless` to create it",
+                    path.display()
+                )
+            }
+            Drift::Columns { expected, actual } => {
+                write!(
+                    f,
+                    "columns changed: expected [{}], got [{}]",
+                    expected.join(", "),
+                    actual.join(", ")
+                )
+            }
+            Drift::RowCount { expected, actual } => {
+                write!(f, "row count changed: expected {expected}, got {actual}")
+            }
+            Drift::Cell {
+                row,
+                row_label,
+                column,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "row {row} ('{row_label}'), column '{column}': expected {expected:?}, got {actual:?}"
+                )
+            }
+        }
+    }
+}
+
+/// True if a live cell matches its golden under the typed rules: the
+/// *live* cell's variant picks the rule, because the golden side has been
+/// through CSV and no longer distinguishes `Count` from `Bytes` or `Pct`
+/// from `Float`.
+pub fn cells_match(expected: &Cell, actual: &Cell, tol: &Tolerance) -> bool {
+    match actual {
+        Cell::Float(v, _) | Cell::Pct(v) => {
+            if !v.is_finite() {
+                // Non-finite serializes as the empty cell.
+                return matches!(expected, Cell::Missing);
+            }
+            match expected.as_f64() {
+                Some(e) => approx_eq(e, *v, tol.rel_eps),
+                None => false,
+            }
+        }
+        _ => expected.csv() == actual.csv(),
+    }
+}
+
+/// Diff a live table against its golden, cell by cell. Column drift
+/// short-circuits (positional comparison would be noise); row-count drift
+/// is reported and the common prefix still diffed.
+pub fn diff_tables(expected: &Table, actual: &Table, tol: &Tolerance) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    if expected.columns() != actual.columns() {
+        drifts.push(Drift::Columns {
+            expected: expected.columns().to_vec(),
+            actual: actual.columns().to_vec(),
+        });
+        return drifts;
+    }
+    if expected.len() != actual.len() {
+        drifts.push(Drift::RowCount {
+            expected: expected.len(),
+            actual: actual.len(),
+        });
+    }
+    for (r, (erow, arow)) in expected.rows().iter().zip(actual.rows()).enumerate() {
+        for (c, (e, a)) in erow.iter().zip(arow).enumerate() {
+            if !cells_match(e, a, tol) {
+                drifts.push(Drift::Cell {
+                    row: r,
+                    row_label: arow[0].render(),
+                    column: actual.columns()[c].clone(),
+                    expected: e.csv(),
+                    actual: a.csv(),
+                });
+            }
+        }
+    }
+    drifts
+}
+
+/// Where one table's golden lives: `<dir>/<experiment>__<table>.csv`.
+pub fn golden_path(dir: &Path, experiment: &str, table: &str) -> PathBuf {
+    dir.join(format!("{experiment}__{table}.csv"))
+}
+
+/// Diff every table of one experiment against its goldens. Returns
+/// `(table name, drifts)` pairs for tables that deviated.
+pub fn check_tables(
+    dir: &Path,
+    experiment: &str,
+    tables: &[Table],
+    tol: &Tolerance,
+) -> Vec<(String, Vec<Drift>)> {
+    let mut failures = Vec::new();
+    for table in tables {
+        let path = golden_path(dir, experiment, table.name());
+        let drifts = match Table::read_csv(&path) {
+            Ok(golden) => diff_tables(&golden, table, tol),
+            Err(e) => vec![Drift::MissingGolden {
+                path: path.clone(),
+                reason: e.to_string(),
+            }],
+        };
+        if !drifts.is_empty() {
+            failures.push((table.name().to_string(), drifts));
+        }
+    }
+    failures
+}
+
+/// Write every table of one experiment as its golden, creating `dir` as
+/// needed. Returns the paths written.
+///
+/// # Errors
+///
+/// Any I/O error from creating directories or writing a file.
+pub fn bless_tables(
+    dir: &Path,
+    experiment: &str,
+    tables: &[Table],
+) -> std::io::Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+    for table in tables {
+        let path = golden_path(dir, experiment, table.name());
+        table.write_csv(&path)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Run one experiment's sweep at the golden configuration (or an
+/// override) and return its tables.
+pub fn run_sweep(exp: &Experiment, scale: u32, engine: &EngineConfig) -> Vec<Table> {
+    (exp.sweep)(scale, engine).tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(v: f64) -> Table {
+        let mut t = Table::new("t", &["label", "count", "value"]);
+        t.row(vec![Cell::text("row0"), Cell::Count(7), Cell::Float(v, 4)]);
+        t.row(vec![
+            Cell::text("row1"),
+            Cell::Bytes(64 << 10),
+            Cell::Pct(0.25),
+        ]);
+        t
+    }
+
+    /// The golden side of a diff is always a table that has been through
+    /// CSV, variant-collapsed; simulate that.
+    fn through_csv(t: &Table) -> Table {
+        Table::from_csv(t.name(), &t.to_csv()).unwrap()
+    }
+
+    #[test]
+    fn identical_tables_have_no_drift_even_at_zero_tolerance() {
+        let t = table(0.123456789);
+        assert!(diff_tables(&through_csv(&t), &t, &Tolerance::EXACT).is_empty());
+        assert!(diff_tables(&t, &t, &Tolerance::EXACT).is_empty());
+    }
+
+    #[test]
+    fn single_cell_drift_is_pinpointed() {
+        let golden = through_csv(&table(0.5));
+        let live = table(0.75);
+        let drifts = diff_tables(&golden, &live, &Tolerance::default());
+        assert_eq!(drifts.len(), 1);
+        match &drifts[0] {
+            Drift::Cell {
+                row,
+                row_label,
+                column,
+                expected,
+                actual,
+            } => {
+                assert_eq!((*row, column.as_str()), (0, "value"));
+                assert_eq!(row_label, "row0");
+                assert_eq!((expected.as_str(), actual.as_str()), ("0.5", "0.75"));
+            }
+            other => panic!("unexpected drift {other:?}"),
+        }
+        let msg = drifts[0].to_string();
+        assert!(msg.contains("row 0") && msg.contains("'value'"), "{msg}");
+    }
+
+    #[test]
+    fn float_tolerance_is_relative_and_typed() {
+        let golden = through_csv(&table(1.0));
+        let mut live = table(1.0 + 1e-12);
+        assert!(diff_tables(&golden, &live, &Tolerance::default()).is_empty());
+        assert_eq!(diff_tables(&golden, &live, &Tolerance::EXACT).len(), 1);
+        // Exact cell types get no epsilon: a count off by one is a drift
+        // no matter the tolerance.
+        live = table(1.0);
+        live.set_cell(0, 1, Cell::Count(8));
+        assert_eq!(
+            diff_tables(&golden, &live, &Tolerance { rel_eps: 1e3 }).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_match_only_the_empty_cell() {
+        let mut live = table(0.5);
+        live.set_cell(0, 2, Cell::Float(f64::NAN, 4));
+        let golden = through_csv(&live);
+        assert!(diff_tables(&golden, &live, &Tolerance::EXACT).is_empty());
+        assert_eq!(
+            diff_tables(&through_csv(&table(0.5)), &live, &Tolerance::default()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn structural_drift_is_reported() {
+        let t = table(0.5);
+        let mut extra = table(0.5);
+        extra.row(vec![
+            Cell::text("row2"),
+            Cell::Count(0),
+            Cell::Float(0.0, 4),
+        ]);
+        let drifts = diff_tables(&through_csv(&t), &extra, &Tolerance::default());
+        assert!(matches!(
+            drifts[0],
+            Drift::RowCount {
+                expected: 2,
+                actual: 3
+            }
+        ));
+        let other = Table::new("t", &["different", "columns"]);
+        let drifts = diff_tables(&through_csv(&t), &other, &Tolerance::default());
+        assert!(matches!(drifts[0], Drift::Columns { .. }));
+    }
+
+    #[test]
+    fn bless_then_check_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("cachegc_golden_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables = vec![table(0.5)];
+        let written = bless_tables(&dir, "e0_demo", &tables).unwrap();
+        assert_eq!(written, vec![dir.join("e0_demo__t.csv")]);
+        assert!(check_tables(&dir, "e0_demo", &tables, &Tolerance::EXACT).is_empty());
+        // Perturb one cell: the check names the table and the cell.
+        let mut live = vec![table(0.5)];
+        live[0].set_cell(1, 1, Cell::Bytes(128 << 10));
+        let failures = check_tables(&dir, "e0_demo", &live, &Tolerance::default());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "t");
+        assert!(
+            matches!(&failures[0].1[0], Drift::Cell { row: 1, column, .. } if column == "count")
+        );
+        // A missing golden is a failure, not a silent pass.
+        let failures = check_tables(&dir, "e99_absent", &live, &Tolerance::default());
+        assert!(matches!(&failures[0].1[0], Drift::MissingGolden { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

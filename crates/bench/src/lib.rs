@@ -7,11 +7,18 @@
 //! [`cli::ExperimentArgs`] — `--scale`, `--jobs`, `--schedule`, `--csv` —
 //! builds its rows as [`cachegc_core::report::Table`]s, and persists them
 //! as CSV when `--csv` is passed.
+//!
+//! The sweeps themselves are library functions in [`experiments`] (the
+//! binaries are shims over [`experiments::run_main`]), which is what lets
+//! the [`golden`] regression harness run every experiment in-process and
+//! diff its tables against the checked-in goldens in `results/expected/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod experiments;
+pub mod golden;
 pub mod harness;
 mod report;
 

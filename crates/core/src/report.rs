@@ -5,6 +5,13 @@
 //! text table for the terminal and, on request, CSV into `results/` so
 //! successive PRs can diff experiment outputs against the paper's expected
 //! shapes mechanically instead of re-parsing hand-rolled `print!` layouts.
+//!
+//! The CSV path is a *round trip*: [`Table::to_csv`] writes machine values
+//! (raw bytes, raw fractions, shortest-round-trip floats, empty cells for
+//! non-finite values) and [`Table::from_csv`] reads them back as typed
+//! [`Cell`]s such that re-serializing reproduces the input byte for byte.
+//! The reader is what the golden-results harness diffs checked-in expected
+//! tables against, so the fixed point is load-bearing, not cosmetic.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -64,6 +71,18 @@ impl Cell {
         }
     }
 
+    /// The cell's numeric value, if it has one. `Bytes` and `Count` come
+    /// back as their raw counts, `Pct` as its raw fraction — the same
+    /// values [`Cell::csv`] serializes.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(n) => Some(*n as f64),
+            Cell::Count(n) | Cell::Bytes(n) => Some(*n as f64),
+            Cell::Float(v, _) | Cell::Pct(v) => Some(*v),
+            Cell::Text(_) | Cell::Missing => None,
+        }
+    }
+
     fn is_text(&self) -> bool {
         matches!(self, Cell::Text(_))
     }
@@ -106,7 +125,13 @@ impl From<i64> for Cell {
 }
 
 /// Enough precision for an f64 to round-trip, without trailing noise.
+/// Non-finite values serialize as the empty cell ([`Cell::Missing`]'s
+/// representation): `NaN`/`inf` in a CSV field would break every consumer
+/// of the documented round-trip contract.
 fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return String::new();
+    }
     let short = format!("{v}");
     if short.parse::<f64>() == Ok(v) {
         short
@@ -121,6 +146,117 @@ fn csv_quote(s: &str) -> String {
     } else {
         s.to_string()
     }
+}
+
+/// One parsed CSV field. Whether it was quoted matters: a quoted field is
+/// always free text, never a number or a missing value.
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+impl Field {
+    /// The most specific cell whose own serialization reproduces this
+    /// field exactly (checked, so the write→read→write fixed point holds
+    /// even for oddities like `-0` or `042`).
+    fn into_cell(self) -> Cell {
+        if self.quoted {
+            return Cell::Text(self.text);
+        }
+        if self.text.is_empty() {
+            return Cell::Missing;
+        }
+        if let Ok(n) = self.text.parse::<u64>() {
+            if n.to_string() == self.text {
+                return Cell::Count(n);
+            }
+        }
+        if let Ok(n) = self.text.parse::<i64>() {
+            if n.to_string() == self.text {
+                return Cell::Int(n);
+            }
+        }
+        if let Ok(v) = self.text.parse::<f64>() {
+            if v.is_finite() && fmt_f64(v) == self.text {
+                return Cell::Float(v, 6);
+            }
+        }
+        Cell::Text(self.text)
+    }
+}
+
+/// Split CSV text into records of fields, honoring quoting: `""` escapes,
+/// commas and newlines inside quotes, CRLF line ends, optional trailing
+/// newline. Strict about what [`Table::to_csv`] never emits (stray or
+/// unterminated quotes), so it doubles as a sanity checker.
+fn parse_csv(text: &str) -> Result<Vec<Vec<Field>>, String> {
+    let mut records: Vec<Vec<Field>> = Vec::new();
+    let mut record: Vec<Field> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut pending = false; // any unfinished field or record at EOF?
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                _ => {
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    field.push(c);
+                }
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !quoted => {
+                in_quotes = true;
+                quoted = true;
+                pending = true;
+            }
+            '"' => return Err(format!("line {line}: stray quote")),
+            ',' => {
+                record.push(Field {
+                    text: std::mem::take(&mut field),
+                    quoted: std::mem::take(&mut quoted),
+                });
+                pending = true;
+            }
+            '\r' if chars.peek() == Some(&'\n') => {}
+            '\n' => {
+                record.push(Field {
+                    text: std::mem::take(&mut field),
+                    quoted: std::mem::take(&mut quoted),
+                });
+                records.push(std::mem::take(&mut record));
+                pending = false;
+                line += 1;
+            }
+            _ if quoted => return Err(format!("line {line}: text after closing quote")),
+            _ => {
+                field.push(c);
+                pending = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(format!("line {line}: unterminated quoted field"));
+    }
+    if pending {
+        record.push(Field {
+            text: field,
+            quoted,
+        });
+        records.push(record);
+    }
+    Ok(records)
 }
 
 /// Format a count with thousands separators.
@@ -202,6 +338,79 @@ impl Table {
         );
         self.rows.push(cells);
         self
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Replace one cell, e.g. to perturb a table in a golden-harness test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn set_cell(&mut self, row: usize, col: usize, cell: Cell) {
+        self.rows[row][col] = cell;
+    }
+
+    /// Parse a table back out of its CSV serialization — the inverse of
+    /// [`Table::to_csv`]. The header row becomes the columns; every data
+    /// field is re-materialized as the most specific [`Cell`] whose own
+    /// serialization reproduces the field exactly (empty → `Missing`,
+    /// unsigned → `Count`, signed → `Int`, float → `Float`, anything else
+    /// or quoted → `Text`), so `from_csv(to_csv(t)).to_csv() == to_csv(t)`
+    /// for every table. The *variant* is lossy by construction — `Bytes`
+    /// and `Pct` have no distinct machine form — but the value is not.
+    ///
+    /// # Errors
+    ///
+    /// Malformed quoting, a missing header, or ragged rows.
+    pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Table, String> {
+        let mut records = parse_csv(text)?.into_iter();
+        let header = records.next().ok_or("empty CSV: no header row")?;
+        let columns: Vec<String> = header.into_iter().map(|f| f.text).collect();
+        if columns.is_empty() || (columns.len() == 1 && columns[0].is_empty()) {
+            return Err("empty CSV: no header row".to_string());
+        }
+        let mut rows = Vec::new();
+        for (i, record) in records.enumerate() {
+            if record.len() != columns.len() {
+                return Err(format!(
+                    "row {}: {} fields, expected {}",
+                    i + 1,
+                    record.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(record.into_iter().map(Field::into_cell).collect());
+        }
+        Ok(Table {
+            name: name.into(),
+            columns,
+            rows,
+        })
+    }
+
+    /// Read a CSV file written by [`Table::write_csv`] back as a table,
+    /// named after the file stem.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus [`Table::from_csv`] parse errors mapped to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn read_csv(path: &Path) -> std::io::Result<Table> {
+        let text = std::fs::read_to_string(path)?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "table".to_string());
+        Table::from_csv(name, &text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 
     /// Render as an aligned text table: text columns left-aligned, numeric
@@ -361,6 +570,115 @@ mod tests {
         let csv = t.to_csv();
         let parsed: f64 = csv.lines().nth(1).unwrap().parse().unwrap();
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn every_cell_variant_roundtrips_through_write_read() {
+        let mut t = Table::new(
+            "cells",
+            &["text", "int", "count", "float", "pct", "bytes", "gap"],
+        );
+        t.row(vec![
+            Cell::text("plain"),
+            Cell::Int(-42),
+            Cell::Count(1_234_567),
+            Cell::Float(0.1 + 0.2, 3),
+            Cell::Pct(-0.0012),
+            Cell::Bytes(64 << 10),
+            Cell::Missing,
+        ]);
+        t.row(vec![
+            Cell::text("commas, \"quotes\"\nand newlines"),
+            Cell::Int(i64::MIN),
+            Cell::Count(u64::MAX),
+            Cell::Float(f64::NAN, 3),
+            Cell::Pct(f64::INFINITY),
+            Cell::Bytes(0),
+            Cell::Missing,
+        ]);
+        let csv = t.to_csv();
+        // Non-finite floats serialize as empty cells, never NaN/inf text.
+        assert!(!csv.contains("NaN") && !csv.contains("inf"), "{csv}");
+        let back = Table::from_csv("cells", &csv).expect("parses");
+        assert_eq!(back.to_csv(), csv, "write → read → write is a fixed point");
+        // Values survive: the finite numbers come back exactly, the
+        // non-finite ones as Missing, the awkward text verbatim.
+        let r = back.rows();
+        assert_eq!(r[0][0], Cell::text("plain"));
+        assert_eq!(r[0][1], Cell::Int(-42));
+        assert_eq!(r[0][2], Cell::Count(1_234_567));
+        assert_eq!(r[0][3].as_f64(), Some(0.1 + 0.2));
+        assert_eq!(r[0][4].as_f64(), Some(-0.0012));
+        assert_eq!(r[0][5].as_f64(), Some((64u64 << 10) as f64));
+        assert_eq!(r[0][6], Cell::Missing);
+        assert_eq!(r[1][0], Cell::text("commas, \"quotes\"\nand newlines"));
+        assert_eq!(r[1][3], Cell::Missing);
+        assert_eq!(r[1][4], Cell::Missing);
+    }
+
+    #[test]
+    fn reader_only_types_exact_reserializations() {
+        // Fields whose numeric parse would not re-serialize identically
+        // stay text, so the fixed point holds for them too.
+        for field in ["042", "+5", "1e3", "-0"] {
+            let csv = format!("v\n{field}\n");
+            let t = Table::from_csv("t", &csv).unwrap();
+            assert_eq!(t.to_csv(), csv, "{field} must round-trip");
+        }
+        assert_eq!(
+            Table::from_csv("t", "v\n042\n").unwrap().rows()[0][0],
+            Cell::text("042")
+        );
+        // -0 has no i64 spelling but an exact f64 one.
+        assert_eq!(
+            Table::from_csv("t", "v\n-0\n").unwrap().rows()[0][0],
+            Cell::Float(-0.0, 6)
+        );
+    }
+
+    #[test]
+    fn reader_rejects_malformed_csv() {
+        assert!(Table::from_csv("t", "").is_err(), "no header");
+        assert!(Table::from_csv("t", "a,b\n1\n").is_err(), "ragged row");
+        assert!(
+            Table::from_csv("t", "a,b\n1,\"x\n").is_err(),
+            "unterminated quote"
+        );
+        assert!(
+            Table::from_csv("t", "a,b\n1,x\"y\n").is_err(),
+            "stray quote"
+        );
+        assert!(
+            Table::from_csv("t", "a,b\n1,\"x\"y\n").is_err(),
+            "text after quote"
+        );
+    }
+
+    #[test]
+    fn reader_accepts_crlf_and_missing_trailing_newline() {
+        let t = Table::from_csv("t", "a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1], vec![Cell::Count(3), Cell::Count(4)]);
+    }
+
+    #[test]
+    fn read_csv_names_table_after_file_stem() {
+        let dir = std::env::temp_dir().join("cachegc_report_read_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("penalties.csv");
+        sample().write_csv(&path).unwrap();
+        let back = Table::read_csv(&path).unwrap();
+        assert_eq!(back.name(), "penalties");
+        assert_eq!(back.to_csv(), sample().to_csv());
+        assert!(Table::read_csv(&dir.join("absent.csv")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_cell_replaces_in_place() {
+        let mut t = sample();
+        t.set_cell(1, 2, Cell::Count(43));
+        assert_eq!(t.rows()[1][2], Cell::Count(43));
     }
 
     #[test]

@@ -27,9 +27,17 @@ impl BlockStats {
     }
 
     /// Misses excluding allocation misses, as accumulated by the paper's
-    /// cumulative miss curves.
+    /// cumulative miss curves. Allocation misses are a subset of misses by
+    /// construction; if a counting bug ever desyncs them, saturate rather
+    /// than panic — a degraded plot beats aborting a multi-hour sweep.
     pub fn non_alloc_misses(&self) -> u64 {
-        self.misses - self.alloc_misses
+        debug_assert!(
+            self.alloc_misses <= self.misses,
+            "alloc_misses ({}) exceeds misses ({})",
+            self.alloc_misses,
+            self.misses
+        );
+        self.misses.saturating_sub(self.alloc_misses)
     }
 }
 
@@ -223,6 +231,22 @@ mod tests {
         assert!((b.local_miss_ratio() - 0.1).abs() < 1e-12);
         assert_eq!(b.non_alloc_misses(), 6);
         assert_eq!(BlockStats::default().local_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn non_alloc_misses_saturates_on_desynced_counters() {
+        let b = BlockStats {
+            refs: 1,
+            misses: 1,
+            alloc_misses: 2,
+        };
+        if cfg!(debug_assertions) {
+            // Debug builds surface the counting bug loudly.
+            assert!(std::panic::catch_unwind(|| b.non_alloc_misses()).is_err());
+        } else {
+            // Release sweeps degrade to zero instead of aborting.
+            assert_eq!(b.non_alloc_misses(), 0);
+        }
     }
 
     #[test]

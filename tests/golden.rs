@@ -1,0 +1,111 @@
+//! Property tests for the golden-results harness: the CSV round trip is a
+//! fixed point over arbitrary tables, and the zero-tolerance diff accepts
+//! identical tables while pinpointing a single mutated cell.
+
+use cachegc::core::report::{Cell, Table};
+use cachegc::testkit::{self, Rng};
+use cachegc_bench::golden::{diff_tables, Drift, Tolerance};
+
+/// Text payloads that stress the CSV quoting rules: commas, quotes,
+/// newlines, CRLF, leading/trailing space, and strings that *look* like
+/// numbers (which must stay Text when quoted, and may legitimately
+/// re-materialize as numeric cells when not).
+const TEXTS: &[&str] = &[
+    "plain",
+    "comma, inside",
+    "say \"hi\"",
+    "line\nbreak",
+    "crlf\r\nboth",
+    " padded ",
+    "",
+    "compile",
+    "64k",
+];
+
+fn arbitrary_cell(rng: &mut Rng) -> Cell {
+    match rng.range_u32(0, 8) {
+        0 => Cell::text(*rng.choose(TEXTS)),
+        1 => Cell::Int(i64::from(rng.range_i32(i32::MIN, i32::MAX))),
+        2 => Cell::Count(rng.next_u64()),
+        3 => Cell::Bytes(rng.next_u64() >> rng.range_u32(0, 40)),
+        4 => Cell::Float(rng.range_f64(-1e6, 1e6), rng.range_usize(0, 9)),
+        5 => Cell::Float(
+            *rng.choose(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            3,
+        ),
+        6 => Cell::Pct(rng.range_f64(-2.0, 2.0)),
+        _ => Cell::Missing,
+    }
+}
+
+fn arbitrary_table(rng: &mut Rng) -> Table {
+    let ncols = rng.range_usize(1, 6);
+    let cols: Vec<String> = (0..ncols).map(|c| format!("col{c}")).collect();
+    let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("prop", &cols);
+    for _ in 0..rng.range_usize(0, 8) {
+        t.row((0..ncols).map(|_| arbitrary_cell(rng)).collect());
+    }
+    t
+}
+
+/// write_csv → read_csv → write_csv reproduces the bytes of the first
+/// write: the reader may collapse cell variants (Bytes → Count,
+/// Pct → Float), but never in a way the serialization can see.
+#[test]
+fn csv_round_trip_is_a_fixed_point() {
+    testkit::check("csv_round_trip_is_a_fixed_point", 200, |rng| {
+        let table = arbitrary_table(rng);
+        let first = table.to_csv();
+        let back = Table::from_csv(table.name(), &first).expect("own CSV parses");
+        assert_eq!(back.to_csv(), first, "round trip moved the bytes");
+        // And it is idempotent from there on.
+        let again = Table::from_csv(back.name(), &back.to_csv()).expect("parses");
+        assert_eq!(again.to_csv(), first);
+    });
+}
+
+/// A table read back from its own CSV diffs clean against the live table
+/// even at zero tolerance — the golden workflow's steady state.
+#[test]
+fn zero_tolerance_diff_accepts_identical_tables() {
+    testkit::check("zero_tolerance_diff_accepts_identical_tables", 200, |rng| {
+        let live = arbitrary_table(rng);
+        let golden = Table::from_csv(live.name(), &live.to_csv()).expect("parses");
+        let drifts = diff_tables(&golden, &live, &Tolerance::EXACT);
+        assert!(drifts.is_empty(), "spurious drift: {drifts:?}");
+    });
+}
+
+/// Mutating exactly one cell yields exactly one drift, naming that cell's
+/// row and column.
+#[test]
+fn single_mutation_is_pinpointed() {
+    testkit::check("single_mutation_is_pinpointed", 200, |rng| {
+        let mut live = arbitrary_table(rng);
+        if live.is_empty() {
+            live.row(vec![Cell::Count(1); live.columns().len()]);
+        }
+        let golden = Table::from_csv(live.name(), &live.to_csv()).expect("parses");
+        let row = rng.range_usize(0, live.len());
+        let col = rng.range_usize(0, live.columns().len());
+        // A replacement no generated cell serializes to, so the mutation
+        // is visible no matter what it overwrote.
+        live.set_cell(row, col, Cell::text("MUTANT"));
+        let drifts = diff_tables(&golden, &live, &Tolerance::EXACT);
+        assert_eq!(drifts.len(), 1, "expected one drift, got {drifts:?}");
+        match &drifts[0] {
+            Drift::Cell {
+                row: r,
+                column,
+                actual,
+                ..
+            } => {
+                assert_eq!(*r, row);
+                assert_eq!(column, &live.columns()[col]);
+                assert_eq!(actual, "MUTANT");
+            }
+            other => panic!("expected a cell drift, got {other:?}"),
+        }
+    });
+}
