@@ -1,0 +1,75 @@
+//! Live-VM trace generation vs recorded-trace replay, per workload.
+//!
+//! The scenario-keyed trace store only pays off if replaying the compact
+//! codec is much faster than re-running the VM. This measures both sides
+//! of that trade at golden scale: the live pass is timed once (it *is*
+//! the recording pass — the recorder rides the same run), replay is
+//! sampled through the harness, and the encoded bytes/event lands next
+//! to the throughputs in `BENCH_replay.json`.
+//!
+//! Acceptance bar: replay delivers events at least 3× faster than the
+//! live VM on at least one workload.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cachegc_bench::harness::bench;
+use cachegc_bench::{ReplayReport, ReplayRun};
+use cachegc_gc::NoCollector;
+use cachegc_trace::{Recorder, RefCounter};
+use cachegc_workloads::Workload;
+
+const SCALE: u32 = 1;
+
+fn main() {
+    let mut runs = Vec::new();
+    for w in Workload::ALL {
+        // The live side is timed directly, not sampled: one VM pass is
+        // seconds long, and it doubles as the recording pass.
+        let start = Instant::now();
+        let out = w
+            .scaled(SCALE)
+            .run(NoCollector::new(), (Recorder::new(), RefCounter::new()))
+            .expect("workload runs");
+        let live_wall = start.elapsed();
+        let (recorder, live_counter) = out.sink;
+        let trace = recorder.finish().expect("unbounded recorder");
+        let events = trace.events();
+        assert_eq!(events, live_counter.total(), "recorder saw every event");
+        let live_eps = events as f64 / live_wall.as_secs_f64().max(1e-9);
+        println!(
+            "trace_replay/{}/live: {} events in {:.3}s ({:.1}M ev/s, {:.2} bytes/event)",
+            w.name(),
+            events,
+            live_wall.as_secs_f64(),
+            live_eps / 1e6,
+            trace.bytes_per_event(),
+        );
+
+        let summary = bench(
+            &format!("trace_replay/{}/replay", w.name()),
+            Some(events),
+            || {
+                let mut counter = RefCounter::new();
+                trace.replay(&mut counter);
+                assert_eq!(counter, live_counter);
+                black_box(counter.total());
+            },
+        );
+        let replay_eps = events as f64 / summary.median.as_secs_f64().max(1e-9);
+        println!(
+            "  -> replay speedup vs live VM: {:.2}x",
+            replay_eps / live_eps
+        );
+
+        runs.push(ReplayRun {
+            workload: w.name().to_string(),
+            scale: SCALE,
+            events,
+            trace_bytes: trace.bytes(),
+            live_events_per_sec: live_eps,
+            replay_events_per_sec: replay_eps,
+        });
+    }
+    ReplayReport { runs }.write();
+}

@@ -7,31 +7,42 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cachegc_bench::cli::TraceCacheArg;
 use cachegc_bench::experiments::{self, Experiment};
 use cachegc_bench::golden::{
     bless_tables, check_tables, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
 };
+use cachegc_core::RunCtx;
 
 const USAGE: &str = "\
 golden_check: diff every experiment's tables against results/expected/
 
 usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
+                    [--trace-cache on|off|BYTES]
 
   --bless       regenerate the goldens from the current code
   --only NAME   check a single experiment (e.g. e4_write_policy)
   --dir PATH    golden directory (default results/expected)
   --rel-eps X   relative epsilon for float/pct cells (default 1e-9;
                 0 means exact)
+  --trace-cache on|off|BYTES
+                share one trace store across all experiments so each
+                unique (workload, scale, collector) scenario's VM runs
+                at most once; BYTES caps resident trace memory
+                (default on; env CACHEGC_TRACE_CACHE)
 
 The sweeps always run at --scale 1 --jobs 2 --schedule ws: goldens are
 defined at that configuration, and the parallel engine is bit-identical
-to the sequential one, so results do not depend on the machine.";
+to the sequential one, so results do not depend on the machine. Replay
+from the trace cache is bit-identical to the live VM, so --trace-cache
+never changes a table.";
 
 struct Opts {
     bless: bool,
     only: Option<String>,
     dir: PathBuf,
     tol: Tolerance,
+    trace_cache: TraceCacheArg,
 }
 
 fn parse_opts(argv: &[String]) -> Result<Opts, String> {
@@ -40,6 +51,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         only: None,
         dir: PathBuf::from(GOLDEN_DIR),
         tol: Tolerance::default(),
+        trace_cache: TraceCacheArg::from_env(std::env::var("CACHEGC_TRACE_CACHE").ok().as_deref())?,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +73,12 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                     return Err(format!("--rel-eps: must be finite and >= 0, got {raw}"));
                 }
                 opts.tol = Tolerance { rel_eps: eps };
+            }
+            "--trace-cache" => {
+                let raw = value("--trace-cache")?;
+                opts.trace_cache = TraceCacheArg::parse(&raw).ok_or_else(|| {
+                    format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
+                })?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
@@ -106,12 +124,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = golden_engine();
+    // One store spans every experiment: later sweeps replay scenarios an
+    // earlier sweep recorded, so each unique (workload, scale, collector)
+    // runs the VM at most once per invocation.
+    let store = opts.trace_cache.store();
+    let mut ctx = RunCtx::new(golden_engine());
+    if let Some(store) = &store {
+        ctx = ctx.with_store(store);
+    }
     let mut drifted = 0usize;
     let mut checked = 0usize;
     for exp in exps {
         eprintln!("== {} ==", exp.name);
-        let tables = run_sweep(exp, GOLDEN_SCALE, &engine);
+        let tables = run_sweep(exp, GOLDEN_SCALE, &ctx);
         checked += tables.len();
         if opts.bless {
             match bless_tables(&opts.dir, exp.name, &tables) {
@@ -134,6 +159,10 @@ fn main() -> ExitCode {
                 println!("  {d}");
             }
         }
+    }
+
+    if let Some(store) = &store {
+        eprintln!("trace cache: {}", store.stats());
     }
 
     if opts.bless {

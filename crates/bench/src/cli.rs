@@ -10,7 +10,57 @@
 use std::path::{Path, PathBuf};
 
 use cachegc_core::report::{csv_table_path, Table};
-use cachegc_core::{EngineConfig, Schedule};
+use cachegc_core::{EngineConfig, Schedule, TraceStore};
+
+/// Byte budget the plain `--trace-cache on` spelling buys (4 GiB — the
+/// whole golden-scale scenario set encodes to ~1 GiB at the measured
+/// 2.7–3.0 bytes/event, so this holds every scenario with headroom
+/// while still bounding a paper-scale sweep).
+pub const DEFAULT_TRACE_CACHE_BYTES: u64 = 4 << 30;
+
+/// The `--trace-cache` knob: whether (and how large) a scenario-keyed
+/// [`TraceStore`] backs the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCacheArg {
+    /// No store; every pass runs the VM live.
+    Off,
+    /// A store with the [`DEFAULT_TRACE_CACHE_BYTES`] budget.
+    On,
+    /// A store with an explicit byte budget.
+    Budget(u64),
+}
+
+impl TraceCacheArg {
+    /// Parse a `--trace-cache` value: `on`, `off`, or a byte count.
+    pub fn parse(raw: &str) -> Option<TraceCacheArg> {
+        match raw {
+            "on" => Some(TraceCacheArg::On),
+            "off" => Some(TraceCacheArg::Off),
+            _ => raw.parse().ok().map(TraceCacheArg::Budget),
+        }
+    }
+
+    /// Resolve a `CACHEGC_TRACE_CACHE` environment value: `None` (unset)
+    /// means the default `on`; a malformed value is an error naming the
+    /// variable, same discipline as the flag.
+    pub fn from_env(raw: Option<&str>) -> Result<TraceCacheArg, String> {
+        match raw {
+            None => Ok(TraceCacheArg::On),
+            Some(v) => TraceCacheArg::parse(v).ok_or_else(|| {
+                format!("CACHEGC_TRACE_CACHE: malformed value '{v}' (on, off, or bytes)")
+            }),
+        }
+    }
+
+    /// The store this argument asks for (`None` for `off`).
+    pub fn store(&self) -> Option<TraceStore> {
+        match *self {
+            TraceCacheArg::Off => None,
+            TraceCacheArg::On => Some(TraceStore::with_budget(DEFAULT_TRACE_CACHE_BYTES)),
+            TraceCacheArg::Budget(bytes) => Some(TraceStore::with_budget(bytes)),
+        }
+    }
+}
 
 /// Parsed common arguments of an experiment binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +74,9 @@ pub struct ExperimentArgs {
     pub schedule: Schedule,
     /// CSV output path (`--csv PATH`), if requested.
     pub csv: Option<PathBuf>,
+    /// Trace record/replay cache (`--trace-cache on|off|BYTES`, env
+    /// `CACHEGC_TRACE_CACHE`; default on).
+    pub trace_cache: TraceCacheArg,
 }
 
 #[derive(Debug)]
@@ -68,6 +121,7 @@ impl ExperimentArgs {
         let mut jobs: Option<usize> = None;
         let mut schedule = Schedule::default();
         let mut csv: Option<PathBuf> = None;
+        let mut trace_cache: Option<TraceCacheArg> = None;
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -82,6 +136,12 @@ impl ExperimentArgs {
                 "--csv" => {
                     let raw = it.next().ok_or("--csv needs a path")?;
                     csv = Some(PathBuf::from(raw));
+                }
+                "--trace-cache" => {
+                    let raw = it.next().ok_or("--trace-cache needs a value")?;
+                    trace_cache = Some(TraceCacheArg::parse(raw).ok_or_else(|| {
+                        format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
+                    })?);
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -103,17 +163,30 @@ impl ExperimentArgs {
         if jobs == 0 {
             return Err(format!("{jobs_source}: jobs must be at least 1, got 0"));
         }
+        let trace_cache = match trace_cache {
+            Some(tc) => tc,
+            None => TraceCacheArg::from_env(env("CACHEGC_TRACE_CACHE").as_deref())?,
+        };
         Ok(Parse::Args(ExperimentArgs {
             scale,
             jobs,
             schedule,
             csv,
+            trace_cache,
         }))
     }
 
     /// The engine configuration these arguments describe.
     pub fn engine(&self) -> EngineConfig {
         EngineConfig::jobs(self.jobs).with_schedule(self.schedule)
+    }
+
+    /// The trace store these arguments ask for (`None` under
+    /// `--trace-cache off`). The caller owns it and threads a reference
+    /// through a [`cachegc_core::RunCtx`], so one store can span many
+    /// sweeps.
+    pub fn trace_store(&self) -> Option<TraceStore> {
+        self.trace_cache.store()
     }
 
     /// Write `tables` as CSV if `--csv` was passed (a single table lands at
@@ -156,12 +229,16 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
         "{binary} — {about}\n\
          \n\
          usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--csv PATH]\n\
+         \x20                [--trace-cache on|off|BYTES]\n\
          \n\
          \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
          \x20 --jobs N       worker threads (default: available parallelism; env\n\
          \x20                CACHEGC_JOBS; 1 is the sequential oracle)\n\
          \x20 --schedule S   engine schedule: round-robin (rr) or work-stealing (ws)\n\
          \x20 --csv PATH     also write results as CSV to PATH\n\
+         \x20 --trace-cache  record each unique scenario's trace and replay it for\n\
+         \x20                later passes: on (default, 1 GiB budget), off, or an\n\
+         \x20                explicit byte budget (env CACHEGC_TRACE_CACHE)\n\
          \x20 --help         show this help\n"
     )
 }
@@ -259,6 +336,51 @@ mod tests {
     }
 
     #[test]
+    fn trace_cache_flag_parses_and_defaults_on() {
+        assert_eq!(parsed(&[]).trace_cache, TraceCacheArg::On);
+        assert_eq!(
+            parsed(&["--trace-cache", "off"]).trace_cache,
+            TraceCacheArg::Off
+        );
+        assert_eq!(
+            parsed(&["--trace-cache", "on"]).trace_cache,
+            TraceCacheArg::On
+        );
+        let a = parsed(&["--trace-cache", "268435456"]);
+        assert_eq!(a.trace_cache, TraceCacheArg::Budget(268435456));
+        assert_eq!(a.trace_store().map(|s| s.budget()), Some(268435456));
+        assert!(parsed(&["--trace-cache", "off"]).trace_store().is_none());
+        assert_eq!(
+            parsed(&[]).trace_store().map(|s| s.budget()),
+            Some(DEFAULT_TRACE_CACHE_BYTES)
+        );
+    }
+
+    #[test]
+    fn trace_cache_rejects_malformed_values_for_flag_and_env() {
+        for bad in ["auto", "-1", "1g", ""] {
+            let err = ExperimentArgs::try_parse(&argv(&["--trace-cache", bad]), 4).unwrap_err();
+            assert!(err.contains("--trace-cache"), "{bad:?}: {err}");
+        }
+        let env = |name: &str| (name == "CACHEGC_TRACE_CACHE").then(|| "tiny".to_string());
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap_err();
+        assert!(err.contains("CACHEGC_TRACE_CACHE"), "{err}");
+        // A well-formed env value applies; the explicit flag wins over it.
+        let env = |name: &str| (name == "CACHEGC_TRACE_CACHE").then(|| "off".to_string());
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.trace_cache, TraceCacheArg::Off);
+        let a =
+            match ExperimentArgs::try_parse_env(&argv(&["--trace-cache", "64"]), 4, env).unwrap() {
+                Parse::Args(a) => a,
+                Parse::Help => panic!("unexpected help"),
+            };
+        assert_eq!(a.trace_cache, TraceCacheArg::Budget(64));
+    }
+
+    #[test]
     fn help_is_recognized() {
         assert!(matches!(
             ExperimentArgs::try_parse(&argv(&["--help"]), 4),
@@ -279,6 +401,8 @@ mod tests {
             vec!["--jobs", "-2"],
             vec!["--schedule", "fifo"],
             vec!["--csv"],
+            vec!["--trace-cache"],
+            vec!["--trace-cache", "sometimes"],
         ] {
             assert!(
                 ExperimentArgs::try_parse(&argv(&bad), 4).is_err(),
@@ -290,7 +414,14 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let u = usage("e4_write_policy", "write-miss policy comparison", 4);
-        for flag in ["--scale", "--jobs", "--schedule", "--csv", "--help"] {
+        for flag in [
+            "--scale",
+            "--jobs",
+            "--schedule",
+            "--csv",
+            "--trace-cache",
+            "--help",
+        ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }
         assert!(u.starts_with("e4_write_policy — "));

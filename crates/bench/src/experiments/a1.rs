@@ -7,7 +7,7 @@
 //! workload (`--jobs`/`--schedule`); the two workloads run concurrently.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks, CacheConfig, EngineConfig, SetAssocCache};
+use cachegc_core::{par_map, run_sinks_ctx, CacheConfig, RunCtx, SetAssocCache};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -20,12 +20,12 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let sizes = [32 << 10, 64 << 10, 256 << 10u32];
     let ways = [1u32, 2, 4];
 
     let workloads = [Workload::Compile, Workload::Nbody];
-    let (outer, inner) = split_jobs(engine, workloads.len());
+    let (outer, inner) = split_jobs(ctx, workloads.len());
     let passes = par_map(&workloads, outer, |w| {
         eprintln!("running {} ...", w.name());
         let mut caches = Vec::new();
@@ -36,7 +36,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
                 ));
             }
         }
-        let (_, out) = run_sinks(w.scaled(scale), None, caches, &inner).unwrap();
+        let (_, out) = run_sinks_ctx(w.scaled(scale), None, caches, &inner).unwrap();
         out
     });
 

@@ -6,14 +6,12 @@
 
 use std::time::Instant;
 
-use cachegc_core::par_map;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::EngineConfig;
-use cachegc_gc::NoCollector;
+use cachegc_core::{par_map, run_sinks_ctx, RunCtx};
 use cachegc_trace::RefCounter;
 use cachegc_workloads::Workload;
 
-use super::{Experiment, Sweep};
+use super::{split_jobs, Experiment, Sweep};
 use crate::{GridReport, GridRun};
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -24,15 +22,15 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let t0 = Instant::now();
-    let outs = par_map(&Workload::ALL, engine.jobs, |w| {
+    let outs = par_map(&Workload::ALL, outer, |w| {
         let t = Instant::now();
-        let out = w
-            .scaled(scale)
-            .run(NoCollector::new(), RefCounter::new())
+        let (stats, sinks) = run_sinks_ctx(w.scaled(scale), None, vec![RefCounter::new()], &inner)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-        (out, t.elapsed())
+        let counter = sinks.into_iter().next().expect("one counter");
+        (stats, counter, t.elapsed())
     });
     let total_wall = t0.elapsed();
 
@@ -49,14 +47,14 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
         ],
     );
     let mut runs = Vec::new();
-    for (w, (out, wall)) in Workload::ALL.iter().zip(&outs) {
-        let insns = out.stats.instructions.program();
-        let refs = out.sink.total();
+    for (w, (stats, counter, wall)) in Workload::ALL.iter().zip(&outs) {
+        let insns = stats.instructions.program();
+        let refs = counter.total();
         table.row(vec![
             w.name().into(),
             w.paper_analog().into(),
             w.lines().into(),
-            out.stats.allocated_bytes.into(),
+            stats.allocated_bytes.into(),
             insns.into(),
             refs.into(),
             Cell::Float(refs as f64 / insns as f64, 3),
@@ -77,7 +75,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
         ],
         grid: Some(GridReport {
             binary: "e1_programs".into(),
-            jobs: engine.jobs,
+            jobs: ctx.engine.jobs,
             runs,
             total_wall,
         }),

@@ -11,7 +11,7 @@
 
 use cachegc_analysis::{Activity, ActivityTracker, Instrument};
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_instruments, CacheConfig, EngineConfig};
+use cachegc_core::{par_map, run_instruments_ctx, CacheConfig, RunCtx};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -57,8 +57,8 @@ fn panel(w: Workload, cache_bytes: u32, act: &Activity, summary: &mut Table, dec
     }
 }
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
-    let (outer, inner) = split_jobs(engine, GROUPS.len());
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+    let (outer, inner) = split_jobs(ctx, GROUPS.len());
     let activities: Vec<Vec<Activity>> = par_map(&GROUPS, outer, |&(w, sizes)| {
         eprintln!(
             "running {} ({} panels in one pass) ...",
@@ -69,7 +69,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
             .iter()
             .map(|&s| ActivityTracker::new(CacheConfig::direct_mapped(s, 64)).into())
             .collect();
-        let (_, out) = run_instruments(w.scaled(scale), None, instruments, &inner).unwrap();
+        let (_, out) = run_instruments_ctx(w.scaled(scale), None, instruments, &inner).unwrap();
         out.into_iter()
             .map(|i| i.into_activity().expect("activity instrument"))
             .collect()

@@ -8,8 +8,8 @@
 
 use cachegc_core::report::{Cell, Table};
 use cachegc_core::{
-    par_map, run_control_engine, write_back_overhead, writeback_cycles, EngineConfig,
-    ExperimentConfig, FAST, SLOW,
+    par_map, run_control_ctx, write_back_overhead, writeback_cycles, ExperimentConfig, RunCtx,
+    FAST, SLOW,
 };
 use cachegc_workloads::Workload;
 
@@ -24,14 +24,14 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
 
-    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let reports = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} ...", w.name());
-        run_control_engine(w.scaled(scale), &cfg, &inner).unwrap()
+        run_control_ctx(w.scaled(scale), &cfg, &inner).unwrap()
     });
 
     let mut cols = vec!["program".to_string(), "cpu".to_string()];

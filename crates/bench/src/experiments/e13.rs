@@ -20,7 +20,7 @@
 //! (`--jobs`/`--schedule`).
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{miss_penalty_cycles, Cache, ExperimentConfig, FAST, SLOW};
+use cachegc_core::{miss_penalty_cycles, Cache, ExperimentConfig, RunCtx, FAST, SLOW};
 use cachegc_gc::NoCollector;
 use cachegc_trace::{Context, EngineConfig, ParallelFanout};
 use cachegc_vm::Machine;
@@ -106,7 +106,10 @@ fn measure(
     }
 }
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+    // E13's variants are ad-hoc Scheme sources, not registered workloads,
+    // so there is no scenario key for them — both passes stay live.
+    let engine = &ctx.engine;
     let gens = 150 * scale;
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];

@@ -15,9 +15,7 @@
 use std::time::Instant;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, run_control_engine, EngineConfig, ExperimentConfig, Processor, FAST, SLOW,
-};
+use cachegc_core::{par_map, run_control_ctx, ExperimentConfig, Processor, RunCtx, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -48,15 +46,15 @@ fn cpu_table(cpu: &Processor, cfg: &ExperimentConfig, f: impl Fn(u32, u32) -> f6
     table
 }
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let cfg = ExperimentConfig::paper();
     // Outer parallelism over programs, inner over grid cells.
-    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let t0 = Instant::now();
     let timed: Vec<_> = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} ...", w.name());
         let t = Instant::now();
-        let r = run_control_engine(w.scaled(scale), &cfg, &inner)
+        let r = run_control_ctx(w.scaled(scale), &cfg, &inner)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         (r, t.elapsed())
     });
@@ -96,7 +94,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
         ],
         grid: Some(GridReport {
             binary: "e3_overhead_sweep".into(),
-            jobs: engine.jobs,
+            jobs: ctx.engine.jobs,
             runs,
             total_wall,
         }),

@@ -11,7 +11,7 @@
 
 use cachegc_core::report::{Cell, Table};
 use cachegc_core::{
-    par_map, run_control_engine, EngineConfig, ExperimentConfig, WriteMissPolicy, FAST, SLOW,
+    par_map, run_control_ctx, ExperimentConfig, RunCtx, WriteMissPolicy, FAST, SLOW,
 };
 use cachegc_workloads::Workload;
 
@@ -26,7 +26,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let sizes = vec![32 << 10, 256 << 10, 1 << 20];
     let mut cfg_wv = ExperimentConfig::paper();
     cfg_wv.cache_sizes = sizes.clone();
@@ -34,11 +34,14 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
         .clone()
         .with_write_miss(WriteMissPolicy::FetchOnWrite);
 
-    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let runs = par_map(&Workload::ALL, outer, |w| {
+        // With a trace store attached, the write-validate pass records
+        // the scenario and the fetch-on-write grid replays it — one VM
+        // execution drives both policy grids.
         eprintln!("running {} (both policies) ...", w.name());
-        let wv = run_control_engine(w.scaled(scale), &cfg_wv, &inner).unwrap();
-        let fow = run_control_engine(w.scaled(scale), &cfg_fow, &inner).unwrap();
+        let wv = run_control_ctx(w.scaled(scale), &cfg_wv, &inner).unwrap();
+        let fow = run_control_ctx(w.scaled(scale), &cfg_fow, &inner).unwrap();
         (wv, fow)
     });
 

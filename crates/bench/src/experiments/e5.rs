@@ -20,9 +20,7 @@
 use std::time::Instant;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, CollectorSpec, EngineConfig, ExperimentConfig, GcComparison, FAST, SLOW,
-};
+use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -36,7 +34,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let semispace: u32 = std::env::var("CACHEGC_SEMISPACE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -48,12 +46,12 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
     let spec = CollectorSpec::Cheney {
         semispace_bytes: semispace,
     };
-    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let t0 = Instant::now();
     let results = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} (control + collected) ...", w.name());
         let t = Instant::now();
-        let r = GcComparison::run_engine(w.scaled(scale), &cfg, spec, &inner);
+        let r = GcComparison::run_ctx(w.scaled(scale), &cfg, spec, &inner);
         (r, t.elapsed())
     });
     let total_wall = t0.elapsed();
@@ -121,7 +119,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
         notes,
         grid: Some(GridReport {
             binary: "e5_gc_overhead".into(),
-            jobs: engine.jobs,
+            jobs: ctx.engine.jobs,
             runs,
             total_wall,
         }),

@@ -6,7 +6,7 @@
 //! separate threads with the grid sharded across workers.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{CollectorSpec, EngineConfig, ExperimentConfig, GcComparison, FAST, SLOW};
+use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 use super::{Experiment, Sweep};
@@ -20,7 +20,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![64 << 10, 256 << 10, 1 << 20];
@@ -45,7 +45,7 @@ fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
     let mut ogc_table = Table::new("ogc", &cols);
     for spec in specs {
         eprintln!("running lambda under {} ...", spec.name());
-        let cmp = GcComparison::run_engine(w, &cfg, spec, engine).unwrap_or_else(|e| panic!("{e}"));
+        let cmp = GcComparison::run_ctx(w, &cfg, spec, ctx).unwrap_or_else(|e| panic!("{e}"));
         gc_table.row(vec![
             spec.name().into(),
             cmp.collected.gc.collections.into(),

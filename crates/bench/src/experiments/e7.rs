@@ -9,9 +9,7 @@
 //! control + collected pair).
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, CollectorSpec, EngineConfig, ExperimentConfig, GcComparison, FAST, SLOW,
-};
+use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -25,21 +23,21 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let cache_size = 64 << 10;
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![cache_size];
 
     let nurseries: Vec<u32> = vec![64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20];
-    let (outer, inner) = split_jobs(engine, nurseries.len());
+    let (outer, inner) = split_jobs(ctx, nurseries.len());
     let comparisons = par_map(&nurseries, outer, |&nursery| {
         let spec = CollectorSpec::Generational {
             nursery_bytes: nursery,
             old_bytes: 24 << 20,
         };
         eprintln!("running compile with nursery {} ...", human_bytes(nursery));
-        GcComparison::run_engine(Workload::Compile.scaled(scale), &cfg, spec, &inner)
+        GcComparison::run_ctx(Workload::Compile.scaled(scale), &cfg, spec, &inner)
             .unwrap_or_else(|e| panic!("{e}"))
     });
 

@@ -9,7 +9,7 @@
 
 use cachegc_analysis::SweepPlot;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{run_sinks, CacheConfig, EngineConfig};
+use cachegc_core::{run_sinks_ctx, CacheConfig, RunCtx};
 use cachegc_workloads::Workload;
 
 use super::{Experiment, Sweep};
@@ -22,14 +22,14 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let cfg = CacheConfig::direct_mapped(64 << 10, 64);
     eprintln!("running compile ...");
-    let (_, sinks) = run_sinks(
+    let (_, sinks) = run_sinks_ctx(
         Workload::Compile.scaled(scale),
         None,
         vec![SweepPlot::new(cfg, 1024)],
-        engine,
+        ctx,
     )
     .unwrap();
     let plot = sinks.into_iter().next().expect("one plot");

@@ -7,7 +7,7 @@
 
 use cachegc_analysis::BlockTracker;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks, EngineConfig};
+use cachegc_core::{par_map, run_sinks_ctx, RunCtx};
 use cachegc_workloads::Workload;
 
 use super::{split_jobs, Experiment, Sweep};
@@ -22,11 +22,11 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, engine: &EngineConfig) -> Sweep {
-    let (outer, inner) = split_jobs(engine, Workload::ALL.len());
+fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let reports = par_map(&Workload::ALL, outer, |w| {
         eprintln!("running {} ...", w.name());
-        let (_, sinks) = run_sinks(
+        let (_, sinks) = run_sinks_ctx(
             w.scaled(scale),
             None,
             vec![BlockTracker::new(64 << 10, 64)],

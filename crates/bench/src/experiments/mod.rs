@@ -4,15 +4,22 @@
 //! `src/bin/` `main`; the golden-results harness needs to *call* them and
 //! capture their [`Table`]s, so the sweep logic lives here and every
 //! binary is a thin shim over [`run_main`]. A sweep is a pure function of
-//! `(scale, engine)` — progress goes to stderr, everything user-visible
+//! `(scale, ctx)` — progress goes to stderr, everything user-visible
 //! comes back in the [`Sweep`]: the typed tables, the paper-shape notes
 //! printed after them, side-channel artifacts (e.g. E8's full-resolution
 //! plot), and the optional `BENCH_grid.json` performance record.
 //!
+//! The [`RunCtx`] carries the engine configuration and, optionally, a
+//! shared [`TraceStore`](cachegc_core::TraceStore): sweeps drive their
+//! passes through the `_ctx` engine entry points, so a store attached by
+//! the caller (the CLI's `--trace-cache`, or `golden_check` spanning one
+//! store across all fifteen sweeps) makes each unique `(workload, scale,
+//! collector)` scenario execute its VM once and replay everywhere else.
+//!
 //! [`ALL`] is the registry the `golden_check` binary iterates.
 
 use cachegc_core::report::Table;
-use cachegc_core::EngineConfig;
+use cachegc_core::RunCtx;
 
 use crate::{header, ExperimentArgs, GridReport};
 
@@ -59,7 +66,7 @@ pub struct Experiment {
     /// Default `--scale`.
     pub default_scale: u32,
     /// The sweep itself.
-    pub sweep: fn(u32, &EngineConfig) -> Sweep,
+    pub sweep: fn(u32, &RunCtx) -> Sweep,
 }
 
 /// Every experiment binary, in the order EXPERIMENTS.md documents them.
@@ -96,7 +103,12 @@ pub fn run_main(exp: &Experiment) {
         "{}, scale {}, jobs {}",
         exp.title, args.scale, args.jobs
     ));
-    let sweep = (exp.sweep)(args.scale, &args.engine());
+    let store = args.trace_store();
+    let mut ctx = RunCtx::new(args.engine());
+    if let Some(store) = &store {
+        ctx = ctx.with_store(store);
+    }
+    let sweep = (exp.sweep)(args.scale, &ctx);
     for t in &sweep.tables {
         println!();
         print!("{}", t.render());
@@ -117,16 +129,20 @@ pub fn run_main(exp: &Experiment) {
     if let Some(grid) = &sweep.grid {
         grid.write();
     }
+    if let Some(store) = &store {
+        eprintln!("trace cache: {}", store.stats());
+    }
 }
 
 /// Split a `--jobs` budget between `n` concurrent outer tasks and the
 /// engine passes inside each: outer parallelism over workloads or
-/// configurations, inner over grid cells.
-fn split_jobs(engine: &EngineConfig, n: usize) -> (usize, EngineConfig) {
-    let outer = engine.jobs.clamp(1, n.max(1));
-    let mut inner = *engine;
-    inner.jobs = (engine.jobs / outer).max(1);
-    (outer, inner)
+/// configurations, inner over grid cells. The inner context keeps the
+/// outer one's trace store.
+fn split_jobs<'a>(ctx: &RunCtx<'a>, n: usize) -> (usize, RunCtx<'a>) {
+    let outer = ctx.engine.jobs.clamp(1, n.max(1));
+    let mut inner = ctx.engine;
+    inner.jobs = (ctx.engine.jobs / outer).max(1);
+    (outer, ctx.with_engine(inner))
 }
 
 #[cfg(test)]
@@ -144,19 +160,25 @@ mod tests {
 
     #[test]
     fn jobs_split_covers_edges() {
-        let engine = EngineConfig::jobs(8);
-        let (outer, inner) = split_jobs(&engine, 5);
-        assert_eq!((outer, inner.jobs), (5, 1));
-        let (outer, inner) = split_jobs(&EngineConfig::jobs(8), 2);
-        assert_eq!((outer, inner.jobs), (2, 4));
-        let (outer, inner) = split_jobs(&EngineConfig::jobs(1), 5);
-        assert_eq!((outer, inner.jobs), (1, 1));
+        use cachegc_core::EngineConfig;
+        let ctx = RunCtx::new(EngineConfig::jobs(8));
+        let (outer, inner) = split_jobs(&ctx, 5);
+        assert_eq!((outer, inner.engine.jobs), (5, 1));
+        let (outer, inner) = split_jobs(&RunCtx::new(EngineConfig::jobs(8)), 2);
+        assert_eq!((outer, inner.engine.jobs), (2, 4));
+        let (outer, inner) = split_jobs(&RunCtx::new(EngineConfig::jobs(1)), 5);
+        assert_eq!((outer, inner.engine.jobs), (1, 1));
+        // The split preserves the store reference.
+        let store = cachegc_core::TraceStore::unbounded();
+        let ctx = RunCtx::new(EngineConfig::jobs(4)).with_store(&store);
+        let (_, inner) = split_jobs(&ctx, 2);
+        assert!(inner.store.is_some());
     }
 
     #[test]
     fn static_experiment_sweeps_run_quickly() {
         // E2 is workload-free; exercise the library path end to end.
-        let sweep = (e2::EXPERIMENT.sweep)(1, &EngineConfig::jobs(1));
+        let sweep = (e2::EXPERIMENT.sweep)(1, &RunCtx::sequential());
         assert_eq!(sweep.tables.len(), 1);
         assert_eq!(sweep.tables[0].name(), "penalties");
         assert_eq!(sweep.tables[0].len(), 4);

@@ -21,7 +21,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{EngineConfig, Schedule};
+use cachegc_core::{EngineConfig, RunCtx, Schedule};
 
 use crate::experiments::Experiment;
 
@@ -244,9 +244,11 @@ pub fn bless_tables(
 }
 
 /// Run one experiment's sweep at the golden configuration (or an
-/// override) and return its tables.
-pub fn run_sweep(exp: &Experiment, scale: u32, engine: &EngineConfig) -> Vec<Table> {
-    (exp.sweep)(scale, engine).tables
+/// override) and return its tables. The context carries the engine and,
+/// optionally, a [`cachegc_core::TraceStore`] shared across experiments
+/// so each unique scenario's VM runs at most once per `golden_check`.
+pub fn run_sweep(exp: &Experiment, scale: u32, ctx: &RunCtx) -> Vec<Table> {
+    (exp.sweep)(scale, ctx).tables
 }
 
 #[cfg(test)]

@@ -1,10 +1,12 @@
-//! `BENCH_grid.json`: a machine-readable performance trajectory record.
+//! `BENCH_grid.json` / `BENCH_replay.json`: machine-readable performance
+//! trajectory records.
 //!
 //! Every sweep binary appends one record describing its grid run —
 //! workload, grid shape, `--jobs`, wall time, and simulated-event
 //! throughput — so successive PRs can track how fast the paper-scale
-//! experiment engine is without re-parsing human-readable tables. The
-//! JSON is written by hand (no serde in the hermetic build).
+//! experiment engine is without re-parsing human-readable tables; the
+//! `trace_replay` bench records live-VM vs replay event rates the same
+//! way. The JSON is written by hand (no serde in the hermetic build).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -89,6 +91,85 @@ impl GridReport {
     }
 }
 
+/// One workload's live-VM vs trace-replay comparison.
+#[derive(Debug, Clone)]
+pub struct ReplayRun {
+    /// Workload short name (`compile`, `prove`, ...).
+    pub workload: String,
+    /// Workload scale knob.
+    pub scale: u32,
+    /// Trace events (data references) in the recorded stream.
+    pub events: u64,
+    /// Encoded trace size in bytes.
+    pub trace_bytes: u64,
+    /// Events per second generating the trace live from the VM.
+    pub live_events_per_sec: f64,
+    /// Events per second replaying the recorded trace.
+    pub replay_events_per_sec: f64,
+}
+
+impl ReplayRun {
+    /// Encoded bytes per event — the codec's compactness (the in-memory
+    /// [`cachegc_core::Recorder`] event is 8 bytes).
+    pub fn bytes_per_event(&self) -> f64 {
+        self.trace_bytes as f64 / (self.events.max(1)) as f64
+    }
+
+    /// How many times faster replay delivers events than the live VM.
+    pub fn speedup(&self) -> f64 {
+        self.replay_events_per_sec / self.live_events_per_sec.max(1e-9)
+    }
+}
+
+/// The `trace_replay` bench's whole run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-workload comparisons.
+    pub runs: Vec<ReplayRun>,
+}
+
+impl ReplayReport {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"cachegc-bench-replay-v1\",");
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": {}, \"scale\": {}, \"events\": {}, \
+                 \"trace_bytes\": {}, \"bytes_per_event\": {:.3}, \
+                 \"live_events_per_sec\": {:.1}, \"replay_events_per_sec\": {:.1}, \
+                 \"speedup\": {:.2}}}",
+                json_str(&r.workload),
+                r.scale,
+                r.events,
+                r.trace_bytes,
+                r.bytes_per_event(),
+                r.live_events_per_sec,
+                r.replay_events_per_sec,
+                r.speedup(),
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the report to `CACHEGC_BENCH_JSON` (default
+    /// `BENCH_replay.json` in the current directory). Failures are
+    /// reported, not fatal, same as [`GridReport::write`].
+    pub fn write(&self) {
+        let path =
+            std::env::var("CACHEGC_BENCH_JSON").unwrap_or_else(|_| "BENCH_replay.json".into());
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -132,6 +213,25 @@ mod tests {
         assert!(json.contains("\"cells\": 40"));
         // 1M events × 40 cells / 0.5 s = 80M cell-events/s.
         assert!(json.contains("\"cell_events_per_sec\": 80000000.0"));
+    }
+
+    #[test]
+    fn replay_json_shape_is_stable() {
+        let report = ReplayReport {
+            runs: vec![ReplayRun {
+                workload: "rewrite".into(),
+                scale: 1,
+                events: 2_000_000,
+                trace_bytes: 3_000_000,
+                live_events_per_sec: 10_000_000.0,
+                replay_events_per_sec: 50_000_000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"cachegc-bench-replay-v1\""));
+        assert!(json.contains("\"workload\": \"rewrite\""));
+        assert!(json.contains("\"bytes_per_event\": 1.500"));
+        assert!(json.contains("\"speedup\": 5.00"));
     }
 
     #[test]

@@ -168,7 +168,7 @@ fn cells_refs(cells: &[CacheCell]) -> u64 {
 }
 
 /// Which collector to run (a closed set so reports stay object-simple).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectorSpec {
     /// Cheney semispace collector with the given semispace size.
     Cheney {

@@ -35,6 +35,7 @@ mod experiment;
 mod overhead;
 mod parallel;
 pub mod report;
+mod store;
 
 pub use experiment::{
     run_collected, run_control, CacheCell, CollectedCell, CollectedRun, CollectorSpec,
@@ -42,9 +43,11 @@ pub use experiment::{
 };
 pub use overhead::{cache_overhead, gc_overhead, write_back_overhead};
 pub use parallel::{
-    default_jobs, par_map, run_collected_engine, run_collected_jobs, run_control_engine,
-    run_control_jobs, run_instruments, run_sinks,
+    default_jobs, par_map, run_collected_ctx, run_collected_engine, run_collected_jobs,
+    run_control_ctx, run_control_engine, run_control_jobs, run_instruments, run_instruments_ctx,
+    run_sinks, run_sinks_ctx,
 };
+pub use store::{RunCtx, StoreStats, StoredTrace, TraceStore};
 
 // Re-export what downstream experiment code needs, so benches and examples
 // can depend on this crate alone.
@@ -55,5 +58,5 @@ pub use cachegc_sim::{
     miss_penalty_cycles, writeback_cycles, Cache, CacheConfig, CacheStats, MainMemory, Processor,
     SetAssocCache, WriteHitPolicy, WriteMissPolicy, FAST, SLOW,
 };
-pub use cachegc_trace::{EngineConfig, Schedule};
+pub use cachegc_trace::{EngineConfig, RecordedTrace, Recorder, Schedule};
 pub use cachegc_vm::RunStats;

@@ -37,6 +37,7 @@ use crate::experiment::{
     collected_run, control_report, run_collected, run_control, CollectedRun, CollectorSpec,
     ControlReport, ExperimentConfig, GcComparison,
 };
+use crate::store::RunCtx;
 
 /// Degree of parallelism this machine supports (a sensible `--jobs`
 /// default). Falls back to 1 if the platform cannot say.
@@ -100,6 +101,103 @@ where
             run_spec_sink(instance, spec, ParallelFanout::with_engine(sinks, engine))?;
         Ok((stats, fan.into_sinks()))
     }
+}
+
+/// [`run_sinks`] under a [`RunCtx`] — the trace-cache-aware engine entry
+/// point. Three cases:
+///
+/// * No store attached: exactly [`run_sinks`].
+/// * Store hit: the sinks are driven by a **sharded replay** of the
+///   recorded trace — no VM, no broadcast channel; each worker
+///   independently decodes the shared segments into its own sink subset.
+///   The recorded [`RunStats`] are returned.
+/// * Store miss: the pass runs live with a [`Recorder`] riding along on
+///   the tuple sink, and the capture is offered back to the store (which
+///   may decline it on budget grounds; see
+///   [`TraceStore`](crate::TraceStore)).
+///
+/// Per-sink results are bit-identical across all three paths (replay is
+/// event-for-event identical to the live run, property-tested in the
+/// workspace root).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program (live paths only — replay
+/// cannot fail).
+pub fn run_sinks_ctx<S>(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    sinks: Vec<S>,
+    ctx: &RunCtx<'_>,
+) -> Result<(RunStats, Vec<S>), VmError>
+where
+    S: TraceSink + Send + 'static,
+{
+    let Some(store) = ctx.store else {
+        return run_sinks(instance, spec, sinks, &ctx.engine);
+    };
+    if let Some(stored) = store.lookup(instance, spec) {
+        let sinks = stored.trace.replay_sharded(sinks, ctx.engine.jobs);
+        return Ok((stored.stats, sinks));
+    }
+    let recorder = store.recorder();
+    let (stats, recorder, sinks) = if ctx.engine.is_sequential() {
+        let (stats, (rec, fan)) = run_spec_sink(instance, spec, (recorder, Fanout::new(sinks)))?;
+        (stats, rec, fan.into_sinks())
+    } else {
+        let fan = ParallelFanout::with_engine(sinks, &ctx.engine);
+        let (stats, (rec, fan)) = run_spec_sink(instance, spec, (recorder, fan))?;
+        (stats, rec, fan.into_sinks())
+    };
+    store.offer(instance, spec, recorder, stats);
+    Ok((stats, sinks))
+}
+
+/// [`run_sinks_ctx`] for the closed heterogeneous [`Instrument`] set.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_instruments_ctx(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    instruments: Vec<Instrument>,
+    ctx: &RunCtx<'_>,
+) -> Result<(RunStats, Vec<Instrument>), VmError> {
+    run_sinks_ctx(instance, spec, instruments, ctx)
+}
+
+/// [`run_control`] under a [`RunCtx`]: the §5 control grid, replayed
+/// from the store when the scenario is recorded.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_control_ctx(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    ctx: &RunCtx<'_>,
+) -> Result<ControlReport, VmError> {
+    let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
+    let (stats, cells) = run_sinks_ctx(instance, None, sinks, ctx)?;
+    Ok(control_report(instance, cfg, stats, cells))
+}
+
+/// [`run_collected`] under a [`RunCtx`]: the §6 collected grid, replayed
+/// from the store when the scenario is recorded.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the program.
+pub fn run_collected_ctx(
+    instance: WorkloadInstance,
+    cfg: &ExperimentConfig,
+    spec: CollectorSpec,
+    ctx: &RunCtx<'_>,
+) -> Result<CollectedRun, VmError> {
+    let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
+    let (stats, cells) = run_sinks_ctx(instance, Some(spec), sinks, ctx)?;
+    Ok(collected_run(instance, spec, stats, cells))
 }
 
 /// [`run_sinks`] for the closed heterogeneous [`Instrument`] set — mixed
@@ -185,10 +283,60 @@ pub fn run_collected_jobs(
 }
 
 impl GcComparison {
-    /// [`GcComparison::run`] with the control and collected passes on
-    /// separate threads, each pass sharding its grid under `engine` with
-    /// half the worker budget. A sequential engine is exactly the
-    /// sequential [`GcComparison::run`].
+    /// [`GcComparison::run`] under a [`RunCtx`]: the control and
+    /// collected passes run on separate threads, splitting the engine's
+    /// worker budget between them. A pass whose scenario is already
+    /// recorded in the context's store is a cheap replay, so it gets the
+    /// minimum (one worker) and the live pass gets the remainder; when
+    /// both are live (or both recorded) the budget is halved, with the
+    /// odd worker going to the collected pass (the one with more events).
+    /// A sequential engine runs both passes inline, still through the
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from either run.
+    pub fn run_ctx(
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+        spec: CollectorSpec,
+        ctx: &RunCtx<'_>,
+    ) -> Result<GcComparison, VmError> {
+        if ctx.engine.is_sequential() {
+            if ctx.store.is_none() {
+                return GcComparison::run(instance, cfg, spec);
+            }
+            return Ok(GcComparison {
+                control: run_control_ctx(instance, cfg, ctx)?,
+                collected: run_collected_ctx(instance, cfg, spec, ctx)?,
+            });
+        }
+        let jobs = ctx.engine.jobs.max(1);
+        let control_replays = ctx.store.is_some_and(|s| s.contains(instance, None));
+        let collected_replays = ctx.store.is_some_and(|s| s.contains(instance, Some(spec)));
+        let (control_jobs, collected_jobs) = match (control_replays, collected_replays) {
+            (true, false) => (1, jobs.saturating_sub(1).max(1)),
+            (false, true) => (jobs.saturating_sub(1).max(1), 1),
+            _ => ((jobs / 2).max(1), (jobs - jobs / 2).max(1)),
+        };
+        let control_ctx = ctx.with_jobs(control_jobs);
+        let collected_ctx = ctx.with_jobs(collected_jobs);
+        let (control, collected) = std::thread::scope(|s| {
+            let control = s.spawn(|| run_control_ctx(instance, cfg, &control_ctx));
+            let collected = s.spawn(|| run_collected_ctx(instance, cfg, spec, &collected_ctx));
+            (
+                control.join().expect("control pass panicked"),
+                collected.join().expect("collected pass panicked"),
+            )
+        });
+        Ok(GcComparison {
+            control: control?,
+            collected: collected?,
+        })
+    }
+
+    /// [`GcComparison::run_ctx`] without a trace store. A sequential
+    /// engine is exactly the sequential [`GcComparison::run`].
     ///
     /// # Errors
     ///
@@ -199,23 +347,7 @@ impl GcComparison {
         spec: CollectorSpec,
         engine: &EngineConfig,
     ) -> Result<GcComparison, VmError> {
-        if engine.is_sequential() {
-            return GcComparison::run(instance, cfg, spec);
-        }
-        let mut shard = *engine;
-        shard.jobs = (engine.jobs / 2).max(1);
-        let (control, collected) = std::thread::scope(|s| {
-            let control = s.spawn(|| run_control_engine(instance, cfg, &shard));
-            let collected = s.spawn(|| run_collected_engine(instance, cfg, spec, &shard));
-            (
-                control.join().expect("control pass panicked"),
-                collected.join().expect("collected pass panicked"),
-            )
-        });
-        Ok(GcComparison {
-            control: control?,
-            collected: collected?,
-        })
+        GcComparison::run_ctx(instance, cfg, spec, &RunCtx::new(*engine))
     }
 
     /// [`GcComparison::run_engine`] with a default (round-robin) engine of
@@ -401,6 +533,75 @@ mod tests {
             out[0].stats().refs_by(cachegc_trace::Context::Collector) > 0,
             "collector references reach the sink"
         );
+    }
+
+    #[test]
+    fn cached_replay_matches_live_and_counts_one_vm_run() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let store = crate::TraceStore::unbounded();
+        let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+        let ctx = RunCtx::new(engine).with_store(&store);
+        let oracle = run_control(w, &cfg).unwrap();
+        let live = run_control_ctx(w, &cfg, &ctx).unwrap(); // miss: records
+        let replay = run_control_ctx(w, &cfg, &ctx).unwrap(); // hit: replays
+        assert_eq!(oracle.refs, live.refs);
+        assert_eq!(oracle.refs, replay.refs);
+        assert_eq!(oracle.i_prog, replay.i_prog);
+        assert_eq!(oracle.allocated, replay.allocated);
+        grids_equal(&oracle.cells, &live.cells);
+        grids_equal(&oracle.cells, &replay.cells);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.over_budget), (1, 1, 1, 0));
+        assert!(s.bytes > 0 && s.events == oracle.refs);
+        // Every later consumer of the same scenario — a different sink
+        // set, a sequential context — replays too, VM still run once.
+        let seq_ctx = RunCtx::sequential().with_store(&store);
+        let again = run_control_ctx(w, &cfg, &seq_ctx).unwrap();
+        grids_equal(&oracle.cells, &again.cells);
+        assert_eq!(store.stats().misses, 1, "VM ran exactly once");
+    }
+
+    #[test]
+    fn over_budget_store_falls_back_to_live_runs() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let store = crate::TraceStore::with_budget(64);
+        let ctx = RunCtx::new(EngineConfig::jobs(2)).with_store(&store);
+        let a = run_control_ctx(w, &cfg, &ctx).unwrap();
+        let b = run_control_ctx(w, &cfg, &ctx).unwrap();
+        grids_equal(&a.cells, &b.cells);
+        let s = store.stats();
+        assert_eq!((s.entries, s.misses, s.over_budget), (0, 2, 2));
+    }
+
+    #[test]
+    fn comparison_run_ctx_reuses_a_prior_control_recording() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let store = crate::TraceStore::unbounded();
+        let ctx = RunCtx::new(EngineConfig::jobs(4)).with_store(&store);
+        // An earlier experiment (e3-style) already recorded the control
+        // scenario; the comparison's control pass must be a replay.
+        run_control_ctx(w, &cfg, &ctx).unwrap();
+        let cmp = GcComparison::run_ctx(w, &cfg, spec, &ctx).unwrap();
+        let seq = GcComparison::run(w, &cfg, spec).unwrap();
+        grids_equal(&seq.control.cells, &cmp.control.cells);
+        for (x, y) in seq.collected.cells.iter().zip(&cmp.collected.cells) {
+            assert_eq!((x.m_prog, x.m_gc), (y.m_prog, y.m_gc));
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(
+            seq.gc_overhead(32 << 10, 64, &crate::FAST).to_bits(),
+            cmp.gc_overhead(32 << 10, 64, &crate::FAST).to_bits(),
+        );
+        let s = store.stats();
+        assert_eq!(s.misses, 2, "one VM run per unique scenario");
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 1, "the comparison's control pass replayed");
     }
 
     #[test]

@@ -25,7 +25,7 @@ const HALT_SENTINEL: i32 = -1;
 
 /// Statistics from a program run, the inputs to the paper's overhead
 /// formulas alongside the cache simulation's miss counts.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct RunStats {
     /// Instruction counts: `I_prog`, `I_gc`, `ΔI_prog`.
     pub instructions: Counters,

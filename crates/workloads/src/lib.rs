@@ -111,7 +111,7 @@ impl Workload {
 }
 
 /// A workload at a concrete scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadInstance {
     /// Which program.
     pub workload: Workload,

@@ -14,7 +14,7 @@ use cachegc::sim::{Cache, CacheConfig, SetAssocCache};
 use cachegc::testkit::{check, Rng};
 use cachegc::trace::{
     Access, AccessKind, Context, Counters, EngineConfig, Fanout, NullSink, ParallelFanout,
-    Schedule, TraceSink, DYNAMIC_BASE,
+    Recorder, Schedule, TraceSink, DYNAMIC_BASE,
 };
 use cachegc::vm::{read, Machine, Sexp};
 
@@ -331,6 +331,94 @@ fn work_stealing_chunk_boundary_and_single_worker_edges() {
             assert_eq!(seq.into_sinks(), par.into_sinks(), "n={n} jobs={jobs}");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace codec: record then replay is the identity
+// ---------------------------------------------------------------------
+
+/// Collects every event verbatim, for comparing replayed streams.
+struct Collect(Vec<Access>);
+
+impl TraceSink for Collect {
+    fn access(&mut self, a: Access) {
+        self.0.push(a);
+    }
+}
+
+/// Adversarial streams for the delta-varint codec: runs of local deltas
+/// (the common case the encoding targets) interleaved with full-range
+/// address jumps, `u32`-wraparound deltas, dense per-event flag flips
+/// (worst case for the flags byte), and long constant-flag `alloc_init`
+/// runs (best case for the run-length side).
+fn gen_codec_stream(rng: &mut Rng) -> Vec<Access> {
+    let mut out = Vec::new();
+    let mut addr: u32 = rng.range_u32(0, u32::MAX);
+    for _ in 0..rng.range_usize(1, 10) {
+        let mode = rng.range_u32(0, 4);
+        for i in 0..rng.range_usize(1, 150) as u32 {
+            addr = match mode {
+                0 => addr.wrapping_add(rng.range_u32(0, 256) * 4),
+                1 => rng.range_u32(0, u32::MAX),
+                2 => addr.wrapping_add(u32::MAX - rng.range_u32(0, 8) * 4),
+                _ => addr.wrapping_add(4),
+            };
+            out.push(match mode {
+                // Dense flips: the flags byte changes on every event.
+                1 | 2 => {
+                    let ctx = if i % 2 == 0 {
+                        Context::Mutator
+                    } else {
+                        Context::Collector
+                    };
+                    if i % 4 < 2 {
+                        Access::read(addr, ctx)
+                    } else {
+                        Access::write(addr, ctx)
+                    }
+                }
+                // Long constant runs: alloc-init stores, flags never change.
+                3 => Access::alloc_write(addr, Context::Mutator),
+                _ => {
+                    if rng.bool() {
+                        Access::read(addr, Context::Mutator)
+                    } else {
+                        Access::write(addr, Context::Collector)
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn trace_codec_roundtrips_adversarial_streams() {
+    check("trace_codec_roundtrip", 64, |rng| {
+        let events = gen_codec_stream(rng);
+        // Tiny random segment sizes force decoder state to carry across
+        // many segment boundaries.
+        let seg = rng.range_usize(16, 4096);
+        let mut rec = Recorder::new().with_segment_bytes(seg);
+        for &a in &events {
+            rec.access(a);
+        }
+        let trace = rec.finish().expect("unbounded recorder never overflows");
+        assert_eq!(trace.events(), events.len() as u64);
+        let mut seq = Collect(Vec::new());
+        trace.replay(&mut seq);
+        assert_eq!(seq.0, events, "sequential replay is the identity");
+        // Sharded replay feeds every sink the full stream, any job count.
+        let jobs = rng.range_usize(1, 6);
+        let sinks = vec![
+            Collect(Vec::new()),
+            Collect(Vec::new()),
+            Collect(Vec::new()),
+        ];
+        for shard in trace.replay_sharded(sinks, jobs) {
+            assert_eq!(shard.0, events, "sharded replay is the identity");
+        }
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,138 @@
+//! Record/replay integration tests: the scenario-keyed trace store must
+//! be invisible to every result — a replayed trace drives the simulators
+//! event-for-event identically to the live VM — while making each unique
+//! (workload, scale, collector) scenario run the VM at most once.
+
+use cachegc::core::{
+    run_control, run_control_ctx, run_sinks_ctx, CollectorSpec, EngineConfig, ExperimentConfig,
+    GcComparison, RunCtx, Schedule, TraceStore,
+};
+use cachegc::trace::{Access, AccessKind, Context, TraceSink};
+use cachegc::workloads::Workload;
+
+/// An order-sensitive fingerprint of an event stream: an FNV-1a chain
+/// over every field of every access. Two streams hash equal only if they
+/// are the same events in the same order (up to hash collision), without
+/// buffering millions of events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    hash: u64,
+    events: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint {
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+        }
+    }
+
+    fn mix(&mut self, byte: u8) {
+        self.hash ^= byte as u64;
+        self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl TraceSink for Fingerprint {
+    fn access(&mut self, a: Access) {
+        for b in a.addr.to_le_bytes() {
+            self.mix(b);
+        }
+        self.mix(matches!(a.kind, AccessKind::Write) as u8);
+        self.mix(matches!(a.ctx, Context::Collector) as u8);
+        self.mix(a.alloc_init as u8);
+        self.events += 1;
+    }
+}
+
+/// Every collector configuration a scenario can run under, at heap sizes
+/// small enough to force real collections at scale 1.
+fn specs() -> [Option<CollectorSpec>; 3] {
+    [
+        None,
+        Some(CollectorSpec::Cheney {
+            semispace_bytes: 2 << 20,
+        }),
+        Some(CollectorSpec::Generational {
+            nursery_bytes: 1 << 20,
+            old_bytes: 16 << 20,
+        }),
+    ]
+}
+
+#[test]
+fn replay_is_event_identical_to_live_for_every_workload_and_collector() {
+    for w in Workload::ALL {
+        for spec in specs() {
+            let store = TraceStore::unbounded();
+            let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+            let ctx = RunCtx::new(engine).with_store(&store);
+            // First pass runs the VM live and records; second replays the
+            // recording through the sharded path (jobs = 2).
+            let (live_stats, live) =
+                run_sinks_ctx(w.scaled(1), spec, vec![Fingerprint::new()], &ctx)
+                    .unwrap_or_else(|e| panic!("{} {spec:?}: {e}", w.name()));
+            let (replay_stats, replayed) =
+                run_sinks_ctx(w.scaled(1), spec, vec![Fingerprint::new()], &ctx).unwrap();
+            assert!(live[0].events > 0, "{}: empty trace", w.name());
+            assert_eq!(
+                live[0],
+                replayed[0],
+                "{} {spec:?}: replay diverged from the live stream",
+                w.name()
+            );
+            assert_eq!(
+                live_stats.instructions.program(),
+                replay_stats.instructions.program(),
+                "{} {spec:?}: replay must return the recorded run's stats",
+                w.name()
+            );
+            let s = store.stats();
+            assert_eq!(
+                (s.misses, s.hits, s.entries, s.over_budget),
+                (1, 1, 1, 0),
+                "{} {spec:?}: {s}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_store_runs_each_scenario_at_most_once_across_runners() {
+    // The golden_check drive pattern in miniature: one store spans a
+    // control grid, a control + collected comparison, and a regrid of the
+    // control scenario at different cache geometry. Two unique scenarios
+    // exist, so the VM runs exactly twice no matter how many passes ask.
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cache_sizes = vec![32 << 10, 128 << 10];
+    let spec = CollectorSpec::Cheney {
+        semispace_bytes: 1 << 20,
+    };
+    let w = Workload::Rewrite.scaled(1);
+
+    let store = TraceStore::unbounded();
+    let ctx = RunCtx::new(EngineConfig::jobs(2)).with_store(&store);
+    let first = run_control_ctx(w, &cfg, &ctx).unwrap();
+    let cmp = GcComparison::run_ctx(w, &cfg, spec, &ctx).unwrap();
+    let mut regrid = cfg.clone();
+    regrid.cache_sizes = vec![64 << 10];
+    let second = run_control_ctx(w, &regrid, &ctx).unwrap();
+
+    // "VM at most once": every miss produced an entry, and later passes
+    // were all hits — control replayed twice (comparison + regrid), the
+    // collected scenario once more would hit too.
+    let s = store.stats();
+    assert_eq!((s.misses, s.entries, s.over_budget), (2, 2, 0), "{s}");
+    assert_eq!(s.hits, 2, "comparison control pass + regrid replayed: {s}");
+
+    // Replayed passes agree with each other and with a live oracle.
+    assert_eq!(first.i_prog, cmp.control.i_prog);
+    assert_eq!(first.i_prog, second.i_prog);
+    let oracle = run_control(w, &regrid).unwrap();
+    assert_eq!(oracle.i_prog, second.i_prog);
+    for (a, b) in oracle.cells.iter().zip(&second.cells) {
+        assert_eq!(a.stats, b.stats, "replayed grid equals the live oracle");
+    }
+}
