@@ -1,0 +1,117 @@
+//! Telemetry enabled-overhead benchmark: the full `e4_write_policy`
+//! sweep at the golden configuration, timed with telemetry off and with
+//! telemetry gathered (probe shard attached, counters and phases live,
+//! manifest assembled at the end). Each sample gets a fresh
+//! [`TraceStore`], so every sample does the same work: record every
+//! scenario once, then replay.
+//!
+//! Unlike the other benches this one interleaves its samples —
+//! (baseline, instrumented) pairs, alternating — instead of running one
+//! variant to completion first: a sweep sample is ~20 s, so back-to-back
+//! blocks would let slow drift on a shared host (other tenants, thermal)
+//! masquerade as overhead. Pairing cancels drift; the medians of each
+//! column are what [`TelemetryReport`] records.
+//!
+//! The probes' budget is <2 % enabled overhead (DESIGN.md §6c); the
+//! measured fraction lands in `BENCH_telemetry.json`
+//! (`cachegc-bench-telemetry-v1`). On a noisy machine the difference can
+//! still drown in run-to-run variance — the bench reports what it saw
+//! either way and only flags a budget miss, it does not fail.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cachegc_bench::experiments;
+use cachegc_bench::golden::{golden_engine, GOLDEN_SCALE};
+use cachegc_bench::TelemetryReport;
+use cachegc_core::{Manifest, ManifestConfig, RunCtx, Telemetry, TraceStore};
+
+const SAMPLES: usize = 5;
+
+fn main() {
+    let e4 = experiments::find("e4_write_policy").expect("e4 is registered");
+    let engine = golden_engine();
+
+    let baseline_once = || {
+        let store = TraceStore::unbounded();
+        let ctx = RunCtx::new(engine).with_store(&store);
+        let start = Instant::now();
+        std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &ctx));
+        start.elapsed()
+    };
+    let instrumented_once = || {
+        let store = TraceStore::unbounded();
+        let telemetry = Arc::new(Telemetry::new());
+        let start = Instant::now();
+        {
+            let ctx = RunCtx::new(engine)
+                .with_store(&store)
+                .with_telemetry(&telemetry);
+            let _shard = telemetry.attach();
+            std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &ctx));
+        }
+        let manifest = Manifest::gather(
+            ManifestConfig {
+                experiment: e4.name.to_string(),
+                scale: GOLDEN_SCALE,
+                jobs: engine.jobs,
+                schedule: engine.schedule.name().to_string(),
+                trace_cache: "unbounded".into(),
+            },
+            &telemetry.snapshot(),
+            Some(&store),
+        );
+        std::hint::black_box(manifest.to_json());
+        start.elapsed()
+    };
+
+    // Untimed warm-up of each variant, then alternating timed pairs.
+    baseline_once();
+    instrumented_once();
+    let mut baseline = Vec::with_capacity(SAMPLES);
+    let mut instrumented = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let b = baseline_once();
+        let t = instrumented_once();
+        eprintln!(
+            "pair {}/{SAMPLES}: baseline {b:.3?}, telemetry {t:.3?} ({:+.2}%)",
+            i + 1,
+            100.0 * (t.as_secs_f64() / b.as_secs_f64() - 1.0),
+        );
+        baseline.push(b);
+        instrumented.push(t);
+    }
+
+    let report = TelemetryReport {
+        experiment: e4.name.to_string(),
+        scale: GOLDEN_SCALE,
+        jobs: engine.jobs,
+        samples: SAMPLES,
+        baseline: median(&mut baseline),
+        telemetry: median(&mut instrumented),
+    };
+    println!(
+        "{:40} median {:>10.3?}  ({} samples)",
+        "e4 sweep, telemetry off", report.baseline, report.samples
+    );
+    println!(
+        "{:40} median {:>10.3?}  ({} samples)",
+        "e4 sweep, telemetry on + manifest", report.telemetry, report.samples
+    );
+    let overhead = report.overhead_fraction();
+    println!(
+        "telemetry enabled overhead: {:+.2}% (budget <2%){}",
+        100.0 * overhead,
+        if overhead < 0.02 {
+            ""
+        } else {
+            "  ** OVER BUDGET **"
+        }
+    );
+    report.write();
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}

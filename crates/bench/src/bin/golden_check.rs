@@ -18,7 +18,7 @@ const USAGE: &str = "\
 golden_check: diff every experiment's tables against results/expected/
 
 usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
-                    [--trace-cache on|off|BYTES]
+                    [--trace-cache on|off|BYTES] [--manifest PATH]
 
   --bless       regenerate the goldens from the current code
   --only NAME   check a single experiment (e.g. e4_write_policy)
@@ -30,6 +30,11 @@ usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
                 unique (workload, scale, collector) scenario's VM runs
                 at most once; BYTES caps resident trace memory
                 (default on; env CACHEGC_TRACE_CACHE)
+  --manifest PATH
+                validate a run manifest written by an experiment's
+                --metrics json instead of diffing tables: schema and
+                counter/phase invariants, plus nonzero vm_execute and
+                hit-backed replay spans; exits 0 valid, 1 invalid
 
 The sweeps always run at --scale 1 --jobs 2 --schedule ws: goldens are
 defined at that configuration, and the parallel engine is bit-identical
@@ -43,6 +48,7 @@ struct Opts {
     dir: PathBuf,
     tol: Tolerance,
     trace_cache: TraceCacheArg,
+    manifest: Option<PathBuf>,
 }
 
 fn parse_opts(argv: &[String]) -> Result<Opts, String> {
@@ -52,6 +58,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         dir: PathBuf::from(GOLDEN_DIR),
         tol: Tolerance::default(),
         trace_cache: TraceCacheArg::from_env(std::env::var("CACHEGC_TRACE_CACHE").ok().as_deref())?,
+        manifest: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +87,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                     format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
                 })?;
             }
+            "--manifest" => opts.manifest = Some(PathBuf::from(value("--manifest")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -116,6 +124,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &opts.manifest {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("golden_check: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        return match cachegc_bench::golden::check_manifest(&text) {
+            Ok(()) => {
+                println!("ok: {} is a valid run manifest", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                println!("INVALID manifest {}: {msg}", path.display());
+                ExitCode::from(1)
+            }
+        };
+    }
     let exps = match selected(&opts) {
         Ok(e) => e,
         Err(msg) => {

@@ -1,7 +1,7 @@
 //! The one command line every experiment binary speaks.
 //!
 //! [`ExperimentArgs::parse`] replaces the per-binary ad-hoc argument
-//! scans: every regenerator accepts the same four flags with the same
+//! scans: every regenerator accepts the same flags with the same
 //! spellings, the same environment fallbacks, and the same exit-code
 //! discipline (`--help` exits 0; a bad flag prints usage to stderr and
 //! exits 2). Binaries with no use for a knob still accept it, so a sweep
@@ -60,6 +60,60 @@ impl TraceCacheArg {
             TraceCacheArg::Budget(bytes) => Some(TraceStore::with_budget(bytes)),
         }
     }
+
+    /// A human description of the setting for the run manifest.
+    pub fn describe(&self) -> String {
+        match *self {
+            TraceCacheArg::Off => "off".into(),
+            TraceCacheArg::On => format!("{DEFAULT_TRACE_CACHE_BYTES} bytes"),
+            TraceCacheArg::Budget(bytes) => format!("{bytes} bytes"),
+        }
+    }
+}
+
+/// The `--metrics` knob: whether (and where) the run's telemetry goes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MetricsArg {
+    /// No telemetry: probes stay dormant, nothing is gathered.
+    #[default]
+    Off,
+    /// Print a human-readable timing table after the results.
+    Table,
+    /// Write a `cachegc-manifest-v1` JSON manifest; `None` means the
+    /// default path `results/manifest/<experiment>.json`.
+    Json(Option<PathBuf>),
+}
+
+impl MetricsArg {
+    /// Parse a `--metrics` value: `off`, `table`, `json`, or `json:PATH`.
+    pub fn parse(raw: &str) -> Option<MetricsArg> {
+        match raw {
+            "off" => Some(MetricsArg::Off),
+            "table" => Some(MetricsArg::Table),
+            "json" => Some(MetricsArg::Json(None)),
+            _ => match raw.strip_prefix("json:") {
+                Some(path) if !path.is_empty() => Some(MetricsArg::Json(Some(PathBuf::from(path)))),
+                _ => None,
+            },
+        }
+    }
+
+    /// Resolve a `CACHEGC_METRICS` environment value: `None` (unset)
+    /// means the default `off`; a malformed value is an error naming the
+    /// variable, same discipline as the flag.
+    pub fn from_env(raw: Option<&str>) -> Result<MetricsArg, String> {
+        match raw {
+            None => Ok(MetricsArg::Off),
+            Some(v) => MetricsArg::parse(v).ok_or_else(|| {
+                format!("CACHEGC_METRICS: malformed value '{v}' (off, table, or json[:PATH])")
+            }),
+        }
+    }
+
+    /// True when telemetry should be gathered at all.
+    pub fn enabled(&self) -> bool {
+        *self != MetricsArg::Off
+    }
 }
 
 /// Parsed common arguments of an experiment binary.
@@ -77,6 +131,11 @@ pub struct ExperimentArgs {
     /// Trace record/replay cache (`--trace-cache on|off|BYTES`, env
     /// `CACHEGC_TRACE_CACHE`; default on).
     pub trace_cache: TraceCacheArg,
+    /// Telemetry sink (`--metrics off|table|json[:PATH]`, env
+    /// `CACHEGC_METRICS`; default off).
+    pub metrics: MetricsArg,
+    /// Report sweep progress on stderr (`--progress`).
+    pub progress: bool,
 }
 
 #[derive(Debug)]
@@ -122,6 +181,8 @@ impl ExperimentArgs {
         let mut schedule = Schedule::default();
         let mut csv: Option<PathBuf> = None;
         let mut trace_cache: Option<TraceCacheArg> = None;
+        let mut metrics: Option<MetricsArg> = None;
+        let mut progress = false;
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -143,6 +204,13 @@ impl ExperimentArgs {
                         format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
                     })?);
                 }
+                "--metrics" => {
+                    let raw = it.next().ok_or("--metrics needs a value")?;
+                    metrics = Some(MetricsArg::parse(raw).ok_or_else(|| {
+                        format!("--metrics: malformed value '{raw}' (off, table, or json[:PATH])")
+                    })?);
+                }
+                "--progress" => progress = true,
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
@@ -167,12 +235,18 @@ impl ExperimentArgs {
             Some(tc) => tc,
             None => TraceCacheArg::from_env(env("CACHEGC_TRACE_CACHE").as_deref())?,
         };
+        let metrics = match metrics {
+            Some(m) => m,
+            None => MetricsArg::from_env(env("CACHEGC_METRICS").as_deref())?,
+        };
         Ok(Parse::Args(ExperimentArgs {
             scale,
             jobs,
             schedule,
             csv,
             trace_cache,
+            metrics,
+            progress,
         }))
     }
 
@@ -229,7 +303,8 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
         "{binary} — {about}\n\
          \n\
          usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--csv PATH]\n\
-         \x20                [--trace-cache on|off|BYTES]\n\
+         \x20                [--trace-cache on|off|BYTES] [--metrics off|table|json[:PATH]]\n\
+         \x20                [--progress]\n\
          \n\
          \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
          \x20 --jobs N       worker threads (default: available parallelism; env\n\
@@ -237,8 +312,13 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
          \x20 --schedule S   engine schedule: round-robin (rr) or work-stealing (ws)\n\
          \x20 --csv PATH     also write results as CSV to PATH\n\
          \x20 --trace-cache  record each unique scenario's trace and replay it for\n\
-         \x20                later passes: on (default, 1 GiB budget), off, or an\n\
+         \x20                later passes: on (default, 4 GiB budget), off, or an\n\
          \x20                explicit byte budget (env CACHEGC_TRACE_CACHE)\n\
+         \x20 --metrics M    gather run telemetry: off (default), table (print a\n\
+         \x20                timing table), or json[:PATH] (write a run manifest,\n\
+         \x20                default results/manifest/{binary}.json; env\n\
+         \x20                CACHEGC_METRICS)\n\
+         \x20 --progress     report each completed sweep pass on stderr\n\
          \x20 --help         show this help\n"
     )
 }
@@ -381,6 +461,64 @@ mod tests {
     }
 
     #[test]
+    fn metrics_flag_parses_and_defaults_off() {
+        assert_eq!(parsed(&[]).metrics, MetricsArg::Off);
+        assert_eq!(parsed(&["--metrics", "off"]).metrics, MetricsArg::Off);
+        assert_eq!(parsed(&["--metrics", "table"]).metrics, MetricsArg::Table);
+        assert_eq!(
+            parsed(&["--metrics", "json"]).metrics,
+            MetricsArg::Json(None)
+        );
+        assert_eq!(
+            parsed(&["--metrics", "json:results/m.json"]).metrics,
+            MetricsArg::Json(Some(PathBuf::from("results/m.json")))
+        );
+        assert!(!MetricsArg::Off.enabled());
+        assert!(MetricsArg::Table.enabled());
+        assert!(MetricsArg::Json(None).enabled());
+    }
+
+    #[test]
+    fn metrics_rejects_malformed_values_for_flag_and_env() {
+        for bad in ["json:", "csv", "on", ""] {
+            let err = ExperimentArgs::try_parse(&argv(&["--metrics", bad]), 4).unwrap_err();
+            assert!(err.contains("--metrics"), "{bad:?}: {err}");
+        }
+        let env = |name: &str| (name == "CACHEGC_METRICS").then(|| "sometimes".to_string());
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap_err();
+        assert!(err.contains("CACHEGC_METRICS"), "{err}");
+        // A well-formed env value applies; the explicit flag wins over it.
+        let env = |name: &str| (name == "CACHEGC_METRICS").then(|| "table".to_string());
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.metrics, MetricsArg::Table);
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--metrics", "off"]), 4, env).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.metrics, MetricsArg::Off);
+    }
+
+    #[test]
+    fn progress_flag_parses_and_defaults_off() {
+        assert!(!parsed(&[]).progress);
+        assert!(parsed(&["--progress"]).progress);
+        assert!(parsed(&["--progress", "--scale", "2"]).progress);
+    }
+
+    #[test]
+    fn trace_cache_describes_itself() {
+        assert_eq!(TraceCacheArg::Off.describe(), "off");
+        assert_eq!(TraceCacheArg::Budget(64).describe(), "64 bytes");
+        assert_eq!(
+            TraceCacheArg::On.describe(),
+            format!("{DEFAULT_TRACE_CACHE_BYTES} bytes")
+        );
+    }
+
+    #[test]
     fn help_is_recognized() {
         assert!(matches!(
             ExperimentArgs::try_parse(&argv(&["--help"]), 4),
@@ -403,6 +541,8 @@ mod tests {
             vec!["--csv"],
             vec!["--trace-cache"],
             vec!["--trace-cache", "sometimes"],
+            vec!["--metrics"],
+            vec!["--metrics", "json:"],
         ] {
             assert!(
                 ExperimentArgs::try_parse(&argv(&bad), 4).is_err(),
@@ -420,6 +560,8 @@ mod tests {
             "--schedule",
             "--csv",
             "--trace-cache",
+            "--metrics",
+            "--progress",
             "--help",
         ] {
             assert!(u.contains(flag), "{flag} missing from usage");

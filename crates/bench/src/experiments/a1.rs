@@ -17,6 +17,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "A1: associativity ablation (64b blocks)",
     about: "associativity ablation (64b blocks)",
     default_scale: 2,
+    cells: 2,
     sweep,
 };
 

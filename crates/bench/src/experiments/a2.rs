@@ -17,6 +17,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "A2: Cheney semispace-size sweep, compile workload",
     about: "Cheney semispace-size sweep (compile workload)",
     default_scale: 4,
+    cells: 10,
     sweep,
 };
 

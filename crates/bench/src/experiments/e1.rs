@@ -19,6 +19,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E1: test programs (§3 table)",
     about: "the §3 test-program table",
     default_scale: 4,
+    cells: 5,
     sweep,
 };
 

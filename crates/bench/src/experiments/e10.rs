@@ -21,6 +21,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E10: block behavior census, 64k cache / 64b blocks (§7)",
     about: "the §7 block-behavior census (64k cache / 64b blocks)",
     default_scale: 2,
+    cells: 5,
     sweep,
 };
 

@@ -29,6 +29,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E11: cache-activity decomposition (§7 figures)",
     about: "the §7 cache-activity decomposition (four panels)",
     default_scale: 2,
+    cells: 3,
     sweep,
 };
 

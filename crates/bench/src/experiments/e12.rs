@@ -21,6 +21,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E12: write-back write overheads (§5), 64b blocks",
     about: "write-back write overheads (§5), 64b blocks",
     default_scale: 4,
+    cells: 5,
     sweep,
 };
 

@@ -33,6 +33,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E13: allocation vs mutation (§8 conjecture 3)",
     about: "allocation vs mutation (§8 conjecture 3)",
     default_scale: 4,
+    cells: 2,
     sweep,
 };
 
@@ -119,8 +120,16 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
     let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut table = Table::new("overhead", &cols);
+    // The passes bypass the `_ctx` drivers (no scenario key), so progress
+    // is ticked by hand — one tick per variant, matching `cells: 2`.
     measure("functional", &functional(gens), &cfg, engine, &mut table);
+    if let Some(progress) = ctx.progress {
+        progress.tick(ctx.store);
+    }
     measure("imperative", &imperative(gens), &cfg, engine, &mut table);
+    if let Some(progress) = ctx.progress {
+        progress.tick(ctx.store);
+    }
     Sweep {
         tables: vec![table],
         notes: vec![

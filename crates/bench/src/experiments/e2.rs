@@ -13,6 +13,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E2: miss penalties (§5 table)",
     about: "the §5 miss-penalty table",
     default_scale: 1,
+    cells: 0,
     sweep,
 };
 

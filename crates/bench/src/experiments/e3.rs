@@ -26,6 +26,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E3: average cache overhead, no GC (§5 figure)",
     about: "average cache overhead without GC (§5 figure)",
     default_scale: 4,
+    cells: 5,
     sweep,
 };
 

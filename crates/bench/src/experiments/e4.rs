@@ -23,6 +23,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E4: fetch-on-write vs write-validate (§5)",
     about: "fetch-on-write vs write-validate (§5)",
     default_scale: 4,
+    cells: 10,
     sweep,
 };
 

@@ -31,6 +31,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E5: O_gc with Cheney semispaces, 64b blocks (§6 figure)",
     about: "O_gc of the Cheney collector vs cache size (§6 figure)",
     default_scale: 4,
+    cells: 10,
     sweep,
 };
 

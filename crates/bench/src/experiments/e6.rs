@@ -17,6 +17,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E6: lambda (lp) under Cheney vs generational (§6)",
     about: "lambda under Cheney vs generational collection (§6)",
     default_scale: 4,
+    cells: 4,
     sweep,
 };
 

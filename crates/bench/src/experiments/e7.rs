@@ -20,6 +20,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E7: aggressive vs infrequent generational collection (§6), 64k cache",
     about: "aggressive vs infrequent generational collection (§6)",
     default_scale: 4,
+    cells: 10,
     sweep,
 };
 

@@ -19,6 +19,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E8: cache-miss sweep plot, compile, 64k/64b (§7)",
     about: "the §7 cache-miss sweep plot (compile, 64k/64b)",
     default_scale: 1,
+    cells: 1,
     sweep,
 };
 

@@ -19,6 +19,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     title: "E9: dynamic-block lifetime CDF, 64b blocks (§7 figure)",
     about: "dynamic-block lifetime CDF, 64b blocks (§7 figure)",
     default_scale: 2,
+    cells: 5,
     sweep,
 };
 

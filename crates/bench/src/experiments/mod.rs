@@ -18,9 +18,14 @@
 //!
 //! [`ALL`] is the registry the `golden_check` binary iterates.
 
-use cachegc_core::report::Table;
-use cachegc_core::RunCtx;
+use std::path::PathBuf;
+use std::sync::Arc;
 
+use cachegc_core::report::{Cell, Table};
+use cachegc_core::telemetry::probe;
+use cachegc_core::{Manifest, ManifestConfig, Progress, RunCtx, Telemetry};
+
+use crate::cli::MetricsArg;
 use crate::{header, ExperimentArgs, GridReport};
 
 mod a1;
@@ -65,6 +70,10 @@ pub struct Experiment {
     pub about: &'static str,
     /// Default `--scale`.
     pub default_scale: u32,
+    /// Driver passes one sweep makes (each is one [`Progress`] tick):
+    /// calls into the `_ctx` engine entry points, plus any passes the
+    /// sweep ticks by hand. Zero for static experiments.
+    pub cells: usize,
     /// The sweep itself.
     pub sweep: fn(u32, &RunCtx) -> Sweep,
 }
@@ -104,11 +113,27 @@ pub fn run_main(exp: &Experiment) {
         exp.title, args.scale, args.jobs
     ));
     let store = args.trace_store();
+    let telemetry = args.metrics.enabled().then(|| Arc::new(Telemetry::new()));
+    let progress = args.progress.then(|| Progress::stderr(exp.name, exp.cells));
     let mut ctx = RunCtx::new(args.engine());
     if let Some(store) = &store {
         ctx = ctx.with_store(store);
     }
-    let sweep = (exp.sweep)(args.scale, &ctx);
+    if let Some(telemetry) = &telemetry {
+        ctx = ctx.with_telemetry(telemetry);
+    }
+    if let Some(progress) = &progress {
+        ctx = ctx.with_progress(progress);
+    }
+    let sweep = {
+        // The shard makes the main thread's probes land in the registry;
+        // worker threads attach their own inside the engine drivers. The
+        // per-experiment phase drops first (declaration order), while the
+        // shard is still attached.
+        let _shard = telemetry.as_ref().map(|t| t.attach());
+        let _exp_phase = telemetry.is_some().then(|| probe::phase_cpu(exp.name));
+        (exp.sweep)(args.scale, &ctx)
+    };
     for t in &sweep.tables {
         println!();
         print!("{}", t.render());
@@ -132,6 +157,63 @@ pub fn run_main(exp: &Experiment) {
     if let Some(store) = &store {
         eprintln!("trace cache: {}", store.stats());
     }
+    if let Some(telemetry) = &telemetry {
+        let manifest = Manifest::gather(
+            ManifestConfig {
+                experiment: exp.name.to_string(),
+                scale: args.scale,
+                jobs: args.jobs,
+                schedule: args.schedule.name().to_string(),
+                trace_cache: args.trace_cache.describe(),
+            },
+            &telemetry.snapshot(),
+            store.as_ref(),
+        );
+        match &args.metrics {
+            MetricsArg::Off => unreachable!("telemetry only exists when metrics are on"),
+            MetricsArg::Table => {
+                for t in timing_tables(&manifest) {
+                    println!();
+                    print!("{}", t.render());
+                }
+            }
+            MetricsArg::Json(path) => {
+                let path = path
+                    .clone()
+                    .unwrap_or_else(|| default_manifest_path(exp.name));
+                match manifest.write(&path) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+}
+
+/// Where `--metrics json` lands without an explicit path.
+pub fn default_manifest_path(experiment: &str) -> PathBuf {
+    PathBuf::from("results/manifest").join(format!("{experiment}.json"))
+}
+
+/// Render a gathered [`Manifest`] as the human `--metrics table` view:
+/// one table of phase timings, one of the nonzero counters.
+fn timing_tables(manifest: &Manifest) -> Vec<Table> {
+    let mut phases = Table::new("phases", &["phase", "count", "wall_ms", "cpu_ms"]);
+    for (name, stats) in &manifest.phases {
+        phases.row(vec![
+            Cell::text(name.clone()),
+            stats.count.into(),
+            Cell::Float(stats.wall_ns as f64 / 1e6, 3),
+            Cell::Float(stats.cpu_ns as f64 / 1e6, 3),
+        ]);
+    }
+    let mut counters = Table::new("counters", &["counter", "value"]);
+    for &(name, value) in &manifest.counters {
+        if value > 0 {
+            counters.row(vec![Cell::text(name), value.into()]);
+        }
+    }
+    vec![phases, counters]
 }
 
 /// Split a `--jobs` budget between `n` concurrent outer tasks and the

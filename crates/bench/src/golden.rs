@@ -251,6 +251,41 @@ pub fn run_sweep(exp: &Experiment, scale: u32, ctx: &RunCtx) -> Vec<Table> {
     (exp.sweep)(scale, ctx).tables
 }
 
+/// Validate a run-manifest document for `golden_check --manifest`: the
+/// generic schema/invariant checks of
+/// [`cachegc_core::validate_manifest`], plus the stricter demands a real
+/// sweep's manifest must meet — the VM executed at least once
+/// (`vm_execute` has spans), and a store that reports hits replayed.
+///
+/// # Errors
+///
+/// A human-readable message naming the first violated property.
+pub fn check_manifest(text: &str) -> Result<(), String> {
+    cachegc_core::validate_manifest(text)?;
+    let doc = cachegc_core::json::parse(text)?;
+    let phase_count = |name: &str| {
+        doc.get("phases")
+            .and_then(|p| p.get(name))
+            .and_then(|p| p.get("count"))
+            .and_then(cachegc_core::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    if phase_count("vm_execute") == 0 {
+        return Err("manifest: no vm_execute spans — the sweep never ran a VM".into());
+    }
+    let hits = doc
+        .get("store")
+        .and_then(|s| s.get("hits"))
+        .and_then(cachegc_core::json::Json::as_u64)
+        .unwrap_or(0);
+    if hits > 0 && phase_count("replay") == 0 {
+        return Err(format!(
+            "manifest: store reports {hits} hits but no replay spans"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +386,47 @@ mod tests {
         let other = Table::new("t", &["different", "columns"]);
         let drifts = diff_tables(&through_csv(&t), &other, &Tolerance::default());
         assert!(matches!(drifts[0], Drift::Columns { .. }));
+    }
+
+    #[test]
+    fn manifest_check_demands_vm_execute_and_replay() {
+        use std::sync::Arc;
+
+        use cachegc_core::telemetry::probe;
+        use cachegc_core::{Manifest, ManifestConfig, Telemetry, TraceStore};
+
+        let cfg = || ManifestConfig {
+            experiment: "e4_write_policy".into(),
+            scale: 1,
+            jobs: 2,
+            schedule: "work-stealing".into(),
+            trace_cache: "off".into(),
+        };
+        // An empty manifest is schema-valid but strictly rejected: the
+        // sweep never ran a VM.
+        let telemetry = Arc::new(Telemetry::new());
+        let empty = Manifest::gather(cfg(), &telemetry.snapshot(), None).to_json();
+        assert!(cachegc_core::validate_manifest(&empty).is_ok());
+        let err = check_manifest(&empty).unwrap_err();
+        assert!(err.contains("vm_execute"), "{err}");
+
+        {
+            let _shard = telemetry.attach();
+            let _span = probe::phase("vm_execute");
+        }
+        let store = TraceStore::unbounded();
+        let ran = Manifest::gather(cfg(), &telemetry.snapshot(), Some(&store)).to_json();
+        check_manifest(&ran).unwrap();
+
+        // A store that reports hits needs replay spans to back them.
+        let hit = ran.replacen("\"hits\": 0", "\"hits\": 1", 1);
+        assert_ne!(hit, ran, "the store block is present and editable");
+        let err = check_manifest(&hit).unwrap_err();
+        assert!(err.contains("replay"), "{err}");
+
+        // Garbage is rejected by the generic layer first.
+        assert!(check_manifest("{}").is_err());
+        assert!(check_manifest("not json").is_err());
     }
 
     #[test]

@@ -170,6 +170,73 @@ impl ReplayReport {
     }
 }
 
+/// The `telemetry_overhead` bench's result: the same full sweep timed
+/// with telemetry off and on, proving the probes stay within the <2 %
+/// overhead budget DESIGN.md commits to.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Experiment the sweep ran (e.g. `e4_write_policy`).
+    pub experiment: String,
+    /// Workload scale of the sweep.
+    pub scale: u32,
+    /// `--jobs` in effect.
+    pub jobs: usize,
+    /// Samples per variant (after warm-up).
+    pub samples: usize,
+    /// Median sweep time with telemetry off.
+    pub baseline: Duration,
+    /// Median sweep time with telemetry gathered and a manifest built.
+    pub telemetry: Duration,
+}
+
+impl TelemetryReport {
+    /// Enabled-overhead fraction: `telemetry / baseline - 1` (negative
+    /// when the difference drowns in run-to-run noise).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.telemetry.as_secs_f64() / self.baseline.as_secs_f64().max(1e-9) - 1.0
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"cachegc-bench-telemetry-v1\",");
+        let _ = writeln!(s, "  \"experiment\": {},", json_str(&self.experiment));
+        let _ = writeln!(s, "  \"scale\": {},", self.scale);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(
+            s,
+            "  \"baseline_secs\": {:.6},",
+            self.baseline.as_secs_f64()
+        );
+        let _ = writeln!(
+            s,
+            "  \"telemetry_secs\": {:.6},",
+            self.telemetry.as_secs_f64()
+        );
+        let _ = writeln!(
+            s,
+            "  \"overhead_fraction\": {:.6}",
+            self.overhead_fraction()
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the report to `CACHEGC_BENCH_JSON` (default
+    /// `BENCH_telemetry.json` in the current directory). Failures are
+    /// reported, not fatal, same as [`GridReport::write`].
+    pub fn write(&self) {
+        let path =
+            std::env::var("CACHEGC_BENCH_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".into());
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -232,6 +299,24 @@ mod tests {
         assert!(json.contains("\"workload\": \"rewrite\""));
         assert!(json.contains("\"bytes_per_event\": 1.500"));
         assert!(json.contains("\"speedup\": 5.00"));
+    }
+
+    #[test]
+    fn telemetry_json_shape_is_stable() {
+        let report = TelemetryReport {
+            experiment: "e4_write_policy".into(),
+            scale: 1,
+            jobs: 2,
+            samples: 5,
+            baseline: Duration::from_millis(1000),
+            telemetry: Duration::from_millis(1010),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"cachegc-bench-telemetry-v1\""));
+        assert!(json.contains("\"experiment\": \"e4_write_policy\""));
+        assert!(json.contains("\"baseline_secs\": 1.000000"));
+        assert!(json.contains("\"overhead_fraction\": 0.010000"));
+        assert!((report.overhead_fraction() - 0.01).abs() < 1e-9);
     }
 
     #[test]

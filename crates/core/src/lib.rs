@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod json;
 mod overhead;
 mod parallel;
 pub mod report;
 mod store;
+pub mod telemetry;
 
 pub use experiment::{
     run_collected, run_control, CacheCell, CollectedCell, CollectedRun, CollectorSpec,
@@ -47,7 +49,12 @@ pub use parallel::{
     run_control_ctx, run_control_engine, run_control_jobs, run_instruments, run_instruments_ctx,
     run_sinks, run_sinks_ctx,
 };
-pub use store::{RunCtx, StoreStats, StoredTrace, TraceStore};
+pub use store::{
+    scenario_label, OfferOutcome, RunCtx, ScenarioGauges, StoreStats, StoredTrace, TraceStore,
+};
+pub use telemetry::{
+    validate_manifest, Manifest, ManifestConfig, ManifestStore, Progress, Telemetry,
+};
 
 // Re-export what downstream experiment code needs, so benches and examples
 // can depend on this crate alone.

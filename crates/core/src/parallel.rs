@@ -25,11 +25,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use cachegc_analysis::Instrument;
 use cachegc_gc::{CheneyCollector, GenerationalCollector, NoCollector};
 use cachegc_sim::Cache;
-use cachegc_trace::{EngineConfig, Fanout, ParallelFanout, TraceSink};
+use cachegc_telemetry::{probe, Counter, EngineReport, WorkerStats};
+use cachegc_trace::{EngineConfig, Fanout, ParallelFanout, RefCounter, TraceSink};
 use cachegc_vm::{RunStats, VmError};
 use cachegc_workloads::WorkloadInstance;
 
@@ -37,7 +39,7 @@ use crate::experiment::{
     collected_run, control_report, run_collected, run_control, CollectedRun, CollectorSpec,
     ControlReport, ExperimentConfig, GcComparison,
 };
-use crate::store::RunCtx;
+use crate::store::{scenario_label, OfferOutcome, RunCtx};
 
 /// Degree of parallelism this machine supports (a sensible `--jobs`
 /// default). Falls back to 1 if the platform cannot say.
@@ -120,6 +122,16 @@ where
 /// event-for-event identical to the live run, property-tested in the
 /// workspace root).
 ///
+/// When the context carries a [`Telemetry`](crate::telemetry::Telemetry)
+/// registry, this driver is also the instrumentation root: it attaches a
+/// probe shard on the calling thread (so GC/VM probes light up for the
+/// pass), times the `vm_execute` / `record` / `replay` / `sink_drain`
+/// phases (`record` wraps the live run on the miss path, so those spans
+/// overlap `vm_execute` by design), counts live VM runs and store
+/// capture outcomes, and has the engine report per-worker observability.
+/// A context carrying a [`Progress`](crate::telemetry::Progress) gets
+/// one tick per completed pass. Neither changes any result bit.
+///
 /// # Errors
 ///
 /// Propagates any [`VmError`] from the program (live paths only — replay
@@ -133,23 +145,149 @@ pub fn run_sinks_ctx<S>(
 where
     S: TraceSink + Send + 'static,
 {
+    let _shard = ctx.telemetry.map(|t| t.attach());
+    let result = run_sinks_ctx_inner(instance, spec, sinks, ctx);
+    if result.is_ok() {
+        if let Some(progress) = ctx.progress {
+            progress.tick(ctx.store);
+        }
+    }
+    result
+}
+
+/// Report a pass that did *not* ride a `ParallelFanout` — a sequential
+/// fanout or a sharded replay — to the telemetry engine totals, so every
+/// pass appears in the manifest's engine block whatever path drove it.
+/// The `schedule` label distinguishes the paths (`sequential` / `replay`)
+/// from the real engine schedules. Worker `i`'s `events` counts the
+/// `(event, sink)` pairs it drove under the round-robin sink sharding
+/// both paths use.
+fn record_flat_engine(
+    ctx: &RunCtx<'_>,
+    schedule: &'static str,
+    jobs: usize,
+    n_sinks: usize,
+    events: u64,
+) {
+    let Some(telemetry) = ctx.telemetry else {
+        return;
+    };
+    let workers = (0..jobs)
+        .map(|i| {
+            let shard = (n_sinks / jobs) + usize::from(i < n_sinks % jobs);
+            WorkerStats {
+                events: events * shard as u64,
+                chunks: 0,
+                steals: 0,
+                idle_ns: 0,
+            }
+        })
+        .collect();
+    telemetry.record_engine(&EngineReport {
+        schedule,
+        jobs,
+        sinks: n_sinks,
+        chunks_published: 0,
+        events_published: events,
+        backpressure_ns: 0,
+        queue_depth_hwm: 0,
+        workers,
+    });
+}
+
+fn run_sinks_ctx_inner<S>(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    sinks: Vec<S>,
+    ctx: &RunCtx<'_>,
+) -> Result<(RunStats, Vec<S>), VmError>
+where
+    S: TraceSink + Send + 'static,
+{
     let Some(store) = ctx.store else {
-        return run_sinks(instance, spec, sinks, &ctx.engine);
+        // Live pass, nothing to record.
+        probe!(Counter::VmRuns);
+        if ctx.engine.is_sequential() {
+            if ctx.telemetry.is_some() {
+                // A tally rides the tuple sink so the sequential pass can
+                // report its event volume like the parallel engine does.
+                let (stats, (tally, fan)) = {
+                    let _vm = probe::phase_cpu("vm_execute");
+                    run_spec_sink(instance, spec, (RefCounter::new(), Fanout::new(sinks)))?
+                };
+                let _drain = probe::phase("sink_drain");
+                let sinks = fan.into_sinks();
+                record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
+                return Ok((stats, sinks));
+            }
+            let (stats, fan) = {
+                let _vm = probe::phase_cpu("vm_execute");
+                run_spec_sink(instance, spec, Fanout::new(sinks))?
+            };
+            let _drain = probe::phase("sink_drain");
+            return Ok((stats, fan.into_sinks()));
+        }
+        let fan = ParallelFanout::with_engine_observed(sinks, &ctx.engine, ctx.telemetry.cloned());
+        let (stats, fan) = {
+            let _vm = probe::phase_cpu("vm_execute");
+            run_spec_sink(instance, spec, fan)?
+        };
+        let _drain = probe::phase("sink_drain");
+        return Ok((stats, fan.into_sinks()));
     };
     if let Some(stored) = store.lookup(instance, spec) {
-        let sinks = stored.trace.replay_sharded(sinks, ctx.engine.jobs);
+        let n_sinks = sinks.len();
+        let events = stored.trace.events();
+        let sinks = {
+            let _replay = probe::phase("replay");
+            stored.trace.replay_sharded(sinks, ctx.engine.jobs)
+        };
+        let jobs = ctx.engine.jobs.clamp(1, n_sinks.max(1));
+        record_flat_engine(ctx, "replay", jobs, n_sinks, events);
         return Ok((stored.stats, sinks));
     }
+    // Miss: run live with a recorder riding along, then offer the capture
+    // back to the store.
+    probe!(Counter::VmRuns);
+    let record_start = Instant::now();
+    let _record = probe::phase("record");
     let recorder = store.recorder();
     let (stats, recorder, sinks) = if ctx.engine.is_sequential() {
-        let (stats, (rec, fan)) = run_spec_sink(instance, spec, (recorder, Fanout::new(sinks)))?;
-        (stats, rec, fan.into_sinks())
+        let (stats, (rec, fan)) = {
+            let _vm = probe::phase_cpu("vm_execute");
+            run_spec_sink(instance, spec, (recorder, Fanout::new(sinks)))?
+        };
+        let _drain = probe::phase("sink_drain");
+        let sinks = fan.into_sinks();
+        record_flat_engine(ctx, "sequential", 1, sinks.len(), rec.events());
+        (stats, rec, sinks)
     } else {
-        let fan = ParallelFanout::with_engine(sinks, &ctx.engine);
-        let (stats, (rec, fan)) = run_spec_sink(instance, spec, (recorder, fan))?;
+        let fan = ParallelFanout::with_engine_observed(sinks, &ctx.engine, ctx.telemetry.cloned());
+        let (stats, (rec, fan)) = {
+            let _vm = probe::phase_cpu("vm_execute");
+            run_spec_sink(instance, spec, (recorder, fan))?
+        };
+        let _drain = probe::phase("sink_drain");
         (stats, rec, fan.into_sinks())
     };
-    store.offer(instance, spec, recorder, stats);
+    match store.offer(instance, spec, recorder, stats, record_start.elapsed()) {
+        OfferOutcome::Stored { bytes, events } => {
+            probe!(Counter::StoreRecordedBytes, bytes);
+            probe!(Counter::StoreRecordedEvents, events);
+        }
+        OfferOutcome::DroppedOverBudget => {
+            probe!(Counter::StoreCapturesDropped);
+            if let Some(telemetry) = ctx.telemetry {
+                telemetry.warn(&format!(
+                    "trace store dropped over-budget capture of {} \
+                     (budget {} bytes); the scenario keeps running live",
+                    scenario_label(instance, spec),
+                    store.budget()
+                ));
+            }
+        }
+        OfferOutcome::Duplicate => {}
+    }
     Ok((stats, sinks))
 }
 
@@ -303,9 +441,8 @@ impl GcComparison {
         ctx: &RunCtx<'_>,
     ) -> Result<GcComparison, VmError> {
         if ctx.engine.is_sequential() {
-            if ctx.store.is_none() {
-                return GcComparison::run(instance, cfg, spec);
-            }
+            // Even store-less sequential runs go through the `_ctx`
+            // drivers, so telemetry and progress behave uniformly.
             return Ok(GcComparison {
                 control: run_control_ctx(instance, cfg, ctx)?,
                 collected: run_collected_ctx(instance, cfg, spec, ctx)?,

@@ -20,18 +20,37 @@
 //! decide, per scenario, between a live (recording) pass and a sharded
 //! replay.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use cachegc_telemetry::Telemetry;
 use cachegc_trace::{EngineConfig, RecordedTrace, Recorder};
 use cachegc_vm::RunStats;
 use cachegc_workloads::WorkloadInstance;
 
 use crate::experiment::CollectorSpec;
+use crate::telemetry::Progress;
 
 /// A store key: one unique VM execution scenario.
 type ScenarioKey = (WorkloadInstance, Option<CollectorSpec>);
+
+/// The stable human label of a scenario, used to key the per-scenario
+/// gauges and to name scenarios in warnings and the run manifest:
+/// `workload@scale`, with `+collector` appended for collected runs
+/// (e.g. `compile@1+cheney/2.0M`).
+pub fn scenario_label(instance: WorkloadInstance, spec: Option<CollectorSpec>) -> String {
+    match spec {
+        None => format!("{}@{}", instance.workload.name(), instance.scale),
+        Some(spec) => format!(
+            "{}@{}+{}",
+            instance.workload.name(),
+            instance.scale,
+            spec.name()
+        ),
+    }
+}
 
 /// A captured scenario: the compact trace plus the [`RunStats`] the live
 /// run produced, so replay consumers never need the VM.
@@ -75,10 +94,46 @@ impl fmt::Display for StoreStats {
     }
 }
 
+/// Per-scenario accounting: how one scenario used the store and what its
+/// capture cost. Sorted by label in [`TraceStore::scenario_gauges`] and
+/// the run manifest.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioGauges {
+    /// Lookups of this scenario that replayed.
+    pub hits: u64,
+    /// Lookups of this scenario that ran live.
+    pub misses: u64,
+    /// Encoded bytes resident for this scenario (0 until stored).
+    pub bytes: u64,
+    /// Events resident for this scenario (0 until stored).
+    pub events: u64,
+    /// Wall time spent on recording passes for this scenario,
+    /// nanoseconds — including captures the store went on to drop.
+    pub record_ns: u64,
+}
+
+/// What [`TraceStore::offer`] did with a finished capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Kept: resident with this many encoded bytes and events.
+    Stored {
+        /// Encoded bytes now resident for the scenario.
+        bytes: u64,
+        /// Events now resident for the scenario.
+        events: u64,
+    },
+    /// Dropped: the recorder overflowed its limit or keeping the capture
+    /// would push the store past its byte budget.
+    DroppedOverBudget,
+    /// Dropped silently: a concurrent capture of the same scenario won.
+    Duplicate,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<ScenarioKey, Arc<StoredTrace>>,
     stats: StoreStats,
+    gauges: BTreeMap<String, ScenarioGauges>,
 }
 
 /// A thread-safe scenario-keyed cache of recorded traces.
@@ -126,13 +181,16 @@ impl TraceStore {
         spec: Option<CollectorSpec>,
     ) -> Option<Arc<StoredTrace>> {
         let mut inner = self.lock();
+        let label = scenario_label(instance, spec);
         match inner.map.get(&(instance, spec)).cloned() {
             Some(hit) => {
                 inner.stats.hits += 1;
+                inner.gauges.entry(label).or_default().hits += 1;
                 Some(hit)
             }
             None => {
                 inner.stats.misses += 1;
+                inner.gauges.entry(label).or_default().misses += 1;
                 None
             }
         }
@@ -152,53 +210,84 @@ impl TraceStore {
         Recorder::with_limit(self.budget.saturating_sub(resident))
     }
 
-    /// Offer a finished recording for a scenario. Keeps it if the
-    /// recorder did not overflow and the store stays within budget;
-    /// otherwise counts it as over-budget and drops it. A concurrent
-    /// duplicate (the scenario was stored since the caller's miss) is
-    /// dropped silently, leaving `misses > entries` as the audit trail.
+    /// Offer a finished recording for a scenario, with the wall time the
+    /// recording pass took (charged to the scenario's encode-time gauge
+    /// whatever the outcome). Keeps it if the recorder did not overflow
+    /// and the store stays within budget; otherwise counts it as
+    /// over-budget and drops it. A concurrent duplicate (the scenario was
+    /// stored since the caller's miss) is dropped silently, leaving
+    /// `misses > entries` as the audit trail. The caller decides whether
+    /// an [`OfferOutcome::DroppedOverBudget`] deserves a warning.
     pub fn offer(
         &self,
         instance: WorkloadInstance,
         spec: Option<CollectorSpec>,
         recorder: Recorder,
         stats: RunStats,
-    ) {
+        record_wall: Duration,
+    ) -> OfferOutcome {
+        let record_ns = u64::try_from(record_wall.as_nanos()).unwrap_or(u64::MAX);
+        let label = scenario_label(instance, spec);
         let Some(trace) = recorder.finish() else {
-            self.lock().stats.over_budget += 1;
-            return;
+            let mut inner = self.lock();
+            inner.stats.over_budget += 1;
+            inner.gauges.entry(label).or_default().record_ns += record_ns;
+            return OfferOutcome::DroppedOverBudget;
         };
         let mut inner = self.lock();
+        inner.gauges.entry(label.clone()).or_default().record_ns += record_ns;
         if inner.stats.bytes.saturating_add(trace.bytes()) > self.budget {
             inner.stats.over_budget += 1;
-            return;
+            return OfferOutcome::DroppedOverBudget;
         }
         if inner.map.contains_key(&(instance, spec)) {
-            return;
+            return OfferOutcome::Duplicate;
         }
+        let (bytes, events) = (trace.bytes(), trace.events());
         inner.stats.entries += 1;
-        inner.stats.bytes += trace.bytes();
-        inner.stats.events += trace.events();
+        inner.stats.bytes += bytes;
+        inner.stats.events += events;
+        let gauge = inner.gauges.entry(label).or_default();
+        gauge.bytes += bytes;
+        gauge.events += events;
         inner
             .map
             .insert((instance, spec), Arc::new(StoredTrace { trace, stats }));
+        OfferOutcome::Stored { bytes, events }
     }
 
     /// A snapshot of the accounting counters.
     pub fn stats(&self) -> StoreStats {
         self.lock().stats
     }
+
+    /// Per-scenario gauges, sorted by scenario label.
+    pub fn scenario_gauges(&self) -> Vec<(String, ScenarioGauges)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
 }
 
 /// Everything an experiment driver needs to run a scenario: how to
-/// parallelize ([`EngineConfig`]) and, optionally, where to memoize
-/// traces. `Copy`, so sweeps can derive per-stage variants freely.
+/// parallelize ([`EngineConfig`]), optionally where to memoize traces,
+/// and optionally where to report what happened ([`Telemetry`]) and that
+/// it happened at all ([`Progress`]). `Copy`, so sweeps can derive
+/// per-stage variants freely.
 #[derive(Debug, Clone, Copy)]
 pub struct RunCtx<'a> {
     /// Worker count / chunking / schedule for the trace pass.
     pub engine: EngineConfig,
     /// Scenario-keyed trace cache; `None` runs everything live.
     pub store: Option<&'a TraceStore>,
+    /// Instrumentation registry the engine drivers attach probe shards
+    /// to and report phases/counters into; `None` costs nothing.
+    pub telemetry: Option<&'a Arc<Telemetry>>,
+    /// Per-pass progress reporting (one stderr line per completed pass);
+    /// `None` is silent.
+    pub progress: Option<&'a Progress>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -207,6 +296,8 @@ impl<'a> RunCtx<'a> {
         RunCtx {
             engine,
             store: None,
+            telemetry: None,
+            progress: None,
         }
     }
 
@@ -216,10 +307,28 @@ impl<'a> RunCtx<'a> {
     }
 
     /// Attach a trace store.
-    pub fn with_store(self, store: &TraceStore) -> RunCtx<'_> {
+    pub fn with_store(self, store: &'a TraceStore) -> RunCtx<'a> {
         RunCtx {
-            engine: self.engine,
             store: Some(store),
+            ..self
+        }
+    }
+
+    /// Attach a telemetry registry: every pass through the `_ctx` engine
+    /// drivers attaches a probe shard on its thread and reports phases,
+    /// counters, and engine observability into it.
+    pub fn with_telemetry(self, telemetry: &'a Arc<Telemetry>) -> RunCtx<'a> {
+        RunCtx {
+            telemetry: Some(telemetry),
+            ..self
+        }
+    }
+
+    /// Attach a progress reporter, ticked once per completed pass.
+    pub fn with_progress(self, progress: &'a Progress) -> RunCtx<'a> {
+        RunCtx {
+            progress: Some(progress),
+            ..self
         }
     }
 
@@ -256,13 +365,24 @@ mod tests {
         let w = Workload::Rewrite.scaled(1);
         assert!(store.lookup(w, None).is_none());
         let (rec, stats) = record(100);
-        store.offer(w, None, rec, stats);
+        let outcome = store.offer(w, None, rec, stats, Duration::from_micros(3));
+        let OfferOutcome::Stored { bytes, events } = outcome else {
+            panic!("expected Stored, got {outcome:?}");
+        };
+        assert_eq!(events, 100);
         let hit = store.lookup(w, None).expect("stored");
         assert_eq!(hit.trace.events(), 100);
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.over_budget), (1, 1, 1, 0));
         assert_eq!(s.events, 100);
-        assert!(s.bytes > 0);
+        assert!(s.bytes > 0 && s.bytes == bytes);
+        // The per-scenario gauge tracked both lookups and the capture.
+        let gauges = store.scenario_gauges();
+        assert_eq!(gauges.len(), 1);
+        let (label, g) = &gauges[0];
+        assert_eq!(label, "rewrite@1");
+        assert_eq!((g.hits, g.misses, g.bytes, g.events), (1, 1, bytes, 100));
+        assert_eq!(g.record_ns, 3_000);
     }
 
     #[test]
@@ -273,7 +393,7 @@ mod tests {
             semispace_bytes: 2 << 20,
         };
         let (rec, stats) = record(10);
-        store.offer(w.scaled(1), Some(spec), rec, stats);
+        store.offer(w.scaled(1), Some(spec), rec, stats, Duration::ZERO);
         assert!(store.contains(w.scaled(1), Some(spec)));
         assert!(!store.contains(w.scaled(2), Some(spec)));
         assert!(!store.contains(w.scaled(1), None));
@@ -292,10 +412,14 @@ mod tests {
             rec.access(Access::read(i << 16, Context::Mutator));
         }
         assert!(rec.overflowed());
-        store.offer(w, None, rec, RunStats::default());
+        let outcome = store.offer(w, None, rec, RunStats::default(), Duration::from_nanos(7));
+        assert_eq!(outcome, OfferOutcome::DroppedOverBudget);
         let s = store.stats();
         assert_eq!((s.entries, s.over_budget), (0, 1));
         assert!(store.lookup(w, None).is_none(), "nothing was stored");
+        // Encode time is charged even for a dropped capture.
+        let (_, g) = &store.scenario_gauges()[0];
+        assert_eq!((g.record_ns, g.bytes), (7, 0));
     }
 
     #[test]
@@ -304,13 +428,51 @@ mod tests {
         let probe_bytes = probe.bytes();
         let store = TraceStore::with_budget(probe_bytes + probe_bytes / 2);
         let (rec, stats) = record(64);
-        store.offer(Workload::Rewrite.scaled(1), None, rec, stats);
+        store.offer(
+            Workload::Rewrite.scaled(1),
+            None,
+            rec,
+            stats,
+            Duration::ZERO,
+        );
         assert_eq!(store.stats().entries, 1);
         // Second capture individually fits its recorder limit check only
         // until the resident bytes are accounted; the offer must re-check.
         let (rec, stats) = record(64);
-        store.offer(Workload::Nbody.scaled(1), None, rec, stats);
+        let outcome = store.offer(Workload::Nbody.scaled(1), None, rec, stats, Duration::ZERO);
+        assert_eq!(outcome, OfferOutcome::DroppedOverBudget);
         let s = store.stats();
         assert_eq!((s.entries, s.over_budget), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_offer_is_distinguished_from_a_drop() {
+        let store = TraceStore::unbounded();
+        let w = Workload::Rewrite.scaled(1);
+        let (rec, stats) = record(8);
+        assert!(matches!(
+            store.offer(w, None, rec, stats, Duration::ZERO),
+            OfferOutcome::Stored { .. }
+        ));
+        let (rec, stats) = record(8);
+        assert_eq!(
+            store.offer(w, None, rec, stats, Duration::ZERO),
+            OfferOutcome::Duplicate
+        );
+        let s = store.stats();
+        assert_eq!((s.entries, s.over_budget), (1, 0));
+    }
+
+    #[test]
+    fn scenario_labels_name_collector_and_scale() {
+        let w = Workload::Compile.scaled(3);
+        assert_eq!(scenario_label(w, None), "compile@3");
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 2 << 20,
+        };
+        assert_eq!(
+            scenario_label(w, Some(spec)),
+            format!("compile@3+{}", spec.name())
+        );
     }
 }

@@ -1,0 +1,691 @@
+//! The reporting layer over [`cachegc_telemetry`]: run manifests and
+//! progress lines.
+//!
+//! The instrumentation primitives (counters, phase timers, engine
+//! observability) live in the dependency-root `cachegc-telemetry` crate
+//! so the GC, VM, and trace engine can emit into them; this module is
+//! the downstream half that knows about experiments and trace stores. It
+//! re-exports the primitives, so `cachegc_core::telemetry::Telemetry` is
+//! the one path experiment code needs, and adds:
+//!
+//! * [`Manifest`] — a versioned (`cachegc-manifest-v1`), machine-readable
+//!   record of one experiment run: configuration, merged counters, phase
+//!   timings with pause histograms, engine/worker totals, and trace-store
+//!   accounting. Serialized by [`Manifest::to_json`] (hand-rolled, like
+//!   every JSON writer in this workspace) and checked by
+//!   [`validate_manifest`], which `golden_check --manifest` calls.
+//! * [`Progress`] — a thread-safe per-pass progress reporter the `_ctx`
+//!   engine drivers tick; one line per completed pass, to stderr (or an
+//!   injected writer in tests), never stdout.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub use cachegc_telemetry::{
+    probe, Counter, EngineReport, EngineTotals, PauseHist, PhaseStats, ShardGuard, Snapshot,
+    Telemetry, WorkerStats, WorkerTotals, BUCKETS,
+};
+
+use crate::json::{self, Json};
+use crate::store::{ScenarioGauges, StoreStats, TraceStore};
+
+/// The manifest schema identifier this crate writes and validates.
+pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v1";
+
+// ---------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------
+
+/// Per-pass progress reporting: one line per completed engine pass,
+/// written to stderr by default so stdout stays byte-identical with and
+/// without it. Ticked by the `_ctx` drivers when a [`crate::RunCtx`]
+/// carries one.
+pub struct Progress {
+    experiment: String,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Progress")
+            .field("experiment", &self.experiment)
+            .field("total", &self.total)
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Progress {
+    /// A reporter writing to stderr, expecting `total` passes.
+    pub fn stderr(experiment: &str, total: usize) -> Progress {
+        Progress::to_writer(experiment, total, Box::new(std::io::stderr()))
+    }
+
+    /// A reporter writing to an arbitrary sink (test injection point).
+    pub fn to_writer(experiment: &str, total: usize, out: Box<dyn Write + Send>) -> Progress {
+        Progress {
+            experiment: experiment.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Passes completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed pass and emit its line. Write failures are
+    /// swallowed: progress is a side channel, never worth killing a
+    /// sweep over.
+    pub fn tick(&self, store: Option<&TraceStore>) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let mut line = format!(
+            "[{}] pass {}/{} done, {:.1}s elapsed",
+            self.experiment, done, self.total, elapsed
+        );
+        if let Some(store) = store {
+            let s = store.stats();
+            line.push_str(&format!(", store: {} hits, {} misses", s.hits, s.misses));
+        }
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+/// The run configuration block of a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestConfig {
+    /// Experiment name (`e4_write_policy`), also keys the output file.
+    pub experiment: String,
+    /// Workload scale the sweep ran at.
+    pub scale: u32,
+    /// Worker budget (`--jobs`).
+    pub jobs: usize,
+    /// Engine schedule name.
+    pub schedule: String,
+    /// Human description of the trace-cache setting (`off`, or the byte
+    /// budget).
+    pub trace_cache: String,
+}
+
+/// Trace-store accounting in a [`Manifest`]: the global counters plus
+/// the per-scenario gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestStore {
+    /// Global hit/miss/size counters.
+    pub stats: StoreStats,
+    /// Per-scenario gauges, sorted by label.
+    pub scenarios: Vec<(String, ScenarioGauges)>,
+}
+
+/// A versioned, machine-readable record of one experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Run configuration.
+    pub config: ManifestConfig,
+    /// Merged counters, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Merged phase timings, sorted by phase name.
+    pub phases: Vec<(String, PhaseStats)>,
+    /// Aggregated engine observability.
+    pub engine: EngineTotals,
+    /// Trace-store accounting, when a store backed the run.
+    pub store: Option<ManifestStore>,
+}
+
+impl Manifest {
+    /// Assemble a manifest from a telemetry snapshot and (optionally)
+    /// the run's trace store.
+    pub fn gather(
+        config: ManifestConfig,
+        snapshot: &Snapshot,
+        store: Option<&TraceStore>,
+    ) -> Manifest {
+        Manifest {
+            config,
+            counters: snapshot.counters().map(|(c, v)| (c.name(), v)).collect(),
+            phases: snapshot
+                .phases
+                .iter()
+                .map(|(name, stats)| (name.to_string(), stats.clone()))
+                .collect(),
+            engine: snapshot.engine.clone(),
+            store: store.map(|s| ManifestStore {
+                stats: s.stats(),
+                scenarios: s.scenario_gauges(),
+            }),
+        }
+    }
+
+    /// Serialize as pretty-printed JSON (schema [`MANIFEST_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open('{');
+        w.field("schema", &json_str(MANIFEST_SCHEMA));
+        w.field("experiment", &json_str(&self.config.experiment));
+        w.key("config");
+        w.open('{');
+        w.field("scale", &self.config.scale.to_string());
+        w.field("jobs", &self.config.jobs.to_string());
+        w.field("schedule", &json_str(&self.config.schedule));
+        w.field("trace_cache", &json_str(&self.config.trace_cache));
+        w.close('}');
+        w.key("counters");
+        w.open('{');
+        for &(name, value) in &self.counters {
+            w.field(name, &value.to_string());
+        }
+        w.close('}');
+        w.key("phases");
+        w.open('{');
+        for (name, stats) in &self.phases {
+            w.key(name);
+            w.open('{');
+            w.field("count", &stats.count.to_string());
+            w.field("wall_ns", &stats.wall_ns.to_string());
+            w.field("cpu_ns", &stats.cpu_ns.to_string());
+            w.key("hist");
+            w.open('{');
+            for (log2, count) in stats.hist.sparse() {
+                w.field(&log2.to_string(), &count.to_string());
+            }
+            w.close('}');
+            w.close('}');
+        }
+        w.close('}');
+        w.key("engine");
+        w.open('{');
+        w.field("runs", &self.engine.runs.to_string());
+        w.field(
+            "chunks_published",
+            &self.engine.chunks_published.to_string(),
+        );
+        w.field(
+            "events_published",
+            &self.engine.events_published.to_string(),
+        );
+        w.field("backpressure_ns", &self.engine.backpressure_ns.to_string());
+        w.field("queue_depth_hwm", &self.engine.queue_depth_hwm.to_string());
+        w.key("by_schedule");
+        w.open('{');
+        for (schedule, runs) in &self.engine.by_schedule {
+            w.field(schedule, &runs.to_string());
+        }
+        w.close('}');
+        w.key("workers");
+        w.open('[');
+        for worker in &self.engine.workers {
+            w.open('{');
+            w.field("runs", &worker.runs.to_string());
+            w.field("events", &worker.stats.events.to_string());
+            w.field("chunks", &worker.stats.chunks.to_string());
+            w.field("steals", &worker.stats.steals.to_string());
+            w.field("idle_ns", &worker.stats.idle_ns.to_string());
+            w.close('}');
+        }
+        w.close(']');
+        w.close('}');
+        w.key("store");
+        match &self.store {
+            None => w.raw("null"),
+            Some(store) => {
+                w.open('{');
+                w.field("hits", &store.stats.hits.to_string());
+                w.field("misses", &store.stats.misses.to_string());
+                w.field("over_budget", &store.stats.over_budget.to_string());
+                w.field("entries", &store.stats.entries.to_string());
+                w.field("bytes", &store.stats.bytes.to_string());
+                w.field("events", &store.stats.events.to_string());
+                w.key("scenarios");
+                w.open('{');
+                for (label, g) in &store.scenarios {
+                    w.key(label);
+                    w.open('{');
+                    w.field("hits", &g.hits.to_string());
+                    w.field("misses", &g.misses.to_string());
+                    w.field("bytes", &g.bytes.to_string());
+                    w.field("events", &g.events.to_string());
+                    w.field("record_ns", &g.record_ns.to_string());
+                    w.close('}');
+                }
+                w.close('}');
+                w.close('}');
+            }
+        }
+        w.close('}');
+        w.finish()
+    }
+
+    /// Write the manifest to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from directory creation or the write.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A tiny indenting JSON emitter: the manifest has enough nesting that
+/// raw `format!` strings (the [`crate::report`] idiom) stop being
+/// readable, but the output stays a plain `String`.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    need_comma: bool,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            need_comma: false,
+        }
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        if self.indent > 0 {
+            self.newline();
+        }
+    }
+
+    fn open(&mut self, bracket: char) {
+        // After a `key(...)` the cursor sits right past `": "`; only a
+        // bare container (array element) needs comma/newline handling.
+        if !self.out.ends_with(": ") {
+            self.pre_value();
+        }
+        self.out.push(bracket);
+        self.indent += 1;
+        self.need_comma = false;
+    }
+
+    fn close(&mut self, bracket: char) {
+        self.indent -= 1;
+        if self.need_comma {
+            self.newline();
+        }
+        self.out.push(bracket);
+        self.need_comma = true;
+    }
+
+    fn key(&mut self, name: &str) {
+        self.pre_value();
+        self.out.push_str(&json_str(name));
+        self.out.push_str(": ");
+        self.need_comma = false;
+    }
+
+    fn raw(&mut self, value: &str) {
+        self.out.push_str(value);
+        self.need_comma = true;
+    }
+
+    fn field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.raw(value);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+/// Validate a serialized manifest: schema identifier, required
+/// structure, non-negative integer counters, and the cross-field
+/// invariants the instrumentation guarantees (each phase's histogram
+/// sums to its span count; the GC pause-phase counts equal the GC
+/// collection counters; per-schedule engine runs sum to total runs).
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_manifest(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let root = doc.as_obj().ok_or("manifest: root is not an object")?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("manifest: missing schema string")?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!(
+            "manifest: schema '{schema}' is not '{MANIFEST_SCHEMA}'"
+        ));
+    }
+    let experiment = root
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("manifest: missing experiment string")?;
+    if experiment.is_empty() {
+        return Err("manifest: experiment name is empty".into());
+    }
+    let config = root.get("config").ok_or("manifest: missing config")?;
+    for key in ["scale", "jobs"] {
+        config
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("manifest: config.{key} is not a non-negative integer"))?;
+    }
+    for key in ["schedule", "trace_cache"] {
+        config
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("manifest: config.{key} is not a string"))?;
+    }
+
+    let counters = root
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("manifest: missing counters object")?;
+    for c in Counter::ALL {
+        counters
+            .get(c.name())
+            .and_then(Json::as_u64)
+            .ok_or_else(|| {
+                format!(
+                    "manifest: counter '{}' missing or not a non-negative integer",
+                    c.name()
+                )
+            })?;
+    }
+
+    let phases = root
+        .get("phases")
+        .and_then(Json::as_obj)
+        .ok_or("manifest: missing phases object")?;
+    for (name, phase) in phases {
+        let count = phase
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("manifest: phase '{name}' has no count"))?;
+        for key in ["wall_ns", "cpu_ns"] {
+            phase.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                format!("manifest: phase '{name}'.{key} is not a non-negative integer")
+            })?;
+        }
+        let hist = phase
+            .get("hist")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("manifest: phase '{name}' has no hist"))?;
+        let mut sum = 0u64;
+        for (bucket, v) in hist {
+            let b: usize = bucket
+                .parse()
+                .map_err(|_| format!("manifest: phase '{name}' hist bucket '{bucket}'"))?;
+            if b >= BUCKETS {
+                return Err(format!(
+                    "manifest: phase '{name}' hist bucket {b} out of range"
+                ));
+            }
+            sum += v.as_u64().ok_or_else(|| {
+                format!("manifest: phase '{name}' hist value for bucket {bucket}")
+            })?;
+        }
+        if sum != count {
+            return Err(format!(
+                "manifest: phase '{name}' hist sums to {sum}, count is {count}"
+            ));
+        }
+    }
+
+    // The GC probes count and time each pause at the same site, so the
+    // phase counts and the collection counters must agree exactly.
+    for (phase_name, counter) in [
+        ("gc_minor", Counter::GcMinorCollections),
+        ("gc_major", Counter::GcMajorCollections),
+    ] {
+        let collections = counters.get(counter.name()).and_then(Json::as_u64).unwrap();
+        let spans = phases
+            .get(phase_name)
+            .and_then(|p| p.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if collections != spans {
+            return Err(format!(
+                "manifest: {} = {collections} but phase '{phase_name}' recorded {spans} pauses",
+                counter.name()
+            ));
+        }
+    }
+
+    let engine = root.get("engine").ok_or("manifest: missing engine")?;
+    for key in [
+        "runs",
+        "chunks_published",
+        "events_published",
+        "backpressure_ns",
+        "queue_depth_hwm",
+    ] {
+        engine
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("manifest: engine.{key} is not a non-negative integer"))?;
+    }
+    let runs = engine.get("runs").and_then(Json::as_u64).unwrap();
+    let by_schedule = engine
+        .get("by_schedule")
+        .and_then(Json::as_obj)
+        .ok_or("manifest: missing engine.by_schedule")?;
+    let schedule_runs: u64 = by_schedule.values().map(|v| v.as_u64().unwrap_or(0)).sum();
+    if schedule_runs != runs {
+        return Err(format!(
+            "manifest: engine runs {runs} != per-schedule sum {schedule_runs}"
+        ));
+    }
+    let workers = engine
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("manifest: missing engine.workers")?;
+    for (i, worker) in workers.iter().enumerate() {
+        for key in ["runs", "events", "chunks", "steals", "idle_ns"] {
+            worker.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                format!("manifest: engine.workers[{i}].{key} is not a non-negative integer")
+            })?;
+        }
+    }
+
+    match root.get("store") {
+        None => return Err("manifest: missing store field".into()),
+        Some(Json::Null) => {}
+        Some(store) => {
+            for key in [
+                "hits",
+                "misses",
+                "over_budget",
+                "entries",
+                "bytes",
+                "events",
+            ] {
+                store.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("manifest: store.{key} is not a non-negative integer")
+                })?;
+            }
+            let scenarios = store
+                .get("scenarios")
+                .and_then(Json::as_obj)
+                .ok_or("manifest: missing store.scenarios")?;
+            for (label, g) in scenarios {
+                for key in ["hits", "misses", "bytes", "events", "record_ns"] {
+                    g.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("manifest: store scenario '{label}'.{key}"))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_config() -> ManifestConfig {
+        ManifestConfig {
+            experiment: "e4_write_policy".into(),
+            scale: 1,
+            jobs: 2,
+            schedule: "work-stealing".into(),
+            trace_cache: "4294967296".into(),
+        }
+    }
+
+    #[test]
+    fn empty_run_manifest_round_trips_validation() {
+        let telemetry = Arc::new(Telemetry::new());
+        let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
+        let json = m.to_json();
+        validate_manifest(&json).unwrap();
+        assert!(json.contains("\"schema\": \"cachegc-manifest-v1\""));
+        assert!(json.contains("\"store\": null"));
+    }
+
+    #[test]
+    fn populated_manifest_validates_and_carries_the_data() {
+        let telemetry = Arc::new(Telemetry::new());
+        {
+            let _guard = telemetry.attach();
+            probe::count(Counter::VmRuns, 2);
+            probe::count(Counter::GcMinorCollections, 3);
+            for _ in 0..3 {
+                drop(probe::phase("gc_minor"));
+            }
+            drop(probe::phase_cpu("vm_execute"));
+        }
+        telemetry.record_engine(&EngineReport {
+            schedule: "work-stealing",
+            jobs: 2,
+            sinks: 4,
+            chunks_published: 8,
+            events_published: 640,
+            backpressure_ns: 5,
+            queue_depth_hwm: 3,
+            workers: vec![WorkerStats::default(); 2],
+        });
+        let store = TraceStore::unbounded();
+        store.lookup(cachegc_workloads::Workload::Rewrite.scaled(1), None);
+        let m = Manifest::gather(sample_config(), &telemetry.snapshot(), Some(&store));
+        let json = m.to_json();
+        validate_manifest(&json).unwrap();
+        assert!(json.contains("\"vm_runs\": 2"));
+        assert!(json.contains("\"gc_minor\""));
+        assert!(json.contains("\"events_published\": 640"));
+        assert!(json.contains("\"rewrite@1\""));
+    }
+
+    #[test]
+    fn validation_rejects_corruption() {
+        let telemetry = Arc::new(Telemetry::new());
+        {
+            let _guard = telemetry.attach();
+            probe::count(Counter::GcMinorCollections, 1);
+        }
+        let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
+        let good = m.to_json();
+        // A collection counter with no matching pause phase.
+        let err = validate_manifest(&good).unwrap_err();
+        assert!(err.contains("gc_minor"), "{err}");
+        // Wrong schema.
+        let bad = good.replace("cachegc-manifest-v1", "cachegc-manifest-v0");
+        assert!(validate_manifest(&bad).unwrap_err().contains("schema"));
+        // Not JSON at all.
+        assert!(validate_manifest("{nope").is_err());
+        // A negative counter.
+        let m2 = Manifest::gather(
+            sample_config(),
+            &Arc::new(Telemetry::new()).snapshot(),
+            None,
+        );
+        let bad = m2.to_json().replace("\"vm_runs\": 0", "\"vm_runs\": -1");
+        assert!(validate_manifest(&bad).unwrap_err().contains("vm_runs"));
+        // A missing counter key.
+        let bad = m2.to_json().replace("\"vm_runs\": 0,", "");
+        assert!(validate_manifest(&bad).unwrap_err().contains("vm_runs"));
+    }
+
+    #[test]
+    fn progress_lines_go_to_the_injected_writer() {
+        use std::io;
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<StdMutex<Vec<u8>>>);
+        impl io::Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let progress = Progress::to_writer("e1_cache_grid", 3, Box::new(buf.clone()));
+        let store = TraceStore::unbounded();
+        progress.tick(None);
+        progress.tick(Some(&store));
+        assert_eq!(progress.completed(), 2);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("[e1_cache_grid] pass 1/3 done"));
+        assert!(!lines[0].contains("store:"), "no store, no store column");
+        assert!(lines[1].starts_with("[e1_cache_grid] pass 2/3 done"));
+        assert!(lines[1].contains("store: 0 hits, 0 misses"));
+    }
+}

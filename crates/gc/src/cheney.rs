@@ -1,6 +1,7 @@
 //! The Cheney semispace compacting collector (§6).
 
 use cachegc_heap::{Heap, HeapConfig};
+use cachegc_telemetry::{probe, Counter};
 use cachegc_trace::{Counters, InstrClass, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE};
 
 use crate::copier::{costs, Evac, ToSpace};
@@ -61,6 +62,7 @@ impl Collector for CheneyCollector {
         counters: &mut Counters,
         sink: &mut S,
     ) {
+        let _pause = probe::phase("gc_major");
         counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
         let (from_base, from_top, _) = heap.alloc_region();
         let to_base = if self.in_first {
@@ -100,6 +102,8 @@ impl Collector for CheneyCollector {
         self.stats.collections += 1;
         self.stats.major_collections += 1;
         self.stats.bytes_copied += live as u64;
+        cachegc_telemetry::probe!(Counter::GcMajorCollections);
+        cachegc_telemetry::probe!(Counter::GcBytesCopied, live as u64);
     }
 
     fn stats(&self) -> &GcStats {

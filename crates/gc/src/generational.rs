@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use cachegc_heap::{Heap, Value, DYNAMIC_THIRD_BASE};
+use cachegc_telemetry::{probe, Counter};
 use cachegc_trace::{Counters, InstrClass, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE};
 
 use crate::copier::{costs, Evac, ToSpace};
@@ -105,6 +106,7 @@ impl GenerationalCollector {
         counters: &mut Counters,
         sink: &mut S,
     ) {
+        let _pause = probe::phase("gc_minor");
         counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
         let (nursery_base, nursery_top, _) = heap.alloc_region();
         let old_base = self.old_base();
@@ -149,6 +151,9 @@ impl GenerationalCollector {
         self.stats.minor_collections += 1;
         self.stats.bytes_copied += promoted as u64;
         self.stats.bytes_promoted += promoted as u64;
+        cachegc_telemetry::probe!(Counter::GcMinorCollections);
+        cachegc_telemetry::probe!(Counter::GcBytesCopied, promoted as u64);
+        cachegc_telemetry::probe!(Counter::GcBytesPromoted, promoted as u64);
     }
 
     fn major<S: TraceSink>(
@@ -158,6 +163,7 @@ impl GenerationalCollector {
         counters: &mut Counters,
         sink: &mut S,
     ) {
+        let _pause = probe::phase("gc_major");
         counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
         let from_base = self.old_base();
         let to_base = if self.old_in_first {
@@ -194,6 +200,8 @@ impl GenerationalCollector {
         self.stats.collections += 1;
         self.stats.major_collections += 1;
         self.stats.bytes_copied += live as u64;
+        cachegc_telemetry::probe!(Counter::GcMajorCollections);
+        cachegc_telemetry::probe!(Counter::GcBytesCopied, live as u64);
     }
 }
 

@@ -1,0 +1,159 @@
+//! Engine observability: what a `ParallelFanout` run reports about its
+//! workers.
+//!
+//! The engine cannot use the thread-local probe shards — its round-robin
+//! workers are plain spawned threads with closures that outlive the caller
+//! — so each worker keeps a private [`WorkerStats`] and hands it back at
+//! join time. The fanout assembles one [`EngineReport`] per run and feeds
+//! it to [`Telemetry::record_engine`](crate::Telemetry::record_engine),
+//! which folds it into bounded [`EngineTotals`] (per-worker sums, never a
+//! per-run log, so a ten-thousand-pass sweep stays O(workers)).
+
+use std::collections::BTreeMap;
+
+/// One worker thread's private counters for one engine run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Sink-events applied: every `(event, sink)` pair this worker drove.
+    pub events: u64,
+    /// Chunks replayed (per sink under work-stealing, per shard under
+    /// round-robin).
+    pub chunks: u64,
+    /// Work-stealing task claims (0 under round-robin, where assignment
+    /// is static).
+    pub steals: u64,
+    /// Time spent waiting for work (blocked on the channel or the steal
+    /// queue's condvar).
+    pub idle_ns: u64,
+}
+
+impl WorkerStats {
+    /// Add `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.events += other.events;
+        self.chunks += other.chunks;
+        self.steals += other.steals;
+        self.idle_ns += other.idle_ns;
+    }
+}
+
+/// Everything one `ParallelFanout` run observed about itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Schedule name (`round-robin` / `work-stealing`).
+    pub schedule: &'static str,
+    /// Worker threads in the run.
+    pub jobs: usize,
+    /// Sinks the run drove.
+    pub sinks: usize,
+    /// Chunks the producer published.
+    pub chunks_published: u64,
+    /// Events the producer published (per-stream, not per-sink).
+    pub events_published: u64,
+    /// Time the producer spent blocked on backpressure (full channel or
+    /// full steal window).
+    pub backpressure_ns: u64,
+    /// High-water mark of unconsumed chunks queued for any one worker
+    /// (round-robin) or in the steal window (work-stealing).
+    pub queue_depth_hwm: u64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// A worker slot's totals across every observed engine run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerTotals {
+    /// Engine runs this worker slot participated in.
+    pub runs: u64,
+    /// Summed per-run counters.
+    pub stats: WorkerStats,
+}
+
+/// Bounded aggregate of every [`EngineReport`] a run produced.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Engine runs observed.
+    pub runs: u64,
+    /// Total chunks published across runs.
+    pub chunks_published: u64,
+    /// Total events published across runs.
+    pub events_published: u64,
+    /// Total producer backpressure time across runs.
+    pub backpressure_ns: u64,
+    /// Maximum queue depth seen in any run.
+    pub queue_depth_hwm: u64,
+    /// Runs per schedule name.
+    pub by_schedule: BTreeMap<&'static str, u64>,
+    /// Per-worker-slot totals; slot `i` aggregates worker `i` of every
+    /// run that had at least `i + 1` workers.
+    pub workers: Vec<WorkerTotals>,
+}
+
+impl EngineTotals {
+    /// Fold one run's report into the totals.
+    pub fn absorb(&mut self, report: &EngineReport) {
+        self.runs += 1;
+        self.chunks_published += report.chunks_published;
+        self.events_published += report.events_published;
+        self.backpressure_ns += report.backpressure_ns;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(report.queue_depth_hwm);
+        *self.by_schedule.entry(report.schedule).or_insert(0) += 1;
+        if self.workers.len() < report.workers.len() {
+            self.workers
+                .resize(report.workers.len(), WorkerTotals::default());
+        }
+        for (slot, stats) in self.workers.iter_mut().zip(&report.workers) {
+            slot.runs += 1;
+            slot.stats.merge(stats);
+        }
+    }
+
+    /// Sink-events applied across all runs and workers.
+    pub fn events_applied(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.events).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(jobs: usize, events: u64) -> EngineReport {
+        EngineReport {
+            schedule: "round-robin",
+            jobs,
+            sinks: 4,
+            chunks_published: 10,
+            events_published: events,
+            backpressure_ns: 5,
+            queue_depth_hwm: 3,
+            workers: (0..jobs)
+                .map(|i| WorkerStats {
+                    events: events * (i as u64 + 1),
+                    chunks: 10,
+                    steals: 0,
+                    idle_ns: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_absorb_reports_of_mixed_width() {
+        let mut t = EngineTotals::default();
+        t.absorb(&report(2, 100));
+        t.absorb(&report(3, 10));
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.chunks_published, 20);
+        assert_eq!(t.events_published, 110);
+        assert_eq!(t.queue_depth_hwm, 3);
+        assert_eq!(t.by_schedule["round-robin"], 2);
+        assert_eq!(t.workers.len(), 3);
+        // Slot 0 saw both runs, slot 2 only the wider one.
+        assert_eq!(t.workers[0].runs, 2);
+        assert_eq!(t.workers[0].stats.events, 110);
+        assert_eq!(t.workers[2].runs, 1);
+        assert_eq!(t.workers[2].stats.events, 30);
+        assert_eq!(t.events_applied(), 110 + 220 + 30);
+    }
+}

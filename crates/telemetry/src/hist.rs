@@ -1,0 +1,110 @@
+//! Log-scale duration histograms for GC pauses and phase spans.
+
+/// Number of log2 buckets. Bucket `i` covers `[2^i, 2^(i+1))` nanoseconds
+/// (bucket 0 also absorbs 0 ns); the last bucket absorbs everything from
+/// `2^(BUCKETS-1)` ns (~2.3 s) up.
+pub const BUCKETS: usize = 32;
+
+/// A histogram of durations in log2-nanosecond buckets.
+///
+/// Fixed-size and allocation-free so per-thread shards can carry one per
+/// phase; sums of histograms are themselves histograms, which is what makes
+/// the per-worker-shard merge exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauseHist {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for PauseHist {
+    fn default() -> Self {
+        PauseHist {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl PauseHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which bucket a span of `ns` nanoseconds lands in.
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Record one span.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// Add every count from `other` into `self`.
+    pub fn merge(&mut self, other: &PauseHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Total spans recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// The raw bucket counts; index `i` counts spans in `[2^i, 2^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Non-empty buckets as `(log2_ns, count)` pairs, ascending — the
+    /// manifest serialization.
+    pub fn sparse(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(PauseHist::bucket_of(0), 0);
+        assert_eq!(PauseHist::bucket_of(1), 0);
+        assert_eq!(PauseHist::bucket_of(2), 1);
+        assert_eq!(PauseHist::bucket_of(3), 1);
+        assert_eq!(PauseHist::bucket_of(4), 2);
+        assert_eq!(PauseHist::bucket_of(1023), 9);
+        assert_eq!(PauseHist::bucket_of(1024), 10);
+        assert_eq!(PauseHist::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_merge_and_count() {
+        let mut a = PauseHist::new();
+        a.record(100);
+        a.record(100);
+        a.record(1 << 20);
+        let mut b = PauseHist::new();
+        b.record(100);
+        b.merge(&a);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.sparse(), vec![(6, 3), (20, 1)]);
+        assert!(PauseHist::new().is_empty());
+        assert!(!b.is_empty());
+    }
+}

@@ -45,12 +45,20 @@
 //! them when every task has claimed them.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cachegc_telemetry::{EngineReport, Telemetry, WorkerStats};
 
 use crate::event::Access;
 use crate::sink::TraceSink;
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Default events buffered before a chunk is broadcast to the workers.
 ///
@@ -156,18 +164,30 @@ pub struct ParallelFanout<S> {
     buf: Vec<Access>,
     chunk_events: usize,
     total_sinks: usize,
+    schedule: Schedule,
+    /// Where the end-of-run [`EngineReport`] goes, if anyone is watching.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Producer-side observability, reported through `telemetry` at
+    /// [`ParallelFanout::into_sinks`] time.
+    chunks_published: u64,
+    events_published: u64,
+    backpressure_ns: u64,
+    queue_depth_hwm: u64,
     backend: Backend<S>,
 }
 
 enum Backend<S> {
     RoundRobin {
         txs: Vec<SyncSender<Arc<Vec<Access>>>>,
+        /// Chunks each worker has finished, for producer-side queue-depth
+        /// tracking (`published - consumed[i]` is worker `i`'s backlog).
+        consumed: Vec<Arc<AtomicU64>>,
         recycle_rx: Receiver<Vec<Access>>,
-        handles: Vec<JoinHandle<Vec<S>>>,
+        handles: Vec<JoinHandle<(Vec<S>, WorkerStats)>>,
     },
     Stealing {
         shared: Arc<StealShared<S>>,
-        handles: Vec<JoinHandle<()>>,
+        handles: Vec<JoinHandle<WorkerStats>>,
     },
 }
 
@@ -191,6 +211,22 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
     ///
     /// Panics if `engine.chunk_events` is zero.
     pub fn with_engine(sinks: Vec<S>, engine: &EngineConfig) -> Self {
+        Self::with_engine_observed(sinks, engine, None)
+    }
+
+    /// As [`ParallelFanout::with_engine`], reporting an [`EngineReport`]
+    /// (per-worker events/chunks/steals, idle and backpressure time, queue
+    /// depth high-water mark) into `telemetry` when the run completes at
+    /// [`ParallelFanout::into_sinks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine.chunk_events` is zero.
+    pub fn with_engine_observed(
+        sinks: Vec<S>,
+        engine: &EngineConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Self {
         assert!(engine.chunk_events > 0, "chunk size must be positive");
         let jobs = engine.jobs.max(1).min(sinks.len().max(1));
         let total_sinks = sinks.len();
@@ -202,6 +238,12 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
             buf: Vec::with_capacity(engine.chunk_events),
             chunk_events: engine.chunk_events,
             total_sinks,
+            schedule: engine.schedule,
+            telemetry,
+            chunks_published: 0,
+            events_published: 0,
+            backpressure_ns: 0,
+            queue_depth_hwm: 0,
             backend,
         }
     }
@@ -215,13 +257,22 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
 
         let (recycle_tx, recycle_rx) = channel::<Vec<Access>>();
         let mut txs = Vec::with_capacity(jobs);
+        let mut consumed = Vec::with_capacity(jobs);
         let mut handles = Vec::with_capacity(jobs);
         for mut shard in shards {
             let (tx, rx) = sync_channel::<Arc<Vec<Access>>>(CHANNEL_DEPTH);
             let recycle: Sender<Vec<Access>> = recycle_tx.clone();
+            let done = Arc::new(AtomicU64::new(0));
             txs.push(tx);
+            consumed.push(Arc::clone(&done));
             handles.push(std::thread::spawn(move || {
-                while let Ok(chunk) = rx.recv() {
+                let mut stats = WorkerStats::default();
+                loop {
+                    let wait = Instant::now();
+                    let Ok(chunk) = rx.recv() else { break };
+                    stats.idle_ns += dur_ns(wait.elapsed());
+                    stats.chunks += 1;
+                    stats.events += (chunk.len() * shard.len()) as u64;
                     // Sink-major replay: one sink's tag/valid arrays stay
                     // hot while it consumes the whole chunk.
                     for sink in &mut shard {
@@ -229,17 +280,19 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
                             sink.access(access);
                         }
                     }
+                    done.fetch_add(1, Ordering::Relaxed);
                     // Last owner reclaims the buffer for the producer.
                     if let Ok(mut buf) = Arc::try_unwrap(chunk) {
                         buf.clear();
                         let _ = recycle.send(buf);
                     }
                 }
-                shard
+                (shard, stats)
             }));
         }
         Backend::RoundRobin {
             txs,
+            consumed,
             recycle_rx,
             handles,
         }
@@ -301,23 +354,38 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
         if self.buf.is_empty() {
             return;
         }
+        self.chunks_published += 1;
+        self.events_published += self.buf.len() as u64;
         match &mut self.backend {
             Backend::RoundRobin {
-                txs, recycle_rx, ..
+                txs,
+                consumed,
+                recycle_rx,
+                ..
             } => {
                 let next = recycle_rx
                     .try_recv()
                     .unwrap_or_else(|_| Vec::with_capacity(self.chunk_events));
                 let chunk = Arc::new(std::mem::replace(&mut self.buf, next));
-                for tx in txs.iter() {
-                    // A worker can only be gone if it panicked; surface that
+                for (tx, done) in txs.iter().zip(consumed.iter()) {
+                    // A send that finds the channel full is backpressure:
+                    // the producer stalls until the worker catches up. A
+                    // worker can only be gone if it panicked; surface that
                     // at join time in `into_sinks` rather than here.
+                    let t0 = Instant::now();
                     let _ = tx.send(Arc::clone(&chunk));
+                    self.backpressure_ns += dur_ns(t0.elapsed());
+                    let backlog = self
+                        .chunks_published
+                        .saturating_sub(done.load(Ordering::Relaxed));
+                    self.queue_depth_hwm = self.queue_depth_hwm.max(backlog);
                 }
             }
             Backend::Stealing { shared, .. } => {
                 let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_events));
-                shared.publish(chunk);
+                let (wait_ns, depth) = shared.publish(chunk);
+                self.backpressure_ns += wait_ns;
+                self.queue_depth_hwm = self.queue_depth_hwm.max(depth as u64);
             }
         }
     }
@@ -330,21 +398,23 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
     /// Propagates a panic from any worker thread.
     pub fn into_sinks(mut self) -> Vec<S> {
         self.flush();
-        match &mut self.backend {
+        let (sinks, workers) = match &mut self.backend {
             Backend::RoundRobin { txs, handles, .. } => {
                 txs.clear(); // close the channels; workers drain and exit
                 let jobs = handles.len();
+                let mut workers = Vec::with_capacity(jobs);
                 let mut shards: Vec<std::vec::IntoIter<S>> = handles
                     .drain(..)
                     .map(|h| {
-                        h.join()
-                            .expect("parallel fanout worker panicked")
-                            .into_iter()
+                        let (shard, stats) = h.join().expect("parallel fanout worker panicked");
+                        workers.push(stats);
+                        shard.into_iter()
                     })
                     .collect();
-                (0..self.total_sinks)
+                let sinks = (0..self.total_sinks)
                     .map(|i| shards[i % jobs].next().expect("shard sizes consistent"))
-                    .collect()
+                    .collect();
+                (sinks, workers)
             }
             Backend::Stealing { shared, handles } => {
                 {
@@ -352,9 +422,10 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
                     st.done = true;
                     shared.work.notify_all();
                 }
-                for h in handles.drain(..) {
-                    h.join().expect("parallel fanout worker panicked");
-                }
+                let workers = handles
+                    .drain(..)
+                    .map(|h| h.join().expect("parallel fanout worker panicked"))
+                    .collect();
                 let mut st = shared.state.lock().expect("steal state poisoned");
                 assert!(
                     st.finished.len() == st.n_tasks,
@@ -362,9 +433,22 @@ impl<S: TraceSink + Send + 'static> ParallelFanout<S> {
                 );
                 let mut tasks = std::mem::take(&mut st.finished);
                 tasks.sort_by_key(|t| t.index);
-                tasks.into_iter().map(|t| t.sink).collect()
+                (tasks.into_iter().map(|t| t.sink).collect(), workers)
             }
+        };
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_engine(&EngineReport {
+                schedule: self.schedule.name(),
+                jobs: workers.len(),
+                sinks: self.total_sinks,
+                chunks_published: self.chunks_published,
+                events_published: self.events_published,
+                backpressure_ns: self.backpressure_ns,
+                queue_depth_hwm: self.queue_depth_hwm,
+                workers,
+            });
         }
+        sinks
     }
 }
 
@@ -418,21 +502,30 @@ struct StealShared<S> {
 }
 
 impl<S> StealShared<S> {
-    fn publish(&self, chunk: Vec<Access>) {
+    /// Publish a chunk; returns `(wait_ns, depth)` — how long the
+    /// producer blocked on window space and the window's occupancy after
+    /// the push (its queue depth).
+    fn publish(&self, chunk: Vec<Access>) -> (u64, usize) {
         let mut st = self.state.lock().expect("steal state poisoned");
         if st.n_tasks == 0 {
-            return;
+            return (0, 0);
         }
-        while st.window.len() >= STEAL_WINDOW && !st.poisoned {
-            st = self.space.wait(st).expect("steal state poisoned");
+        let mut wait_ns = 0;
+        if st.window.len() >= STEAL_WINDOW && !st.poisoned {
+            let t0 = Instant::now();
+            while st.window.len() >= STEAL_WINDOW && !st.poisoned {
+                st = self.space.wait(st).expect("steal state poisoned");
+            }
+            wait_ns = dur_ns(t0.elapsed());
         }
         if st.poisoned {
-            return; // shutdown path; the panic surfaces at join time
+            return (wait_ns, 0); // shutdown; the panic surfaces at join time
         }
         let claims = st.n_tasks;
         st.window.push_back((Arc::new(chunk), claims));
         st.published += 1;
         self.work.notify_all();
+        (wait_ns, st.window.len())
     }
 }
 
@@ -455,11 +548,12 @@ impl<S> Drop for PoisonOnPanic<'_, S> {
     }
 }
 
-fn steal_worker<S: TraceSink>(shared: &StealShared<S>) {
+fn steal_worker<S: TraceSink>(shared: &StealShared<S>) -> WorkerStats {
+    let mut stats = WorkerStats::default();
     let mut st = shared.state.lock().expect("steal state poisoned");
     loop {
         if st.poisoned {
-            return;
+            return stats;
         }
         // Claim a task with unconsumed chunks.
         if let Some(pos) = st.ready.iter().position(|t| t.next < st.published) {
@@ -485,7 +579,10 @@ fn steal_worker<S: TraceSink>(shared: &StealShared<S>) {
                 shared,
                 armed: true,
             };
+            stats.steals += 1;
+            stats.chunks += chunks.len() as u64;
             for chunk in &chunks {
+                stats.events += chunk.len() as u64;
                 for &access in chunk.iter() {
                     task.sink.access(access);
                 }
@@ -519,10 +616,12 @@ fn steal_worker<S: TraceSink>(shared: &StealShared<S>) {
             }
             if st.finished.len() == st.n_tasks {
                 shared.work.notify_all();
-                return;
+                return stats;
             }
         }
+        let t0 = Instant::now();
         st = shared.work.wait(st).expect("steal state poisoned");
+        stats.idle_ns += dur_ns(t0.elapsed());
     }
 }
 
@@ -647,6 +746,55 @@ mod tests {
         }
         let out = par.into_sinks();
         assert!(out.iter().all(|c| c.total() == u64::from(n)));
+    }
+
+    #[test]
+    fn observed_run_reports_complete_worker_accounting() {
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let telemetry = Arc::new(Telemetry::new());
+            let engine = EngineConfig::jobs(3).with_chunk(64).with_schedule(schedule);
+            let mut par = ParallelFanout::with_engine_observed(
+                vec![RefCounter::new(); 5],
+                &engine,
+                Some(Arc::clone(&telemetry)),
+            );
+            let n = 1000u64;
+            for a in stream(n as u32) {
+                par.access(a);
+            }
+            let sinks = par.into_sinks();
+            assert!(sinks.iter().all(|c| c.total() == n));
+            let snap = telemetry.snapshot();
+            let e = &snap.engine;
+            assert_eq!(e.runs, 1, "{schedule:?}");
+            assert_eq!(e.events_published, n);
+            assert_eq!(e.chunks_published, n.div_ceil(64));
+            assert_eq!(e.by_schedule[schedule.name()], 1);
+            assert_eq!(e.workers.len(), 3);
+            // Every (event, sink) pair is applied by exactly one worker.
+            assert_eq!(e.events_applied(), n * 5, "{schedule:?}");
+            let chunks: u64 = e.workers.iter().map(|w| w.stats.chunks).sum();
+            match schedule {
+                // Round-robin: every worker replays every chunk for its shard.
+                Schedule::RoundRobin => assert_eq!(chunks, e.chunks_published * 3),
+                // Stealing: each of the 5 tasks consumes every chunk once.
+                Schedule::WorkStealing => {
+                    assert_eq!(chunks, e.chunks_published * 5);
+                    assert!(e.workers.iter().map(|w| w.stats.steals).sum::<u64>() >= 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unobserved_run_reports_nothing() {
+        let telemetry = Arc::new(Telemetry::new());
+        let mut par = ParallelFanout::new(vec![RefCounter::new(); 2], 2);
+        for a in stream(10) {
+            par.access(a);
+        }
+        par.into_sinks();
+        assert_eq!(telemetry.snapshot().engine.runs, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use cachegc_gc::{Collector, GcStats, Roots};
 use cachegc_heap::{AllocMode, Heap, HeapConfig, ObjKind, Value};
+use cachegc_telemetry::{probe, Counter};
 use cachegc_trace::{
     Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, STACK_BASE, STATIC_BASE,
 };
@@ -355,6 +356,7 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
         if self.heap.dynamic_free() >= bytes {
             return Ok(());
         }
+        probe!(Counter::VmGcTriggers);
         self.collect_garbage();
         if self.heap.dynamic_free() < bytes {
             return Err(VmError::OutOfMemory(format!(
@@ -385,18 +387,21 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
 
     /// Allocate, assuming [`Machine::ensure_free`] was called.
     pub(crate) fn alloc(&mut self, kind: ObjKind, payload: &[Value]) -> Result<Value, VmError> {
+        probe!(Counter::VmAllocs);
         self.heap
             .alloc(kind, payload, M, &mut self.sink)
             .map_err(|e| VmError::OutOfMemory(e.to_string()))
     }
 
     pub(crate) fn alloc_flonum(&mut self, x: f64) -> Result<Value, VmError> {
+        probe!(Counter::VmAllocs);
         self.heap
             .alloc_flonum(x, M, &mut self.sink)
             .map_err(|e| VmError::OutOfMemory(e.to_string()))
     }
 
     pub(crate) fn alloc_vector_vm(&mut self, len: u32, fill: Value) -> Result<Value, VmError> {
+        probe!(Counter::VmAllocs);
         self.heap
             .alloc_vector(len, fill, M, &mut self.sink)
             .map_err(|e| VmError::OutOfMemory(e.to_string()))

@@ -16,6 +16,7 @@
 //! * [`workloads`] — the five test programs and synthetic trace generators.
 //! * [`analysis`] — block lifetimes, allocation cycles, cache activity.
 //! * [`core`] — the experiment harness: overheads, runs, report tables.
+//! * [`telemetry`] — counters, phase timers, and engine observability.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use cachegc_core as core;
 pub use cachegc_gc as gc;
 pub use cachegc_heap as heap;
 pub use cachegc_sim as sim;
+pub use cachegc_telemetry as telemetry;
 pub use cachegc_trace as trace;
 pub use cachegc_vm as vm;
 pub use cachegc_workloads as workloads;

@@ -1,0 +1,236 @@
+//! Telemetry integration tests: the instrumentation must be *invisible*
+//! to every result — identical simulator statistics with probes on or
+//! off, on every driver path (live, record, replay), both schedules, one
+//! worker and several — while the merged counters agree with the
+//! [`RunStats`](cachegc::vm::RunStats) oracle the VM returns anyway.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use cachegc::core::{
+    run_sinks_ctx, validate_manifest, CollectorSpec, EngineConfig, Manifest, ManifestConfig,
+    Progress, RunCtx, Schedule, Telemetry, TraceStore,
+};
+use cachegc::sim::{Cache, CacheConfig};
+use cachegc::telemetry::Counter;
+use cachegc::trace::RefCounter;
+use cachegc::workloads::Workload;
+
+fn grid() -> Vec<Cache> {
+    [32 << 10, 128 << 10]
+        .into_iter()
+        .map(|size| Cache::new(CacheConfig::direct_mapped(size, 64)))
+        .collect()
+}
+
+fn spec() -> Option<CollectorSpec> {
+    Some(CollectorSpec::Cheney {
+        semispace_bytes: 1 << 20,
+    })
+}
+
+/// Run the live (no store), record (store miss), and replay (store hit)
+/// paths in order and return every cache's statistics.
+fn three_paths(
+    engine: EngineConfig,
+    telemetry: Option<&Arc<Telemetry>>,
+) -> Vec<cachegc::sim::CacheStats> {
+    let w = Workload::Rewrite.scaled(1);
+    let store = TraceStore::unbounded();
+    let mut out = Vec::new();
+    for pass in 0..3 {
+        let mut ctx = RunCtx::new(engine);
+        if pass > 0 {
+            ctx = ctx.with_store(&store);
+        }
+        if let Some(telemetry) = telemetry {
+            ctx = ctx.with_telemetry(telemetry);
+        }
+        let (_, caches) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+        out.extend(caches.iter().map(|c| c.stats().clone()));
+    }
+    assert_eq!(store.stats().misses, 1, "pass 1 recorded");
+    assert_eq!(store.stats().hits, 1, "pass 2 replayed");
+    out
+}
+
+#[test]
+fn telemetry_is_invisible_to_results() {
+    let oracle = three_paths(EngineConfig::jobs(1), None);
+    assert!(oracle[0].fetches() > 0, "the workload touched the caches");
+    for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+        for jobs in [1, 3] {
+            let engine = EngineConfig::jobs(jobs).with_schedule(schedule);
+            let telemetry = Arc::new(Telemetry::new());
+            let with = three_paths(engine, Some(&telemetry));
+            // Equality with the probe-free sequential oracle is the
+            // on/off identity and the engine determinism property at
+            // once (the engine is bit-identical to the oracle by the
+            // properties in tests/properties.rs).
+            assert_eq!(
+                with, oracle,
+                "telemetry perturbed results at jobs {jobs}, {schedule:?}"
+            );
+            // The instrumented run actually observed something.
+            let snap = telemetry.snapshot();
+            assert_eq!(snap.counter(Counter::VmRuns), 2, "live + record");
+            assert!(snap.engine.runs > 0, "engine block populated");
+        }
+    }
+}
+
+#[test]
+fn merged_counters_match_the_run_stats_oracle() {
+    let w = Workload::Rewrite.scaled(1);
+    let telemetry = Arc::new(Telemetry::new());
+    let store = TraceStore::unbounded();
+    let engine = EngineConfig::jobs(3).with_schedule(Schedule::WorkStealing);
+    let ctx = RunCtx::new(engine)
+        .with_store(&store)
+        .with_telemetry(&telemetry);
+
+    let tallies = vec![RefCounter::new(), RefCounter::new(), RefCounter::new()];
+    let (stats, tallies) = run_sinks_ctx(w, spec(), tallies, &ctx).unwrap();
+    let (replay_stats, _) = run_sinks_ctx(w, spec(), vec![RefCounter::new()], &ctx).unwrap();
+    assert_eq!(
+        stats.gc.collections, replay_stats.gc.collections,
+        "replay returns the recorded stats"
+    );
+
+    let snap = telemetry.snapshot();
+    // One live VM run (the replay is not a VM run), which triggered
+    // exactly the collections the RunStats oracle reports.
+    assert_eq!(snap.counter(Counter::VmRuns), 1);
+    assert!(
+        stats.gc.major_collections > 0,
+        "heap small enough to force GC"
+    );
+    assert_eq!(
+        snap.counter(Counter::GcMajorCollections),
+        stats.gc.major_collections
+    );
+    assert_eq!(snap.counter(Counter::GcBytesCopied), stats.gc.bytes_copied);
+    assert!(snap.counter(Counter::VmAllocs) > 0);
+    assert_eq!(snap.counter(Counter::VmGcTriggers), stats.gc.collections);
+
+    // Pause spans: one per collection, by construction.
+    let pauses = snap.phase("gc_major").expect("gc_major spans recorded");
+    assert_eq!(pauses.count, stats.gc.major_collections);
+    assert_eq!(
+        pauses.hist.count(),
+        pauses.count,
+        "histogram covers every pause"
+    );
+
+    // The store accounted the recorded capture exactly.
+    let events = tallies[0].total();
+    assert_eq!(snap.counter(Counter::StoreRecordedEvents), events);
+    assert_eq!(
+        snap.counter(Counter::StoreRecordedBytes),
+        store.stats().bytes
+    );
+
+    // Engine totals: the record pass drove 3 sinks with every event, the
+    // replay pass 1 sink — `(event, sink)` pairs sum exactly.
+    assert_eq!(snap.engine.runs, 2);
+    assert_eq!(snap.engine.events_applied(), events * 3 + events);
+
+    // Phases: one of each driver span.
+    for phase in ["vm_execute", "record", "replay", "sink_drain"] {
+        assert_eq!(snap.phase(phase).unwrap().count, 1, "{phase}");
+    }
+}
+
+/// A `Write` handle into a shared buffer, so a [`Progress`] sink can be
+/// inspected after the run.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn progress_ticks_once_per_pass_into_its_own_writer() {
+    let w = Workload::Rewrite.scaled(1);
+    let store = TraceStore::unbounded();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let progress = Progress::to_writer("e0_demo", 2, Box::new(SharedBuf(buf.clone())));
+    let ctx = RunCtx::new(EngineConfig::jobs(2))
+        .with_store(&store)
+        .with_progress(&progress);
+
+    let (_, first) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    let (_, second) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    assert_eq!(progress.completed(), 2);
+
+    // Progress went to its writer alone, and never changed a result: the
+    // two passes (record, then replay) agree with a progress-free oracle.
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text:?}");
+    assert!(lines[0].starts_with("[e0_demo] pass 1/2 done"), "{text:?}");
+    assert!(lines[1].starts_with("[e0_demo] pass 2/2 done"), "{text:?}");
+    assert!(lines[1].contains("store: 1 hits, 1 misses"), "{text:?}");
+    let oracle = three_paths(EngineConfig::jobs(2), None);
+    let stats: Vec<_> = first
+        .iter()
+        .chain(&second)
+        .map(|c| c.stats().clone())
+        .collect();
+    assert_eq!(&oracle[2..], &stats[..], "record + replay match the oracle");
+}
+
+#[test]
+fn a_real_runs_manifest_validates_end_to_end() {
+    let w = Workload::Rewrite.scaled(1);
+    let telemetry = Arc::new(Telemetry::new());
+    let store = TraceStore::unbounded();
+    let ctx = RunCtx::new(EngineConfig::jobs(2))
+        .with_store(&store)
+        .with_telemetry(&telemetry);
+    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+
+    let manifest = Manifest::gather(
+        ManifestConfig {
+            experiment: "telemetry_it".into(),
+            scale: 1,
+            jobs: 2,
+            schedule: "round-robin".into(),
+            trace_cache: "unbounded".into(),
+        },
+        &telemetry.snapshot(),
+        Some(&store),
+    );
+    let json = manifest.to_json();
+    validate_manifest(&json).unwrap();
+    // The bench-side strict checker accepts it too: vm_execute spans are
+    // present and the store's hit is backed by a replay span.
+    cachegc_bench::golden::check_manifest(&json).unwrap();
+    assert!(json.contains("\"cheney/1.0M\"") || json.contains("rewrite@1"));
+}
+
+#[test]
+fn over_budget_captures_warn_and_count() {
+    let w = Workload::Rewrite.scaled(1);
+    let telemetry = Arc::new(Telemetry::new());
+    let store = TraceStore::with_budget(8);
+    let ctx = RunCtx::new(EngineConfig::jobs(1))
+        .with_store(&store)
+        .with_telemetry(&telemetry);
+    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter(Counter::StoreCapturesDropped), 1);
+    assert_eq!(snap.counter(Counter::Warnings), 1);
+    assert_eq!(snap.counter(Counter::StoreRecordedBytes), 0);
+    assert_eq!(store.stats().over_budget, 1);
+    assert_eq!(store.stats().entries, 0);
+}
