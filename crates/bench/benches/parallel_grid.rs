@@ -5,16 +5,26 @@
 //!
 //! The acceptance bar for the parallel experiment engine is a ≥ 2× wall
 //! clock speedup at `jobs >= 4`; this prints the measured speedups.
+//!
+//! Every measured configuration is also recorded as one [`GridRun`]
+//! (labelled `<stream>/sequential` or `<stream>/jobs=N`) and the whole
+//! run is written to `BENCH_grid.json` (override with
+//! `CACHEGC_BENCH_JSON`), so the performance trajectory of the engine is
+//! machine-readable across PRs.
 
 use std::hint::black_box;
+use std::time::Instant;
 
-use cachegc_bench::harness::bench_with_setup;
+use cachegc_bench::harness::{bench_with_setup, Summary};
+use cachegc_bench::{GridReport, GridRun};
 use cachegc_core::{run_control, run_control_jobs, Cache, ExperimentConfig};
 use cachegc_trace::{Fanout, ParallelFanout};
 use cachegc_workloads::{synthetic, Workload};
 
 const STREAM_OBJECTS: u32 = 50_000;
 const STREAM_EVENTS: u64 = STREAM_OBJECTS as u64 * 7;
+/// Parallel engine widths measured (1 is the sequential oracle).
+const JOBS: [usize; 2] = [2, 4];
 
 fn grid() -> Vec<Cache> {
     ExperimentConfig::paper()
@@ -24,7 +34,19 @@ fn grid() -> Vec<Cache> {
         .collect()
 }
 
-fn bench_synthetic() {
+/// One measured configuration, as a trajectory record: `events` is the
+/// per-pass stream length, `cells` the grid width it fanned out over.
+fn run(label: String, scale: u32, events: u64, s: &Summary) -> GridRun {
+    GridRun {
+        workload: label,
+        scale,
+        events,
+        cells: grid().len(),
+        wall: s.median,
+    }
+}
+
+fn bench_synthetic(runs: &mut Vec<GridRun>) {
     let cells = grid().len() as u64;
     let seq = bench_with_setup(
         "paper_grid/synthetic/sequential",
@@ -35,7 +57,8 @@ fn bench_synthetic() {
             black_box(fan.sinks().len());
         },
     );
-    for jobs in [2usize, 4, 8] {
+    runs.push(run("synthetic/sequential".into(), 1, STREAM_EVENTS, &seq));
+    for jobs in JOBS {
         let par = bench_with_setup(
             &format!("paper_grid/synthetic/jobs={jobs}"),
             Some(STREAM_EVENTS * cells),
@@ -49,12 +72,19 @@ fn bench_synthetic() {
             "  -> speedup vs sequential: {:.2}x",
             seq.median.as_secs_f64() / par.median.as_secs_f64()
         );
+        runs.push(run(
+            format!("synthetic/jobs={jobs}"),
+            1,
+            STREAM_EVENTS,
+            &par,
+        ));
     }
 }
 
-fn bench_vm_pass() {
+fn bench_vm_pass(runs: &mut Vec<GridRun>) {
     let cfg = ExperimentConfig::paper();
     let w = Workload::Rewrite.scaled(1);
+    let events = run_control(w, &cfg).expect("control pass").refs;
     let seq = bench_with_setup(
         "paper_grid/run_control/sequential",
         None,
@@ -63,7 +93,8 @@ fn bench_vm_pass() {
             black_box(run_control(w, &cfg).unwrap().refs);
         },
     );
-    for jobs in [4usize, 8] {
+    runs.push(run("rewrite/sequential".into(), 1, events, &seq));
+    for jobs in JOBS {
         let par = bench_with_setup(
             &format!("paper_grid/run_control/jobs={jobs}"),
             None,
@@ -76,10 +107,20 @@ fn bench_vm_pass() {
             "  -> speedup vs sequential: {:.2}x",
             seq.median.as_secs_f64() / par.median.as_secs_f64()
         );
+        runs.push(run(format!("rewrite/jobs={jobs}"), 1, events, &par));
     }
 }
 
 fn main() {
-    bench_synthetic();
-    bench_vm_pass();
+    let t0 = Instant::now();
+    let mut runs = Vec::new();
+    bench_synthetic(&mut runs);
+    bench_vm_pass(&mut runs);
+    GridReport {
+        binary: "parallel_grid".into(),
+        jobs: *JOBS.iter().max().expect("nonempty"),
+        runs,
+        total_wall: t0.elapsed(),
+    }
+    .write();
 }

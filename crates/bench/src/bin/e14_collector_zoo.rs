@@ -1,0 +1,9 @@
+//! Thin CLI shim: the sweep itself lives in
+//! `cachegc_bench::experiments::e14`, so the golden-results harness can
+//! call it and capture its tables without spawning this binary.
+
+use cachegc_bench::experiments;
+
+fn main() {
+    experiments::run_main(experiments::find("e14_collector_zoo").expect("registered experiment"));
+}

@@ -13,7 +13,7 @@
 //! shared [`TraceStore`](cachegc_core::TraceStore): sweeps drive their
 //! passes through the `_ctx` engine entry points, so a store attached by
 //! the caller (the CLI's `--trace-cache`, or `golden_check` spanning one
-//! store across all fifteen sweeps) makes each unique `(workload, scale,
+//! store across all sixteen sweeps) makes each unique `(workload, scale,
 //! collector)` scenario execute its VM once and replay everywhere else.
 //!
 //! [`ALL`] is the registry the `golden_check` binary iterates.
@@ -35,6 +35,7 @@ mod e10;
 mod e11;
 mod e12;
 mod e13;
+mod e14;
 mod e2;
 mod e3;
 mod e4;
@@ -79,7 +80,7 @@ pub struct Experiment {
 }
 
 /// Every experiment binary, in the order EXPERIMENTS.md documents them.
-pub static ALL: [Experiment; 15] = [
+pub static ALL: [Experiment; 16] = [
     e1::EXPERIMENT,
     e2::EXPERIMENT,
     e3::EXPERIMENT,
@@ -93,6 +94,7 @@ pub static ALL: [Experiment; 15] = [
     e11::EXPERIMENT,
     e12::EXPERIMENT,
     e13::EXPERIMENT,
+    e14::EXPERIMENT,
     a1::EXPERIMENT,
     a2::EXPERIMENT,
 ];

@@ -1,6 +1,9 @@
 //! Experiment runners: one trace pass drives a whole grid of caches.
 
-use cachegc_gc::{CheneyCollector, GcStats, GenerationalCollector, NoCollector};
+use cachegc_gc::{
+    CheneyCollector, GcStats, GenerationalCollector, ImmixCollector, MarkSweepCollector,
+    NoCollector,
+};
 use cachegc_sim::{
     miss_penalty_cycles, Cache, CacheConfig, CacheStats, MainMemory, Processor, WriteMissPolicy,
 };
@@ -182,6 +185,17 @@ pub enum CollectorSpec {
         /// Old-generation semispace bytes.
         old_bytes: u32,
     },
+    /// Immix-style mark-region collector (128-byte lines, 32 KB blocks,
+    /// opportunistic evacuation of fragmented blocks).
+    Immix {
+        /// Total heap bytes (a multiple of the 32 KB block size).
+        heap_bytes: u32,
+    },
+    /// Non-moving mark-sweep collector with segregated free lists.
+    MarkSweep {
+        /// Total heap bytes.
+        heap_bytes: u32,
+    },
 }
 
 impl CollectorSpec {
@@ -196,6 +210,12 @@ impl CollectorSpec {
                 old_bytes,
             } => {
                 format!("gen/{}+{}", human(*nursery_bytes), human(*old_bytes))
+            }
+            CollectorSpec::Immix { heap_bytes } => {
+                format!("immix/{}", human(*heap_bytes))
+            }
+            CollectorSpec::MarkSweep { heap_bytes } => {
+                format!("marksweep/{}", human(*heap_bytes))
             }
         }
     }
@@ -275,6 +295,14 @@ pub fn run_collected(
                 GenerationalCollector::new(nursery_bytes, old_bytes),
                 cfg.caches(),
             )?;
+            (out.stats, out.sink.into_sinks())
+        }
+        CollectorSpec::Immix { heap_bytes } => {
+            let out = instance.run(ImmixCollector::new(heap_bytes), cfg.caches())?;
+            (out.stats, out.sink.into_sinks())
+        }
+        CollectorSpec::MarkSweep { heap_bytes } => {
+            let out = instance.run(MarkSweepCollector::new(heap_bytes), cfg.caches())?;
             (out.stats, out.sink.into_sinks())
         }
     };

@@ -28,7 +28,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use cachegc_analysis::Instrument;
-use cachegc_gc::{CheneyCollector, GenerationalCollector, NoCollector};
+use cachegc_gc::{
+    CheneyCollector, GenerationalCollector, ImmixCollector, MarkSweepCollector, NoCollector,
+};
 use cachegc_sim::Cache;
 use cachegc_telemetry::{probe, Counter, EngineReport, WorkerStats};
 use cachegc_trace::{EngineConfig, Fanout, ParallelFanout, RefCounter, TraceSink};
@@ -73,6 +75,14 @@ fn run_spec_sink<S: TraceSink>(
             old_bytes,
         }) => {
             let out = instance.run(GenerationalCollector::new(nursery_bytes, old_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Immix { heap_bytes }) => {
+            let out = instance.run(ImmixCollector::new(heap_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::MarkSweep { heap_bytes }) => {
+            let out = instance.run(MarkSweepCollector::new(heap_bytes), sink)?;
             Ok((out.stats, out.sink))
         }
     }

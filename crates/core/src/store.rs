@@ -71,6 +71,11 @@ pub struct StoreStats {
     pub misses: u64,
     /// Captures dropped because they would exceed the byte budget.
     pub over_budget: u64,
+    /// Captures dropped because a concurrent capture of the same
+    /// scenario was stored first. Every miss runs live and offers its
+    /// recording back, so `misses == entries + over_budget + duplicates`
+    /// once all offers have landed.
+    pub duplicates: u64,
     /// Scenarios currently stored.
     pub entries: u64,
     /// Encoded bytes currently stored.
@@ -83,13 +88,14 @@ impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} entries ({:.1} MiB, {:.1} M events), {} over budget",
+            "{} hits, {} misses, {} entries ({:.1} MiB, {:.1} M events), {} over budget, {} duplicates",
             self.hits,
             self.misses,
             self.entries,
             self.bytes as f64 / (1 << 20) as f64,
             self.events as f64 / 1e6,
             self.over_budget,
+            self.duplicates,
         )
     }
 }
@@ -241,6 +247,7 @@ impl TraceStore {
             return OfferOutcome::DroppedOverBudget;
         }
         if inner.map.contains_key(&(instance, spec)) {
+            inner.stats.duplicates += 1;
             return OfferOutcome::Duplicate;
         }
         let (bytes, events) = (trace.bytes(), trace.events());
@@ -461,6 +468,75 @@ mod tests {
         );
         let s = store.stats();
         assert_eq!((s.entries, s.over_budget), (1, 0));
+    }
+
+    #[test]
+    fn capture_landing_exactly_on_the_remaining_budget_is_stored() {
+        // Measure the capture size, then set the budget to exactly that:
+        // the boundary is inclusive, both at the recorder limit and at
+        // the offer's resident-bytes re-check.
+        let (probe, _) = record(64);
+        let budget = probe.bytes();
+        let store = TraceStore::with_budget(budget);
+        let mut rec = store.recorder();
+        for i in 0..64u32 {
+            rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
+        }
+        assert!(!rec.overflowed(), "exact-limit recording must not overflow");
+        let outcome = store.offer(
+            Workload::Rewrite.scaled(1),
+            None,
+            rec,
+            RunStats::default(),
+            Duration::ZERO,
+        );
+        let OfferOutcome::Stored { bytes, .. } = outcome else {
+            panic!("exact-budget capture must be Stored, got {outcome:?}");
+        };
+        assert_eq!(bytes, budget, "stored capture fills the budget exactly");
+        // The budget is now exhausted: one more byte of capture drops.
+        let (rec, stats) = record(1);
+        assert_eq!(
+            store.offer(Workload::Nbody.scaled(1), None, rec, stats, Duration::ZERO),
+            OfferOutcome::DroppedOverBudget
+        );
+    }
+
+    #[test]
+    fn concurrent_offers_balance_misses_against_outcomes() {
+        // Many threads race the miss -> record -> offer protocol on a
+        // handful of scenarios; whatever interleaving happens, the offer
+        // accounting must balance: misses == entries + over_budget +
+        // duplicates, and exactly one capture per scenario is resident.
+        let store = TraceStore::unbounded();
+        let scenarios = [
+            Workload::Rewrite.scaled(1),
+            Workload::Nbody.scaled(1),
+            Workload::Compile.scaled(1),
+        ];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for w in scenarios {
+                        if store.lookup(w, None).is_none() {
+                            let (rec, stats) = record(32);
+                            store.offer(w, None, rec, stats, Duration::ZERO);
+                        }
+                    }
+                });
+            }
+        });
+        let st = store.stats();
+        assert_eq!(
+            st.misses,
+            st.entries + st.over_budget + st.duplicates,
+            "offer outcomes must account for every miss: {st}"
+        );
+        assert_eq!(st.entries, scenarios.len() as u64);
+        assert_eq!(st.over_budget, 0);
+        for w in scenarios {
+            assert!(store.contains(w, None));
+        }
     }
 
     #[test]

@@ -249,6 +249,7 @@ impl Manifest {
                 w.field("hits", &store.stats.hits.to_string());
                 w.field("misses", &store.stats.misses.to_string());
                 w.field("over_budget", &store.stats.over_budget.to_string());
+                w.field("duplicates", &store.stats.duplicates.to_string());
                 w.field("entries", &store.stats.entries.to_string());
                 w.field("bytes", &store.stats.bytes.to_string());
                 w.field("events", &store.stats.events.to_string());
@@ -541,17 +542,25 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
         None => return Err("manifest: missing store field".into()),
         Some(Json::Null) => {}
         Some(store) => {
-            for key in [
-                "hits",
-                "misses",
-                "over_budget",
-                "entries",
-                "bytes",
-                "events",
-            ] {
-                store.get(key).and_then(Json::as_u64).ok_or_else(|| {
-                    format!("manifest: store.{key} is not a non-negative integer")
-                })?;
+            let field = |key: &str| {
+                store
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("manifest: store.{key} is not a non-negative integer"))
+            };
+            for key in ["hits", "bytes", "events"] {
+                field(key)?;
+            }
+            // Offer accounting must balance: every miss ran live and
+            // offered its capture back, and each offer either stored an
+            // entry, was dropped over budget, or lost a duplicate race.
+            let misses = field("misses")?;
+            let accounted = field("entries")? + field("over_budget")? + field("duplicates")?;
+            if misses != accounted {
+                return Err(format!(
+                    "manifest: store offers unbalanced: {misses} misses but \
+                     entries + over_budget + duplicates = {accounted}"
+                ));
             }
             let scenarios = store
                 .get("scenarios")
@@ -617,7 +626,23 @@ mod tests {
             workers: vec![WorkerStats::default(); 2],
         });
         let store = TraceStore::unbounded();
-        store.lookup(cachegc_workloads::Workload::Rewrite.scaled(1), None);
+        let w = cachegc_workloads::Workload::Rewrite.scaled(1);
+        // A full miss -> live run -> offer cycle, so the store's offer
+        // accounting balances (validation checks the invariant).
+        store.lookup(w, None);
+        use cachegc_trace::TraceSink as _;
+        let mut rec = cachegc_trace::Recorder::new();
+        rec.access(cachegc_trace::Access::read(
+            0x1000,
+            cachegc_trace::Context::Mutator,
+        ));
+        store.offer(
+            w,
+            None,
+            rec,
+            cachegc_vm::RunStats::default(),
+            std::time::Duration::ZERO,
+        );
         let m = Manifest::gather(sample_config(), &telemetry.snapshot(), Some(&store));
         let json = m.to_json();
         validate_manifest(&json).unwrap();
@@ -625,6 +650,11 @@ mod tests {
         assert!(json.contains("\"gc_minor\""));
         assert!(json.contains("\"events_published\": 640"));
         assert!(json.contains("\"rewrite@1\""));
+        assert!(json.contains("\"duplicates\": 0"));
+        // An unbalanced store (a miss whose offer never landed) is
+        // rejected.
+        let bad = json.replace("\"misses\": 1", "\"misses\": 2");
+        assert!(validate_manifest(&bad).unwrap_err().contains("unbalanced"));
     }
 
     #[test]

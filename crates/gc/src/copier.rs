@@ -17,6 +17,14 @@ pub mod costs {
     pub const PER_WORD_SCANNED: u64 = 2;
     /// Write-barrier instructions per noted mutator store (generational).
     pub const BARRIER: u64 = 2;
+    /// Per object visited by a marking trace (bitmap test-and-set,
+    /// mark-stack push/pop).
+    pub const PER_OBJECT_MARKED: u64 = 3;
+    /// Per object header examined by a free-list sweep.
+    pub const PER_OBJECT_SWEPT: u64 = 2;
+    /// Per line examined by a mark-region line-table sweep (no memory
+    /// traffic: the line table is collector metadata).
+    pub const PER_LINE_SWEPT: u64 = 1;
 }
 
 const CTX: Context = Context::Collector;

@@ -1,0 +1,724 @@
+//! An Immix-style mark-region collector.
+//!
+//! The heap is carved into 32 KB blocks of 128-byte lines. Allocation
+//! bumps through runs of free lines handed out a block at a time;
+//! collection is a single-pass trace that sets a mark bit per object and
+//! a mark per line the object touches; reclamation is a walk over the
+//! line table only — the sweep itself touches no heap memory, which is
+//! the mark-region bet the §5 cache lens exists to measure.
+//!
+//! Fragmentation is fought opportunistically: blocks whose previous
+//! collection left several holes (runs of free lines between live ones)
+//! are flagged as evacuation candidates; the next trace copies their
+//! live objects Cheney-style into a withheld headroom span while it
+//! lasts, and simply marks in place once it runs out. Two identical runs
+//! select identical candidates — the line table and hole counts are
+//! plain vectors, so iteration order is deterministic by construction.
+
+use cachegc_heap::{Header, Heap, Value};
+use cachegc_telemetry::{probe, Counter};
+use cachegc_trace::{Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE};
+
+use crate::copier::costs;
+use crate::roots::Roots;
+use crate::stats::GcStats;
+use crate::Collector;
+
+const CTX: Context = Context::Collector;
+
+/// Line granularity: the reclamation unit (two cache blocks at the
+/// paper's largest block size).
+pub const LINE_BYTES: u32 = 128;
+/// Block granularity: the allocation-chunk and evacuation-policy unit.
+pub const BLOCK_BYTES: u32 = 32 << 10;
+const LINES_PER_BLOCK: u32 = BLOCK_BYTES / LINE_BYTES;
+
+/// A block becomes an evacuation candidate when a collection leaves it
+/// with at least this many holes (maximal free-line runs).
+const EVAC_HOLE_THRESHOLD: u32 = 2;
+
+/// The Immix-style mark-region collector.
+#[derive(Debug)]
+pub struct ImmixCollector {
+    heap_bytes: u32,
+    /// Free line-aligned spans, ascending by address. Rebuilt from the
+    /// line table by every collection; consumed by `prepare_alloc`.
+    spans: Vec<(u32, u32)>,
+    /// Per-block evacuation-candidate flags, computed by the previous
+    /// collection's hole counts.
+    candidates: Vec<bool>,
+    /// Per-line mark: some live object overlaps this line.
+    line_marks: Vec<bool>,
+    /// One mark bit per heap word, indexed by `(addr - DYNAMIC_BASE) / 4`.
+    obj_marks: Vec<u64>,
+    /// Highest address ever handed to the allocator; lines above it have
+    /// never held objects and are excluded from reclamation accounting.
+    high_water: u32,
+    stats: GcStats,
+}
+
+impl ImmixCollector {
+    /// Create a collector managing a heap of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero, not a multiple of the 32 KB block size,
+    /// or larger than the first dynamic address region.
+    pub fn new(bytes: u32) -> Self {
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(BLOCK_BYTES),
+            "heap size must be a positive multiple of {BLOCK_BYTES}-byte blocks"
+        );
+        assert!(
+            bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE,
+            "heap larger than the dynamic region"
+        );
+        let blocks = (bytes / BLOCK_BYTES) as usize;
+        ImmixCollector {
+            heap_bytes: bytes,
+            spans: vec![(DYNAMIC_BASE, DYNAMIC_BASE + bytes)],
+            candidates: vec![false; blocks],
+            line_marks: vec![false; blocks * LINES_PER_BLOCK as usize],
+            obj_marks: vec![0; (bytes as usize / 4).div_ceil(64)],
+            high_water: DYNAMIC_BASE,
+            stats: GcStats::new(),
+        }
+    }
+
+    /// Managed heap size in bytes.
+    pub fn heap_bytes(&self) -> u32 {
+        self.heap_bytes
+    }
+
+    fn limit(&self) -> u32 {
+        DYNAMIC_BASE + self.heap_bytes
+    }
+}
+
+/// The single-pass trace: marks objects and lines, and opportunistically
+/// evacuates live objects out of candidate blocks into `headroom` while
+/// it lasts.
+struct Trace<'a, S> {
+    heap: &'a mut Heap,
+    sink: &'a mut S,
+    counters: &'a mut Counters,
+    limit: u32,
+    candidates: &'a [bool],
+    line_marks: &'a mut [bool],
+    obj_marks: &'a mut [u64],
+    /// Evacuation headroom: `(free, limit)` of the withheld span.
+    headroom: Option<(u32, u32)>,
+    stack: Vec<u32>,
+    bytes_copied: u64,
+    objects_moved: u64,
+}
+
+impl<S: TraceSink> Trace<'_, S> {
+    fn in_region(&self, addr: u32) -> bool {
+        (DYNAMIC_BASE..self.limit).contains(&addr)
+    }
+
+    fn is_marked(&self, addr: u32) -> bool {
+        let bit = (addr - DYNAMIC_BASE) as usize / 4;
+        self.obj_marks[bit / 64] >> (bit % 64) & 1 != 0
+    }
+
+    fn mark_object(&mut self, addr: u32, size_bytes: u32) {
+        let bit = (addr - DYNAMIC_BASE) as usize / 4;
+        self.obj_marks[bit / 64] |= 1 << (bit % 64);
+        let first = (addr - DYNAMIC_BASE) / LINE_BYTES;
+        let last = (addr + size_bytes - 1 - DYNAMIC_BASE) / LINE_BYTES;
+        for line in first..=last {
+            self.line_marks[line as usize] = true;
+        }
+    }
+
+    fn is_candidate(&self, addr: u32) -> bool {
+        self.candidates[((addr - DYNAMIC_BASE) / BLOCK_BYTES) as usize]
+    }
+
+    /// Process one value: mark its target (and the lines it covers), or
+    /// evacuate it out of a candidate block, returning the value to store
+    /// back (the forwarded pointer when the target moved).
+    fn process(&mut self, v: Value) -> Value {
+        if !v.is_ptr() || !self.in_region(v.addr()) {
+            return v;
+        }
+        let addr = v.addr();
+        if self.is_marked(addr) {
+            return v;
+        }
+        let first = self.heap.load_raw(addr, CTX, self.sink);
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        let as_value = Value::from_bits(first);
+        if as_value.is_ptr() {
+            // Already evacuated: the header slot holds the forwarding
+            // pointer.
+            return as_value;
+        }
+        let header = Header::from_bits(first);
+        let size = header.size_words();
+        if self.is_candidate(addr) {
+            if let Some((free, hlimit)) = self.headroom {
+                if free + 4 * size <= hlimit {
+                    let dst = free;
+                    self.heap.init_store(dst, first, CTX, self.sink);
+                    for i in 1..size {
+                        let w = self.heap.load_raw(addr + 4 * i, CTX, self.sink);
+                        self.heap.init_store(dst + 4 * i, w, CTX, self.sink);
+                    }
+                    self.heap
+                        .store_raw(addr, Value::ptr(dst).bits(), CTX, self.sink);
+                    self.headroom = Some((dst + 4 * size, hlimit));
+                    self.counters.charge(
+                        InstrClass::Collector,
+                        costs::PER_OBJECT_COPIED + costs::PER_WORD_COPIED * size as u64,
+                    );
+                    self.bytes_copied += 4 * size as u64;
+                    self.objects_moved += 1;
+                    self.mark_object(dst, 4 * size);
+                    self.stack.push(dst);
+                    return Value::ptr(dst);
+                }
+            }
+            // Headroom exhausted (or never available): fall through and
+            // mark in place — evacuation is opportunistic, never required.
+        }
+        self.mark_object(addr, 4 * size);
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_OBJECT_MARKED);
+        self.stack.push(addr);
+        v
+    }
+
+    /// Process one slot in place, rewriting it if its target moved.
+    fn process_slot(&mut self, slot: u32) {
+        let v = Value::from_bits(self.heap.load_raw(slot, CTX, self.sink));
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        let nv = self.process(v);
+        if nv != v {
+            self.heap.store_raw(slot, nv.bits(), CTX, self.sink);
+        }
+    }
+
+    /// Scan the pointer slots of the (marked or evacuated) object at
+    /// `addr`.
+    fn scan_object(&mut self, addr: u32) {
+        let header = Header::from_bits(self.heap.load_raw(addr, CTX, self.sink));
+        self.counters
+            .charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        let len = header.len();
+        let scanned = if header.kind().is_raw() {
+            header.kind().scanned_prefix().min(len)
+        } else {
+            len
+        };
+        for i in 0..scanned {
+            self.process_slot(addr + 4 * (1 + i));
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some(addr) = self.stack.pop() {
+            self.scan_object(addr);
+        }
+    }
+}
+
+impl Collector for ImmixCollector {
+    fn install(&mut self, heap: &mut Heap) {
+        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, DYNAMIC_BASE);
+        self.spans = vec![(DYNAMIC_BASE, self.limit())];
+        self.candidates.fill(false);
+        self.line_marks.fill(false);
+        self.obj_marks.fill(0);
+        self.high_water = DYNAMIC_BASE;
+    }
+
+    fn prepare_alloc<S: TraceSink>(&mut self, heap: &mut Heap, bytes: u32, _sink: &mut S) -> bool {
+        if heap.dynamic_free() >= bytes {
+            return true;
+        }
+        let Some(i) = self.spans.iter().position(|&(b, l)| l - b >= bytes) else {
+            return false;
+        };
+        // Hand out at most a block at a time (more for an over-sized
+        // request), so reclamation accounting tracks the allocation
+        // frontier instead of the whole wilderness.
+        let (base, limit) = self.spans[i];
+        let want = bytes.div_ceil(LINE_BYTES) * LINE_BYTES;
+        let piece_end = limit.min(base + want.max(BLOCK_BYTES));
+        if piece_end == limit {
+            self.spans.remove(i);
+        } else {
+            self.spans[i].0 = piece_end;
+        }
+        heap.set_alloc_region(base, base, piece_end);
+        self.high_water = self.high_water.max(piece_end);
+        true
+    }
+
+    fn collect<S: TraceSink>(
+        &mut self,
+        heap: &mut Heap,
+        roots: &mut Roots<'_>,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        let _pause = probe::phase("gc_major");
+        counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
+        // Retire the current bump span: nothing walks the heap linearly,
+        // so the abandoned tail needs no filler — its lines simply come
+        // back as free lines.
+        let (_, top, _) = heap.alloc_region();
+        heap.set_alloc_region(top, top, top);
+
+        // Withhold headroom for opportunistic evacuation when any block
+        // is flagged: the last (highest-addressed) remaining free span of
+        // at least a block.
+        let headroom = if self.candidates.iter().any(|&c| c) {
+            self.spans
+                .iter()
+                .rposition(|&(b, l)| l - b >= BLOCK_BYTES)
+                .map(|i| {
+                    let (b, l) = self.spans[i];
+                    (b, l.min(b + BLOCK_BYTES))
+                })
+        } else {
+            None
+        };
+
+        self.line_marks.fill(false);
+        self.obj_marks.fill(0);
+        let mut trace = Trace {
+            heap,
+            sink,
+            counters,
+            limit: DYNAMIC_BASE + self.heap_bytes,
+            candidates: &self.candidates,
+            line_marks: &mut self.line_marks,
+            obj_marks: &mut self.obj_marks,
+            headroom,
+            stack: Vec::new(),
+            bytes_copied: 0,
+            objects_moved: 0,
+        };
+        for r in roots.registers.iter_mut() {
+            *r = trace.process(*r);
+        }
+        for &(start, end) in &roots.flat_ranges {
+            let mut p = start;
+            while p < end {
+                trace.process_slot(p);
+                p += 4;
+            }
+        }
+        for &(start, end) in &roots.object_ranges {
+            let mut p = start;
+            while p < end {
+                trace.scan_object(p);
+                p += Header::from_bits(trace.heap.peek(p)).size_bytes();
+            }
+        }
+        trace.drain();
+        let bytes_copied = trace.bytes_copied;
+        let objects_moved = trace.objects_moved;
+        if let Some((free, _)) = trace.headroom {
+            self.high_water = self.high_water.max(free);
+        }
+
+        // Reclamation: walk the line table only — no heap traffic. Free
+        // spans are maximal runs of unmarked lines; candidate blocks for
+        // the next cycle are the fragmented ones (several holes below the
+        // allocation frontier).
+        let frontier_line = (self.high_water - DYNAMIC_BASE).div_ceil(LINE_BYTES) as usize;
+        self.spans.clear();
+        let mut reclaimed = 0u64;
+        let mut run: Option<usize> = None;
+        for line in 0..self.line_marks.len() {
+            counters.charge(InstrClass::Collector, costs::PER_LINE_SWEPT);
+            if self.line_marks[line] {
+                if let Some(start) = run.take() {
+                    self.push_span(start, line);
+                }
+            } else {
+                if line < frontier_line {
+                    reclaimed += 1;
+                }
+                run.get_or_insert(line);
+            }
+        }
+        if let Some(start) = run.take() {
+            self.push_span(start, self.line_marks.len());
+        }
+        for block in 0..self.candidates.len() {
+            let lines = &self.line_marks
+                [block * LINES_PER_BLOCK as usize..(block + 1) * LINES_PER_BLOCK as usize];
+            let mut holes = 0u32;
+            let mut in_hole = false;
+            let mut any_live = false;
+            for &m in lines {
+                if m {
+                    any_live = true;
+                    in_hole = false;
+                } else if !in_hole {
+                    in_hole = true;
+                    holes += 1;
+                }
+            }
+            self.candidates[block] = any_live && holes >= EVAC_HOLE_THRESHOLD;
+        }
+
+        self.stats.collections += 1;
+        self.stats.major_collections += 1;
+        self.stats.bytes_copied += bytes_copied;
+        self.stats.bytes_swept += reclaimed * LINE_BYTES as u64;
+        self.stats.lines_reclaimed += reclaimed;
+        probe!(Counter::GcMajorCollections);
+        probe!(Counter::GcBytesCopied, bytes_copied);
+        probe!(Counter::GcBytesSwept, reclaimed * LINE_BYTES as u64);
+        probe!(Counter::GcLinesReclaimed, reclaimed);
+        if objects_moved > 0 {
+            // Evacuation moved objects, so address-hashed structures must
+            // rehash — same ΔI_prog mechanism as the copying collectors.
+            heap.bump_gc_epoch();
+        }
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn name(&self) -> String {
+        let k = self.heap_bytes >> 10;
+        if k >= 1024 {
+            format!("immix/{}m", k >> 10)
+        } else {
+            format!("immix/{k}k")
+        }
+    }
+}
+
+impl ImmixCollector {
+    fn push_span(&mut self, first_line: usize, end_line: usize) {
+        let base = DYNAMIC_BASE + first_line as u32 * LINE_BYTES;
+        let limit = DYNAMIC_BASE + end_line as u32 * LINE_BYTES;
+        self.spans.push((base, limit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_heap::{HeapConfig, ObjKind};
+    use cachegc_trace::{NullSink, RefCounter};
+
+    const M: Context = Context::Mutator;
+
+    fn make_list(heap: &mut Heap, n: i32) -> Value {
+        let mut sink = NullSink;
+        let mut head = Value::nil();
+        for i in (0..n).rev() {
+            head = heap
+                .alloc(ObjKind::Pair, &[Value::fixnum(i), head], M, &mut sink)
+                .unwrap();
+        }
+        head
+    }
+
+    fn read_list(heap: &Heap, mut v: Value) -> Vec<i32> {
+        let mut sink = NullSink;
+        let mut out = Vec::new();
+        while v.is_ptr() {
+            out.push(heap.load(v.addr() + 4, M, &mut sink).as_fixnum());
+            v = heap.load(v.addr() + 8, M, &mut sink);
+        }
+        out
+    }
+
+    fn fresh(bytes: u32) -> (Heap, ImmixCollector) {
+        let mut heap = Heap::new(HeapConfig::unbounded());
+        let mut gc = ImmixCollector::new(bytes);
+        gc.install(&mut heap);
+        let mut sink = NullSink;
+        assert!(gc.prepare_alloc(&mut heap, 16, &mut sink));
+        (heap, gc)
+    }
+
+    #[test]
+    fn collection_preserves_live_data_and_reclaims_lines() {
+        let (mut heap, mut gc) = fresh(8 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 100);
+        for _ in 0..1000 {
+            // The VM's discipline: reserve before allocating, so the
+            // collector hands out fresh blocks as bump spans fill.
+            assert!(gc.prepare_alloc(&mut heap, 10 * 12, &mut sink));
+            make_list(&mut heap, 10);
+        }
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        let mut counters = Counters::new();
+        gc.collect(&mut heap, &mut roots, &mut counters, &mut sink);
+        assert_eq!(
+            read_list(&heap, regs[0]),
+            (0..100).collect::<Vec<_>>(),
+            "live list survives"
+        );
+        assert_eq!(gc.stats().collections, 1);
+        assert!(gc.stats().lines_reclaimed > 0, "garbage lines recovered");
+        assert!(counters.collector() > 0);
+        // First cycle never evacuates: no candidates existed yet.
+        assert_eq!(gc.stats().bytes_copied, 0);
+        assert_eq!(heap.gc_epoch(), 0, "no motion, no epoch bump");
+    }
+
+    #[test]
+    fn allocation_reuses_reclaimed_lines() {
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 20);
+        make_list(&mut heap, 2000); // garbage spanning many lines
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.dynamic_free(), 0, "bump span retired");
+        assert!(gc.prepare_alloc(&mut heap, 12, &mut sink));
+        let p = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(1), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(
+            p.addr() < DYNAMIC_BASE + 2 * BLOCK_BYTES,
+            "reuses reclaimed lines"
+        );
+        assert_eq!(read_list(&heap, regs[0]), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lines_holding_live_objects_are_never_handed_out() {
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        // Pin widely-spaced live objects so most lines between them free.
+        let mut keep = Vec::new();
+        for i in 0..40 {
+            keep.push(make_list(&mut heap, 1));
+            if i % 2 == 0 {
+                make_list(&mut heap, 40); // garbage between pins
+            }
+        }
+        let mut regs: Vec<Value> = keep.clone();
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        // Every freed span must avoid every line a live object touches.
+        for &(b, l) in &gc.spans {
+            for &v in &regs {
+                let a = v.addr();
+                assert!(
+                    a + 12 <= b || a >= l,
+                    "span {b:#x}..{l:#x} overlaps live object {a:#x}"
+                );
+            }
+        }
+        // Exhaust the heap through the collector and confirm integrity.
+        while gc.prepare_alloc(&mut heap, 12, &mut sink) {
+            if heap
+                .alloc(
+                    ObjKind::Pair,
+                    &[Value::fixnum(7), Value::nil()],
+                    M,
+                    &mut sink,
+                )
+                .is_err()
+            {
+                break;
+            }
+        }
+        for (i, &v) in regs.iter().enumerate() {
+            assert_eq!(read_list(&heap, v), vec![0], "pin {i} intact");
+        }
+    }
+
+    #[test]
+    fn fragmented_blocks_are_evacuated_opportunistically() {
+        let (mut heap, mut gc) = fresh(8 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        // Fragment the first blocks: alternating live pins and garbage.
+        let mut keep = Vec::new();
+        for _ in 0..32 {
+            keep.push(make_list(&mut heap, 4));
+            make_list(&mut heap, 60); // ~720 bytes of garbage: several lines
+        }
+        let mut regs: Vec<Value> = keep.clone();
+        {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        }
+        assert!(
+            gc.candidates.iter().any(|&c| c),
+            "fragmented blocks flagged as candidates"
+        );
+        let before = regs.clone();
+        {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        }
+        assert!(gc.stats().bytes_copied > 0, "second cycle evacuates");
+        assert!(heap.gc_epoch() > 0, "motion bumps the epoch");
+        assert!(
+            regs.iter().zip(&before).any(|(a, b)| a != b),
+            "some root moved"
+        );
+        for &v in &regs {
+            assert_eq!(read_list(&heap, v), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn shared_structure_and_cycles_survive_evacuation() {
+        let (mut heap, mut gc) = fresh(4 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        let shared = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(7), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let a = heap
+            .alloc(ObjKind::Pair, &[shared, Value::nil()], M, &mut sink)
+            .unwrap();
+        let b = heap
+            .alloc(ObjKind::Pair, &[shared, a], M, &mut sink)
+            .unwrap();
+        heap.store(a.addr() + 8, b, M, &mut sink); // cycle a <-> b
+        let mut regs = [a, b];
+        // Force candidates artificially to exercise the evacuation path
+        // for every block, with garbage creating the headroom.
+        make_list(&mut heap, 2000);
+        {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        }
+        gc.candidates.fill(true);
+        {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        }
+        assert!(gc.stats().bytes_copied > 0, "forced evacuation ran");
+        let (a2, b2) = (regs[0], regs[1]);
+        let car_a = heap.load(a2.addr() + 4, M, &mut sink);
+        let car_b = heap.load(b2.addr() + 4, M, &mut sink);
+        assert_eq!(car_a, car_b, "sharing preserved");
+        assert_eq!(heap.load(a2.addr() + 8, M, &mut sink), b2, "cycle intact");
+        assert_eq!(heap.load(b2.addr() + 8, M, &mut sink), a2);
+        assert_eq!(
+            heap.load(car_a.addr() + 4, M, &mut sink),
+            Value::fixnum(7),
+            "shared child intact"
+        );
+    }
+
+    #[test]
+    fn raw_payloads_survive_uninterpreted() {
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        let tricky = f64::from_bits((DYNAMIC_BASE as u64) << 32 | (DYNAMIC_BASE | 1) as u64);
+        let f = heap.alloc_flonum(tricky, M, &mut sink).unwrap();
+        let s = heap
+            .alloc_string("pointer-like \u{1} bytes", M, &mut sink)
+            .unwrap();
+        let mut regs = [f, s];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.load_flonum(regs[0], M, &mut sink), tricky);
+        assert_eq!(
+            heap.load_string(regs[1], M, &mut sink),
+            "pointer-like \u{1} bytes"
+        );
+    }
+
+    #[test]
+    fn stack_and_static_roots_are_scanned() {
+        use cachegc_heap::AllocMode;
+        use cachegc_trace::{STACK_BASE, STATIC_BASE};
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        heap.set_mode(AllocMode::Static);
+        let svec = heap.alloc_vector(2, Value::nil(), M, &mut sink).unwrap();
+        heap.set_mode(AllocMode::Dynamic);
+        let from_static = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(7), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let from_stack = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(8), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        heap.store(svec.addr() + 4, from_static, M, &mut sink);
+        heap.store(STACK_BASE, from_stack, M, &mut sink);
+        let mut regs = [];
+        let mut roots = Roots::registers_only(&mut regs);
+        roots.flat_ranges.push((STACK_BASE, STACK_BASE + 4));
+        roots.object_ranges.push((STATIC_BASE, heap.static_top()));
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(
+            heap.load(
+                heap.load(svec.addr() + 4, M, &mut sink).addr() + 4,
+                M,
+                &mut sink
+            ),
+            Value::fixnum(7)
+        );
+        assert_eq!(
+            heap.load(heap.load(STACK_BASE, M, &mut sink).addr() + 4, M, &mut sink),
+            Value::fixnum(8)
+        );
+    }
+
+    #[test]
+    fn collector_traffic_is_attributed_to_collector() {
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = RefCounter::new();
+        let live = make_list(&mut heap, 50);
+        let mutator_refs = sink.by_context(M);
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(sink.by_context(M), mutator_refs, "GC adds no mutator refs");
+        assert!(
+            sink.by_context(Context::Collector) >= 50 * 3,
+            "mark trace reads"
+        );
+    }
+
+    #[test]
+    fn successive_collections_are_stable() {
+        let (mut heap, mut gc) = fresh(2 * BLOCK_BYTES);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 10);
+        let mut regs = [live];
+        for i in 1..=4u64 {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+            assert_eq!(gc.stats().collections, i);
+            assert_eq!(read_list(&heap, regs[0]), (0..10).collect::<Vec<_>>());
+            assert!(gc.prepare_alloc(&mut heap, 64, &mut sink));
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Garbage collectors for the cachegc Scheme system.
 //!
-//! Three collection strategies from the paper:
+//! Five collection strategies:
 //!
 //! * **No collection** ([`NoCollector`]) — the §5 control experiment: data
 //!   objects are "allocated linearly in a single contiguous area" and never
@@ -14,6 +14,17 @@
 //!   generational compacting collector" the paper recommends; with a
 //!   cache-sized nursery it is the *aggressive* collector of Wilson et al.
 //!   that the paper argues against (§6).
+//! * **Immix-style mark-region** ([`ImmixCollector`]) — the heap carved
+//!   into blocks of 128-byte lines, bump allocation into runs of free
+//!   lines, single-pass marking that sets line marks, line-granularity
+//!   reclamation with no heap sweep traffic, and opportunistic evacuation
+//!   of fragmented blocks. The design the paper's era didn't have; it lets
+//!   the §5 cache lens compare mark-region locality against copying.
+//! * **Mark-sweep free-list** ([`MarkSweepCollector`]) — the classic
+//!   non-moving baseline: mark from the roots, sweep the heap into
+//!   segregated size-class free lists, allocate by carving spans from
+//!   them. No motion means no forwarding, no `ΔI_prog` rehash cost, and
+//!   no compaction locality.
 //!
 //! All collector memory traffic is emitted into the trace with
 //! [`Context::Collector`](cachegc_trace::Context), so a cache simulation
@@ -26,12 +37,16 @@
 mod cheney;
 mod copier;
 mod generational;
+mod immix;
+mod marksweep;
 mod roots;
 mod stats;
 
 pub use cheney::CheneyCollector;
 pub use copier::costs;
 pub use generational::GenerationalCollector;
+pub use immix::ImmixCollector;
+pub use marksweep::MarkSweepCollector;
 pub use roots::Roots;
 pub use stats::GcStats;
 
@@ -56,6 +71,18 @@ pub trait Collector {
         counters: &mut Counters,
         sink: &mut S,
     );
+
+    /// Make at least `bytes` allocatable without collecting, returning
+    /// `false` if the collector cannot (the VM then collects and asks
+    /// again). The default — right for bump allocators whose whole free
+    /// region is the allocation region — just checks the heap's free
+    /// space. Free-list collectors override this to install a fresh span
+    /// as the heap's allocation region; any trace traffic that costs
+    /// (sealing an abandoned span tail) goes to `sink` as collector
+    /// traffic.
+    fn prepare_alloc<S: TraceSink>(&mut self, heap: &mut Heap, bytes: u32, _sink: &mut S) -> bool {
+        heap.dynamic_free() >= bytes
+    }
 
     /// Write-barrier hook: the mutator stored `val` into the object slot at
     /// `addr`. The default does nothing.

@@ -1,0 +1,530 @@
+//! A non-moving mark-sweep collector with segregated size-class free lists.
+//!
+//! The baseline the paper's copying collectors are implicitly compared
+//! against: mark the live graph from the roots, sweep the heap in address
+//! order rebuilding free lists, and allocate by carving bump spans out of
+//! free-list entries. Nothing ever moves, so there are no forwarding
+//! pointers, no `ΔI_prog` rehash cost (the GC epoch never advances), and
+//! no compaction — allocation order and fragmentation are what the cache
+//! sees.
+//!
+//! The heap's bump allocator only knows one contiguous region, so the
+//! free-list discipline is expressed through [`Collector::prepare_alloc`]:
+//! the collector installs one free span at a time as the heap's allocation
+//! region and seals the abandoned tail of the previous span with a filler
+//! object so the sweep's header walk stays well-formed.
+
+use cachegc_heap::{Header, Heap, ObjKind, Value};
+use cachegc_telemetry::{probe, Counter};
+use cachegc_trace::{Context, Counters, InstrClass, TraceSink, DYNAMIC_BASE, DYNAMIC_SECOND_BASE};
+
+use crate::copier::costs;
+use crate::roots::Roots;
+use crate::stats::GcStats;
+use crate::Collector;
+
+const CTX: Context = Context::Collector;
+
+/// Free spans are binned by `floor(log2(bytes))`; 32 classes cover every
+/// representable span size.
+const CLASSES: usize = 32;
+
+/// Filler objects sealing abandoned span tails are raw-payload flonums:
+/// the sweep walks over them by header size and the marker never visits
+/// them (they are unreachable by construction).
+const FILLER: ObjKind = ObjKind::Flonum;
+
+/// The non-moving mark-sweep free-list collector.
+#[derive(Debug)]
+pub struct MarkSweepCollector {
+    heap_bytes: u32,
+    /// Segregated free lists: `classes[k]` holds spans of `[2^k, 2^{k+1})`
+    /// bytes, each kept in ascending address order (sweeping rebuilds them
+    /// in address order; allocation preserves it).
+    classes: Vec<Vec<(u32, u32)>>,
+    /// One mark bit per heap word, indexed by `(addr - DYNAMIC_BASE) / 4`.
+    marks: Vec<u64>,
+    stats: GcStats,
+}
+
+impl MarkSweepCollector {
+    /// Create a collector managing a heap of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero, not word-aligned, or larger than the
+    /// first dynamic address region.
+    pub fn new(bytes: u32) -> Self {
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(4),
+            "heap size must be a positive word multiple"
+        );
+        assert!(
+            bytes <= DYNAMIC_SECOND_BASE - DYNAMIC_BASE,
+            "heap larger than the dynamic region"
+        );
+        MarkSweepCollector {
+            heap_bytes: bytes,
+            classes: vec![Vec::new(); CLASSES],
+            marks: vec![0; (bytes as usize / 4).div_ceil(64)],
+            stats: GcStats::new(),
+        }
+    }
+
+    /// Managed heap size in bytes.
+    pub fn heap_bytes(&self) -> u32 {
+        self.heap_bytes
+    }
+
+    fn limit(&self) -> u32 {
+        DYNAMIC_BASE + self.heap_bytes
+    }
+
+    fn in_region(&self, addr: u32) -> bool {
+        (DYNAMIC_BASE..self.limit()).contains(&addr)
+    }
+
+    fn class_of(bytes: u32) -> usize {
+        debug_assert!(bytes >= 4);
+        (31 - bytes.leading_zeros()) as usize
+    }
+
+    fn is_marked(&self, addr: u32) -> bool {
+        let bit = (addr - DYNAMIC_BASE) as usize / 4;
+        self.marks[bit / 64] >> (bit % 64) & 1 != 0
+    }
+
+    fn set_mark(&mut self, addr: u32) {
+        let bit = (addr - DYNAMIC_BASE) as usize / 4;
+        self.marks[bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Take the best free span for a `bytes` request: first fit within the
+    /// request's own class, then the lowest-addressed span of the smallest
+    /// class that guarantees a fit. Deterministic by construction.
+    fn take_span(&mut self, bytes: u32) -> Option<(u32, u32)> {
+        let want = bytes.max(4);
+        let k = Self::class_of(want);
+        if let Some(i) = self.classes[k].iter().position(|&(b, l)| l - b >= want) {
+            return Some(self.classes[k].remove(i));
+        }
+        for class in &mut self.classes[k + 1..] {
+            if !class.is_empty() {
+                return Some(class.remove(0));
+            }
+        }
+        None
+    }
+
+    /// Seal the unallocated tail of the heap's current allocation region
+    /// with filler objects and retire the region, so the sweep's header
+    /// walk never reads an uninitialized word.
+    fn seal_tail<S: TraceSink>(&mut self, heap: &mut Heap, sink: &mut S) {
+        let (_, top, limit) = heap.alloc_region();
+        let mut p = top;
+        while p < limit {
+            let words = (limit - p) / 4;
+            let len = (words - 1).min(Header::MAX_LEN);
+            heap.store_raw(p, Header::new(FILLER, len).bits(), CTX, sink);
+            p += 4 * (1 + len);
+        }
+        heap.set_alloc_region(top, top, top);
+    }
+
+    /// Mark `v`'s target if it is an unmarked heap object, pushing it for
+    /// scanning.
+    fn mark_value(&mut self, v: Value, stack: &mut Vec<u32>, counters: &mut Counters) {
+        if v.is_ptr() && self.in_region(v.addr()) && !self.is_marked(v.addr()) {
+            self.set_mark(v.addr());
+            stack.push(v.addr());
+            counters.charge(InstrClass::Collector, costs::PER_OBJECT_MARKED);
+        }
+    }
+
+    /// Scan one object's pointer slots, marking unmarked children.
+    fn scan_object<S: TraceSink>(
+        &mut self,
+        addr: u32,
+        heap: &Heap,
+        stack: &mut Vec<u32>,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        let header = Header::from_bits(heap.load_raw(addr, CTX, sink));
+        counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+        let len = header.len();
+        let scanned = if header.kind().is_raw() {
+            header.kind().scanned_prefix().min(len)
+        } else {
+            len
+        };
+        for i in 0..scanned {
+            let v = Value::from_bits(heap.load_raw(addr + 4 * (1 + i), CTX, sink));
+            counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+            self.mark_value(v, stack, counters);
+        }
+    }
+}
+
+impl Collector for MarkSweepCollector {
+    fn install(&mut self, heap: &mut Heap) {
+        heap.set_alloc_region(DYNAMIC_BASE, DYNAMIC_BASE, self.limit());
+        self.classes.iter_mut().for_each(Vec::clear);
+        self.marks.fill(0);
+    }
+
+    fn prepare_alloc<S: TraceSink>(&mut self, heap: &mut Heap, bytes: u32, sink: &mut S) -> bool {
+        if heap.dynamic_free() >= bytes {
+            return true;
+        }
+        let Some((base, limit)) = self.take_span(bytes) else {
+            return false;
+        };
+        self.seal_tail(heap, sink);
+        heap.set_alloc_region(base, base, limit);
+        true
+    }
+
+    fn collect<S: TraceSink>(
+        &mut self,
+        heap: &mut Heap,
+        roots: &mut Roots<'_>,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        let _pause = probe::phase("gc_major");
+        counters.charge(InstrClass::Collector, costs::PER_COLLECTION);
+        // Retire the current allocation span so every byte of the heap is
+        // either a known free span or a walkable run of objects.
+        self.seal_tail(heap, sink);
+        self.marks.fill(0);
+
+        // Mark: a depth-first trace over the live graph. No motion, so
+        // roots are read (and for stack/static ranges, scanned) but never
+        // rewritten.
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in roots.registers.iter() {
+            self.mark_value(r, &mut stack, counters);
+        }
+        for &(start, end) in &roots.flat_ranges {
+            let mut p = start;
+            while p < end {
+                let v = Value::from_bits(heap.load_raw(p, CTX, sink));
+                counters.charge(InstrClass::Collector, costs::PER_WORD_SCANNED);
+                self.mark_value(v, &mut stack, counters);
+                p += 4;
+            }
+        }
+        for &(start, end) in &roots.object_ranges {
+            let mut p = start;
+            while p < end {
+                self.scan_object(p, heap, &mut stack, counters, sink);
+                p += Header::from_bits(heap.peek(p)).size_bytes();
+            }
+        }
+        while let Some(addr) = stack.pop() {
+            self.scan_object(addr, heap, &mut stack, counters, sink);
+        }
+
+        // Sweep: walk the whole heap in address order, coalescing dead
+        // runs (and the previous free spans between them) into fresh
+        // spans, binned by size class. Rebuilding from scratch in walk
+        // order keeps every class list address-sorted.
+        let old_free: Vec<(u32, u32)> = {
+            let mut all: Vec<(u32, u32)> = self.classes.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all
+        };
+        self.classes.iter_mut().for_each(Vec::clear);
+        let mut swept = 0u64;
+        let mut run: Option<u32> = None;
+        let mut next_free = old_free.iter().peekable();
+        let mut new_spans: Vec<(u32, u32)> = Vec::new();
+        let mut p = DYNAMIC_BASE;
+        let end = self.limit();
+        while p < end {
+            if let Some(&&(b, l)) = next_free.peek() {
+                if b == p {
+                    // An already-free span: no memory traffic, just extend
+                    // the current run over it.
+                    run.get_or_insert(p);
+                    p = l;
+                    next_free.next();
+                    continue;
+                }
+            }
+            let header = Header::from_bits(heap.load_raw(p, CTX, sink));
+            counters.charge(InstrClass::Collector, costs::PER_OBJECT_SWEPT);
+            let size = header.size_bytes();
+            if self.is_marked(p) {
+                if let Some(start) = run.take() {
+                    new_spans.push((start, p));
+                }
+            } else {
+                swept += size as u64;
+                run.get_or_insert(p);
+            }
+            p += size;
+        }
+        if let Some(start) = run.take() {
+            new_spans.push((start, end));
+        }
+        for (b, l) in new_spans {
+            self.classes[Self::class_of(l - b)].push((b, l));
+        }
+
+        self.stats.collections += 1;
+        self.stats.major_collections += 1;
+        self.stats.bytes_swept += swept;
+        probe!(Counter::GcMajorCollections);
+        probe!(Counter::GcBytesSwept, swept);
+        // No motion: addresses are stable, so the GC epoch (which drives
+        // address-hashed table rehashes, a ΔI_prog cost) never advances.
+    }
+
+    fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    fn name(&self) -> String {
+        let k = self.heap_bytes >> 10;
+        if k >= 1024 {
+            format!("marksweep/{}m", k >> 10)
+        } else {
+            format!("marksweep/{k}k")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_heap::HeapConfig;
+    use cachegc_trace::{NullSink, RefCounter};
+
+    const M: Context = Context::Mutator;
+
+    fn make_list(heap: &mut Heap, n: i32) -> Value {
+        let mut sink = NullSink;
+        let mut head = Value::nil();
+        for i in (0..n).rev() {
+            head = heap
+                .alloc(ObjKind::Pair, &[Value::fixnum(i), head], M, &mut sink)
+                .unwrap();
+        }
+        head
+    }
+
+    fn read_list(heap: &Heap, mut v: Value) -> Vec<i32> {
+        let mut sink = NullSink;
+        let mut out = Vec::new();
+        while v.is_ptr() {
+            out.push(heap.load(v.addr() + 4, M, &mut sink).as_fixnum());
+            v = heap.load(v.addr() + 8, M, &mut sink);
+        }
+        out
+    }
+
+    fn fresh(bytes: u32) -> (Heap, MarkSweepCollector) {
+        let mut heap = Heap::new(HeapConfig::unbounded());
+        let mut gc = MarkSweepCollector::new(bytes);
+        gc.install(&mut heap);
+        (heap, gc)
+    }
+
+    #[test]
+    fn collection_preserves_live_data_in_place() {
+        let (mut heap, mut gc) = fresh(1 << 20);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 100);
+        for _ in 0..1000 {
+            make_list(&mut heap, 10);
+        }
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        let mut counters = Counters::new();
+        gc.collect(&mut heap, &mut roots, &mut counters, &mut sink);
+        assert_eq!(regs[0], live, "non-moving: roots unchanged");
+        assert_eq!(read_list(&heap, live), (0..100).collect::<Vec<_>>());
+        assert_eq!(gc.stats().collections, 1);
+        assert_eq!(gc.stats().major_collections, 1);
+        assert!(gc.stats().bytes_swept > 1000 * 10 * 12, "garbage swept");
+        assert!(counters.collector() > 0);
+        assert_eq!(heap.gc_epoch(), 0, "no motion, no epoch bump");
+    }
+
+    #[test]
+    fn freed_memory_is_reallocated_from_the_free_lists() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 8);
+        make_list(&mut heap, 500); // garbage
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        // The heap's bump region was retired; the collector must be asked
+        // for a span before allocating again.
+        assert_eq!(heap.dynamic_free(), 0);
+        assert!(gc.prepare_alloc(&mut heap, 12, &mut sink));
+        let before_live = live;
+        let p = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(9), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(gc.in_region(p.addr()), "allocation lands in a freed span");
+        assert_eq!(read_list(&heap, before_live), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_panicked() {
+        let (mut heap, mut gc) = fresh(1 << 12);
+        let mut sink = NullSink;
+        // Fill the heap with live data.
+        let live = make_list(&mut heap, 300);
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert!(
+            !gc.prepare_alloc(&mut heap, 1 << 12, &mut sink),
+            "no span can satisfy a full-heap request"
+        );
+    }
+
+    #[test]
+    fn sweep_coalesces_adjacent_garbage() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        // live, then a large contiguous run of garbage, then live.
+        let a = make_list(&mut heap, 1);
+        make_list(&mut heap, 400);
+        let b = make_list(&mut heap, 1);
+        let mut regs = [a, b];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        // The 400 * 12-byte garbage run plus the sealed wilderness tail
+        // coalesce; a request the size of the garbage run must fit.
+        assert!(gc.prepare_alloc(&mut heap, 400 * 12, &mut sink));
+    }
+
+    #[test]
+    fn raw_payloads_survive_uninterpreted() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        let tricky = f64::from_bits((DYNAMIC_BASE as u64) << 32 | (DYNAMIC_BASE | 1) as u64);
+        let f = heap.alloc_flonum(tricky, M, &mut sink).unwrap();
+        let s = heap
+            .alloc_string("pointer-like \u{1} bytes", M, &mut sink)
+            .unwrap();
+        let mut regs = [f, s];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.load_flonum(regs[0], M, &mut sink), tricky);
+        assert_eq!(
+            heap.load_string(regs[1], M, &mut sink),
+            "pointer-like \u{1} bytes"
+        );
+    }
+
+    #[test]
+    fn cycles_and_sharing_are_handled() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        let a = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(1), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let b = heap
+            .alloc(ObjKind::Pair, &[Value::fixnum(2), a], M, &mut sink)
+            .unwrap();
+        heap.store(a.addr() + 8, b, M, &mut sink); // cycle
+        let mut regs = [a];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(heap.load(a.addr() + 8, M, &mut sink), b);
+        assert_eq!(heap.load(b.addr() + 8, M, &mut sink), a);
+    }
+
+    #[test]
+    fn stack_and_static_roots_are_scanned() {
+        use cachegc_heap::AllocMode;
+        use cachegc_trace::{STACK_BASE, STATIC_BASE};
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        heap.set_mode(AllocMode::Static);
+        let svec = heap.alloc_vector(2, Value::nil(), M, &mut sink).unwrap();
+        heap.set_mode(AllocMode::Dynamic);
+        let from_static = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(7), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        let from_stack = heap
+            .alloc(
+                ObjKind::Pair,
+                &[Value::fixnum(8), Value::nil()],
+                M,
+                &mut sink,
+            )
+            .unwrap();
+        heap.store(svec.addr() + 4, from_static, M, &mut sink);
+        heap.store(STACK_BASE, from_stack, M, &mut sink);
+        let mut regs = [];
+        let mut roots = Roots::registers_only(&mut regs);
+        roots.flat_ranges.push((STACK_BASE, STACK_BASE + 4));
+        roots.object_ranges.push((STATIC_BASE, heap.static_top()));
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(
+            heap.load(from_static.addr() + 4, M, &mut sink),
+            Value::fixnum(7)
+        );
+        assert_eq!(
+            heap.load(from_stack.addr() + 4, M, &mut sink),
+            Value::fixnum(8)
+        );
+        // Both survive: a full-heap span request must fail.
+        assert!(!gc.prepare_alloc(&mut heap, 1 << 16, &mut sink));
+    }
+
+    #[test]
+    fn collector_traffic_is_attributed_to_collector() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = RefCounter::new();
+        let live = make_list(&mut heap, 50);
+        let mutator_refs = sink.by_context(M);
+        let mut regs = [live];
+        let mut roots = Roots::registers_only(&mut regs);
+        gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+        assert_eq!(sink.by_context(M), mutator_refs, "GC adds no mutator refs");
+        assert!(
+            sink.by_context(Context::Collector) >= 50 * 3,
+            "mark reads + sweep header walk"
+        );
+    }
+
+    #[test]
+    fn successive_collections_are_stable() {
+        let (mut heap, mut gc) = fresh(1 << 16);
+        let mut sink = NullSink;
+        let live = make_list(&mut heap, 10);
+        let mut regs = [live];
+        for i in 1..=4u64 {
+            let mut roots = Roots::registers_only(&mut regs);
+            gc.collect(&mut heap, &mut roots, &mut Counters::new(), &mut sink);
+            assert_eq!(gc.stats().collections, i);
+            assert_eq!(read_list(&heap, regs[0]), (0..10).collect::<Vec<_>>());
+            assert!(gc.prepare_alloc(&mut heap, 64, &mut sink));
+        }
+        assert_eq!(heap.gc_epoch(), 0);
+    }
+}

@@ -17,6 +17,10 @@ pub struct GcStats {
     pub barrier_stores: u64,
     /// Entries added to the remembered set.
     pub remembered: u64,
+    /// Bytes of dead memory reclaimed by sweeping (non-moving collectors).
+    pub bytes_swept: u64,
+    /// Free lines recovered by line-granularity reclamation (mark-region).
+    pub lines_reclaimed: u64,
 }
 
 impl GcStats {

@@ -58,6 +58,10 @@ pub enum Counter {
     GcBytesCopied,
     /// Bytes promoted from the nursery to the old generation.
     GcBytesPromoted,
+    /// Bytes of dead memory reclaimed by sweeping (non-moving collectors).
+    GcBytesSwept,
+    /// Free lines recovered by mark-region reclamation.
+    GcLinesReclaimed,
     /// Encoded bytes accepted into the trace store.
     StoreRecordedBytes,
     /// Events accepted into the trace store.
@@ -70,7 +74,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::VmRuns,
         Counter::VmAllocs,
         Counter::VmGcTriggers,
@@ -78,6 +82,8 @@ impl Counter {
         Counter::GcMajorCollections,
         Counter::GcBytesCopied,
         Counter::GcBytesPromoted,
+        Counter::GcBytesSwept,
+        Counter::GcLinesReclaimed,
         Counter::StoreRecordedBytes,
         Counter::StoreRecordedEvents,
         Counter::StoreCapturesDropped,
@@ -94,6 +100,8 @@ impl Counter {
             Counter::GcMajorCollections => "gc_major_collections",
             Counter::GcBytesCopied => "gc_bytes_copied",
             Counter::GcBytesPromoted => "gc_bytes_promoted",
+            Counter::GcBytesSwept => "gc_bytes_swept",
+            Counter::GcLinesReclaimed => "gc_lines_reclaimed",
             Counter::StoreRecordedBytes => "store_recorded_bytes",
             Counter::StoreRecordedEvents => "store_recorded_events",
             Counter::StoreCapturesDropped => "store_captures_dropped",

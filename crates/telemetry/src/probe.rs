@@ -154,9 +154,12 @@ mod tests {
     #[cfg(target_os = "linux")]
     #[test]
     fn thread_cpu_time_is_monotonic() {
-        let a = thread_cpu_ns().expect("schedstat readable on linux");
+        // Kernels built without CONFIG_SCHEDSTATS (and some container
+        // runtimes) expose no /proc/thread-self/schedstat; the probe
+        // reports None there and gauges simply stay absent.
+        let Some(a) = thread_cpu_ns() else { return };
         std::hint::black_box((0..1_000_000u64).sum::<u64>());
-        let b = thread_cpu_ns().expect("schedstat readable on linux");
+        let b = thread_cpu_ns().expect("schedstat stays readable once read");
         assert!(b >= a);
     }
 }

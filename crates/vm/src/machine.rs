@@ -353,12 +353,12 @@ impl<C: Collector, S: TraceSink> Machine<C, S> {
         if self.heap.mode() == AllocMode::Static {
             return Ok(());
         }
-        if self.heap.dynamic_free() >= bytes {
+        if self.gc.prepare_alloc(&mut self.heap, bytes, &mut self.sink) {
             return Ok(());
         }
         probe!(Counter::VmGcTriggers);
         self.collect_garbage();
-        if self.heap.dynamic_free() < bytes {
+        if !self.gc.prepare_alloc(&mut self.heap, bytes, &mut self.sink) {
             return Err(VmError::OutOfMemory(format!(
                 "need {bytes} bytes, {} free after collection",
                 self.heap.dynamic_free()

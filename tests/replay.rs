@@ -48,7 +48,7 @@ impl TraceSink for Fingerprint {
 
 /// Every collector configuration a scenario can run under, at heap sizes
 /// small enough to force real collections at scale 1.
-fn specs() -> [Option<CollectorSpec>; 3] {
+fn specs() -> [Option<CollectorSpec>; 5] {
     [
         None,
         Some(CollectorSpec::Cheney {
@@ -57,6 +57,12 @@ fn specs() -> [Option<CollectorSpec>; 3] {
         Some(CollectorSpec::Generational {
             nursery_bytes: 1 << 20,
             old_bytes: 16 << 20,
+        }),
+        Some(CollectorSpec::Immix {
+            heap_bytes: 4 << 20,
+        }),
+        Some(CollectorSpec::MarkSweep {
+            heap_bytes: 4 << 20,
         }),
     ]
 }
