@@ -5,7 +5,7 @@
 //! the paper's 40-cell grid). [`Instrument`] makes that set *heterogeneous*:
 //! one `Vec<Instrument>` can mix cache simulators of different geometries
 //! and organizations with the §7 behavioral analyzers, and the whole set
-//! rides through `cachegc_trace::ParallelFanout` under either schedule —
+//! rides through the packet-scheduled fanout under either bucket policy —
 //! every instrument is independent, so per-instrument results stay
 //! bit-identical to a sequential pass.
 
@@ -56,10 +56,10 @@ impl TraceSink for ActivityTracker {
 /// Any of the repo's trace instruments, as one sink type.
 ///
 /// This is the closed set the experiment engine drives: direct-mapped and
-/// set-associative cache simulators plus the §7 analyzers. A
-/// `ParallelFanout<Instrument>` broadcasts one trace into a mixed set with
+/// set-associative cache simulators plus the §7 analyzers. The packet
+/// fanout broadcasts one trace into a mixed `Vec<Instrument>` with
 /// bit-identical per-instrument results (property-tested in the workspace
-/// root); the work-stealing schedule is the natural fit since these
+/// root); the work-stealing policy is the natural fit since these
 /// instruments have very different per-event costs.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)]

@@ -1,10 +1,12 @@
-//! The tentpole benchmark: sequential `Fanout` vs `ParallelFanout` on the
-//! paper's full 40-cell cache grid (8 sizes × 5 block sizes), both over a
-//! raw synthetic reference stream (isolates the sink) and over a real VM
-//! trace pass (`run_control` end to end).
+//! The tentpole benchmark: sequential `Fanout` vs the packet-scheduled
+//! crew on the paper's full 40-cell cache grid (8 sizes × 5 block sizes),
+//! both over a raw synthetic reference stream (isolates the sink) and
+//! over a real VM trace pass (a full control sweep end to end).
 //!
-//! The acceptance bar for the parallel experiment engine is a ≥ 2× wall
-//! clock speedup at `jobs >= 4`; this prints the measured speedups.
+//! The packet scheduler is measured at 2 and 4 workers against the
+//! sequential oracle; this prints the measured speedups. (On a one-core
+//! container the interesting number is the overhead, not the speedup —
+//! bit-identity of the results is enforced by the property tests.)
 //!
 //! Every measured configuration is also recorded as one [`GridRun`]
 //! (labelled `<stream>/sequential` or `<stream>/jobs=N`) and the whole
@@ -17,13 +19,15 @@ use std::time::Instant;
 
 use cachegc_bench::harness::{bench_with_setup, Summary};
 use cachegc_bench::{GridReport, GridRun};
-use cachegc_core::{run_control, run_control_jobs, Cache, ExperimentConfig};
-use cachegc_trace::{Fanout, ParallelFanout};
+use cachegc_core::{
+    run_control, Cache, EngineConfig, ExperimentConfig, PacketKind, Runner, Schedule,
+};
+use cachegc_trace::Fanout;
 use cachegc_workloads::{synthetic, Workload};
 
 const STREAM_OBJECTS: u32 = 50_000;
 const STREAM_EVENTS: u64 = STREAM_OBJECTS as u64 * 7;
-/// Parallel engine widths measured (1 is the sequential oracle).
+/// Packet-crew widths measured (1 is the sequential oracle).
 const JOBS: [usize; 2] = [2, 4];
 
 fn grid() -> Vec<Cache> {
@@ -32,6 +36,12 @@ fn grid() -> Vec<Cache> {
         .into_iter()
         .map(Cache::new)
         .collect()
+}
+
+/// The engine a `jobs=N` configuration runs under: the work-stealing
+/// bucket policy, the same one the goldens are pinned to.
+fn engine(jobs: usize) -> EngineConfig {
+    EngineConfig::jobs(jobs).with_schedule(Schedule::WorkStealing)
 }
 
 /// One measured configuration, as a trajectory record: `events` is the
@@ -62,10 +72,12 @@ fn bench_synthetic(runs: &mut Vec<GridRun>) {
         let par = bench_with_setup(
             &format!("paper_grid/synthetic/jobs={jobs}"),
             Some(STREAM_EVENTS * cells),
-            move || ParallelFanout::new(grid(), jobs),
-            |mut fan| {
-                synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
-                black_box(fan.into_sinks().len());
+            move || Runner::new(engine(jobs)),
+            |runner| {
+                let ((), caches) = runner.drive(PacketKind::SinkDrain, grid(), |mut fan| {
+                    synthetic::one_cycle_sweep(&mut fan, STREAM_OBJECTS, 2);
+                });
+                black_box(caches.len());
             },
         );
         println!(
@@ -98,9 +110,9 @@ fn bench_vm_pass(runs: &mut Vec<GridRun>) {
         let par = bench_with_setup(
             &format!("paper_grid/run_control/jobs={jobs}"),
             None,
-            || (),
-            |()| {
-                black_box(run_control_jobs(w, &cfg, jobs).unwrap().refs);
+            move || Runner::new(engine(jobs)),
+            |runner| {
+                black_box(runner.control(w, &cfg).unwrap().refs);
             },
         );
         println!(

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use cachegc_bench::experiments;
 use cachegc_bench::golden::{golden_engine, GOLDEN_SCALE};
 use cachegc_bench::TelemetryReport;
-use cachegc_core::{Manifest, ManifestConfig, RunCtx, Telemetry, TraceStore};
+use cachegc_core::{Manifest, ManifestConfig, Runner, Telemetry, TraceStore};
 
 const SAMPLES: usize = 5;
 
@@ -34,9 +34,9 @@ fn main() {
 
     let baseline_once = || {
         let store = TraceStore::unbounded();
-        let ctx = RunCtx::new(engine).with_store(&store);
+        let runner = Runner::new(engine).with_store(&store);
         let start = Instant::now();
-        std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &ctx));
+        std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &runner));
         start.elapsed()
     };
     let instrumented_once = || {
@@ -44,17 +44,18 @@ fn main() {
         let telemetry = Arc::new(Telemetry::new());
         let start = Instant::now();
         {
-            let ctx = RunCtx::new(engine)
+            let runner = Runner::new(engine)
                 .with_store(&store)
                 .with_telemetry(&telemetry);
             let _shard = telemetry.attach();
-            std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &ctx));
+            std::hint::black_box((e4.sweep)(GOLDEN_SCALE, &runner));
         }
         let manifest = Manifest::gather(
             ManifestConfig {
                 experiment: e4.name.to_string(),
                 scale: GOLDEN_SCALE,
                 jobs: engine.jobs,
+                jobs_requested: engine.jobs,
                 schedule: engine.schedule.name().to_string(),
                 trace_cache: "unbounded".into(),
             },

@@ -10,9 +10,9 @@ use std::process::ExitCode;
 use cachegc_bench::cli::TraceCacheArg;
 use cachegc_bench::experiments::{self, Experiment};
 use cachegc_bench::golden::{
-    bless_tables, check_tables, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
+    bless_tables, check_tables_on, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
 };
-use cachegc_core::RunCtx;
+use cachegc_core::Runner;
 
 const USAGE: &str = "\
 golden_check: diff every experiment's tables against results/expected/
@@ -155,15 +155,15 @@ fn main() -> ExitCode {
     // earlier sweep recorded, so each unique (workload, scale, collector)
     // runs the VM at most once per invocation.
     let store = opts.trace_cache.store();
-    let mut ctx = RunCtx::new(golden_engine());
+    let mut runner = Runner::new(golden_engine());
     if let Some(store) = &store {
-        ctx = ctx.with_store(store);
+        runner = runner.with_store(store);
     }
     let mut drifted = 0usize;
     let mut checked = 0usize;
     for exp in exps {
         eprintln!("== {} ==", exp.name);
-        let tables = run_sweep(exp, GOLDEN_SCALE, &ctx);
+        let tables = run_sweep(exp, GOLDEN_SCALE, &runner);
         checked += tables.len();
         if opts.bless {
             match bless_tables(&opts.dir, exp.name, &tables) {
@@ -179,7 +179,7 @@ fn main() -> ExitCode {
             }
             continue;
         }
-        for (table, drifts) in check_tables(&opts.dir, exp.name, &tables, &opts.tol) {
+        for (table, drifts) in check_tables_on(&runner, &opts.dir, exp.name, &tables, &opts.tol) {
             drifted += 1;
             println!("DRIFT in {} table '{table}':", exp.name);
             for d in drifts {

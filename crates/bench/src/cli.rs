@@ -121,11 +121,18 @@ impl MetricsArg {
 pub struct ExperimentArgs {
     /// Workload scale (`--scale N`, env `CACHEGC_SCALE`).
     pub scale: u32,
-    /// Worker threads (`--jobs N`, env `CACHEGC_JOBS`); 1 is the
-    /// sequential oracle.
+    /// Effective worker threads: the request clamped to the machine's
+    /// available parallelism. 1 is the sequential oracle.
     pub jobs: usize,
+    /// Worker threads as requested (`--jobs N`, env `CACHEGC_JOBS`),
+    /// before clamping. The driver warns (and counts) when this exceeds
+    /// `jobs`; both land in the run manifest.
+    pub jobs_requested: usize,
     /// Engine schedule (`--schedule rr|ws`).
     pub schedule: Schedule,
+    /// Pin crew workers to CPU cores (`--affinity`; best-effort, a no-op
+    /// where the platform refuses).
+    pub affinity: bool,
     /// CSV output path (`--csv PATH`), if requested.
     pub csv: Option<PathBuf>,
     /// Trace record/replay cache (`--trace-cache on|off|BYTES`, env
@@ -166,19 +173,28 @@ impl ExperimentArgs {
     }
 
     fn try_parse(argv: &[String], default_scale: u32) -> Result<Parse, String> {
-        Self::try_parse_env(argv, default_scale, |name| std::env::var(name).ok())
+        Self::try_parse_env(
+            argv,
+            default_scale,
+            |name| std::env::var(name).ok(),
+            cachegc_core::default_jobs(),
+        )
     }
 
-    /// The parse itself, with the environment injected so tests can drive
-    /// the `CACHEGC_*` fallbacks without process-global `set_var` races.
+    /// The parse itself, with the environment and the machine's available
+    /// parallelism injected so tests can drive the `CACHEGC_*` fallbacks
+    /// and the jobs clamp without process-global state or a dependency on
+    /// the test machine's core count.
     fn try_parse_env(
         argv: &[String],
         default_scale: u32,
         env: impl Fn(&str) -> Option<String>,
+        available: usize,
     ) -> Result<Parse, String> {
         let mut scale: Option<u32> = None;
         let mut jobs: Option<usize> = None;
         let mut schedule = Schedule::default();
+        let mut affinity = false;
         let mut csv: Option<PathBuf> = None;
         let mut trace_cache: Option<TraceCacheArg> = None;
         let mut metrics: Option<MetricsArg> = None;
@@ -210,6 +226,7 @@ impl ExperimentArgs {
                         format!("--metrics: malformed value '{raw}' (off, table, or json[:PATH])")
                     })?);
                 }
+                "--affinity" => affinity = true,
                 "--progress" => progress = true,
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -231,6 +248,12 @@ impl ExperimentArgs {
         if jobs == 0 {
             return Err(format!("{jobs_source}: jobs must be at least 1, got 0"));
         }
+        // More workers than the machine has cores buys nothing but
+        // contention (and on a 1-core container, pure overhead): clamp to
+        // the available parallelism, keeping the request so the driver
+        // can warn and the manifest can record both.
+        let jobs_requested = jobs;
+        let jobs = jobs.min(available.max(1));
         let trace_cache = match trace_cache {
             Some(tc) => tc,
             None => TraceCacheArg::from_env(env("CACHEGC_TRACE_CACHE").as_deref())?,
@@ -242,7 +265,9 @@ impl ExperimentArgs {
         Ok(Parse::Args(ExperimentArgs {
             scale,
             jobs,
+            jobs_requested,
             schedule,
+            affinity,
             csv,
             trace_cache,
             metrics,
@@ -252,7 +277,14 @@ impl ExperimentArgs {
 
     /// The engine configuration these arguments describe.
     pub fn engine(&self) -> EngineConfig {
-        EngineConfig::jobs(self.jobs).with_schedule(self.schedule)
+        EngineConfig::jobs(self.jobs)
+            .with_schedule(self.schedule)
+            .with_affinity(self.affinity)
+    }
+
+    /// True when the jobs request was clamped to the machine.
+    pub fn jobs_clamped(&self) -> bool {
+        self.jobs < self.jobs_requested
     }
 
     /// The trace store these arguments ask for (`None` under
@@ -302,14 +334,17 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
     format!(
         "{binary} — {about}\n\
          \n\
-         usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--csv PATH]\n\
-         \x20                [--trace-cache on|off|BYTES] [--metrics off|table|json[:PATH]]\n\
-         \x20                [--progress]\n\
+         usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--affinity]\n\
+         \x20                [--csv PATH] [--trace-cache on|off|BYTES]\n\
+         \x20                [--metrics off|table|json[:PATH]] [--progress]\n\
          \n\
          \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
          \x20 --jobs N       worker threads (default: available parallelism; env\n\
-         \x20                CACHEGC_JOBS; 1 is the sequential oracle)\n\
+         \x20                CACHEGC_JOBS; 1 is the sequential oracle; clamped to\n\
+         \x20                the machine's core count with a warning)\n\
          \x20 --schedule S   engine schedule: round-robin (rr) or work-stealing (ws)\n\
+         \x20 --affinity     pin engine workers to CPU cores (best-effort; a no-op\n\
+         \x20                where the platform refuses)\n\
          \x20 --csv PATH     also write results as CSV to PATH\n\
          \x20 --trace-cache  record each unique scenario's trace and replay it for\n\
          \x20                later passes: on (default, 4 GiB budget), off, or an\n\
@@ -345,8 +380,10 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    // Parse with 8 cores injected, so assertions about multi-worker jobs
+    // hold on any test machine (the growth container has one core).
     fn parsed(args: &[&str]) -> ExperimentArgs {
-        match ExperimentArgs::try_parse(&argv(args), 4).unwrap() {
+        match ExperimentArgs::try_parse_env(&argv(args), 4, |_| None, 8).unwrap() {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         }
@@ -366,10 +403,49 @@ mod tests {
         ]);
         assert_eq!(a.scale, 2);
         assert_eq!(a.jobs, 3);
+        assert_eq!(a.jobs_requested, 3);
+        assert!(!a.jobs_clamped());
         assert_eq!(a.schedule, Schedule::WorkStealing);
         assert_eq!(a.csv.as_deref(), Some(Path::new("results/x.csv")));
         assert_eq!(a.engine().jobs, 3);
         assert!(!a.engine().is_sequential());
+        assert!(!a.engine().affinity);
+    }
+
+    #[test]
+    fn affinity_flag_parses_and_defaults_off() {
+        assert!(!parsed(&[]).affinity);
+        let a = parsed(&["--affinity", "--jobs", "2"]);
+        assert!(a.affinity);
+        assert!(a.engine().affinity);
+    }
+
+    #[test]
+    fn jobs_beyond_the_machine_clamp_with_the_request_preserved() {
+        let over = match ExperimentArgs::try_parse_env(&argv(&["--jobs", "16"]), 4, |_| None, 2)
+            .unwrap()
+        {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!((over.jobs, over.jobs_requested), (2, 16));
+        assert!(over.jobs_clamped());
+        assert_eq!(over.engine().jobs, 2, "engine gets the effective budget");
+        // The env fallback clamps the same way.
+        let env = |name: &str| (name == "CACHEGC_JOBS").then(|| "16".to_string());
+        let from_env = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 2).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!((from_env.jobs, from_env.jobs_requested), (2, 16));
+        // A request within the machine is untouched, even on one core the
+        // explicit sequential request is not a clamp.
+        let seq =
+            match ExperimentArgs::try_parse_env(&argv(&["--jobs", "1"]), 4, |_| None, 1).unwrap() {
+                Parse::Args(a) => a,
+                Parse::Help => panic!("unexpected help"),
+            };
+        assert!(!seq.jobs_clamped());
     }
 
     #[test]
@@ -397,22 +473,22 @@ mod tests {
             "CACHEGC_JOBS" => Some("3".to_string()),
             _ => None,
         };
-        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap() {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
         assert_eq!((a.scale, a.jobs), (7, 3));
         // Explicit flags win over the environment.
-        let a = match ExperimentArgs::try_parse_env(&argv(&["--jobs", "2"]), 4, env).unwrap() {
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--jobs", "2"]), 4, env, 8).unwrap() {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
         assert_eq!(a.jobs, 2);
         let zero = |name: &str| (name == "CACHEGC_JOBS").then(|| "0".to_string());
-        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, zero).unwrap_err();
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, zero, 8).unwrap_err();
         assert!(err.contains("CACHEGC_JOBS"), "{err}");
         let bad = |name: &str| (name == "CACHEGC_JOBS").then(|| "many".to_string());
-        assert!(ExperimentArgs::try_parse_env(&argv(&[]), 4, bad).is_err());
+        assert!(ExperimentArgs::try_parse_env(&argv(&[]), 4, bad, 8).is_err());
     }
 
     #[test]
@@ -443,20 +519,21 @@ mod tests {
             assert!(err.contains("--trace-cache"), "{bad:?}: {err}");
         }
         let env = |name: &str| (name == "CACHEGC_TRACE_CACHE").then(|| "tiny".to_string());
-        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap_err();
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap_err();
         assert!(err.contains("CACHEGC_TRACE_CACHE"), "{err}");
         // A well-formed env value applies; the explicit flag wins over it.
         let env = |name: &str| (name == "CACHEGC_TRACE_CACHE").then(|| "off".to_string());
-        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap() {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
         assert_eq!(a.trace_cache, TraceCacheArg::Off);
-        let a =
-            match ExperimentArgs::try_parse_env(&argv(&["--trace-cache", "64"]), 4, env).unwrap() {
-                Parse::Args(a) => a,
-                Parse::Help => panic!("unexpected help"),
-            };
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--trace-cache", "64"]), 4, env, 8)
+            .unwrap()
+        {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
         assert_eq!(a.trace_cache, TraceCacheArg::Budget(64));
     }
 
@@ -485,19 +562,20 @@ mod tests {
             assert!(err.contains("--metrics"), "{bad:?}: {err}");
         }
         let env = |name: &str| (name == "CACHEGC_METRICS").then(|| "sometimes".to_string());
-        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap_err();
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap_err();
         assert!(err.contains("CACHEGC_METRICS"), "{err}");
         // A well-formed env value applies; the explicit flag wins over it.
         let env = |name: &str| (name == "CACHEGC_METRICS").then(|| "table".to_string());
-        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env).unwrap() {
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap() {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
         assert_eq!(a.metrics, MetricsArg::Table);
-        let a = match ExperimentArgs::try_parse_env(&argv(&["--metrics", "off"]), 4, env).unwrap() {
-            Parse::Args(a) => a,
-            Parse::Help => panic!("unexpected help"),
-        };
+        let a =
+            match ExperimentArgs::try_parse_env(&argv(&["--metrics", "off"]), 4, env, 8).unwrap() {
+                Parse::Args(a) => a,
+                Parse::Help => panic!("unexpected help"),
+            };
         assert_eq!(a.metrics, MetricsArg::Off);
     }
 
@@ -558,6 +636,7 @@ mod tests {
             "--scale",
             "--jobs",
             "--schedule",
+            "--affinity",
             "--csv",
             "--trace-cache",
             "--metrics",

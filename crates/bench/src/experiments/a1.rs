@@ -7,10 +7,10 @@
 //! workload (`--jobs`/`--schedule`); the two workloads run concurrently.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks_ctx, CacheConfig, RunCtx, SetAssocCache};
+use cachegc_core::{CacheConfig, Runner, SetAssocCache};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 
 pub static EXPERIMENT: Experiment = Experiment {
     name: "a1_associativity",
@@ -21,13 +21,12 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let sizes = [32 << 10, 64 << 10, 256 << 10u32];
     let ways = [1u32, 2, 4];
 
     let workloads = [Workload::Compile, Workload::Nbody];
-    let (outer, inner) = split_jobs(ctx, workloads.len());
-    let passes = par_map(&workloads, outer, |w| {
+    let passes = runner.map(&workloads, |inner, w| {
         eprintln!("running {} ...", w.name());
         let mut caches = Vec::new();
         for &size in &sizes {
@@ -37,7 +36,7 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
                 ));
             }
         }
-        let (_, out) = run_sinks_ctx(w.scaled(scale), None, caches, &inner).unwrap();
+        let (_, out) = inner.sinks(w.scaled(scale), None, caches).unwrap();
         out
     });
 

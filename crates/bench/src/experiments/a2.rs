@@ -6,10 +6,10 @@
 //! independent control + collected pair on the engine).
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
+use cachegc_core::{CollectorSpec, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -21,19 +21,18 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![64 << 10, 1 << 20];
 
     let semispaces: Vec<u32> = vec![512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20];
-    let (outer, inner) = split_jobs(ctx, semispaces.len());
-    let results = par_map(&semispaces, outer, |&semi| {
+    let results = runner.map(&semispaces, |inner, &semi| {
         let spec = CollectorSpec::Cheney {
             semispace_bytes: semi,
         };
         eprintln!("running with {} semispaces ...", human_bytes(semi));
-        GcComparison::run_ctx(Workload::Compile.scaled(scale), &cfg, spec, &inner)
+        inner.comparison(Workload::Compile.scaled(scale), &cfg, spec)
     });
 
     let mut table = Table::new(

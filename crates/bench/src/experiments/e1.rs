@@ -7,11 +7,11 @@
 use std::time::Instant;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks_ctx, RunCtx};
+use cachegc_core::Runner;
 use cachegc_trace::RefCounter;
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::{GridReport, GridRun};
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -23,12 +23,12 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let t0 = Instant::now();
-    let outs = par_map(&Workload::ALL, outer, |w| {
+    let outs = runner.map(&Workload::ALL, |inner, w| {
         let t = Instant::now();
-        let (stats, sinks) = run_sinks_ctx(w.scaled(scale), None, vec![RefCounter::new()], &inner)
+        let (stats, sinks) = inner
+            .sinks(w.scaled(scale), None, vec![RefCounter::new()])
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         let counter = sinks.into_iter().next().expect("one counter");
         (stats, counter, t.elapsed())
@@ -76,7 +76,7 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
         ],
         grid: Some(GridReport {
             binary: "e1_programs".into(),
-            jobs: ctx.engine.jobs,
+            jobs: runner.engine().jobs,
             runs,
             total_wall,
         }),

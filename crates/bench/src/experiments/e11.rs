@@ -11,10 +11,10 @@
 
 use cachegc_analysis::{Activity, ActivityTracker, Instrument};
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_instruments_ctx, CacheConfig, RunCtx};
+use cachegc_core::{CacheConfig, Runner};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 /// One workload's panels: the cache sizes it is decomposed at.
@@ -58,9 +58,8 @@ fn panel(w: Workload, cache_bytes: u32, act: &Activity, summary: &mut Table, dec
     }
 }
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
-    let (outer, inner) = split_jobs(ctx, GROUPS.len());
-    let activities: Vec<Vec<Activity>> = par_map(&GROUPS, outer, |&(w, sizes)| {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
+    let activities: Vec<Vec<Activity>> = runner.map(&GROUPS, |inner, &(w, sizes)| {
         eprintln!(
             "running {} ({} panels in one pass) ...",
             w.name(),
@@ -70,7 +69,9 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
             .iter()
             .map(|&s| ActivityTracker::new(CacheConfig::direct_mapped(s, 64)).into())
             .collect();
-        let (_, out) = run_instruments_ctx(w.scaled(scale), None, instruments, &inner).unwrap();
+        let (_, out) = inner
+            .instruments(w.scaled(scale), None, instruments)
+            .unwrap();
         out.into_iter()
             .map(|i| i.into_activity().expect("activity instrument"))
             .collect()

@@ -7,13 +7,10 @@
 //! across worker threads.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, run_control_ctx, write_back_overhead, writeback_cycles, ExperimentConfig, RunCtx,
-    FAST, SLOW,
-};
+use cachegc_core::{write_back_overhead, writeback_cycles, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -25,14 +22,13 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
 
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
-    let reports = par_map(&Workload::ALL, outer, |w| {
+    let reports = runner.map(&Workload::ALL, |inner, w| {
         eprintln!("running {} ...", w.name());
-        run_control_ctx(w.scaled(scale), &cfg, &inner).unwrap()
+        inner.control(w.scaled(scale), &cfg).unwrap()
     });
 
     let mut cols = vec!["program".to_string(), "cpu".to_string()];

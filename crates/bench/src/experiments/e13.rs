@@ -16,13 +16,13 @@
 //! version also allocates 48 KB per generation, which write-validate
 //! makes free at the cache level.
 //!
-//! The cache grid of each variant runs through the parallel engine
-//! (`--jobs`/`--schedule`).
+//! The cache grid of each variant runs through the packet engine
+//! ([`Runner::drive`], under `--jobs`/`--schedule`).
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{miss_penalty_cycles, Cache, ExperimentConfig, RunCtx, FAST, SLOW};
+use cachegc_core::{miss_penalty_cycles, Cache, ExperimentConfig, PacketKind, Runner, FAST, SLOW};
 use cachegc_gc::NoCollector;
-use cachegc_trace::{Context, EngineConfig, ParallelFanout};
+use cachegc_trace::Context;
 use cachegc_vm::Machine;
 
 use super::{Experiment, Sweep};
@@ -71,29 +71,15 @@ fn imperative(gens: u32) -> String {
     )
 }
 
-fn measure(
-    name: &str,
-    src: &str,
-    cfg: &ExperimentConfig,
-    engine: &EngineConfig,
-    table: &mut Table,
-) {
+fn measure(name: &str, src: &str, cfg: &ExperimentConfig, runner: &Runner, table: &mut Table) {
     // One pass: the grid rides the engine; reference and instruction
     // volumes come from the first cache's statistics and the machine.
-    let mut fan = ParallelFanout::with_engine(
-        cfg.configs()
-            .into_iter()
-            .map(Cache::new)
-            .collect::<Vec<_>>(),
-        engine,
-    );
-    let i_prog;
-    {
-        let mut m = Machine::new(NoCollector::new(), &mut fan);
+    let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
+    let (i_prog, caches) = runner.drive(PacketKind::VmExecute, sinks, |fan| {
+        let mut m = Machine::new(NoCollector::new(), fan);
         m.run_program(src).expect("runs");
-        i_prog = m.counters().program();
-    }
-    let caches = fan.into_sinks();
+        m.counters().program()
+    });
     let refs = caches[0].stats().refs_by(Context::Mutator);
 
     eprintln!("{name}: {refs} refs, {i_prog} instructions");
@@ -107,10 +93,9 @@ fn measure(
     }
 }
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     // E13's variants are ad-hoc Scheme sources, not registered workloads,
     // so there is no scenario key for them — both passes stay live.
-    let engine = &ctx.engine;
     let gens = 150 * scale;
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
@@ -120,15 +105,16 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     cols.extend(cfg.cache_sizes.iter().map(|&s| human_bytes(s)));
     let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut table = Table::new("overhead", &cols);
-    // The passes bypass the `_ctx` drivers (no scenario key), so progress
-    // is ticked by hand — one tick per variant, matching `cells: 2`.
-    measure("functional", &functional(gens), &cfg, engine, &mut table);
-    if let Some(progress) = ctx.progress {
-        progress.tick(ctx.store);
+    // The passes bypass the store-keyed terminals (no scenario key), so
+    // progress is ticked by hand — one tick per variant, matching
+    // `cells: 2`.
+    measure("functional", &functional(gens), &cfg, runner, &mut table);
+    if let Some(progress) = runner.ctx().progress {
+        progress.tick(runner.ctx().store);
     }
-    measure("imperative", &imperative(gens), &cfg, engine, &mut table);
-    if let Some(progress) = ctx.progress {
-        progress.tick(ctx.store);
+    measure("imperative", &imperative(gens), &cfg, runner, &mut table);
+    if let Some(progress) = runner.ctx().progress {
+        progress.tick(runner.ctx().store);
     }
     Sweep {
         tables: vec![table],

@@ -21,12 +21,10 @@
 
 use cachegc_analysis::BlockTracker;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, run_sinks_ctx, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW,
-};
+use cachegc_core::{CollectorSpec, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -61,7 +59,7 @@ const SPECS: [CollectorSpec; 5] = [
     },
 ];
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let cfg = ExperimentConfig::paper();
     let w = Workload::Lambda.scaled(scale);
 
@@ -83,7 +81,9 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let mut ogc_table = Table::new("ogc", &cols);
     for spec in SPECS {
         eprintln!("running lambda under {} ...", spec.name());
-        let cmp = GcComparison::run_ctx(w, &cfg, spec, ctx).unwrap_or_else(|e| panic!("{e}"));
+        let cmp = runner
+            .comparison(w, &cfg, spec)
+            .unwrap_or_else(|e| panic!("{e}"));
         gc_table.row(vec![
             spec.name().into(),
             cmp.collected.gc.collections.into(),
@@ -109,9 +109,9 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let designs: Vec<Option<CollectorSpec>> = std::iter::once(None)
         .chain(SPECS.into_iter().map(Some))
         .collect();
-    let (outer, inner) = split_jobs(ctx, designs.len());
-    let reports = par_map(&designs, outer, |spec| {
-        let (_, sinks) = run_sinks_ctx(w, *spec, vec![BlockTracker::new(64 << 10, 64)], &inner)
+    let reports = runner.map(&designs, |inner, spec| {
+        let (_, sinks) = inner
+            .sinks(w, *spec, vec![BlockTracker::new(64 << 10, 64)])
             .unwrap_or_else(|e| panic!("{e}"));
         sinks.into_iter().next().expect("one tracker").finish()
     });

@@ -4,7 +4,7 @@
 //! `--scale` and `--jobs` are accepted but have nothing to do.
 
 use cachegc_core::report::Table;
-use cachegc_core::{miss_penalty_cycles, writeback_cycles, MainMemory, RunCtx, FAST, SLOW};
+use cachegc_core::{miss_penalty_cycles, writeback_cycles, MainMemory, Runner, FAST, SLOW};
 
 use super::{Experiment, Sweep};
 
@@ -17,7 +17,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(_scale: u32, _ctx: &RunCtx) -> Sweep {
+fn sweep(_scale: u32, _runner: &Runner) -> Sweep {
     let mem = MainMemory::przybylski();
     let mut table = Table::new("penalties", &["cost", "b16", "b32", "b64", "b128", "b256"]);
     for cpu in [&SLOW, &FAST] {

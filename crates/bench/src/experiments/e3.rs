@@ -8,17 +8,17 @@
 //!
 //! `--jobs N` splits the work two ways: the five programs run
 //! concurrently, and within each pass the 40-cell cache grid is sharded
-//! across worker threads (`ParallelFanout`, under `--schedule`). `--jobs
-//! 1` is the sequential oracle; per-cell statistics are bit-identical
+//! across crew workers as drain packets (under `--schedule`). `--jobs 1`
+//! is the sequential oracle; per-cell statistics are bit-identical
 //! either way.
 
 use std::time::Instant;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_control_ctx, ExperimentConfig, Processor, RunCtx, FAST, SLOW};
+use cachegc_core::{ExperimentConfig, Processor, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::{human_bytes, GridReport, GridRun};
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -47,15 +47,15 @@ fn cpu_table(cpu: &Processor, cfg: &ExperimentConfig, f: impl Fn(u32, u32) -> f6
     table
 }
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let cfg = ExperimentConfig::paper();
     // Outer parallelism over programs, inner over grid cells.
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let t0 = Instant::now();
-    let timed: Vec<_> = par_map(&Workload::ALL, outer, |w| {
+    let timed: Vec<_> = runner.map(&Workload::ALL, |inner, w| {
         eprintln!("running {} ...", w.name());
         let t = Instant::now();
-        let r = run_control_ctx(w.scaled(scale), &cfg, &inner)
+        let r = inner
+            .control(w.scaled(scale), &cfg)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         (r, t.elapsed())
     });
@@ -95,7 +95,7 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
         ],
         grid: Some(GridReport {
             binary: "e3_overhead_sweep".into(),
-            jobs: ctx.engine.jobs,
+            jobs: runner.engine().jobs,
             runs,
             total_wall,
         }),

@@ -10,12 +10,10 @@
 //! program's two policy grids across worker threads.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{
-    par_map, run_control_ctx, ExperimentConfig, RunCtx, WriteMissPolicy, FAST, SLOW,
-};
+use cachegc_core::{ExperimentConfig, Runner, WriteMissPolicy, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -27,7 +25,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let sizes = vec![32 << 10, 256 << 10, 1 << 20];
     let mut cfg_wv = ExperimentConfig::paper();
     cfg_wv.cache_sizes = sizes.clone();
@@ -35,14 +33,13 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
         .clone()
         .with_write_miss(WriteMissPolicy::FetchOnWrite);
 
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
-    let runs = par_map(&Workload::ALL, outer, |w| {
+    let runs = runner.map(&Workload::ALL, |inner, w| {
         // With a trace store attached, the write-validate pass records
         // the scenario and the fetch-on-write grid replays it — one VM
         // execution drives both policy grids.
         eprintln!("running {} (both policies) ...", w.name());
-        let wv = run_control_ctx(w.scaled(scale), &cfg_wv, &inner).unwrap();
-        let fow = run_control_ctx(w.scaled(scale), &cfg_fow, &inner).unwrap();
+        let wv = inner.control(w.scaled(scale), &cfg_wv).unwrap();
+        let fow = inner.control(w.scaled(scale), &cfg_fow).unwrap();
         (wv, fow)
     });
 

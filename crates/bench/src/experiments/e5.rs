@@ -20,10 +20,10 @@
 use std::time::Instant;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
+use cachegc_core::{CollectorSpec, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::{human_bytes, GridReport, GridRun};
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -35,7 +35,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let semispace: u32 = std::env::var("CACHEGC_SEMISPACE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -47,12 +47,11 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let spec = CollectorSpec::Cheney {
         semispace_bytes: semispace,
     };
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
     let t0 = Instant::now();
-    let results = par_map(&Workload::ALL, outer, |w| {
+    let results = runner.map(&Workload::ALL, |inner, w| {
         eprintln!("running {} (control + collected) ...", w.name());
         let t = Instant::now();
-        let r = GcComparison::run_ctx(w.scaled(scale), &cfg, spec, &inner);
+        let r = inner.comparison(w.scaled(scale), &cfg, spec);
         (r, t.elapsed())
     });
     let total_wall = t0.elapsed();
@@ -120,7 +119,7 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
         notes,
         grid: Some(GridReport {
             binary: "e5_gc_overhead".into(),
-            jobs: ctx.engine.jobs,
+            jobs: runner.engine().jobs,
             runs,
             total_wall,
         }),

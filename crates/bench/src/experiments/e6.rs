@@ -2,11 +2,11 @@
 //! under a generational collector, which stops recopying the long-lived,
 //! monotonically growing structure at every collection.
 //!
-//! `--jobs N` runs each comparison's control and collected passes on
-//! separate threads with the grid sharded across workers.
+//! `--jobs N` runs each comparison's control and collected passes as
+//! separate packets with the grid sharded across crew workers.
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
+use cachegc_core::{CollectorSpec, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
 use super::{Experiment, Sweep};
@@ -21,7 +21,7 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![64 << 10, 256 << 10, 1 << 20];
@@ -46,7 +46,9 @@ fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
     let mut ogc_table = Table::new("ogc", &cols);
     for spec in specs {
         eprintln!("running lambda under {} ...", spec.name());
-        let cmp = GcComparison::run_ctx(w, &cfg, spec, ctx).unwrap_or_else(|e| panic!("{e}"));
+        let cmp = runner
+            .comparison(w, &cfg, spec)
+            .unwrap_or_else(|e| panic!("{e}"));
         gc_table.row(vec![
             spec.name().into(),
             cmp.collected.gc.collections.into(),

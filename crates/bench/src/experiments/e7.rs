@@ -9,10 +9,10 @@
 //! control + collected pair).
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, CollectorSpec, ExperimentConfig, GcComparison, RunCtx, FAST, SLOW};
+use cachegc_core::{CollectorSpec, ExperimentConfig, Runner, FAST, SLOW};
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 use crate::human_bytes;
 
 pub static EXPERIMENT: Experiment = Experiment {
@@ -24,21 +24,21 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let cache_size = 64 << 10;
     let mut cfg = ExperimentConfig::paper();
     cfg.block_sizes = vec![64];
     cfg.cache_sizes = vec![cache_size];
 
     let nurseries: Vec<u32> = vec![64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20];
-    let (outer, inner) = split_jobs(ctx, nurseries.len());
-    let comparisons = par_map(&nurseries, outer, |&nursery| {
+    let comparisons = runner.map(&nurseries, |inner, &nursery| {
         let spec = CollectorSpec::Generational {
             nursery_bytes: nursery,
             old_bytes: 24 << 20,
         };
         eprintln!("running compile with nursery {} ...", human_bytes(nursery));
-        GcComparison::run_ctx(Workload::Compile.scaled(scale), &cfg, spec, &inner)
+        inner
+            .comparison(Workload::Compile.scaled(scale), &cfg, spec)
             .unwrap_or_else(|e| panic!("{e}"))
     });
 

@@ -5,11 +5,11 @@
 //!
 //! The full-resolution plot comes back as an artifact (`e8_sweep.txt`)
 //! and a downsampled excerpt as a note. The trace pass goes through the
-//! experiment engine (`run_sinks`), so `--jobs`/`--schedule` apply.
+//! experiment engine (`Runner::sinks`), so `--jobs`/`--schedule` apply.
 
 use cachegc_analysis::SweepPlot;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{run_sinks_ctx, CacheConfig, RunCtx};
+use cachegc_core::{CacheConfig, Runner};
 use cachegc_workloads::Workload;
 
 use super::{Experiment, Sweep};
@@ -23,16 +23,16 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
     let cfg = CacheConfig::direct_mapped(64 << 10, 64);
     eprintln!("running compile ...");
-    let (_, sinks) = run_sinks_ctx(
-        Workload::Compile.scaled(scale),
-        None,
-        vec![SweepPlot::new(cfg, 1024)],
-        ctx,
-    )
-    .unwrap();
+    let (_, sinks) = runner
+        .sinks(
+            Workload::Compile.scaled(scale),
+            None,
+            vec![SweepPlot::new(cfg, 1024)],
+        )
+        .unwrap();
     let plot = sinks.into_iter().next().expect("one plot");
 
     let full = plot.render_ascii(4000);

@@ -3,14 +3,14 @@
 //! fraction of one-cycle blocks in a 64 KB cache marked on each curve.
 //!
 //! `--jobs N` runs the five programs concurrently; each pass goes through
-//! the experiment engine (`run_sinks`).
+//! the experiment engine (`Runner::sinks`).
 
 use cachegc_analysis::BlockTracker;
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{par_map, run_sinks_ctx, RunCtx};
+use cachegc_core::Runner;
 use cachegc_workloads::Workload;
 
-use super::{split_jobs, Experiment, Sweep};
+use super::{Experiment, Sweep};
 
 const POWERS: [u32; 7] = [14, 16, 18, 20, 22, 24, 26];
 
@@ -23,17 +23,12 @@ pub static EXPERIMENT: Experiment = Experiment {
     sweep,
 };
 
-fn sweep(scale: u32, ctx: &RunCtx) -> Sweep {
-    let (outer, inner) = split_jobs(ctx, Workload::ALL.len());
-    let reports = par_map(&Workload::ALL, outer, |w| {
+fn sweep(scale: u32, runner: &Runner) -> Sweep {
+    let reports = runner.map(&Workload::ALL, |inner, w| {
         eprintln!("running {} ...", w.name());
-        let (_, sinks) = run_sinks_ctx(
-            w.scaled(scale),
-            None,
-            vec![BlockTracker::new(64 << 10, 64)],
-            &inner,
-        )
-        .unwrap();
+        let (_, sinks) = inner
+            .sinks(w.scaled(scale), None, vec![BlockTracker::new(64 << 10, 64)])
+            .unwrap();
         sinks.into_iter().next().expect("one tracker").finish()
     });
 

@@ -9,10 +9,10 @@
 //! printed after them, side-channel artifacts (e.g. E8's full-resolution
 //! plot), and the optional `BENCH_grid.json` performance record.
 //!
-//! The [`RunCtx`] carries the engine configuration and, optionally, a
+//! The [`Runner`] carries the engine configuration and, optionally, a
 //! shared [`TraceStore`](cachegc_core::TraceStore): sweeps drive their
-//! passes through the `_ctx` engine entry points, so a store attached by
-//! the caller (the CLI's `--trace-cache`, or `golden_check` spanning one
+//! passes through the runner's terminals, so a store attached by the
+//! caller (the CLI's `--trace-cache`, or `golden_check` spanning one
 //! store across all sixteen sweeps) makes each unique `(workload, scale,
 //! collector)` scenario execute its VM once and replay everywhere else.
 //!
@@ -22,8 +22,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::telemetry::probe;
-use cachegc_core::{Manifest, ManifestConfig, Progress, RunCtx, Telemetry};
+use cachegc_core::telemetry::{probe, Counter};
+use cachegc_core::{Manifest, ManifestConfig, Progress, Runner, Telemetry};
 
 use crate::cli::MetricsArg;
 use crate::{header, ExperimentArgs, GridReport};
@@ -72,11 +72,11 @@ pub struct Experiment {
     /// Default `--scale`.
     pub default_scale: u32,
     /// Driver passes one sweep makes (each is one [`Progress`] tick):
-    /// calls into the `_ctx` engine entry points, plus any passes the
-    /// sweep ticks by hand. Zero for static experiments.
+    /// calls into the [`Runner`] terminals, plus any passes the sweep
+    /// ticks by hand. Zero for static experiments.
     pub cells: usize,
     /// The sweep itself.
-    pub sweep: fn(u32, &RunCtx) -> Sweep,
+    pub sweep: fn(u32, &Runner) -> Sweep,
 }
 
 /// Every experiment binary, in the order EXPERIMENTS.md documents them.
@@ -117,15 +117,15 @@ pub fn run_main(exp: &Experiment) {
     let store = args.trace_store();
     let telemetry = args.metrics.enabled().then(|| Arc::new(Telemetry::new()));
     let progress = args.progress.then(|| Progress::stderr(exp.name, exp.cells));
-    let mut ctx = RunCtx::new(args.engine());
+    let mut runner = Runner::new(args.engine());
     if let Some(store) = &store {
-        ctx = ctx.with_store(store);
+        runner = runner.with_store(store);
     }
     if let Some(telemetry) = &telemetry {
-        ctx = ctx.with_telemetry(telemetry);
+        runner = runner.with_telemetry(telemetry);
     }
     if let Some(progress) = &progress {
-        ctx = ctx.with_progress(progress);
+        runner = runner.with_progress(progress);
     }
     let sweep = {
         // The shard makes the main thread's probes land in the registry;
@@ -133,8 +133,19 @@ pub fn run_main(exp: &Experiment) {
         // per-experiment phase drops first (declaration order), while the
         // shard is still attached.
         let _shard = telemetry.as_ref().map(|t| t.attach());
+        if args.jobs_clamped() {
+            probe!(Counter::JobsClamped);
+            let msg = format!(
+                "requested {} jobs, machine has {}: running {} workers",
+                args.jobs_requested, args.jobs, args.jobs
+            );
+            match &telemetry {
+                Some(t) => t.warn(&msg),
+                None => eprintln!("warning: {msg}"),
+            }
+        }
         let _exp_phase = telemetry.is_some().then(|| probe::phase_cpu(exp.name));
-        (exp.sweep)(args.scale, &ctx)
+        (exp.sweep)(args.scale, &runner)
     };
     for t in &sweep.tables {
         println!();
@@ -165,6 +176,7 @@ pub fn run_main(exp: &Experiment) {
                 experiment: exp.name.to_string(),
                 scale: args.scale,
                 jobs: args.jobs,
+                jobs_requested: args.jobs_requested,
                 schedule: args.schedule.name().to_string(),
                 trace_cache: args.trace_cache.describe(),
             },
@@ -218,17 +230,6 @@ fn timing_tables(manifest: &Manifest) -> Vec<Table> {
     vec![phases, counters]
 }
 
-/// Split a `--jobs` budget between `n` concurrent outer tasks and the
-/// engine passes inside each: outer parallelism over workloads or
-/// configurations, inner over grid cells. The inner context keeps the
-/// outer one's trace store.
-fn split_jobs<'a>(ctx: &RunCtx<'a>, n: usize) -> (usize, RunCtx<'a>) {
-    let outer = ctx.engine.jobs.clamp(1, n.max(1));
-    let mut inner = ctx.engine;
-    inner.jobs = (ctx.engine.jobs / outer).max(1);
-    (outer, ctx.with_engine(inner))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,24 +246,20 @@ mod tests {
     #[test]
     fn jobs_split_covers_edges() {
         use cachegc_core::EngineConfig;
-        let ctx = RunCtx::new(EngineConfig::jobs(8));
-        let (outer, inner) = split_jobs(&ctx, 5);
-        assert_eq!((outer, inner.engine.jobs), (5, 1));
-        let (outer, inner) = split_jobs(&RunCtx::new(EngineConfig::jobs(8)), 2);
-        assert_eq!((outer, inner.engine.jobs), (2, 4));
-        let (outer, inner) = split_jobs(&RunCtx::new(EngineConfig::jobs(1)), 5);
-        assert_eq!((outer, inner.engine.jobs), (1, 1));
-        // The split preserves the store reference.
+        assert_eq!(Runner::new(EngineConfig::jobs(8)).split_jobs(5), (5, 1));
+        assert_eq!(Runner::new(EngineConfig::jobs(8)).split_jobs(2), (2, 4));
+        assert_eq!(Runner::new(EngineConfig::jobs(1)).split_jobs(5), (1, 1));
+        // The runner a `map` task receives keeps the store reference.
         let store = cachegc_core::TraceStore::unbounded();
-        let ctx = RunCtx::new(EngineConfig::jobs(4)).with_store(&store);
-        let (_, inner) = split_jobs(&ctx, 2);
-        assert!(inner.store.is_some());
+        let runner = Runner::new(EngineConfig::jobs(4)).with_store(&store);
+        let seen = runner.map(&[0u8, 1], |inner, _| inner.ctx().store.is_some());
+        assert_eq!(seen, vec![true, true]);
     }
 
     #[test]
     fn static_experiment_sweeps_run_quickly() {
         // E2 is workload-free; exercise the library path end to end.
-        let sweep = (e2::EXPERIMENT.sweep)(1, &RunCtx::sequential());
+        let sweep = (e2::EXPERIMENT.sweep)(1, &Runner::sequential());
         assert_eq!(sweep.tables.len(), 1);
         assert_eq!(sweep.tables[0].name(), "penalties");
         assert_eq!(sweep.tables[0].len(), 4);

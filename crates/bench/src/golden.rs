@@ -21,7 +21,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use cachegc_core::report::{Cell, Table};
-use cachegc_core::{EngineConfig, RunCtx, Schedule};
+use cachegc_core::{EngineConfig, PacketKind, Runner, Schedule};
 
 use crate::experiments::Experiment;
 
@@ -206,21 +206,34 @@ pub fn check_tables(
     tables: &[Table],
     tol: &Tolerance,
 ) -> Vec<(String, Vec<Drift>)> {
-    let mut failures = Vec::new();
-    for table in tables {
-        let path = golden_path(dir, experiment, table.name());
-        let drifts = match Table::read_csv(&path) {
-            Ok(golden) => diff_tables(&golden, table, tol),
-            Err(e) => vec![Drift::MissingGolden {
-                path: path.clone(),
-                reason: e.to_string(),
-            }],
-        };
-        if !drifts.is_empty() {
-            failures.push((table.name().to_string(), drifts));
-        }
-    }
-    failures
+    check_tables_on(&Runner::sequential(), dir, experiment, tables, tol)
+}
+
+/// [`check_tables`], with each table's golden read and diff running as a
+/// [`PacketKind::GoldenDiff`] packet on the runner's crew (inline when the
+/// runner is sequential).
+pub fn check_tables_on(
+    runner: &Runner,
+    dir: &Path,
+    experiment: &str,
+    tables: &[Table],
+    tol: &Tolerance,
+) -> Vec<(String, Vec<Drift>)> {
+    runner
+        .map_with(PacketKind::GoldenDiff, tables, |_, table| {
+            let path = golden_path(dir, experiment, table.name());
+            let drifts = match Table::read_csv(&path) {
+                Ok(golden) => diff_tables(&golden, table, tol),
+                Err(e) => vec![Drift::MissingGolden {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                }],
+            };
+            (table.name().to_string(), drifts)
+        })
+        .into_iter()
+        .filter(|(_, drifts)| !drifts.is_empty())
+        .collect()
 }
 
 /// Write every table of one experiment as its golden, creating `dir` as
@@ -244,18 +257,19 @@ pub fn bless_tables(
 }
 
 /// Run one experiment's sweep at the golden configuration (or an
-/// override) and return its tables. The context carries the engine and,
+/// override) and return its tables. The runner carries the engine and,
 /// optionally, a [`cachegc_core::TraceStore`] shared across experiments
 /// so each unique scenario's VM runs at most once per `golden_check`.
-pub fn run_sweep(exp: &Experiment, scale: u32, ctx: &RunCtx) -> Vec<Table> {
-    (exp.sweep)(scale, ctx).tables
+pub fn run_sweep(exp: &Experiment, scale: u32, runner: &Runner) -> Vec<Table> {
+    (exp.sweep)(scale, runner).tables
 }
 
 /// Validate a run-manifest document for `golden_check --manifest`: the
 /// generic schema/invariant checks of
 /// [`cachegc_core::validate_manifest`], plus the stricter demands a real
 /// sweep's manifest must meet — the VM executed at least once
-/// (`vm_execute` has spans), and a store that reports hits replayed.
+/// (`vm_execute` has spans), the crew engine ran and reported per-worker
+/// stats, and a store that reports hits replayed.
 ///
 /// # Errors
 ///
@@ -272,6 +286,21 @@ pub fn check_manifest(text: &str) -> Result<(), String> {
     };
     if phase_count("vm_execute") == 0 {
         return Err("manifest: no vm_execute spans — the sweep never ran a VM".into());
+    }
+    let engine = doc.get("engine");
+    let engine_runs = engine
+        .and_then(|e| e.get("runs"))
+        .and_then(cachegc_core::json::Json::as_u64)
+        .unwrap_or(0);
+    if engine_runs == 0 {
+        return Err("manifest: engine.runs is zero — no crew pass was recorded".into());
+    }
+    let workers = engine
+        .and_then(|e| e.get("workers"))
+        .and_then(cachegc_core::json::Json::as_arr)
+        .map_or(0, <[_]>::len);
+    if workers == 0 {
+        return Err("manifest: engine.workers is empty — no per-worker stats recorded".into());
     }
     let hits = doc
         .get("store")
@@ -392,13 +421,14 @@ mod tests {
     fn manifest_check_demands_vm_execute_and_replay() {
         use std::sync::Arc;
 
-        use cachegc_core::telemetry::probe;
+        use cachegc_core::telemetry::{probe, EngineReport};
         use cachegc_core::{Manifest, ManifestConfig, Telemetry, TraceStore};
 
         let cfg = || ManifestConfig {
             experiment: "e4_write_policy".into(),
             scale: 1,
             jobs: 2,
+            jobs_requested: 2,
             schedule: "work-stealing".into(),
             trace_cache: "off".into(),
         };
@@ -414,6 +444,20 @@ mod tests {
             let _shard = telemetry.attach();
             let _span = probe::phase("vm_execute");
         }
+        // A VM span alone is still rejected: no crew pass reported.
+        let no_engine = Manifest::gather(cfg(), &telemetry.snapshot(), None).to_json();
+        let err = check_manifest(&no_engine).unwrap_err();
+        assert!(err.contains("engine.runs"), "{err}");
+        telemetry.record_engine(&EngineReport {
+            schedule: "work-stealing",
+            jobs: 2,
+            sinks: 2,
+            chunks_published: 1,
+            events_published: 8,
+            backpressure_ns: 0,
+            queue_depth_hwm: 1,
+            workers: vec![Default::default(); 2],
+        });
         let store = TraceStore::unbounded();
         let ran = Manifest::gather(cfg(), &telemetry.snapshot(), Some(&store)).to_json();
         check_manifest(&ran).unwrap();

@@ -34,8 +34,9 @@
 mod experiment;
 pub mod json;
 mod overhead;
-mod parallel;
 pub mod report;
+mod runner;
+pub mod sched;
 mod store;
 pub mod telemetry;
 
@@ -44,10 +45,10 @@ pub use experiment::{
     ControlReport, ExperimentConfig, GcComparison,
 };
 pub use overhead::{cache_overhead, gc_overhead, write_back_overhead};
-pub use parallel::{
-    default_jobs, par_map, run_collected_ctx, run_collected_engine, run_collected_jobs,
-    run_control_ctx, run_control_engine, run_control_jobs, run_instruments, run_instruments_ctx,
-    run_sinks, run_sinks_ctx,
+pub use runner::{default_jobs, Runner};
+pub use sched::{
+    CrewReport, EngineConfig, PacketFanout, PacketKind, Schedule, Scheduler, Stage,
+    DEFAULT_CHUNK_EVENTS,
 };
 pub use store::{
     scenario_label, OfferOutcome, RunCtx, ScenarioGauges, StoreStats, StoredTrace, TraceStore,
@@ -65,5 +66,5 @@ pub use cachegc_sim::{
     miss_penalty_cycles, writeback_cycles, Cache, CacheConfig, CacheStats, MainMemory, Processor,
     SetAssocCache, WriteHitPolicy, WriteMissPolicy, FAST, SLOW,
 };
-pub use cachegc_trace::{EngineConfig, RecordedTrace, Recorder, Schedule};
+pub use cachegc_trace::{RecordedTrace, Recorder};
 pub use cachegc_vm::RunStats;

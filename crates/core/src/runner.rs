@@ -1,0 +1,975 @@
+//! [`Runner`]: the single front door to the experiment engine.
+//!
+//! Every driver entry point the system used to scatter across fifteen
+//! `run_*`/`*_jobs`/`*_engine`/`*_ctx` functions is now a method on one
+//! builder: construct a `Runner` over an [`EngineConfig`], attach what the
+//! run needs (trace store, telemetry, progress), and call a terminal —
+//! [`Runner::sinks`], [`Runner::instruments`], [`Runner::control`],
+//! [`Runner::collected`], [`Runner::comparison`], [`Runner::map`], or the
+//! escape hatch [`Runner::drive`].
+//!
+//! Under the hood every parallel pass is scheduled as typed work packets
+//! on a scoped crew (see [`crate::sched`]): sink shards drain as
+//! [`PacketKind::SinkDrain`]/[`PacketKind::Record`] packets, trace-store
+//! hits replay as [`PacketKind::ReplayShard`] packets, `map` items and
+//! comparison passes ride as [`PacketKind::Task`]/[`PacketKind::VmExecute`]
+//! packets. A sequential engine (`jobs <= 1`, round-robin) takes the
+//! in-thread oracle path; per-sink results are bit-identical either way
+//! (property-tested in the workspace root).
+//!
+//! # Example
+//!
+//! ```
+//! use cachegc_core::{EngineConfig, ExperimentConfig, Runner, Schedule};
+//! use cachegc_workloads::Workload;
+//!
+//! let runner = Runner::new(EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing));
+//! let cfg = ExperimentConfig::quick();
+//! let report = runner.control(Workload::Rewrite.scaled(1), &cfg).unwrap();
+//! assert!(report.refs > 0);
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cachegc_analysis::Instrument;
+use cachegc_gc::{
+    CheneyCollector, GenerationalCollector, ImmixCollector, MarkSweepCollector, NoCollector,
+};
+use cachegc_sim::Cache;
+use cachegc_telemetry::{probe, Counter, EngineReport, Telemetry, WorkerStats};
+use cachegc_trace::{Fanout, RefCounter, TraceSink};
+use cachegc_vm::{RunStats, VmError};
+use cachegc_workloads::WorkloadInstance;
+
+use crate::experiment::{
+    collected_run, control_report, CollectedRun, CollectorSpec, ControlReport, ExperimentConfig,
+    GcComparison,
+};
+use crate::sched::{CrewReport, EngineConfig, PacketFanout, PacketKind, Scheduler, Stage};
+use crate::store::{scenario_label, OfferOutcome, RunCtx, StoredTrace, TraceStore};
+use crate::telemetry::Progress;
+
+/// Degree of parallelism this machine supports (a sensible `--jobs`
+/// default). Falls back to 1 if the platform cannot say.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Replay `instance` into `sink` under the given collector (`None` is the
+/// collection-disabled control configuration). The common trunk of every
+/// terminal below.
+fn run_spec_sink<S: TraceSink>(
+    instance: WorkloadInstance,
+    spec: Option<CollectorSpec>,
+    sink: S,
+) -> Result<(RunStats, S), VmError> {
+    match spec {
+        None => {
+            let out = instance.run(NoCollector::new(), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Cheney { semispace_bytes }) => {
+            let out = instance.run(CheneyCollector::new(semispace_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Generational {
+            nursery_bytes,
+            old_bytes,
+        }) => {
+            let out = instance.run(GenerationalCollector::new(nursery_bytes, old_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::Immix { heap_bytes }) => {
+            let out = instance.run(ImmixCollector::new(heap_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+        Some(CollectorSpec::MarkSweep { heap_bytes }) => {
+            let out = instance.run(MarkSweepCollector::new(heap_bytes), sink)?;
+            Ok((out.stats, out.sink))
+        }
+    }
+}
+
+/// Report a pass that did *not* ride a [`PacketFanout`] — a sequential
+/// fanout or a sharded replay — to the telemetry engine totals, so every
+/// pass appears in the manifest's engine block whatever path drove it.
+/// The `schedule` label distinguishes the paths (`sequential` / `replay`)
+/// from the real engine schedules. Worker `i`'s `events` counts the
+/// `(event, sink)` pairs it drove under the round-robin sink sharding
+/// both paths use.
+fn record_flat_engine(
+    ctx: &RunCtx<'_>,
+    schedule: &'static str,
+    jobs: usize,
+    n_sinks: usize,
+    events: u64,
+) {
+    let Some(telemetry) = ctx.telemetry else {
+        return;
+    };
+    let workers = (0..jobs)
+        .map(|i| {
+            let shard = (n_sinks / jobs) + usize::from(i < n_sinks % jobs);
+            WorkerStats {
+                events: events * shard as u64,
+                chunks: 0,
+                steals: 0,
+                idle_ns: 0,
+            }
+        })
+        .collect();
+    telemetry.record_engine(&EngineReport {
+        schedule,
+        jobs,
+        sinks: n_sinks,
+        chunks_published: 0,
+        events_published: events,
+        backpressure_ns: 0,
+        queue_depth_hwm: 0,
+        workers,
+    });
+}
+
+/// The unified experiment driver: a [`RunCtx`] (engine configuration,
+/// optional trace store / telemetry / progress) plus a packet
+/// [`Scheduler`]. `Clone` is cheap; builder methods consume and return
+/// `self` so runners for sub-budgets derive freely.
+#[derive(Debug, Clone)]
+pub struct Runner<'a> {
+    ctx: RunCtx<'a>,
+    sched: Scheduler,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner over `engine`, with no store, telemetry, or progress.
+    pub fn new(engine: EngineConfig) -> Runner<'static> {
+        Runner {
+            ctx: RunCtx::new(engine),
+            sched: Scheduler::new(engine.affinity),
+        }
+    }
+
+    /// The sequential-oracle runner: one worker, nothing attached.
+    pub fn sequential() -> Runner<'static> {
+        Runner::new(EngineConfig::default())
+    }
+
+    /// A runner over an existing context (for callers that already built
+    /// a [`RunCtx`]).
+    pub fn over(ctx: RunCtx<'a>) -> Runner<'a> {
+        Runner {
+            sched: Scheduler::new(ctx.engine.affinity),
+            ctx,
+        }
+    }
+
+    /// Attach a trace store: scenarios record on first run and replay on
+    /// every later one.
+    pub fn with_store(mut self, store: &'a TraceStore) -> Runner<'a> {
+        self.ctx = self.ctx.with_store(store);
+        self
+    }
+
+    /// Attach a telemetry registry: every pass attaches a probe shard on
+    /// its thread and reports phases, counters, and engine observability.
+    pub fn with_telemetry(mut self, telemetry: &'a Arc<Telemetry>) -> Runner<'a> {
+        self.ctx = self.ctx.with_telemetry(telemetry);
+        self
+    }
+
+    /// Attach a progress reporter, ticked once per completed pass.
+    pub fn with_progress(mut self, progress: &'a Progress) -> Runner<'a> {
+        self.ctx = self.ctx.with_progress(progress);
+        self
+    }
+
+    /// Same attachments, different engine.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Runner<'a> {
+        self.ctx = self.ctx.with_engine(engine);
+        self.sched = self.sched.with_affinity(engine.affinity);
+        self
+    }
+
+    /// Same attachments, engine rebudgeted to `jobs` workers.
+    pub fn with_jobs(mut self, jobs: usize) -> Runner<'a> {
+        self.ctx = self.ctx.with_jobs(jobs);
+        self
+    }
+
+    /// Same runner using `cmd` as the affinity pinning utility (test
+    /// hook: a nonexistent command exercises the graceful no-op path).
+    pub fn with_affinity_command(mut self, cmd: &str) -> Runner<'a> {
+        self.sched = self.sched.with_affinity_command(cmd);
+        self
+    }
+
+    /// The underlying context (engine, store, telemetry, progress).
+    pub fn ctx(&self) -> &RunCtx<'a> {
+        &self.ctx
+    }
+
+    /// The engine configuration this runner drives passes with.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.ctx.engine
+    }
+
+    /// Fold a finished crew's accounting into the attached telemetry (the
+    /// caller must hold a probe shard on this thread).
+    fn flush_crew(&self, report: &CrewReport) {
+        probe!(Counter::SchedPackets, report.packets);
+        probe!(Counter::AffinityPinned, report.pinned as u64);
+        probe!(Counter::AffinityFallbacks, report.affinity_fallbacks as u64);
+    }
+
+    /// Replay a workload into an arbitrary sink set — the general engine
+    /// terminal. Three cases:
+    ///
+    /// * No store attached: a live pass. Sequential engines drive the
+    ///   in-thread [`Fanout`]; otherwise the sinks shard across a
+    ///   [`PacketFanout`] whose drain packets ride a scoped crew.
+    /// * Store hit: the sinks are driven by a **sharded replay** of the
+    ///   recorded trace — no VM; each [`PacketKind::ReplayShard`] packet
+    ///   independently decodes the shared segments into its own sink
+    ///   subset. The recorded [`RunStats`] are returned.
+    /// * Store miss: the pass runs live with a
+    ///   [`Recorder`](cachegc_trace::Recorder) riding along on the tuple
+    ///   sink, and the capture is offered back to the store (which may
+    ///   decline it on budget grounds).
+    ///
+    /// Per-sink results are bit-identical across all three paths.
+    ///
+    /// When the runner carries a [`Telemetry`] registry this terminal is
+    /// also the instrumentation root: it attaches a probe shard on the
+    /// calling thread, times the `vm_execute` / `record` / `replay` /
+    /// `sink_drain` phases (`record` wraps the live run on the miss path,
+    /// so those spans overlap `vm_execute` by design), counts live VM
+    /// runs, packets, and store capture outcomes, and has the engine
+    /// report per-worker observability. A runner carrying a [`Progress`]
+    /// gets one tick per completed pass. Neither changes any result bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the program (live paths only —
+    /// replay cannot fail).
+    pub fn sinks<S>(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        sinks: Vec<S>,
+    ) -> Result<(RunStats, Vec<S>), VmError>
+    where
+        S: TraceSink + Send + 'static,
+    {
+        let _shard = self.ctx.telemetry.map(|t| t.attach());
+        let result = self.sinks_inner(instance, spec, sinks);
+        if result.is_ok() {
+            if let Some(progress) = self.ctx.progress {
+                progress.tick(self.ctx.store);
+            }
+        }
+        result
+    }
+
+    fn sinks_inner<S>(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        sinks: Vec<S>,
+    ) -> Result<(RunStats, Vec<S>), VmError>
+    where
+        S: TraceSink + Send + 'static,
+    {
+        let ctx = &self.ctx;
+        let Some(store) = ctx.store else {
+            // Live pass, nothing to record.
+            probe!(Counter::VmRuns);
+            if ctx.engine.is_sequential() {
+                if ctx.telemetry.is_some() {
+                    // A tally rides the tuple sink so the sequential pass
+                    // can report its event volume like the crews do.
+                    let (stats, (tally, fan)) = {
+                        let _vm = probe::phase_cpu("vm_execute");
+                        run_spec_sink(instance, spec, (RefCounter::new(), Fanout::new(sinks)))?
+                    };
+                    let _drain = probe::phase("sink_drain");
+                    let sinks = fan.into_sinks();
+                    record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
+                    return Ok((stats, sinks));
+                }
+                let (stats, fan) = {
+                    let _vm = probe::phase_cpu("vm_execute");
+                    run_spec_sink(instance, spec, Fanout::new(sinks))?
+                };
+                let _drain = probe::phase("sink_drain");
+                return Ok((stats, fan.into_sinks()));
+            }
+            return self.packet_pass(instance, spec, sinks, PacketKind::SinkDrain);
+        };
+        if let Some(stored) = store.lookup(instance, spec) {
+            return Ok(self.replay_pass(&stored, sinks));
+        }
+        // Miss: run live with a recorder riding along, then offer the
+        // capture back to the store.
+        probe!(Counter::VmRuns);
+        let record_start = Instant::now();
+        let _record = probe::phase("record");
+        let recorder = store.recorder();
+        let (stats, recorder, sinks) = if ctx.engine.is_sequential() {
+            let (stats, (rec, fan)) = {
+                let _vm = probe::phase_cpu("vm_execute");
+                run_spec_sink(instance, spec, (recorder, Fanout::new(sinks)))?
+            };
+            let _drain = probe::phase("sink_drain");
+            let sinks = fan.into_sinks();
+            record_flat_engine(ctx, "sequential", 1, sinks.len(), rec.events());
+            (stats, rec, sinks)
+        } else {
+            let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
+            let (result, report) = self.sched.run(drain_jobs, |crew| {
+                let fan = PacketFanout::new(
+                    crew,
+                    sinks,
+                    &ctx.engine,
+                    PacketKind::Record,
+                    ctx.telemetry.cloned(),
+                );
+                let (stats, (rec, fan)) = {
+                    let _vm = probe::phase_cpu("vm_execute");
+                    run_spec_sink(instance, spec, (recorder, fan))?
+                };
+                let _drain = probe::phase("sink_drain");
+                Ok((stats, rec, fan.into_sinks()))
+            });
+            self.flush_crew(&report);
+            let (stats, rec, sinks) = result?;
+            (stats, rec, sinks)
+        };
+        match store.offer(instance, spec, recorder, stats, record_start.elapsed()) {
+            OfferOutcome::Stored { bytes, events } => {
+                probe!(Counter::StoreRecordedBytes, bytes);
+                probe!(Counter::StoreRecordedEvents, events);
+            }
+            OfferOutcome::DroppedOverBudget => {
+                probe!(Counter::StoreCapturesDropped);
+                if let Some(telemetry) = ctx.telemetry {
+                    telemetry.warn(&format!(
+                        "trace store dropped over-budget capture of {} \
+                         (budget {} bytes); the scenario keeps running live",
+                        scenario_label(instance, spec),
+                        store.budget()
+                    ));
+                }
+            }
+            OfferOutcome::Duplicate => {}
+        }
+        Ok((stats, sinks))
+    }
+
+    /// A live pass with the sinks sharded across a packet crew.
+    fn packet_pass<S>(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        sinks: Vec<S>,
+        kind: PacketKind,
+    ) -> Result<(RunStats, Vec<S>), VmError>
+    where
+        S: TraceSink + Send + 'static,
+    {
+        let ctx = &self.ctx;
+        let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
+        let (result, report) = self.sched.run(drain_jobs, |crew| {
+            let fan = PacketFanout::new(crew, sinks, &ctx.engine, kind, ctx.telemetry.cloned());
+            let (stats, fan) = {
+                let _vm = probe::phase_cpu("vm_execute");
+                run_spec_sink(instance, spec, fan)?
+            };
+            let _drain = probe::phase("sink_drain");
+            Ok((stats, fan.into_sinks()))
+        });
+        self.flush_crew(&report);
+        result
+    }
+
+    /// A store hit: drive the sinks by sharded replay, one
+    /// [`PacketKind::ReplayShard`] packet per worker (in-thread when the
+    /// engine budget is one worker). Cannot fail — the trace is already
+    /// decoded-validated by construction.
+    #[allow(clippy::type_complexity)]
+    fn replay_pass<S>(&self, stored: &Arc<StoredTrace>, sinks: Vec<S>) -> (RunStats, Vec<S>)
+    where
+        S: TraceSink + Send + 'static,
+    {
+        let ctx = &self.ctx;
+        let n_sinks = sinks.len();
+        let events = stored.trace.events();
+        let jobs = ctx.engine.jobs.clamp(1, n_sinks.max(1));
+        let sinks = {
+            let _replay = probe::phase("replay");
+            if jobs <= 1 {
+                let mut fan = Fanout::new(sinks);
+                stored.trace.replay(&mut fan);
+                fan.into_sinks()
+            } else {
+                // Static shards: sink `i` on packet `i % jobs`, pinned to
+                // worker `i % jobs`'s deque.
+                let mut shards: Vec<Vec<(usize, S)>> = (0..jobs).map(|_| Vec::new()).collect();
+                for (i, sink) in sinks.into_iter().enumerate() {
+                    shards[i % jobs].push((i, sink));
+                }
+                let slots: Vec<Mutex<Option<Vec<(usize, S)>>>> =
+                    (0..jobs).map(|_| Mutex::new(None)).collect();
+                let ((), report) = self.sched.run(jobs, |crew| {
+                    for (j, shard) in shards.into_iter().enumerate() {
+                        let trace = Arc::clone(stored);
+                        let slot = &slots[j];
+                        crew.submit(
+                            Stage::Simulate,
+                            PacketKind::ReplayShard,
+                            Some(j),
+                            move |stats| {
+                                let mut shard = shard;
+                                for (_, sink) in &mut shard {
+                                    trace.trace.replay(sink);
+                                }
+                                stats.events += events * shard.len() as u64;
+                                *slot.lock().expect("replay slot poisoned") = Some(shard);
+                            },
+                        );
+                    }
+                    crew.wait_idle();
+                });
+                self.flush_crew(&report);
+                let mut out: Vec<Option<S>> = (0..n_sinks).map(|_| None).collect();
+                for slot in slots {
+                    let shard = slot
+                        .into_inner()
+                        .expect("replay slot poisoned")
+                        .expect("replay packet ran");
+                    for (i, sink) in shard {
+                        out[i] = Some(sink);
+                    }
+                }
+                out.into_iter()
+                    .map(|s| s.expect("every sink accounted for"))
+                    .collect()
+            }
+        };
+        record_flat_engine(ctx, "replay", jobs, n_sinks, events);
+        (stored.stats, sinks)
+    }
+
+    /// [`Runner::sinks`] for the closed heterogeneous [`Instrument`] set —
+    /// mixed cache geometries, organizations, and §7 analyzers in one
+    /// trace pass. Results come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the program.
+    pub fn instruments(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        instruments: Vec<Instrument>,
+    ) -> Result<(RunStats, Vec<Instrument>), VmError> {
+        self.sinks(instance, spec, instruments)
+    }
+
+    /// The §5 control experiment: run `instance` with collection disabled
+    /// against `cfg`'s cache grid in one trace pass (replayed from the
+    /// store when the scenario is recorded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the program.
+    pub fn control(
+        &self,
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+    ) -> Result<ControlReport, VmError> {
+        let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
+        let (stats, cells) = self.sinks(instance, None, sinks)?;
+        Ok(control_report(instance, cfg, stats, cells))
+    }
+
+    /// The §6 experiment: `instance` under `spec`'s collector against
+    /// `cfg`'s cache grid, attributing misses and instructions to program
+    /// vs collector (replayed from the store when recorded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the program.
+    pub fn collected(
+        &self,
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+        spec: CollectorSpec,
+    ) -> Result<CollectedRun, VmError> {
+        let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
+        let (stats, cells) = self.sinks(instance, Some(spec), sinks)?;
+        Ok(collected_run(instance, spec, stats, cells))
+    }
+
+    /// The paired §5/§6 runs: the control and collected passes ride as
+    /// two [`PacketKind::VmExecute`] packets on a two-worker crew,
+    /// splitting the engine's worker budget between them. A pass whose
+    /// scenario is already recorded in the store is a cheap replay, so it
+    /// gets the minimum (one worker) and the live pass gets the
+    /// remainder; when both are live (or both recorded) the budget is
+    /// halved, with the odd worker going to the collected pass (the one
+    /// with more events). A sequential engine runs both passes inline,
+    /// still through the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from either run.
+    pub fn comparison(
+        &self,
+        instance: WorkloadInstance,
+        cfg: &ExperimentConfig,
+        spec: CollectorSpec,
+    ) -> Result<GcComparison, VmError> {
+        if self.ctx.engine.is_sequential() {
+            // Even store-less sequential runs go through `sinks`, so
+            // telemetry and progress behave uniformly.
+            return Ok(GcComparison {
+                control: self.control(instance, cfg)?,
+                collected: self.collected(instance, cfg, spec)?,
+            });
+        }
+        let ctx = &self.ctx;
+        let jobs = ctx.engine.jobs.max(1);
+        let control_replays = ctx.store.is_some_and(|s| s.contains(instance, None));
+        let collected_replays = ctx.store.is_some_and(|s| s.contains(instance, Some(spec)));
+        let (control_jobs, collected_jobs) = match (control_replays, collected_replays) {
+            (true, false) => (1, jobs.saturating_sub(1).max(1)),
+            (false, true) => (jobs.saturating_sub(1).max(1), 1),
+            _ => ((jobs / 2).max(1), (jobs - jobs / 2).max(1)),
+        };
+        let control_runner = self.clone().with_jobs(control_jobs);
+        let collected_runner = self.clone().with_jobs(collected_jobs);
+        let control_slot: Mutex<Option<Result<ControlReport, VmError>>> = Mutex::new(None);
+        let collected_slot: Mutex<Option<Result<CollectedRun, VmError>>> = Mutex::new(None);
+        let _shard = ctx.telemetry.map(|t| t.attach());
+        let ((), report) = self.sched.run(2, |crew| {
+            let control_runner = &control_runner;
+            let control_slot = &control_slot;
+            crew.submit(Stage::Execute, PacketKind::VmExecute, Some(0), move |_| {
+                *control_slot.lock().expect("control slot poisoned") =
+                    Some(control_runner.control(instance, cfg));
+            });
+            let collected_runner = &collected_runner;
+            let collected_slot = &collected_slot;
+            crew.submit(Stage::Execute, PacketKind::VmExecute, Some(1), move |_| {
+                *collected_slot.lock().expect("collected slot poisoned") =
+                    Some(collected_runner.collected(instance, cfg, spec));
+            });
+            crew.wait_idle();
+        });
+        self.flush_crew(&report);
+        let control = control_slot
+            .into_inner()
+            .expect("control slot poisoned")
+            .expect("control packet ran")?;
+        let collected = collected_slot
+            .into_inner()
+            .expect("collected slot poisoned")
+            .expect("collected packet ran")?;
+        Ok(GcComparison { control, collected })
+    }
+
+    /// Split this runner's worker budget between `n` concurrent outer
+    /// tasks and the engine passes inside each: returns `(outer
+    /// parallelism, per-task inner jobs)`. This is what [`Runner::map`]
+    /// applies to its item list.
+    pub fn split_jobs(&self, n: usize) -> (usize, usize) {
+        let outer = self.ctx.engine.jobs.clamp(1, n.max(1));
+        (outer, (self.ctx.engine.jobs / outer).max(1))
+    }
+
+    /// Apply `f` to every item as [`PacketKind::Task`] packets, preserving
+    /// input order in the results. The worker budget splits per
+    /// [`Runner::split_jobs`]: `f` receives a derived runner holding each
+    /// task's share of the budget. An effectively-sequential split runs
+    /// inline.
+    ///
+    /// This is the driver for the experiment sweeps' per-workload loops:
+    /// each of the paper's five programs is an independent trace pass.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any invocation of `f`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Runner<'a>, &T) -> R + Sync,
+    {
+        self.map_with(PacketKind::Task, items, f)
+    }
+
+    /// [`Runner::map`] with an explicit packet kind, for callers whose
+    /// items are better described (e.g. [`PacketKind::GoldenDiff`] for
+    /// golden-table diffs, [`PacketKind::VmExecute`] for whole passes).
+    pub fn map_with<T, R, F>(&self, kind: PacketKind, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Runner<'a>, &T) -> R + Sync,
+    {
+        let (outer, inner_jobs) = self.split_jobs(items.len());
+        let inner = self.clone().with_jobs(inner_jobs);
+        if outer <= 1 {
+            return items.iter().map(|item| f(&inner, item)).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let _shard = self.ctx.telemetry.map(|t| t.attach());
+        let ((), report) = self.sched.run(outer, |crew| {
+            for (i, item) in items.iter().enumerate() {
+                let inner = &inner;
+                let f = &f;
+                let slot = &slots[i];
+                crew.submit(Stage::Execute, kind, None, move |_| {
+                    *slot.lock().expect("map slot poisoned") = Some(f(inner, item));
+                });
+            }
+            crew.wait_idle();
+        });
+        self.flush_crew(&report);
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("map slot poisoned")
+                    .expect("task packet ran")
+            })
+            .collect()
+    }
+
+    /// The escape hatch for passes that drive the sink themselves (e.g. a
+    /// hand-built VM loop): `f` receives a [`TraceSink`] fanned out over
+    /// `sinks` under this runner's engine — sequential in-thread, or
+    /// sharded across a packet crew — and the sinks come back in input
+    /// order along with `f`'s result. Phases (`vm_execute`/`sink_drain`),
+    /// the VM-run counter, and engine observability are reported exactly
+    /// like [`Runner::sinks`]'s live path.
+    pub fn drive<S, T, F>(&self, kind: PacketKind, sinks: Vec<S>, f: F) -> (T, Vec<S>)
+    where
+        S: TraceSink + Send + 'static,
+        F: FnOnce(&mut dyn TraceSink) -> T,
+    {
+        let ctx = &self.ctx;
+        let _shard = ctx.telemetry.map(|t| t.attach());
+        probe!(Counter::VmRuns);
+        if ctx.engine.is_sequential() {
+            if ctx.telemetry.is_some() {
+                let mut pair = (RefCounter::new(), Fanout::new(sinks));
+                let out = {
+                    let _vm = probe::phase_cpu("vm_execute");
+                    f(&mut pair)
+                };
+                let _drain = probe::phase("sink_drain");
+                let (tally, fan) = pair;
+                let sinks = fan.into_sinks();
+                record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
+                return (out, sinks);
+            }
+            let mut fan = Fanout::new(sinks);
+            let out = {
+                let _vm = probe::phase_cpu("vm_execute");
+                f(&mut fan)
+            };
+            let _drain = probe::phase("sink_drain");
+            return (out, fan.into_sinks());
+        }
+        let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
+        let (result, report) = self.sched.run(drain_jobs, |crew| {
+            let mut fan = PacketFanout::new(crew, sinks, &ctx.engine, kind, ctx.telemetry.cloned());
+            let out = {
+                let _vm = probe::phase_cpu("vm_execute");
+                f(&mut fan)
+            };
+            let _drain = probe::phase("sink_drain");
+            (out, fan.into_sinks())
+        });
+        self.flush_crew(&report);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_collected, run_control};
+    use crate::sched::Schedule;
+    use cachegc_analysis::{ActivityTracker, BlockTracker, SweepPlot};
+    use cachegc_sim::{CacheConfig, SetAssocCache};
+    use cachegc_workloads::Workload;
+
+    fn grids_equal(a: &[crate::CacheCell], b: &[crate::CacheCell]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.config, y.config, "same grid order");
+            assert_eq!(x.stats, y.stats, "{}: stats bit-identical", x.config);
+        }
+    }
+
+    #[test]
+    fn parallel_control_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let seq = run_control(w, &cfg).unwrap();
+        let par = Runner::new(EngineConfig::jobs(4)).control(w, &cfg).unwrap();
+        assert_eq!(seq.refs, par.refs);
+        assert_eq!(seq.i_prog, par.i_prog);
+        assert_eq!(seq.allocated, par.allocated);
+        grids_equal(&seq.cells, &par.cells);
+    }
+
+    #[test]
+    fn work_stealing_control_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let seq = run_control(w, &cfg).unwrap();
+        let engine = EngineConfig::jobs(3).with_schedule(Schedule::WorkStealing);
+        let par = Runner::new(engine).control(w, &cfg).unwrap();
+        assert_eq!(seq.refs, par.refs);
+        grids_equal(&seq.cells, &par.cells);
+    }
+
+    #[test]
+    fn parallel_collected_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Compile.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let seq = run_collected(w, &cfg, spec).unwrap();
+        let par = Runner::new(EngineConfig::jobs(4))
+            .collected(w, &cfg, spec)
+            .unwrap();
+        assert_eq!(seq.i_prog, par.i_prog);
+        assert_eq!(seq.i_gc, par.i_gc);
+        assert_eq!(seq.gc.collections, par.gc.collections);
+        for (x, y) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(x.config, y.config);
+            assert_eq!((x.m_prog, x.m_gc), (y.m_prog, y.m_gc));
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn comparison_matches_sequential() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Generational {
+            nursery_bytes: 128 << 10,
+            old_bytes: 8 << 20,
+        };
+        let seq = GcComparison::run(w, &cfg, spec).unwrap();
+        let par = Runner::new(EngineConfig::jobs(4))
+            .comparison(w, &cfg, spec)
+            .unwrap();
+        grids_equal(&seq.control.cells, &par.control.cells);
+        assert_eq!(
+            seq.collected.gc.minor_collections,
+            par.collected.gc.minor_collections
+        );
+        for (size, block) in [(32 << 10, 64), (256 << 10, 64)] {
+            assert_eq!(
+                seq.gc_overhead(size, block, &crate::FAST).to_bits(),
+                par.gc_overhead(size, block, &crate::FAST).to_bits(),
+                "overhead identical to the last bit"
+            );
+        }
+    }
+
+    fn mixed_instruments() -> Vec<Instrument> {
+        let cfg = CacheConfig::direct_mapped(32 << 10, 64);
+        vec![
+            Cache::new(cfg).into(),
+            SetAssocCache::new(cfg.with_assoc(2)).into(),
+            BlockTracker::new(32 << 10, 64).into(),
+            SweepPlot::new(cfg, 4096).into(),
+            ActivityTracker::new(cfg).into(),
+        ]
+    }
+
+    #[test]
+    fn instruments_identical_under_every_schedule() {
+        let w = Workload::Rewrite.scaled(1);
+        let (stats0, oracle) = Runner::sequential()
+            .instruments(w, None, mixed_instruments())
+            .unwrap();
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let engine = EngineConfig::jobs(3).with_schedule(schedule);
+            let (stats, out) = Runner::new(engine)
+                .instruments(w, None, mixed_instruments())
+                .unwrap();
+            assert_eq!(stats0.instructions.program(), stats.instructions.program());
+            assert_eq!(
+                oracle,
+                out,
+                "{}: instrument set bit-identical",
+                schedule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sinks_under_a_collector_attributes_contexts() {
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+        let sinks = vec![Cache::new(CacheConfig::direct_mapped(32 << 10, 64))];
+        let (stats, out) = Runner::new(engine).sinks(w, Some(spec), sinks).unwrap();
+        assert!(stats.gc.collections > 0, "heap small enough to force GC");
+        assert!(
+            out[0].stats().refs_by(cachegc_trace::Context::Collector) > 0,
+            "collector references reach the sink"
+        );
+    }
+
+    #[test]
+    fn cached_replay_matches_live_and_counts_one_vm_run() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let store = crate::TraceStore::unbounded();
+        let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+        let runner = Runner::new(engine).with_store(&store);
+        let oracle = run_control(w, &cfg).unwrap();
+        let live = runner.control(w, &cfg).unwrap(); // miss: records
+        let replay = runner.control(w, &cfg).unwrap(); // hit: replays
+        assert_eq!(oracle.refs, live.refs);
+        assert_eq!(oracle.refs, replay.refs);
+        assert_eq!(oracle.i_prog, replay.i_prog);
+        assert_eq!(oracle.allocated, replay.allocated);
+        grids_equal(&oracle.cells, &live.cells);
+        grids_equal(&oracle.cells, &replay.cells);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.over_budget), (1, 1, 1, 0));
+        assert!(s.bytes > 0 && s.events == oracle.refs);
+        // Every later consumer of the same scenario — a different sink
+        // set, a sequential runner — replays too, VM still run once.
+        let seq = Runner::sequential().with_store(&store);
+        let again = seq.control(w, &cfg).unwrap();
+        grids_equal(&oracle.cells, &again.cells);
+        assert_eq!(store.stats().misses, 1, "VM ran exactly once");
+    }
+
+    #[test]
+    fn over_budget_store_falls_back_to_live_runs() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let store = crate::TraceStore::with_budget(64);
+        let runner = Runner::new(EngineConfig::jobs(2)).with_store(&store);
+        let a = runner.control(w, &cfg).unwrap();
+        let b = runner.control(w, &cfg).unwrap();
+        grids_equal(&a.cells, &b.cells);
+        let s = store.stats();
+        assert_eq!((s.entries, s.misses, s.over_budget), (0, 2, 2));
+    }
+
+    #[test]
+    fn comparison_reuses_a_prior_control_recording() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let store = crate::TraceStore::unbounded();
+        let runner = Runner::new(EngineConfig::jobs(4)).with_store(&store);
+        // An earlier experiment (e3-style) already recorded the control
+        // scenario; the comparison's control pass must be a replay.
+        runner.control(w, &cfg).unwrap();
+        let cmp = runner.comparison(w, &cfg, spec).unwrap();
+        let seq = GcComparison::run(w, &cfg, spec).unwrap();
+        grids_equal(&seq.control.cells, &cmp.control.cells);
+        for (x, y) in seq.collected.cells.iter().zip(&cmp.collected.cells) {
+            assert_eq!((x.m_prog, x.m_gc), (y.m_prog, y.m_gc));
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(
+            seq.gc_overhead(32 << 10, 64, &crate::FAST).to_bits(),
+            cmp.gc_overhead(32 << 10, 64, &crate::FAST).to_bits(),
+        );
+        let s = store.stats();
+        assert_eq!(s.misses, 2, "one VM run per unique scenario");
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 1, "the comparison's control pass replayed");
+    }
+
+    #[test]
+    fn map_preserves_order_and_covers_all() {
+        let items: Vec<u64> = (0..37).collect();
+        let runner = Runner::new(EngineConfig::jobs(5));
+        let doubled = runner.map(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Inline path.
+        assert_eq!(Runner::sequential().map(&items, |_, &x| x + 1)[36], 37);
+        // More workers than items.
+        let wide = Runner::new(EngineConfig::jobs(16));
+        assert_eq!(wide.map(&[1u64, 2], |_, &x| x).len(), 2);
+        let empty: [u64; 0] = [];
+        assert!(wide.map(&empty, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn map_splits_the_worker_budget() {
+        let r = Runner::new(EngineConfig::jobs(8));
+        assert_eq!(r.split_jobs(5), (5, 1));
+        assert_eq!(r.split_jobs(2), (2, 4));
+        assert_eq!(Runner::new(EngineConfig::jobs(1)).split_jobs(5), (1, 1));
+        // The derived runner inside `map` keeps the store attachment.
+        let store = crate::TraceStore::unbounded();
+        let r = Runner::new(EngineConfig::jobs(4)).with_store(&store);
+        let stores = r.map(&[0u8, 1], |inner, _| inner.ctx().store.is_some());
+        assert_eq!(stores, vec![true, true]);
+    }
+
+    #[test]
+    fn drive_matches_the_sequential_fanout() {
+        use cachegc_trace::{Access, Context};
+        let stream: Vec<Access> = (0..20_000u32)
+            .map(|i| Access::read(i.wrapping_mul(68) % (1 << 20), Context::Mutator))
+            .collect();
+        let grid = || {
+            vec![
+                Cache::new(CacheConfig::direct_mapped(32 << 10, 64)),
+                Cache::new(CacheConfig::direct_mapped(64 << 10, 32)),
+            ]
+        };
+        let mut oracle = Fanout::new(grid());
+        for a in &stream {
+            oracle.access(*a);
+        }
+        let expected = oracle.into_sinks();
+        for schedule in [Schedule::RoundRobin, Schedule::WorkStealing] {
+            let engine = EngineConfig::jobs(2).with_schedule(schedule);
+            let (n, got) = Runner::new(engine).drive(PacketKind::VmExecute, grid(), |fan| {
+                for a in &stream {
+                    fan.access(*a);
+                }
+                stream.len()
+            });
+            assert_eq!(n, stream.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.stats(), e.stats(), "{}", schedule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_runner_degrades_to_a_noop_with_a_missing_pinner() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let seq = run_control(w, &cfg).unwrap();
+        let engine = EngineConfig::jobs(2).with_affinity(true);
+        let runner = Runner::new(engine).with_affinity_command("cachegc-no-such-pinner");
+        let par = runner.control(w, &cfg).unwrap();
+        grids_equal(&seq.cells, &par.cells);
+    }
+}

@@ -1,0 +1,63 @@
+//! Best-effort CPU affinity pinning for crew workers.
+//!
+//! The workspace forbids `unsafe` and takes no libc dependency, so the
+//! `sched_setaffinity(2)` syscall is reached through the external
+//! `taskset(1)` utility: read this thread's TID from
+//! `/proc/thread-self/stat`, then shell out to `taskset -p -c <core>
+//! <tid>`. Every failure mode — no procfs, no utility, a sandbox that
+//! refuses the syscall, a 1-core machine — returns `Err` and the caller
+//! records a fallback; pinning is never load-bearing for correctness.
+
+use std::process::{Command, Stdio};
+
+/// Kernel thread id of the calling thread, from procfs.
+fn current_tid() -> Result<u64, String> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat")
+        .map_err(|e| format!("reading /proc/thread-self/stat: {e}"))?;
+    stat.split_whitespace()
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("unparseable stat line: {stat:?}"))
+}
+
+/// Try to pin the calling thread to core `core % available_parallelism()`
+/// using `command` (normally `taskset`; tests inject a nonexistent name to
+/// exercise the fallback). Returns `Err` with a reason on any failure;
+/// the thread keeps running unpinned either way.
+pub fn pin_current_thread(core: usize, command: &str) -> Result<(), String> {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = core % avail;
+    let tid = current_tid()?;
+    let status = Command::new(command)
+        .args(["-p", "-c", &core.to_string(), &tid.to_string()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map_err(|e| format!("spawning {command}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("{command} exited with {status}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_missing_pinning_utility_is_an_err_not_a_panic() {
+        let r = pin_current_thread(0, "cachegc-no-such-pinner");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tid_is_readable_where_procfs_exists() {
+        // On Linux this succeeds; elsewhere the Err path is the contract.
+        match current_tid() {
+            Ok(tid) => assert!(tid > 0),
+            Err(reason) => assert!(!reason.is_empty()),
+        }
+    }
+}

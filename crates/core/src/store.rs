@@ -26,11 +26,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cachegc_telemetry::Telemetry;
-use cachegc_trace::{EngineConfig, RecordedTrace, Recorder};
+use cachegc_trace::{RecordedTrace, Recorder};
 use cachegc_vm::RunStats;
 use cachegc_workloads::WorkloadInstance;
 
 use crate::experiment::CollectorSpec;
+use crate::sched::EngineConfig;
 use crate::telemetry::Progress;
 
 /// A store key: one unique VM execution scenario.

@@ -8,7 +8,7 @@
 //! re-exports the primitives, so `cachegc_core::telemetry::Telemetry` is
 //! the one path experiment code needs, and adds:
 //!
-//! * [`Manifest`] — a versioned (`cachegc-manifest-v1`), machine-readable
+//! * [`Manifest`] — a versioned (`cachegc-manifest-v2`), machine-readable
 //!   record of one experiment run: configuration, merged counters, phase
 //!   timings with pause histograms, engine/worker totals, and trace-store
 //!   accounting. Serialized by [`Manifest::to_json`] (hand-rolled, like
@@ -34,7 +34,7 @@ use crate::json::{self, Json};
 use crate::store::{ScenarioGauges, StoreStats, TraceStore};
 
 /// The manifest schema identifier this crate writes and validates.
-pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v1";
+pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v2";
 
 // ---------------------------------------------------------------------
 // Progress
@@ -115,8 +115,13 @@ pub struct ManifestConfig {
     pub experiment: String,
     /// Workload scale the sweep ran at.
     pub scale: u32,
-    /// Worker budget (`--jobs`).
+    /// Effective worker budget after clamping to the machine's available
+    /// parallelism.
     pub jobs: usize,
+    /// Worker budget as requested on the command line (`--jobs`), before
+    /// clamping. Differs from `jobs` exactly when the request exceeded
+    /// the machine.
+    pub jobs_requested: usize,
     /// Engine schedule name.
     pub schedule: String,
     /// Human description of the trace-cache setting (`off`, or the byte
@@ -183,6 +188,7 @@ impl Manifest {
         w.open('{');
         w.field("scale", &self.config.scale.to_string());
         w.field("jobs", &self.config.jobs.to_string());
+        w.field("jobs_requested", &self.config.jobs_requested.to_string());
         w.field("schedule", &json_str(&self.config.schedule));
         w.field("trace_cache", &json_str(&self.config.trace_cache));
         w.close('}');
@@ -414,7 +420,7 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
         return Err("manifest: experiment name is empty".into());
     }
     let config = root.get("config").ok_or("manifest: missing config")?;
-    for key in ["scale", "jobs"] {
+    for key in ["scale", "jobs", "jobs_requested"] {
         config
             .get(key)
             .and_then(Json::as_u64)
@@ -588,6 +594,7 @@ mod tests {
             experiment: "e4_write_policy".into(),
             scale: 1,
             jobs: 2,
+            jobs_requested: 2,
             schedule: "work-stealing".into(),
             trace_cache: "4294967296".into(),
         }
@@ -599,7 +606,8 @@ mod tests {
         let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
         let json = m.to_json();
         validate_manifest(&json).unwrap();
-        assert!(json.contains("\"schema\": \"cachegc-manifest-v1\""));
+        assert!(json.contains("\"schema\": \"cachegc-manifest-v2\""));
+        assert!(json.contains("\"jobs_requested\": 2"));
         assert!(json.contains("\"store\": null"));
     }
 
@@ -670,7 +678,7 @@ mod tests {
         let err = validate_manifest(&good).unwrap_err();
         assert!(err.contains("gc_minor"), "{err}");
         // Wrong schema.
-        let bad = good.replace("cachegc-manifest-v1", "cachegc-manifest-v0");
+        let bad = good.replace("cachegc-manifest-v2", "cachegc-manifest-v0");
         assert!(validate_manifest(&bad).unwrap_err().contains("schema"));
         // Not JSON at all.
         assert!(validate_manifest("{nope").is_err());

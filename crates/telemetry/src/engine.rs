@@ -1,10 +1,10 @@
-//! Engine observability: what a `ParallelFanout` run reports about its
+//! Engine observability: what a packet-crew run reports about its
 //! workers.
 //!
-//! The engine cannot use the thread-local probe shards — its round-robin
-//! workers are plain spawned threads with closures that outlive the caller
-//! — so each worker keeps a private [`WorkerStats`] and hands it back at
-//! join time. The fanout assembles one [`EngineReport`] per run and feeds
+//! The engine cannot use the thread-local probe shards — its workers are
+//! plain scoped threads with closures that outlive the caller — so each
+//! worker keeps a private [`WorkerStats`] and hands it back at join
+//! time. The fanout assembles one [`EngineReport`] per run and feeds
 //! it to [`Telemetry::record_engine`](crate::Telemetry::record_engine),
 //! which folds it into bounded [`EngineTotals`] (per-worker sums, never a
 //! per-run log, so a ten-thousand-pass sweep stays O(workers)).
@@ -37,7 +37,7 @@ impl WorkerStats {
     }
 }
 
-/// Everything one `ParallelFanout` run observed about itself.
+/// Everything one packet-fanout run observed about itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
     /// Schedule name (`round-robin` / `work-stealing`).

@@ -68,13 +68,21 @@ pub enum Counter {
     StoreRecordedEvents,
     /// Trace captures dropped because the store was over budget.
     StoreCapturesDropped,
+    /// Work packets executed by the packet scheduler's crews.
+    SchedPackets,
+    /// Worker threads successfully pinned to a CPU core.
+    AffinityPinned,
+    /// Affinity pin attempts that degraded to an unpinned no-op.
+    AffinityFallbacks,
+    /// `--jobs` requests clamped down to the machine's available parallelism.
+    JobsClamped,
     /// Warnings emitted through [`Telemetry::warn`].
     Warnings,
 }
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::VmRuns,
         Counter::VmAllocs,
         Counter::VmGcTriggers,
@@ -87,6 +95,10 @@ impl Counter {
         Counter::StoreRecordedBytes,
         Counter::StoreRecordedEvents,
         Counter::StoreCapturesDropped,
+        Counter::SchedPackets,
+        Counter::AffinityPinned,
+        Counter::AffinityFallbacks,
+        Counter::JobsClamped,
         Counter::Warnings,
     ];
 
@@ -105,6 +117,10 @@ impl Counter {
             Counter::StoreRecordedBytes => "store_recorded_bytes",
             Counter::StoreRecordedEvents => "store_recorded_events",
             Counter::StoreCapturesDropped => "store_captures_dropped",
+            Counter::SchedPackets => "sched_packets",
+            Counter::AffinityPinned => "affinity_pinned",
+            Counter::AffinityFallbacks => "affinity_fallbacks",
+            Counter::JobsClamped => "jobs_clamped",
             Counter::Warnings => "warnings",
         }
     }

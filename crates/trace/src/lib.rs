@@ -28,14 +28,12 @@
 
 mod counters;
 mod event;
-mod parallel;
 mod recorded;
 mod region;
 mod sink;
 
 pub use counters::{Counters, InstrClass};
 pub use event::{Access, AccessKind, Context};
-pub use parallel::{EngineConfig, ParallelFanout, Schedule, DEFAULT_CHUNK_EVENTS};
 pub use recorded::{RecordedTrace, Recorder, DEFAULT_SEGMENT_BYTES};
 pub use region::{Region, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE, WORD_BYTES};
 pub use sink::{Fanout, NullSink, RefCounter, TraceSink};

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use cachegc::analysis::{ActivityTracker, BlockTracker, Instrument, SweepPlot};
+use cachegc::core::{EngineConfig, PacketKind, Runner, Schedule};
 use cachegc::gc::{
     CheneyCollector, Collector, GenerationalCollector, ImmixCollector, MarkSweepCollector,
     NoCollector, Roots,
@@ -16,8 +17,7 @@ use cachegc::heap::{Header, Heap, HeapConfig, ObjKind, Value};
 use cachegc::sim::{Cache, CacheConfig, SetAssocCache, WriteHitPolicy, WriteMissPolicy};
 use cachegc::testkit::{check, Rng};
 use cachegc::trace::{
-    Access, AccessKind, Context, Counters, EngineConfig, Fanout, NullSink, ParallelFanout,
-    Recorder, Schedule, TraceSink, DYNAMIC_BASE,
+    Access, AccessKind, Context, Counters, Fanout, NullSink, Recorder, TraceSink, DYNAMIC_BASE,
 };
 use cachegc::vm::{read, Machine, Sexp};
 
@@ -201,7 +201,7 @@ fn higher_associativity_never_increases_capacity_misses_for_sequential() {
 }
 
 // ---------------------------------------------------------------------
-// ParallelFanout is bit-identical to sequential Fanout
+// The packet-scheduled fanout is bit-identical to sequential Fanout
 // ---------------------------------------------------------------------
 
 /// The paper-style grid at test scale: several sizes × block sizes.
@@ -228,37 +228,65 @@ fn assert_cells_identical(seq: Vec<Cache>, par: Vec<Cache>) {
     }
 }
 
+/// Drive `sinks` with `accesses` through the packet scheduler configured
+/// by `engine`, returning the sinks after the crew drains every chunk.
+fn drive_packets<S: TraceSink + Send + 'static>(
+    engine: EngineConfig,
+    sinks: Vec<S>,
+    accesses: &[Access],
+) -> Vec<S> {
+    let runner = Runner::new(engine);
+    let ((), out) = runner.drive(PacketKind::SinkDrain, sinks, |fan| {
+        for &a in accesses {
+            fan.access(a);
+        }
+    });
+    out
+}
+
 #[test]
-fn parallel_fanout_matches_sequential_fanout() {
-    check("parallel_fanout_equivalence", 48, |rng| {
-        // Mixed contexts and alloc-writes, random jobs and chunk size, so
-        // chunk boundaries land everywhere relative to the stream length.
-        let jobs = rng.range_usize(1, 9);
+fn packet_fanout_matches_sequential_fanout() {
+    check("packet_fanout_equivalence", 48, |rng| {
+        // Mixed contexts and alloc-writes, random policy, jobs 1..=4, and
+        // chunk size, so chunk and packet boundaries land everywhere
+        // relative to the stream length.
+        let jobs = rng.range_usize(1, 5);
         let chunk = rng.range_usize(1, 300);
         let n = rng.range_usize(0, 4000);
+        let schedule = if rng.bool() {
+            Schedule::WorkStealing
+        } else {
+            Schedule::RoundRobin
+        };
+        let accesses: Vec<Access> = (0..n)
+            .map(|_| {
+                let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 16) * 4;
+                let ctx = if rng.bool() {
+                    Context::Mutator
+                } else {
+                    Context::Collector
+                };
+                match rng.range_u32(0, 3) {
+                    0 => Access::read(addr, ctx),
+                    1 => Access::write(addr, ctx),
+                    _ => Access::alloc_write(addr, ctx),
+                }
+            })
+            .collect();
         let mut seq = Fanout::new(small_grid());
-        let mut par = ParallelFanout::with_chunk(small_grid(), jobs, chunk);
-        for _ in 0..n {
-            let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 16) * 4;
-            let ctx = if rng.bool() {
-                Context::Mutator
-            } else {
-                Context::Collector
-            };
-            let a = match rng.range_u32(0, 3) {
-                0 => Access::read(addr, ctx),
-                1 => Access::write(addr, ctx),
-                _ => Access::alloc_write(addr, ctx),
-            };
+        for &a in &accesses {
             seq.access(a);
-            par.access(a);
         }
-        assert_cells_identical(seq.into_sinks(), par.into_sinks());
+        let engine = EngineConfig::jobs(jobs)
+            .with_chunk(chunk)
+            .with_schedule(schedule);
+        let par = drive_packets(engine, small_grid(), &accesses);
+        assert_cells_identical(seq.into_sinks(), par);
     });
 }
 
 #[test]
-fn parallel_fanout_chunk_boundary_edges() {
+fn packet_fanout_chunk_boundary_edges() {
     // Deterministic boundary cases: empty stream, shorter than one chunk,
     // exactly one chunk, exact multiples, one over a multiple.
     const CHUNK: usize = 64;
@@ -271,22 +299,60 @@ fn parallel_fanout_chunk_boundary_edges() {
         3 * CHUNK,
         3 * CHUNK + 1,
     ] {
-        for jobs in [1usize, 2, 5] {
+        for jobs in [1usize, 2, 3, 4] {
+            let accesses: Vec<Access> = (0..n as u32)
+                .map(|i| {
+                    // A stride pattern with conflicts and write-backs.
+                    if i % 4 == 0 {
+                        Access::write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
+                    } else {
+                        Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
+                    }
+                })
+                .collect();
             let mut seq = Fanout::new(small_grid());
-            let mut par = ParallelFanout::with_chunk(small_grid(), jobs, CHUNK);
-            for i in 0..n as u32 {
-                // A stride pattern with conflicts and write-backs.
-                let a = if i % 4 == 0 {
-                    Access::write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
-                } else {
-                    Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
-                };
+            for &a in &accesses {
                 seq.access(a);
-                par.access(a);
             }
-            assert_cells_identical(seq.into_sinks(), par.into_sinks());
+            let engine = EngineConfig::jobs(jobs).with_chunk(CHUNK);
+            let par = drive_packets(engine, small_grid(), &accesses);
+            assert_cells_identical(seq.into_sinks(), par);
         }
     }
+}
+
+#[test]
+fn affinity_pinning_failure_degrades_to_a_plain_run() {
+    // Affinity is best-effort: a pinner binary that does not exist (the
+    // shape of a one-core container without `taskset`) must leave every
+    // result bit-identical to the unpinned run.
+    check("affinity_degrades_to_noop", 12, |rng| {
+        let n = rng.range_usize(1, 2000);
+        let accesses: Vec<Access> = (0..n as u32)
+            .map(|i| {
+                let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 15) * 4;
+                if i % 3 == 0 {
+                    Access::write(addr, Context::Mutator)
+                } else {
+                    Access::read(addr, Context::Collector)
+                }
+            })
+            .collect();
+        let mut seq = Fanout::new(small_grid());
+        for &a in &accesses {
+            seq.access(a);
+        }
+        let engine = EngineConfig::jobs(2)
+            .with_schedule(Schedule::WorkStealing)
+            .with_affinity(true);
+        let runner = Runner::new(engine).with_affinity_command("cachegc-no-such-pinner");
+        let ((), par) = runner.drive(PacketKind::SinkDrain, small_grid(), |fan| {
+            for &a in &accesses {
+                fan.access(a);
+            }
+        });
+        assert_cells_identical(seq.into_sinks(), par);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -325,26 +391,29 @@ fn mixed_instruments_identical_under_both_schedules() {
         let engine = EngineConfig::jobs(jobs)
             .with_chunk(chunk)
             .with_schedule(schedule);
+        let accesses: Vec<Access> = (0..n)
+            .map(|_| {
+                let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 14) * 4;
+                let ctx = if rng.bool() {
+                    Context::Mutator
+                } else {
+                    Context::Collector
+                };
+                match rng.range_u32(0, 3) {
+                    0 => Access::read(addr, ctx),
+                    1 => Access::write(addr, ctx),
+                    _ => Access::alloc_write(addr, ctx),
+                }
+            })
+            .collect();
         let mut seq = Fanout::new(mixed_instruments());
-        let mut par = ParallelFanout::with_engine(mixed_instruments(), &engine);
-        for _ in 0..n {
-            let addr = DYNAMIC_BASE + rng.range_u32(0, 1 << 14) * 4;
-            let ctx = if rng.bool() {
-                Context::Mutator
-            } else {
-                Context::Collector
-            };
-            let a = match rng.range_u32(0, 3) {
-                0 => Access::read(addr, ctx),
-                1 => Access::write(addr, ctx),
-                _ => Access::alloc_write(addr, ctx),
-            };
+        for &a in &accesses {
             seq.access(a);
-            par.access(a);
         }
+        let par = drive_packets(engine, mixed_instruments(), &accesses);
         assert_eq!(
             seq.into_sinks(),
-            par.into_sinks(),
+            par,
             "mixed instruments bit-identical under {schedule:?}"
         );
     });
@@ -370,18 +439,21 @@ fn work_stealing_chunk_boundary_and_single_worker_edges() {
             let engine = EngineConfig::jobs(jobs)
                 .with_chunk(CHUNK)
                 .with_schedule(Schedule::WorkStealing);
+            let accesses: Vec<Access> = (0..n as u32)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        Access::alloc_write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
+                    } else {
+                        Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
+                    }
+                })
+                .collect();
             let mut seq = Fanout::new(mixed_instruments());
-            let mut par = ParallelFanout::with_engine(mixed_instruments(), &engine);
-            for i in 0..n as u32 {
-                let a = if i % 4 == 0 {
-                    Access::alloc_write(DYNAMIC_BASE + (i % 700) * 52, Context::Mutator)
-                } else {
-                    Access::read(DYNAMIC_BASE + (i % 1100) * 36, Context::Collector)
-                };
+            for &a in &accesses {
                 seq.access(a);
-                par.access(a);
             }
-            assert_eq!(seq.into_sinks(), par.into_sinks(), "n={n} jobs={jobs}");
+            let par = drive_packets(engine, mixed_instruments(), &accesses);
+            assert_eq!(seq.into_sinks(), par, "n={n} jobs={jobs}");
         }
     }
 }

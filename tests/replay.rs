@@ -4,8 +4,7 @@
 //! (workload, scale, collector) scenario run the VM at most once.
 
 use cachegc::core::{
-    run_control, run_control_ctx, run_sinks_ctx, CollectorSpec, EngineConfig, ExperimentConfig,
-    GcComparison, RunCtx, Schedule, TraceStore,
+    run_control, CollectorSpec, EngineConfig, ExperimentConfig, Runner, Schedule, TraceStore,
 };
 use cachegc::trace::{Access, AccessKind, Context, TraceSink};
 use cachegc::workloads::Workload;
@@ -73,14 +72,15 @@ fn replay_is_event_identical_to_live_for_every_workload_and_collector() {
         for spec in specs() {
             let store = TraceStore::unbounded();
             let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
-            let ctx = RunCtx::new(engine).with_store(&store);
+            let runner = Runner::new(engine).with_store(&store);
             // First pass runs the VM live and records; second replays the
             // recording through the sharded path (jobs = 2).
-            let (live_stats, live) =
-                run_sinks_ctx(w.scaled(1), spec, vec![Fingerprint::new()], &ctx)
-                    .unwrap_or_else(|e| panic!("{} {spec:?}: {e}", w.name()));
-            let (replay_stats, replayed) =
-                run_sinks_ctx(w.scaled(1), spec, vec![Fingerprint::new()], &ctx).unwrap();
+            let (live_stats, live) = runner
+                .sinks(w.scaled(1), spec, vec![Fingerprint::new()])
+                .unwrap_or_else(|e| panic!("{} {spec:?}: {e}", w.name()));
+            let (replay_stats, replayed) = runner
+                .sinks(w.scaled(1), spec, vec![Fingerprint::new()])
+                .unwrap();
             assert!(live[0].events > 0, "{}: empty trace", w.name());
             assert_eq!(
                 live[0],
@@ -119,12 +119,12 @@ fn shared_store_runs_each_scenario_at_most_once_across_runners() {
     let w = Workload::Rewrite.scaled(1);
 
     let store = TraceStore::unbounded();
-    let ctx = RunCtx::new(EngineConfig::jobs(2)).with_store(&store);
-    let first = run_control_ctx(w, &cfg, &ctx).unwrap();
-    let cmp = GcComparison::run_ctx(w, &cfg, spec, &ctx).unwrap();
+    let runner = Runner::new(EngineConfig::jobs(2)).with_store(&store);
+    let first = runner.control(w, &cfg).unwrap();
+    let cmp = runner.comparison(w, &cfg, spec).unwrap();
     let mut regrid = cfg.clone();
     regrid.cache_sizes = vec![64 << 10];
-    let second = run_control_ctx(w, &regrid, &ctx).unwrap();
+    let second = runner.control(w, &regrid).unwrap();
 
     // "VM at most once": every miss produced an entry, and later passes
     // were all hits — control replayed twice (comparison + regrid), the

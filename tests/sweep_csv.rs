@@ -6,9 +6,7 @@
 use std::path::PathBuf;
 
 use cachegc::core::report::{Cell, Table};
-use cachegc::core::{
-    run_control_engine, EngineConfig, ExperimentConfig, Schedule, WriteMissPolicy, FAST,
-};
+use cachegc::core::{EngineConfig, ExperimentConfig, Runner, Schedule, WriteMissPolicy, FAST};
 use cachegc::workloads::Workload;
 
 /// Run the rewrite workload at tiny scale under both write-miss policies
@@ -25,9 +23,10 @@ fn e4_penalty_table() -> Table {
     // work-stealing schedule, so the persisted numbers come off the same
     // code path a `--jobs 2 --schedule ws --csv` invocation uses.
     let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+    let runner = Runner::new(engine);
     let w = Workload::Rewrite.scaled(1);
-    let wv = run_control_engine(w, &cfg_wv, &engine).expect("write-validate sweep");
-    let fow = run_control_engine(w, &cfg_fow, &engine).expect("fetch-on-write sweep");
+    let wv = runner.control(w, &cfg_wv).expect("write-validate sweep");
+    let fow = runner.control(w, &cfg_fow).expect("fetch-on-write sweep");
 
     let mut t = Table::new("e4_penalty", &["cache_bytes", "block_bytes", "delta"]);
     for &size in &cfg_wv.cache_sizes {

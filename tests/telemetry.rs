@@ -8,8 +8,8 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use cachegc::core::{
-    run_sinks_ctx, validate_manifest, CollectorSpec, EngineConfig, Manifest, ManifestConfig,
-    Progress, RunCtx, Schedule, Telemetry, TraceStore,
+    validate_manifest, CollectorSpec, EngineConfig, Manifest, ManifestConfig, Progress, Runner,
+    Schedule, Telemetry, TraceStore,
 };
 use cachegc::sim::{Cache, CacheConfig};
 use cachegc::telemetry::Counter;
@@ -39,14 +39,14 @@ fn three_paths(
     let store = TraceStore::unbounded();
     let mut out = Vec::new();
     for pass in 0..3 {
-        let mut ctx = RunCtx::new(engine);
+        let mut runner = Runner::new(engine);
         if pass > 0 {
-            ctx = ctx.with_store(&store);
+            runner = runner.with_store(&store);
         }
         if let Some(telemetry) = telemetry {
-            ctx = ctx.with_telemetry(telemetry);
+            runner = runner.with_telemetry(telemetry);
         }
-        let (_, caches) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+        let (_, caches) = runner.sinks(w, spec(), grid()).unwrap();
         out.extend(caches.iter().map(|c| c.stats().clone()));
     }
     assert_eq!(store.stats().misses, 1, "pass 1 recorded");
@@ -85,13 +85,13 @@ fn merged_counters_match_the_run_stats_oracle() {
     let telemetry = Arc::new(Telemetry::new());
     let store = TraceStore::unbounded();
     let engine = EngineConfig::jobs(3).with_schedule(Schedule::WorkStealing);
-    let ctx = RunCtx::new(engine)
+    let runner = Runner::new(engine)
         .with_store(&store)
         .with_telemetry(&telemetry);
 
     let tallies = vec![RefCounter::new(), RefCounter::new(), RefCounter::new()];
-    let (stats, tallies) = run_sinks_ctx(w, spec(), tallies, &ctx).unwrap();
-    let (replay_stats, _) = run_sinks_ctx(w, spec(), vec![RefCounter::new()], &ctx).unwrap();
+    let (stats, tallies) = runner.sinks(w, spec(), tallies).unwrap();
+    let (replay_stats, _) = runner.sinks(w, spec(), vec![RefCounter::new()]).unwrap();
     assert_eq!(
         stats.gc.collections, replay_stats.gc.collections,
         "replay returns the recorded stats"
@@ -162,12 +162,12 @@ fn progress_ticks_once_per_pass_into_its_own_writer() {
     let store = TraceStore::unbounded();
     let buf = Arc::new(Mutex::new(Vec::new()));
     let progress = Progress::to_writer("e0_demo", 2, Box::new(SharedBuf(buf.clone())));
-    let ctx = RunCtx::new(EngineConfig::jobs(2))
+    let runner = Runner::new(EngineConfig::jobs(2))
         .with_store(&store)
         .with_progress(&progress);
 
-    let (_, first) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
-    let (_, second) = run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    let (_, first) = runner.sinks(w, spec(), grid()).unwrap();
+    let (_, second) = runner.sinks(w, spec(), grid()).unwrap();
     assert_eq!(progress.completed(), 2);
 
     // Progress went to its writer alone, and never changed a result: the
@@ -192,17 +192,18 @@ fn a_real_runs_manifest_validates_end_to_end() {
     let w = Workload::Rewrite.scaled(1);
     let telemetry = Arc::new(Telemetry::new());
     let store = TraceStore::unbounded();
-    let ctx = RunCtx::new(EngineConfig::jobs(2))
+    let runner = Runner::new(EngineConfig::jobs(2))
         .with_store(&store)
         .with_telemetry(&telemetry);
-    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
-    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    runner.sinks(w, spec(), grid()).unwrap();
+    runner.sinks(w, spec(), grid()).unwrap();
 
     let manifest = Manifest::gather(
         ManifestConfig {
             experiment: "telemetry_it".into(),
             scale: 1,
             jobs: 2,
+            jobs_requested: 2,
             schedule: "round-robin".into(),
             trace_cache: "unbounded".into(),
         },
@@ -222,10 +223,10 @@ fn over_budget_captures_warn_and_count() {
     let w = Workload::Rewrite.scaled(1);
     let telemetry = Arc::new(Telemetry::new());
     let store = TraceStore::with_budget(8);
-    let ctx = RunCtx::new(EngineConfig::jobs(1))
+    let runner = Runner::new(EngineConfig::jobs(1))
         .with_store(&store)
         .with_telemetry(&telemetry);
-    run_sinks_ctx(w, spec(), grid(), &ctx).unwrap();
+    runner.sinks(w, spec(), grid()).unwrap();
 
     let snap = telemetry.snapshot();
     assert_eq!(snap.counter(Counter::StoreCapturesDropped), 1);
