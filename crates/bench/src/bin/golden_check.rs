@@ -6,30 +6,40 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use cachegc_bench::cli::TraceCacheArg;
+use cachegc_bench::cli::{MetricsArg, TraceCacheArg};
 use cachegc_bench::experiments::{self, Experiment};
 use cachegc_bench::golden::{
     bless_tables, check_tables_on, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
 };
-use cachegc_core::Runner;
+use cachegc_core::{Manifest, ManifestConfig, Runner, Telemetry};
 
 const USAGE: &str = "\
 golden_check: diff every experiment's tables against results/expected/
 
 usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
-                    [--trace-cache on|off|BYTES] [--manifest PATH]
+                    [--trace-cache on|off|BYTES[,spill[:DIR]][,evict=on|off]]
+                    [--metrics off|json[:PATH]] [--manifest PATH]
 
   --bless       regenerate the goldens from the current code
   --only NAME   check a single experiment (e.g. e4_write_policy)
   --dir PATH    golden directory (default results/expected)
   --rel-eps X   relative epsilon for float/pct cells (default 1e-9;
                 0 means exact)
-  --trace-cache on|off|BYTES
+  --trace-cache on|off|BYTES[,spill[:DIR]][,evict=on|off]
                 share one trace store across all experiments so each
                 unique (workload, scale, collector) scenario's VM runs
-                at most once; BYTES caps resident trace memory
+                at most once; BYTES caps resident trace memory; spill
+                writes captures through to disk segments (default DIR
+                results/tracestore) and warm-starts from them on the
+                next invocation; evict=off refuses over-budget captures
+                instead of evicting least-recently-hit scenarios
                 (default on; env CACHEGC_TRACE_CACHE)
+  --metrics off|json[:PATH]
+                write this invocation's own run manifest (schema,
+                counters, store accounting) to PATH, default
+                results/manifest/golden_check.json
   --manifest PATH
                 validate a run manifest written by an experiment's
                 --metrics json instead of diffing tables: schema and
@@ -40,7 +50,7 @@ The sweeps always run at --scale 1 --jobs 2 --schedule ws: goldens are
 defined at that configuration, and the parallel engine is bit-identical
 to the sequential one, so results do not depend on the machine. Replay
 from the trace cache is bit-identical to the live VM, so --trace-cache
-never changes a table.";
+never changes a table — with any budget, with or without spill.";
 
 struct Opts {
     bless: bool,
@@ -48,6 +58,7 @@ struct Opts {
     dir: PathBuf,
     tol: Tolerance,
     trace_cache: TraceCacheArg,
+    metrics: MetricsArg,
     manifest: Option<PathBuf>,
 }
 
@@ -58,6 +69,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         dir: PathBuf::from(GOLDEN_DIR),
         tol: Tolerance::default(),
         trace_cache: TraceCacheArg::from_env(std::env::var("CACHEGC_TRACE_CACHE").ok().as_deref())?,
+        metrics: MetricsArg::Off,
         manifest: None,
     };
     let mut it = argv.iter();
@@ -84,8 +96,22 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--trace-cache" => {
                 let raw = value("--trace-cache")?;
                 opts.trace_cache = TraceCacheArg::parse(&raw).ok_or_else(|| {
-                    format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
+                    format!(
+                        "--trace-cache: malformed value '{raw}' \
+                         (on|off|BYTES[,spill[:DIR]][,evict=on|off])"
+                    )
                 })?;
+            }
+            "--metrics" => {
+                let raw = value("--metrics")?;
+                opts.metrics = match MetricsArg::parse(&raw) {
+                    Some(m @ (MetricsArg::Off | MetricsArg::Json(_))) => m,
+                    _ => {
+                        return Err(format!(
+                            "--metrics: malformed value '{raw}' (off or json[:PATH])"
+                        ))
+                    }
+                };
             }
             "--manifest" => opts.manifest = Some(PathBuf::from(value("--manifest")?)),
             "--help" | "-h" => return Err(String::new()),
@@ -155,41 +181,72 @@ fn main() -> ExitCode {
     // earlier sweep recorded, so each unique (workload, scale, collector)
     // runs the VM at most once per invocation.
     let store = opts.trace_cache.store();
+    let telemetry = opts.metrics.enabled().then(|| Arc::new(Telemetry::new()));
     let mut runner = Runner::new(golden_engine());
     if let Some(store) = &store {
         runner = runner.with_store(store);
     }
+    if let Some(telemetry) = &telemetry {
+        runner = runner.with_telemetry(telemetry);
+    }
     let mut drifted = 0usize;
     let mut checked = 0usize;
-    for exp in exps {
-        eprintln!("== {} ==", exp.name);
-        let tables = run_sweep(exp, GOLDEN_SCALE, &runner);
-        checked += tables.len();
-        if opts.bless {
-            match bless_tables(&opts.dir, exp.name, &tables) {
-                Ok(written) => {
-                    for p in written {
-                        println!("blessed {}", p.display());
+    {
+        // The shard makes main-thread probes land in the registry; engine
+        // workers attach their own inside the drivers.
+        let _shard = telemetry.as_ref().map(|t| t.attach());
+        for exp in exps {
+            eprintln!("== {} ==", exp.name);
+            let tables = run_sweep(exp, GOLDEN_SCALE, &runner);
+            checked += tables.len();
+            if opts.bless {
+                match bless_tables(&opts.dir, exp.name, &tables) {
+                    Ok(written) => {
+                        for p in written {
+                            println!("blessed {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("golden_check: cannot write goldens for {}: {e}", exp.name);
+                        return ExitCode::from(2);
                     }
                 }
-                Err(e) => {
-                    eprintln!("golden_check: cannot write goldens for {}: {e}", exp.name);
-                    return ExitCode::from(2);
-                }
+                continue;
             }
-            continue;
-        }
-        for (table, drifts) in check_tables_on(&runner, &opts.dir, exp.name, &tables, &opts.tol) {
-            drifted += 1;
-            println!("DRIFT in {} table '{table}':", exp.name);
-            for d in drifts {
-                println!("  {d}");
+            for (table, drifts) in check_tables_on(&runner, &opts.dir, exp.name, &tables, &opts.tol)
+            {
+                drifted += 1;
+                println!("DRIFT in {} table '{table}':", exp.name);
+                for d in drifts {
+                    println!("  {d}");
+                }
             }
         }
     }
 
     if let Some(store) = &store {
         eprintln!("trace cache: {}", store.stats());
+    }
+    if let (Some(telemetry), MetricsArg::Json(path)) = (&telemetry, &opts.metrics) {
+        let manifest = Manifest::gather(
+            ManifestConfig {
+                experiment: "golden_check".to_string(),
+                scale: GOLDEN_SCALE,
+                jobs: golden_engine().jobs,
+                jobs_requested: golden_engine().jobs,
+                schedule: golden_engine().schedule.name().to_string(),
+                trace_cache: opts.trace_cache.describe(),
+            },
+            &telemetry.snapshot(),
+            store.as_ref(),
+        );
+        let path = path
+            .clone()
+            .unwrap_or_else(|| experiments::default_manifest_path("golden_check"));
+        match manifest.write(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 
     if opts.bless {

@@ -18,10 +18,12 @@ use cachegc_core::{EngineConfig, Schedule, TraceStore};
 /// while still bounding a paper-scale sweep).
 pub const DEFAULT_TRACE_CACHE_BYTES: u64 = 4 << 30;
 
-/// The `--trace-cache` knob: whether (and how large) a scenario-keyed
-/// [`TraceStore`] backs the run.
+/// The spill directory the bare `spill` option (no `:DIR`) selects.
+pub const DEFAULT_SPILL_DIR: &str = "results/tracestore";
+
+/// Whether (and how large) a scenario-keyed [`TraceStore`] backs the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceCacheArg {
+pub enum TraceCacheMode {
     /// No store; every pass runs the VM live.
     Off,
     /// A store with the [`DEFAULT_TRACE_CACHE_BYTES`] budget.
@@ -30,14 +32,85 @@ pub enum TraceCacheArg {
     Budget(u64),
 }
 
+/// The `--trace-cache` knob: the store mode plus its eviction and disk
+/// spill options, spelled `on|off|BYTES[,spill[:DIR]][,evict=on|off]`.
+/// `off` takes no options (a spill directory for a store that does not
+/// exist is a contradiction worth rejecting, not ignoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCacheArg {
+    /// Store mode: off, default budget, or an explicit byte budget.
+    pub mode: TraceCacheMode,
+    /// Spill directory for write-through segment files, when enabled.
+    pub spill: Option<PathBuf>,
+    /// Whether the store evicts least-recently-hit entries to fit a new
+    /// capture (default) or refuses over-budget captures outright.
+    pub evict: bool,
+}
+
 impl TraceCacheArg {
-    /// Parse a `--trace-cache` value: `on`, `off`, or a byte count.
-    pub fn parse(raw: &str) -> Option<TraceCacheArg> {
-        match raw {
-            "on" => Some(TraceCacheArg::On),
-            "off" => Some(TraceCacheArg::Off),
-            _ => raw.parse().ok().map(TraceCacheArg::Budget),
+    /// The default setting: a store with the default budget, eviction
+    /// on, no spill.
+    pub fn on() -> TraceCacheArg {
+        TraceCacheArg {
+            mode: TraceCacheMode::On,
+            spill: None,
+            evict: true,
         }
+    }
+
+    /// No store at all.
+    pub fn off() -> TraceCacheArg {
+        TraceCacheArg {
+            mode: TraceCacheMode::Off,
+            spill: None,
+            evict: true,
+        }
+    }
+
+    /// A store with an explicit byte budget, eviction on, no spill.
+    pub fn budget(bytes: u64) -> TraceCacheArg {
+        TraceCacheArg {
+            mode: TraceCacheMode::Budget(bytes),
+            spill: None,
+            evict: true,
+        }
+    }
+
+    /// Parse a `--trace-cache` value:
+    /// `on|off|BYTES[,spill[:DIR]][,evict=on|off]`.
+    pub fn parse(raw: &str) -> Option<TraceCacheArg> {
+        let mut parts = raw.split(',');
+        let mode = match parts.next()? {
+            "on" => TraceCacheMode::On,
+            "off" => TraceCacheMode::Off,
+            n => TraceCacheMode::Budget(n.parse().ok()?),
+        };
+        let mut spill = None;
+        let mut evict = true;
+        let mut options = 0usize;
+        for opt in parts {
+            options += 1;
+            if opt == "spill" {
+                spill = Some(PathBuf::from(DEFAULT_SPILL_DIR));
+            } else if let Some(dir) = opt.strip_prefix("spill:") {
+                if dir.is_empty() {
+                    return None;
+                }
+                spill = Some(PathBuf::from(dir));
+            } else if let Some(v) = opt.strip_prefix("evict=") {
+                evict = match v {
+                    "on" => true,
+                    "off" => false,
+                    _ => return None,
+                };
+            } else {
+                return None;
+            }
+        }
+        if mode == TraceCacheMode::Off && options > 0 {
+            return None;
+        }
+        Some(TraceCacheArg { mode, spill, evict })
     }
 
     /// Resolve a `CACHEGC_TRACE_CACHE` environment value: `None` (unset)
@@ -45,29 +118,44 @@ impl TraceCacheArg {
     /// variable, same discipline as the flag.
     pub fn from_env(raw: Option<&str>) -> Result<TraceCacheArg, String> {
         match raw {
-            None => Ok(TraceCacheArg::On),
+            None => Ok(TraceCacheArg::on()),
             Some(v) => TraceCacheArg::parse(v).ok_or_else(|| {
-                format!("CACHEGC_TRACE_CACHE: malformed value '{v}' (on, off, or bytes)")
+                format!(
+                    "CACHEGC_TRACE_CACHE: malformed value '{v}' \
+                     (on|off|BYTES[,spill[:DIR]][,evict=on|off])"
+                )
             }),
         }
     }
 
     /// The store this argument asks for (`None` for `off`).
     pub fn store(&self) -> Option<TraceStore> {
-        match *self {
-            TraceCacheArg::Off => None,
-            TraceCacheArg::On => Some(TraceStore::with_budget(DEFAULT_TRACE_CACHE_BYTES)),
-            TraceCacheArg::Budget(bytes) => Some(TraceStore::with_budget(bytes)),
+        let bytes = match self.mode {
+            TraceCacheMode::Off => return None,
+            TraceCacheMode::On => DEFAULT_TRACE_CACHE_BYTES,
+            TraceCacheMode::Budget(bytes) => bytes,
+        };
+        let mut store = TraceStore::with_budget(bytes).with_evict(self.evict);
+        if let Some(dir) = &self.spill {
+            store = store.with_spill(dir.clone());
         }
+        Some(store)
     }
 
     /// A human description of the setting for the run manifest.
     pub fn describe(&self) -> String {
-        match *self {
-            TraceCacheArg::Off => "off".into(),
-            TraceCacheArg::On => format!("{DEFAULT_TRACE_CACHE_BYTES} bytes"),
-            TraceCacheArg::Budget(bytes) => format!("{bytes} bytes"),
+        let mut out = match self.mode {
+            TraceCacheMode::Off => return "off".into(),
+            TraceCacheMode::On => format!("{DEFAULT_TRACE_CACHE_BYTES} bytes"),
+            TraceCacheMode::Budget(bytes) => format!("{bytes} bytes"),
+        };
+        if let Some(dir) = &self.spill {
+            out.push_str(&format!(", spill {}", dir.display()));
         }
+        if !self.evict {
+            out.push_str(", evict off");
+        }
+        out
     }
 }
 
@@ -135,7 +223,8 @@ pub struct ExperimentArgs {
     pub affinity: bool,
     /// CSV output path (`--csv PATH`), if requested.
     pub csv: Option<PathBuf>,
-    /// Trace record/replay cache (`--trace-cache on|off|BYTES`, env
+    /// Trace record/replay cache (`--trace-cache
+    /// on|off|BYTES[,spill[:DIR]][,evict=on|off]`, env
     /// `CACHEGC_TRACE_CACHE`; default on).
     pub trace_cache: TraceCacheArg,
     /// Telemetry sink (`--metrics off|table|json[:PATH]`, env
@@ -217,7 +306,10 @@ impl ExperimentArgs {
                 "--trace-cache" => {
                     let raw = it.next().ok_or("--trace-cache needs a value")?;
                     trace_cache = Some(TraceCacheArg::parse(raw).ok_or_else(|| {
-                        format!("--trace-cache: malformed value '{raw}' (on, off, or bytes)")
+                        format!(
+                            "--trace-cache: malformed value '{raw}' \
+                             (on|off|BYTES[,spill[:DIR]][,evict=on|off])"
+                        )
                     })?);
                 }
                 "--metrics" => {
@@ -335,7 +427,8 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
         "{binary} — {about}\n\
          \n\
          usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--affinity]\n\
-         \x20                [--csv PATH] [--trace-cache on|off|BYTES]\n\
+         \x20                [--csv PATH]\n\
+         \x20                [--trace-cache on|off|BYTES[,spill[:DIR]][,evict=on|off]]\n\
          \x20                [--metrics off|table|json[:PATH]] [--progress]\n\
          \n\
          \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
@@ -348,7 +441,12 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
          \x20 --csv PATH     also write results as CSV to PATH\n\
          \x20 --trace-cache  record each unique scenario's trace and replay it for\n\
          \x20                later passes: on (default, 4 GiB budget), off, or an\n\
-         \x20                explicit byte budget (env CACHEGC_TRACE_CACHE)\n\
+         \x20                explicit byte budget; append ,spill[:DIR] to write\n\
+         \x20                captures through to disk segments (default DIR\n\
+         \x20                {DEFAULT_SPILL_DIR}) and warm-start from them, and\n\
+         \x20                ,evict=off to refuse over-budget captures instead of\n\
+         \x20                evicting least-recently-hit scenarios\n\
+         \x20                (env CACHEGC_TRACE_CACHE)\n\
          \x20 --metrics M    gather run telemetry: off (default), table (print a\n\
          \x20                timing table), or json[:PATH] (write a run manifest,\n\
          \x20                default results/manifest/{binary}.json; env\n\
@@ -493,17 +591,17 @@ mod tests {
 
     #[test]
     fn trace_cache_flag_parses_and_defaults_on() {
-        assert_eq!(parsed(&[]).trace_cache, TraceCacheArg::On);
+        assert_eq!(parsed(&[]).trace_cache, TraceCacheArg::on());
         assert_eq!(
             parsed(&["--trace-cache", "off"]).trace_cache,
-            TraceCacheArg::Off
+            TraceCacheArg::off()
         );
         assert_eq!(
             parsed(&["--trace-cache", "on"]).trace_cache,
-            TraceCacheArg::On
+            TraceCacheArg::on()
         );
         let a = parsed(&["--trace-cache", "268435456"]);
-        assert_eq!(a.trace_cache, TraceCacheArg::Budget(268435456));
+        assert_eq!(a.trace_cache, TraceCacheArg::budget(268435456));
         assert_eq!(a.trace_store().map(|s| s.budget()), Some(268435456));
         assert!(parsed(&["--trace-cache", "off"]).trace_store().is_none());
         assert_eq!(
@@ -513,8 +611,48 @@ mod tests {
     }
 
     #[test]
+    fn trace_cache_spill_and_evict_options_parse() {
+        // Bare `spill` selects the default directory; `spill:DIR` an
+        // explicit one; `evict=off` disables eviction. Order is free.
+        let a = parsed(&["--trace-cache", "on,spill"]);
+        assert_eq!(
+            a.trace_cache.spill.as_deref(),
+            Some(Path::new(DEFAULT_SPILL_DIR))
+        );
+        assert!(a.trace_cache.evict);
+        let a = parsed(&["--trace-cache", "1048576,spill:/tmp/ts,evict=off"]);
+        assert_eq!(a.trace_cache.mode, TraceCacheMode::Budget(1048576));
+        assert_eq!(a.trace_cache.spill.as_deref(), Some(Path::new("/tmp/ts")));
+        assert!(!a.trace_cache.evict);
+        let a = parsed(&["--trace-cache", "on,evict=off,spill:/tmp/ts"]);
+        assert!(!a.trace_cache.evict);
+        assert!(a.trace_cache.spill.is_some());
+        // The options shape the store the argument builds.
+        let store = parsed(&["--trace-cache", "64,spill:/tmp/ts,evict=off"])
+            .trace_store()
+            .unwrap();
+        assert_eq!(store.budget(), 64);
+        assert!(!store.evict());
+        assert_eq!(store.spill_dir(), Some(Path::new("/tmp/ts")));
+        let store = parsed(&[]).trace_store().unwrap();
+        assert!(store.evict(), "eviction is the default");
+        assert_eq!(store.spill_dir(), None, "no spill unless asked");
+    }
+
+    #[test]
     fn trace_cache_rejects_malformed_values_for_flag_and_env() {
-        for bad in ["auto", "-1", "1g", ""] {
+        for bad in [
+            "auto",
+            "-1",
+            "1g",
+            "",
+            "on,spill:",
+            "on,evict=maybe",
+            "on,frob",
+            "on,",
+            "off,spill",
+            "off,evict=on",
+        ] {
             let err = ExperimentArgs::try_parse(&argv(&["--trace-cache", bad]), 4).unwrap_err();
             assert!(err.contains("--trace-cache"), "{bad:?}: {err}");
         }
@@ -527,14 +665,14 @@ mod tests {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
-        assert_eq!(a.trace_cache, TraceCacheArg::Off);
+        assert_eq!(a.trace_cache, TraceCacheArg::off());
         let a = match ExperimentArgs::try_parse_env(&argv(&["--trace-cache", "64"]), 4, env, 8)
             .unwrap()
         {
             Parse::Args(a) => a,
             Parse::Help => panic!("unexpected help"),
         };
-        assert_eq!(a.trace_cache, TraceCacheArg::Budget(64));
+        assert_eq!(a.trace_cache, TraceCacheArg::budget(64));
     }
 
     #[test]
@@ -588,11 +726,17 @@ mod tests {
 
     #[test]
     fn trace_cache_describes_itself() {
-        assert_eq!(TraceCacheArg::Off.describe(), "off");
-        assert_eq!(TraceCacheArg::Budget(64).describe(), "64 bytes");
+        assert_eq!(TraceCacheArg::off().describe(), "off");
+        assert_eq!(TraceCacheArg::budget(64).describe(), "64 bytes");
         assert_eq!(
-            TraceCacheArg::On.describe(),
+            TraceCacheArg::on().describe(),
             format!("{DEFAULT_TRACE_CACHE_BYTES} bytes")
+        );
+        assert_eq!(
+            TraceCacheArg::parse("64,spill:/tmp/ts,evict=off")
+                .unwrap()
+                .describe(),
+            "64 bytes, spill /tmp/ts, evict off"
         );
     }
 

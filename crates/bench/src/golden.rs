@@ -268,8 +268,10 @@ pub fn run_sweep(exp: &Experiment, scale: u32, runner: &Runner) -> Vec<Table> {
 /// generic schema/invariant checks of
 /// [`cachegc_core::validate_manifest`], plus the stricter demands a real
 /// sweep's manifest must meet — the VM executed at least once
-/// (`vm_execute` has spans), the crew engine ran and reported per-worker
-/// stats, and a store that reports hits replayed.
+/// (`vm_execute` has spans) or the store warm-started from spill
+/// segments, the crew engine ran and reported per-worker stats, a store
+/// that reports hits replayed, and every in-flight recording reservation
+/// was resolved by the end of the run.
 ///
 /// # Errors
 ///
@@ -284,8 +286,18 @@ pub fn check_manifest(text: &str) -> Result<(), String> {
             .and_then(cachegc_core::json::Json::as_u64)
             .unwrap_or(0)
     };
-    if phase_count("vm_execute") == 0 {
-        return Err("manifest: no vm_execute spans — the sweep never ran a VM".into());
+    let store_field = |key: &str| {
+        doc.get("store")
+            .and_then(|s| s.get(key))
+            .and_then(cachegc_core::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    // A warm-started run can legitimately never touch the VM: every
+    // scenario re-materializes from its spill segment instead.
+    if phase_count("vm_execute") == 0 && store_field("spill_loads") == 0 {
+        return Err(
+            "manifest: no vm_execute spans and no spill loads — the sweep never ran a VM".into(),
+        );
     }
     let engine = doc.get("engine");
     let engine_runs = engine
@@ -302,14 +314,18 @@ pub fn check_manifest(text: &str) -> Result<(), String> {
     if workers == 0 {
         return Err("manifest: engine.workers is empty — no per-worker stats recorded".into());
     }
-    let hits = doc
-        .get("store")
-        .and_then(|s| s.get("hits"))
-        .and_then(cachegc_core::json::Json::as_u64)
-        .unwrap_or(0);
+    let hits = store_field("hits");
     if hits > 0 && phase_count("replay") == 0 {
         return Err(format!(
             "manifest: store reports {hits} hits but no replay spans"
+        ));
+    }
+    // A finished run has resolved every recording flight: leftover
+    // reserved bytes mean a ticket leaked its in-flight charge.
+    let reserved = store_field("reserved");
+    if reserved > 0 {
+        return Err(format!(
+            "manifest: store still reserves {reserved} in-flight bytes after the run"
         ));
     }
     Ok(())

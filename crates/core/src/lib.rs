@@ -28,7 +28,9 @@
 //! assert!(o >= 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the spill module's mmap readback is the
+// one scoped `#[allow(unsafe_code)]` exception in the workspace.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod experiment;
@@ -37,6 +39,7 @@ mod overhead;
 pub mod report;
 mod runner;
 pub mod sched;
+mod spill;
 mod store;
 pub mod telemetry;
 
@@ -51,7 +54,8 @@ pub use sched::{
     DEFAULT_CHUNK_EVENTS,
 };
 pub use store::{
-    scenario_label, OfferOutcome, RunCtx, ScenarioGauges, StoreStats, StoredTrace, TraceStore,
+    scenario_label, Acquired, HitSource, OfferOutcome, RecordTicket, RunCtx, ScenarioGauges,
+    StoreStats, StoredTrace, TraceStore,
 };
 pub use telemetry::{
     validate_manifest, Manifest, ManifestConfig, ManifestStore, Progress, Telemetry,

@@ -47,7 +47,9 @@ use crate::experiment::{
     GcComparison,
 };
 use crate::sched::{CrewReport, EngineConfig, PacketFanout, PacketKind, Scheduler, Stage};
-use crate::store::{scenario_label, OfferOutcome, RunCtx, StoredTrace, TraceStore};
+use crate::store::{
+    scenario_label, Acquired, HitSource, OfferOutcome, RunCtx, StoredTrace, TraceStore,
+};
 use crate::telemetry::Progress;
 
 /// Degree of parallelism this machine supports (a sensible `--jobs`
@@ -306,15 +308,27 @@ impl<'a> Runner<'a> {
             }
             return self.packet_pass(instance, spec, sinks, PacketKind::SinkDrain);
         };
-        if let Some(stored) = store.lookup(instance, spec) {
-            return Ok(self.replay_pass(&stored, sinks));
-        }
-        // Miss: run live with a recorder riding along, then offer the
-        // capture back to the store.
+        let ticket = match store.acquire(instance, spec) {
+            Acquired::Hit { trace, source } => {
+                match source {
+                    HitSource::Resident => {}
+                    HitSource::SpillLoad => probe!(Counter::StoreSpillLoads),
+                    HitSource::Coalesced => probe!(Counter::StoreCoalesced),
+                }
+                return Ok(self.replay_pass(&trace, sinks));
+            }
+            Acquired::Miss(ticket) => ticket,
+        };
+        // Miss: this pass holds the scenario's single recording flight.
+        // Run live with the ticket's budget-metered recorder riding
+        // along, then offer the capture back; concurrent passes of the
+        // same scenario are blocked in `acquire` meanwhile. An early
+        // error return drops the ticket, which cancels the flight and
+        // hands leadership to a waiter.
         probe!(Counter::VmRuns);
         let record_start = Instant::now();
         let _record = probe::phase("record");
-        let recorder = store.recorder();
+        let recorder = ticket.recorder();
         let (stats, recorder, sinks) = if ctx.engine.is_sequential() {
             let (stats, (rec, fan)) = {
                 let _vm = probe::phase_cpu("vm_execute");
@@ -345,10 +359,23 @@ impl<'a> Runner<'a> {
             let (stats, rec, sinks) = result?;
             (stats, rec, sinks)
         };
-        match store.offer(instance, spec, recorder, stats, record_start.elapsed()) {
-            OfferOutcome::Stored { bytes, events } => {
+        match ticket.offer(recorder, stats, record_start.elapsed()) {
+            OfferOutcome::Stored {
+                bytes,
+                events,
+                evictions,
+                bytes_evicted,
+                spilled,
+            } => {
                 probe!(Counter::StoreRecordedBytes, bytes);
                 probe!(Counter::StoreRecordedEvents, events);
+                if evictions > 0 {
+                    probe!(Counter::StoreEvictions, evictions);
+                    probe!(Counter::StoreBytesEvicted, bytes_evicted);
+                }
+                if spilled {
+                    probe!(Counter::StoreSpills);
+                }
             }
             OfferOutcome::DroppedOverBudget => {
                 probe!(Counter::StoreCapturesDropped);

@@ -1,0 +1,508 @@
+//! Disk spill for the trace store: versioned segment files with mmap
+//! readback.
+//!
+//! A stored scenario writes through to `<dir>/<scenario>.seg` the moment
+//! it is captured, so eviction is a cheap drop (the bytes survive on
+//! disk) and a restarted process warm-starts from the spill directory
+//! instead of re-running the VM. Readback maps the file and hands the
+//! payload window to [`RecordedTrace::from_image`], so a re-materialized
+//! scenario costs address space, not heap.
+//!
+//! # Segment file format (version 1, little-endian)
+//!
+//! ```text
+//! magic      8  b"CGTSEG1\n" — format version is part of the magic
+//! label_len  4  u32
+//! label      …  UTF-8 scenario label (stale-file check)
+//! events     8  u64
+//! stats     13×8 RunStats: instructions (program, collector,
+//!               gc_induced), allocated_bytes, then GcStats in declared
+//!               order
+//! payload    8  u64 length, then that many bytes — the concatenated
+//!               sealed segments of the recorded stream (the decoder
+//!               carries state across segment boundaries, so
+//!               concatenation replays identically)
+//! checksum   8  FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Files are written to a temporary sibling and renamed into place, so a
+//! crash mid-write never leaves a half-segment under the real name. Any
+//! validation failure on read — wrong magic (old format), wrong label
+//! (hash collision or renamed scenario), wrong length, wrong checksum —
+//! rejects the file and the scenario falls back to live recording; a
+//! spill file is never a correctness dependency.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cachegc_gc::GcStats;
+use cachegc_trace::{Counters, RecordedTrace, TraceImage};
+use cachegc_vm::RunStats;
+
+const MAGIC: &[u8; 8] = b"CGTSEG1\n";
+/// u64 fields in the serialized [`RunStats`] block.
+const STATS_WORDS: usize = 13;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+fn stats_words(stats: &RunStats) -> [u64; STATS_WORDS] {
+    [
+        stats.instructions.program(),
+        stats.instructions.collector(),
+        stats.instructions.gc_induced(),
+        stats.allocated_bytes,
+        stats.gc.collections,
+        stats.gc.minor_collections,
+        stats.gc.major_collections,
+        stats.gc.bytes_copied,
+        stats.gc.bytes_promoted,
+        stats.gc.barrier_stores,
+        stats.gc.remembered,
+        stats.gc.bytes_swept,
+        stats.gc.lines_reclaimed,
+    ]
+}
+
+fn stats_from_words(w: &[u64; STATS_WORDS]) -> RunStats {
+    RunStats {
+        instructions: Counters::from_parts(w[0], w[1], w[2]),
+        allocated_bytes: w[3],
+        gc: GcStats {
+            collections: w[4],
+            minor_collections: w[5],
+            major_collections: w[6],
+            bytes_copied: w[7],
+            bytes_promoted: w[8],
+            barrier_stores: w[9],
+            remembered: w[10],
+            bytes_swept: w[11],
+            lines_reclaimed: w[12],
+        },
+    }
+}
+
+/// The spill file name for a scenario label: the label with every
+/// filesystem-hostile byte flattened to `_`, suffixed with the label's
+/// FNV-1a hash so flattening collisions ("a/b" vs "a_b") stay distinct.
+/// Deterministic, so a restarted process finds its predecessor's files.
+pub(crate) fn segment_file_name(label: &str) -> String {
+    let safe: String = label
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '.' | '-' | '_' | '@' | '+' => c,
+            _ => '_',
+        })
+        .collect();
+    format!("{safe}-{:016x}.seg", fnv1a(label.as_bytes()))
+}
+
+/// Why a spill file was rejected on read; callers treat every variant as
+/// "record live instead", the distinction is for diagnostics.
+#[derive(Debug)]
+pub(crate) enum SpillReject {
+    /// I/O failure mid-read (not a missing file).
+    Io(io::Error),
+    /// Structural failure: bad magic/version, label mismatch, truncated
+    /// or oversized body, or checksum mismatch.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for SpillReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillReject::Io(e) => write!(f, "read failed: {e}"),
+            SpillReject::Invalid(why) => f.write_str(why),
+        }
+    }
+}
+
+/// A scenario re-materialized from disk.
+pub(crate) struct LoadedSegment {
+    pub trace: RecordedTrace,
+    pub stats: RunStats,
+}
+
+/// A spill directory: write-through persistence for stored scenarios.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillDir {
+    dir: PathBuf,
+}
+
+impl SpillDir {
+    pub fn new(dir: PathBuf) -> Self {
+        SpillDir { dir }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, label: &str) -> PathBuf {
+        self.dir.join(segment_file_name(label))
+    }
+
+    /// Persist a captured scenario. Writes `<name>.seg.tmp` then renames
+    /// over `<name>.seg`, so readers never see a torn file.
+    pub fn write(&self, label: &str, trace: &RecordedTrace, stats: &RunStats) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let final_path = self.path_for(label);
+        let tmp_path = final_path.with_extension("seg.tmp");
+        let mut body = Vec::with_capacity(64 + label.len() + trace.bytes() as usize);
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&u32::try_from(label.len()).unwrap_or(u32::MAX).to_le_bytes());
+        body.extend_from_slice(label.as_bytes());
+        body.extend_from_slice(&trace.events().to_le_bytes());
+        for word in stats_words(stats) {
+            body.extend_from_slice(&word.to_le_bytes());
+        }
+        body.extend_from_slice(&trace.bytes().to_le_bytes());
+        for chunk in trace.payload_chunks() {
+            body.extend_from_slice(chunk);
+        }
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(&body)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Re-materialize a scenario. `Ok(None)` means no spill file exists
+    /// (an ordinary cold miss); `Err` means a file exists but failed
+    /// validation and must be ignored.
+    pub fn read(&self, label: &str) -> Result<Option<LoadedSegment>, SpillReject> {
+        let path = self.path_for(label);
+        let image: Arc<dyn TraceImage> = match map_file(&path) {
+            Ok(Some(image)) => image,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(SpillReject::Io(e)),
+        };
+        let bytes = image.bytes();
+        let fail = |why| Err(SpillReject::Invalid(why));
+        // Fixed prefix: magic + label_len.
+        if bytes.len() < MAGIC.len() + 4 {
+            return fail("shorter than the fixed header");
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return fail("magic/version mismatch");
+        }
+        let mut at = MAGIC.len();
+        let label_len = read_u32(bytes, &mut at) as usize;
+        if bytes.len() < at + label_len {
+            return fail("truncated label");
+        }
+        if &bytes[at..at + label_len] != label.as_bytes() {
+            return fail("label mismatch (stale or colliding file)");
+        }
+        at += label_len;
+        // events + stats + payload_len + payload + checksum must fit.
+        let fixed_tail = 8 + STATS_WORDS * 8 + 8;
+        if bytes.len() < at + fixed_tail + 8 {
+            return fail("truncated header");
+        }
+        let events = read_u64(bytes, &mut at);
+        let mut words = [0u64; STATS_WORDS];
+        for word in &mut words {
+            *word = read_u64(bytes, &mut at);
+        }
+        let payload_len = read_u64(bytes, &mut at);
+        let Ok(payload_len) = usize::try_from(payload_len) else {
+            return fail("payload length overflows");
+        };
+        if bytes.len() != at + payload_len + 8 {
+            return fail("length mismatch (truncated or trailing bytes)");
+        }
+        let stored_checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a(&bytes[..bytes.len() - 8]) != stored_checksum {
+            return fail("checksum mismatch");
+        }
+        let payload_at = at;
+        Ok(Some(LoadedSegment {
+            trace: RecordedTrace::from_image(image, payload_at, payload_len, events),
+            stats: stats_from_words(&words),
+        }))
+    }
+}
+
+fn read_u32(bytes: &[u8], at: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(bytes[*at..*at + 4].try_into().unwrap());
+    *at += 4;
+    v
+}
+
+fn read_u64(bytes: &[u8], at: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(bytes[*at..*at + 8].try_into().unwrap());
+    *at += 8;
+    v
+}
+
+/// Open and map a spill file read-only. `Ok(None)` for a missing file.
+/// Uses `mmap` where available so the payload costs address space, not
+/// heap; falls back to an ordinary heap read elsewhere (and for empty
+/// files, which `mmap` refuses).
+fn map_file(path: &Path) -> io::Result<Option<Arc<dyn TraceImage>>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    let Ok(len) = usize::try_from(len) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "spill file too large to map",
+        ));
+    };
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    if len > 0 {
+        return Ok(Some(Arc::new(mapped::Mmap::map(&file, len)?)));
+    }
+    let mut buf = Vec::with_capacity(len);
+    let mut file = file;
+    file.read_to_end(&mut buf)?;
+    Ok(Some(Arc::new(HeapImage(buf))))
+}
+
+/// Heap-backed image fallback (non-Linux targets and empty files).
+struct HeapImage(Vec<u8>);
+
+impl TraceImage for HeapImage {
+    fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A raw read-only `mmap` of a whole file. The libc wrappers are
+/// declared directly (the workspace takes no external dependencies), so
+/// this is the one module in the crate allowed to use `unsafe`.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+#[allow(unsafe_code)]
+mod mapped {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    use cachegc_trace::TraceImage;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    /// A read-only private mapping of `len` bytes of a file, unmapped on
+    /// drop. Safe to share across threads: the mapping is immutable for
+    /// its whole lifetime (`PROT_READ`, `MAP_PRIVATE`).
+    pub(super) struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is created PROT_READ|MAP_PRIVATE and never
+    // remapped, so concurrent reads from any thread are safe.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub(super) fn map(file: &File, len: usize) -> io::Result<Mmap> {
+            debug_assert!(len > 0, "mmap refuses zero-length mappings");
+            // SAFETY: a fresh anonymous address (addr = null), a length
+            // validated against the file's metadata, and a read-only
+            // private mapping; the fd outlives the call.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: exactly the pointer and length mmap returned.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    impl TraceImage for Mmap {
+        fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping is live for &self's lifetime and
+            // immutable (see the Send/Sync justification).
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_trace::{Access, Context, Recorder, TraceSink};
+
+    #[derive(Default, PartialEq, Debug)]
+    struct VecSink(Vec<Access>);
+    impl TraceSink for VecSink {
+        fn access(&mut self, a: Access) {
+            self.0.push(a);
+        }
+    }
+
+    fn sample_trace(n: u32) -> RecordedTrace {
+        let mut rec = Recorder::new().with_segment_bytes(64);
+        for i in 0..n {
+            rec.access(Access::write(i.wrapping_mul(0x9e37_79b9), Context::Mutator));
+        }
+        rec.finish().expect("unbounded")
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cachegc-spill-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trips_trace_and_stats() {
+        let spill = SpillDir::new(tempdir("roundtrip"));
+        let trace = sample_trace(500);
+        let mut stats = RunStats {
+            allocated_bytes: 12_345,
+            ..Default::default()
+        };
+        stats.gc.collections = 7;
+        stats.gc.lines_reclaimed = 99;
+        stats
+            .instructions
+            .charge(cachegc_trace::InstrClass::GcInduced, 3);
+        spill
+            .write("compile@1+cheney/2.0M", &trace, &stats)
+            .unwrap();
+
+        let loaded = spill
+            .read("compile@1+cheney/2.0M")
+            .expect("valid file")
+            .expect("file exists");
+        assert_eq!(loaded.trace.events(), trace.events());
+        assert_eq!(loaded.trace.bytes(), trace.bytes());
+        assert!(loaded.trace.is_mapped() || cfg!(not(target_os = "linux")));
+        assert_eq!(loaded.stats.allocated_bytes, 12_345);
+        assert_eq!(loaded.stats.gc.collections, 7);
+        assert_eq!(loaded.stats.gc.lines_reclaimed, 99);
+        assert_eq!(loaded.stats.instructions.gc_induced(), 3);
+        let (mut live, mut mapped) = (VecSink::default(), VecSink::default());
+        trace.replay(&mut live);
+        loaded.trace.replay(&mut mapped);
+        assert_eq!(live, mapped, "mapped replay is event-for-event identical");
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_miss_not_an_error() {
+        let spill = SpillDir::new(tempdir("missing"));
+        assert!(spill.read("nothing@1").expect("no error").is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_are_rejected() {
+        let spill = SpillDir::new(tempdir("corrupt"));
+        let trace = sample_trace(200);
+        spill.write("w@1", &trace, &RunStats::default()).unwrap();
+        let path = spill.path_for("w@1");
+
+        // Truncation: cut the tail off.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 9]).unwrap();
+        assert!(matches!(spill.read("w@1"), Err(SpillReject::Invalid(_))));
+
+        // Bit flip in the payload: checksum must catch it.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            spill.read("w@1"),
+            Err(SpillReject::Invalid("checksum mismatch"))
+        ));
+
+        // Stale format: wrong magic.
+        let mut stale = full.clone();
+        stale[6] = b'0'; // CGTSEG1 -> CGTSE01
+        fs::write(&path, &stale).unwrap();
+        assert!(matches!(
+            spill.read("w@1"),
+            Err(SpillReject::Invalid("magic/version mismatch"))
+        ));
+
+        // A different label hashing to the same path cannot happen, but a
+        // renamed scenario reusing a file name must be rejected too.
+        fs::write(&path, &full).unwrap();
+        let other = spill.path_for("other@1");
+        fs::create_dir_all(other.parent().unwrap()).unwrap();
+        fs::copy(&path, &other).unwrap();
+        assert!(matches!(
+            spill.read("other@1"),
+            Err(SpillReject::Invalid(
+                "label mismatch (stale or colliding file)"
+            ))
+        ));
+    }
+
+    #[test]
+    fn file_names_flatten_hostile_bytes_and_stay_distinct() {
+        let a = segment_file_name("compile@1+cheney/2.0M");
+        let b = segment_file_name("compile@1+cheney_2.0M");
+        assert!(!a.contains('/'), "collector names carry slashes: {a}");
+        assert_ne!(a, b, "flattened labels disambiguate via the hash suffix");
+        assert_eq!(a, segment_file_name("compile@1+cheney/2.0M"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let spill = SpillDir::new(tempdir("empty"));
+        let trace = Recorder::new().finish().unwrap();
+        assert_eq!(trace.bytes(), 0);
+        spill
+            .write("empty@1", &trace, &RunStats::default())
+            .unwrap();
+        let loaded = spill.read("empty@1").unwrap().unwrap();
+        assert_eq!(loaded.trace.events(), 0);
+        let mut out = VecSink::default();
+        loaded.trace.replay(&mut out);
+        assert!(out.0.is_empty());
+    }
+}

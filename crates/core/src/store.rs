@@ -10,37 +10,60 @@
 //! so the VM+GC execute once per scenario and every later pass is a
 //! cheap decode.
 //!
-//! The store is a cache, never a correctness dependency: a byte budget
-//! caps its footprint, and when recording a scenario would exceed the
-//! budget the capture is dropped and that scenario simply keeps running
-//! live. Over-budget is counted, not reported as an error.
+//! The store is a cache, never a correctness dependency, and it absorbs
+//! traffic with three coordinated layers:
+//!
+//! * **LRU eviction.** A byte budget caps the heap footprint; when a
+//!   capture needs room, the least-recently-hit resident scenario is
+//!   evicted (entries pinned by an in-flight replay — anything still
+//!   holding the [`Arc<StoredTrace>`] — are skipped). Only when nothing
+//!   evictable remains is a capture dropped as over-budget.
+//! * **Disk spill.** With a spill directory attached, every stored
+//!   capture writes through to a checksummed segment file
+//!   (`<dir>/<scenario>.seg`, see [`crate::spill`]), so eviction is a
+//!   cheap drop and a cold [`TraceStore::acquire`] re-materializes the
+//!   scenario from disk through a memory-mapped image — charged zero
+//!   against the byte budget — instead of re-running the VM. Corrupt or
+//!   stale files are rejected and the scenario records live; never an
+//!   error.
+//! * **Single-flight recording.** [`TraceStore::acquire`] registers a
+//!   miss as an in-flight recording (a [`RecordTicket`]); concurrent
+//!   acquires of the same scenario block until the leader's offer lands
+//!   and then replay it, so the same VM run is never executed twice
+//!   concurrently. The ticket's recorder charges its bytes against the
+//!   shared budget *while recording* (see
+//!   [`cachegc_trace::RecordBudget`]), so the combined footprint of
+//!   resident and in-flight bytes never exceeds the budget.
 //!
 //! [`RunCtx`] bundles an [`EngineConfig`] with an optional store
 //! reference; the engine drivers in [`crate::parallel`] take it to
 //! decide, per scenario, between a live (recording) pass and a sharded
 //! replay.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use cachegc_telemetry::Telemetry;
-use cachegc_trace::{RecordedTrace, Recorder};
+use cachegc_trace::{RecordBudget, RecordedTrace, Recorder};
 use cachegc_vm::RunStats;
 use cachegc_workloads::WorkloadInstance;
 
 use crate::experiment::CollectorSpec;
 use crate::sched::EngineConfig;
+use crate::spill::SpillDir;
 use crate::telemetry::Progress;
 
 /// A store key: one unique VM execution scenario.
 type ScenarioKey = (WorkloadInstance, Option<CollectorSpec>);
 
 /// The stable human label of a scenario, used to key the per-scenario
-/// gauges and to name scenarios in warnings and the run manifest:
-/// `workload@scale`, with `+collector` appended for collected runs
-/// (e.g. `compile@1+cheney/2.0M`).
+/// gauges, to name spill files, and to name scenarios in warnings and
+/// the run manifest: `workload@scale`, with `+collector` appended for
+/// collected runs (e.g. `compile@1+cheney/2.0M`).
 pub fn scenario_label(instance: WorkloadInstance, spec: Option<CollectorSpec>) -> String {
     match spec {
         None => format!("{}@{}", instance.workload.name(), instance.scale),
@@ -66,30 +89,59 @@ pub struct StoredTrace {
 /// Hit/miss/size accounting for a [`TraceStore`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Lookups that found a recorded trace.
+    /// Lookups that found a recorded trace (resident, coalesced onto an
+    /// in-flight recording, or re-materialized from a spill file).
     pub hits: u64,
     /// Lookups that found nothing (each miss triggers one live VM run).
     pub misses: u64,
-    /// Captures dropped because they would exceed the byte budget.
+    /// Captures dropped because they would exceed the byte budget with
+    /// nothing left to evict.
     pub over_budget: u64,
     /// Captures dropped because a concurrent capture of the same
-    /// scenario was stored first. Every miss runs live and offers its
-    /// recording back, so `misses == entries + over_budget + duplicates`
-    /// once all offers have landed.
+    /// scenario was stored first. Zero under single-flight
+    /// ([`TraceStore::acquire`]); the raw [`TraceStore::offer`] protocol
+    /// can still produce them. Every miss runs live and offers its
+    /// recording back, so `misses + spill_loads == entries + evictions +
+    /// over_budget + duplicates` once all offers have landed.
     pub duplicates: u64,
     /// Scenarios currently stored.
     pub entries: u64,
-    /// Encoded bytes currently stored.
+    /// Encoded bytes currently resident on the heap (mapped entries
+    /// charge zero).
     pub bytes: u64,
     /// Events currently stored.
     pub events: u64,
+    /// Scenarios evicted to make room for newer captures.
+    pub evictions: u64,
+    /// Heap bytes freed by eviction, cumulative.
+    pub bytes_evicted: u64,
+    /// Captures written through to spill segment files.
+    pub spills: u64,
+    /// Scenarios re-materialized from spill files (each counts a hit and
+    /// an entry, but no miss — no VM ran).
+    pub spill_loads: u64,
+    /// Spill files ignored because they failed validation (bad magic,
+    /// label, length, or checksum); the scenario recorded live instead.
+    pub spill_rejects: u64,
+    /// Acquires that blocked on an in-flight recording of the same
+    /// scenario and then replayed it (single-flight dedupe; each also
+    /// counts a hit).
+    pub coalesced: u64,
+    /// Bytes currently reserved by in-flight recordings.
+    pub reserved: u64,
+    /// High-water mark of resident + reserved bytes; never exceeds the
+    /// budget of a bounded store.
+    pub peak_bytes: u64,
+    /// Encoded bytes resident via spill-file images (outside the heap
+    /// budget).
+    pub mapped_bytes: u64,
 }
 
 impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} entries ({:.1} MiB, {:.1} M events), {} over budget, {} duplicates",
+            "{} hits, {} misses, {} entries ({:.1} MiB, {:.1} M events), {} over budget, {} duplicates, {} evictions ({:.1} MiB), {} spills, {} spill loads, {} coalesced",
             self.hits,
             self.misses,
             self.entries,
@@ -97,6 +149,11 @@ impl fmt::Display for StoreStats {
             self.events as f64 / 1e6,
             self.over_budget,
             self.duplicates,
+            self.evictions,
+            self.bytes_evicted as f64 / (1 << 20) as f64,
+            self.spills,
+            self.spill_loads,
+            self.coalesced,
         )
     }
 }
@@ -110,16 +167,21 @@ pub struct ScenarioGauges {
     pub hits: u64,
     /// Lookups of this scenario that ran live.
     pub misses: u64,
-    /// Encoded bytes resident for this scenario (0 until stored).
+    /// Encoded bytes resident for this scenario (0 until stored, reset
+    /// to 0 by eviction).
     pub bytes: u64,
     /// Events resident for this scenario (0 until stored).
     pub events: u64,
     /// Wall time spent on recording passes for this scenario,
     /// nanoseconds — including captures the store went on to drop.
     pub record_ns: u64,
+    /// Times this scenario was evicted.
+    pub evictions: u64,
+    /// Times this scenario was re-materialized from its spill file.
+    pub spill_loads: u64,
 }
 
-/// What [`TraceStore::offer`] did with a finished capture.
+/// What an offer did with a finished capture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OfferOutcome {
     /// Kept: resident with this many encoded bytes and events.
@@ -128,19 +190,415 @@ pub enum OfferOutcome {
         bytes: u64,
         /// Events now resident for the scenario.
         events: u64,
+        /// Scenarios evicted to make room (recording charge included).
+        evictions: u64,
+        /// Heap bytes those evictions freed.
+        bytes_evicted: u64,
+        /// True when the capture also wrote through to its spill file.
+        spilled: bool,
     },
-    /// Dropped: the recorder overflowed its limit or keeping the capture
-    /// would push the store past its byte budget.
+    /// Dropped: the recorder overflowed its limit / budget, or keeping
+    /// the capture would exceed the byte budget with nothing evictable.
     DroppedOverBudget,
     /// Dropped silently: a concurrent capture of the same scenario won.
     Duplicate,
 }
 
+/// How a [`TraceStore::acquire`] hit found its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitSource {
+    /// The scenario was resident.
+    Resident,
+    /// The scenario was re-materialized from its spill file.
+    SpillLoad,
+    /// The acquire blocked on an in-flight recording and replays its
+    /// result (single-flight dedupe).
+    Coalesced,
+}
+
+/// The result of [`TraceStore::acquire`]: replay a hit, or record under
+/// the returned ticket.
+#[derive(Debug)]
+pub enum Acquired {
+    /// The scenario is available: replay it.
+    Hit {
+        /// The recorded scenario.
+        trace: Arc<StoredTrace>,
+        /// Where it came from.
+        source: HitSource,
+    },
+    /// The scenario must run live; this acquire holds the (single)
+    /// recording flight for it.
+    Miss(RecordTicket),
+}
+
+/// One resident scenario plus its cache metadata.
+#[derive(Debug)]
+struct Resident {
+    stored: Arc<StoredTrace>,
+    /// Budget charge (0 for image-backed entries).
+    heap_bytes: u64,
+    events: u64,
+    /// Logical-clock timestamp of the last hit (or the insert).
+    last_use: u64,
+    /// A valid spill file exists for this entry.
+    on_disk: bool,
+    label: String,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<ScenarioKey, Arc<StoredTrace>>,
+    map: HashMap<ScenarioKey, Resident>,
+    /// Scenarios with a recording in flight; acquires of these block.
+    inflight: HashSet<ScenarioKey>,
+    /// Bytes reserved by in-flight recorders.
+    reserved: u64,
+    /// Logical LRU clock, bumped on every hit and insert.
+    clock: u64,
     stats: StoreStats,
     gauges: BTreeMap<String, ScenarioGauges>,
+}
+
+impl Inner {
+    fn footprint(&self) -> u64 {
+        self.stats.bytes + self.reserved
+    }
+
+    fn note_peak(&mut self) {
+        let fp = self.footprint();
+        if fp > self.stats.peak_bytes {
+            self.stats.peak_bytes = fp;
+        }
+    }
+
+    /// Make room for `n` more bytes under `budget`, evicting
+    /// least-recently-used unpinned heap entries if allowed. Returns
+    /// whether the bytes now fit, plus the evictions performed.
+    fn make_room(&mut self, budget: u64, evict: bool, n: u64) -> (bool, u64, u64) {
+        let mut evictions = 0u64;
+        let mut bytes_evicted = 0u64;
+        while self.footprint().saturating_add(n) > budget {
+            if !evict {
+                return (false, evictions, bytes_evicted);
+            }
+            // Mapped entries charge nothing (evicting them frees no
+            // heap) and entries with a live replay borrow are pinned.
+            let Some(key) = self
+                .map
+                .iter()
+                .filter(|(_, r)| r.heap_bytes > 0 && Arc::strong_count(&r.stored) == 1)
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(k, _)| *k)
+            else {
+                return (false, evictions, bytes_evicted);
+            };
+            let victim = self.map.remove(&key).expect("victim is resident");
+            self.stats.entries -= 1;
+            self.stats.bytes -= victim.heap_bytes;
+            self.stats.events -= victim.events;
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += victim.heap_bytes;
+            evictions += 1;
+            bytes_evicted += victim.heap_bytes;
+            let gauge = self.gauges.entry(victim.label).or_default();
+            gauge.bytes = 0;
+            gauge.events = 0;
+            gauge.evictions += 1;
+        }
+        (true, evictions, bytes_evicted)
+    }
+
+    /// Insert a scenario; the caller has already made room for (and
+    /// accounted) its budget charge. `mapped` entries charge zero.
+    fn insert_resident(
+        &mut self,
+        key: ScenarioKey,
+        label: &str,
+        stored: Arc<StoredTrace>,
+        bytes: u64,
+        events: u64,
+        mapped: bool,
+    ) {
+        self.clock += 1;
+        let heap_bytes = if mapped { 0 } else { bytes };
+        self.stats.entries += 1;
+        self.stats.bytes += heap_bytes;
+        self.stats.events += events;
+        if mapped {
+            self.stats.mapped_bytes += bytes;
+        }
+        self.note_peak();
+        let gauge = self.gauges.entry(label.to_string()).or_default();
+        gauge.bytes = bytes;
+        gauge.events = events;
+        self.map.insert(
+            key,
+            Resident {
+                stored,
+                heap_bytes,
+                events,
+                last_use: self.clock,
+                on_disk: mapped,
+                label: label.to_string(),
+            },
+        );
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    budget: u64,
+    evict: bool,
+    spill: Option<SpillDir>,
+    inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight recording resolves (offer lands
+    /// or ticket is cancelled), waking coalesced acquires.
+    flights: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("trace store poisoned")
+    }
+
+    /// Write a stored scenario through to its spill file; returns
+    /// whether the write landed (failures leave the entry heap-only —
+    /// the store is a cache, a failed spill is not an error).
+    fn write_through(&self, key: &ScenarioKey, label: &str, stored: &StoredTrace) -> bool {
+        let Some(spill) = &self.spill else {
+            return false;
+        };
+        if spill.write(label, &stored.trace, &stored.stats).is_err() {
+            return false;
+        }
+        let mut inner = self.lock();
+        inner.stats.spills += 1;
+        if let Some(resident) = inner.map.get_mut(key) {
+            resident.on_disk = true;
+        }
+        true
+    }
+
+    /// Try to re-materialize a scenario from its spill file; the caller
+    /// already holds the flight for `key`. `Some` resolves the flight as
+    /// a hit; `None` (missing or rejected file) leaves the flight open
+    /// for a live recording.
+    fn load_spilled(&self, key: ScenarioKey, label: &str) -> Option<Arc<StoredTrace>> {
+        let spill = self.spill.as_ref()?;
+        match spill.read(label) {
+            Ok(Some(segment)) => {
+                let bytes = segment.trace.bytes();
+                let events = segment.trace.events();
+                let stored = Arc::new(StoredTrace {
+                    trace: segment.trace,
+                    stats: segment.stats,
+                });
+                let mut inner = self.lock();
+                inner.insert_resident(key, label, stored.clone(), bytes, events, true);
+                inner.stats.spill_loads += 1;
+                inner.stats.hits += 1;
+                let gauge = inner.gauges.entry(label.to_string()).or_default();
+                gauge.hits += 1;
+                gauge.spill_loads += 1;
+                inner.inflight.remove(&key);
+                drop(inner);
+                self.flights.notify_all();
+                Some(stored)
+            }
+            Ok(None) => None,
+            Err(reject) => {
+                let mut inner = self.lock();
+                inner.stats.spill_rejects += 1;
+                drop(inner);
+                // Corrupt or stale files are never an error — fall back
+                // to live recording — but say why on stderr so a wiped
+                // warm-start is explainable.
+                eprintln!("warning: ignoring spill file for '{label}': {reject}");
+                None
+            }
+        }
+    }
+}
+
+/// The in-flight byte reservation for one recording flight: a
+/// [`RecordBudget`] that charges against the shared store (evicting to
+/// make room), so concurrent recorders can never collectively balloon
+/// past the budget.
+#[derive(Debug)]
+struct FlightCharge {
+    shared: Arc<Shared>,
+    /// This flight's currently reserved bytes (mirror of its share of
+    /// `Inner::reserved`).
+    outstanding: AtomicU64,
+    /// Evictions this flight's charges performed, attributed to the
+    /// eventual [`OfferOutcome::Stored`].
+    evictions: AtomicU64,
+    bytes_evicted: AtomicU64,
+}
+
+impl RecordBudget for FlightCharge {
+    fn try_charge(&self, n: u64) -> bool {
+        let mut inner = self.shared.lock();
+        let (fits, evictions, bytes_evicted) =
+            inner.make_room(self.shared.budget, self.shared.evict, n);
+        self.evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.bytes_evicted
+            .fetch_add(bytes_evicted, Ordering::Relaxed);
+        if !fits {
+            return false;
+        }
+        inner.reserved += n;
+        inner.stats.reserved = inner.reserved;
+        inner.note_peak();
+        self.outstanding.fetch_add(n, Ordering::Relaxed);
+        true
+    }
+
+    fn release(&self, n: u64) {
+        let mut inner = self.shared.lock();
+        inner.reserved = inner.reserved.saturating_sub(n);
+        inner.stats.reserved = inner.reserved;
+        self.outstanding.fetch_sub(
+            n.min(self.outstanding.load(Ordering::Relaxed)),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// The exclusive right (and duty) to record one missed scenario.
+///
+/// Returned by [`TraceStore::acquire`] on a miss. Record the live run
+/// through [`RecordTicket::recorder`] and hand it back with
+/// [`RecordTicket::offer`]; concurrent acquires of the same scenario
+/// block until then. Dropping the ticket without offering cancels the
+/// flight (waiters wake and the first becomes the new leader), so a
+/// failed run never wedges the store.
+#[derive(Debug)]
+pub struct RecordTicket {
+    shared: Arc<Shared>,
+    key: ScenarioKey,
+    label: String,
+    charge: Arc<FlightCharge>,
+    done: bool,
+}
+
+impl RecordTicket {
+    /// The scenario's label (for warnings and progress lines).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A recorder whose bytes are reserved against the store's budget
+    /// *while recording* — the in-flight capture can evict cold entries
+    /// to make room, and overflows (releasing every reservation) once
+    /// nothing more can be charged.
+    pub fn recorder(&self) -> Recorder {
+        Recorder::with_limit(self.shared.budget)
+            .with_budget(self.charge.clone() as Arc<dyn RecordBudget>)
+    }
+
+    /// Resolve the flight with a finished recording (wall time charged
+    /// to the scenario's encode gauge whatever the outcome). Waiters
+    /// wake either way; on [`OfferOutcome::Stored`] they replay the
+    /// capture, otherwise they become leaders themselves.
+    pub fn offer(
+        mut self,
+        recorder: Recorder,
+        stats: RunStats,
+        record_wall: Duration,
+    ) -> OfferOutcome {
+        self.done = true;
+        let record_ns = u64::try_from(record_wall.as_nanos()).unwrap_or(u64::MAX);
+        let shared = self.shared.clone();
+        // `finish` releases the recorder's slack; whatever the flight
+        // still holds is returned below and re-charged under the same
+        // lock, so the space cannot be stolen in between.
+        let finished = recorder.finish();
+        let mut evictions = self.charge.evictions.swap(0, Ordering::Relaxed);
+        let mut bytes_evicted = self.charge.bytes_evicted.swap(0, Ordering::Relaxed);
+        let mut inner = shared.lock();
+        inner
+            .gauges
+            .entry(self.label.clone())
+            .or_default()
+            .record_ns += record_ns;
+        let still_reserved = self.charge.outstanding.swap(0, Ordering::Relaxed);
+        inner.reserved = inner.reserved.saturating_sub(still_reserved);
+        inner.stats.reserved = inner.reserved;
+        let mut to_spill = None;
+        let mut outcome = match finished {
+            None => {
+                inner.stats.over_budget += 1;
+                OfferOutcome::DroppedOverBudget
+            }
+            Some(trace) => {
+                // Duplicate check strictly before any budget decision: a
+                // resident scenario must never be misclassified as an
+                // over-budget drop.
+                if inner.map.contains_key(&self.key) {
+                    inner.stats.duplicates += 1;
+                    OfferOutcome::Duplicate
+                } else {
+                    let bytes = trace.bytes();
+                    let events = trace.events();
+                    let (fits, ev, bev) = inner.make_room(shared.budget, shared.evict, bytes);
+                    evictions += ev;
+                    bytes_evicted += bev;
+                    if !fits {
+                        inner.stats.over_budget += 1;
+                        OfferOutcome::DroppedOverBudget
+                    } else {
+                        let stored = Arc::new(StoredTrace { trace, stats });
+                        inner.insert_resident(
+                            self.key,
+                            &self.label,
+                            stored.clone(),
+                            bytes,
+                            events,
+                            false,
+                        );
+                        to_spill = Some(stored);
+                        OfferOutcome::Stored {
+                            bytes,
+                            events,
+                            evictions,
+                            bytes_evicted,
+                            spilled: false,
+                        }
+                    }
+                }
+            }
+        };
+        inner.inflight.remove(&self.key);
+        drop(inner);
+        shared.flights.notify_all();
+        if let Some(stored) = to_spill {
+            let spilled = shared.write_through(&self.key, &self.label, &stored);
+            if let OfferOutcome::Stored {
+                spilled: ref mut flag,
+                ..
+            } = outcome
+            {
+                *flag = spilled;
+            }
+        }
+        outcome
+    }
+}
+
+impl Drop for RecordTicket {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Cancelled flight (e.g. the live run failed): any recorder
+        // charge is released by the recorder's own drop; here we just
+        // re-open the scenario and wake waiters so one of them can lead.
+        let mut inner = self.shared.lock();
+        inner.inflight.remove(&self.key);
+        drop(inner);
+        self.shared.flights.notify_all();
+    }
 }
 
 /// A thread-safe scenario-keyed cache of recorded traces.
@@ -150,8 +608,7 @@ struct Inner {
 /// scenario's VM exactly once.
 #[derive(Debug)]
 pub struct TraceStore {
-    budget: u64,
-    inner: Mutex<Inner>,
+    shared: Arc<Shared>,
 }
 
 impl TraceStore {
@@ -160,28 +617,143 @@ impl TraceStore {
         Self::with_budget(u64::MAX)
     }
 
-    /// A store that refuses captures once `bytes` total encoded bytes
-    /// are resident (existing entries are never evicted; new scenarios
-    /// fall back to live tracing).
+    /// A store bounded to `bytes` of resident + in-flight encoded bytes,
+    /// evicting least-recently-hit scenarios to stay under it (disable
+    /// with [`TraceStore::with_evict`]).
     pub fn with_budget(bytes: u64) -> Self {
         TraceStore {
-            budget: bytes,
-            inner: Mutex::new(Inner::default()),
+            shared: Arc::new(Shared {
+                budget: bytes,
+                evict: true,
+                spill: None,
+                inner: Mutex::new(Inner::default()),
+                flights: Condvar::new(),
+            }),
         }
+    }
+
+    /// Enable or disable LRU eviction (enabled by default). With
+    /// eviction off a bounded store refuses captures at its budget, the
+    /// pre-eviction behavior.
+    pub fn with_evict(mut self, evict: bool) -> Self {
+        Arc::get_mut(&mut self.shared)
+            .expect("with_evict before sharing the store")
+            .evict = evict;
+        self
+    }
+
+    /// Attach a spill directory: stored captures write through to
+    /// versioned segment files there, and cold acquires re-materialize
+    /// from them (memory-mapped, charged zero against the budget)
+    /// instead of re-running the VM.
+    pub fn with_spill(mut self, dir: PathBuf) -> Self {
+        Arc::get_mut(&mut self.shared)
+            .expect("with_spill before sharing the store")
+            .spill = Some(SpillDir::new(dir));
+        self
     }
 
     /// The byte budget.
     pub fn budget(&self) -> u64 {
-        self.budget
+        self.shared.budget
+    }
+
+    /// Whether LRU eviction is enabled.
+    pub fn evict(&self) -> bool {
+        self.shared.evict
+    }
+
+    /// The spill directory, if one is attached.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.shared.spill.as_ref().map(SpillDir::dir)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("trace store poisoned")
+        self.shared.lock()
     }
 
-    /// Look up a scenario, counting a hit or a miss. A miss is the
-    /// caller's cue to run live (and, ideally, [`TraceStore::offer`] the
-    /// recording back).
+    /// Acquire a scenario under the single-flight protocol — the one
+    /// entry point the experiment drivers use.
+    ///
+    /// * Resident (or spilled-to-disk) scenario: a [`Acquired::Hit`],
+    ///   bumping its LRU timestamp.
+    /// * Recording already in flight: block until it resolves, then
+    ///   either replay the stored capture
+    ///   ([`HitSource::Coalesced`]) or — if the flight was dropped or
+    ///   cancelled — take over as the new leader.
+    /// * Otherwise: a [`Acquired::Miss`] holding the scenario's
+    ///   [`RecordTicket`]; the caller runs live and offers the recording
+    ///   back.
+    pub fn acquire(&self, instance: WorkloadInstance, spec: Option<CollectorSpec>) -> Acquired {
+        let key = (instance, spec);
+        let label = scenario_label(instance, spec);
+        let shared = &self.shared;
+        let mut inner = shared.lock();
+        let mut waited = false;
+        loop {
+            if inner.map.contains_key(&key) {
+                inner.clock += 1;
+                let now = inner.clock;
+                let resident = inner.map.get_mut(&key).expect("checked above");
+                resident.last_use = now;
+                let trace = resident.stored.clone();
+                inner.stats.hits += 1;
+                if waited {
+                    inner.stats.coalesced += 1;
+                }
+                inner.gauges.entry(label).or_default().hits += 1;
+                return Acquired::Hit {
+                    trace,
+                    source: if waited {
+                        HitSource::Coalesced
+                    } else {
+                        HitSource::Resident
+                    },
+                };
+            }
+            if inner.inflight.contains(&key) {
+                waited = true;
+                inner = shared.flights.wait(inner).expect("trace store poisoned");
+                continue;
+            }
+            break;
+        }
+        // Leader: claim the flight first, so concurrent acquires wait
+        // while we (lock dropped) probe the spill directory.
+        inner.inflight.insert(key);
+        if shared.spill.is_some() {
+            drop(inner);
+            if let Some(stored) = shared.load_spilled(key, &label) {
+                return Acquired::Hit {
+                    trace: stored,
+                    source: HitSource::SpillLoad,
+                };
+            }
+            inner = shared.lock();
+        }
+        inner.stats.misses += 1;
+        inner.gauges.entry(label.clone()).or_default().misses += 1;
+        drop(inner);
+        Acquired::Miss(RecordTicket {
+            shared: Arc::clone(shared),
+            key,
+            label,
+            charge: Arc::new(FlightCharge {
+                shared: Arc::clone(shared),
+                outstanding: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                bytes_evicted: AtomicU64::new(0),
+            }),
+            done: false,
+        })
+    }
+
+    /// Look up a scenario, counting a hit or a miss — the raw,
+    /// non-coalescing probe. Unlike [`TraceStore::acquire`] this never
+    /// blocks and never claims a flight; racing callers may all miss and
+    /// redundantly record (their offers dedupe as
+    /// [`OfferOutcome::Duplicate`]). Kept for tests and simple callers;
+    /// the experiment drivers use `acquire`.
     pub fn lookup(
         &self,
         instance: WorkloadInstance,
@@ -189,11 +761,15 @@ impl TraceStore {
     ) -> Option<Arc<StoredTrace>> {
         let mut inner = self.lock();
         let label = scenario_label(instance, spec);
-        match inner.map.get(&(instance, spec)).cloned() {
-            Some(hit) => {
+        inner.clock += 1;
+        let now = inner.clock;
+        match inner.map.get_mut(&(instance, spec)) {
+            Some(resident) => {
+                resident.last_use = now;
+                let trace = resident.stored.clone();
                 inner.stats.hits += 1;
                 inner.gauges.entry(label).or_default().hits += 1;
-                Some(hit)
+                Some(trace)
             }
             None => {
                 inner.stats.misses += 1;
@@ -209,22 +785,16 @@ impl TraceStore {
         self.lock().map.contains_key(&(instance, spec))
     }
 
-    /// A recorder limited to the budget still remaining, so a capture
-    /// that cannot possibly be kept frees its buffers mid-run instead of
-    /// ballooning first.
-    pub fn recorder(&self) -> Recorder {
-        let resident = self.lock().stats.bytes;
-        Recorder::with_limit(self.budget.saturating_sub(resident))
-    }
-
-    /// Offer a finished recording for a scenario, with the wall time the
-    /// recording pass took (charged to the scenario's encode-time gauge
-    /// whatever the outcome). Keeps it if the recorder did not overflow
-    /// and the store stays within budget; otherwise counts it as
-    /// over-budget and drops it. A concurrent duplicate (the scenario was
-    /// stored since the caller's miss) is dropped silently, leaving
-    /// `misses > entries` as the audit trail. The caller decides whether
-    /// an [`OfferOutcome::DroppedOverBudget`] deserves a warning.
+    /// Offer a finished recording for a scenario directly (the raw
+    /// companion to [`TraceStore::lookup`]; ticket holders use
+    /// [`RecordTicket::offer`]). The duplicate check runs strictly
+    /// before any budget accounting, so a concurrent capture of a
+    /// scenario that was stored since the caller's miss is always
+    /// counted [`OfferOutcome::Duplicate`] — never misclassified as an
+    /// over-budget drop, no matter how full the store is. Otherwise the
+    /// capture is kept if room can be made (evicting LRU entries when
+    /// enabled), and written through to the spill directory if one is
+    /// attached.
     pub fn offer(
         &self,
         instance: WorkloadInstance,
@@ -233,6 +803,7 @@ impl TraceStore {
         stats: RunStats,
         record_wall: Duration,
     ) -> OfferOutcome {
+        let key = (instance, spec);
         let record_ns = u64::try_from(record_wall.as_nanos()).unwrap_or(u64::MAX);
         let label = scenario_label(instance, spec);
         let Some(trace) = recorder.finish() else {
@@ -243,25 +814,29 @@ impl TraceStore {
         };
         let mut inner = self.lock();
         inner.gauges.entry(label.clone()).or_default().record_ns += record_ns;
-        if inner.stats.bytes.saturating_add(trace.bytes()) > self.budget {
-            inner.stats.over_budget += 1;
-            return OfferOutcome::DroppedOverBudget;
-        }
-        if inner.map.contains_key(&(instance, spec)) {
+        if inner.map.contains_key(&key) {
             inner.stats.duplicates += 1;
             return OfferOutcome::Duplicate;
         }
-        let (bytes, events) = (trace.bytes(), trace.events());
-        inner.stats.entries += 1;
-        inner.stats.bytes += bytes;
-        inner.stats.events += events;
-        let gauge = inner.gauges.entry(label).or_default();
-        gauge.bytes += bytes;
-        gauge.events += events;
-        inner
-            .map
-            .insert((instance, spec), Arc::new(StoredTrace { trace, stats }));
-        OfferOutcome::Stored { bytes, events }
+        let bytes = trace.bytes();
+        let events = trace.events();
+        let (fits, evictions, bytes_evicted) =
+            inner.make_room(self.shared.budget, self.shared.evict, bytes);
+        if !fits {
+            inner.stats.over_budget += 1;
+            return OfferOutcome::DroppedOverBudget;
+        }
+        let stored = Arc::new(StoredTrace { trace, stats });
+        inner.insert_resident(key, &label, stored.clone(), bytes, events, false);
+        drop(inner);
+        let spilled = self.shared.write_through(&key, &label, &stored);
+        OfferOutcome::Stored {
+            bytes,
+            events,
+            evictions,
+            bytes_evicted,
+            spilled,
+        }
     }
 
     /// A snapshot of the accounting counters.
@@ -367,6 +942,22 @@ mod tests {
         (rec, RunStats::default())
     }
 
+    /// Encoded size of a `record(n)` capture.
+    fn capture_bytes(n: u32) -> u64 {
+        let (probe, _) = record(n);
+        probe.bytes()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cachegc-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn lookup_miss_then_offer_then_hit() {
         let store = TraceStore::unbounded();
@@ -374,7 +965,7 @@ mod tests {
         assert!(store.lookup(w, None).is_none());
         let (rec, stats) = record(100);
         let outcome = store.offer(w, None, rec, stats, Duration::from_micros(3));
-        let OfferOutcome::Stored { bytes, events } = outcome else {
+        let OfferOutcome::Stored { bytes, events, .. } = outcome else {
             panic!("expected Stored, got {outcome:?}");
         };
         assert_eq!(events, 100);
@@ -384,6 +975,7 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.entries, s.over_budget), (1, 1, 1, 0));
         assert_eq!(s.events, 100);
         assert!(s.bytes > 0 && s.bytes == bytes);
+        assert_eq!(s.peak_bytes, bytes);
         // The per-scenario gauge tracked both lookups and the capture.
         let gauges = store.scenario_gauges();
         assert_eq!(gauges.len(), 1);
@@ -413,28 +1005,30 @@ mod tests {
     fn budget_overflow_falls_back_without_error() {
         let store = TraceStore::with_budget(4);
         let w = Workload::Prove.scaled(1);
-        // The store-provided recorder carries the remaining budget and
-        // overflows mid-run.
-        let mut rec = store.recorder();
+        // The ticket's recorder charges against the budget and overflows
+        // mid-run once nothing more can be reserved.
+        let Acquired::Miss(ticket) = store.acquire(w, None) else {
+            panic!("empty store must miss");
+        };
+        let mut rec = ticket.recorder();
         for i in 0..1000 {
             rec.access(Access::read(i << 16, Context::Mutator));
         }
         assert!(rec.overflowed());
-        let outcome = store.offer(w, None, rec, RunStats::default(), Duration::from_nanos(7));
+        let outcome = ticket.offer(rec, RunStats::default(), Duration::from_nanos(7));
         assert_eq!(outcome, OfferOutcome::DroppedOverBudget);
         let s = store.stats();
-        assert_eq!((s.entries, s.over_budget), (0, 1));
-        assert!(store.lookup(w, None).is_none(), "nothing was stored");
+        assert_eq!((s.entries, s.over_budget, s.reserved), (0, 1, 0));
+        assert!(s.peak_bytes <= 4, "charges never outran the budget: {s}");
         // Encode time is charged even for a dropped capture.
         let (_, g) = &store.scenario_gauges()[0];
         assert_eq!((g.record_ns, g.bytes), (7, 0));
     }
 
     #[test]
-    fn offer_rejects_when_resident_bytes_fill_budget() {
-        let (probe, _) = record(64);
-        let probe_bytes = probe.bytes();
-        let store = TraceStore::with_budget(probe_bytes + probe_bytes / 2);
+    fn offer_rejects_when_resident_bytes_fill_budget_without_eviction() {
+        let probe_bytes = capture_bytes(64);
+        let store = TraceStore::with_budget(probe_bytes + probe_bytes / 2).with_evict(false);
         let (rec, stats) = record(64);
         store.offer(
             Workload::Rewrite.scaled(1),
@@ -444,13 +1038,13 @@ mod tests {
             Duration::ZERO,
         );
         assert_eq!(store.stats().entries, 1);
-        // Second capture individually fits its recorder limit check only
-        // until the resident bytes are accounted; the offer must re-check.
+        // Second capture individually fits, but with eviction disabled
+        // the resident bytes leave no room.
         let (rec, stats) = record(64);
         let outcome = store.offer(Workload::Nbody.scaled(1), None, rec, stats, Duration::ZERO);
         assert_eq!(outcome, OfferOutcome::DroppedOverBudget);
         let s = store.stats();
-        assert_eq!((s.entries, s.over_budget), (1, 1));
+        assert_eq!((s.entries, s.over_budget, s.evictions), (1, 1, 0));
     }
 
     #[test]
@@ -472,30 +1066,122 @@ mod tests {
     }
 
     #[test]
+    fn racing_duplicate_offers_near_a_full_budget_never_count_over_budget() {
+        // Regression: `offer` used to check the byte budget before the
+        // duplicate check, so with the budget sized for exactly one
+        // capture, the losing offer of a *resident* scenario was
+        // misclassified as an over-budget drop (and could warn). The
+        // duplicate check must win in every interleaving.
+        let w = Workload::Rewrite.scaled(1);
+        let budget = capture_bytes(64);
+        for _ in 0..32 {
+            let store = TraceStore::with_budget(budget).with_evict(false);
+            let outcomes: Vec<OfferOutcome> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let (rec, stats) = record(64);
+                            store.offer(w, None, rec, stats, Duration::ZERO)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let stored = outcomes
+                .iter()
+                .filter(|o| matches!(o, OfferOutcome::Stored { .. }))
+                .count();
+            let duplicates = outcomes
+                .iter()
+                .filter(|o| matches!(o, OfferOutcome::Duplicate))
+                .count();
+            assert_eq!(
+                (stored, duplicates),
+                (1, 1),
+                "exactly one capture wins, the loser is a duplicate: {outcomes:?}"
+            );
+            let s = store.stats();
+            assert_eq!(s.over_budget, 0, "no offer may be misclassified: {s}");
+            assert_eq!((s.entries, s.duplicates), (1, 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_recorders_never_outrun_the_budget() {
+        // Regression: recorders used to snapshot resident bytes only, so
+        // N concurrent captures each got the full remaining budget and
+        // could collectively balloon. With in-flight reservations the
+        // peak of resident + reserved stays under the budget no matter
+        // the interleaving.
+        let one = capture_bytes(256);
+        let budget = one + one / 2; // room for one capture, not two
+        let store = TraceStore::with_budget(budget).with_evict(false);
+        let scenarios = [
+            Workload::Rewrite.scaled(1),
+            Workload::Nbody.scaled(1),
+            Workload::Compile.scaled(1),
+            Workload::Prove.scaled(1),
+        ];
+        let store = &store;
+        let outcomes: Vec<OfferOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = scenarios
+                .iter()
+                .map(|&w| {
+                    s.spawn(move || {
+                        let Acquired::Miss(ticket) = store.acquire(w, None) else {
+                            panic!("distinct scenarios all miss");
+                        };
+                        let mut rec = ticket.recorder();
+                        for i in 0..256u32 {
+                            rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
+                        }
+                        ticket.offer(rec, RunStats::default(), Duration::ZERO)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let s = store.stats();
+        assert!(
+            s.peak_bytes <= budget,
+            "reserved + resident peaked at {} over budget {budget}",
+            s.peak_bytes
+        );
+        assert_eq!(s.reserved, 0, "all reservations resolved");
+        let stored = outcomes
+            .iter()
+            .filter(|o| matches!(o, OfferOutcome::Stored { .. }))
+            .count();
+        assert!(stored >= 1, "the budget fits one capture: {outcomes:?}");
+        assert_eq!(stored as u64, s.entries);
+        assert_eq!(s.misses, s.entries + s.over_budget + s.duplicates);
+    }
+
+    #[test]
     fn capture_landing_exactly_on_the_remaining_budget_is_stored() {
         // Measure the capture size, then set the budget to exactly that:
-        // the boundary is inclusive, both at the recorder limit and at
-        // the offer's resident-bytes re-check.
-        let (probe, _) = record(64);
-        let budget = probe.bytes();
-        let store = TraceStore::with_budget(budget);
-        let mut rec = store.recorder();
+        // the boundary is inclusive at the recorder's reservation.
+        let budget = capture_bytes(64);
+        let store = TraceStore::with_budget(budget).with_evict(false);
+        let w = Workload::Rewrite.scaled(1);
+        let Acquired::Miss(ticket) = store.acquire(w, None) else {
+            panic!("empty store must miss");
+        };
+        let mut rec = ticket.recorder();
         for i in 0..64u32 {
             rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
         }
-        assert!(!rec.overflowed(), "exact-limit recording must not overflow");
-        let outcome = store.offer(
-            Workload::Rewrite.scaled(1),
-            None,
-            rec,
-            RunStats::default(),
-            Duration::ZERO,
+        assert!(
+            !rec.overflowed(),
+            "exact-budget recording must not overflow"
         );
+        let outcome = ticket.offer(rec, RunStats::default(), Duration::ZERO);
         let OfferOutcome::Stored { bytes, .. } = outcome else {
             panic!("exact-budget capture must be Stored, got {outcome:?}");
         };
         assert_eq!(bytes, budget, "stored capture fills the budget exactly");
-        // The budget is now exhausted: one more byte of capture drops.
+        // The budget is now exhausted and eviction is off: one more byte
+        // of capture drops.
         let (rec, stats) = record(1);
         assert_eq!(
             store.offer(Workload::Nbody.scaled(1), None, rec, stats, Duration::ZERO),
@@ -504,11 +1190,113 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_offers_balance_misses_against_outcomes() {
-        // Many threads race the miss -> record -> offer protocol on a
-        // handful of scenarios; whatever interleaving happens, the offer
-        // accounting must balance: misses == entries + over_budget +
-        // duplicates, and exactly one capture per scenario is resident.
+    fn lru_evicts_the_least_recently_hit_scenario_first() {
+        // Budget for two captures; A and B stored, A hit, C offered:
+        // the un-hit B must evict first, and the accounting rebalances
+        // as misses == entries + over_budget + duplicates + evictions.
+        let one = capture_bytes(64);
+        let store = TraceStore::with_budget(2 * one + one / 2);
+        let a = Workload::Rewrite.scaled(1);
+        let b = Workload::Nbody.scaled(1);
+        let c = Workload::Compile.scaled(1);
+        for w in [a, b] {
+            assert!(store.lookup(w, None).is_none());
+            let (rec, stats) = record(64);
+            assert!(matches!(
+                store.offer(w, None, rec, stats, Duration::ZERO),
+                OfferOutcome::Stored { .. }
+            ));
+        }
+        assert!(store.lookup(a, None).is_some(), "hit A to refresh it");
+        assert!(store.lookup(c, None).is_none());
+        let (rec, stats) = record(64);
+        let outcome = store.offer(c, None, rec, stats, Duration::ZERO);
+        let OfferOutcome::Stored {
+            evictions,
+            bytes_evicted,
+            ..
+        } = outcome
+        else {
+            panic!("C must be stored by evicting, got {outcome:?}");
+        };
+        assert_eq!((evictions, bytes_evicted), (1, one));
+        assert!(store.contains(a, None), "recently hit A survives");
+        assert!(!store.contains(b, None), "un-hit B evicted first");
+        assert!(store.contains(c, None));
+        let s = store.stats();
+        assert_eq!(
+            s.misses,
+            s.entries + s.over_budget + s.duplicates + s.evictions,
+            "eviction rebalances the offer accounting: {s}"
+        );
+        assert_eq!((s.entries, s.evictions, s.bytes), (2, 1, 2 * one));
+        let gauges = store.scenario_gauges();
+        let (_, gb) = gauges
+            .iter()
+            .find(|(l, _)| l == "nbody@1")
+            .expect("B gauge persists after eviction");
+        assert_eq!((gb.evictions, gb.bytes, gb.events), (1, 0, 0));
+    }
+
+    #[test]
+    fn pinned_entries_are_skipped_by_eviction() {
+        let one = capture_bytes(64);
+        let store = TraceStore::with_budget(2 * one + one / 2);
+        let a = Workload::Rewrite.scaled(1);
+        let b = Workload::Nbody.scaled(1);
+        for w in [a, b] {
+            let (rec, stats) = record(64);
+            store.offer(w, None, rec, stats, Duration::ZERO);
+        }
+        // Pin A (an in-flight replay holds the Arc), then hit B so A is
+        // the LRU choice: eviction must skip pinned A and take B anyway.
+        let pin = store.lookup(a, None).expect("A resident");
+        assert!(store.lookup(b, None).is_some(), "B is now most recent");
+        let (rec, stats) = record(64);
+        let c = Workload::Compile.scaled(1);
+        assert!(matches!(
+            store.offer(c, None, rec, stats, Duration::ZERO),
+            OfferOutcome::Stored { .. }
+        ));
+        assert!(store.contains(a, None), "pinned A survives");
+        assert!(!store.contains(b, None), "unpinned B evicted instead");
+        drop(pin);
+        // With the pin gone A is evictable again.
+        let (rec, stats) = record(64);
+        let d = Workload::Prove.scaled(1);
+        assert!(matches!(
+            store.offer(d, None, rec, stats, Duration::ZERO),
+            OfferOutcome::Stored { .. }
+        ));
+        assert!(!store.contains(a, None), "unpinned A evicts by LRU");
+    }
+
+    #[test]
+    fn nothing_evictable_still_drops_instead_of_erroring() {
+        // Everything resident is pinned: a new capture has nowhere to
+        // make room and must drop as over-budget, never panic or evict a
+        // pinned entry out from under its replay.
+        let one = capture_bytes(64);
+        let store = TraceStore::with_budget(one + one / 2);
+        let a = Workload::Rewrite.scaled(1);
+        let (rec, stats) = record(64);
+        store.offer(a, None, rec, stats, Duration::ZERO);
+        let _pin = store.lookup(a, None).expect("A resident");
+        let (rec, stats) = record(64);
+        assert_eq!(
+            store.offer(Workload::Nbody.scaled(1), None, rec, stats, Duration::ZERO),
+            OfferOutcome::DroppedOverBudget
+        );
+        assert!(store.contains(a, None));
+    }
+
+    #[test]
+    fn concurrent_acquires_single_flight_with_zero_duplicates() {
+        // The PR 6 race: many threads race the miss -> record -> offer
+        // protocol on a handful of scenarios. Under single-flight, one
+        // thread leads each scenario and everyone else coalesces:
+        // duplicates must be exactly 0 and each scenario runs "live"
+        // exactly once.
         let store = TraceStore::unbounded();
         let scenarios = [
             Workload::Rewrite.scaled(1),
@@ -519,25 +1307,204 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for w in scenarios {
-                        if store.lookup(w, None).is_none() {
-                            let (rec, stats) = record(32);
-                            store.offer(w, None, rec, stats, Duration::ZERO);
+                        match store.acquire(w, None) {
+                            Acquired::Hit { trace, .. } => {
+                                assert_eq!(trace.trace.events(), 32);
+                            }
+                            Acquired::Miss(ticket) => {
+                                let mut rec = ticket.recorder();
+                                for i in 0..32u32 {
+                                    rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
+                                }
+                                ticket.offer(rec, RunStats::default(), Duration::ZERO);
+                            }
                         }
                     }
                 });
             }
         });
         let st = store.stats();
-        assert_eq!(
-            st.misses,
-            st.entries + st.over_budget + st.duplicates,
-            "offer outcomes must account for every miss: {st}"
-        );
+        assert_eq!(st.duplicates, 0, "single-flight leaves no duplicates: {st}");
+        assert_eq!(st.misses, scenarios.len() as u64, "one live run each");
         assert_eq!(st.entries, scenarios.len() as u64);
         assert_eq!(st.over_budget, 0);
+        assert_eq!(
+            st.misses,
+            st.entries + st.over_budget + st.duplicates + st.evictions,
+            "offer outcomes must account for every miss: {st}"
+        );
+        assert_eq!(st.hits + st.misses, (4 * scenarios.len()) as u64);
         for w in scenarios {
             assert!(store.contains(w, None));
         }
+    }
+
+    #[test]
+    fn coalesced_acquires_block_until_the_leader_offers() {
+        let store = Arc::new(TraceStore::unbounded());
+        let w = Workload::Rewrite.scaled(1);
+        let Acquired::Miss(ticket) = store.acquire(w, None) else {
+            panic!("empty store must miss");
+        };
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || match store.acquire(w, None) {
+                    Acquired::Hit { trace, source } => (trace.trace.events(), source),
+                    Acquired::Miss(_) => panic!("waiters must coalesce, not lead"),
+                })
+            })
+            .collect();
+        // Give the waiters time to actually block on the flight.
+        std::thread::sleep(Duration::from_millis(30));
+        let mut rec = ticket.recorder();
+        for i in 0..16u32 {
+            rec.access(Access::read(0x2000 + 4 * i, Context::Mutator));
+        }
+        assert!(matches!(
+            ticket.offer(rec, RunStats::default(), Duration::ZERO),
+            OfferOutcome::Stored { .. }
+        ));
+        for waiter in waiters {
+            let (events, source) = waiter.join().unwrap();
+            assert_eq!(events, 16);
+            assert_eq!(source, HitSource::Coalesced);
+        }
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits, s.coalesced, s.duplicates), (1, 2, 2, 0));
+    }
+
+    #[test]
+    fn a_cancelled_flight_hands_leadership_to_a_waiter() {
+        let store = Arc::new(TraceStore::unbounded());
+        let w = Workload::Rewrite.scaled(1);
+        let Acquired::Miss(first) = store.acquire(w, None) else {
+            panic!("empty store must miss");
+        };
+        let waiter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || match store.acquire(w, None) {
+                Acquired::Miss(ticket) => {
+                    let (rec, stats) = record(8);
+                    drop(rec);
+                    let mut rec = ticket.recorder();
+                    rec.access(Access::read(0x30, Context::Mutator));
+                    ticket.offer(rec, stats, Duration::ZERO)
+                }
+                Acquired::Hit { .. } => panic!("the first flight never offered"),
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(first); // cancel: e.g. the live run errored
+        assert!(matches!(
+            waiter.join().unwrap(),
+            OfferOutcome::Stored { .. }
+        ));
+        let s = store.stats();
+        assert_eq!((s.misses, s.entries, s.duplicates), (2, 1, 0));
+        assert!(store.contains(w, None));
+    }
+
+    #[test]
+    fn spill_survives_restart_and_rejects_truncation() {
+        let dir = tempdir("restart");
+        let w = Workload::Rewrite.scaled(1);
+        // First process: record and write through.
+        {
+            let store = TraceStore::with_budget(1 << 20).with_spill(dir.clone());
+            let Acquired::Miss(ticket) = store.acquire(w, None) else {
+                panic!("cold store must miss");
+            };
+            let mut rec = ticket.recorder();
+            for i in 0..200u32 {
+                rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
+            }
+            let outcome = ticket.offer(rec, RunStats::default(), Duration::ZERO);
+            let OfferOutcome::Stored { spilled, .. } = outcome else {
+                panic!("capture must store, got {outcome:?}");
+            };
+            assert!(spilled, "write-through must land");
+            assert_eq!(store.stats().spills, 1);
+        }
+        // "Restarted" process: warm-start from disk, no VM run needed.
+        {
+            let store = TraceStore::with_budget(1 << 20).with_spill(dir.clone());
+            let Acquired::Hit { trace, source } = store.acquire(w, None) else {
+                panic!("warm start must hit from the spill file");
+            };
+            assert_eq!(source, HitSource::SpillLoad);
+            assert_eq!(trace.trace.events(), 200);
+            let s = store.stats();
+            assert_eq!((s.hits, s.misses, s.spill_loads, s.entries), (1, 0, 1, 1));
+            assert_eq!(s.bytes, 0, "mapped entries charge zero heap");
+            assert!(s.mapped_bytes > 0);
+            // Second acquire is an ordinary resident hit.
+            assert!(matches!(
+                store.acquire(w, None),
+                Acquired::Hit {
+                    source: HitSource::Resident,
+                    ..
+                }
+            ));
+        }
+        // Truncate the segment file: the checksum/length check must
+        // reject it and fall back to a live recording.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .expect("one segment file");
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..full.len() / 2]).unwrap();
+        {
+            let store = TraceStore::with_budget(1 << 20).with_spill(dir.clone());
+            assert!(
+                matches!(store.acquire(w, None), Acquired::Miss(_)),
+                "truncated file must be rejected, not replayed"
+            );
+            let s = store.stats();
+            assert_eq!((s.spill_rejects, s.spill_loads, s.misses), (1, 0, 1));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_a_cheap_drop_when_the_entry_is_on_disk() {
+        // With spill attached, an evicted scenario re-materializes from
+        // its segment file on the next acquire instead of re-recording.
+        let dir = tempdir("evict-reload");
+        let one = capture_bytes(64);
+        let store = TraceStore::with_budget(one + one / 2).with_spill(dir.clone());
+        let a = Workload::Rewrite.scaled(1);
+        let b = Workload::Nbody.scaled(1);
+        for w in [a, b] {
+            let Acquired::Miss(ticket) = store.acquire(w, None) else {
+                panic!("cold miss");
+            };
+            let mut rec = ticket.recorder();
+            for i in 0..64u32 {
+                rec.access(Access::read(0x1000 + 4 * i, Context::Mutator));
+            }
+            assert!(matches!(
+                ticket.offer(rec, RunStats::default(), Duration::ZERO),
+                OfferOutcome::Stored { .. }
+            ));
+        }
+        // B's capture evicted A (budget fits one); A now reloads from
+        // disk as a mapped hit, not a miss.
+        assert!(!store.contains(a, None));
+        let Acquired::Hit { source, .. } = store.acquire(a, None) else {
+            panic!("A must reload from its spill file");
+        };
+        assert_eq!(source, HitSource::SpillLoad);
+        let s = store.stats();
+        assert_eq!((s.evictions, s.spill_loads, s.spills), (1, 1, 2));
+        assert_eq!(
+            s.misses + s.spill_loads,
+            s.entries + s.evictions + s.over_budget + s.duplicates,
+            "generalized balance holds with spill loads: {s}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

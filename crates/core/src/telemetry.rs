@@ -8,7 +8,7 @@
 //! re-exports the primitives, so `cachegc_core::telemetry::Telemetry` is
 //! the one path experiment code needs, and adds:
 //!
-//! * [`Manifest`] — a versioned (`cachegc-manifest-v2`), machine-readable
+//! * [`Manifest`] — a versioned (`cachegc-manifest-v3`), machine-readable
 //!   record of one experiment run: configuration, merged counters, phase
 //!   timings with pause histograms, engine/worker totals, and trace-store
 //!   accounting. Serialized by [`Manifest::to_json`] (hand-rolled, like
@@ -34,7 +34,7 @@ use crate::json::{self, Json};
 use crate::store::{ScenarioGauges, StoreStats, TraceStore};
 
 /// The manifest schema identifier this crate writes and validates.
-pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v2";
+pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v3";
 
 // ---------------------------------------------------------------------
 // Progress
@@ -254,10 +254,19 @@ impl Manifest {
                 w.open('{');
                 w.field("hits", &store.stats.hits.to_string());
                 w.field("misses", &store.stats.misses.to_string());
+                w.field("coalesced", &store.stats.coalesced.to_string());
                 w.field("over_budget", &store.stats.over_budget.to_string());
                 w.field("duplicates", &store.stats.duplicates.to_string());
                 w.field("entries", &store.stats.entries.to_string());
+                w.field("evictions", &store.stats.evictions.to_string());
+                w.field("bytes_evicted", &store.stats.bytes_evicted.to_string());
+                w.field("spills", &store.stats.spills.to_string());
+                w.field("spill_loads", &store.stats.spill_loads.to_string());
+                w.field("spill_rejects", &store.stats.spill_rejects.to_string());
                 w.field("bytes", &store.stats.bytes.to_string());
+                w.field("mapped_bytes", &store.stats.mapped_bytes.to_string());
+                w.field("reserved", &store.stats.reserved.to_string());
+                w.field("peak_bytes", &store.stats.peak_bytes.to_string());
                 w.field("events", &store.stats.events.to_string());
                 w.key("scenarios");
                 w.open('{');
@@ -266,6 +275,8 @@ impl Manifest {
                     w.open('{');
                     w.field("hits", &g.hits.to_string());
                     w.field("misses", &g.misses.to_string());
+                    w.field("evictions", &g.evictions.to_string());
+                    w.field("spill_loads", &g.spill_loads.to_string());
                     w.field("bytes", &g.bytes.to_string());
                     w.field("events", &g.events.to_string());
                     w.field("record_ns", &g.record_ns.to_string());
@@ -554,18 +565,32 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("manifest: store.{key} is not a non-negative integer"))
             };
-            for key in ["hits", "bytes", "events"] {
+            for key in [
+                "hits",
+                "coalesced",
+                "spills",
+                "spill_rejects",
+                "bytes",
+                "mapped_bytes",
+                "reserved",
+                "peak_bytes",
+                "events",
+            ] {
                 field(key)?;
             }
-            // Offer accounting must balance: every miss ran live and
-            // offered its capture back, and each offer either stored an
-            // entry, was dropped over budget, or lost a duplicate race.
-            let misses = field("misses")?;
-            let accounted = field("entries")? + field("over_budget")? + field("duplicates")?;
-            if misses != accounted {
+            // Offer accounting must balance: every entry now resident (or
+            // since evicted) got there either from a live run — a miss
+            // whose offer stored it, was dropped over budget, or lost a
+            // duplicate race — or by re-materializing a spill file.
+            let arrivals = field("misses")? + field("spill_loads")?;
+            let accounted = field("entries")?
+                + field("evictions")?
+                + field("over_budget")?
+                + field("duplicates")?;
+            if arrivals != accounted {
                 return Err(format!(
-                    "manifest: store offers unbalanced: {misses} misses but \
-                     entries + over_budget + duplicates = {accounted}"
+                    "manifest: store offers unbalanced: misses + spill_loads = {arrivals} but \
+                     entries + evictions + over_budget + duplicates = {accounted}"
                 ));
             }
             let scenarios = store
@@ -573,7 +598,15 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
                 .and_then(Json::as_obj)
                 .ok_or("manifest: missing store.scenarios")?;
             for (label, g) in scenarios {
-                for key in ["hits", "misses", "bytes", "events", "record_ns"] {
+                for key in [
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "spill_loads",
+                    "bytes",
+                    "events",
+                    "record_ns",
+                ] {
                     g.get(key)
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("manifest: store scenario '{label}'.{key}"))?;
@@ -606,7 +639,7 @@ mod tests {
         let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
         let json = m.to_json();
         validate_manifest(&json).unwrap();
-        assert!(json.contains("\"schema\": \"cachegc-manifest-v2\""));
+        assert!(json.contains("\"schema\": \"cachegc-manifest-v3\""));
         assert!(json.contains("\"jobs_requested\": 2"));
         assert!(json.contains("\"store\": null"));
     }
@@ -678,7 +711,7 @@ mod tests {
         let err = validate_manifest(&good).unwrap_err();
         assert!(err.contains("gc_minor"), "{err}");
         // Wrong schema.
-        let bad = good.replace("cachegc-manifest-v2", "cachegc-manifest-v0");
+        let bad = good.replace("cachegc-manifest-v3", "cachegc-manifest-v0");
         assert!(validate_manifest(&bad).unwrap_err().contains("schema"));
         // Not JSON at all.
         assert!(validate_manifest("{nope").is_err());

@@ -68,6 +68,18 @@ pub enum Counter {
     StoreRecordedEvents,
     /// Trace captures dropped because the store was over budget.
     StoreCapturesDropped,
+    /// Scenarios the trace store evicted (LRU) to make room.
+    StoreEvictions,
+    /// Heap bytes freed by trace-store evictions.
+    StoreBytesEvicted,
+    /// Captures the trace store wrote through to spill segment files.
+    StoreSpills,
+    /// Scenarios re-materialized from spill files instead of re-running
+    /// the VM.
+    StoreSpillLoads,
+    /// Store acquires that coalesced onto an in-flight recording of the
+    /// same scenario (single-flight dedupe).
+    StoreCoalesced,
     /// Work packets executed by the packet scheduler's crews.
     SchedPackets,
     /// Worker threads successfully pinned to a CPU core.
@@ -82,7 +94,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::VmRuns,
         Counter::VmAllocs,
         Counter::VmGcTriggers,
@@ -95,6 +107,11 @@ impl Counter {
         Counter::StoreRecordedBytes,
         Counter::StoreRecordedEvents,
         Counter::StoreCapturesDropped,
+        Counter::StoreEvictions,
+        Counter::StoreBytesEvicted,
+        Counter::StoreSpills,
+        Counter::StoreSpillLoads,
+        Counter::StoreCoalesced,
         Counter::SchedPackets,
         Counter::AffinityPinned,
         Counter::AffinityFallbacks,
@@ -117,6 +134,11 @@ impl Counter {
             Counter::StoreRecordedBytes => "store_recorded_bytes",
             Counter::StoreRecordedEvents => "store_recorded_events",
             Counter::StoreCapturesDropped => "store_captures_dropped",
+            Counter::StoreEvictions => "store_evictions",
+            Counter::StoreBytesEvicted => "store_bytes_evicted",
+            Counter::StoreSpills => "store_spills",
+            Counter::StoreSpillLoads => "store_spill_loads",
+            Counter::StoreCoalesced => "store_coalesced",
             Counter::SchedPackets => "sched_packets",
             Counter::AffinityPinned => "affinity_pinned",
             Counter::AffinityFallbacks => "affinity_fallbacks",

@@ -33,6 +33,18 @@ impl Counters {
         Self::default()
     }
 
+    /// Rebuild counters from previously reported parts — the inverse of
+    /// ([`Counters::program`], [`Counters::collector`],
+    /// [`Counters::gc_induced`]), used when deserializing a recorded
+    /// run's stats (e.g. from a trace-store spill file).
+    pub fn from_parts(program: u64, collector: u64, gc_induced: u64) -> Self {
+        Counters {
+            program,
+            collector,
+            gc_induced,
+        }
+    }
+
     /// Charge `n` instructions to `class`.
     #[inline]
     pub fn charge(&mut self, class: InstrClass, n: u64) {

@@ -34,6 +34,9 @@ mod sink;
 
 pub use counters::{Counters, InstrClass};
 pub use event::{Access, AccessKind, Context};
-pub use recorded::{RecordedTrace, Recorder, DEFAULT_SEGMENT_BYTES};
+pub use recorded::{
+    PayloadChunks, RecordBudget, RecordedTrace, Recorder, TraceImage, CHARGE_CHUNK_BYTES,
+    DEFAULT_SEGMENT_BYTES,
+};
 pub use region::{Region, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE, WORD_BYTES};
 pub use sink::{Fanout, NullSink, RefCounter, TraceSink};

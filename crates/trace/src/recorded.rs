@@ -39,6 +39,42 @@ use crate::sink::{Fanout, TraceSink};
 /// event boundary at or past this many bytes).
 pub const DEFAULT_SEGMENT_BYTES: usize = 1 << 20;
 
+/// Granularity of budget charges made by a metered [`Recorder`]: the
+/// recorder charges ahead in chunks of this many bytes so the shared
+/// budget is not touched on every event.
+pub const CHARGE_CHUNK_BYTES: u64 = 64 << 10;
+
+/// A shared byte budget a [`Recorder`] charges against while capturing.
+///
+/// Attach one with [`Recorder::with_budget`]; the recorder then reserves
+/// bytes *ahead* of buffering them (in [`CHARGE_CHUNK_BYTES`] chunks), so
+/// an implementation that tracks reservations sees every in-flight
+/// capture's footprint before the memory exists. The contract:
+///
+/// * every successful `try_charge(n)` reserves exactly `n` bytes until a
+///   matching `release`;
+/// * on overflow the recorder releases everything it charged;
+/// * on a successful [`Recorder::finish`] the recorder releases its
+///   slack (charged − encoded), and ownership of the remaining charge —
+///   exactly [`RecordedTrace::bytes`] — passes to the caller along with
+///   the trace (a store typically converts it to resident bytes);
+/// * a recorder dropped without `finish` releases everything it charged.
+pub trait RecordBudget: Send + Sync {
+    /// Try to reserve `n` more bytes; `false` means the budget is
+    /// exhausted and the capture should be abandoned.
+    fn try_charge(&self, n: u64) -> bool;
+    /// Return `n` previously charged bytes.
+    fn release(&self, n: u64);
+}
+
+/// A read-only byte image that can back a [`RecordedTrace`] without the
+/// encoded payload living on the heap — e.g. a memory-mapped spill file.
+/// The image must stay valid (and immutable) for its whole lifetime.
+pub trait TraceImage: Send + Sync + 'static {
+    /// The full image contents.
+    fn bytes(&self) -> &[u8];
+}
+
 const FLAG_WRITE: u8 = 1 << 0;
 const FLAG_COLLECTOR: u8 = 1 << 1;
 const FLAG_ALLOC_INIT: u8 = 1 << 2;
@@ -89,7 +125,6 @@ fn unzigzag32(z: u32) -> i32 {
 /// so far, stops encoding (subsequent events are O(1) no-ops), and
 /// `finish` returns `None`. Recording failure is thus never an error —
 /// the live sinks sharing the pass are unaffected.
-#[derive(Debug)]
 pub struct Recorder {
     segments: Vec<Arc<[u8]>>,
     cur: Vec<u8>,
@@ -100,6 +135,21 @@ pub struct Recorder {
     limit: u64,
     segment_bytes: usize,
     overflowed: bool,
+    budget: Option<Arc<dyn RecordBudget>>,
+    charged: u64,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("bytes", &self.bytes())
+            .field("events", &self.events)
+            .field("limit", &self.limit)
+            .field("overflowed", &self.overflowed)
+            .field("metered", &self.budget.is_some())
+            .field("charged", &self.charged)
+            .finish()
+    }
 }
 
 impl Default for Recorder {
@@ -127,6 +177,8 @@ impl Recorder {
             limit,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             overflowed: false,
+            budget: None,
+            charged: 0,
         }
     }
 
@@ -135,6 +187,22 @@ impl Recorder {
     pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
         self.segment_bytes = bytes.max(16);
         self
+    }
+
+    /// Meter every buffered byte against a shared [`RecordBudget`].
+    /// Charges are made ahead of buffering in [`CHARGE_CHUNK_BYTES`]
+    /// chunks; a refused charge abandons the capture exactly like a
+    /// [`Recorder::with_limit`] overflow (buffers freed, charges
+    /// released, `finish` returns `None`).
+    pub fn with_budget(mut self, budget: Arc<dyn RecordBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Bytes currently reserved against the attached budget (0 when
+    /// unmetered). Always ≥ [`Recorder::bytes`] until overflow.
+    pub fn charged(&self) -> u64 {
+        self.charged
     }
 
     /// Encoded bytes captured so far.
@@ -161,18 +229,78 @@ impl Recorder {
         self.segments.push(Arc::from(seg.into_boxed_slice()));
     }
 
+    fn overflow(&mut self) {
+        self.overflowed = true;
+        self.segments = Vec::new();
+        self.cur = Vec::new();
+        self.sealed_bytes = 0;
+        if let Some(budget) = &self.budget {
+            budget.release(self.charged);
+        }
+        self.charged = 0;
+    }
+
+    /// Reserve budget ahead of buffering `n` more bytes; `false` means
+    /// the budget refused and the capture must be abandoned.
+    #[inline]
+    fn charge_for(&mut self, n: u64) -> bool {
+        let Some(budget) = &self.budget else {
+            return true;
+        };
+        let need = self.bytes() + n;
+        if need <= self.charged {
+            return true;
+        }
+        let want = need - self.charged;
+        // Ask for a whole chunk (bounded by the local limit) so the
+        // shared budget isn't contended per event, but never less than
+        // what this event needs.
+        let ask = want.max(CHARGE_CHUNK_BYTES.min(self.limit.saturating_sub(self.charged)));
+        if budget.try_charge(ask) {
+            self.charged += ask;
+            return true;
+        }
+        // The chunk didn't fit; retry with the exact need before giving
+        // up — the tail of a budget is still usable space.
+        if want < ask && budget.try_charge(want) {
+            self.charged += want;
+            return true;
+        }
+        false
+    }
+
     /// Consume the recorder; `Some` holds the captured stream, `None`
     /// means the byte limit was exceeded and nothing was kept.
+    ///
+    /// With a budget attached, slack (charged − encoded) is released
+    /// here; the final encoded size stays charged and its ownership
+    /// passes to the caller with the trace.
     pub fn finish(mut self) -> Option<RecordedTrace> {
         if self.overflowed {
             return None;
         }
         self.seal();
+        let bytes = self.sealed_bytes;
+        if let Some(budget) = self.budget.take() {
+            budget.release(self.charged.saturating_sub(bytes));
+        }
+        self.charged = 0;
+        let segments = std::mem::take(&mut self.segments);
         Some(RecordedTrace {
-            segments: Arc::from(self.segments.into_boxed_slice()),
+            backing: Backing::Heap(Arc::from(segments.into_boxed_slice())),
             events: self.events,
-            bytes: self.sealed_bytes,
+            bytes,
         })
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        // A recorder abandoned without `finish` (e.g. a failed run)
+        // returns everything it reserved.
+        if let Some(budget) = self.budget.take() {
+            budget.release(self.charged);
+        }
     }
 }
 
@@ -204,10 +332,8 @@ impl TraceSink for Recorder {
             buf[n] = flags;
             n += 1;
         }
-        if self.bytes() + n as u64 > self.limit {
-            self.overflowed = true;
-            self.segments = Vec::new();
-            self.cur = Vec::new();
+        if self.bytes() + n as u64 > self.limit || !self.charge_for(n as u64) {
+            self.overflow();
             return;
         }
         self.cur.extend_from_slice(&buf[..n]);
@@ -220,16 +346,87 @@ impl TraceSink for Recorder {
     }
 }
 
+/// Where a [`RecordedTrace`]'s encoded payload lives.
+#[derive(Clone)]
+enum Backing {
+    /// Sealed heap segments, as produced by a [`Recorder`].
+    Heap(Arc<[Arc<[u8]>]>),
+    /// A window into a shared read-only [`TraceImage`] (e.g. a
+    /// memory-mapped spill file): no heap copy of the payload exists.
+    Image {
+        image: Arc<dyn TraceImage>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Heap(segs) => f.debug_tuple("Heap").field(&segs.len()).finish(),
+            Backing::Image { offset, len, .. } => f
+                .debug_struct("Image")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
 /// A captured trace: cheaply cloneable (clones share the encoded
 /// segments) and replayable into any [`TraceSink`] any number of times.
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
-    segments: Arc<[Arc<[u8]>]>,
+    backing: Backing,
     events: u64,
     bytes: u64,
 }
 
 impl RecordedTrace {
+    /// A trace whose payload is a window of `len` bytes at `offset` into
+    /// a shared read-only [`TraceImage`] — typically a memory-mapped
+    /// spill file. The window must hold exactly the concatenated sealed
+    /// segments of a recorded stream (the decoder carries its state
+    /// across segment boundaries, so concatenation decodes identically);
+    /// `events` must be the recorded event count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window falls outside the image.
+    pub fn from_image(image: Arc<dyn TraceImage>, offset: usize, len: usize, events: u64) -> Self {
+        let total = image.bytes().len();
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= total),
+            "trace window {offset}+{len} exceeds image of {total} bytes"
+        );
+        RecordedTrace {
+            backing: Backing::Image { image, offset, len },
+            events,
+            bytes: len as u64,
+        }
+    }
+
+    /// True when the payload is backed by a [`TraceImage`] rather than
+    /// heap segments.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Image { .. })
+    }
+
+    /// The encoded payload as in-order byte chunks (sealed segments for
+    /// a heap-backed trace, one contiguous slice for an image-backed
+    /// one). Concatenating the chunks yields the canonical payload — the
+    /// exact bytes a spill file stores.
+    pub fn payload_chunks(&self) -> PayloadChunks<'_> {
+        PayloadChunks {
+            inner: match &self.backing {
+                Backing::Heap(segs) => ChunksInner::Heap(segs.iter()),
+                Backing::Image { image, offset, len } => {
+                    ChunksInner::Image(Some(&image.bytes()[*offset..*offset + *len]))
+                }
+            },
+        }
+    }
+
     /// Number of events in the captured stream.
     pub fn events(&self) -> u64 {
         self.events
@@ -254,8 +451,7 @@ impl RecordedTrace {
     pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         let mut addr: u32 = 0;
         let mut flags: u8 = 0;
-        for seg in self.segments.iter() {
-            let bytes: &[u8] = seg;
+        for bytes in self.payload_chunks() {
             let mut i = 0;
             while i < bytes.len() {
                 let mut token: u64 = 0;
@@ -317,6 +513,28 @@ impl RecordedTrace {
         (0..n)
             .map(|i| shards[i % jobs].next().expect("shards cover all sinks"))
             .collect()
+    }
+}
+
+/// Iterator over a trace's encoded payload chunks; see
+/// [`RecordedTrace::payload_chunks`].
+pub struct PayloadChunks<'a> {
+    inner: ChunksInner<'a>,
+}
+
+enum ChunksInner<'a> {
+    Heap(std::slice::Iter<'a, Arc<[u8]>>),
+    Image(Option<&'a [u8]>),
+}
+
+impl<'a> Iterator for PayloadChunks<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        match &mut self.inner {
+            ChunksInner::Heap(iter) => iter.next().map(|seg| &seg[..]),
+            ChunksInner::Image(window) => window.take(),
+        }
     }
 }
 
@@ -406,6 +624,131 @@ mod tests {
         assert!(rec.overflowed());
         assert_eq!(rec.bytes(), 0, "overflow frees the capture");
         assert!(rec.finish().is_none());
+    }
+
+    /// A budget that tracks outstanding charges and a high-water mark.
+    #[derive(Default)]
+    struct LedgerBudget {
+        cap: u64,
+        outstanding: std::sync::Mutex<u64>,
+        peak: std::sync::atomic::AtomicU64,
+    }
+
+    impl LedgerBudget {
+        fn new(cap: u64) -> Arc<Self> {
+            Arc::new(LedgerBudget {
+                cap,
+                ..Default::default()
+            })
+        }
+
+        fn outstanding(&self) -> u64 {
+            *self.outstanding.lock().unwrap()
+        }
+    }
+
+    impl RecordBudget for LedgerBudget {
+        fn try_charge(&self, n: u64) -> bool {
+            let mut out = self.outstanding.lock().unwrap();
+            if out.saturating_add(n) > self.cap {
+                return false;
+            }
+            *out += n;
+            self.peak
+                .fetch_max(*out, std::sync::atomic::Ordering::Relaxed);
+            true
+        }
+
+        fn release(&self, n: u64) {
+            let mut out = self.outstanding.lock().unwrap();
+            assert!(*out >= n, "released {n} bytes with only {out} charged");
+            *out -= n;
+        }
+    }
+
+    #[test]
+    fn metered_finish_keeps_exactly_the_encoded_bytes_charged() {
+        let budget = LedgerBudget::new(u64::MAX);
+        let mut rec = Recorder::new().with_budget(budget.clone());
+        for i in 0..1_000u32 {
+            rec.access(Access::read(0x1000_0000 + 4 * i, Context::Mutator));
+        }
+        assert!(rec.charged() >= rec.bytes(), "charges run ahead of bytes");
+        let trace = rec.finish().expect("unbounded capture");
+        assert_eq!(
+            budget.outstanding(),
+            trace.bytes(),
+            "finish releases slack and transfers the encoded size"
+        );
+    }
+
+    #[test]
+    fn metered_overflow_and_drop_release_every_charge() {
+        let budget = LedgerBudget::new(16);
+        let mut rec = Recorder::new().with_budget(budget.clone());
+        for i in 0..100 {
+            rec.access(Access::read(i << 20, Context::Mutator));
+        }
+        assert!(rec.overflowed(), "a 16-byte budget cannot hold 100 jumps");
+        assert_eq!(budget.outstanding(), 0, "overflow released the charges");
+        assert!(rec.finish().is_none());
+
+        let budget = LedgerBudget::new(u64::MAX);
+        let mut rec = Recorder::new().with_budget(budget.clone());
+        rec.access(Access::read(0x10, Context::Mutator));
+        assert!(budget.outstanding() > 0);
+        drop(rec);
+        assert_eq!(budget.outstanding(), 0, "drop without finish releases");
+    }
+
+    #[test]
+    fn metered_recorder_uses_the_tail_of_a_small_budget() {
+        // The chunk ask exceeds the budget, but the exact need fits: the
+        // retry path must use the remaining tail rather than overflow.
+        let budget = LedgerBudget::new(8);
+        let mut rec = Recorder::new().with_budget(budget.clone());
+        for i in 0..4u32 {
+            rec.access(Access::read(0x100 + 4 * i, Context::Mutator));
+        }
+        let trace = rec.finish().expect("4 small deltas fit in 8 bytes");
+        assert!(trace.bytes() <= 8);
+        assert_eq!(budget.outstanding(), trace.bytes());
+    }
+
+    #[test]
+    fn image_backed_trace_replays_identically_to_heap_segments() {
+        struct VecImage(Vec<u8>);
+        impl TraceImage for VecImage {
+            fn bytes(&self) -> &[u8] {
+                &self.0
+            }
+        }
+
+        let events: Vec<Access> = (0..800u32)
+            .map(|i| {
+                if i % 5 == 0 {
+                    Access::write(i.wrapping_mul(0x9e37_79b9), Context::Collector)
+                } else {
+                    Access::read(0x2000_0000 + 12 * i, Context::Mutator)
+                }
+            })
+            .collect();
+        // Tiny segments: the concatenated payload spans many seals, so
+        // this also proves decoder state survives chunk flattening.
+        let trace = roundtrip(&events, 32);
+        let mut payload = vec![0xAAu8; 7]; // leading junk: window must honor offset
+        for chunk in trace.payload_chunks() {
+            payload.extend_from_slice(chunk);
+        }
+        let len = payload.len() - 7;
+        payload.extend_from_slice(&[0x55; 9]); // trailing junk too
+        let image: Arc<dyn TraceImage> = Arc::new(VecImage(payload));
+        let mapped = RecordedTrace::from_image(image, 7, len, trace.events());
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.bytes(), trace.bytes());
+        let mut out = VecSink::default();
+        mapped.replay(&mut out);
+        assert_eq!(out.0, events, "image replay is event-for-event identical");
     }
 
     #[test]

@@ -106,6 +106,102 @@ fn replay_is_event_identical_to_live_for_every_workload_and_collector() {
 }
 
 #[test]
+fn tiny_budget_with_spill_replays_event_identical_to_live() {
+    // The correctness bar for eviction + spill: a store too small to hold
+    // every capture at once, backed by disk segments, still drives the
+    // simulators event-for-event identically to the live VM on every
+    // pass — whether a pass records live, replays a resident entry, or
+    // re-materializes an evicted one from its spill file.
+    let dir = std::env::temp_dir().join(format!("cachegc_replay_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenarios = [Workload::Rewrite.scaled(1), Workload::Nbody.scaled(1)];
+    let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+
+    // Live oracle fingerprints, plus each capture's encoded size so the
+    // budget can be pinned between "holds either" and "holds both".
+    let sizing = TraceStore::unbounded();
+    let oracle_runner = Runner::new(engine).with_store(&sizing);
+    let oracle: Vec<Fingerprint> = scenarios
+        .iter()
+        .map(|&w| {
+            oracle_runner
+                .sinks(w, None, vec![Fingerprint::new()])
+                .unwrap()
+                .1[0]
+        })
+        .collect();
+    let sizes: Vec<u64> = sizing
+        .scenario_gauges()
+        .into_iter()
+        .map(|(_, g)| g.bytes)
+        .collect();
+    let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+    assert!(min > 0, "captures are non-empty");
+    let budget = max + min / 2; // fits either capture, never both
+
+    let store = TraceStore::with_budget(budget).with_spill(dir.clone());
+    let runner = Runner::new(engine).with_store(&store);
+    // Two rounds over both scenarios: round one records (the second
+    // capture evicts the first), round two re-materializes from disk.
+    for round in 0..2 {
+        for (w, expect) in scenarios.iter().zip(&oracle) {
+            let (_, got) = runner.sinks(*w, None, vec![Fingerprint::new()]).unwrap();
+            assert_eq!(
+                got[0],
+                *expect,
+                "round {round}, {}: spill-backed replay diverged",
+                w.workload.name()
+            );
+        }
+    }
+    let s = store.stats();
+    assert!(s.evictions >= 1, "the budget forced an eviction: {s}");
+    assert_eq!(s.spills, 2, "both captures wrote through to disk: {s}");
+    assert!(s.spill_loads >= 1, "an evicted scenario reloaded: {s}");
+    assert_eq!(
+        s.over_budget, 0,
+        "eviction means no capture was refused: {s}"
+    );
+    assert_eq!(
+        s.misses + s.spill_loads,
+        s.entries + s.evictions + s.over_budget + s.duplicates,
+        "store arrivals balance: {s}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restarted_store_warm_starts_from_spilled_segments() {
+    // The kill-and-restart contract: a fresh store pointed at the
+    // previous process's spill directory replays every spilled scenario
+    // without running the VM, and the replay is event-identical.
+    let dir = std::env::temp_dir().join(format!("cachegc_replay_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = Workload::Compile.scaled(1);
+    let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+
+    let first = TraceStore::unbounded().with_spill(dir.clone());
+    let runner = Runner::new(engine).with_store(&first);
+    let (_, live) = runner.sinks(w, None, vec![Fingerprint::new()]).unwrap();
+    assert_eq!(first.stats().spills, 1, "the capture wrote through");
+    drop(runner);
+    drop(first);
+
+    // "Restart": a brand-new store, same directory.
+    let second = TraceStore::unbounded().with_spill(dir.clone());
+    let runner = Runner::new(engine).with_store(&second);
+    let (_, warm) = runner.sinks(w, None, vec![Fingerprint::new()]).unwrap();
+    assert_eq!(warm[0], live[0], "warm-started replay diverged");
+    let s = second.stats();
+    assert_eq!(
+        (s.misses, s.hits, s.spill_loads),
+        (0, 1, 1),
+        "the restarted store never ran the VM: {s}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shared_store_runs_each_scenario_at_most_once_across_runners() {
     // The golden_check drive pattern in miniature: one store spans a
     // control grid, a control + collected comparison, and a regrid of the

@@ -219,6 +219,87 @@ fn a_real_runs_manifest_validates_end_to_end() {
 }
 
 #[test]
+fn spill_and_eviction_counters_flow_into_a_valid_manifest() {
+    let dir = std::env::temp_dir().join(format!("cachegc_tm_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenarios = [Workload::Rewrite.scaled(1), Workload::Nbody.scaled(1)];
+    let engine = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+
+    // Size the budget between "holds either capture" and "holds both".
+    let sizing = TraceStore::unbounded();
+    let sizing_runner = Runner::new(engine).with_store(&sizing);
+    for &w in &scenarios {
+        sizing_runner.sinks(w, None, grid()).unwrap();
+    }
+    let sizes: Vec<u64> = sizing
+        .scenario_gauges()
+        .into_iter()
+        .map(|(_, g)| g.bytes)
+        .collect();
+    let budget = sizes.iter().max().unwrap() + sizes.iter().min().unwrap() / 2;
+
+    let telemetry = Arc::new(Telemetry::new());
+    let store = TraceStore::with_budget(budget).with_spill(dir.clone());
+    let runner = Runner::new(engine)
+        .with_store(&store)
+        .with_telemetry(&telemetry);
+    // Record both (the second capture evicts the first), then reload the
+    // first from disk (which in turn evicts the second).
+    for &w in scenarios.iter().chain([&scenarios[0]]) {
+        runner.sinks(w, None, grid()).unwrap();
+    }
+    let snap = telemetry.snapshot();
+    let s = store.stats();
+    assert_eq!(snap.counter(Counter::StoreEvictions), s.evictions);
+    assert!(s.evictions >= 1, "{s}");
+    assert_eq!(snap.counter(Counter::StoreBytesEvicted), s.bytes_evicted);
+    assert_eq!(snap.counter(Counter::StoreSpills), s.spills);
+    assert_eq!(snap.counter(Counter::StoreSpillLoads), s.spill_loads);
+    assert!(s.spill_loads >= 1, "{s}");
+
+    let manifest = Manifest::gather(
+        ManifestConfig {
+            experiment: "telemetry_it".into(),
+            scale: 1,
+            jobs: 2,
+            jobs_requested: 2,
+            schedule: "work-stealing".into(),
+            trace_cache: format!("{budget} bytes, spill {}", dir.display()),
+        },
+        &telemetry.snapshot(),
+        Some(&store),
+    );
+    let json = manifest.to_json();
+    validate_manifest(&json).unwrap();
+    cachegc_bench::golden::check_manifest(&json).unwrap();
+    assert!(json.contains("\"spill_loads\""));
+
+    // A restarted store warm-starts without VM runs, and its manifest is
+    // still accepted: spill loads stand in for vm_execute spans.
+    let warm_telemetry = Arc::new(Telemetry::new());
+    let warm_store = TraceStore::with_budget(budget).with_spill(dir.clone());
+    let warm_runner = Runner::new(engine)
+        .with_store(&warm_store)
+        .with_telemetry(&warm_telemetry);
+    warm_runner.sinks(scenarios[0], None, grid()).unwrap();
+    assert_eq!(warm_telemetry.snapshot().counter(Counter::VmRuns), 0);
+    let warm = Manifest::gather(
+        ManifestConfig {
+            experiment: "telemetry_it".into(),
+            scale: 1,
+            jobs: 2,
+            jobs_requested: 2,
+            schedule: "work-stealing".into(),
+            trace_cache: format!("{budget} bytes, spill {}", dir.display()),
+        },
+        &warm_telemetry.snapshot(),
+        Some(&warm_store),
+    );
+    cachegc_bench::golden::check_manifest(&warm.to_json()).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn over_budget_captures_warn_and_count() {
     let w = Workload::Rewrite.scaled(1);
     let telemetry = Arc::new(Telemetry::new());
