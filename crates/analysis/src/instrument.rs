@@ -9,7 +9,7 @@
 //! every instrument is independent, so per-instrument results stay
 //! bit-identical to a sequential pass.
 
-use cachegc_sim::{Cache, CacheConfig, SetAssocCache};
+use cachegc_sim::{Cache, CacheConfig, GridCache, SetAssocCache};
 use cachegc_trace::{Access, TraceSink};
 
 use crate::activity::{activity, Activity};
@@ -74,6 +74,9 @@ pub enum Instrument {
     Sweep(SweepPlot),
     /// The §7 cache-activity decomposition.
     Activity(ActivityTracker),
+    /// A whole direct-mapped configuration grid simulated in lockstep
+    /// (the batch replay kernel's sink).
+    Grid(GridCache),
 }
 
 impl Instrument {
@@ -85,6 +88,7 @@ impl Instrument {
             Instrument::Blocks(_) => "blocks",
             Instrument::Sweep(_) => "sweep",
             Instrument::Activity(_) => "activity",
+            Instrument::Grid(_) => "grid",
         }
     }
 
@@ -127,6 +131,14 @@ impl Instrument {
             _ => None,
         }
     }
+
+    /// The wrapped [`GridCache`], if this is a grid instrument.
+    pub fn into_grid(self) -> Option<GridCache> {
+        match self {
+            Instrument::Grid(g) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl From<Cache> for Instrument {
@@ -159,6 +171,12 @@ impl From<ActivityTracker> for Instrument {
     }
 }
 
+impl From<GridCache> for Instrument {
+    fn from(g: GridCache) -> Self {
+        Instrument::Grid(g)
+    }
+}
+
 impl TraceSink for Instrument {
     #[inline]
     fn access(&mut self, a: Access) {
@@ -168,6 +186,7 @@ impl TraceSink for Instrument {
             Instrument::Blocks(t) => t.access(a),
             Instrument::Sweep(p) => p.access(a),
             Instrument::Activity(t) => t.access(a),
+            Instrument::Grid(g) => g.access(a),
         }
     }
 }
@@ -186,6 +205,11 @@ mod tests {
             BlockTracker::new(1 << 15, 64).into(),
             SweepPlot::new(CacheConfig::direct_mapped(1 << 15, 64), 256).into(),
             ActivityTracker::new(CacheConfig::direct_mapped(1 << 15, 64)).into(),
+            GridCache::new(vec![
+                CacheConfig::direct_mapped(1 << 15, 32),
+                CacheConfig::direct_mapped(1 << 16, 64),
+            ])
+            .into(),
         ]
     }
 
@@ -203,7 +227,7 @@ mod tests {
         let out = fan.into_sinks();
         assert_eq!(
             out.iter().map(Instrument::kind).collect::<Vec<_>>(),
-            ["cache", "assoc", "blocks", "sweep", "activity"]
+            ["cache", "assoc", "blocks", "sweep", "activity", "grid"]
         );
         let mut out = out.into_iter();
         let cache = out.next().unwrap().into_cache().unwrap();
@@ -216,6 +240,9 @@ mod tests {
         assert!(sweep.width() > 0);
         let act = out.next().unwrap().into_activity().unwrap();
         assert!(!act.entries.is_empty());
+        let grid = out.next().unwrap().into_grid().unwrap();
+        assert_eq!(grid.events(), 4096);
+        assert!(grid.stats(0).misses() > 0 && grid.stats(1).misses() > 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod harness;
 mod report;
 
 pub use cli::ExperimentArgs;
-pub use report::{GridReport, GridRun, ReplayReport, ReplayRun, TelemetryReport};
+pub use report::{GridReport, GridRun, ReplayBaseline, ReplayReport, ReplayRun, TelemetryReport};
 
 /// Format a fraction as a signed percentage with two decimals.
 pub fn pct(x: f64) -> String {

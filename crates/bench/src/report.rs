@@ -104,7 +104,40 @@ pub struct ReplayRun {
     pub trace_bytes: u64,
     /// Events per second generating the trace live from the VM.
     pub live_events_per_sec: f64,
-    /// Events per second replaying the recorded trace.
+    /// Events per second replaying the recorded trace into one sink
+    /// through the per-event scalar decoder (the v1 metric).
+    pub replay_events_per_sec: f64,
+    /// Decode-only throughput of the scalar decoder (events into a null
+    /// sink), separating codec cost from sink cost.
+    pub decode_scalar_events_per_sec: f64,
+    /// Decode-only throughput of the SWAR batch decoder.
+    pub decode_batch_events_per_sec: f64,
+    /// Configurations in the simulated grid the end-to-end rows drive.
+    pub grid_cells: usize,
+    /// End-to-end cell-events per second of the scalar grid path: one
+    /// scalar decode driving a `Vec<Cache>` fanout (events × cells /
+    /// wall).
+    pub grid_scalar_cell_events_per_sec: f64,
+    /// End-to-end cell-events per second of the batch kernel: one SWAR
+    /// batch decode driving every `GridCache` lane.
+    pub grid_batch_cell_events_per_sec: f64,
+}
+
+/// A prior `cachegc-bench-replay-v1` run carried forward so the v2 file
+/// preserves the recorded performance trajectory.
+#[derive(Debug, Clone)]
+pub struct ReplayBaseline {
+    /// Workload short name.
+    pub workload: String,
+    /// Workload scale knob.
+    pub scale: u32,
+    /// Trace events in the recorded stream.
+    pub events: u64,
+    /// Encoded trace size in bytes.
+    pub trace_bytes: u64,
+    /// v1 live-VM events per second.
+    pub live_events_per_sec: f64,
+    /// v1 single-sink replay events per second.
     pub replay_events_per_sec: f64,
 }
 
@@ -126,14 +159,71 @@ impl ReplayRun {
 pub struct ReplayReport {
     /// Per-workload comparisons.
     pub runs: Vec<ReplayRun>,
+    /// The v1 trajectory this file replaces, carried forward verbatim.
+    pub baseline_v1: Vec<ReplayBaseline>,
 }
 
 impl ReplayReport {
+    /// Extract the v1 baseline trajectory from a prior `BENCH_replay.json`
+    /// text: a v1 file contributes its `runs`, a v2 file passes its own
+    /// `baseline_v1` through, anything unreadable contributes nothing.
+    pub fn baseline_from(text: &str) -> Vec<ReplayBaseline> {
+        let Ok(doc) = cachegc_core::json::parse(text) else {
+            return Vec::new();
+        };
+        let rows = match doc.get("schema").and_then(|s| s.as_str()) {
+            Some("cachegc-bench-replay-v1") => doc.get("runs"),
+            Some("cachegc-bench-replay-v2") => doc.get("baseline_v1"),
+            _ => None,
+        };
+        let num = |row: &cachegc_core::json::Json, key: &str| match row.get(key) {
+            Some(cachegc_core::json::Json::Num(n)) => *n,
+            _ => 0.0,
+        };
+        rows.and_then(|r| r.as_arr())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        Some(ReplayBaseline {
+                            workload: row.get("workload")?.as_str()?.to_string(),
+                            scale: row.get("scale")?.as_u64()? as u32,
+                            events: row.get("events")?.as_u64()?,
+                            trace_bytes: row.get("trace_bytes")?.as_u64()?,
+                            live_events_per_sec: num(row, "live_events_per_sec"),
+                            replay_events_per_sec: num(row, "replay_events_per_sec"),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"cachegc-bench-replay-v1\",");
+        let _ = writeln!(s, "  \"schema\": \"cachegc-bench-replay-v2\",");
+        s.push_str("  \"baseline_v1\": [\n");
+        for (i, b) in self.baseline_v1.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": {}, \"scale\": {}, \"events\": {}, \
+                 \"trace_bytes\": {}, \"live_events_per_sec\": {:.1}, \
+                 \"replay_events_per_sec\": {:.1}}}",
+                json_str(&b.workload),
+                b.scale,
+                b.events,
+                b.trace_bytes,
+                b.live_events_per_sec,
+                b.replay_events_per_sec,
+            );
+            s.push_str(if i + 1 < self.baseline_v1.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             let _ = write!(
@@ -141,7 +231,13 @@ impl ReplayReport {
                 "    {{\"workload\": {}, \"scale\": {}, \"events\": {}, \
                  \"trace_bytes\": {}, \"bytes_per_event\": {:.3}, \
                  \"live_events_per_sec\": {:.1}, \"replay_events_per_sec\": {:.1}, \
-                 \"speedup\": {:.2}}}",
+                 \"speedup\": {:.2}, \
+                 \"decode_scalar_events_per_sec\": {:.1}, \
+                 \"decode_batch_events_per_sec\": {:.1}, \
+                 \"grid_cells\": {}, \
+                 \"grid_scalar_cell_events_per_sec\": {:.1}, \
+                 \"grid_batch_cell_events_per_sec\": {:.1}, \
+                 \"grid_batch_speedup\": {:.2}}}",
                 json_str(&r.workload),
                 r.scale,
                 r.events,
@@ -150,6 +246,12 @@ impl ReplayReport {
                 r.live_events_per_sec,
                 r.replay_events_per_sec,
                 r.speedup(),
+                r.decode_scalar_events_per_sec,
+                r.decode_batch_events_per_sec,
+                r.grid_cells,
+                r.grid_scalar_cell_events_per_sec,
+                r.grid_batch_cell_events_per_sec,
+                r.grid_batch_cell_events_per_sec / r.grid_scalar_cell_events_per_sec.max(1e-9),
             );
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
@@ -163,7 +265,13 @@ impl ReplayReport {
     pub fn write(&self) {
         let path =
             std::env::var("CACHEGC_BENCH_JSON").unwrap_or_else(|_| "BENCH_replay.json".into());
-        match std::fs::write(&path, self.to_json()) {
+        self.write_to(&path);
+    }
+
+    /// Serialize to `path` (for callers that resolve the path themselves,
+    /// e.g. to anchor it at the workspace root regardless of cwd).
+    pub fn write_to(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
@@ -292,13 +400,60 @@ mod tests {
                 trace_bytes: 3_000_000,
                 live_events_per_sec: 10_000_000.0,
                 replay_events_per_sec: 50_000_000.0,
+                decode_scalar_events_per_sec: 250_000_000.0,
+                decode_batch_events_per_sec: 500_000_000.0,
+                grid_cells: 40,
+                grid_scalar_cell_events_per_sec: 400_000_000.0,
+                grid_batch_cell_events_per_sec: 800_000_000.0,
+            }],
+            baseline_v1: vec![ReplayBaseline {
+                workload: "rewrite".into(),
+                scale: 1,
+                events: 1_900_000,
+                trace_bytes: 2_900_000,
+                live_events_per_sec: 9_000_000.0,
+                replay_events_per_sec: 45_000_000.0,
             }],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"cachegc-bench-replay-v1\""));
+        assert!(json.contains("\"schema\": \"cachegc-bench-replay-v2\""));
         assert!(json.contains("\"workload\": \"rewrite\""));
         assert!(json.contains("\"bytes_per_event\": 1.500"));
         assert!(json.contains("\"speedup\": 5.00"));
+        assert!(json.contains("\"decode_batch_events_per_sec\": 500000000.0"));
+        assert!(json.contains("\"grid_cells\": 40"));
+        assert!(json.contains("\"grid_batch_speedup\": 2.00"));
+        assert!(json.contains("\"baseline_v1\""));
+        assert!(json.contains("\"replay_events_per_sec\": 45000000.0"));
+    }
+
+    #[test]
+    fn replay_baseline_survives_v1_and_v2_files() {
+        let v1 = r#"{
+  "schema": "cachegc-bench-replay-v1",
+  "runs": [
+    {"workload": "compile", "scale": 1, "events": 100, "trace_bytes": 270,
+     "bytes_per_event": 2.700, "live_events_per_sec": 10.0,
+     "replay_events_per_sec": 50.0, "speedup": 5.00}
+  ]
+}"#;
+        let base = ReplayReport::baseline_from(v1);
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].workload, "compile");
+        assert_eq!(base[0].events, 100);
+        assert_eq!(base[0].replay_events_per_sec, 50.0);
+        // A v2 file passes its baseline through unchanged, so repeated
+        // v2 writes never lose the original v1 trajectory.
+        let report = ReplayReport {
+            runs: Vec::new(),
+            baseline_v1: base,
+        };
+        let again = ReplayReport::baseline_from(&report.to_json());
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].events, 100);
+        // Garbage contributes nothing.
+        assert!(ReplayReport::baseline_from("not json").is_empty());
+        assert!(ReplayReport::baseline_from("{\"schema\": \"other\"}").is_empty());
     }
 
     #[test]

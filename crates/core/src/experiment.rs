@@ -135,8 +135,19 @@ pub fn run_control(
         instance,
         cfg,
         out.stats,
-        out.sink.into_sinks(),
+        cache_cells(out.sink.into_sinks()),
     ))
+}
+
+/// Finish a `Vec<Cache>` sink set into grid cells, preserving order.
+pub(crate) fn cache_cells(caches: Vec<Cache>) -> Vec<CacheCell> {
+    caches
+        .into_iter()
+        .map(|c| CacheCell {
+            config: *c.config(),
+            stats: c.into_stats(),
+        })
+        .collect()
 }
 
 /// Assemble a [`ControlReport`] from a finished control pass; shared by the
@@ -145,15 +156,8 @@ pub(crate) fn control_report(
     instance: WorkloadInstance,
     cfg: &ExperimentConfig,
     stats: cachegc_vm::RunStats,
-    caches: Vec<Cache>,
+    cells: Vec<CacheCell>,
 ) -> ControlReport {
-    let cells: Vec<CacheCell> = caches
-        .into_iter()
-        .map(|c| CacheCell {
-            config: *c.config(),
-            stats: c.into_stats(),
-        })
-        .collect();
     ControlReport {
         instance,
         refs: cells_refs(&cells),
@@ -306,7 +310,7 @@ pub fn run_collected(
             (out.stats, out.sink.into_sinks())
         }
     };
-    Ok(collected_run(instance, spec, out.0, out.1))
+    Ok(collected_run(instance, spec, out.0, cache_cells(out.1)))
 }
 
 /// Assemble a [`CollectedRun`] from a finished collected pass; shared by
@@ -315,19 +319,15 @@ pub(crate) fn collected_run(
     instance: WorkloadInstance,
     spec: CollectorSpec,
     stats: cachegc_vm::RunStats,
-    caches: Vec<Cache>,
+    cells: Vec<CacheCell>,
 ) -> CollectedRun {
-    let cells = caches
+    let cells = cells
         .into_iter()
-        .map(|c| {
-            let config = *c.config();
-            let stats = c.into_stats();
-            CollectedCell {
-                config,
-                m_prog: stats.fetches_by(Context::Mutator),
-                m_gc: stats.fetches_by(Context::Collector),
-                stats,
-            }
+        .map(|cell| CollectedCell {
+            config: cell.config,
+            m_prog: cell.stats.fetches_by(Context::Mutator),
+            m_gc: cell.stats.fetches_by(Context::Collector),
+            stats: cell.stats,
         })
         .collect();
     CollectedRun {

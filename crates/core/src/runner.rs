@@ -36,17 +36,19 @@ use cachegc_analysis::Instrument;
 use cachegc_gc::{
     CheneyCollector, GenerationalCollector, ImmixCollector, MarkSweepCollector, NoCollector,
 };
-use cachegc_sim::Cache;
+use cachegc_sim::{Cache, CacheConfig, GridCache};
 use cachegc_telemetry::{probe, Counter, EngineReport, Telemetry, WorkerStats};
-use cachegc_trace::{Fanout, RefCounter, TraceSink};
+use cachegc_trace::{BatchDecodeStats, Fanout, RefCounter, TraceSink};
 use cachegc_vm::{RunStats, VmError};
 use cachegc_workloads::WorkloadInstance;
 
 use crate::experiment::{
-    collected_run, control_report, CollectedRun, CollectorSpec, ControlReport, ExperimentConfig,
-    GcComparison,
+    cache_cells, collected_run, control_report, CacheCell, CollectedRun, CollectorSpec,
+    ControlReport, ExperimentConfig, GcComparison,
 };
-use crate::sched::{CrewReport, EngineConfig, PacketFanout, PacketKind, Scheduler, Stage};
+use crate::sched::{
+    CrewReport, EngineConfig, PacketFanout, PacketKind, ReplayKernel, Scheduler, Stage,
+};
 use crate::store::{
     scenario_label, Acquired, HitSource, OfferOutcome, RunCtx, StoredTrace, TraceStore,
 };
@@ -131,6 +133,16 @@ fn record_flat_engine(
         queue_depth_hwm: 0,
         workers,
     });
+}
+
+/// Round-robin shard `configs` across `jobs` grid workers, remembering
+/// each configuration's input position so cells reassemble in order.
+fn shard_configs(configs: Vec<CacheConfig>, jobs: usize) -> Vec<Vec<(usize, CacheConfig)>> {
+    let mut shards: Vec<Vec<(usize, CacheConfig)>> = (0..jobs).map(|_| Vec::new()).collect();
+    for (i, cfg) in configs.into_iter().enumerate() {
+        shards[i % jobs].push((i, cfg));
+    }
+    shards
 }
 
 /// The unified experiment driver: a [`RunCtx`] (engine configuration,
@@ -503,9 +515,186 @@ impl<'a> Runner<'a> {
         self.sinks(instance, spec, instruments)
     }
 
+    /// Drive a direct-mapped configuration grid over one pass of
+    /// `instance` — the kernel-selecting terminal behind
+    /// [`Runner::control`] and [`Runner::collected`].
+    ///
+    /// Under [`ReplayKernel::Scalar`] (the default) the grid runs as
+    /// independent [`Cache`] sinks through [`Runner::sinks`] — the
+    /// bit-identity oracle. Under [`ReplayKernel::Batch`] the grid rides
+    /// as [`GridCache`] shards: a store hit is driven by the SWAR batch
+    /// decoder (one decode pass per worker for the whole grid, as
+    /// [`PacketKind::GridSimulate`] packets when sharded), and a live or
+    /// recording pass fans the stream into the grid shards. Cells come
+    /// back in input order with bit-identical statistics either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the program (live paths only).
+    pub fn grid(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        configs: Vec<CacheConfig>,
+    ) -> Result<(RunStats, Vec<CacheCell>), VmError> {
+        let ctx = &self.ctx;
+        if ctx.engine.replay_kernel == ReplayKernel::Scalar {
+            let sinks: Vec<Cache> = configs.into_iter().map(Cache::new).collect();
+            let (stats, caches) = self.sinks(instance, spec, sinks)?;
+            return Ok((stats, cache_cells(caches)));
+        }
+        // Batch kernel. A recorded scenario replays through the batch
+        // decoder; otherwise the pass runs live (recording on a store
+        // miss) with the grid riding the stream as GridCache shards.
+        if let Some(store) = ctx.store {
+            let hit = {
+                let _shard = ctx.telemetry.map(|t| t.attach());
+                if store.contains(instance, spec) {
+                    match store.acquire(instance, spec) {
+                        Acquired::Hit { trace, source } => {
+                            match source {
+                                HitSource::Resident => {}
+                                HitSource::SpillLoad => probe!(Counter::StoreSpillLoads),
+                                HitSource::Coalesced => probe!(Counter::StoreCoalesced),
+                            }
+                            Some(trace)
+                        }
+                        // Evicted between `contains` and `acquire`:
+                        // dropping the ticket cancels the recording
+                        // flight; the live path below re-acquires.
+                        Acquired::Miss(_ticket) => None,
+                    }
+                } else {
+                    None
+                }
+            };
+            if let Some(stored) = hit {
+                let _shard = ctx.telemetry.map(|t| t.attach());
+                let out = self.grid_replay(&stored, configs);
+                if let Some(progress) = ctx.progress {
+                    progress.tick(ctx.store);
+                }
+                return Ok(out);
+            }
+        }
+        let n = configs.len();
+        let jobs = ctx.engine.jobs.clamp(1, n.max(1));
+        let shards = shard_configs(configs, jobs);
+        let order: Vec<Vec<usize>> = shards
+            .iter()
+            .map(|s| s.iter().map(|&(i, _)| i).collect())
+            .collect();
+        let sinks: Vec<GridCache> = shards
+            .into_iter()
+            .map(|s| GridCache::new(s.into_iter().map(|(_, c)| c).collect()))
+            .collect();
+        let (stats, grids) = self.sinks(instance, spec, sinks)?;
+        let mut cells: Vec<Option<CacheCell>> = (0..n).map(|_| None).collect();
+        let mut grid_cells = 0u64;
+        for (indices, grid) in order.into_iter().zip(grids) {
+            grid_cells += grid.cells_simulated();
+            for (i, (config, stats)) in indices.into_iter().zip(grid.into_cells()) {
+                cells[i] = Some(CacheCell { config, stats });
+            }
+        }
+        let _shard = ctx.telemetry.map(|t| t.attach());
+        probe!(Counter::GridCellsSimulated, grid_cells);
+        let cells = cells
+            .into_iter()
+            .map(|c| c.expect("every grid cell accounted for"))
+            .collect();
+        Ok((stats, cells))
+    }
+
+    /// A store hit under the batch kernel: one SWAR decode pass per
+    /// worker drives that worker's [`GridCache`] shard of the
+    /// configuration grid (in-thread when the engine budget is one
+    /// worker; [`PacketKind::GridSimulate`] packets otherwise). Cannot
+    /// fail — replay never re-runs the VM.
+    fn grid_replay(
+        &self,
+        stored: &Arc<StoredTrace>,
+        configs: Vec<CacheConfig>,
+    ) -> (RunStats, Vec<CacheCell>) {
+        let ctx = &self.ctx;
+        let n = configs.len();
+        let events = stored.trace.events();
+        let jobs = ctx.engine.jobs.clamp(1, n.max(1));
+        let (cells, decode) = {
+            let _replay = probe::phase("replay");
+            if jobs <= 1 {
+                let mut grid = GridCache::new(configs);
+                let decode = stored.trace.replay_batched(|b| grid.consume(b));
+                let cells = grid
+                    .into_cells()
+                    .into_iter()
+                    .map(|(config, stats)| CacheCell { config, stats })
+                    .collect::<Vec<_>>();
+                (cells, decode)
+            } else {
+                let shards = shard_configs(configs, jobs);
+                type GridSlot = Mutex<
+                    Option<(
+                        Vec<usize>,
+                        Vec<(CacheConfig, cachegc_sim::CacheStats)>,
+                        BatchDecodeStats,
+                    )>,
+                >;
+                let slots: Vec<GridSlot> = (0..jobs).map(|_| Mutex::new(None)).collect();
+                let ((), report) = self.sched.run(jobs, |crew| {
+                    for (j, shard) in shards.into_iter().enumerate() {
+                        let trace = Arc::clone(stored);
+                        let slot = &slots[j];
+                        crew.submit(
+                            Stage::Simulate,
+                            PacketKind::GridSimulate,
+                            Some(j),
+                            move |stats| {
+                                let (indices, cfgs): (Vec<usize>, Vec<CacheConfig>) =
+                                    shard.into_iter().unzip();
+                                let mut grid = GridCache::new(cfgs);
+                                let decode = trace.trace.replay_batched(|b| grid.consume(b));
+                                stats.events += events * indices.len() as u64;
+                                *slot.lock().expect("grid slot poisoned") =
+                                    Some((indices, grid.into_cells(), decode));
+                            },
+                        );
+                    }
+                    crew.wait_idle();
+                });
+                self.flush_crew(&report);
+                let mut out: Vec<Option<CacheCell>> = (0..n).map(|_| None).collect();
+                let mut decode = BatchDecodeStats::default();
+                for slot in slots {
+                    let (indices, shard_cells, d) = slot
+                        .into_inner()
+                        .expect("grid slot poisoned")
+                        .expect("grid packet ran");
+                    decode.batches += d.batches;
+                    decode.swar_events += d.swar_events;
+                    decode.scalar_events += d.scalar_events;
+                    for (i, (config, stats)) in indices.into_iter().zip(shard_cells) {
+                        out[i] = Some(CacheCell { config, stats });
+                    }
+                }
+                let cells = out
+                    .into_iter()
+                    .map(|c| c.expect("every grid cell accounted for"))
+                    .collect::<Vec<_>>();
+                (cells, decode)
+            }
+        };
+        probe!(Counter::ReplayBatches, decode.batches);
+        probe!(Counter::ReplayScalarEvents, decode.scalar_events);
+        probe!(Counter::GridCellsSimulated, events * n as u64);
+        record_flat_engine(ctx, "replay", jobs, n, events);
+        (stored.stats, cells)
+    }
+
     /// The §5 control experiment: run `instance` with collection disabled
     /// against `cfg`'s cache grid in one trace pass (replayed from the
-    /// store when the scenario is recorded).
+    /// store when the scenario is recorded), through the engine's
+    /// configured replay kernel.
     ///
     /// # Errors
     ///
@@ -515,14 +704,14 @@ impl<'a> Runner<'a> {
         instance: WorkloadInstance,
         cfg: &ExperimentConfig,
     ) -> Result<ControlReport, VmError> {
-        let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
-        let (stats, cells) = self.sinks(instance, None, sinks)?;
+        let (stats, cells) = self.grid(instance, None, cfg.configs())?;
         Ok(control_report(instance, cfg, stats, cells))
     }
 
     /// The §6 experiment: `instance` under `spec`'s collector against
     /// `cfg`'s cache grid, attributing misses and instructions to program
-    /// vs collector (replayed from the store when recorded).
+    /// vs collector (replayed from the store when recorded), through the
+    /// engine's configured replay kernel.
     ///
     /// # Errors
     ///
@@ -533,8 +722,7 @@ impl<'a> Runner<'a> {
         cfg: &ExperimentConfig,
         spec: CollectorSpec,
     ) -> Result<CollectedRun, VmError> {
-        let sinks: Vec<Cache> = cfg.configs().into_iter().map(Cache::new).collect();
-        let (stats, cells) = self.sinks(instance, Some(spec), sinks)?;
+        let (stats, cells) = self.grid(instance, Some(spec), cfg.configs())?;
         Ok(collected_run(instance, spec, stats, cells))
     }
 
@@ -729,7 +917,7 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use crate::experiment::{run_collected, run_control};
-    use crate::sched::Schedule;
+    use crate::sched::{ReplayKernel, Schedule};
     use cachegc_analysis::{ActivityTracker, BlockTracker, SweepPlot};
     use cachegc_sim::{CacheConfig, SetAssocCache};
     use cachegc_workloads::Workload;
@@ -885,6 +1073,48 @@ mod tests {
         let again = seq.control(w, &cfg).unwrap();
         grids_equal(&oracle.cells, &again.cells);
         assert_eq!(store.stats().misses, 1, "VM ran exactly once");
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_on_every_path() {
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = CollectorSpec::Cheney {
+            semispace_bytes: 512 << 10,
+        };
+        let store = crate::TraceStore::unbounded();
+        let ws = EngineConfig::jobs(2).with_schedule(Schedule::WorkStealing);
+        let scalar = Runner::new(ws).with_store(&store);
+        let batch = scalar
+            .clone()
+            .with_engine(ws.with_replay_kernel(ReplayKernel::Batch));
+        // Scalar pass records; the batch pass replays through the SWAR
+        // decoder into sharded GridCache lanes.
+        let a = scalar.control(w, &cfg).unwrap();
+        let b = batch.control(w, &cfg).unwrap();
+        assert_eq!(a.refs, b.refs);
+        assert_eq!(a.i_prog, b.i_prog);
+        grids_equal(&a.cells, &b.cells);
+        // Live-and-recording under the batch kernel (miss path): the grid
+        // rides the stream as GridCache shards and the capture is stored.
+        let c = batch.collected(w, &cfg, spec).unwrap();
+        let d = scalar.collected(w, &cfg, spec).unwrap(); // hit: scalar replay
+        assert_eq!(c.i_gc, d.i_gc);
+        for (x, y) in c.cells.iter().zip(&d.cells) {
+            assert_eq!(x.config, y.config);
+            assert_eq!((x.m_prog, x.m_gc), (y.m_prog, y.m_gc));
+            assert_eq!(x.stats, y.stats);
+        }
+        // Sequential batch replay (one grid, one decode pass).
+        let seq = Runner::new(EngineConfig::default().with_replay_kernel(ReplayKernel::Batch))
+            .with_store(&store);
+        let e = seq.control(w, &cfg).unwrap();
+        grids_equal(&a.cells, &e.cells);
+        // No store: the batch kernel's live path needs no recording.
+        let f = Runner::new(ws.with_replay_kernel(ReplayKernel::Batch))
+            .control(w, &cfg)
+            .unwrap();
+        grids_equal(&a.cells, &f.cells);
     }
 
     #[test]

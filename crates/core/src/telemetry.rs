@@ -8,7 +8,7 @@
 //! re-exports the primitives, so `cachegc_core::telemetry::Telemetry` is
 //! the one path experiment code needs, and adds:
 //!
-//! * [`Manifest`] — a versioned (`cachegc-manifest-v3`), machine-readable
+//! * [`Manifest`] — a versioned (`cachegc-manifest-v4`), machine-readable
 //!   record of one experiment run: configuration, merged counters, phase
 //!   timings with pause histograms, engine/worker totals, and trace-store
 //!   accounting. Serialized by [`Manifest::to_json`] (hand-rolled, like
@@ -34,7 +34,7 @@ use crate::json::{self, Json};
 use crate::store::{ScenarioGauges, StoreStats, TraceStore};
 
 /// The manifest schema identifier this crate writes and validates.
-pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v3";
+pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v4";
 
 // ---------------------------------------------------------------------
 // Progress
@@ -639,7 +639,7 @@ mod tests {
         let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
         let json = m.to_json();
         validate_manifest(&json).unwrap();
-        assert!(json.contains("\"schema\": \"cachegc-manifest-v3\""));
+        assert!(json.contains("\"schema\": \"cachegc-manifest-v4\""));
         assert!(json.contains("\"jobs_requested\": 2"));
         assert!(json.contains("\"store\": null"));
     }
@@ -711,7 +711,7 @@ mod tests {
         let err = validate_manifest(&good).unwrap_err();
         assert!(err.contains("gc_minor"), "{err}");
         // Wrong schema.
-        let bad = good.replace("cachegc-manifest-v3", "cachegc-manifest-v0");
+        let bad = good.replace("cachegc-manifest-v4", "cachegc-manifest-v0");
         assert!(validate_manifest(&bad).unwrap_err().contains("schema"));
         // Not JSON at all.
         assert!(validate_manifest("{nope").is_err());

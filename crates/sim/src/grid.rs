@@ -1,0 +1,399 @@
+//! The grid-vectorized direct-mapped simulator.
+//!
+//! The paper's §5 result is one address stream measured against a whole
+//! grid of cache configurations (size × block × policy). Simulating the
+//! grid as K independent [`Cache`] sinks pays the stream-dispatch cost K
+//! times per event; [`GridCache`] instead holds all K configurations as
+//! lanes over one shared flat block-state arena and updates every lane
+//! per event — so a single decode pass (see
+//! [`cachegc_trace::RecordedTrace::replay_batched`]) drives the entire
+//! grid, and each lane's precomputed geometry stays in registers across a
+//! whole [`EventBatch`].
+//!
+//! Bit-identity is the bar: every lane replicates
+//! [`Cache::access_classified`] exactly — same state transitions, same
+//! statistics counters in the same order — which the differential tests
+//! below check against K independent [`Cache`] oracles for every
+//! write-hit × write-miss policy combination.
+
+use cachegc_trace::{Access, EventBatch, TraceSink};
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use crate::stats::CacheStats;
+
+const EMPTY: u32 = u32::MAX;
+
+/// One cache block's state, packed so an access touches a single record
+/// (one or two cache lines) instead of three parallel arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockState {
+    tag: u32,
+    valid: u64,
+    dirty: u64,
+}
+
+/// One configuration's lane: precomputed geometry, policy flags, the
+/// lane's window into the shared arena, and its statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Lane {
+    cfg: CacheConfig,
+    offset_bits: u32,
+    index_bits: u32,
+    index_mask: u32,
+    block_mask: u32,
+    full_mask: u64,
+    write_back: bool,
+    fetch_on_write: bool,
+    /// First arena slot of this lane's blocks.
+    base: usize,
+    stats: CacheStats,
+}
+
+/// K direct-mapped caches simulated in lockstep over one event stream.
+///
+/// Behaves exactly like a `Vec<Cache>` fanout — per-lane statistics are
+/// bit-identical — but consumes the stream once per *batch* instead of
+/// once per `(event, cache)` pair, with all lane state (tag, valid and
+/// dirty bitmaps) in one shared flat arena of per-block records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridCache {
+    lanes: Vec<Lane>,
+    blocks: Vec<BlockState>,
+    events: u64,
+}
+
+impl GridCache {
+    /// A grid over `configs`, every lane empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is not direct-mapped (`assoc != 1`);
+    /// use [`crate::SetAssocCache`] sinks for associative ablations.
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        let mut lanes = Vec::with_capacity(configs.len());
+        let mut total = 0usize;
+        for cfg in configs {
+            assert_eq!(cfg.assoc, 1, "GridCache is direct-mapped; got {cfg}");
+            let wpb = cfg.words_per_block();
+            let full_mask = if wpb >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << wpb) - 1
+            };
+            let index_mask = cfg.num_blocks() - 1;
+            lanes.push(Lane {
+                cfg,
+                offset_bits: cfg.block.trailing_zeros(),
+                index_bits: index_mask.count_ones(),
+                index_mask,
+                block_mask: cfg.block - 1,
+                full_mask,
+                write_back: cfg.write_hit == WriteHitPolicy::WriteBack,
+                fetch_on_write: cfg.write_miss == WriteMissPolicy::FetchOnWrite,
+                base: total,
+                stats: CacheStats::new(cfg.num_blocks()),
+            });
+            total += cfg.num_blocks() as usize;
+        }
+        GridCache {
+            lanes,
+            blocks: vec![
+                BlockState {
+                    tag: EMPTY,
+                    valid: 0,
+                    dirty: 0,
+                };
+                total
+            ],
+            events: 0,
+        }
+    }
+
+    /// Number of configurations (lanes) in the grid.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when the grid holds no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// `(config, event)` cell updates performed so far — the grid-kernel
+    /// work metric (`events × lanes`).
+    pub fn cells_simulated(&self) -> u64 {
+        self.events * self.lanes.len() as u64
+    }
+
+    /// The configurations, in lane order.
+    pub fn configs(&self) -> Vec<CacheConfig> {
+        self.lanes.iter().map(|l| l.cfg).collect()
+    }
+
+    /// One lane's accumulated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.len()`.
+    pub fn stats(&self, lane: usize) -> &CacheStats {
+        &self.lanes[lane].stats
+    }
+
+    /// Consume the grid, returning `(config, stats)` per lane in order.
+    pub fn into_cells(self) -> Vec<(CacheConfig, CacheStats)> {
+        self.lanes.into_iter().map(|l| (l.cfg, l.stats)).collect()
+    }
+
+    /// Simulate one access in `lane`, whose block window is `blocks`
+    /// (a power-of-two-length slice, so the mask derived from its length
+    /// provably bounds the index). Replicates
+    /// [`Cache::access_classified`] exactly: same transitions, same
+    /// counters, same order.
+    #[inline]
+    fn step(lane: &mut Lane, blocks: &mut [BlockState], a: Access) {
+        let rel = ((a.addr >> lane.offset_bits) as usize) & (blocks.len() - 1);
+        let blk = &mut blocks[rel];
+        let tag = a.addr >> lane.offset_bits >> lane.index_bits;
+        let bit = 1u64 << ((a.addr & lane.block_mask) >> 2);
+        lane.stats.count_ref(a.ctx, a.is_read(), rel);
+
+        if a.is_read() {
+            if blk.tag == tag {
+                if blk.valid & bit != 0 {
+                    return;
+                }
+                // Present tag, invalid word: sub-block fill of the rest.
+                blk.valid = lane.full_mask;
+                lane.stats.count_partial_fill();
+                lane.stats.count_fetch(a.ctx);
+                lane.stats.count_block_miss(rel, false);
+            } else {
+                if lane.write_back && blk.dirty != 0 {
+                    lane.stats.count_writeback();
+                }
+                blk.dirty = 0;
+                blk.tag = tag;
+                blk.valid = lane.full_mask;
+                lane.stats.count_read_miss_fetch();
+                lane.stats.count_fetch(a.ctx);
+                lane.stats.count_block_miss(rel, false);
+            }
+        } else {
+            // Write.
+            if !lane.write_back {
+                lane.stats.count_write_through();
+            }
+            if blk.tag == tag {
+                blk.valid |= bit;
+                if lane.write_back {
+                    blk.dirty |= bit;
+                }
+                return;
+            }
+            if lane.write_back && blk.dirty != 0 {
+                lane.stats.count_writeback();
+            }
+            blk.dirty = 0;
+            blk.tag = tag;
+            lane.stats.count_block_miss(rel, a.alloc_init);
+            if lane.fetch_on_write {
+                blk.valid = lane.full_mask;
+                lane.stats.count_write_miss_fetch();
+                lane.stats.count_fetch(a.ctx);
+            } else {
+                blk.valid = bit;
+                lane.stats.count_write_validate_install();
+            }
+            if lane.write_back {
+                blk.dirty = bit;
+            }
+        }
+    }
+
+    /// Update every lane with one decoded batch. Lanes are the outer loop
+    /// so each lane's geometry and hot blocks stay cached across the
+    /// whole batch — this is the kernel one batched decode pass drives.
+    pub fn consume(&mut self, batch: &EventBatch) {
+        let GridCache {
+            lanes,
+            blocks,
+            events,
+        } = self;
+        for lane in lanes.iter_mut() {
+            let n = lane.index_mask as usize + 1;
+            let blocks = &mut blocks[lane.base..lane.base + n];
+            for a in batch.accesses() {
+                Self::step(lane, blocks, a);
+            }
+        }
+        *events += batch.len() as u64;
+    }
+}
+
+impl TraceSink for GridCache {
+    #[inline]
+    fn access(&mut self, a: Access) {
+        let GridCache {
+            lanes,
+            blocks,
+            events,
+        } = self;
+        for lane in lanes.iter_mut() {
+            let n = lane.index_mask as usize + 1;
+            Self::step(lane, &mut blocks[lane.base..lane.base + n], a);
+        }
+        *events += 1;
+    }
+}
+
+/// A `Vec<Cache>` built over the same configurations — the sequential
+/// oracle the grid is differentially tested (and golden-checked) against.
+pub fn grid_oracle(configs: &[CacheConfig]) -> Vec<Cache> {
+    configs.iter().map(|&c| Cache::new(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegc_trace::Context;
+
+    /// SplitMix64, inlined (no registry deps in this workspace).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A random mixed stream: monotone allocation walks, absolute jumps,
+    /// context flips, and all three access kinds.
+    fn mixed_stream(seed: u64, n: usize) -> Vec<Access> {
+        let mut state = seed;
+        let mut addr = 0x1000_0000u32;
+        (0..n)
+            .map(|_| {
+                let r = splitmix(&mut state);
+                addr = match r % 4 {
+                    0 => addr.wrapping_add(4),
+                    1 => addr.wrapping_add((r >> 40) as u32 & 0xfff),
+                    2 => (r >> 16) as u32,
+                    _ => addr.wrapping_sub(64),
+                };
+                let ctx = if r & (1 << 60) != 0 {
+                    Context::Collector
+                } else {
+                    Context::Mutator
+                };
+                match (r >> 61) % 3 {
+                    0 => Access::read(addr, ctx),
+                    1 => Access::write(addr, ctx),
+                    _ => Access::alloc_write(addr, ctx),
+                }
+            })
+            .collect()
+    }
+
+    /// Every write-hit × write-miss policy combination over a small
+    /// size/block grid.
+    fn policy_grid() -> Vec<CacheConfig> {
+        let mut configs = Vec::new();
+        for &(size, block) in &[(32u32 << 10, 16u32), (32 << 10, 64), (128 << 10, 32)] {
+            for hit in [WriteHitPolicy::WriteBack, WriteHitPolicy::WriteThrough] {
+                for miss in [
+                    WriteMissPolicy::WriteValidate,
+                    WriteMissPolicy::FetchOnWrite,
+                ] {
+                    configs.push(
+                        CacheConfig::direct_mapped(size, block)
+                            .with_write_hit(hit)
+                            .with_write_miss(miss),
+                    );
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn grid_matches_independent_caches_for_every_policy_combo() {
+        let configs = policy_grid();
+        for seed in [1u64, 0xdead_beef, 0x5eed_5eed_5eed] {
+            let stream = mixed_stream(seed, 20_000);
+            let mut grid = GridCache::new(configs.clone());
+            let mut oracle = grid_oracle(&configs);
+            for &a in &stream {
+                grid.access(a);
+                for c in &mut oracle {
+                    c.access(a);
+                }
+            }
+            assert_eq!(grid.events(), stream.len() as u64);
+            assert_eq!(
+                grid.cells_simulated(),
+                stream.len() as u64 * configs.len() as u64
+            );
+            for (i, ((cfg, stats), cache)) in grid.into_cells().into_iter().zip(oracle).enumerate()
+            {
+                assert_eq!(cfg, configs[i], "lane order preserved");
+                assert_eq!(
+                    stats,
+                    cache.into_stats(),
+                    "seed {seed:#x}: lane {i} ({cfg}) diverged from its Cache oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_consume_matches_per_event_access() {
+        use cachegc_trace::Recorder;
+        let configs = policy_grid();
+        let stream = mixed_stream(0xabcd_ef01, 30_000);
+        let mut rec = Recorder::new().with_segment_bytes(4096);
+        for &a in &stream {
+            rec.access(a);
+        }
+        let trace = rec.finish().unwrap();
+        // Batched: one decode pass drives the whole grid.
+        let mut batched = GridCache::new(configs.clone());
+        trace.replay_batched(|b| batched.consume(b));
+        // Per-event oracle path.
+        let mut scalar = GridCache::new(configs);
+        for &a in &stream {
+            scalar.access(a);
+        }
+        assert_eq!(batched.events(), scalar.events());
+        for (i, (a, b)) in batched
+            .into_cells()
+            .into_iter()
+            .zip(scalar.into_cells())
+            .enumerate()
+        {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1, "lane {i} ({}) batch/scalar divergence", a.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn associative_configs_are_rejected() {
+        GridCache::new(vec![CacheConfig::direct_mapped(32 << 10, 64).with_assoc(2)]);
+    }
+
+    #[test]
+    fn empty_grid_is_harmless() {
+        let mut g = GridCache::new(Vec::new());
+        assert!(g.is_empty());
+        g.access(Access::read(0, Context::Mutator));
+        assert_eq!(g.events(), 1);
+        assert_eq!(g.cells_simulated(), 0);
+        assert!(g.into_cells().is_empty());
+    }
+}

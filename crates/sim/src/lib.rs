@@ -31,11 +31,13 @@
 mod assoc;
 mod cache;
 mod config;
+mod grid;
 mod stats;
 mod timing;
 
 pub use assoc::SetAssocCache;
 pub use cache::{Cache, Outcome};
 pub use config::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+pub use grid::{grid_oracle, GridCache};
 pub use stats::{BlockStats, CacheStats};
 pub use timing::{miss_penalty_cycles, writeback_cycles, MainMemory, Processor, FAST, SLOW};

@@ -88,13 +88,21 @@ pub enum Counter {
     AffinityFallbacks,
     /// `--jobs` requests clamped down to the machine's available parallelism.
     JobsClamped,
+    /// Event batches produced by the SWAR batch trace decoder.
+    ReplayBatches,
+    /// Events the batch decoder fell back to the scalar path for (token
+    /// with a flags change, multi-byte tail, or an unclassifiable window).
+    ReplayScalarEvents,
+    /// `(configuration, event)` cell updates performed by the grid
+    /// simulation kernel.
+    GridCellsSimulated,
     /// Warnings emitted through [`Telemetry::warn`].
     Warnings,
 }
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::VmRuns,
         Counter::VmAllocs,
         Counter::VmGcTriggers,
@@ -116,6 +124,9 @@ impl Counter {
         Counter::AffinityPinned,
         Counter::AffinityFallbacks,
         Counter::JobsClamped,
+        Counter::ReplayBatches,
+        Counter::ReplayScalarEvents,
+        Counter::GridCellsSimulated,
         Counter::Warnings,
     ];
 
@@ -143,6 +154,9 @@ impl Counter {
             Counter::AffinityPinned => "affinity_pinned",
             Counter::AffinityFallbacks => "affinity_fallbacks",
             Counter::JobsClamped => "jobs_clamped",
+            Counter::ReplayBatches => "replay_batches",
+            Counter::ReplayScalarEvents => "replay_scalar_events",
+            Counter::GridCellsSimulated => "grid_cells_simulated",
             Counter::Warnings => "warnings",
         }
     }

@@ -35,8 +35,8 @@ mod sink;
 pub use counters::{Counters, InstrClass};
 pub use event::{Access, AccessKind, Context};
 pub use recorded::{
-    PayloadChunks, RecordBudget, RecordedTrace, Recorder, TraceImage, CHARGE_CHUNK_BYTES,
-    DEFAULT_SEGMENT_BYTES,
+    BatchDecodeStats, EventBatch, PayloadChunks, RecordBudget, RecordedTrace, Recorder, TraceImage,
+    CHARGE_CHUNK_BYTES, DEFAULT_SEGMENT_BYTES, EVENT_BATCH,
 };
 pub use region::{Region, DYNAMIC_BASE, DYNAMIC_SECOND_BASE, STACK_BASE, STATIC_BASE, WORD_BYTES};
 pub use sink::{Fanout, NullSink, RefCounter, TraceSink};

@@ -114,6 +114,113 @@ fn unzigzag32(z: u32) -> i32 {
     ((z >> 1) as i32) ^ -((z & 1) as i32)
 }
 
+/// Decode one event the byte-at-a-time way: the scalar fallback of the
+/// batch decoder, and byte-for-byte the loop [`RecordedTrace::replay`]
+/// runs. Advances `i` past the token (and flags byte, when present) and
+/// leaves `(addr, flags)` describing the decoded event.
+#[inline]
+fn decode_one(bytes: &[u8], i: &mut usize, addr: &mut u32, flags: &mut u8) {
+    let mut token: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*i];
+        *i += 1;
+        token |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if token & 1 != 0 {
+        *flags = bytes[*i];
+        *i += 1;
+    }
+    *addr = addr.wrapping_add(unzigzag32((token >> 1) as u32) as u32);
+}
+
+/// Capacity of one decoded [`EventBatch`].
+pub const EVENT_BATCH: usize = 64;
+
+/// One decoded slice of a recorded stream, in structure-of-arrays form:
+/// `addrs[i]` is event `i`'s absolute address and `flags[i]` its packed
+/// flag byte (write, collector, alloc-init as bits `0..=2`). Batch
+/// consumers like a grid kernel read the arrays directly; [`EventBatch::get`]
+/// rebuilds the [`Access`] for per-event sinks.
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    /// Decoded absolute addresses; entries `0..len` are valid.
+    pub addrs: [u32; EVENT_BATCH],
+    /// Per-event packed flag bytes; entries `0..len` are valid.
+    pub flags: [u8; EVENT_BATCH],
+    /// Number of valid leading entries.
+    pub len: usize,
+}
+
+impl EventBatch {
+    fn empty() -> Self {
+        EventBatch {
+            addrs: [0; EVENT_BATCH],
+            flags: [0; EVENT_BATCH],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, addr: u32, flags: u8) {
+        self.addrs[self.len] = addr;
+        self.flags[self.len] = flags;
+        self.len += 1;
+    }
+
+    /// Number of valid events in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Event `i` as an [`Access`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Access {
+        assert!(i < self.len, "event {i} out of batch of {}", self.len);
+        access_from(self.addrs[i], self.flags[i])
+    }
+
+    /// The batch's valid events, in stream order.
+    pub fn accesses(&self) -> impl Iterator<Item = Access> + '_ {
+        (0..self.len).map(move |i| access_from(self.addrs[i], self.flags[i]))
+    }
+}
+
+/// What [`RecordedTrace::replay_batched`] did: how many batches reached
+/// the consumer and how the events split between the SWAR fast paths and
+/// the scalar fallback. `swar_events + scalar_events` always equals the
+/// trace's event count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchDecodeStats {
+    /// Batches handed to the consumer.
+    pub batches: u64,
+    /// Events decoded by the 8×1-byte and 4×2-byte SWAR word paths.
+    pub swar_events: u64,
+    /// Events decoded by the scalar fallback: long tokens, flag-changing
+    /// tokens, and segment tails shorter than one 8-byte word.
+    pub scalar_events: u64,
+}
+
+impl BatchDecodeStats {
+    /// Total events decoded.
+    pub fn events(&self) -> u64 {
+        self.swar_events + self.scalar_events
+    }
+}
+
 /// A [`TraceSink`] that captures the event stream into compact segments.
 ///
 /// Feed it a run (typically as one half of a `(Recorder, real_sink)`
@@ -454,25 +561,117 @@ impl RecordedTrace {
         for bytes in self.payload_chunks() {
             let mut i = 0;
             while i < bytes.len() {
-                let mut token: u64 = 0;
-                let mut shift = 0;
-                loop {
-                    let b = bytes[i];
-                    i += 1;
-                    token |= u64::from(b & 0x7f) << shift;
-                    if b & 0x80 == 0 {
-                        break;
-                    }
-                    shift += 7;
-                }
-                if token & 1 != 0 {
-                    flags = bytes[i];
-                    i += 1;
-                }
-                addr = addr.wrapping_add(unzigzag32((token >> 1) as u32) as u32);
+                decode_one(bytes, &mut i, &mut addr, &mut flags);
                 sink.access(access_from(addr, flags));
             }
         }
+    }
+
+    /// Decode the stream into [`EventBatch`] slices — the same events, in
+    /// the same order, as [`RecordedTrace::replay`], but amortizing decode
+    /// control flow over whole batches so one decode pass can drive many
+    /// simulated configurations.
+    ///
+    /// The decoder is SWAR (SIMD-within-a-register): at each token
+    /// boundary it loads the next 8 payload bytes as one little-endian
+    /// `u64` and classifies continuation and flags-changed bits with byte
+    /// masks. Two word shapes decode without any per-byte branching:
+    ///
+    /// * **8×1-byte**: no continuation bits, no flags-changed bits — eight
+    ///   single-byte tokens whose zigzag deltas prefix-sum into eight
+    ///   addresses under the current flags.
+    /// * **4×2-byte**: continuation bits exactly on bytes 0/2/4/6 and no
+    ///   flags-changed bits — four two-byte tokens whose 14-bit values are
+    ///   extracted with shift-and-mask lane arithmetic.
+    ///
+    /// Any other shape (a token of 3+ bytes, a flags change, or a segment
+    /// tail shorter than a word) falls back to the scalar loop for exactly
+    /// one token and re-classifies. A flags byte can look like a terminal
+    /// one-byte token (its high bits are always zero), so the fast paths
+    /// demand *no* flags-changed bits in the word: every byte they touch
+    /// is then provably a token start.
+    ///
+    /// Decoder state `(prev_addr, flags)` carries across segment
+    /// boundaries exactly as in [`RecordedTrace::replay`] — tokens never
+    /// straddle segments (the recorder seals at event boundaries), so
+    /// per-segment decoding with carried state is bit-identical to
+    /// decoding the concatenated payload.
+    pub fn replay_batched<F: FnMut(&EventBatch)>(&self, mut consume: F) -> BatchDecodeStats {
+        // Byte masks over the 8-byte window: continuation bits (bit 7 of
+        // every byte), flags-changed bits (bit 0 of every byte), and the
+        // 4×2-byte shape (continuation on bytes 0/2/4/6 only, with the
+        // changed bit of each token — bit 0 of its first byte — clear).
+        const CONT: u64 = 0x8080_8080_8080_8080;
+        const CHANGED: u64 = 0x0101_0101_0101_0101;
+        const CONT_2B: u64 = 0x0080_0080_0080_0080;
+        const CHANGED_2B: u64 = 0x0001_0001_0001_0001;
+        const LO7_2B: u64 = 0x007f_007f_007f_007f;
+        let mut stats = BatchDecodeStats::default();
+        let mut batch = EventBatch::empty();
+        let mut flush = |batch: &mut EventBatch, batches: &mut u64| {
+            if batch.len > 0 {
+                *batches += 1;
+                consume(batch);
+                batch.len = 0;
+            }
+        };
+        let mut addr: u32 = 0;
+        let mut flags: u8 = 0;
+        for bytes in self.payload_chunks() {
+            let mut i = 0;
+            while i + 8 <= bytes.len() {
+                let word = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+                if word & (CONT | CHANGED) == 0 {
+                    // Eight 1-byte tokens, no flag changes.
+                    if batch.len + 8 > EVENT_BATCH {
+                        flush(&mut batch, &mut stats.batches);
+                    }
+                    for lane in 0..8 {
+                        let z = u32::from((word >> (8 * lane)) as u8) >> 1;
+                        addr = addr.wrapping_add(unzigzag32(z) as u32);
+                        batch.push(addr, flags);
+                    }
+                    stats.swar_events += 8;
+                    i += 8;
+                } else if word & CONT == CONT_2B && word & CHANGED_2B == 0 {
+                    // Four 2-byte tokens, no flag changes: each 16-bit
+                    // lane holds `lo7 | hi7 << 7`.
+                    if batch.len + 4 > EVENT_BATCH {
+                        flush(&mut batch, &mut stats.batches);
+                    }
+                    let lo = word & LO7_2B;
+                    let hi = (word >> 8) & LO7_2B;
+                    let lanes = lo | (hi << 7);
+                    for lane in 0..4 {
+                        let z = ((lanes >> (16 * lane)) & 0xffff) as u32 >> 1;
+                        addr = addr.wrapping_add(unzigzag32(z) as u32);
+                        batch.push(addr, flags);
+                    }
+                    stats.swar_events += 4;
+                    i += 8;
+                } else {
+                    // A long token or a flags change: one scalar event,
+                    // then re-classify from the new boundary.
+                    if batch.len == EVENT_BATCH {
+                        flush(&mut batch, &mut stats.batches);
+                    }
+                    decode_one(bytes, &mut i, &mut addr, &mut flags);
+                    batch.push(addr, flags);
+                    stats.scalar_events += 1;
+                }
+            }
+            // Segment tail shorter than one SWAR word.
+            while i < bytes.len() {
+                if batch.len == EVENT_BATCH {
+                    flush(&mut batch, &mut stats.batches);
+                }
+                decode_one(bytes, &mut i, &mut addr, &mut flags);
+                batch.push(addr, flags);
+                stats.scalar_events += 1;
+            }
+        }
+        flush(&mut batch, &mut stats.batches);
+        stats
     }
 
     /// Replay into many sinks at once on up to `jobs` threads, each worker
@@ -749,6 +948,149 @@ mod tests {
         let mut out = VecSink::default();
         mapped.replay(&mut out);
         assert_eq!(out.0, events, "image replay is event-for-event identical");
+        // The image flattens the 32-byte segments into one contiguous
+        // window, so the batch decoder's SWAR words now span the former
+        // seal points — and must still decode the identical stream.
+        let mut batched = Vec::new();
+        let stats = mapped.replay_batched(|b| batched.extend(b.accesses()));
+        assert_eq!(batched, events, "image batched replay identical");
+        assert_eq!(stats.events(), mapped.events());
+    }
+
+    /// Record `events` at `segment_bytes`, then demand the batched decode
+    /// yields exactly the scalar replay's stream, batch boundaries and
+    /// decode-stat accounting included.
+    fn assert_batched_matches_scalar(events: &[Access], segment_bytes: usize) -> BatchDecodeStats {
+        let mut rec = Recorder::new().with_segment_bytes(segment_bytes);
+        for &a in events {
+            rec.access(a);
+        }
+        let trace = rec.finish().expect("unbounded recorder never overflows");
+        let mut scalar = VecSink::default();
+        trace.replay(&mut scalar);
+        let mut batched = Vec::new();
+        let stats = trace.replay_batched(|b| {
+            assert!(!b.is_empty() && b.len() <= EVENT_BATCH);
+            batched.extend(b.accesses());
+        });
+        assert_eq!(
+            batched, scalar.0,
+            "batched decode diverged at segment size {segment_bytes}"
+        );
+        assert_eq!(scalar.0, events, "scalar oracle round-trips");
+        assert_eq!(stats.events(), events.len() as u64, "every event accounted");
+        stats
+    }
+
+    /// SplitMix64, inlined: the trace crate cannot depend on the root
+    /// testkit (dependency direction), and three lines of PRNG beat an
+    /// extra dev-dependency.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_on_adversarial_streams() {
+        // Wraparound deltas, absolute rejumps, dense flag flips, segment
+        // sizes 16–4096 B, and stream lengths straddling every batch-size
+        // edge (shorter than one batch, exactly one, one past).
+        let mut state = 0x51ab_c0ff_ee00_0001u64;
+        for &seg in &[16usize, 33, 64, 256, 1024, 4096] {
+            for &n in &[1usize, 3, 7, 40, 63, 64, 65, 129, 500, 4000] {
+                let mut addr = 0u32;
+                let events: Vec<Access> = (0..n)
+                    .map(|_| {
+                        let r = splitmix(&mut state);
+                        addr = match r % 5 {
+                            0 => addr.wrapping_add((r >> 8) as u32),  // huge jump, wraps
+                            1 => addr.wrapping_add(4),                // monotone word walk
+                            2 => addr.wrapping_sub((r >> 48) as u32), // negative delta
+                            3 => (r >> 16) as u32,                    // absolute rejump
+                            _ => addr.wrapping_add(((r >> 40) & 0xff) as u32),
+                        };
+                        let ctx = if r & (1 << 60) != 0 {
+                            Context::Collector
+                        } else {
+                            Context::Mutator
+                        };
+                        match (r >> 61) % 3 {
+                            0 => Access::read(addr, ctx),
+                            1 => Access::write(addr, ctx),
+                            _ => Access::alloc_write(addr, ctx),
+                        }
+                    })
+                    .collect();
+                assert_batched_matches_scalar(&events, seg);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_run_decodes_on_the_one_byte_swar_path() {
+        let events: Vec<Access> = (0..10_000)
+            .map(|i| Access::read(0x1000_0000 + 4 * i, Context::Mutator))
+            .collect();
+        let stats = assert_batched_matches_scalar(&events, DEFAULT_SEGMENT_BYTES);
+        assert!(
+            stats.swar_events > 9_900,
+            "a monotone word walk is 1-byte tokens: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn strided_run_decodes_on_the_two_byte_swar_path() {
+        // A 256-byte stride zigzags to a two-byte token; the whole stream
+        // should ride the 4-wide lane path.
+        let events: Vec<Access> = (1..=4_000u32)
+            .map(|i| Access::read(256 * i, Context::Mutator))
+            .collect();
+        let stats = assert_batched_matches_scalar(&events, DEFAULT_SEGMENT_BYTES);
+        assert!(
+            stats.swar_events > 3_900,
+            "a 256-byte stride is 2-byte tokens: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dense_flag_flips_fall_back_to_the_scalar_path() {
+        // Every event changes flags, so every token carries the changed
+        // bit and a flags byte — no SWAR word shape may claim it (a flags
+        // byte is indistinguishable from a terminal token byte by
+        // continuation bits alone).
+        let events: Vec<Access> = (0..300u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Access::read(4 * i, Context::Mutator)
+                } else {
+                    Access::write(4 * i, Context::Collector)
+                }
+            })
+            .collect();
+        let stats = assert_batched_matches_scalar(&events, DEFAULT_SEGMENT_BYTES);
+        assert_eq!(stats.swar_events, 0, "{stats:?}");
+        assert_eq!(stats.scalar_events, 300);
+    }
+
+    #[test]
+    fn batched_state_carries_across_tiny_segments() {
+        // 16-byte segments: every segment tail is shorter than one SWAR
+        // word, so the decoder constantly re-enters the scalar tail with
+        // carried (prev_addr, flags) state.
+        let mut events = Vec::new();
+        for i in 0..800u32 {
+            let ctx = if i % 7 == 0 {
+                Context::Collector
+            } else {
+                Context::Mutator
+            };
+            events.push(Access::write(i.wrapping_mul(0x9e37_79b9), ctx));
+        }
+        let stats = assert_batched_matches_scalar(&events, 16);
+        assert!(stats.batches >= 800 / EVENT_BATCH as u64);
     }
 
     #[test]
