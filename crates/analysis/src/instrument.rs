@@ -15,6 +15,7 @@ use cachegc_trace::{Access, TraceSink};
 use crate::activity::{activity, Activity};
 use crate::blocks::{BlockReport, BlockTracker};
 use crate::sweep::SweepPlot;
+use crate::timeline::{Timeline, TimelineReport};
 
 /// A cache-activity instrument: a direct-mapped cache whose finished
 /// statistics are decomposed into the §7 cache-activity graph.
@@ -77,6 +78,8 @@ pub enum Instrument {
     /// A whole direct-mapped configuration grid simulated in lockstep
     /// (the batch replay kernel's sink).
     Grid(GridCache),
+    /// The windowed §6 cache/GC timeline sampler.
+    Timeline(Timeline),
 }
 
 impl Instrument {
@@ -89,6 +92,7 @@ impl Instrument {
             Instrument::Sweep(_) => "sweep",
             Instrument::Activity(_) => "activity",
             Instrument::Grid(_) => "grid",
+            Instrument::Timeline(_) => "timeline",
         }
     }
 
@@ -139,6 +143,14 @@ impl Instrument {
             _ => None,
         }
     }
+
+    /// Finish a timeline sampler into its report, if this is one.
+    pub fn into_timeline(self) -> Option<TimelineReport> {
+        match self {
+            Instrument::Timeline(t) => Some(t.finish()),
+            _ => None,
+        }
+    }
 }
 
 impl From<Cache> for Instrument {
@@ -177,6 +189,12 @@ impl From<GridCache> for Instrument {
     }
 }
 
+impl From<Timeline> for Instrument {
+    fn from(t: Timeline) -> Self {
+        Instrument::Timeline(t)
+    }
+}
+
 impl TraceSink for Instrument {
     #[inline]
     fn access(&mut self, a: Access) {
@@ -187,6 +205,7 @@ impl TraceSink for Instrument {
             Instrument::Sweep(p) => p.access(a),
             Instrument::Activity(t) => t.access(a),
             Instrument::Grid(g) => g.access(a),
+            Instrument::Timeline(t) => t.access(a),
         }
     }
 }
@@ -210,6 +229,7 @@ mod tests {
                 CacheConfig::direct_mapped(1 << 16, 64),
             ])
             .into(),
+            Timeline::new(CacheConfig::direct_mapped(1 << 15, 64), 1000).into(),
         ]
     }
 
@@ -227,7 +247,7 @@ mod tests {
         let out = fan.into_sinks();
         assert_eq!(
             out.iter().map(Instrument::kind).collect::<Vec<_>>(),
-            ["cache", "assoc", "blocks", "sweep", "activity", "grid"]
+            ["cache", "assoc", "blocks", "sweep", "activity", "grid", "timeline"]
         );
         let mut out = out.into_iter();
         let cache = out.next().unwrap().into_cache().unwrap();
@@ -243,6 +263,9 @@ mod tests {
         let grid = out.next().unwrap().into_grid().unwrap();
         assert_eq!(grid.events(), 4096);
         assert!(grid.stats(0).misses() > 0 && grid.stats(1).misses() > 0);
+        let timeline = out.next().unwrap().into_timeline().unwrap();
+        assert_eq!(timeline.events, 4096);
+        assert_eq!(timeline.windows_sum(), timeline.totals);
     }
 
     #[test]

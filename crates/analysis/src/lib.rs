@@ -16,6 +16,9 @@
 //!   curves — the paper's cache-activity graphs.
 //! * [`SweepPlot`] — the time × cache-block miss dot plot showing the
 //!   allocation pointer sweeping the cache diagonally.
+//! * [`Timeline`] — windowed cache/GC timeline sampler: fixed event
+//!   windows split at GC epoch boundaries, reproducing the paper's §6
+//!   miss-rate-versus-time story with exact aggregate reconstruction.
 //!
 //! [`ActivityTracker`] packages the activity decomposition as an online
 //! [`cachegc_trace::TraceSink`], and [`Instrument`] closes all of the
@@ -29,8 +32,12 @@ mod activity;
 mod blocks;
 mod instrument;
 mod sweep;
+mod timeline;
 
 pub use activity::{activity, Activity, ActivityEntry};
 pub use blocks::{BlockReport, BlockTracker, BusyBlock};
 pub use instrument::{ActivityTracker, Instrument};
 pub use sweep::SweepPlot;
+pub use timeline::{
+    CollectionMarker, Timeline, TimelineReport, TimelineWindow, DEFAULT_WINDOW_EVENTS,
+};

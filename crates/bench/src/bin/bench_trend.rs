@@ -1,0 +1,118 @@
+//! Trajectory guard for the checked-in `BENCH_*.json` records: assert
+//! their schemas and report latest-vs-previous throughput deltas.
+//!
+//! Exit status: 0 all present files valid, 1 schema/parse violation,
+//! 2 usage.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cachegc_bench::trend::{trend, BenchKind};
+
+const USAGE: &str = "\
+bench_trend: validate BENCH_grid/replay/telemetry.json and report deltas
+
+usage: bench_trend [--dir PATH] [--baseline PATH] [FILE ...]
+
+  --dir PATH       where the current trajectory files live (default .)
+  --baseline PATH  directory holding the previous revision of the same
+                   files (CI extracts them from the parent commit);
+                   rows are reported without deltas when absent
+  FILE ...         check only these files (default: all three)
+
+Each present file must declare its exact schema
+(cachegc-bench-grid-v1, cachegc-bench-replay-v2,
+cachegc-bench-telemetry-v1); a missing file is skipped with a note so
+the guard works before a bench has ever run. Deltas are reported, never
+gated: review judges them, not a threshold.";
+
+struct Opts {
+    dir: PathBuf,
+    baseline: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        dir: PathBuf::from("."),
+        baseline: None,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown argument: {other}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    for f in &opts.files {
+        if BenchKind::of(f).is_none() {
+            return Err(format!(
+                "unknown trajectory file '{f}' (known: {})",
+                BenchKind::ALL.map(|(_, n)| n).join(", ")
+            ));
+        }
+    }
+    if opts.files.is_empty() {
+        opts.files = BenchKind::ALL.iter().map(|(_, n)| n.to_string()).collect();
+    }
+    Ok(opts)
+}
+
+fn read_opt(path: &Path) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("bench_trend: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut invalid = 0usize;
+    let mut checked = 0usize;
+    for name in &opts.files {
+        let kind = BenchKind::of(name).expect("validated in parse_opts");
+        let Some(text) = read_opt(&opts.dir.join(name)) else {
+            println!("{name}: absent, skipped");
+            continue;
+        };
+        let prev = opts
+            .baseline
+            .as_ref()
+            .and_then(|dir| read_opt(&dir.join(name)));
+        checked += 1;
+        match trend(kind, &text, prev.as_deref()) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(msg) => {
+                invalid += 1;
+                println!("INVALID {name}: {msg}");
+            }
+        }
+    }
+    if invalid == 0 {
+        println!("ok: {checked} trajectory files valid");
+        ExitCode::SUCCESS
+    } else {
+        println!("{invalid} of {checked} trajectory files invalid");
+        ExitCode::from(1)
+    }
+}

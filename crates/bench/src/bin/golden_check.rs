@@ -8,12 +8,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use cachegc_bench::cli::{replay_kernel_from_env, MetricsArg, TraceCacheArg};
+use cachegc_bench::cli::{replay_kernel_from_env, MetricsArg, TraceCacheArg, TraceExportArg};
 use cachegc_bench::experiments::{self, Experiment};
 use cachegc_bench::golden::{
     bless_tables, check_tables_on, golden_engine, run_sweep, Tolerance, GOLDEN_DIR, GOLDEN_SCALE,
 };
-use cachegc_core::{Manifest, ManifestConfig, ReplayKernel, Runner, Telemetry};
+use cachegc_core::{
+    chrome_trace_json, validate_chrome_trace, validate_timeline, Manifest, ManifestConfig,
+    ReplayKernel, Runner, Telemetry,
+};
 
 const USAGE: &str = "\
 golden_check: diff every experiment's tables against results/expected/
@@ -22,6 +25,8 @@ usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
                     [--trace-cache on|off|BYTES[,spill[:DIR]][,evict=on|off]]
                     [--replay-kernel scalar|batch]
                     [--metrics off|json[:PATH]] [--manifest PATH]
+                    [--trace-export off|chrome[:PATH]]
+                    [--timeline PATH] [--trace PATH]
 
   --bless       regenerate the goldens from the current code
   --only NAME   check a single experiment (e.g. e4_write_policy)
@@ -51,6 +56,22 @@ usage: golden_check [--bless] [--only NAME] [--dir PATH] [--rel-eps X]
                 --metrics json instead of diffing tables: schema and
                 counter/phase invariants, plus nonzero vm_execute and
                 hit-backed replay spans; exits 0 valid, 1 invalid
+  --trace-export off|chrome[:PATH]
+                capture timestamped scheduler spans during this
+                invocation's sweeps and write them as Chrome
+                trace-event JSON (loadable in Perfetto), default PATH
+                results/trace/golden_check.json; spans never change a
+                table (env CACHEGC_TRACE_EXPORT)
+  --timeline PATH
+                validate a cachegc-timeline-v1 JSONL stream written by
+                an experiment's --timeline jsonl instead of diffing
+                tables: schema, declared counts, and the per-run
+                invariant that window sums reconstruct the aggregate
+                cache totals exactly; exits 0 valid, 1 invalid
+  --trace PATH  validate Chrome trace-event JSON written by
+                --trace-export instead of diffing tables: well-formed
+                events, named thread rows, and at least one complete
+                span; exits 0 valid, 1 invalid
 
 The sweeps always run at --scale 1 --jobs 2 --schedule ws: goldens are
 defined at that configuration, and the parallel engine is bit-identical
@@ -67,6 +88,9 @@ struct Opts {
     replay_kernel: ReplayKernel,
     metrics: MetricsArg,
     manifest: Option<PathBuf>,
+    trace_export: TraceExportArg,
+    timeline: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_opts(argv: &[String]) -> Result<Opts, String> {
@@ -81,6 +105,11 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         )?,
         metrics: MetricsArg::Off,
         manifest: None,
+        trace_export: TraceExportArg::from_env(
+            std::env::var("CACHEGC_TRACE_EXPORT").ok().as_deref(),
+        )?,
+        timeline: None,
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -130,6 +159,14 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                 };
             }
             "--manifest" => opts.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--trace-export" => {
+                let raw = value("--trace-export")?;
+                opts.trace_export = TraceExportArg::parse(&raw).ok_or_else(|| {
+                    format!("--trace-export: malformed value '{raw}' (off or chrome[:PATH])")
+                })?;
+            }
+            "--timeline" => opts.timeline = Some(PathBuf::from(value("--timeline")?)),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -185,6 +222,57 @@ fn main() -> ExitCode {
             }
         };
     }
+    if let Some(path) = &opts.timeline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("golden_check: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        return match validate_timeline(&text) {
+            Ok(()) => {
+                println!("ok: {} is a valid timeline stream", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                println!("INVALID timeline {}: {msg}", path.display());
+                ExitCode::from(1)
+            }
+        };
+    }
+    if let Some(path) = &opts.trace {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("golden_check: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let verdict = validate_chrome_trace(&text).and_then(|s| {
+            if s.spans == 0 {
+                Err("no complete spans".to_string())
+            } else {
+                Ok(s)
+            }
+        });
+        return match verdict {
+            Ok(s) => {
+                println!(
+                    "ok: {} is a valid chrome trace ({} spans, {} worker rows, {} threads)",
+                    path.display(),
+                    s.spans,
+                    s.workers,
+                    s.threads
+                );
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                println!("INVALID trace {}: {msg}", path.display());
+                ExitCode::from(1)
+            }
+        };
+    }
     let exps = match selected(&opts) {
         Ok(e) => e,
         Err(msg) => {
@@ -197,7 +285,15 @@ fn main() -> ExitCode {
     // earlier sweep recorded, so each unique (workload, scale, collector)
     // runs the VM at most once per invocation.
     let store = opts.trace_cache.store();
-    let telemetry = opts.metrics.enabled().then(|| Arc::new(Telemetry::new()));
+    // `--trace-export` needs a span-capturing registry even when
+    // `--metrics off` leaves the manifest unwritten.
+    let telemetry = (opts.metrics.enabled() || opts.trace_export.enabled()).then(|| {
+        Arc::new(if opts.trace_export.enabled() {
+            Telemetry::with_spans()
+        } else {
+            Telemetry::new()
+        })
+    });
     let mut runner = Runner::new(golden_engine().with_replay_kernel(opts.replay_kernel));
     if let Some(store) = &store {
         runner = runner.with_store(store);
@@ -242,6 +338,21 @@ fn main() -> ExitCode {
 
     if let Some(store) = &store {
         eprintln!("trace cache: {}", store.stats());
+    }
+    if let (Some(telemetry), Some(path)) = (&telemetry, opts.trace_export.path("golden_check")) {
+        let snapshot = telemetry.snapshot();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, chrome_trace_json(&snapshot)) {
+            Ok(()) => eprintln!(
+                "wrote {} ({} spans on {} threads)",
+                path.display(),
+                snapshot.spans.len(),
+                snapshot.threads.len()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
     if let (Some(telemetry), MetricsArg::Json(path)) = (&telemetry, &opts.metrics) {
         let manifest = Manifest::gather(

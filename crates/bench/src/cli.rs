@@ -10,7 +10,7 @@
 use std::path::{Path, PathBuf};
 
 use cachegc_core::report::{csv_table_path, Table};
-use cachegc_core::{EngineConfig, ReplayKernel, Schedule, TraceStore};
+use cachegc_core::{EngineConfig, ReplayKernel, Schedule, TimelineSpec, TraceStore};
 
 /// Byte budget the plain `--trace-cache on` spelling buys (4 GiB — the
 /// whole golden-scale scenario set encodes to ~1 GiB at the measured
@@ -204,6 +204,155 @@ impl MetricsArg {
     }
 }
 
+/// The `--timeline` knob: whether every pass additionally samples a
+/// windowed cache/GC timeline, and where the `cachegc-timeline-v1`
+/// JSONL stream lands. Spelled `off` or `jsonl[:PATH][,window=N]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TimelineArg {
+    /// No timeline: passes run exactly as before.
+    #[default]
+    Off,
+    /// Emit the JSONL stream (plus a summary table on stderr).
+    Jsonl {
+        /// Output path; `None` means `results/timeline/<experiment>.jsonl`.
+        path: Option<PathBuf>,
+        /// Window length override in events; `None` keeps the default
+        /// 1 M-event windows.
+        window: Option<u64>,
+    },
+}
+
+impl TimelineArg {
+    /// Parse a `--timeline` value: `off` or `jsonl[:PATH][,window=N]`.
+    pub fn parse(raw: &str) -> Option<TimelineArg> {
+        if raw == "off" {
+            return Some(TimelineArg::Off);
+        }
+        let mut parts = raw.split(',');
+        let head = parts.next()?;
+        let path = if head == "jsonl" {
+            None
+        } else {
+            let p = head.strip_prefix("jsonl:")?;
+            if p.is_empty() {
+                return None;
+            }
+            Some(PathBuf::from(p))
+        };
+        let mut window = None;
+        for opt in parts {
+            let v = opt.strip_prefix("window=")?;
+            let n: u64 = v.parse().ok()?;
+            if n == 0 {
+                return None;
+            }
+            window = Some(n);
+        }
+        Some(TimelineArg::Jsonl { path, window })
+    }
+
+    /// Resolve a `CACHEGC_TIMELINE` environment value: `None` (unset)
+    /// means the default `off`; a malformed value is an error naming the
+    /// variable, same discipline as the flag.
+    pub fn from_env(raw: Option<&str>) -> Result<TimelineArg, String> {
+        match raw {
+            None => Ok(TimelineArg::Off),
+            Some(v) => TimelineArg::parse(v).ok_or_else(|| {
+                format!(
+                    "CACHEGC_TIMELINE: malformed value '{v}' \
+                     (off or jsonl[:PATH][,window=N])"
+                )
+            }),
+        }
+    }
+
+    /// True when passes should carry a timeline tap.
+    pub fn enabled(&self) -> bool {
+        *self != TimelineArg::Off
+    }
+
+    /// The sampling spec this argument asks for (the paper's 64 KB/32 B
+    /// geometry, with the window override applied).
+    pub fn spec(&self) -> TimelineSpec {
+        let mut spec = TimelineSpec::default();
+        if let TimelineArg::Jsonl {
+            window: Some(n), ..
+        } = self
+        {
+            spec.window_events = *n;
+        }
+        spec
+    }
+
+    /// Where the JSONL stream lands for `experiment` (explicit path, or
+    /// the default `results/timeline/<experiment>.jsonl`).
+    pub fn path(&self, experiment: &str) -> Option<PathBuf> {
+        match self {
+            TimelineArg::Off => None,
+            TimelineArg::Jsonl { path, .. } => Some(path.clone().unwrap_or_else(|| {
+                PathBuf::from("results/timeline").join(format!("{experiment}.jsonl"))
+            })),
+        }
+    }
+}
+
+/// The `--trace-export` knob: whether the run's telemetry captures
+/// timestamped spans and exports them as Chrome trace-event JSON
+/// (loadable in Perfetto / `chrome://tracing`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceExportArg {
+    /// No span capture, no export.
+    #[default]
+    Off,
+    /// Export Chrome trace-event JSON; `None` means the default path
+    /// `results/trace/<experiment>.json`.
+    Chrome(Option<PathBuf>),
+}
+
+impl TraceExportArg {
+    /// Parse a `--trace-export` value: `off`, `chrome`, or `chrome:PATH`.
+    pub fn parse(raw: &str) -> Option<TraceExportArg> {
+        match raw {
+            "off" => Some(TraceExportArg::Off),
+            "chrome" => Some(TraceExportArg::Chrome(None)),
+            _ => match raw.strip_prefix("chrome:") {
+                Some(path) if !path.is_empty() => {
+                    Some(TraceExportArg::Chrome(Some(PathBuf::from(path))))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Resolve a `CACHEGC_TRACE_EXPORT` environment value: `None` (unset)
+    /// means the default `off`; a malformed value is an error naming the
+    /// variable, same discipline as the flag.
+    pub fn from_env(raw: Option<&str>) -> Result<TraceExportArg, String> {
+        match raw {
+            None => Ok(TraceExportArg::Off),
+            Some(v) => TraceExportArg::parse(v).ok_or_else(|| {
+                format!("CACHEGC_TRACE_EXPORT: malformed value '{v}' (off or chrome[:PATH])")
+            }),
+        }
+    }
+
+    /// True when spans should be captured (forces a span-enabled
+    /// telemetry registry even under `--metrics off`).
+    pub fn enabled(&self) -> bool {
+        *self != TraceExportArg::Off
+    }
+
+    /// Where the Chrome trace lands for `experiment`.
+    pub fn path(&self, experiment: &str) -> Option<PathBuf> {
+        match self {
+            TraceExportArg::Off => None,
+            TraceExportArg::Chrome(path) => Some(path.clone().unwrap_or_else(|| {
+                PathBuf::from("results/trace").join(format!("{experiment}.json"))
+            })),
+        }
+    }
+}
+
 /// Parsed common arguments of an experiment binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentArgs {
@@ -233,6 +382,12 @@ pub struct ExperimentArgs {
     /// Telemetry sink (`--metrics off|table|json[:PATH]`, env
     /// `CACHEGC_METRICS`; default off).
     pub metrics: MetricsArg,
+    /// Windowed cache/GC timeline export (`--timeline
+    /// off|jsonl[:PATH][,window=N]`, env `CACHEGC_TIMELINE`; default off).
+    pub timeline: TimelineArg,
+    /// Scheduler trace export (`--trace-export off|chrome[:PATH]`, env
+    /// `CACHEGC_TRACE_EXPORT`; default off).
+    pub trace_export: TraceExportArg,
     /// Report sweep progress on stderr (`--progress`).
     pub progress: bool,
 }
@@ -291,6 +446,8 @@ impl ExperimentArgs {
         let mut csv: Option<PathBuf> = None;
         let mut trace_cache: Option<TraceCacheArg> = None;
         let mut metrics: Option<MetricsArg> = None;
+        let mut timeline: Option<TimelineArg> = None;
+        let mut trace_export: Option<TraceExportArg> = None;
         let mut progress = false;
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -326,6 +483,21 @@ impl ExperimentArgs {
                     let raw = it.next().ok_or("--metrics needs a value")?;
                     metrics = Some(MetricsArg::parse(raw).ok_or_else(|| {
                         format!("--metrics: malformed value '{raw}' (off, table, or json[:PATH])")
+                    })?);
+                }
+                "--timeline" => {
+                    let raw = it.next().ok_or("--timeline needs a value")?;
+                    timeline = Some(TimelineArg::parse(raw).ok_or_else(|| {
+                        format!(
+                            "--timeline: malformed value '{raw}' \
+                             (off or jsonl[:PATH][,window=N])"
+                        )
+                    })?);
+                }
+                "--trace-export" => {
+                    let raw = it.next().ok_or("--trace-export needs a value")?;
+                    trace_export = Some(TraceExportArg::parse(raw).ok_or_else(|| {
+                        format!("--trace-export: malformed value '{raw}' (off or chrome[:PATH])")
                     })?);
                 }
                 "--affinity" => affinity = true,
@@ -364,6 +536,14 @@ impl ExperimentArgs {
             Some(m) => m,
             None => MetricsArg::from_env(env("CACHEGC_METRICS").as_deref())?,
         };
+        let timeline = match timeline {
+            Some(t) => t,
+            None => TimelineArg::from_env(env("CACHEGC_TIMELINE").as_deref())?,
+        };
+        let trace_export = match trace_export {
+            Some(t) => t,
+            None => TraceExportArg::from_env(env("CACHEGC_TRACE_EXPORT").as_deref())?,
+        };
         let replay_kernel = match replay_kernel {
             Some(k) => k,
             None => replay_kernel_from_env(env("CACHEGC_REPLAY_KERNEL").as_deref())?,
@@ -378,6 +558,8 @@ impl ExperimentArgs {
             csv,
             trace_cache,
             metrics,
+            timeline,
+            trace_export,
             progress,
         }))
     }
@@ -457,7 +639,9 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
          usage: {binary} [--scale N] [--jobs N] [--schedule rr|ws] [--affinity]\n\
          \x20                [--replay-kernel scalar|batch] [--csv PATH]\n\
          \x20                [--trace-cache on|off|BYTES[,spill[:DIR]][,evict=on|off]]\n\
-         \x20                [--metrics off|table|json[:PATH]] [--progress]\n\
+         \x20                [--metrics off|table|json[:PATH]]\n\
+         \x20                [--timeline off|jsonl[:PATH][,window=N]]\n\
+         \x20                [--trace-export off|chrome[:PATH]] [--progress]\n\
          \n\
          \x20 --scale N      workload scale (default {default_scale}; env CACHEGC_SCALE)\n\
          \x20 --jobs N       worker threads (default: available parallelism; env\n\
@@ -483,6 +667,17 @@ fn usage(binary: &str, about: &str, default_scale: u32) -> String {
          \x20                timing table), or json[:PATH] (write a run manifest,\n\
          \x20                default results/manifest/{binary}.json; env\n\
          \x20                CACHEGC_METRICS)\n\
+         \x20 --timeline T   sample every pass with a windowed cache/GC timeline\n\
+         \x20                (64 KB/32 B geometry, 1 M-event windows; ,window=N\n\
+         \x20                overrides) and write a cachegc-timeline-v1 JSONL\n\
+         \x20                stream, default results/timeline/{binary}.jsonl, plus\n\
+         \x20                a summary table on stderr; results stay bit-identical\n\
+         \x20                (env CACHEGC_TIMELINE)\n\
+         \x20 --trace-export E  capture timestamped scheduler spans (packets,\n\
+         \x20                steals, idle, backpressure, GC and store phases) and\n\
+         \x20                export Chrome trace-event JSON loadable in Perfetto,\n\
+         \x20                default results/trace/{binary}.json; works with\n\
+         \x20                --metrics off (env CACHEGC_TRACE_EXPORT)\n\
          \x20 --progress     report each completed sweep pass on stderr\n\
          \x20 --help         show this help\n"
     )
@@ -786,6 +981,117 @@ mod tests {
     }
 
     #[test]
+    fn timeline_flag_parses_and_defaults_off() {
+        assert_eq!(parsed(&[]).timeline, TimelineArg::Off);
+        assert!(!parsed(&[]).timeline.enabled());
+        assert_eq!(parsed(&["--timeline", "off"]).timeline, TimelineArg::Off);
+        let a = parsed(&["--timeline", "jsonl"]);
+        assert_eq!(
+            a.timeline,
+            TimelineArg::Jsonl {
+                path: None,
+                window: None
+            }
+        );
+        assert_eq!(
+            a.timeline.path("e4_write_policy").as_deref(),
+            Some(Path::new("results/timeline/e4_write_policy.jsonl"))
+        );
+        assert_eq!(a.timeline.spec(), TimelineSpec::default());
+        let a = parsed(&["--timeline", "jsonl:/tmp/t.jsonl,window=4096"]);
+        assert_eq!(
+            a.timeline,
+            TimelineArg::Jsonl {
+                path: Some(PathBuf::from("/tmp/t.jsonl")),
+                window: Some(4096)
+            }
+        );
+        assert_eq!(
+            a.timeline.path("e4").as_deref(),
+            Some(Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(a.timeline.spec().window_events, 4096);
+        assert_eq!(
+            a.timeline.spec().cache,
+            TimelineSpec::default().cache,
+            "window override keeps the paper geometry"
+        );
+        assert_eq!(TimelineArg::Off.path("e4"), None);
+        // Env fallback applies; the explicit flag wins; malformed errors.
+        let env = |name: &str| (name == "CACHEGC_TIMELINE").then(|| "jsonl".to_string());
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert!(a.timeline.enabled());
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--timeline", "off"]), 4, env, 8)
+            .unwrap()
+        {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.timeline, TimelineArg::Off);
+        let bad = |name: &str| (name == "CACHEGC_TIMELINE").then(|| "csv".to_string());
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, bad, 8).unwrap_err();
+        assert!(err.contains("CACHEGC_TIMELINE"), "{err}");
+        for bad in [
+            "csv",
+            "jsonl:",
+            "jsonl,window=0",
+            "jsonl,window=soon",
+            "on",
+            "",
+        ] {
+            let err = ExperimentArgs::try_parse(&argv(&["--timeline", bad]), 4).unwrap_err();
+            assert!(err.contains("--timeline"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_export_flag_parses_and_defaults_off() {
+        assert_eq!(parsed(&[]).trace_export, TraceExportArg::Off);
+        assert!(!parsed(&[]).trace_export.enabled());
+        assert_eq!(
+            parsed(&["--trace-export", "off"]).trace_export,
+            TraceExportArg::Off
+        );
+        let a = parsed(&["--trace-export", "chrome"]);
+        assert_eq!(a.trace_export, TraceExportArg::Chrome(None));
+        assert!(a.trace_export.enabled());
+        assert_eq!(
+            a.trace_export.path("e4_write_policy").as_deref(),
+            Some(Path::new("results/trace/e4_write_policy.json"))
+        );
+        let a = parsed(&["--trace-export", "chrome:/tmp/trace.json"]);
+        assert_eq!(
+            a.trace_export.path("e4").as_deref(),
+            Some(Path::new("/tmp/trace.json"))
+        );
+        assert_eq!(TraceExportArg::Off.path("e4"), None);
+        // Env fallback applies; the explicit flag wins; malformed errors.
+        let env = |name: &str| (name == "CACHEGC_TRACE_EXPORT").then(|| "chrome".to_string());
+        let a = match ExperimentArgs::try_parse_env(&argv(&[]), 4, env, 8).unwrap() {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert!(a.trace_export.enabled());
+        let a = match ExperimentArgs::try_parse_env(&argv(&["--trace-export", "off"]), 4, env, 8)
+            .unwrap()
+        {
+            Parse::Args(a) => a,
+            Parse::Help => panic!("unexpected help"),
+        };
+        assert_eq!(a.trace_export, TraceExportArg::Off);
+        let bad = |name: &str| (name == "CACHEGC_TRACE_EXPORT").then(|| "pprof".to_string());
+        let err = ExperimentArgs::try_parse_env(&argv(&[]), 4, bad, 8).unwrap_err();
+        assert!(err.contains("CACHEGC_TRACE_EXPORT"), "{err}");
+        for bad in ["pprof", "chrome:", "on", ""] {
+            let err = ExperimentArgs::try_parse(&argv(&["--trace-export", bad]), 4).unwrap_err();
+            assert!(err.contains("--trace-export"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
     fn progress_flag_parses_and_defaults_off() {
         assert!(!parsed(&[]).progress);
         assert!(parsed(&["--progress"]).progress);
@@ -835,6 +1141,10 @@ mod tests {
             vec!["--metrics", "json:"],
             vec!["--replay-kernel"],
             vec!["--replay-kernel", "swar"],
+            vec!["--timeline"],
+            vec!["--timeline", "jsonl:"],
+            vec!["--trace-export"],
+            vec!["--trace-export", "chrome:"],
         ] {
             assert!(
                 ExperimentArgs::try_parse(&argv(&bad), 4).is_err(),
@@ -855,6 +1165,8 @@ mod tests {
             "--csv",
             "--trace-cache",
             "--metrics",
+            "--timeline",
+            "--trace-export",
             "--progress",
             "--help",
         ] {

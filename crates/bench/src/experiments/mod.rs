@@ -23,7 +23,9 @@ use std::sync::Arc;
 
 use cachegc_core::report::{Cell, Table};
 use cachegc_core::telemetry::{probe, Counter};
-use cachegc_core::{Manifest, ManifestConfig, Progress, Runner, Telemetry};
+use cachegc_core::{
+    chrome_trace_json, Manifest, ManifestConfig, Progress, Runner, Telemetry, TimelineRecorder,
+};
 
 use crate::cli::MetricsArg;
 use crate::{header, ExperimentArgs, GridReport};
@@ -115,7 +117,19 @@ pub fn run_main(exp: &Experiment) {
         exp.title, args.scale, args.jobs
     ));
     let store = args.trace_store();
-    let telemetry = args.metrics.enabled().then(|| Arc::new(Telemetry::new()));
+    // `--trace-export` needs a span-capturing registry even when
+    // `--metrics off` leaves the manifest unwritten.
+    let telemetry = (args.metrics.enabled() || args.trace_export.enabled()).then(|| {
+        Arc::new(if args.trace_export.enabled() {
+            Telemetry::with_spans()
+        } else {
+            Telemetry::new()
+        })
+    });
+    let timeline = args
+        .timeline
+        .enabled()
+        .then(|| TimelineRecorder::new(args.timeline.spec()));
     let progress = args.progress.then(|| Progress::stderr(exp.name, exp.cells));
     let mut runner = Runner::new(args.engine());
     if let Some(store) = &store {
@@ -123,6 +137,9 @@ pub fn run_main(exp: &Experiment) {
     }
     if let Some(telemetry) = &telemetry {
         runner = runner.with_telemetry(telemetry);
+    }
+    if let Some(timeline) = &timeline {
+        runner = runner.with_timeline(timeline);
     }
     if let Some(progress) = &progress {
         runner = runner.with_progress(progress);
@@ -170,7 +187,32 @@ pub fn run_main(exp: &Experiment) {
     if let Some(store) = &store {
         eprintln!("trace cache: {}", store.stats());
     }
+    // The timeline and trace exports are stderr/file side channels: the
+    // result tables on stdout stay byte-identical with the flags on.
+    if let (Some(recorder), Some(path)) = (&timeline, args.timeline.path(exp.name)) {
+        match recorder.write_jsonl(exp.name, &path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        eprint!("{}", recorder.summary_table());
+    }
     if let Some(telemetry) = &telemetry {
+        let snapshot = telemetry.snapshot();
+        if let Some(path) = args.trace_export.path(exp.name) {
+            let trace = chrome_trace_json(&snapshot);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(&path, trace) {
+                Ok(()) => eprintln!(
+                    "wrote {} ({} spans on {} threads)",
+                    path.display(),
+                    snapshot.spans.len(),
+                    snapshot.threads.len()
+                ),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
         let manifest = Manifest::gather(
             ManifestConfig {
                 experiment: exp.name.to_string(),
@@ -180,11 +222,13 @@ pub fn run_main(exp: &Experiment) {
                 schedule: args.schedule.name().to_string(),
                 trace_cache: args.trace_cache.describe(),
             },
-            &telemetry.snapshot(),
+            &snapshot,
             store.as_ref(),
         );
         match &args.metrics {
-            MetricsArg::Off => unreachable!("telemetry only exists when metrics are on"),
+            // `--trace-export` alone keeps the registry alive without a
+            // metrics sink; nothing else to emit.
+            MetricsArg::Off => {}
             MetricsArg::Table => {
                 for t in timing_tables(&manifest) {
                     println!();
@@ -200,6 +244,14 @@ pub fn run_main(exp: &Experiment) {
                     Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
                 }
             }
+        }
+        let warnings = snapshot.counter(Counter::Warnings);
+        if warnings > 0 {
+            eprintln!(
+                "{}: {warnings} warning{} during this run (details above)",
+                exp.name,
+                if warnings == 1 { "" } else { "s" }
+            );
         }
     }
 }

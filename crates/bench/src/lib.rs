@@ -21,6 +21,7 @@ pub mod experiments;
 pub mod golden;
 pub mod harness;
 mod report;
+pub mod trend;
 
 pub use cli::ExperimentArgs;
 pub use report::{GridReport, GridRun, ReplayBaseline, ReplayReport, ReplayRun, TelemetryReport};

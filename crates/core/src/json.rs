@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Member lookup on an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_obj()?.get(key)
@@ -231,14 +239,24 @@ impl Parser<'_> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
-                Some(_) => {
+                Some(b) => {
                     // Consume one UTF-8 character (the input is a &str,
-                    // so boundaries are trustworthy).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // so boundaries are trustworthy); decode only its
+                    // own bytes — revalidating the whole tail here made
+                    // parsing quadratic on megabyte documents.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push(s.chars().next().unwrap());
+                    self.pos += len;
                 }
             }
         }

@@ -42,6 +42,7 @@ pub mod sched;
 mod spill;
 mod store;
 pub mod telemetry;
+mod timeline;
 
 pub use experiment::{
     run_collected, run_control, CacheCell, CollectedCell, CollectedRun, CollectorSpec,
@@ -58,13 +59,18 @@ pub use store::{
     StoreStats, StoredTrace, TraceStore,
 };
 pub use telemetry::{
-    validate_manifest, Manifest, ManifestConfig, ManifestStore, Progress, Telemetry,
+    chrome_trace_json, validate_chrome_trace, validate_manifest, ChromeTraceSummary, Manifest,
+    ManifestConfig, ManifestStore, Progress, Telemetry,
+};
+pub use timeline::{
+    validate_timeline, TimelineRecorder, TimelineRun, TimelineSpec, TIMELINE_SCHEMA,
 };
 
 // Re-export what downstream experiment code needs, so benches and examples
 // can depend on this crate alone.
 pub use cachegc_analysis::{
     activity, Activity, ActivityTracker, BlockReport, BlockTracker, Instrument, SweepPlot,
+    Timeline, TimelineReport, TimelineWindow,
 };
 pub use cachegc_sim::{
     miss_penalty_cycles, writeback_cycles, Cache, CacheConfig, CacheStats, GridCache, MainMemory,

@@ -172,10 +172,11 @@ impl<'a> Runner<'a> {
     /// A runner over an existing context (for callers that already built
     /// a [`RunCtx`]).
     pub fn over(ctx: RunCtx<'a>) -> Runner<'a> {
-        Runner {
-            sched: Scheduler::new(ctx.engine.affinity),
-            ctx,
+        let mut sched = Scheduler::new(ctx.engine.affinity);
+        if let Some(telemetry) = ctx.telemetry {
+            sched = sched.with_telemetry(Arc::clone(telemetry));
         }
+        Runner { sched, ctx }
     }
 
     /// Attach a trace store: scenarios record on first run and replay on
@@ -187,8 +188,22 @@ impl<'a> Runner<'a> {
 
     /// Attach a telemetry registry: every pass attaches a probe shard on
     /// its thread and reports phases, counters, and engine observability.
+    /// Crew workers get per-worker `worker-{i}` shards, so scheduler
+    /// spans (packet execute, idle, steal, backpressure) land on stable
+    /// timeline rows when the registry captures spans.
     pub fn with_telemetry(mut self, telemetry: &'a Arc<Telemetry>) -> Runner<'a> {
         self.ctx = self.ctx.with_telemetry(telemetry);
+        self.sched = self.sched.with_telemetry(Arc::clone(telemetry));
+        self
+    }
+
+    /// Attach a timeline recorder: every pass additionally drives a
+    /// fixed-geometry [`cachegc_analysis::Timeline`] tap and commits the
+    /// windowed report under the pass's scenario label. The tap rides the
+    /// same access stream as the result sinks, so it never changes any
+    /// result bit; store hits replay the recorded trace into the tap.
+    pub fn with_timeline(mut self, timeline: &'a crate::TimelineRecorder) -> Runner<'a> {
+        self.ctx = self.ctx.with_timeline(timeline);
         self
     }
 
@@ -276,13 +291,43 @@ impl<'a> Runner<'a> {
         S: TraceSink + Send + 'static,
     {
         let _shard = self.ctx.telemetry.map(|t| t.attach());
-        let result = self.sinks_inner(instance, spec, sinks);
-        if result.is_ok() {
-            if let Some(progress) = self.ctx.progress {
-                progress.tick(self.ctx.store);
-            }
+        let pass_start = Instant::now();
+        let (stats, sinks, events) = self.sinks_inner(instance, spec, sinks)?;
+        if let Some(progress) = self.ctx.progress {
+            progress.pass(self.ctx.store, events, pass_start.elapsed().as_secs_f64());
         }
-        result
+        Ok((stats, sinks))
+    }
+
+    /// Commit a live pass's timeline tap under its scenario label (no-op
+    /// when the runner carries no recorder, so taps thread through the
+    /// drivers as plain `Option` tuple elements).
+    fn commit_tap(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        tap: Option<cachegc_analysis::Timeline>,
+    ) {
+        if let (Some(recorder), Some(tap)) = (self.ctx.timeline, tap) {
+            recorder.commit(&scenario_label(instance, spec), tap);
+        }
+    }
+
+    /// A store hit's timeline: replay the recorded trace into a fresh tap
+    /// and commit it. The hit's sink replay shards per worker, so the tap
+    /// takes its own decode pass here rather than riding a shard — the
+    /// committed windows are bit-identical to the live pass's.
+    fn timeline_tap_replay(
+        &self,
+        instance: WorkloadInstance,
+        spec: Option<CollectorSpec>,
+        stored: &Arc<StoredTrace>,
+    ) {
+        if let Some(recorder) = self.ctx.timeline {
+            let mut tap = recorder.tap();
+            stored.trace.replay(&mut tap);
+            recorder.commit(&scenario_label(instance, spec), tap);
+        }
     }
 
     fn sinks_inner<S>(
@@ -290,7 +335,7 @@ impl<'a> Runner<'a> {
         instance: WorkloadInstance,
         spec: Option<CollectorSpec>,
         sinks: Vec<S>,
-    ) -> Result<(RunStats, Vec<S>), VmError>
+    ) -> Result<(RunStats, Vec<S>, u64), VmError>
     where
         S: TraceSink + Send + 'static,
     {
@@ -299,24 +344,24 @@ impl<'a> Runner<'a> {
             // Live pass, nothing to record.
             probe!(Counter::VmRuns);
             if ctx.engine.is_sequential() {
-                if ctx.telemetry.is_some() {
-                    // A tally rides the tuple sink so the sequential pass
-                    // can report its event volume like the crews do.
-                    let (stats, (tally, fan)) = {
-                        let _vm = probe::phase_cpu("vm_execute");
-                        run_spec_sink(instance, spec, (RefCounter::new(), Fanout::new(sinks)))?
-                    };
-                    let _drain = probe::phase("sink_drain");
-                    let sinks = fan.into_sinks();
-                    record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
-                    return Ok((stats, sinks));
-                }
-                let (stats, fan) = {
+                // A tally rides the tuple sink so the sequential pass can
+                // report its event volume like the crews do; the optional
+                // timeline tap rides the same tuple.
+                let tap = ctx.timeline.map(|t| t.tap());
+                let (stats, (tap, (tally, fan))) = {
                     let _vm = probe::phase_cpu("vm_execute");
-                    run_spec_sink(instance, spec, Fanout::new(sinks))?
+                    run_spec_sink(
+                        instance,
+                        spec,
+                        (tap, (RefCounter::new(), Fanout::new(sinks))),
+                    )?
                 };
                 let _drain = probe::phase("sink_drain");
-                return Ok((stats, fan.into_sinks()));
+                let sinks = fan.into_sinks();
+                let events = tally.total();
+                record_flat_engine(ctx, "sequential", 1, sinks.len(), events);
+                self.commit_tap(instance, spec, tap);
+                return Ok((stats, sinks, events));
             }
             return self.packet_pass(instance, spec, sinks, PacketKind::SinkDrain);
         };
@@ -327,7 +372,10 @@ impl<'a> Runner<'a> {
                     HitSource::SpillLoad => probe!(Counter::StoreSpillLoads),
                     HitSource::Coalesced => probe!(Counter::StoreCoalesced),
                 }
-                return Ok(self.replay_pass(&trace, sinks));
+                self.timeline_tap_replay(instance, spec, &trace);
+                let events = trace.trace.events();
+                let (stats, sinks) = self.replay_pass(&trace, sinks);
+                return Ok((stats, sinks, events));
             }
             Acquired::Miss(ticket) => ticket,
         };
@@ -341,15 +389,16 @@ impl<'a> Runner<'a> {
         let record_start = Instant::now();
         let _record = probe::phase("record");
         let recorder = ticket.recorder();
-        let (stats, recorder, sinks) = if ctx.engine.is_sequential() {
-            let (stats, (rec, fan)) = {
+        let tap = ctx.timeline.map(|t| t.tap());
+        let (stats, recorder, sinks, tap) = if ctx.engine.is_sequential() {
+            let (stats, (tap, (rec, fan))) = {
                 let _vm = probe::phase_cpu("vm_execute");
-                run_spec_sink(instance, spec, (recorder, Fanout::new(sinks)))?
+                run_spec_sink(instance, spec, (tap, (recorder, Fanout::new(sinks))))?
             };
             let _drain = probe::phase("sink_drain");
             let sinks = fan.into_sinks();
             record_flat_engine(ctx, "sequential", 1, sinks.len(), rec.events());
-            (stats, rec, sinks)
+            (stats, rec, sinks, tap)
         } else {
             let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
             let (result, report) = self.sched.run(drain_jobs, |crew| {
@@ -360,17 +409,19 @@ impl<'a> Runner<'a> {
                     PacketKind::Record,
                     ctx.telemetry.cloned(),
                 );
-                let (stats, (rec, fan)) = {
+                let (stats, (tap, (rec, fan))) = {
                     let _vm = probe::phase_cpu("vm_execute");
-                    run_spec_sink(instance, spec, (recorder, fan))?
+                    run_spec_sink(instance, spec, (tap, (recorder, fan)))?
                 };
                 let _drain = probe::phase("sink_drain");
-                Ok((stats, rec, fan.into_sinks()))
+                Ok((stats, rec, fan.into_sinks(), tap))
             });
             self.flush_crew(&report);
-            let (stats, rec, sinks) = result?;
-            (stats, rec, sinks)
+            let (stats, rec, sinks, tap) = result?;
+            (stats, rec, sinks, tap)
         };
+        self.commit_tap(instance, spec, tap);
+        let events = recorder.events();
         match ticket.offer(recorder, stats, record_start.elapsed()) {
             OfferOutcome::Stored {
                 bytes,
@@ -402,7 +453,7 @@ impl<'a> Runner<'a> {
             }
             OfferOutcome::Duplicate => {}
         }
-        Ok((stats, sinks))
+        Ok((stats, sinks, events))
     }
 
     /// A live pass with the sinks sharded across a packet crew.
@@ -412,23 +463,27 @@ impl<'a> Runner<'a> {
         spec: Option<CollectorSpec>,
         sinks: Vec<S>,
         kind: PacketKind,
-    ) -> Result<(RunStats, Vec<S>), VmError>
+    ) -> Result<(RunStats, Vec<S>, u64), VmError>
     where
         S: TraceSink + Send + 'static,
     {
         let ctx = &self.ctx;
+        let tap = ctx.timeline.map(|t| t.tap());
         let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
         let (result, report) = self.sched.run(drain_jobs, |crew| {
             let fan = PacketFanout::new(crew, sinks, &ctx.engine, kind, ctx.telemetry.cloned());
-            let (stats, fan) = {
+            let (stats, (tap, fan)) = {
                 let _vm = probe::phase_cpu("vm_execute");
-                run_spec_sink(instance, spec, fan)?
+                run_spec_sink(instance, spec, (tap, fan))?
             };
             let _drain = probe::phase("sink_drain");
-            Ok((stats, fan.into_sinks()))
+            let events = fan.events_published();
+            Ok((stats, fan.into_sinks(), events, tap))
         });
         self.flush_crew(&report);
-        result
+        let (stats, sinks, events, tap) = result?;
+        self.commit_tap(instance, spec, tap);
+        Ok((stats, sinks, events))
     }
 
     /// A store hit: drive the sinks by sharded replay, one
@@ -570,9 +625,15 @@ impl<'a> Runner<'a> {
             };
             if let Some(stored) = hit {
                 let _shard = ctx.telemetry.map(|t| t.attach());
+                let pass_start = Instant::now();
+                self.timeline_tap_replay(instance, spec, &stored);
                 let out = self.grid_replay(&stored, configs);
                 if let Some(progress) = ctx.progress {
-                    progress.tick(ctx.store);
+                    progress.pass(
+                        ctx.store,
+                        stored.trace.events(),
+                        pass_start.elapsed().as_secs_f64(),
+                    );
                 }
                 return Ok(out);
             }
@@ -877,39 +938,44 @@ impl<'a> Runner<'a> {
         let ctx = &self.ctx;
         let _shard = ctx.telemetry.map(|t| t.attach());
         probe!(Counter::VmRuns);
-        if ctx.engine.is_sequential() {
-            if ctx.telemetry.is_some() {
-                let mut pair = (RefCounter::new(), Fanout::new(sinks));
-                let out = {
-                    let _vm = probe::phase_cpu("vm_execute");
-                    f(&mut pair)
-                };
-                let _drain = probe::phase("sink_drain");
-                let (tally, fan) = pair;
-                let sinks = fan.into_sinks();
-                record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
-                return (out, sinks);
+        let tap = ctx.timeline.map(|t| t.tap());
+        let commit = |tap: Option<cachegc_analysis::Timeline>| {
+            if let (Some(recorder), Some(tap)) = (ctx.timeline, tap) {
+                recorder.commit(&format!("drive:{}", kind.name()), tap);
             }
-            let mut fan = Fanout::new(sinks);
+        };
+        if ctx.engine.is_sequential() {
+            // A tally rides the tuple sink so the sequential pass can
+            // report its event volume like the crews do; the optional
+            // timeline tap rides the same tuple.
+            let mut group = (tap, (RefCounter::new(), Fanout::new(sinks)));
             let out = {
                 let _vm = probe::phase_cpu("vm_execute");
-                f(&mut fan)
+                f(&mut group)
             };
             let _drain = probe::phase("sink_drain");
-            return (out, fan.into_sinks());
+            let (tap, (tally, fan)) = group;
+            let sinks = fan.into_sinks();
+            record_flat_engine(ctx, "sequential", 1, sinks.len(), tally.total());
+            commit(tap);
+            return (out, sinks);
         }
         let drain_jobs = ctx.engine.jobs.max(1).min(sinks.len().max(1));
         let (result, report) = self.sched.run(drain_jobs, |crew| {
-            let mut fan = PacketFanout::new(crew, sinks, &ctx.engine, kind, ctx.telemetry.cloned());
+            let fan = PacketFanout::new(crew, sinks, &ctx.engine, kind, ctx.telemetry.cloned());
+            let mut group = (tap, fan);
             let out = {
                 let _vm = probe::phase_cpu("vm_execute");
-                f(&mut fan)
+                f(&mut group)
             };
             let _drain = probe::phase("sink_drain");
-            (out, fan.into_sinks())
+            let (tap, fan) = group;
+            (out, fan.into_sinks(), tap)
         });
         self.flush_crew(&report);
-        result
+        let (out, sinks, tap) = result;
+        commit(tap);
+        (out, sinks)
     }
 }
 
@@ -1217,6 +1283,78 @@ mod tests {
                 assert_eq!(g.stats(), e.stats(), "{}", schedule.name());
             }
         }
+    }
+
+    #[test]
+    fn timeline_taps_commit_identically_on_every_driver_path() {
+        use crate::{TimelineRecorder, TimelineSpec};
+        let cfg = ExperimentConfig::quick();
+        let w = Workload::Rewrite.scaled(1);
+        let spec = TimelineSpec {
+            cache: CacheConfig::direct_mapped(16 << 10, 32),
+            window_events: 4096,
+        };
+        // Sequential live oracle.
+        let oracle = {
+            let rec = TimelineRecorder::new(spec);
+            Runner::sequential()
+                .with_timeline(&rec)
+                .control(w, &cfg)
+                .unwrap();
+            rec.runs()
+        };
+        assert_eq!(oracle.len(), 1);
+        let report = &oracle[0].report;
+        assert!(report.windows.len() > 1, "workload spans several windows");
+        assert_eq!(
+            report.windows_sum(),
+            report.totals,
+            "window sums reconstruct the aggregate"
+        );
+        // Packet crews, the recording pass, the sharded replay, and the
+        // batch grid kernel all commit the same report.
+        let store = crate::TraceStore::unbounded();
+        for (tag, runner) in [
+            (
+                "packet",
+                Runner::new(EngineConfig::jobs(3).with_schedule(Schedule::WorkStealing)),
+            ),
+            (
+                "record",
+                Runner::new(EngineConfig::jobs(2)).with_store(&store),
+            ),
+            (
+                "replay",
+                Runner::new(EngineConfig::jobs(2)).with_store(&store),
+            ),
+            (
+                "grid",
+                Runner::new(EngineConfig::jobs(2).with_replay_kernel(ReplayKernel::Batch))
+                    .with_store(&store),
+            ),
+        ] {
+            let rec = TimelineRecorder::new(spec);
+            runner.with_timeline(&rec).control(w, &cfg).unwrap();
+            let runs = rec.runs();
+            assert_eq!(runs.len(), 1, "{tag}");
+            assert_eq!(runs[0], oracle[0], "{tag}: timeline bit-identical");
+        }
+        // The escape-hatch driver commits under a kind tag.
+        let rec = TimelineRecorder::new(spec);
+        let runner = Runner::new(EngineConfig::jobs(2)).with_timeline(&rec);
+        let sinks = vec![Cache::new(CacheConfig::direct_mapped(32 << 10, 64))];
+        runner.drive(PacketKind::VmExecute, sinks, |fan| {
+            for i in 0..10_000u32 {
+                fan.access(cachegc_trace::Access::read(
+                    i.wrapping_mul(68) % (1 << 18),
+                    cachegc_trace::Context::Mutator,
+                ));
+            }
+        });
+        let runs = rec.runs();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "drive:vm_execute");
+        assert_eq!(runs[0].report.windows_sum(), runs[0].report.totals);
     }
 
     #[test]

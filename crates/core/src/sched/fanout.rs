@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use cachegc_telemetry::{EngineReport, Telemetry};
+use cachegc_telemetry::{probe, EngineReport, Telemetry};
 use cachegc_trace::{Access, TraceSink};
 
 use super::{dur_ns, Crew, EngineConfig, PacketKind, Schedule, Stage};
@@ -183,6 +183,9 @@ impl<'c, 'env, S: TraceSink + Send + 'env> PacketFanout<'c, 'env, S> {
                     q = shard.space.wait(q).expect("shard queue poisoned");
                 }
                 self.backpressure_ns += dur_ns(t0.elapsed());
+                if probe::spans_active() {
+                    probe::span("backpressure", "sched", t0);
+                }
             }
             q.chunks.push_back(Arc::clone(&chunk));
             self.queue_depth_hwm = self.queue_depth_hwm.max(q.chunks.len() as u64);
@@ -195,6 +198,12 @@ impl<'c, 'env, S: TraceSink + Send + 'env> PacketFanout<'c, 'env, S> {
                 self.submit_drain(i);
             }
         }
+    }
+
+    /// Events broadcast so far (one per [`TraceSink::access`] call that
+    /// has reached a published chunk, regardless of sink count).
+    pub fn events_published(&self) -> u64 {
+        self.events_published + self.buf.len() as u64
     }
 
     /// Flush the tail, wait for every drain packet to finish, and return

@@ -37,10 +37,10 @@ mod affinity;
 pub mod fanout;
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cachegc_telemetry::WorkerStats;
+use cachegc_telemetry::{probe, Telemetry, WorkerStats};
 
 pub use fanout::PacketFanout;
 
@@ -284,7 +284,8 @@ pub struct CrewReport {
 
 /// A boxed work packet: the typed kind plus the closure that performs it.
 struct Packet<'env> {
-    #[allow(dead_code)] // carried for debug output; the queue treats kinds uniformly
+    /// Names the packet's span in the scheduler trace; the queue itself
+    /// treats kinds uniformly.
     kind: PacketKind,
     job: Box<dyn FnOnce(&mut WorkerStats) + Send + 'env>,
 }
@@ -404,6 +405,12 @@ impl<'env> Crew<'env> {
     }
 
     fn worker_loop(&self, i: usize, sched: &Scheduler) {
+        // Give the worker its own telemetry shard (and trace-timeline row)
+        // for the crew's lifetime; successive crews reuse the row by name.
+        let _shard = sched
+            .telemetry
+            .as_ref()
+            .map(|t| t.attach_named(&format!("worker-{i}")));
         if sched.affinity {
             let outcome = affinity::pin_current_thread(i, &sched.affinity_cmd);
             let mut q = self.q.lock().expect("crew queue poisoned");
@@ -419,8 +426,13 @@ impl<'env> Crew<'env> {
                 let mut stats = WorkerStats::default();
                 if stolen {
                     stats.steals += 1;
+                    probe::instant("steal", "sched");
                 }
+                let t0 = probe::spans_active().then(Instant::now);
                 (packet.job)(&mut stats);
+                if let Some(t0) = t0 {
+                    probe::span(packet.kind.name(), "packet", t0);
+                }
                 q = self.q.lock().expect("crew queue poisoned");
                 q.workers[i].merge(&stats);
                 q.pending -= 1;
@@ -437,6 +449,9 @@ impl<'env> Crew<'env> {
             let t0 = Instant::now();
             q = self.work.wait(q).expect("crew queue poisoned");
             q.workers[i].idle_ns += dur_ns(t0.elapsed());
+            if probe::spans_active() {
+                probe::span("idle", "sched", t0);
+            }
         }
     }
 
@@ -460,6 +475,10 @@ pub struct Scheduler {
     /// External pinning utility, injectable so tests can force the
     /// degraded path with a command that cannot exist.
     affinity_cmd: std::sync::Arc<str>,
+    /// When present, crew workers attach per-worker shards so counters,
+    /// phases, and (if enabled) trace spans are attributed to
+    /// `worker-{i}` timeline rows instead of vanishing unattached.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for Scheduler {
@@ -474,6 +493,7 @@ impl Scheduler {
         Scheduler {
             affinity,
             affinity_cmd: std::sync::Arc::from("taskset"),
+            telemetry: None,
         }
     }
 
@@ -493,6 +513,14 @@ impl Scheduler {
     /// True if crews spun from this scheduler will attempt pinning.
     pub fn affinity(&self) -> bool {
         self.affinity
+    }
+
+    /// Same scheduler with crew workers attached to `telemetry`. Each
+    /// worker holds a `worker-{i}` shard for the crew's lifetime, so
+    /// packet/idle/steal spans land on stable per-worker timeline rows.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Scheduler {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Run one operation against a crew of `jobs` workers. `f` executes on
@@ -646,6 +674,32 @@ mod tests {
         assert_eq!(ReplayKernel::default().name(), "scalar");
         let e = EngineConfig::jobs(2).with_replay_kernel(ReplayKernel::Batch);
         assert_eq!(e.replay_kernel, ReplayKernel::Batch);
+    }
+
+    #[cfg(not(cachegc_probes_off))]
+    #[test]
+    fn crews_record_packet_spans_on_worker_rows() {
+        let tele = Arc::new(Telemetry::with_spans());
+        let sched = Scheduler::new(false).with_telemetry(Arc::clone(&tele));
+        let ((), report) = sched.run(2, |crew| {
+            for i in 0..8 {
+                crew.submit(Stage::Execute, PacketKind::Task, Some(i), move |_| {
+                    std::hint::black_box((0..256).sum::<u64>());
+                });
+            }
+            crew.wait_idle();
+        });
+        assert_eq!(report.packets, 8);
+        let snap = tele.snapshot();
+        let packet_spans: Vec<_> = snap.spans.iter().filter(|s| s.cat == "packet").collect();
+        assert_eq!(packet_spans.len(), 8);
+        assert!(packet_spans.iter().all(|s| s.name == "task"));
+        assert!(snap
+            .spans
+            .iter()
+            .all(|s| (s.tid as usize) < snap.threads.len()));
+        assert!(snap.threads.iter().any(|t| t == "worker-0"));
+        assert!(snap.threads.iter().any(|t| t == "worker-1"));
     }
 
     #[test]

@@ -385,6 +385,7 @@ impl Shared {
     /// for a live recording.
     fn load_spilled(&self, key: ScenarioKey, label: &str) -> Option<Arc<StoredTrace>> {
         let spill = self.spill.as_ref()?;
+        let _span = cachegc_telemetry::probe::phase("spill_load");
         match spill.read(label) {
             Ok(Some(segment)) => {
                 let bytes = segment.trace.bytes();
@@ -871,6 +872,10 @@ pub struct RunCtx<'a> {
     /// Per-pass progress reporting (one stderr line per completed pass);
     /// `None` is silent.
     pub progress: Option<&'a Progress>,
+    /// Windowed cache/GC timeline recorder: every pass additionally taps
+    /// its reference stream into a timeline sampler; `None` costs one
+    /// predictable branch per event.
+    pub timeline: Option<&'a crate::timeline::TimelineRecorder>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -881,6 +886,7 @@ impl<'a> RunCtx<'a> {
             store: None,
             telemetry: None,
             progress: None,
+            timeline: None,
         }
     }
 
@@ -911,6 +917,15 @@ impl<'a> RunCtx<'a> {
     pub fn with_progress(self, progress: &'a Progress) -> RunCtx<'a> {
         RunCtx {
             progress: Some(progress),
+            ..self
+        }
+    }
+
+    /// Attach a timeline recorder: every pass commits a windowed
+    /// cache/GC timeline of its reference stream.
+    pub fn with_timeline(self, timeline: &'a crate::timeline::TimelineRecorder) -> RunCtx<'a> {
+        RunCtx {
+            timeline: Some(timeline),
             ..self
         }
     }

@@ -8,7 +8,7 @@
 //! re-exports the primitives, so `cachegc_core::telemetry::Telemetry` is
 //! the one path experiment code needs, and adds:
 //!
-//! * [`Manifest`] — a versioned (`cachegc-manifest-v4`), machine-readable
+//! * [`Manifest`] — a versioned (`cachegc-manifest-v5`), machine-readable
 //!   record of one experiment run: configuration, merged counters, phase
 //!   timings with pause histograms, engine/worker totals, and trace-store
 //!   accounting. Serialized by [`Manifest::to_json`] (hand-rolled, like
@@ -17,6 +17,10 @@
 //! * [`Progress`] — a thread-safe per-pass progress reporter the `_ctx`
 //!   engine drivers tick; one line per completed pass, to stderr (or an
 //!   injected writer in tests), never stdout.
+//! * [`chrome_trace_json`] — exports a snapshot's captured span records
+//!   (packet execute, steal, idle, backpressure, spill load, GC phases)
+//!   as Chrome trace-event JSON, loadable in Perfetto; checked by
+//!   [`validate_chrome_trace`], which `golden_check --trace` calls.
 
 use std::fmt;
 use std::io::Write;
@@ -27,14 +31,17 @@ use std::time::Instant;
 
 pub use cachegc_telemetry::{
     probe, Counter, EngineReport, EngineTotals, PauseHist, PhaseStats, ShardGuard, Snapshot,
-    Telemetry, WorkerStats, WorkerTotals, BUCKETS,
+    SpanRecord, Telemetry, WorkerStats, WorkerTotals, BUCKETS,
 };
 
 use crate::json::{self, Json};
 use crate::store::{ScenarioGauges, StoreStats, TraceStore};
 
 /// The manifest schema identifier this crate writes and validates.
-pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v4";
+///
+/// v5 added the timeline/span counters (`timeline_windows`,
+/// `timeline_collections`, `trace_spans`, `trace_spans_dropped`).
+pub const MANIFEST_SCHEMA: &str = "cachegc-manifest-v5";
 
 // ---------------------------------------------------------------------
 // Progress
@@ -90,10 +97,33 @@ impl Progress {
     pub fn tick(&self, store: Option<&TraceStore>) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         let elapsed = self.start.elapsed().as_secs_f64();
-        let mut line = format!(
+        let line = format!(
             "[{}] pass {}/{} done, {:.1}s elapsed",
             self.experiment, done, self.total, elapsed
         );
+        self.emit(line, store);
+    }
+
+    /// As [`tick`](Progress::tick), with the pass's measured event count
+    /// and wall time, so the line carries a live events/s rate. The
+    /// `_ctx` drivers use this form; hand-tickers without a measured
+    /// pass keep `tick`.
+    pub fn pass(&self, store: Option<&TraceStore>, events: u64, pass_secs: f64) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let line = format!(
+            "[{}] pass {}/{} done in {:.2}s, {} events/s, {:.1}s elapsed",
+            self.experiment,
+            done,
+            self.total,
+            pass_secs,
+            event_rate(events, pass_secs),
+            elapsed
+        );
+        self.emit(line, store);
+    }
+
+    fn emit(&self, mut line: String, store: Option<&TraceStore>) {
         if let Some(store) = store {
             let s = store.stats();
             line.push_str(&format!(", store: {} hits, {} misses", s.hits, s.misses));
@@ -101,6 +131,24 @@ impl Progress {
         let mut out = self.out.lock().expect("progress writer poisoned");
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
+    }
+}
+
+/// Human-scale events-per-second figure (`"12.4M"`, `"980k"`, `"-"` when
+/// the pass was too fast to time).
+fn event_rate(events: u64, secs: f64) -> String {
+    if secs <= 0.0 {
+        return "-".into();
+    }
+    let rate = events as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.1}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
     }
 }
 
@@ -303,7 +351,7 @@ impl Manifest {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -617,6 +665,138 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+/// Serialize a snapshot's captured span records as Chrome trace-event
+/// JSON (the "JSON array format"), loadable in Perfetto and
+/// `chrome://tracing`.
+///
+/// Each [`SpanRecord`] becomes one complete (`"ph": "X"`) event with
+/// microsecond timestamps relative to the telemetry epoch; thread names
+/// are emitted as `"ph": "M"` metadata records so worker rows are
+/// labeled. Snapshots without spans (registry not built with
+/// [`Telemetry::with_spans`]) export an empty-but-valid trace.
+pub fn chrome_trace_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    push(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"cachegc\"}}"
+            .to_string(),
+        &mut out,
+        &mut first,
+    );
+    for (tid, name) in snapshot.threads.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                json_str(name)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for span in &snapshot.spans {
+        push(
+            format!(
+                "{{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \
+                 \"ts\": {:.3}, \"dur\": {:.3}}}",
+                json_str(span.name),
+                json_str(span.cat),
+                span.tid,
+                span.start_ns as f64 / 1e3,
+                span.dur_ns as f64 / 1e3,
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Complete (`"ph": "X"`) span events.
+    pub spans: usize,
+    /// Named threads whose name starts with `worker-` (crew rows).
+    pub workers: usize,
+    /// All named threads.
+    pub threads: usize,
+}
+
+/// Validate Chrome trace-event JSON produced by [`chrome_trace_json`]:
+/// a JSON array whose `"X"` events carry name/ts/dur/tid and whose
+/// metadata names every referenced thread row.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = json::parse(text)?;
+    let events = doc.as_arr().ok_or("trace: root is not an array")?;
+    let mut named = std::collections::BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace: event {i} has no ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace: event {i} has no name"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("trace: event {i} has no tid"))?;
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    let thread = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("trace: event {i} names no thread"))?;
+                    named.insert(tid, thread.to_string());
+                }
+            }
+            "X" => {
+                spans += 1;
+                for key in ["ts", "dur"] {
+                    let v = ev
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("trace: event {i}.{key} is not a number"))?;
+                    if v < 0.0 {
+                        return Err(format!("trace: event {i}.{key} is negative"));
+                    }
+                }
+                if !named.contains_key(&tid) {
+                    return Err(format!("trace: event {i} on unnamed thread row {tid}"));
+                }
+            }
+            other => return Err(format!("trace: event {i} has unsupported ph '{other}'")),
+        }
+    }
+    Ok(ChromeTraceSummary {
+        spans,
+        workers: named.values().filter(|n| n.starts_with("worker-")).count(),
+        threads: named.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,7 +819,7 @@ mod tests {
         let m = Manifest::gather(sample_config(), &telemetry.snapshot(), None);
         let json = m.to_json();
         validate_manifest(&json).unwrap();
-        assert!(json.contains("\"schema\": \"cachegc-manifest-v4\""));
+        assert!(json.contains("\"schema\": \"cachegc-manifest-v5\""));
         assert!(json.contains("\"jobs_requested\": 2"));
         assert!(json.contains("\"store\": null"));
     }
@@ -711,7 +891,7 @@ mod tests {
         let err = validate_manifest(&good).unwrap_err();
         assert!(err.contains("gc_minor"), "{err}");
         // Wrong schema.
-        let bad = good.replace("cachegc-manifest-v4", "cachegc-manifest-v0");
+        let bad = good.replace("cachegc-manifest-v5", "cachegc-manifest-v0");
         assert!(validate_manifest(&bad).unwrap_err().contains("schema"));
         // Not JSON at all.
         assert!(validate_manifest("{nope").is_err());
@@ -758,5 +938,82 @@ mod tests {
         assert!(!lines[0].contains("store:"), "no store, no store column");
         assert!(lines[1].starts_with("[e1_cache_grid] pass 2/3 done"));
         assert!(lines[1].contains("store: 0 hits, 0 misses"));
+    }
+
+    #[test]
+    fn pass_lines_carry_rate_and_pass_time() {
+        use std::io;
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<StdMutex<Vec<u8>>>);
+        impl io::Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let progress = Progress::to_writer("e4_write_policy", 2, Box::new(buf.clone()));
+        progress.pass(None, 5_200_000, 0.5);
+        progress.pass(None, 100, 0.0);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("[e4_write_policy] pass 1/2 done in 0.50s, 10.4M events/s"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("s elapsed"));
+        // An untimeable pass degrades to a dash, never a divide-by-zero.
+        assert!(lines[1].contains(" - events/s"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn event_rate_scales_units() {
+        assert_eq!(event_rate(2_500_000_000, 1.0), "2.5G");
+        assert_eq!(event_rate(1_500, 1.0), "1.5k");
+        assert_eq!(event_rate(999, 1.0), "999");
+        assert_eq!(event_rate(1, 0.0), "-");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_validation() {
+        let t = Arc::new(Telemetry::with_spans());
+        std::thread::scope(|s| {
+            for i in 0..2 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let _g = t.attach_named(&format!("worker-{i}"));
+                    let t0 = Instant::now();
+                    std::hint::black_box((0..10_000u64).sum::<u64>());
+                    probe::span("vm_execute", "packet", t0);
+                    probe::instant("steal", "sched");
+                });
+            }
+        });
+        {
+            let _g = t.attach();
+            drop(probe::phase("sink_drain"));
+        }
+        let trace = chrome_trace_json(&t.snapshot());
+        let summary = validate_chrome_trace(&trace).unwrap();
+        assert_eq!(summary.spans, 5);
+        assert_eq!(summary.workers, 2);
+        assert_eq!(summary.threads, 3);
+        assert!(trace.contains("\"thread_name\""));
+
+        // An empty snapshot still exports a valid (if boring) trace.
+        let empty = chrome_trace_json(&Arc::new(Telemetry::new()).snapshot());
+        assert_eq!(validate_chrome_trace(&empty).unwrap().spans, 0);
+
+        // Corruption is rejected.
+        assert!(validate_chrome_trace("{}").is_err());
+        let bad = trace.replace("\"ph\": \"X\"", "\"ph\": \"Q\"");
+        assert!(validate_chrome_trace(&bad).is_err());
     }
 }

@@ -41,6 +41,131 @@ impl BlockStats {
     }
 }
 
+/// Copyable snapshot of the scalar counters in a [`CacheStats`].
+///
+/// Timeline instruments take a snapshot at each window boundary and subtract
+/// consecutive snapshots to attribute traffic to fixed event windows; because
+/// every counter is monotonic, `later.delta(earlier)` is exact and the window
+/// deltas sum back to the aggregate by construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Mutator read references.
+    pub mutator_reads: u64,
+    /// Mutator write references.
+    pub mutator_writes: u64,
+    /// Collector read references.
+    pub collector_reads: u64,
+    /// Collector write references.
+    pub collector_writes: u64,
+    /// Fetches caused by read misses on absent blocks.
+    pub read_miss_fetches: u64,
+    /// Fetches caused by reads of not-yet-validated words (partial fills).
+    pub partial_fill_fetches: u64,
+    /// Fetches caused by write misses (fetch-on-write policy only).
+    pub write_miss_fetches: u64,
+    /// Write misses that installed a tag without fetching (write-validate).
+    pub write_validate_installs: u64,
+    /// Allocation misses (§7).
+    pub alloc_misses: u64,
+    /// Fetches attributed to the mutator.
+    pub mutator_fetches: u64,
+    /// Fetches attributed to the collector.
+    pub collector_fetches: u64,
+    /// Dirty-block evictions (write-back caches).
+    pub writebacks: u64,
+    /// Words written through to memory (write-through caches).
+    pub write_through_words: u64,
+}
+
+impl CacheTotals {
+    /// Total references.
+    pub fn refs(&self) -> u64 {
+        self.mutator_reads + self.mutator_writes + self.collector_reads + self.collector_writes
+    }
+
+    /// Read references.
+    pub fn reads(&self) -> u64 {
+        self.mutator_reads + self.collector_reads
+    }
+
+    /// Write references.
+    pub fn writes(&self) -> u64 {
+        self.mutator_writes + self.collector_writes
+    }
+
+    /// Total misses of all kinds, fetching or not.
+    pub fn misses(&self) -> u64 {
+        self.read_miss_fetches
+            + self.partial_fill_fetches
+            + self.write_miss_fetches
+            + self.write_validate_installs
+    }
+
+    /// Misses on the read side (absent-block read misses plus partial fills).
+    pub fn read_misses(&self) -> u64 {
+        self.read_miss_fetches + self.partial_fill_fetches
+    }
+
+    /// Misses on the write side (fetching write misses plus no-fetch installs).
+    pub fn write_misses(&self) -> u64 {
+        self.write_miss_fetches + self.write_validate_installs
+    }
+
+    /// Block fetches from main memory.
+    pub fn fetches(&self) -> u64 {
+        self.mutator_fetches + self.collector_fetches
+    }
+
+    /// Element-wise difference `self - earlier`. Panics in debug builds if
+    /// any counter moved backwards (snapshots must come from the same cache
+    /// in chronological order); saturates in release builds.
+    pub fn delta(&self, earlier: &CacheTotals) -> CacheTotals {
+        macro_rules! sub {
+            ($field:ident) => {{
+                debug_assert!(
+                    self.$field >= earlier.$field,
+                    concat!(stringify!($field), " went backwards between snapshots"),
+                );
+                self.$field.saturating_sub(earlier.$field)
+            }};
+        }
+        CacheTotals {
+            mutator_reads: sub!(mutator_reads),
+            mutator_writes: sub!(mutator_writes),
+            collector_reads: sub!(collector_reads),
+            collector_writes: sub!(collector_writes),
+            read_miss_fetches: sub!(read_miss_fetches),
+            partial_fill_fetches: sub!(partial_fill_fetches),
+            write_miss_fetches: sub!(write_miss_fetches),
+            write_validate_installs: sub!(write_validate_installs),
+            alloc_misses: sub!(alloc_misses),
+            mutator_fetches: sub!(mutator_fetches),
+            collector_fetches: sub!(collector_fetches),
+            writebacks: sub!(writebacks),
+            write_through_words: sub!(write_through_words),
+        }
+    }
+
+    /// Element-wise sum, for reconstructing aggregates from window deltas.
+    pub fn add(&self, other: &CacheTotals) -> CacheTotals {
+        CacheTotals {
+            mutator_reads: self.mutator_reads + other.mutator_reads,
+            mutator_writes: self.mutator_writes + other.mutator_writes,
+            collector_reads: self.collector_reads + other.collector_reads,
+            collector_writes: self.collector_writes + other.collector_writes,
+            read_miss_fetches: self.read_miss_fetches + other.read_miss_fetches,
+            partial_fill_fetches: self.partial_fill_fetches + other.partial_fill_fetches,
+            write_miss_fetches: self.write_miss_fetches + other.write_miss_fetches,
+            write_validate_installs: self.write_validate_installs + other.write_validate_installs,
+            alloc_misses: self.alloc_misses + other.alloc_misses,
+            mutator_fetches: self.mutator_fetches + other.mutator_fetches,
+            collector_fetches: self.collector_fetches + other.collector_fetches,
+            writebacks: self.writebacks + other.writebacks,
+            write_through_words: self.write_through_words + other.write_through_words,
+        }
+    }
+}
+
 /// Aggregate and per-block statistics for one simulated cache.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -215,6 +340,26 @@ impl CacheStats {
     pub fn blocks(&self) -> &[BlockStats] {
         &self.blocks
     }
+
+    /// Copyable snapshot of the scalar counters (everything except the
+    /// per-block vectors), for windowed timeline deltas.
+    pub fn totals(&self) -> CacheTotals {
+        CacheTotals {
+            mutator_reads: self.mutator_reads,
+            mutator_writes: self.mutator_writes,
+            collector_reads: self.collector_reads,
+            collector_writes: self.collector_writes,
+            read_miss_fetches: self.read_miss_fetches,
+            partial_fill_fetches: self.partial_fill_fetches,
+            write_miss_fetches: self.write_miss_fetches,
+            write_validate_installs: self.write_validate_installs,
+            alloc_misses: self.alloc_misses,
+            mutator_fetches: self.mutator_fetches,
+            collector_fetches: self.collector_fetches,
+            writebacks: self.writebacks,
+            write_through_words: self.write_through_words,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +392,28 @@ mod tests {
             // Release sweeps degrade to zero instead of aborting.
             assert_eq!(b.non_alloc_misses(), 0);
         }
+    }
+
+    #[test]
+    fn totals_snapshot_and_delta() {
+        let mut s = CacheStats::new(4);
+        s.count_ref(Context::Mutator, true, 0);
+        s.count_fetch(Context::Mutator);
+        s.count_read_miss_fetch();
+        let early = s.totals();
+        s.count_ref(Context::Collector, false, 1);
+        s.count_write_validate_install();
+        s.count_writeback();
+        let late = s.totals();
+        let d = late.delta(&early);
+        assert_eq!(d.refs(), 1);
+        assert_eq!(d.collector_writes, 1);
+        assert_eq!(d.misses(), 1);
+        assert_eq!(d.write_misses(), 1);
+        assert_eq!(d.read_misses(), 0);
+        assert_eq!(d.writebacks, 1);
+        assert_eq!(early.add(&d), late);
+        assert_eq!(late.delta(&late), CacheTotals::default());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod probe;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 pub use engine::{EngineReport, EngineTotals, WorkerStats, WorkerTotals};
 pub use hist::{PauseHist, BUCKETS};
@@ -96,13 +97,21 @@ pub enum Counter {
     /// `(configuration, event)` cell updates performed by the grid
     /// simulation kernel.
     GridCellsSimulated,
+    /// Sample windows committed by timeline instruments.
+    TimelineWindows,
+    /// Collection markers committed by timeline instruments.
+    TimelineCollections,
+    /// Timestamped span records captured for trace export.
+    TraceSpans,
+    /// Span records dropped because a shard hit its capture cap.
+    TraceSpansDropped,
     /// Warnings emitted through [`Telemetry::warn`].
     Warnings,
 }
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::VmRuns,
         Counter::VmAllocs,
         Counter::VmGcTriggers,
@@ -127,6 +136,10 @@ impl Counter {
         Counter::ReplayBatches,
         Counter::ReplayScalarEvents,
         Counter::GridCellsSimulated,
+        Counter::TimelineWindows,
+        Counter::TimelineCollections,
+        Counter::TraceSpans,
+        Counter::TraceSpansDropped,
         Counter::Warnings,
     ];
 
@@ -157,6 +170,10 @@ impl Counter {
             Counter::ReplayBatches => "replay_batches",
             Counter::ReplayScalarEvents => "replay_scalar_events",
             Counter::GridCellsSimulated => "grid_cells_simulated",
+            Counter::TimelineWindows => "timeline_windows",
+            Counter::TimelineCollections => "timeline_collections",
+            Counter::TraceSpans => "trace_spans",
+            Counter::TraceSpansDropped => "trace_spans_dropped",
             Counter::Warnings => "warnings",
         }
     }
@@ -197,6 +214,30 @@ impl PhaseStats {
     }
 }
 
+/// One timestamped span for trace export: a named interval on one
+/// thread's timeline, offset from the owning registry's epoch.
+///
+/// Spans are only captured on shards attached to a registry built with
+/// [`Telemetry::with_spans`]; otherwise every span probe is a
+/// thread-local check and a branch, like the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (packet kind, phase name, `"idle"`, ...).
+    pub name: &'static str,
+    /// Category for trace viewers (`"packet"`, `"phase"`, `"sched"`, ...).
+    pub cat: &'static str,
+    /// Timeline row: index into [`Snapshot::threads`].
+    pub tid: u64,
+    /// Start offset from the registry's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instant markers like steals).
+    pub dur_ns: u64,
+}
+
+/// Per-shard span capture cap: a runaway producer drops (and counts)
+/// spans instead of exhausting memory.
+const SPAN_CAP: usize = 1 << 20;
+
 /// One thread's private accumulation buffer. Plain integers, no atomics:
 /// only the owning thread writes, and the guard merges on drop.
 #[derive(Debug)]
@@ -204,15 +245,42 @@ struct Shard {
     owner: Arc<Telemetry>,
     counters: [u64; N_COUNTERS],
     phases: BTreeMap<&'static str, PhaseStats>,
+    tid: u64,
+    spans_enabled: bool,
+    spans: Vec<SpanRecord>,
+    spans_dropped: u64,
 }
 
 impl Shard {
-    fn fresh(owner: Arc<Telemetry>) -> Shard {
+    fn fresh(owner: Arc<Telemetry>, tid: u64) -> Shard {
+        let spans_enabled = owner.spans_enabled;
         Shard {
             owner,
             counters: [0; N_COUNTERS],
             phases: BTreeMap::new(),
+            tid,
+            spans_enabled,
+            spans: Vec::new(),
+            spans_dropped: 0,
         }
+    }
+
+    #[cfg_attr(cachegc_probes_off, allow(dead_code))]
+    fn push_span(&mut self, name: &'static str, cat: &'static str, start_ns: u64, dur_ns: u64) {
+        if !self.spans_enabled {
+            return;
+        }
+        if self.spans.len() >= SPAN_CAP {
+            self.spans_dropped += 1;
+            return;
+        }
+        self.spans.push(SpanRecord {
+            name,
+            cat,
+            tid: self.tid,
+            start_ns,
+            dur_ns,
+        });
     }
 }
 
@@ -227,16 +295,21 @@ struct Totals {
     counters: [u64; N_COUNTERS],
     phases: BTreeMap<&'static str, PhaseStats>,
     engine: EngineTotals,
+    spans: Vec<SpanRecord>,
 }
 
 impl Totals {
-    fn merge_shard(&mut self, shard: &Shard) {
+    fn merge_shard(&mut self, shard: &mut Shard) {
         for (a, b) in self.counters.iter_mut().zip(&shard.counters) {
             *a += b;
         }
         for (name, stats) in &shard.phases {
             self.phases.entry(name).or_default().merge(stats);
         }
+        let spans = std::mem::take(&mut shard.spans);
+        self.counters[Counter::TraceSpans as usize] += spans.len() as u64;
+        self.counters[Counter::TraceSpansDropped as usize] += shard.spans_dropped;
+        self.spans.extend(spans);
     }
 }
 
@@ -246,15 +319,62 @@ impl Totals {
 /// on every thread that executes instrumented code, and
 /// [`snapshot`](Telemetry::snapshot) at the end. Threads that never attach
 /// contribute nothing and cost nothing.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     totals: Mutex<Totals>,
+    threads: Mutex<Vec<String>>,
+    epoch: Instant,
+    spans_enabled: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry {
+            totals: Mutex::default(),
+            threads: Mutex::default(),
+            epoch: Instant::now(),
+            spans_enabled: false,
+        }
+    }
 }
 
 impl Telemetry {
     /// An empty registry.
     pub fn new() -> Telemetry {
         Telemetry::default()
+    }
+
+    /// An empty registry with timestamped span capture enabled: phase
+    /// spans and the scheduler's packet/steal/idle/backpressure probes
+    /// additionally record [`SpanRecord`]s for trace export.
+    pub fn with_spans() -> Telemetry {
+        Telemetry {
+            spans_enabled: true,
+            ..Telemetry::default()
+        }
+    }
+
+    /// True if this registry captures span records.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled
+    }
+
+    /// The instant all span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Stable timeline-row id for a thread name. The same name always
+    /// maps to the same id within one registry, so successive crews reuse
+    /// their workers' rows in the exported trace.
+    fn tid_for(&self, name: &str) -> u64 {
+        let mut threads = self.threads.lock().expect("telemetry threads poisoned");
+        if let Some(i) = threads.iter().position(|n| n == name) {
+            i as u64
+        } else {
+            threads.push(name.to_string());
+            (threads.len() - 1) as u64
+        }
     }
 
     /// Install a fresh probe shard on the current thread, returning a
@@ -265,7 +385,14 @@ impl Telemetry {
     /// tests concurrently), and the guard restores it on drop. Guards must
     /// drop in reverse attach order, which scoping enforces naturally.
     pub fn attach(self: &Arc<Self>) -> ShardGuard {
-        let prev = SHARD.with(|s| s.replace(Some(Shard::fresh(Arc::clone(self)))));
+        self.attach_named("main")
+    }
+
+    /// As [`attach`](Telemetry::attach), placing the shard's spans on the
+    /// timeline row named `name` (e.g. `"worker-3"`).
+    pub fn attach_named(self: &Arc<Self>, name: &str) -> ShardGuard {
+        let tid = self.tid_for(name);
+        let prev = SHARD.with(|s| s.replace(Some(Shard::fresh(Arc::clone(self), tid))));
         ShardGuard { prev }
     }
 
@@ -290,11 +417,20 @@ impl Telemetry {
     /// threads are not included — snapshot after joining workers and
     /// dropping guards.
     pub fn snapshot(&self) -> Snapshot {
+        let threads = self
+            .threads
+            .lock()
+            .expect("telemetry threads poisoned")
+            .clone();
         let totals = self.lock();
+        let mut spans = totals.spans.clone();
+        spans.sort_by_key(|s| (s.start_ns, s.tid));
         Snapshot {
             counters: totals.counters,
             phases: totals.phases.iter().map(|(&k, v)| (k, v.clone())).collect(),
             engine: totals.engine.clone(),
+            spans,
+            threads,
         }
     }
 
@@ -313,8 +449,9 @@ pub struct ShardGuard {
 impl Drop for ShardGuard {
     fn drop(&mut self) {
         let mine = SHARD.with(|s| s.replace(self.prev.take()));
-        if let Some(shard) = mine {
-            shard.owner.lock().merge_shard(&shard);
+        if let Some(mut shard) = mine {
+            let owner = Arc::clone(&shard.owner);
+            owner.lock().merge_shard(&mut shard);
         }
     }
 }
@@ -327,6 +464,11 @@ pub struct Snapshot {
     pub phases: Vec<(&'static str, PhaseStats)>,
     /// Aggregated engine observability.
     pub engine: EngineTotals,
+    /// Captured span records, sorted by start time (empty unless the
+    /// registry was built with [`Telemetry::with_spans`]).
+    pub spans: Vec<SpanRecord>,
+    /// Thread names, indexed by [`SpanRecord::tid`].
+    pub threads: Vec<String>,
 }
 
 impl Snapshot {
@@ -473,6 +615,50 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.counter(Counter::StoreCapturesDropped), 2);
         assert_eq!(s.counter(Counter::Warnings), 1);
+    }
+
+    #[cfg(not(cachegc_probes_off))]
+    #[test]
+    fn spans_capture_only_when_enabled() {
+        let plain = Arc::new(Telemetry::new());
+        {
+            let _g = plain.attach();
+            probe::instant("steal", "sched");
+            drop(probe::phase("unit_span_phase"));
+        }
+        let s = plain.snapshot();
+        assert!(s.spans.is_empty());
+        assert_eq!(s.counter(Counter::TraceSpans), 0);
+
+        let traced = Arc::new(Telemetry::with_spans());
+        assert!(traced.spans_enabled());
+        {
+            let _g = traced.attach_named("worker-0");
+            let t0 = std::time::Instant::now();
+            std::hint::black_box((0..1000u64).sum::<u64>());
+            probe::span("vm_execute", "packet", t0);
+            probe::instant("steal", "sched");
+        }
+        {
+            let _g = traced.attach_named("worker-0");
+            probe::instant("steal", "sched");
+        }
+        {
+            let _g = traced.attach_named("main");
+            drop(probe::phase("unit_span_phase"));
+        }
+        let s = traced.snapshot();
+        assert_eq!(s.counter(Counter::TraceSpans), 4);
+        assert_eq!(s.counter(Counter::TraceSpansDropped), 0);
+        assert_eq!(s.spans.len(), 4);
+        // Same thread name reuses its timeline row across attaches.
+        assert_eq!(s.threads, ["worker-0", "main"]);
+        let packet = s.spans.iter().find(|r| r.cat == "packet").unwrap();
+        assert_eq!((packet.name, packet.tid), ("vm_execute", 0));
+        assert!(packet.dur_ns > 0);
+        let phase = s.spans.iter().find(|r| r.cat == "phase").unwrap();
+        assert_eq!((phase.name, phase.tid), ("unit_span_phase", 1));
+        assert!(s.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
     }
 
     #[test]

@@ -8,8 +8,12 @@
 use crate::Counter;
 #[cfg(not(cachegc_probes_off))]
 use crate::SHARD;
-#[cfg(not(cachegc_probes_off))]
 use std::time::Instant;
+
+#[cfg(not(cachegc_probes_off))]
+fn dur_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Add `n` to `counter` in the current thread's shard, if one is attached.
 #[inline]
@@ -36,6 +40,55 @@ pub fn active() -> bool {
     {
         false
     }
+}
+
+/// True if the current thread's shard captures timestamped span records
+/// (its registry was built with [`crate::Telemetry::with_spans`]). Check
+/// before reading clocks for a span that would otherwise be discarded.
+#[inline]
+pub fn spans_active() -> bool {
+    #[cfg(not(cachegc_probes_off))]
+    {
+        SHARD.with(|s| s.borrow().as_ref().is_some_and(|sh| sh.spans_enabled))
+    }
+    #[cfg(cachegc_probes_off)]
+    {
+        false
+    }
+}
+
+/// Record a completed span that began at `start` and ends now, if the
+/// current shard captures spans. `cat` groups spans in trace viewers.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str, start: Instant) {
+    #[cfg(not(cachegc_probes_off))]
+    SHARD.with(|s| {
+        if let Some(shard) = s.borrow_mut().as_mut() {
+            if shard.spans_enabled {
+                let start_ns = dur_ns(start.saturating_duration_since(shard.owner.epoch));
+                shard.push_span(name, cat, start_ns, dur_ns(start.elapsed()));
+            }
+        }
+    });
+    #[cfg(cachegc_probes_off)]
+    let _ = (name, cat, start);
+}
+
+/// Record an instantaneous marker (zero-duration span) at now, if the
+/// current shard captures spans.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    #[cfg(not(cachegc_probes_off))]
+    SHARD.with(|s| {
+        if let Some(shard) = s.borrow_mut().as_mut() {
+            if shard.spans_enabled {
+                let start_ns = dur_ns(shard.owner.epoch.elapsed());
+                shard.push_span(name, cat, start_ns, 0);
+            }
+        }
+    });
+    #[cfg(cachegc_probes_off)]
+    let _ = (name, cat);
 }
 
 /// Start a wall-clock span of the named phase. The span records into the
@@ -105,6 +158,10 @@ impl Drop for PhaseSpan {
                     .entry(self.name)
                     .or_default()
                     .record(wall_ns, cpu_ns);
+                if shard.spans_enabled {
+                    let start_ns = dur_ns(start.saturating_duration_since(shard.owner.epoch));
+                    shard.push_span(self.name, "phase", start_ns, wall_ns);
+                }
             }
         });
     }

@@ -92,6 +92,18 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     }
 }
 
+/// `Option<S>` forwards when `Some` and discards when `None`, so optional
+/// taps (e.g. a timeline instrument enabled by a CLI flag) compose into
+/// tuple sinks without a second monomorphized pipeline.
+impl<S: TraceSink> TraceSink for Option<S> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        if let Some(s) = self {
+            s.access(access);
+        }
+    }
+}
+
 /// Counts references by kind and context.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RefCounter {
@@ -197,6 +209,16 @@ mod tests {
         let mut pair = (RefCounter::new(), NullSink::new());
         pair.access(Access::read(0, Context::Mutator));
         assert_eq!(pair.0.total(), 1);
+    }
+
+    #[test]
+    fn option_forwards_when_some_and_discards_when_none() {
+        let mut some = Some(RefCounter::new());
+        some.access(Access::read(0, Context::Mutator));
+        assert_eq!(some.unwrap().total(), 1);
+        let mut none: Option<RefCounter> = None;
+        none.access(Access::read(0, Context::Mutator));
+        assert!(none.is_none());
     }
 
     #[test]
